@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the simulator itself: how fast the host
+//! executes simulated cycles (the paper's simulator was "a design tool";
+//! host speed bounds the explorable design space).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eclipse_bench::synthetic::PipeCoproc;
+use eclipse_bench::StreamSpec;
+use eclipse_coprocs::instance::build_decode_system;
+use eclipse_core::{EclipseConfig, RunOutcome, SystemBuilder};
+use eclipse_kpn::GraphBuilder;
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    // Pure event-loop speed on the synthetic pipeline.
+    g.bench_function("synthetic_pipeline_1k_packets", |b| {
+        b.iter(|| {
+            let mut gb = GraphBuilder::new("p");
+            let a = gb.stream("a", 256);
+            let s2 = gb.stream("b", 256);
+            gb.task("src", "s", 0, &[], &[a]);
+            gb.task("mid", "f", 0, &[a], &[s2]);
+            gb.task("dst", "k", 0, &[s2], &[]);
+            let graph = gb.build().unwrap();
+            let mut builder = SystemBuilder::new(EclipseConfig::default());
+            builder.add_coprocessor(Box::new(PipeCoproc::source("s", 1000, 64, 50)));
+            builder.add_coprocessor(Box::new(PipeCoproc::filter("f", 1000, 64, 80)));
+            builder.add_coprocessor(Box::new(PipeCoproc::sink("k", 1000, 64, 30)));
+            builder.map_app(&graph).unwrap();
+            let mut sys = builder.build();
+            let summary = sys.run(100_000_000);
+            assert_eq!(summary.outcome, RunOutcome::AllFinished);
+            black_box(summary.cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_decode");
+    g.sample_size(10);
+    let spec = StreamSpec { frames: 3, ..StreamSpec::tiny() };
+    let (bitstream, _) = spec.encode();
+    g.throughput(Throughput::Elements(spec.mbs_per_frame() as u64 * spec.frames as u64));
+    g.bench_function("mpeg_decode_tiny_3f", |b| {
+        b.iter(|| {
+            let mut dec = build_decode_system(EclipseConfig::default(), bitstream.clone());
+            let summary = dec.system.run(1_000_000_000);
+            assert_eq!(summary.outcome, RunOutcome::AllFinished);
+            black_box(summary.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_full_decode);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Developer probe: per-picture-type workload statistics of the standard
+//! QCIF test stream (drives cost-model calibration).
+
+use eclipse_bench::StreamSpec;
+use eclipse_media::stream::PictureType;
+use eclipse_media::Decoder;
+
+fn main() {
+    let spec = StreamSpec::qcif();
+    let (bitstream, _) = spec.encode();
+    let dec = Decoder::decode(&bitstream).unwrap();
+    let mbs = spec.mbs_per_frame() as f64;
+    println!("type  pics  coef/MB  bits/MB  intra%  inter%  skip%");
+    for t in [PictureType::I, PictureType::P, PictureType::B] {
+        let pics: Vec<_> = dec.pictures.iter().filter(|p| p.ptype == t).collect();
+        if pics.is_empty() {
+            continue;
+        }
+        let n = pics.len() as f64;
+        let coefs: f64 = pics.iter().map(|p| p.coefficients as f64).sum::<f64>() / n / mbs;
+        let bits: f64 = pics.iter().map(|p| p.mb_bits as f64).sum::<f64>() / n / mbs;
+        let intra: f64 = pics.iter().map(|p| p.intra_mbs as f64).sum::<f64>() / n / mbs * 100.0;
+        let inter: f64 = pics.iter().map(|p| p.inter_mbs as f64).sum::<f64>() / n / mbs * 100.0;
+        let skip: f64 = pics.iter().map(|p| p.skipped_mbs as f64).sum::<f64>() / n / mbs * 100.0;
+        println!("{t:?}     {:>3}  {coefs:>7.1}  {bits:>7.1}  {intra:>5.1}%  {inter:>5.1}%  {skip:>5.1}%", pics.len());
+    }
+    // Coded blocks per MB per type (from re-parsing headers is overkill;
+    // estimate from intra/inter mix: intra MBs code all 6).
+}

@@ -1,0 +1,63 @@
+//! **Experiment E4 — §7 bus design-space sweep**: "bus latency and
+//! width". Sweeps the on-chip data-bus width (the paper's instance uses
+//! 128 bits) and its arbitration latency, reporting decode time and bus
+//! utilization.
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_bus`
+
+use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_coprocs::instance::build_decode_system;
+use eclipse_core::{EclipseConfig, RunOutcome};
+
+fn main() {
+    let spec = StreamSpec::qcif();
+    let (bitstream, _) = spec.encode();
+
+    println!("Bus width sweep (latency 1):\n");
+    let mut rows = Vec::new();
+    let mut w128_cycles = 0;
+    for width in [4u32, 8, 16, 32] {
+        let cfg = EclipseConfig::default().with_bus_width(width);
+        let mut dec = build_decode_system(cfg, bitstream.clone());
+        let summary = dec.system.run(20_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished);
+        if width == 16 {
+            w128_cycles = summary.cycles;
+        }
+        let mem = dec.system.sys.mem();
+        rows.push(vec![
+            format!("{} bits", width * 8),
+            format!("{}", summary.cycles),
+            format!("{:.1}%", mem.read_bus.utilization(summary.cycles) * 100.0),
+            format!("{:.1}%", mem.write_bus.utilization(summary.cycles) * 100.0),
+            format!("{:.2}", mem.read_bus.stats().wait.mean()),
+        ]);
+    }
+    let t1 = table(&["bus width", "decode cycles", "read-bus util", "write-bus util", "mean arb wait"], &rows);
+    println!("{t1}");
+
+    println!("Bus latency sweep (width 128 bits):\n");
+    let mut rows = Vec::new();
+    for latency in [1u64, 2, 4, 8, 16] {
+        let mut cfg = EclipseConfig::default();
+        cfg.read_bus.latency = latency;
+        cfg.write_bus.latency = latency;
+        let mut dec = build_decode_system(cfg, bitstream.clone());
+        let summary = dec.system.run(20_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished);
+        rows.push(vec![
+            format!("{latency} cycles"),
+            format!("{}", summary.cycles),
+            format!("{:+.1}%", (summary.cycles as f64 / w128_cycles as f64 - 1.0) * 100.0),
+        ]);
+    }
+    let t2 = table(&["bus latency", "decode cycles", "vs 128-bit/lat-1"], &rows);
+    println!("{t2}");
+    println!(
+        "Expected shape: the 128-bit bus of the paper's instance is past the knee\n\
+         (widening to 256 bits buys little); narrow buses serialize the shells'\n\
+         cache traffic and slow decoding; latency matters less than width because\n\
+         the shell caches batch transfers into bursts."
+    );
+    save_result("sweep_bus.txt", &format!("{t1}\n{t2}"));
+}

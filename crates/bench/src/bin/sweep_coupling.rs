@@ -1,0 +1,66 @@
+//! **Experiment E8 — §2.2/§3 coupling (buffer-size) sweep**: "the size of
+//! these buffers determines in how far the producer and consumer are
+//! coupled in the timing of their execution ... Irregular tasks demand
+//! less tight coupling to allow individual progress of tasks, leading to
+//! larger buffer requirements." Eclipse chooses macroblock-grain
+//! synchronization so the buffers stay small enough for on-chip SRAM.
+//!
+//! Sweeps the decode application's stream-buffer sizes from the
+//! single-packet minimum (tight coupling) upward and reports throughput,
+//! stall behaviour, and the SRAM footprint.
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_coupling`
+
+use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_coprocs::apps::DecodeAppConfig;
+use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse_core::{EclipseConfig, RunOutcome};
+
+fn main() {
+    let spec = StreamSpec::qcif();
+    let (bitstream, _) = spec.encode();
+
+    println!("Buffer-size (coupling) sweep for the decode application:\n");
+    let mut rows = Vec::new();
+    let mut loosest = 0u64;
+    let factors = [0.01, 0.4, 0.7, 1.0, 2.0, 4.0];
+    for &factor in factors.iter().rev() {
+        let bufs = DecodeAppConfig::default().scaled(factor);
+        // Larger sweeps need more SRAM than the paper's 32 kB — that is
+        // exactly the trade-off this experiment quantifies.
+        let sram = (bufs.total() + 8 * 1024).next_power_of_two().max(32 * 1024);
+        let mut b = MpegBuilder::new(EclipseConfig::default().with_sram_size(sram), InstanceCosts::default());
+        b.add_decode("dec0", bitstream.clone(), bufs);
+        let mut sys = b.build();
+        let summary = sys.run(50_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished, "factor {factor}: {:?}", summary.outcome);
+        if loosest == 0 {
+            loosest = summary.cycles;
+        }
+        let aborted: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.aborted_steps).sum();
+        let denials: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.denials).sum();
+        rows.push(vec![
+            format!("{factor:.2}x"),
+            format!("{}", bufs.total()),
+            format!("{}", summary.cycles),
+            format!("{:+.1}%", (summary.cycles as f64 / loosest as f64 - 1.0) * 100.0),
+            format!("{}", denials),
+            format!("{}", aborted),
+            format!("{}", summary.sync_messages),
+        ]);
+    }
+    rows.reverse();
+    let t = table(
+        &["buffer scale", "SRAM bytes", "decode cycles", "vs loosest", "GetSpace denials", "aborted steps", "sync msgs"],
+        &rows,
+    );
+    println!("{t}");
+    println!(
+        "\nExpected shape: below ~1x the stages serialize (every producer blocks\n\
+         on its consumer — tight coupling costs cycles and explodes the denial\n\
+         count); above ~1-2x extra buffering buys almost nothing. The knee is\n\
+         why Eclipse's macroblock-grain buffers fit in 32 kB of SRAM at all\n\
+         (picture-grain synchronization would need megabytes off-chip)."
+    );
+    save_result("sweep_coupling.txt", &t);
+}

@@ -1,0 +1,136 @@
+//! **Experiment E9 — §5.3 scheduler ablation & budget sweep**: the shell
+//! scheduler is a weighted round-robin with per-task budgets of
+//! "typically 1000 up to 10,000 clock cycles" and a "best guess"
+//! eligibility test from locally known space and previously denied
+//! accesses. The paper also quotes task-switch rates of 10–100 kHz.
+//!
+//! We run the encode+decode mix (the multi-tasking workload) under
+//! (a) best-guess vs naive round-robin selection and (b) a budget sweep,
+//! reporting throughput, aborted steps, and the task-switch rate.
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_scheduler`
+
+use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_coprocs::mcme::McMeCoproc;
+use eclipse_coprocs::apps::{DecodeAppConfig, EncodeAppConfig};
+use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse_core::{EclipseConfig, RunOutcome};
+use eclipse_media::stream::GopConfig;
+use eclipse_sim::Frequency;
+
+struct Outcome {
+    cycles: u64,
+    switches: u64,
+    aborted: u64,
+    decisions: u64,
+}
+
+fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
+    let spec = StreamSpec { frames: 6, gop: GopConfig { n: 6, m: 3 }, ..StreamSpec::qcif() };
+    let (bitstream, _) = spec.encode();
+    let mut cfg = EclipseConfig::default();
+    cfg.shell.policy = policy;
+    cfg.default_budget = budget;
+    let mut b = MpegBuilder::new(cfg, InstanceCosts::default());
+    b.add_decode("dec0", bitstream, DecodeAppConfig::default());
+    let frames = StreamSpec { seed: spec.seed + 9, ..spec }.source_frames();
+    b.add_encode("enc0", frames, spec.gop, spec.qscale, 8, EncodeAppConfig::default());
+    let mut sys = b.build();
+    let summary = sys.run(100_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{policy:?}/{budget}: {:?}", summary.outcome);
+    let switches: u64 = sys.sys.shells().iter().map(|s| s.sched().switches).sum();
+    let decisions: u64 = sys.sys.shells().iter().map(|s| s.sched().decisions).sum();
+    let aborted: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.aborted_steps).sum();
+    Outcome { cycles: summary.cycles, switches, aborted, decisions }
+}
+
+/// Dual decode with asymmetric budgets programmed over the PI bus: the
+/// budget is the §5.4 QoS knob — a bigger guaranteed slice finishes its
+/// stream earlier at the expense of the other.
+fn qos(budget_a: u64, budget_b: u64) -> (u64, u64) {
+    use eclipse_shell::regs;
+    let spec = StreamSpec { frames: 6, gop: GopConfig { n: 6, m: 3 }, ..StreamSpec::qcif() };
+    let (bs_a, _) = spec.encode();
+    let (bs_b, _) = StreamSpec { seed: spec.seed + 5, ..spec }.encode();
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_decode("a", bs_a, DecodeAppConfig::default());
+    b.add_decode("b", bs_b, DecodeAppConfig::default());
+    let mut sys = b.build();
+    // Run-time control: the CPU programs per-task budgets through the
+    // memory-mapped task tables. App "a" is task row 0 on every shell,
+    // app "b" is row 1 (mapping order).
+    for shell in 0..sys.sys.shells().len() {
+        let n_tasks = sys.sys.pi_read(shell, regs::global::N_TASKS);
+        for t in 0..n_tasks as u16 {
+            let addr = regs::task::BASE + t * regs::task::STRIDE + regs::task::BUDGET;
+            let budget = if t % 2 == 0 { budget_a } else { budget_b };
+            sys.sys.pi_write(shell, addr, budget as u32);
+        }
+    }
+    let summary = sys.run(100_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    // Per-stream finish time: the MC task's last picture span.
+    let mcme = sys.sys.coproc(sys.coprocs.mcme).as_any().downcast_ref::<McMeCoproc>().unwrap();
+    let finish = |task: u8| mcme.pic_spans(eclipse_shell::TaskIdx(task)).last().map(|s| s.end).unwrap_or(0);
+    (finish(0), finish(1))
+}
+
+fn main() {
+    use eclipse_shell::SchedPolicy::*;
+    let f = Frequency::COPROC_150MHZ;
+
+    println!("Scheduler policy ablation (encode + decode mix, budget 2000):\n");
+    let mut rows = Vec::new();
+    for (label, policy) in [("best guess (paper)", BestGuess), ("naive round-robin", NaiveRoundRobin)] {
+        let o = run(policy, 2000);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", o.cycles),
+            format!("{}", o.aborted),
+            format!("{}", o.switches),
+            format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
+            format!("{}", o.decisions),
+        ]);
+    }
+    let t1 = table(
+        &["policy", "mix cycles", "aborted steps", "task switches", "switch rate", "GetTask calls"],
+        &rows,
+    );
+    println!("{t1}");
+
+    println!("Budget sweep (best guess; paper range 1000-10000 cycles):\n");
+    let mut rows = Vec::new();
+    for budget in [250u64, 1000, 2000, 5000, 10_000, 40_000] {
+        let o = run(BestGuess, budget);
+        rows.push(vec![
+            format!("{budget}"),
+            format!("{}", o.cycles),
+            format!("{}", o.switches),
+            format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
+        ]);
+    }
+    let t2 = table(&["budget (cycles)", "mix cycles", "task switches", "switch rate"], &rows);
+    println!("{t2}");
+
+    println!("QoS via budgets (dual decode; budgets programmed over the PI bus):\n");
+    let mut rows = Vec::new();
+    for (ba, bb) in [(2000u64, 2000u64), (6000, 1000), (1000, 6000)] {
+        let (fa, fb) = qos(ba, bb);
+        rows.push(vec![
+            format!("{ba} / {bb}"),
+            format!("{fa}"),
+            format!("{fb}"),
+            format!("{:+.1}%", (fa as f64 / fb as f64 - 1.0) * 100.0),
+        ]);
+    }
+    let t3 = table(&["budget A / B (cycles)", "stream A done", "stream B done", "A vs B finish"], &rows);
+    println!("{t3}");
+    println!(
+        "\nExpected shape: the best guess avoids the naive policy's wasted\n\
+         aborted steps; tiny budgets thrash (switch penalty), huge budgets\n\
+         serialize tasks that share a coprocessor. The paper's 1000-10000\n\
+         range sits on the flat part, at task-switch rates in its quoted\n\
+         10-100 kHz band — far too fast for CPU-interrupt scheduling."
+    );
+    save_result("sweep_scheduler.txt", &format!("{t1}\n{t2}\n{t3}"));
+}

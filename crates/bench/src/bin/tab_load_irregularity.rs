@@ -1,0 +1,91 @@
+//! **Experiment E7 — §2.2 load irregularity**: "Eclipse targets the
+//! application domain of video encoding and decoding, which exhibits a
+//! large amount of data-dependency ... In practice, the ratio of
+//! worst-case versus average load can be as high as a factor of 10."
+//!
+//! Measures per-macroblock worst/average workload ratios for each decode
+//! stage over content of increasing complexity, from the bitstream
+//! statistics (bits and coefficients are exactly the quantities the VLD
+//! and RLSQ cycle costs scale with).
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin tab_load_irregularity`
+
+use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_media::bits::BitReader;
+use eclipse_media::stream::{
+    peek_marker, read_mb_header, read_picture_header, read_sequence_header, MARKER_END,
+};
+use eclipse_media::vlc::{get_block, get_sev};
+use eclipse_sim::stats::RunningStat;
+
+/// Parse a stream and collect per-macroblock bit and coefficient counts.
+fn per_mb_stats(bitstream: &[u8]) -> (RunningStat, RunningStat) {
+    let mut r = BitReader::new(bitstream);
+    let seq = read_sequence_header(&mut r).unwrap();
+    let mbs = (seq.width as u32 / 16) * (seq.height as u32 / 16);
+    let mut bits = RunningStat::new();
+    let mut coefs = RunningStat::new();
+    loop {
+        if peek_marker(&mut r).unwrap() == MARKER_END {
+            break;
+        }
+        let _ph = read_picture_header(&mut r).unwrap();
+        for _ in 0..mbs {
+            let start = r.bit_pos();
+            let (mb, _) = read_mb_header(&mut r).unwrap();
+            let intra = mb.mode == Some(eclipse_media::motion::PredictionMode::Intra);
+            let mut mb_coefs = 0u64;
+            for blk in 0..6 {
+                if mb.cbp & (1 << (5 - blk)) == 0 {
+                    continue;
+                }
+                if intra {
+                    let _ = get_sev(&mut r).unwrap();
+                    mb_coefs += 1;
+                }
+                let (symbols, _) = get_block(&mut r).unwrap();
+                mb_coefs += symbols.len() as u64;
+            }
+            bits.record((r.bit_pos() - start) as f64);
+            coefs.record(mb_coefs as f64);
+        }
+        r.byte_align();
+    }
+    (bits, coefs)
+}
+
+fn main() {
+    println!("Per-macroblock load irregularity (paper §2.2: worst/avg up to 10x):\n");
+    let mut rows = Vec::new();
+    for (label, complexity, motion) in [
+        ("uniform, static", 0.05, 0.0),
+        ("low detail", 0.2, 1.0),
+        ("standard", 0.5, 2.0),
+        ("busy", 0.8, 3.0),
+    ] {
+        let spec = StreamSpec { complexity, motion, ..StreamSpec::qcif() };
+        let (bitstream, _) = spec.encode();
+        let (bits, coefs) = per_mb_stats(&bitstream);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", bits.mean()),
+            format!("{:.0}", bits.max()),
+            format!("{:.1}x", bits.peak_to_mean()),
+            format!("{:.1}", coefs.mean()),
+            format!("{:.0}", coefs.max()),
+            format!("{:.1}x", coefs.peak_to_mean()),
+        ]);
+    }
+    let t = table(
+        &["content", "bits/MB avg", "bits/MB max", "VLD worst/avg", "coef/MB avg", "coef/MB max", "RLSQ worst/avg"],
+        &rows,
+    );
+    println!("{t}");
+    println!(
+        "\nThe VLD and RLSQ cycle costs scale with bits and coefficients per\n\
+         macroblock, so these ratios are the stages' load irregularity. The\n\
+         paper's 'up to a factor of 10' appears on mixed content because cheap\n\
+         skipped/empty inter macroblocks coexist with dense intra ones."
+    );
+    save_result("tab_load_irregularity.txt", &t);
+}

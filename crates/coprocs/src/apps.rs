@@ -1,0 +1,294 @@
+//! The MPEG application graphs (the paper's Figure 2 decode network and
+//! its encoding counterpart), parameterized by stream-buffer sizes.
+
+use eclipse_kpn::{AppGraph, GraphBuilder};
+
+use crate::dct::{INFO_FDCT, INFO_IDCT};
+
+/// Stream-buffer sizes of a decode application, in bytes. Every buffer
+/// must hold at least one maximum-size packet of its stream (the builder
+/// asserts this); beyond that, sizing trades SRAM for decoupling — the
+/// subject of experiment E8.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeAppConfig {
+    /// VLD → RLSQ token stream (run/level symbol records).
+    pub token_buf: u32,
+    /// VLD → MC motion-vector stream.
+    pub mv_buf: u32,
+    /// RLSQ → DCT dequantized-coefficient stream.
+    pub coef_buf: u32,
+    /// DCT → MC residual stream.
+    pub resid_buf: u32,
+    /// MC → display reconstructed-macroblock stream.
+    pub recon_buf: u32,
+}
+
+impl Default for DecodeAppConfig {
+    fn default() -> Self {
+        DecodeAppConfig { token_buf: 3072, mv_buf: 512, coef_buf: 2048, resid_buf: 2048, recon_buf: 1600 }
+    }
+}
+
+impl DecodeAppConfig {
+    /// Scale all buffers by `factor` (coupling sweep), respecting the
+    /// single-packet minima.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let s = |v: u32, min: u32| ((v as f64 * factor) as u32).max(min);
+        DecodeAppConfig {
+            token_buf: s(self.token_buf, 1600),
+            mv_buf: s(self.mv_buf, 16),
+            coef_buf: s(self.coef_buf, 780),
+            resid_buf: s(self.resid_buf, 780),
+            recon_buf: s(self.recon_buf, 400),
+        }
+    }
+
+    /// Total SRAM bytes this application's buffers occupy.
+    pub fn total(&self) -> u32 {
+        self.token_buf + self.mv_buf + self.coef_buf + self.resid_buf + self.recon_buf
+    }
+}
+
+/// Build the MPEG-2 decode graph of the paper's Figure 2:
+/// `VLD → RLSQ → IDCT → MC → display`, with the side mv stream
+/// `VLD → MC`. Task and stream names are prefixed with `prefix.`.
+pub fn decoder_graph(prefix: &str, cfg: &DecodeAppConfig) -> AppGraph {
+    let mut g = GraphBuilder::new(format!("{prefix}-decode"));
+    let token = g.stream(format!("{prefix}.token"), cfg.token_buf);
+    let mv = g.stream(format!("{prefix}.mv"), cfg.mv_buf);
+    let coef = g.stream(format!("{prefix}.coef"), cfg.coef_buf);
+    let resid = g.stream(format!("{prefix}.resid"), cfg.resid_buf);
+    let recon = g.stream(format!("{prefix}.recon"), cfg.recon_buf);
+    g.task(format!("{prefix}.vld"), "vld", 0, &[], &[token, mv]);
+    g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
+    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
+    g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
+    g.build().expect("decode graph is well-formed")
+}
+
+/// Stream-buffer sizes of an encode application.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeAppConfig {
+    /// source → ME source-macroblock stream.
+    pub srcmb_buf: u32,
+    /// ME → QRL macroblock-decision stream.
+    pub mbdec_buf: u32,
+    /// ME → FDCT residual stream.
+    pub eresid_buf: u32,
+    /// FDCT → QRL coefficient stream.
+    pub fcoef_buf: u32,
+    /// QRL → VLE token stream.
+    pub tokens_buf: u32,
+    /// QRL → IQ quantized-level stream.
+    pub qlevels_buf: u32,
+    /// IQ → IDCT dequantized-coefficient stream.
+    pub rcoef_buf: u32,
+    /// IDCT → RECON reconstructed-residual stream.
+    pub rresid_buf: u32,
+    /// VLE → sink bitstream chunks.
+    pub bits_buf: u32,
+    /// RECON → ME anchor-completion feedback.
+    pub feedback_buf: u32,
+}
+
+impl Default for EncodeAppConfig {
+    fn default() -> Self {
+        EncodeAppConfig {
+            srcmb_buf: 1600,
+            mbdec_buf: 256,
+            eresid_buf: 2048,
+            fcoef_buf: 2048,
+            tokens_buf: 3072,
+            qlevels_buf: 2048,
+            rcoef_buf: 2048,
+            rresid_buf: 2048,
+            bits_buf: 256,
+            feedback_buf: 16,
+        }
+    }
+}
+
+impl EncodeAppConfig {
+    /// Total SRAM bytes this application's buffers occupy.
+    pub fn total(&self) -> u32 {
+        self.srcmb_buf
+            + self.mbdec_buf
+            + self.eresid_buf
+            + self.fcoef_buf
+            + self.tokens_buf
+            + self.qlevels_buf
+            + self.rcoef_buf
+            + self.rresid_buf
+            + self.bits_buf
+            + self.feedback_buf
+    }
+}
+
+/// Buffer sizes of an audio application.
+#[derive(Debug, Clone, Copy)]
+pub struct AudioAppConfig {
+    /// audio_dec → pcm_sink stream (must hold at least one PCM block
+    /// record of `1 + 2 * BLOCK_SAMPLES` bytes).
+    pub pcm_buf: u32,
+}
+
+impl Default for AudioAppConfig {
+    fn default() -> Self {
+        AudioAppConfig { pcm_buf: 2 * (1 + 2 * eclipse_media::audio::BLOCK_SAMPLES as u32) }
+    }
+}
+
+/// Build the audio application graph of the paper's Figure 8 (audio
+/// decoding in software on the DSP-CPU): `audio_dec → pcm_sink`, both
+/// DSP tasks, time-shared with whatever video tasks the DSP also hosts.
+pub fn audio_graph(prefix: &str, cfg: &AudioAppConfig) -> AppGraph {
+    let mut g = GraphBuilder::new(format!("{prefix}-audio"));
+    let pcm = g.stream(format!("{prefix}.pcm"), cfg.pcm_buf);
+    g.task(format!("{prefix}.audio"), "audio_dec", 0, &[], &[pcm]);
+    g.task(format!("{prefix}.pcmout"), "pcm_sink", 0, &[pcm], &[]);
+    g.build().expect("audio graph is well-formed")
+}
+
+/// Build a decode graph whose reconstructed-macroblock stream is
+/// *forked* to two consumers — the display task and a QoS monitor task —
+/// exercising the paper's "one producer and one or more consumers"
+/// stream semantics at instance level (space is recycled only when both
+/// consumers released it).
+pub fn decoder_graph_with_tap(prefix: &str, cfg: &DecodeAppConfig) -> AppGraph {
+    let mut g = GraphBuilder::new(format!("{prefix}-decode-tap"));
+    let token = g.stream(format!("{prefix}.token"), cfg.token_buf);
+    let mv = g.stream(format!("{prefix}.mv"), cfg.mv_buf);
+    let coef = g.stream(format!("{prefix}.coef"), cfg.coef_buf);
+    let resid = g.stream(format!("{prefix}.resid"), cfg.resid_buf);
+    let recon = g.stream(format!("{prefix}.recon"), cfg.recon_buf);
+    g.task(format!("{prefix}.vld"), "vld", 0, &[], &[token, mv]);
+    g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
+    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
+    g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
+    g.task(format!("{prefix}.monitor"), "monitor", 0, &[recon], &[]);
+    g.build().expect("tapped decode graph is well-formed")
+}
+
+/// Buffer sizes of a demuxed A/V program application.
+#[derive(Debug, Clone, Copy)]
+pub struct AvProgramConfig {
+    /// demux → VLD framed-bitstream stream.
+    pub vidin_buf: u32,
+    /// demux → audio_dec framed-bitstream stream.
+    pub audin_buf: u32,
+    /// The video decode pipeline's buffers.
+    pub video: DecodeAppConfig,
+    /// The audio pipeline's buffer.
+    pub audio: AudioAppConfig,
+}
+
+impl Default for AvProgramConfig {
+    fn default() -> Self {
+        AvProgramConfig {
+            vidin_buf: 1024,
+            audin_buf: 1024,
+            video: DecodeAppConfig::default(),
+            audio: AudioAppConfig::default(),
+        }
+    }
+}
+
+/// Build a full demuxed A/V program (the paper's §6 DSP software tasks
+/// working together): the software `demux` splits a transport stream
+/// from off-chip memory into the video elementary stream (fed to the
+/// VLD's input port) and the audio stream (fed to the software
+/// `audio_dec`), which then run the usual pipelines.
+pub fn av_program_graph(prefix: &str, cfg: &AvProgramConfig) -> AppGraph {
+    let mut g = GraphBuilder::new(format!("{prefix}-av"));
+    let vidin = g.stream(format!("{prefix}.vidin"), cfg.vidin_buf);
+    let audin = g.stream(format!("{prefix}.audin"), cfg.audin_buf);
+    let token = g.stream(format!("{prefix}.token"), cfg.video.token_buf);
+    let mv = g.stream(format!("{prefix}.mv"), cfg.video.mv_buf);
+    let coef = g.stream(format!("{prefix}.coef"), cfg.video.coef_buf);
+    let resid = g.stream(format!("{prefix}.resid"), cfg.video.resid_buf);
+    let recon = g.stream(format!("{prefix}.recon"), cfg.video.recon_buf);
+    let pcm = g.stream(format!("{prefix}.pcm"), cfg.audio.pcm_buf);
+    g.task(format!("{prefix}.demux"), "demux", 0, &[], &[vidin, audin]);
+    g.task(format!("{prefix}.vld"), "vld", 0, &[vidin], &[token, mv]);
+    g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
+    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
+    g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
+    g.task(format!("{prefix}.audio"), "audio_dec", 0, &[audin], &[pcm]);
+    g.task(format!("{prefix}.pcmout"), "pcm_sink", 0, &[pcm], &[]);
+    g.build().expect("A/V program graph is well-formed")
+}
+
+/// Build the MPEG-2 encode graph:
+/// `source → ME → FDCT → QRL → VLE → sink` with the reconstruction loop
+/// `QRL → IQ → IDCT → RECON` and the anchor-completion feedback edge
+/// `RECON → ME` (a cyclic Kahn graph).
+pub fn encoder_graph(prefix: &str, cfg: &EncodeAppConfig) -> AppGraph {
+    let mut g = GraphBuilder::new(format!("{prefix}-encode"));
+    let srcmb = g.stream(format!("{prefix}.srcmb"), cfg.srcmb_buf);
+    let mbdec = g.stream(format!("{prefix}.mbdec"), cfg.mbdec_buf);
+    let eresid = g.stream(format!("{prefix}.eresid"), cfg.eresid_buf);
+    let fcoef = g.stream(format!("{prefix}.fcoef"), cfg.fcoef_buf);
+    let tokens = g.stream(format!("{prefix}.tokens"), cfg.tokens_buf);
+    let qlevels = g.stream(format!("{prefix}.qlevels"), cfg.qlevels_buf);
+    let rcoef = g.stream(format!("{prefix}.rcoef"), cfg.rcoef_buf);
+    let rresid = g.stream(format!("{prefix}.rresid"), cfg.rresid_buf);
+    let bits = g.stream(format!("{prefix}.bits"), cfg.bits_buf);
+    let feedback = g.stream(format!("{prefix}.feedback"), cfg.feedback_buf);
+    g.task(format!("{prefix}.src"), "video_source", 0, &[], &[srcmb]);
+    g.task(format!("{prefix}.me"), "me", 0, &[srcmb, feedback], &[mbdec, eresid]);
+    g.task(format!("{prefix}.fdct"), "fdct", INFO_FDCT, &[eresid], &[fcoef]);
+    g.task(format!("{prefix}.qrl"), "qrl", 0, &[mbdec, fcoef], &[tokens, qlevels]);
+    g.task(format!("{prefix}.iq"), "iq", 0, &[qlevels], &[rcoef]);
+    g.task(format!("{prefix}.idct"), "idct", INFO_IDCT, &[rcoef], &[rresid]);
+    g.task(format!("{prefix}.recon"), "recon", 0, &[rresid], &[feedback]);
+    g.task(format!("{prefix}.vle"), "vle", 0, &[tokens], &[bits]);
+    g.task(format!("{prefix}.sink"), "bitsink", 0, &[bits], &[]);
+    g.build().expect("encode graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_graph_shape_matches_figure_2() {
+        let g = decoder_graph("d", &DecodeAppConfig::default());
+        assert_eq!(g.tasks().len(), 5);
+        assert_eq!(g.streams().len(), 5);
+        let vld = g.task_by_name("d.vld").unwrap();
+        assert_eq!(g.task(vld).outputs.len(), 2);
+        let mc = g.task_by_name("d.mc").unwrap();
+        assert_eq!(g.task(mc).inputs.len(), 2);
+    }
+
+    #[test]
+    fn encode_graph_is_cyclic_but_valid() {
+        let g = encoder_graph("e", &EncodeAppConfig::default());
+        assert_eq!(g.tasks().len(), 9);
+        assert_eq!(g.streams().len(), 10);
+        // The feedback stream closes the cycle recon -> me.
+        let fb = g.stream_by_name("e.feedback").unwrap();
+        let me = g.task_by_name("e.me").unwrap();
+        assert_eq!(g.stream(fb).consumers, vec![(me, 1)]);
+    }
+
+    #[test]
+    fn scaled_config_respects_minima() {
+        let tiny = DecodeAppConfig::default().scaled(0.01);
+        assert!(tiny.token_buf >= 1600);
+        assert!(tiny.coef_buf >= 780);
+        let big = DecodeAppConfig::default().scaled(3.0);
+        assert_eq!(big.mv_buf, 512 * 3);
+    }
+
+    #[test]
+    fn totals_fit_the_32kb_sram_for_the_paper_mixes() {
+        let dec = DecodeAppConfig::default().total();
+        let enc = EncodeAppConfig::default().total();
+        assert!(2 * dec < 32 * 1024, "dual decode: {} bytes", 2 * dec);
+        assert!(dec + enc < 32 * 1024, "decode + encode: {} bytes", dec + enc);
+    }
+}

@@ -1,0 +1,432 @@
+//! The RLSQ coprocessor: run-length (de)coding, (inverse) scan, and
+//! (inverse) quantization.
+//!
+//! Paper Section 6: "the RLSQ coprocessor performs the run-length
+//! decoding, inverse scan, and inverse quantization of the MPEG-2
+//! decoding graph, as well as the encoding variant: quantization, zigzag
+//! scan and run-length encoding." The three task functions:
+//!
+//! * `rlsq` (decode): token stream in → dequantized coefficient blocks
+//!   out;
+//! * `qrl` (encode): FDCT coefficient blocks + the forked mb-decision
+//!   stream in → quantized run/level symbols (token records, for the
+//!   VLE) *and* quantized level blocks (for the encoder's reconstruction
+//!   loop) out;
+//! * the encode-side inverse quantizer is folded into `qrl`'s second
+//!   output (levels are dequantized by the `iq` function, also hosted
+//!   here).
+//!
+//! Its cost is dominated by the per-coefficient work, which is what makes
+//! it the I-picture bottleneck in the paper's Figure 10.
+
+use std::collections::HashMap;
+
+use eclipse_core::{Coprocessor, StepCtx, StepResult};
+use eclipse_media::quant::{dequant_inter, dequant_intra, quant_inter, quant_intra};
+use eclipse_media::scan::{rle_decode, rle_encode, RunLevel};
+use eclipse_shell::{PortId, TaskIdx};
+
+use crate::cost::RlsqCost;
+use crate::io::{StepReader, StepWriter};
+use crate::records::{self, cblk_from_body, cblk_to_bytes, PicRec, TAG_EOS, TAG_MB, TAG_PIC};
+
+/// Which RLSQ function a task performs (from the task's function name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Function {
+    /// Decode: run-length decode + inverse scan + inverse quantize.
+    Decode,
+    /// Encode: quantize + zigzag + run-length encode.
+    EncodeQrl,
+    /// Encode reconstruction loop: inverse quantize level blocks.
+    Iq,
+}
+
+struct RlsqTask {
+    function: Function,
+    /// Current picture context (qscale, type) from the latest PIC record.
+    pic: Option<PicRec>,
+    /// Encode-side DC predictors (the encoder's QRL owns DC prediction).
+    dc_pred: [i16; 3],
+    /// Statistics.
+    coefs_processed: u64,
+    blocks_processed: u64,
+}
+
+/// The RLSQ coprocessor model.
+pub struct RlsqCoproc {
+    cost: RlsqCost,
+    tasks: HashMap<TaskIdx, RlsqTask>,
+}
+
+impl RlsqCoproc {
+    /// A new RLSQ.
+    pub fn new(cost: RlsqCost) -> Self {
+        RlsqCoproc { cost, tasks: HashMap::new() }
+    }
+
+    /// Coefficients processed by a task (workload statistics).
+    pub fn coefs_processed(&self, task: TaskIdx) -> u64 {
+        self.tasks.get(&task).map_or(0, |t| t.coefs_processed)
+    }
+}
+
+impl Coprocessor for RlsqCoproc {
+    fn name(&self) -> &str {
+        "rlsq"
+    }
+
+    fn supports(&self, function: &str) -> bool {
+        matches!(function, "rlsq" | "qrl" | "iq")
+    }
+
+    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        let function = match decl.function.as_str() {
+            "rlsq" => Function::Decode,
+            "qrl" => Function::EncodeQrl,
+            "iq" => Function::Iq,
+            other => panic!("RLSQ cannot perform '{other}'"),
+        };
+        self.tasks.insert(
+            task,
+            RlsqTask { function, pic: None, dc_pred: [128; 3], coefs_processed: 0, blocks_processed: 0 },
+        );
+        // Input hints must not exceed the smallest record (the 1-byte
+        // EOS tag), or the scheduler would never run the stream tail.
+        match function {
+            Function::Decode => (vec![1], vec![records::CBLK_REC_BYTES]),
+            Function::EncodeQrl => (vec![1, 0], vec![16, 0]),
+            Function::Iq => (vec![1], vec![records::CBLK_REC_BYTES]),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        let cost = self.cost;
+        let t = self.tasks.get_mut(&task).expect("unconfigured RLSQ task");
+        match t.function {
+            Function::Decode => step_decode(t, &cost, ctx),
+            Function::EncodeQrl => step_qrl(t, &cost, ctx),
+            Function::Iq => step_iq(t, &cost, ctx),
+        }
+    }
+}
+
+/// Decode direction: one macroblock's coefficient data per step.
+fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepResult {
+    const IN: PortId = 0;
+    const OUT: PortId = 1; // port numbering: inputs first, then outputs
+
+    let mut r = StepReader::new(IN);
+    let tag = match r.peek_tag(ctx) {
+        None => return StepResult::Blocked,
+        Some(tag) => tag,
+    };
+    match tag {
+        TAG_EOS => {
+            let mut buf = [0u8; 1];
+            r.read(ctx, &mut buf);
+            let mut w = StepWriter::new(OUT);
+            w.stage(&[TAG_EOS]);
+            if !w.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w.commit(ctx);
+            r.commit(ctx);
+            StepResult::Finished
+        }
+        TAG_PIC => {
+            let body = match r.take::<{ records::PIC_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            ctx.compute(8);
+            r.commit(ctx);
+            t.pic = Some(pic);
+            StepResult::Done
+        }
+        TAG_MB => {
+            let pic = t.pic.expect("MB record before PIC record");
+            let hdr = match r.take::<{ records::MB_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let (mode_code, cbp) = (hdr[1], hdr[2]);
+            let intra = mode_code == records::mode::INTRA;
+            let mut w = StepWriter::new(OUT);
+            let mut cycles = cost.per_mb;
+            let mut coefs: u64 = 0;
+            let mut blocks: u64 = 0;
+            for blk in 0..6 {
+                if cbp & (1 << (5 - blk)) == 0 {
+                    continue;
+                }
+                // Parse one block: [dc if intra] nsym, then symbols.
+                let dc = if intra {
+                    let b = match r.take::<2>(ctx) {
+                        None => return StepResult::Blocked,
+                        Some(b) => b,
+                    };
+                    Some(i16::from_le_bytes(b))
+                } else {
+                    None
+                };
+                let nsym = match r.take::<2>(ctx) {
+                    None => return StepResult::Blocked,
+                    Some(b) => u16::from_le_bytes(b) as u32,
+                };
+                if !r.need(ctx, nsym * 3) {
+                    return StepResult::Blocked;
+                }
+                let mut symbols = Vec::with_capacity(nsym as usize);
+                for _ in 0..nsym {
+                    let mut sb = [0u8; 3];
+                    r.read(ctx, &mut sb);
+                    symbols.push(RunLevel { run: sb[0], level: i16::from_le_bytes([sb[1], sb[2]]) });
+                }
+                let mut levels = rle_decode(&symbols).expect("corrupt token stream: block overflow");
+                if let Some(dc) = dc {
+                    levels[0] = dc;
+                }
+                let dequant = if intra { dequant_intra(&levels, pic.qscale) } else { dequant_inter(&levels, pic.qscale) };
+                w.stage(&cblk_to_bytes(&dequant));
+                cycles += cost.per_block + (nsym as u64 + intra as u64) * cost.per_coef;
+                coefs += nsym as u64 + intra as u64;
+                blocks += 1;
+            }
+            if !w.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w.commit(ctx);
+            r.commit(ctx);
+            ctx.compute(cycles);
+            t.coefs_processed += coefs;
+            t.blocks_processed += blocks;
+            StepResult::Done
+        }
+        other => panic!("RLSQ: unexpected tag {other:#x} on token stream"),
+    }
+}
+
+/// Encode direction (`qrl`): consumes the forked mb-decision stream
+/// (in0) and the FDCT coefficient blocks (in1); emits token records for
+/// the VLE (out0) and quantized level blocks for the reconstruction loop
+/// (out1).
+fn step_qrl(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepResult {
+    const IN_MB: PortId = 0;
+    const IN_COEF: PortId = 1;
+    const OUT_TOKEN: PortId = 2;
+    const OUT_LEVELS: PortId = 3;
+
+    let mut r_mb = StepReader::new(IN_MB);
+    let tag = match r_mb.peek_tag(ctx) {
+        None => return StepResult::Blocked,
+        Some(tag) => tag,
+    };
+    match tag {
+        TAG_EOS => {
+            let mut b = [0u8; 1];
+            r_mb.read(ctx, &mut b);
+            let mut w_tok = StepWriter::new(OUT_TOKEN);
+            let mut w_lvl = StepWriter::new(OUT_LEVELS);
+            w_tok.stage(&[TAG_EOS]);
+            w_lvl.stage(&[TAG_EOS]);
+            if !w_tok.reserve(ctx) || !w_lvl.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w_tok.commit(ctx);
+            w_lvl.commit(ctx);
+            r_mb.commit(ctx);
+            StepResult::Finished
+        }
+        TAG_PIC => {
+            let body = match r_mb.take::<{ records::PIC_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            // Forward the picture header on both outputs.
+            let mut w_tok = StepWriter::new(OUT_TOKEN);
+            let mut w_lvl = StepWriter::new(OUT_LEVELS);
+            w_tok.stage(&body);
+            w_lvl.stage(&body);
+            if !w_tok.reserve(ctx) || !w_lvl.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w_tok.commit(ctx);
+            w_lvl.commit(ctx);
+            r_mb.commit(ctx);
+            ctx.compute(8);
+            t.pic = Some(pic);
+            t.dc_pred = [128; 3];
+            StepResult::Done
+        }
+        TAG_MB => {
+            let pic = t.pic.expect("MB before PIC on mb stream");
+            let hdr = match r_mb.take::<{ records::MBMV_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let mode_code = hdr[1];
+            let intra = mode_code == records::mode::INTRA;
+            // The ME stage sends all 6 FDCT blocks for every macroblock;
+            // quantization decides the final cbp.
+            let mut r_coef = StepReader::new(IN_COEF);
+            let mut level_blocks = [[0i16; 64]; 6];
+            let mut cbp: u8 = 0;
+            let mut cycles = cost.per_mb;
+            let mut symbol_sets: Vec<(usize, Option<i16>, Vec<RunLevel>)> = Vec::new();
+            let mut dc_pred = t.dc_pred;
+            for blk in 0..6 {
+                let rec = match r_coef.take::<{ records::CBLK_REC_BYTES as usize }>(ctx) {
+                    None => return StepResult::Blocked,
+                    Some(b) => b,
+                };
+                assert_eq!(rec[0], TAG_MB, "qrl expects coefficient blocks");
+                let coefs = cblk_from_body(&rec[1..]).unwrap();
+                let levels = if intra { quant_intra(&coefs, pic.qscale) } else { quant_inter(&coefs, pic.qscale) };
+                let coded = if intra { true } else { levels.iter().any(|&l| l != 0) };
+                if coded {
+                    cbp |= 1 << (5 - blk);
+                    let (dc_diff, symbols) = if intra {
+                        let comp = match blk {
+                            0..=3 => 0,
+                            4 => 1,
+                            _ => 2,
+                        };
+                        let dc = levels[0];
+                        let diff = dc - dc_pred[comp];
+                        dc_pred[comp] = dc;
+                        let mut ac = levels;
+                        ac[0] = 0;
+                        (Some(diff), rle_encode(&ac))
+                    } else {
+                        (None, rle_encode(&levels))
+                    };
+                    cycles += cost.per_block + (symbols.len() as u64 + intra as u64) * cost.per_coef;
+                    t.coefs_processed += symbols.len() as u64 + intra as u64;
+                    symbol_sets.push((blk, dc_diff, symbols));
+                    level_blocks[blk] = levels;
+                }
+            }
+            // Token record for the VLE: MBMV header (mode/mv/cbp now
+            // final) followed by per-block symbol data.
+            let mut w_tok = StepWriter::new(OUT_TOKEN);
+            let mut mv_hdr = hdr;
+            mv_hdr[2] = cbp;
+            w_tok.stage(&mv_hdr);
+            for (_blk, dc_diff, symbols) in &symbol_sets {
+                if let Some(diff) = dc_diff {
+                    w_tok.stage(&diff.to_le_bytes());
+                }
+                w_tok.stage(&(symbols.len() as u16).to_le_bytes());
+                for s in symbols {
+                    w_tok.stage(&[s.run]);
+                    w_tok.stage(&s.level.to_le_bytes());
+                }
+            }
+            // Level blocks for the reconstruction loop: MB header (with
+            // final cbp) + the coded level blocks.
+            let mut w_lvl = StepWriter::new(OUT_LEVELS);
+            w_lvl.stage(&mv_hdr);
+            for (blk, _dc, _s) in &symbol_sets {
+                w_lvl.stage(&cblk_to_bytes(&level_blocks[*blk]));
+            }
+            if !w_tok.reserve(ctx) || !w_lvl.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w_tok.commit(ctx);
+            w_lvl.commit(ctx);
+            r_mb.commit(ctx);
+            r_coef.commit(ctx);
+            ctx.compute(cycles);
+            t.dc_pred = dc_pred;
+            t.blocks_processed += symbol_sets.len() as u64;
+            StepResult::Done
+        }
+        other => panic!("qrl: unexpected tag {other:#x}"),
+    }
+}
+
+/// Encode reconstruction loop: inverse-quantize the level blocks.
+fn step_iq(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepResult {
+    const IN: PortId = 0;
+    const OUT: PortId = 1;
+    let mut r = StepReader::new(IN);
+    let tag = match r.peek_tag(ctx) {
+        None => return StepResult::Blocked,
+        Some(tag) => tag,
+    };
+    match tag {
+        TAG_EOS => {
+            let mut b = [0u8; 1];
+            r.read(ctx, &mut b);
+            let mut w = StepWriter::new(OUT);
+            w.stage(&[TAG_EOS]);
+            if !w.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w.commit(ctx);
+            r.commit(ctx);
+            StepResult::Finished
+        }
+        TAG_PIC => {
+            let body = match r.take::<{ records::PIC_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            // Forward downstream (the IDCT/RECON need picture context).
+            let mut w = StepWriter::new(OUT);
+            w.stage(&body);
+            if !w.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w.commit(ctx);
+            r.commit(ctx);
+            ctx.compute(8);
+            t.pic = Some(pic);
+            StepResult::Done
+        }
+        TAG_MB => {
+            let pic = t.pic.expect("MB before PIC on levels stream");
+            let hdr = match r.take::<{ records::MBMV_REC_BYTES as usize }>(ctx) {
+                None => return StepResult::Blocked,
+                Some(b) => b,
+            };
+            let mode_code = hdr[1];
+            let cbp = hdr[2];
+            let intra = mode_code == records::mode::INTRA;
+            let mut w = StepWriter::new(OUT);
+            w.stage(&hdr);
+            let mut cycles = cost.per_mb;
+            for blk in 0..6 {
+                if cbp & (1 << (5 - blk)) == 0 {
+                    continue;
+                }
+                let rec = match r.take::<{ records::CBLK_REC_BYTES as usize }>(ctx) {
+                    None => return StepResult::Blocked,
+                    Some(b) => b,
+                };
+                let levels = cblk_from_body(&rec[1..]).unwrap();
+                let coefs = if intra { dequant_intra(&levels, pic.qscale) } else { dequant_inter(&levels, pic.qscale) };
+                w.stage(&cblk_to_bytes(&coefs));
+                let nz = levels.iter().filter(|&&l| l != 0).count() as u64;
+                cycles += cost.per_block + nz * cost.per_coef;
+                t.coefs_processed += nz;
+                t.blocks_processed += 1;
+            }
+            if !w.reserve(ctx) {
+                return StepResult::Blocked;
+            }
+            w.commit(ctx);
+            r.commit(ctx);
+            ctx.compute(cycles);
+            StepResult::Done
+        }
+        other => panic!("iq: unexpected tag {other:#x}"),
+    }
+}

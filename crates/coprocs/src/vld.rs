@@ -1,0 +1,365 @@
+//! The VLD (variable-length decoding) coprocessor.
+//!
+//! Paper Figure 8: "the VLD coprocessor fetches the incoming compressed
+//! bit-streams from off-chip memory" through a dedicated system-bus port.
+//! It is the canonical irregular task (Section 2.2): the amount of input
+//! consumed and output produced varies wildly per picture.
+//!
+//! Per task (one task per decoded stream — the multi-stream decode mixes
+//! run several VLD tasks time-shared on this one coprocessor), the VLD
+//!
+//! 1. incrementally fetches the bitstream from off-chip memory,
+//! 2. parses sequence/picture headers and entropy-coded macroblocks
+//!    (including intra-DC prediction, which is entropy-decode state), and
+//! 3. emits two streams: the *token* stream of run/level coefficient
+//!    symbols for the RLSQ, and the *mv* stream of macroblock modes,
+//!    motion vectors, and coded-block patterns for the MC.
+//!
+//! Processing steps follow the paper's §4.2 discipline: one macroblock
+//! (or one header) per step, with all parse state staged locally and
+//! committed only after every output window was granted — a denied
+//! GetSpace aborts the step and the retry re-parses from the committed
+//! bit position.
+
+use std::collections::HashMap;
+
+use eclipse_core::{Coprocessor, StepCtx, StepResult};
+use eclipse_media::bits::BitReader;
+use eclipse_media::stream::{
+    read_mb_header, read_picture_header, read_sequence_header, SequenceHeader, MARKER_END, MARKER_PIC,
+};
+use eclipse_media::vlc::{get_block, get_sev};
+use eclipse_shell::{PortId, TaskIdx};
+
+use crate::cost::VldCost;
+use crate::io::StepWriter;
+use crate::records::{self, PicRec, TAG_EOS, TAG_MB};
+
+/// Conventional output port of the token stream when the VLD has no
+/// input port (DRAM-sourced tasks).
+pub const PORT_TOKEN: PortId = 0;
+/// Conventional output port of the mv stream for DRAM-sourced tasks.
+pub const PORT_MV: PortId = 1;
+
+/// Where a VLD task's compressed bitstream comes from.
+#[derive(Debug, Clone, Copy)]
+pub enum VldSource {
+    /// Fetched from off-chip memory over the VLD's system-bus port (the
+    /// paper's Figure 8 arrangement).
+    Dram {
+        /// Byte address of the bitstream.
+        addr: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Received as length-framed chunks on the task's input port 0 (fed
+    /// by the DSP's software demultiplexer).
+    Port,
+}
+
+/// Per-stream configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VldTaskConfig {
+    /// Bitstream source.
+    pub source: VldSource,
+}
+
+impl VldTaskConfig {
+    /// Shorthand for the off-chip arrangement.
+    pub fn dram(addr: u32, len: u32) -> Self {
+        VldTaskConfig { source: VldSource::Dram { addr, len } }
+    }
+
+    /// Shorthand for the demux-fed arrangement.
+    pub fn port() -> Self {
+        VldTaskConfig { source: VldSource::Port }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VldState {
+    Seq,
+    PicOrEnd,
+    Mb,
+}
+
+struct VldTask {
+    cfg: VldTaskConfig,
+    /// Prefix of the bitstream fetched so far (the coprocessor's local
+    /// fetch buffer; functionally a cache, safe across aborts — in port
+    /// mode, consumed input chunks are committed as soon as they are
+    /// copied here).
+    fetched: Vec<u8>,
+    /// Port mode: the demux sent its terminator; no more bytes will come.
+    source_done: bool,
+    /// Port ids of the two outputs (shifted by one in port mode, where
+    /// input port 0 carries the bitstream).
+    port_token: PortId,
+    port_mv: PortId,
+    /// Committed parse position in bits.
+    bit_pos: usize,
+    seq: Option<SequenceHeader>,
+    state: VldState,
+    cur_pic: Option<PicRec>,
+    mb_left: u32,
+    dc_pred: [i16; 3],
+    /// Statistics: total bits parsed, macroblocks decoded.
+    bits_parsed: u64,
+    mbs_decoded: u64,
+}
+
+/// The VLD coprocessor model.
+pub struct VldCoproc {
+    cost: VldCost,
+    /// Stream configs by task instance name (bound in `configure_task`).
+    cfgs: HashMap<String, VldTaskConfig>,
+    tasks: HashMap<TaskIdx, VldTask>,
+}
+
+impl VldCoproc {
+    /// A VLD with stream configurations keyed by graph task name.
+    pub fn new(cost: VldCost, cfgs: HashMap<String, VldTaskConfig>) -> Self {
+        VldCoproc { cost, cfgs, tasks: HashMap::new() }
+    }
+
+    /// Bits parsed by a task so far (workload statistics).
+    pub fn bits_parsed(&self, task: TaskIdx) -> u64 {
+        self.tasks.get(&task).map_or(0, |t| t.bits_parsed)
+    }
+
+    /// Macroblocks decoded by a task so far.
+    pub fn mbs_decoded(&self, task: TaskIdx) -> u64 {
+        self.tasks.get(&task).map_or(0, |t| t.mbs_decoded)
+    }
+
+    /// Fetch ahead so at least `bytes_ahead` bytes beyond the parse
+    /// position are available locally. DRAM mode fetches over the system
+    /// bus (bounded by the stream length); port mode pulls length-framed
+    /// chunks from input port 0 and returns `false` (caller blocks) when
+    /// the demux has not delivered enough yet.
+    fn ensure_fetched(t: &mut VldTask, cost: &VldCost, ctx: &mut StepCtx<'_>, bytes_ahead: usize) -> bool {
+        match t.cfg.source {
+            VldSource::Dram { addr, len } => {
+                let want = ((t.bit_pos / 8) + bytes_ahead).min(len as usize);
+                while t.fetched.len() < want {
+                    let chunk = (cost.fetch_chunk as usize).min(len as usize - t.fetched.len());
+                    let a = addr + t.fetched.len() as u32;
+                    let mut buf = vec![0u8; chunk];
+                    ctx.dram_read(a, &mut buf);
+                    t.fetched.extend_from_slice(&buf);
+                }
+                true
+            }
+            VldSource::Port => {
+                const IN: PortId = 0;
+                let want = (t.bit_pos / 8) + bytes_ahead;
+                while t.fetched.len() < want && !t.source_done {
+                    if !ctx.get_space(IN, 2) {
+                        return false;
+                    }
+                    let mut lenb = [0u8; 2];
+                    ctx.read(IN, 0, &mut lenb);
+                    let len = u16::from_le_bytes(lenb) as u32;
+                    if len == 0 {
+                        ctx.put_space(IN, 2);
+                        t.source_done = true;
+                        break;
+                    }
+                    if !ctx.get_space(IN, 2 + len) {
+                        return false;
+                    }
+                    let mut payload = vec![0u8; len as usize];
+                    ctx.read(IN, 2, &mut payload);
+                    // Copying into the local fetch buffer commits the
+                    // input — safe even if the step later aborts, because
+                    // the buffer is persistent task state.
+                    ctx.put_space(IN, 2 + len);
+                    ctx.compute(4 + len as u64 / 8);
+                    t.fetched.extend_from_slice(&payload);
+                }
+                true
+            }
+        }
+    }
+}
+
+impl Coprocessor for VldCoproc {
+    fn name(&self) -> &str {
+        "vld"
+    }
+
+    fn supports(&self, function: &str) -> bool {
+        function == "vld"
+    }
+
+    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        let cfg = *self
+            .cfgs
+            .get(&decl.name)
+            .unwrap_or_else(|| panic!("no VLD bitstream configured for task '{}'", decl.name));
+        // Port numbering: inputs first. In port mode the bitstream input
+        // occupies port 0, shifting both outputs by one.
+        let port_input = matches!(cfg.source, VldSource::Port);
+        assert_eq!(decl.inputs.len(), port_input as usize, "VLD '{}' port shape mismatch", decl.name);
+        let base = port_input as PortId;
+        self.tasks.insert(
+            task,
+            VldTask {
+                cfg,
+                fetched: Vec::new(),
+                source_done: false,
+                port_token: base,
+                port_mv: base + 1,
+                bit_pos: 0,
+                seq: None,
+                state: VldState::Seq,
+                cur_pic: None,
+                mb_left: 0,
+                dc_pred: [128; 3],
+                bits_parsed: 0,
+                mbs_decoded: 0,
+            },
+        );
+        // Output hints: a header-sized window on both streams keeps the
+        // scheduler's best guess cheapish without starving small buffers.
+        (if port_input { vec![0] } else { vec![] }, vec![64, records::MBMV_REC_BYTES])
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        let cost = self.cost;
+        let t = self.tasks.get_mut(&task).expect("unconfigured VLD task");
+        let (port_token, port_mv) = (t.port_token, t.port_mv);
+        match t.state {
+            VldState::Seq => {
+                if !Self::ensure_fetched(t, &cost, ctx, 32) {
+                    return StepResult::Blocked;
+                }
+                let mut r = BitReader::new(&t.fetched);
+                r.seek(t.bit_pos);
+                let seq = read_sequence_header(&mut r).expect("corrupt bitstream: sequence header");
+                ctx.compute(cost.per_header);
+                t.bits_parsed += (r.bit_pos() - t.bit_pos) as u64;
+                t.bit_pos = r.bit_pos();
+                t.seq = Some(seq);
+                t.state = VldState::PicOrEnd;
+                StepResult::Done
+            }
+            VldState::PicOrEnd => {
+                if !Self::ensure_fetched(t, &cost, ctx, 32) {
+                    return StepResult::Blocked;
+                }
+                let mut r = BitReader::new(&t.fetched);
+                r.seek(t.bit_pos);
+                r.byte_align();
+                let marker = r.clone().get_bits(32).expect("corrupt bitstream: marker");
+                if marker == MARKER_END {
+                    // Emit end-of-stream on both outputs, then finish.
+                    let mut w_tok = StepWriter::new(port_token);
+                    let mut w_mv = StepWriter::new(port_mv);
+                    w_tok.stage(&[TAG_EOS]);
+                    w_mv.stage(&[TAG_EOS]);
+                    if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
+                        return StepResult::Blocked;
+                    }
+                    w_tok.commit(ctx);
+                    w_mv.commit(ctx);
+                    ctx.compute(cost.per_header);
+                    return StepResult::Finished;
+                }
+                assert_eq!(marker, MARKER_PIC, "corrupt bitstream: unexpected marker {marker:#x}");
+                let ph = read_picture_header(&mut r).expect("corrupt bitstream: picture header");
+                let seq = t.seq.expect("picture before sequence header");
+                let pic = PicRec {
+                    ptype: ph.ptype,
+                    qscale: ph.qscale,
+                    temporal_ref: ph.temporal_ref,
+                    mb_cols: seq.width / 16,
+                    mb_rows: seq.height / 16,
+                };
+                let mut w_tok = StepWriter::new(port_token);
+                let mut w_mv = StepWriter::new(port_mv);
+                w_tok.stage(&pic.to_bytes());
+                w_mv.stage(&pic.to_bytes());
+                if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
+                    return StepResult::Blocked;
+                }
+                w_tok.commit(ctx);
+                w_mv.commit(ctx);
+                ctx.compute(cost.per_header);
+                t.bits_parsed += (r.bit_pos() - t.bit_pos) as u64;
+                t.bit_pos = r.bit_pos();
+                t.cur_pic = Some(pic);
+                t.mb_left = pic.mb_count();
+                t.dc_pred = [128; 3];
+                t.state = VldState::Mb;
+                StepResult::Done
+            }
+            VldState::Mb => {
+                // One macroblock per processing step.
+                if !Self::ensure_fetched(t, &cost, ctx, 4096) {
+                    return StepResult::Blocked;
+                }
+                let _pic = t.cur_pic.expect("MB state without picture");
+                let mut r = BitReader::new(&t.fetched);
+                r.seek(t.bit_pos);
+                let start_bits = r.bit_pos();
+                let (mb, _) = read_mb_header(&mut r).expect("corrupt bitstream: mb header");
+                let (mode_code, fwd, bwd) = records::encode_mode(mb.mode);
+                let intra = mode_code == records::mode::INTRA;
+
+                let mut w_tok = StepWriter::new(port_token);
+                let mut w_mv = StepWriter::new(port_mv);
+                w_tok.stage(&[TAG_MB, mode_code, mb.cbp]);
+                w_mv.stage(&records::mbmv_to_bytes(mode_code, mb.cbp, fwd, bwd));
+
+                // Parse coefficient data, staging the DC predictor state.
+                let mut dc_pred = t.dc_pred;
+                for blk in 0..6 {
+                    if mb.cbp & (1 << (5 - blk)) == 0 {
+                        continue;
+                    }
+                    if intra {
+                        let comp = match blk {
+                            0..=3 => 0,
+                            4 => 1,
+                            _ => 2,
+                        };
+                        let diff = get_sev(&mut r).expect("corrupt bitstream: dc") as i16;
+                        let dc = dc_pred[comp] + diff;
+                        dc_pred[comp] = dc;
+                        w_tok.stage(&dc.to_le_bytes());
+                    }
+                    let (symbols, _) = get_block(&mut r).expect("corrupt bitstream: coefficients");
+                    w_tok.stage(&(symbols.len() as u16).to_le_bytes());
+                    for s in &symbols {
+                        w_tok.stage(&[s.run]);
+                        w_tok.stage(&s.level.to_le_bytes());
+                    }
+                }
+
+                if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
+                    return StepResult::Blocked; // abort; retry re-parses
+                }
+                w_tok.commit(ctx);
+                w_mv.commit(ctx);
+
+                let bits = (r.bit_pos() - start_bits) as u64;
+                ctx.compute(cost.per_mb + bits / 4 * cost.per_4bits);
+                t.bits_parsed += bits;
+                t.mbs_decoded += 1;
+                t.dc_pred = dc_pred;
+                t.mb_left -= 1;
+                if t.mb_left == 0 {
+                    r.byte_align();
+                    t.state = VldState::PicOrEnd;
+                }
+                t.bit_pos = r.bit_pos();
+                StepResult::Done
+            }
+        }
+    }
+}

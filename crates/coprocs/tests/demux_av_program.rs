@@ -1,0 +1,79 @@
+//! The complete §6 software-task story: a transport stream in off-chip
+//! memory is split by the DSP's software *demux* into the video
+//! elementary stream (feeding the VLD through its stream input port) and
+//! the coded audio (feeding the software audio decoder) — while the same
+//! DSP also runs the display task. Video must still decode bit-exactly.
+
+use eclipse_coprocs::apps::AvProgramConfig;
+use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse_core::{EclipseConfig, RunOutcome};
+use eclipse_media::audio;
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::source::{SourceConfig, SyntheticSource};
+use eclipse_media::stream::GopConfig;
+use eclipse_media::Decoder;
+
+#[test]
+fn demuxed_av_program_decodes_bit_exactly() {
+    // Video.
+    let src = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 21 });
+    let frames = src.frames(5);
+    let enc = Encoder::new(EncoderConfig {
+        width: 48,
+        height: 32,
+        qscale: 6,
+        gop: GopConfig { n: 5, m: 1 },
+        search_range: 7,
+    });
+    let (video, _) = enc.encode(&frames);
+    let video_ref = Decoder::decode(&video).unwrap();
+    // Audio.
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 8, 0xDE);
+    let audio_ref = audio::decode(&audio::encode(&pcm));
+
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_av_program("prog", video, &pcm, AvProgramConfig::default());
+    let mut sys = b.build();
+    let summary = sys.run(50_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{:?}", summary.outcome);
+
+    // Video decoded through demux -> VLD(port) -> ... is bit-exact.
+    let out = sys.display_frames("prog").unwrap();
+    assert_eq!(out, video_ref.frames, "demuxed video path corrupted the data");
+
+    // Audio decoded through demux -> audio_dec(port) matches software.
+    let samples = sys.pcm_samples("prog").unwrap();
+    assert_eq!(samples, audio_ref, "demuxed audio path corrupted the data");
+
+    // The DSP time-shared demux + display + audio + pcm sink.
+    let dsp_shell = &sys.sys.shells()[sys.coprocs.dsp];
+    assert_eq!(dsp_shell.tasks().len(), 4);
+    assert!(dsp_shell.sched().switches > 4);
+}
+
+#[test]
+fn av_program_next_to_plain_decode() {
+    // An A/V program and an independent plain decode share the instance.
+    let src_a = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 31 });
+    let enc = Encoder::new(EncoderConfig {
+        width: 48,
+        height: 32,
+        qscale: 6,
+        gop: GopConfig { n: 4, m: 1 },
+        search_range: 7,
+    });
+    let (video_a, _) = enc.encode(&src_a.frames(4));
+    let ref_a = Decoder::decode(&video_a).unwrap();
+    let src_b = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 32 });
+    let (video_b, _) = enc.encode(&src_b.frames(4));
+    let ref_b = Decoder::decode(&video_b).unwrap();
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 4, 5);
+
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_av_program("prog", video_a, &pcm, AvProgramConfig::default());
+    b.add_decode("plain", video_b, eclipse_coprocs::apps::DecodeAppConfig::default());
+    let mut sys = b.build();
+    assert_eq!(sys.run(50_000_000_000).outcome, RunOutcome::AllFinished);
+    assert_eq!(sys.display_frames("prog").unwrap(), ref_a.frames);
+    assert_eq!(sys.display_frames("plain").unwrap(), ref_b.frames);
+}

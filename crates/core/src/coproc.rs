@@ -1,0 +1,237 @@
+//! The coprocessor side of the task-level interface.
+//!
+//! Paper Section 4: coprocessors execute an infinite loop of *processing
+//! steps*. At each step boundary the coprocessor calls `GetTask`; within
+//! a step it inquires for windows with `GetSpace`, transfers data with
+//! `Read`/`Write`, and commits with `PutSpace`. When a mid-step
+//! conditional `GetSpace` is denied, the coprocessor may *abort* the step
+//! — safe because nothing is committed before `PutSpace` — and redo it
+//! from the beginning once space arrives (paper Section 4.2's two-exit
+//! example).
+//!
+//! A simulated coprocessor implements [`Coprocessor`]. Its
+//! [`Coprocessor::step`] runs one processing step against a [`StepCtx`],
+//! which provides the primitives, accounts every cycle of cost (compute,
+//! handshakes, cache stalls, off-chip accesses), and collects the
+//! `putspace` messages for the event loop.
+//!
+//! ## Abort discipline
+//!
+//! `step` receives `&mut self` and may freely mutate per-task state —
+//! but if it returns [`StepResult::Blocked`], the step will be *retried
+//! from the beginning* later, so implementations must not commit
+//! persistent task state before their last conditional `GetSpace`
+//! succeeded (stage locally, commit at the end — the same discipline the
+//! paper imposes on hardware designers).
+
+use eclipse_mem::{Bus, Dram};
+use eclipse_shell::{MemSys, PortId, Shell, SyncMsg, TaskIdx};
+use eclipse_sim::Cycle;
+
+/// Outcome of one processing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The step completed; schedule the next step.
+    Done,
+    /// A conditional `GetSpace` was denied; the step's effects are
+    /// discarded (nothing was committed) and the task is blocked in the
+    /// shell until the space arrives.
+    Blocked,
+    /// The task reached its end of stream and will never run again.
+    Finished,
+}
+
+/// The execution context of one processing step: the five primitives plus
+/// compute-cost accounting and the coprocessor's private off-chip port.
+pub struct StepCtx<'a> {
+    shell: &'a mut Shell,
+    mem: &'a mut MemSys,
+    dram: &'a mut Dram,
+    system_bus: &'a mut Bus,
+    task: TaskIdx,
+    step_start: Cycle,
+    cost: u64,
+    stall: u64,
+    msgs: Vec<SyncMsg>,
+    put_called: bool,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Build a context for one step (called by the system event loop).
+    pub(crate) fn new(
+        shell: &'a mut Shell,
+        mem: &'a mut MemSys,
+        dram: &'a mut Dram,
+        system_bus: &'a mut Bus,
+        task: TaskIdx,
+        step_start: Cycle,
+        initial_cost: u64,
+    ) -> Self {
+        StepCtx {
+            shell,
+            mem,
+            dram,
+            system_bus,
+            task,
+            step_start,
+            cost: initial_cost,
+            stall: 0,
+            msgs: Vec::new(),
+            put_called: false,
+        }
+    }
+
+    /// Current simulated time inside the step.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.step_start + self.cost
+    }
+
+    /// Cycles accumulated so far in this step.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Of which stall cycles (waiting on memory).
+    #[inline]
+    pub fn stall(&self) -> u64 {
+        self.stall
+    }
+
+    /// The task being executed (as the paper's `task_id`).
+    #[inline]
+    pub fn task(&self) -> TaskIdx {
+        self.task
+    }
+
+    /// Account `cycles` of computation.
+    #[inline]
+    pub fn compute(&mut self, cycles: u64) {
+        self.cost += cycles;
+    }
+
+    /// `GetSpace`: inquire for `n_bytes` of data (input port) or room
+    /// (output port). On denial the task is marked blocked in the shell;
+    /// the step implementation should then return [`StepResult::Blocked`]
+    /// (or try another conditional path).
+    pub fn get_space(&mut self, port: PortId, n_bytes: u32) -> bool {
+        self.cost += self.shell.cfg.getspace_cost;
+        let now = self.now();
+        let ok = self.shell.get_space(self.task, port, n_bytes, now);
+        if ok {
+            // GetSpace-triggered prefetch (consumer rows only).
+            self.shell.prefetch_window(self.task, port, n_bytes, now, self.mem);
+        }
+        ok
+    }
+
+    /// `Read` `buf.len()` bytes at `offset` inside the granted window of
+    /// input `port`. Stalls (costs cycles) on cache misses.
+    pub fn read(&mut self, port: PortId, offset: u32, buf: &mut [u8]) {
+        let now = self.now();
+        let done = self.shell.read(self.task, port, offset, buf, now, self.mem);
+        self.stall += done - now;
+        self.cost += done - now;
+    }
+
+    /// `Write` `data` at `offset` inside the granted window of output
+    /// `port`. Absorbed by the shell's write cache.
+    pub fn write(&mut self, port: PortId, offset: u32, data: &[u8]) {
+        let now = self.now();
+        let done = self.shell.write(self.task, port, offset, data, now, self.mem);
+        self.stall += done - now;
+        self.cost += done - now;
+    }
+
+    /// `PutSpace`: commit `n_bytes` on `port`. Producer-side commits
+    /// flush the shell cache before the `putspace` message is released
+    /// (the message transit is handled by the event loop).
+    pub fn put_space(&mut self, port: PortId, n_bytes: u32) {
+        self.cost += self.shell.cfg.putspace_cost;
+        let now = self.now();
+        let outcome = self.shell.put_space(self.task, port, n_bytes, now, self.mem);
+        self.msgs.extend(outcome.msgs);
+        self.put_called = true;
+    }
+
+    /// Read from off-chip memory through this coprocessor's system-bus
+    /// port (VLD bitstream fetch, MC/ME reference access). Stalls for the
+    /// full round trip.
+    pub fn dram_read(&mut self, addr: u32, buf: &mut [u8]) {
+        let now = self.now();
+        let t = self.system_bus.request(now, buf.len() as u32);
+        let access = self.dram.access(t.start, addr, buf.len() as u32);
+        self.dram.read(addr, buf);
+        let done = access.done.max(t.done);
+        self.stall += done - now;
+        self.cost += done - now;
+    }
+
+    /// Read from off-chip memory *pipelined behind a preceding demand
+    /// fetch*: a burst continuation that charges only the data-transfer
+    /// occupancy, not another full round-trip latency. Hardware stream
+    /// units issue the whole gather as one burst train; the first tile
+    /// pays the latency ([`StepCtx::dram_read`]), the rest ride behind it.
+    pub fn dram_read_overlapped(&mut self, addr: u32, buf: &mut [u8]) {
+        let now = self.now();
+        let t = self.system_bus.request(now, buf.len() as u32);
+        let _ = self.dram.access(t.start, addr, buf.len() as u32);
+        self.dram.read(addr, buf);
+        let occupancy = self.system_bus.beats(buf.len() as u32) * self.system_bus.config().cycles_per_beat;
+        self.stall += occupancy;
+        self.cost += occupancy;
+    }
+
+    /// Write to off-chip memory through the system-bus port. Posted
+    /// (pipelined) — costs the bus occupancy, not the full round trip.
+    pub fn dram_write(&mut self, addr: u32, data: &[u8]) {
+        let now = self.now();
+        let t = self.system_bus.request(now, data.len() as u32);
+        let _ = self.dram.access(t.start, addr, data.len() as u32);
+        self.dram.write(addr, data);
+        // Posted write: the coprocessor continues after the bus accepted
+        // the data (one beat handshake).
+        let accept = t.start + 1;
+        self.stall += accept.saturating_sub(now);
+        self.cost += accept.saturating_sub(now);
+    }
+
+    /// Dismantle into (cost, stall, messages, put_called).
+    pub(crate) fn finish(self) -> (u64, u64, Vec<SyncMsg>, bool) {
+        (self.cost, self.stall, self.msgs, self.put_called)
+    }
+}
+
+/// A simulated coprocessor (or the software media processor).
+///
+/// One `Coprocessor` is paired with one [`Shell`]; it may time-share any
+/// number of tasks (paper Section 4.2).
+pub trait Coprocessor {
+    /// Display name ("vld", "dct", "mcme", "rlsq", "dsp-cpu", ...).
+    fn name(&self) -> &str;
+
+    /// Does this coprocessor implement `function` (an
+    /// [`eclipse_kpn::graph::TaskDecl::function`] name)? Used by the
+    /// mapper.
+    fn supports(&self, function: &str) -> bool;
+
+    /// Bind an application task to this coprocessor. `task` is the shell
+    /// task id the coprocessor will see in `GetTask`; `decl` carries the
+    /// function, instance name, and `task_info`. Returns per-port
+    /// scheduler space hints `(inputs, outputs)` — empty vectors mean no
+    /// hints.
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>);
+
+    /// Execute one processing step of `task`. See the module docs for the
+    /// abort discipline.
+    fn step(&mut self, task: TaskIdx, task_info: u32, ctx: &mut StepCtx<'_>) -> StepResult;
+
+    /// Downcast support, so experiments can extract model-specific results
+    /// (e.g. a display task's collected frames) after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}

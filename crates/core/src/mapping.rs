@@ -1,0 +1,312 @@
+//! Mapping Kahn application graphs onto an Eclipse instance.
+//!
+//! Paper Figure 3 / Section 3: applications are configured at run time by
+//! software — stream buffers are allocated in the shared memory and the
+//! shells' stream and task tables are programmed over the PI bus. This
+//! module is that configuration step: given an [`AppGraph`] and the set
+//! of instantiated coprocessors, it
+//!
+//! 1. assigns every task to a coprocessor implementing its function
+//!    (explicit assignments override the automatic choice),
+//! 2. allocates a cyclic buffer per stream from the SRAM,
+//! 3. programs one stream-table row per access point, wiring the
+//!    `putspace` message routes between shells, and
+//! 4. programs the task tables, with space hints and budgets.
+//!
+//! **Port numbering convention:** a task's shell ports are its graph
+//! input ports first (in declaration order), then its output ports. A
+//! coprocessor with 2 inputs and 1 output sees ports 0, 1 (inputs) and
+//! 2 (output).
+
+use std::collections::HashMap;
+
+use eclipse_kpn::graph::{AppGraph, StreamId, TaskId};
+use eclipse_mem::alloc::AllocError;
+use eclipse_mem::CyclicBuffer;
+use eclipse_shell::stream_table::{AccessPoint, PortDir, StreamRowConfig};
+use eclipse_shell::task_table::TaskConfig;
+use eclipse_shell::{RowIdx, TaskIdx};
+
+/// Buffer alignment for stream buffers in SRAM (one bus word).
+pub const BUFFER_ALIGN: u32 = 16;
+
+/// Errors from mapping an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// No instantiated coprocessor supports this function.
+    NoCoprocessor {
+        /// The task that could not be placed.
+        task: String,
+        /// Its function name.
+        function: String,
+    },
+    /// The SRAM has no room for a stream buffer.
+    BufferAlloc {
+        /// The stream whose buffer failed to allocate.
+        stream: String,
+        /// The allocator's diagnosis.
+        cause: AllocError,
+    },
+    /// An explicit assignment names an unknown coprocessor index.
+    BadAssignment {
+        /// The task with the bad assignment.
+        task: String,
+        /// The out-of-range coprocessor index.
+        coproc: usize,
+    },
+    /// An explicit assignment placed a task on a coprocessor that does
+    /// not implement its function.
+    UnsupportedFunction {
+        /// The task with the bad assignment.
+        task: String,
+        /// Its function name.
+        function: String,
+        /// The assigned coprocessor's name.
+        coproc: String,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NoCoprocessor { task, function } => {
+                write!(f, "no coprocessor implements function '{function}' (task '{task}')")
+            }
+            MapError::BufferAlloc { stream, cause } => {
+                write!(f, "cannot allocate buffer for stream '{stream}': {cause}")
+            }
+            MapError::BadAssignment { task, coproc } => {
+                write!(f, "task '{task}' assigned to unknown coprocessor {coproc}")
+            }
+            MapError::UnsupportedFunction { task, function, coproc } => {
+                write!(f, "task '{task}' ('{function}') assigned to coprocessor '{coproc}', which does not implement it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Handles to a mapped application: where every task landed and where
+/// every stream buffer lives.
+#[derive(Debug, Clone, Default)]
+pub struct AppHandles {
+    /// Task instance name → (coprocessor/shell index, shell task id).
+    pub tasks: HashMap<String, (usize, TaskIdx)>,
+    /// Stream name → allocated buffer.
+    pub streams: HashMap<String, CyclicBuffer>,
+}
+
+/// The per-access-point row plan produced by [`plan_rows`]: which shell
+/// gets which rows, with labels for tracing.
+#[derive(Debug)]
+pub(crate) struct RowPlan {
+    /// Stream rows to program, per shell: (config, label).
+    pub rows: Vec<Vec<(StreamRowConfig, String)>>,
+    /// Task rows to program, per shell: (graph task, ports, label).
+    pub tasks: Vec<Vec<PlannedTask>>,
+    /// Buffers allocated per stream (graph order).
+    pub buffers: Vec<CyclicBuffer>,
+}
+
+#[derive(Debug)]
+pub(crate) struct PlannedTask {
+    pub graph_task: TaskId,
+    pub ports: Vec<RowIdx>,
+    pub name: String,
+}
+
+/// Compute the complete table-programming plan for `graph`.
+///
+/// `assign[task] = shell index` for every task (resolved by the builder);
+/// `alloc` carves the stream buffers; `shell_row_base[s]` is the number of
+/// rows shell `s` already has (multi-application mapping stacks rows).
+pub(crate) fn plan_rows(
+    graph: &AppGraph,
+    assign: &[usize],
+    n_shells: usize,
+    shell_row_base: &[u16],
+    mut alloc: impl FnMut(u32) -> Result<CyclicBuffer, AllocError>,
+) -> Result<RowPlan, MapError> {
+    // Allocate buffers per stream.
+    let mut buffers = Vec::with_capacity(graph.streams().len());
+    for (_sid, s) in graph.stream_ids() {
+        let buf = alloc(s.buffer_size)
+            .map_err(|cause| MapError::BufferAlloc { stream: s.name.clone(), cause })?;
+        buffers.push(buf);
+    }
+
+    // First pass: assign a (shell, row) access point to every port.
+    // Row order within a shell follows (task order, inputs then outputs).
+    let mut next_row: Vec<u16> = shell_row_base.to_vec();
+    let mut producer_ap: HashMap<StreamId, AccessPoint> = HashMap::new();
+    let mut consumer_aps: HashMap<StreamId, Vec<AccessPoint>> = HashMap::new();
+    let mut port_rows: Vec<Vec<RowIdx>> = Vec::with_capacity(graph.tasks().len());
+    for (tid, t) in graph.task_ids() {
+        let shell = assign[tid.0 as usize];
+        let mut rows = Vec::with_capacity(t.inputs.len() + t.outputs.len());
+        for &sid in &t.inputs {
+            let row = RowIdx(next_row[shell]);
+            next_row[shell] += 1;
+            rows.push(row);
+            consumer_aps
+                .entry(sid)
+                .or_default()
+                .push(AccessPoint { shell: eclipse_shell::ShellId(shell as u16), row });
+        }
+        for &sid in &t.outputs {
+            let row = RowIdx(next_row[shell]);
+            next_row[shell] += 1;
+            rows.push(row);
+            producer_ap.insert(sid, AccessPoint { shell: eclipse_shell::ShellId(shell as u16), row });
+        }
+        port_rows.push(rows);
+    }
+
+    // Second pass: emit row configs with remotes resolved.
+    let mut rows: Vec<Vec<(StreamRowConfig, String)>> = (0..n_shells).map(|_| Vec::new()).collect();
+    let mut tasks: Vec<Vec<PlannedTask>> = (0..n_shells).map(|_| Vec::new()).collect();
+    for (tid, t) in graph.task_ids() {
+        let shell = assign[tid.0 as usize];
+        for (pi, &sid) in t.inputs.iter().enumerate() {
+            let s = graph.stream(sid);
+            let cfg = StreamRowConfig {
+                buffer: buffers[sid.0 as usize],
+                dir: PortDir::Consumer,
+                remotes: vec![producer_ap[&sid]],
+            };
+            let label = format!("{}:{}.in{}", s.name, t.name, pi);
+            rows[shell].push((cfg, label));
+        }
+        for (pi, &sid) in t.outputs.iter().enumerate() {
+            let s = graph.stream(sid);
+            let cfg = StreamRowConfig {
+                buffer: buffers[sid.0 as usize],
+                dir: PortDir::Producer,
+                remotes: consumer_aps[&sid].clone(),
+            };
+            let label = format!("{}:{}.out{}", s.name, t.name, pi);
+            rows[shell].push((cfg, label));
+        }
+        tasks[shell].push(PlannedTask {
+            graph_task: tid,
+            ports: port_rows[tid.0 as usize].clone(),
+            name: t.name.clone(),
+        });
+    }
+    Ok(RowPlan { rows, tasks, buffers })
+}
+
+/// Build the shell [`TaskConfig`] for a planned task given the
+/// coprocessor's space hints.
+pub(crate) fn task_config(
+    planned: &PlannedTask,
+    decl: &eclipse_kpn::graph::TaskDecl,
+    budget: u64,
+    in_hints: Vec<u32>,
+    out_hints: Vec<u32>,
+) -> TaskConfig {
+    let n_ports = planned.ports.len();
+    let mut hints = Vec::with_capacity(n_ports);
+    for i in 0..decl.inputs.len() {
+        hints.push(in_hints.get(i).copied().unwrap_or(0));
+    }
+    for i in 0..decl.outputs.len() {
+        hints.push(out_hints.get(i).copied().unwrap_or(0));
+    }
+    debug_assert_eq!(hints.len(), n_ports);
+    TaskConfig {
+        name: planned.name.clone(),
+        budget,
+        task_info: decl.task_info,
+        ports: planned.ports.clone(),
+        space_hints: hints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_kpn::GraphBuilder;
+    use eclipse_mem::BufferAllocator;
+
+    fn simple_graph() -> AppGraph {
+        let mut g = GraphBuilder::new("t");
+        let a = g.stream("a", 256);
+        let b = g.stream("b", 128);
+        g.task("src", "gen", 0, &[], &[a]);
+        g.task("mid", "map", 0, &[a], &[b]);
+        g.task("dst", "collect", 0, &[b], &[]);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn plans_rows_and_wires_remotes() {
+        let g = simple_graph();
+        let mut alloc = BufferAllocator::new(0, 4096);
+        // src -> shell 0, mid -> shell 1, dst -> shell 0 (multi-tasking).
+        let plan = plan_rows(&g, &[0, 1, 0], 2, &[0, 0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        // Shell 0 rows: src.out0 (stream a), dst.in0 (stream b).
+        assert_eq!(plan.rows[0].len(), 2);
+        // Shell 1 rows: mid.in0 (a), mid.out0 (b).
+        assert_eq!(plan.rows[1].len(), 2);
+        // src.out0's remote must be mid.in0 = shell 1 row 0.
+        let (src_out, label) = &plan.rows[0][0];
+        assert_eq!(label, "a:src.out0");
+        assert_eq!(src_out.dir, PortDir::Producer);
+        assert_eq!(src_out.remotes, vec![AccessPoint { shell: eclipse_shell::ShellId(1), row: RowIdx(0) }]);
+        // mid.in0's remote is src.out0 = shell 0 row 0.
+        let (mid_in, _) = &plan.rows[1][0];
+        assert_eq!(mid_in.dir, PortDir::Consumer);
+        assert_eq!(mid_in.remotes, vec![AccessPoint { shell: eclipse_shell::ShellId(0), row: RowIdx(0) }]);
+        // Buffers are disjoint.
+        assert_ne!(plan.buffers[0].base, plan.buffers[1].base);
+        // Tasks grouped per shell.
+        assert_eq!(plan.tasks[0].len(), 2);
+        assert_eq!(plan.tasks[1].len(), 1);
+    }
+
+    #[test]
+    fn row_base_offsets_multi_app_rows() {
+        let g = simple_graph();
+        let mut alloc = BufferAllocator::new(0, 4096);
+        let plan = plan_rows(&g, &[0, 0, 0], 1, &[5], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        // With 5 preexisting rows, the first new row is index 5.
+        assert_eq!(plan.tasks[0][0].ports, vec![RowIdx(5)]);
+    }
+
+    #[test]
+    fn forked_stream_gets_all_consumers_as_remotes() {
+        let mut g = GraphBuilder::new("fork");
+        let s = g.stream("s", 64);
+        g.task("p", "gen", 0, &[], &[s]);
+        g.task("c1", "collect", 0, &[s], &[]);
+        g.task("c2", "collect", 0, &[s], &[]);
+        let g = g.build().unwrap();
+        let mut alloc = BufferAllocator::new(0, 4096);
+        let plan = plan_rows(&g, &[0, 1, 1], 2, &[0, 0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        let (p_out, _) = &plan.rows[0][0];
+        assert_eq!(p_out.remotes.len(), 2);
+    }
+
+    #[test]
+    fn alloc_failure_is_reported_with_stream_name() {
+        let g = simple_graph();
+        let mut alloc = BufferAllocator::new(0, 100); // too small
+        let err = plan_rows(&g, &[0, 0, 0], 1, &[0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap_err();
+        match err {
+            MapError::BufferAlloc { stream, .. } => assert_eq!(stream, "a"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_config_combines_hints_in_port_order() {
+        let g = simple_graph();
+        let decl = g.task(g.task_by_name("mid").unwrap());
+        let planned = PlannedTask { graph_task: TaskId(1), ports: vec![RowIdx(0), RowIdx(1)], name: "mid".into() };
+        let cfg = task_config(&planned, decl, 1000, vec![128], vec![64]);
+        assert_eq!(cfg.space_hints, vec![128, 64]);
+        assert_eq!(cfg.budget, 1000);
+    }
+}

@@ -1,0 +1,183 @@
+//! Analytical area / power / performance model of an Eclipse instance.
+//!
+//! Reproduces the silicon estimates of paper Section 6 for the first
+//! Eclipse instance in 0.18 µm CMOS at 150 MHz:
+//!
+//! * total area below 7 mm² (excluding the DSP-CPU), of which 1.7 mm² for
+//!   the 32 kB on-chip SRAM and 2.0 mm² for the programmable VLD;
+//! * total power below 240 mW while decoding two HD MPEG-2 streams;
+//! * computational performance of roughly 36 Gops for dual-HD decoding,
+//!   counted on mostly 16-bit data.
+//!
+//! This is a *model*, not a measurement: the constants are calibrated to
+//! the paper's published numbers (the paper itself presents them as
+//! pre-layout estimates). The value of reproducing it is that the same
+//! formulas then extrapolate to other template configurations (more
+//! coprocessors, bigger SRAM, wider buses) in the design-space benches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::EclipseConfig;
+
+/// Area model constants (0.18 µm CMOS, from the paper's instance).
+pub mod constants {
+    /// SRAM area per kB, mm² (1.7 mm² / 32 kB).
+    pub const SRAM_MM2_PER_KB: f64 = 1.7 / 32.0;
+    /// The programmable VLD coprocessor, mm².
+    pub const VLD_MM2: f64 = 2.0;
+    /// RLSQ coprocessor (run-length + scan + quant, both directions), mm².
+    pub const RLSQ_MM2: f64 = 0.55;
+    /// DCT coprocessor (forward + inverse), mm².
+    pub const DCT_MM2: f64 = 0.75;
+    /// MC/ME coprocessor, mm².
+    pub const MCME_MM2: f64 = 1.0;
+    /// One coprocessor shell (tables + scheduler + sync logic), mm².
+    pub const SHELL_MM2: f64 = 0.10;
+    /// Shell cache area per kB, mm² (register-file style).
+    pub const CACHE_MM2_PER_KB: f64 = 0.05;
+    /// Bus + glue per shell port, mm².
+    pub const BUS_MM2_PER_PORT: f64 = 0.04;
+
+    /// Power density: mW per mm² of *active* logic at 150 MHz, 0.18 µm.
+    pub const MW_PER_MM2_ACTIVE: f64 = 48.0;
+    /// SRAM access energy coefficient: mW per (GB/s of traffic).
+    pub const MW_PER_GBS: f64 = 18.0;
+
+    /// Ops per macroblock for each decode stage (16-bit ops; calibrated
+    /// so dual-HD decode lands at the paper's ~36 Gops).
+    pub const OPS_PER_MB_VLD: f64 = 9_000.0;
+    /// See [`OPS_PER_MB_VLD`].
+    pub const OPS_PER_MB_RLSQ: f64 = 14_000.0;
+    /// See [`OPS_PER_MB_VLD`].
+    pub const OPS_PER_MB_DCT: f64 = 28_000.0;
+    /// See [`OPS_PER_MB_VLD`].
+    pub const OPS_PER_MB_MC: f64 = 22_000.0;
+}
+
+/// One line of the area/power report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentEstimate {
+    /// Component name.
+    pub name: String,
+    /// Estimated silicon area in mm².
+    pub area_mm2: f64,
+    /// Estimated power at the given activity, mW.
+    pub power_mw: f64,
+}
+
+/// The full instance estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceEstimate {
+    /// Per-component breakdown.
+    pub components: Vec<ComponentEstimate>,
+    /// Total area, mm².
+    pub total_area_mm2: f64,
+    /// Total power, mW.
+    pub total_power_mw: f64,
+    /// Aggregate computational performance, Gops.
+    pub gops: f64,
+}
+
+/// Workload description for the power/performance half of the model.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadModel {
+    /// Macroblocks decoded per second (all streams combined). Dual-HD
+    /// (2 × 1920×1088 @ 30 Hz) is 2 × 8160 × 30 = 489 600 MB/s.
+    pub mb_per_sec: f64,
+    /// Average utilization of the coprocessors (0..1).
+    pub utilization: f64,
+    /// SRAM traffic in GB/s.
+    pub sram_gbs: f64,
+}
+
+impl WorkloadModel {
+    /// The paper's headline workload: simultaneous decoding of two HD
+    /// MPEG-2 streams.
+    pub fn dual_hd_decode() -> Self {
+        WorkloadModel { mb_per_sec: 2.0 * 8160.0 * 30.0, utilization: 0.75, sram_gbs: 1.8 }
+    }
+
+    /// Standard-definition decode of one stream (720×576 @ 25 Hz).
+    pub fn sd_decode() -> Self {
+        WorkloadModel { mb_per_sec: 1620.0 * 25.0, utilization: 0.15, sram_gbs: 0.15 }
+    }
+}
+
+/// Estimate the paper's first instance (VLD + RLSQ + DCT + MC/ME, shared
+/// SRAM) for a given template configuration and workload.
+pub fn estimate_instance(cfg: &EclipseConfig, workload: &WorkloadModel) -> InstanceEstimate {
+    use constants::*;
+    let sram_kb = cfg.sram.size as f64 / 1024.0;
+    let cache_kb_per_shell = {
+        let c = cfg.shell.cache;
+        (c.lines as f64 * c.line_bytes as f64) / 1024.0 * 2.0 // read + write rows, rough doubling
+    };
+    let coprocs: [(&str, f64, f64); 4] = [
+        ("vld", VLD_MM2, OPS_PER_MB_VLD),
+        ("rlsq", RLSQ_MM2, OPS_PER_MB_RLSQ),
+        ("dct", DCT_MM2, OPS_PER_MB_DCT),
+        ("mc/me", MCME_MM2, OPS_PER_MB_MC),
+    ];
+
+    let mut components = Vec::new();
+    let mut gops = 0.0;
+    for (name, area, ops_per_mb) in coprocs {
+        let shell_area = SHELL_MM2 + cache_kb_per_shell * CACHE_MM2_PER_KB + 2.0 * BUS_MM2_PER_PORT;
+        let power = (area + shell_area) * MW_PER_MM2_ACTIVE * workload.utilization;
+        components.push(ComponentEstimate {
+            name: format!("{name} (+shell)"),
+            area_mm2: area + shell_area,
+            power_mw: power,
+        });
+        gops += ops_per_mb * workload.mb_per_sec / 1e9;
+    }
+    let sram_area = sram_kb * SRAM_MM2_PER_KB;
+    components.push(ComponentEstimate {
+        name: format!("sram {}kB", sram_kb as u32),
+        area_mm2: sram_area,
+        power_mw: workload.sram_gbs * MW_PER_GBS,
+    });
+
+    let total_area_mm2 = components.iter().map(|c| c.area_mm2).sum();
+    let total_power_mw = components.iter().map(|c| c.power_mw).sum();
+    InstanceEstimate { components, total_area_mm2, total_power_mw, gops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_hd_matches_paper_envelope() {
+        let est = estimate_instance(&EclipseConfig::default(), &WorkloadModel::dual_hd_decode());
+        // Paper: < 7 mm² total, 1.7 mm² SRAM, 2.0 mm² VLD, < 240 mW,
+        // ~36 Gops.
+        assert!(est.total_area_mm2 < 7.0, "area {:.2} mm²", est.total_area_mm2);
+        assert!(est.total_area_mm2 > 5.0, "area {:.2} mm² suspiciously small", est.total_area_mm2);
+        let sram = est.components.iter().find(|c| c.name.starts_with("sram")).unwrap();
+        assert!((sram.area_mm2 - 1.7).abs() < 0.01);
+        let vld = est.components.iter().find(|c| c.name.starts_with("vld")).unwrap();
+        assert!(vld.area_mm2 >= 2.0 && vld.area_mm2 < 2.6);
+        assert!(est.total_power_mw < 240.0, "power {:.0} mW", est.total_power_mw);
+        assert!(est.total_power_mw > 120.0, "power {:.0} mW suspiciously low", est.total_power_mw);
+        assert!((est.gops - 36.0).abs() < 4.0, "gops {:.1}", est.gops);
+    }
+
+    #[test]
+    fn bigger_sram_costs_area() {
+        let small = estimate_instance(&EclipseConfig::default(), &WorkloadModel::dual_hd_decode());
+        let big = estimate_instance(
+            &EclipseConfig::default().with_sram_size(64 * 1024),
+            &WorkloadModel::dual_hd_decode(),
+        );
+        assert!(big.total_area_mm2 > small.total_area_mm2 + 1.5);
+    }
+
+    #[test]
+    fn sd_decode_needs_far_less_power() {
+        let hd = estimate_instance(&EclipseConfig::default(), &WorkloadModel::dual_hd_decode());
+        let sd = estimate_instance(&EclipseConfig::default(), &WorkloadModel::sd_decode());
+        assert!(sd.total_power_mw < hd.total_power_mw / 3.0);
+        assert!(sd.gops < hd.gops / 8.0);
+    }
+}

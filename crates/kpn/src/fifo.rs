@@ -1,0 +1,358 @@
+//! Bounded, windowed FIFO with Eclipse synchronization semantics, for the
+//! multi-threaded host runtime.
+//!
+//! This is the software twin of the hardware stream buffer + shell
+//! synchronization of paper Sections 4.1/5.1: a fixed-size cyclic buffer
+//! where the producer and each consumer own an *access point* and acquire
+//! private windows ahead of it with `GetSpace`, transfer bytes at arbitrary
+//! offsets inside the window with `Read`/`Write`, and commit progress with
+//! `PutSpace`. Synchronization granularity is therefore independent of
+//! transport granularity.
+//!
+//! Supports one producer and one or more consumers (forked streams): every
+//! byte must be consumed by *all* consumers before its space is recycled.
+//!
+//! End-of-stream is a host-runtime addition (hardware streams run forever;
+//! host programs terminate): the producer [`Fifo::close`]s the stream and
+//! blocked consumers learn that the remaining data is all there is.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Configuration of one host FIFO.
+#[derive(Debug, Clone, Copy)]
+pub struct FifoConfig {
+    /// Cyclic buffer capacity in bytes.
+    pub capacity: usize,
+    /// Number of consumer access points (>= 1).
+    pub consumers: usize,
+}
+
+struct State {
+    /// The cyclic byte buffer.
+    buf: Vec<u8>,
+    /// Total bytes ever committed by the producer.
+    produced: u64,
+    /// Total bytes ever committed (released) per consumer.
+    consumed: Vec<u64>,
+    /// Producer has closed the stream.
+    closed: bool,
+}
+
+impl State {
+    fn free_space(&self) -> usize {
+        let min_consumed = self.consumed.iter().copied().min().unwrap_or(self.produced);
+        self.buf.len() - (self.produced - min_consumed) as usize
+    }
+
+    fn available(&self, consumer: usize) -> usize {
+        (self.produced - self.consumed[consumer]) as usize
+    }
+}
+
+/// A bounded cyclic FIFO with windowed (GetSpace/PutSpace) synchronization.
+pub struct Fifo {
+    state: Mutex<State>,
+    /// Signalled when space is freed or the stream closes.
+    space_freed: Condvar,
+    /// Signalled when data is produced or the stream closes.
+    data_ready: Condvar,
+}
+
+impl Fifo {
+    /// A new empty FIFO.
+    pub fn new(cfg: FifoConfig) -> Self {
+        assert!(cfg.capacity > 0, "FIFO capacity must be non-zero");
+        assert!(cfg.consumers >= 1, "FIFO needs at least one consumer");
+        Fifo {
+            state: Mutex::new(State {
+                buf: vec![0; cfg.capacity],
+                produced: 0,
+                consumed: vec![0; cfg.consumers],
+                closed: false,
+            }),
+            space_freed: Condvar::new(),
+            data_ready: Condvar::new(),
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+
+    /// Total bytes committed by the producer so far.
+    pub fn produced(&self) -> u64 {
+        self.state.lock().produced
+    }
+
+    // ---- producer side -------------------------------------------------
+
+    /// Non-blocking inquiry: is there room for `n` more bytes?
+    pub fn producer_get_space(&self, n: usize) -> bool {
+        self.state.lock().free_space() >= n
+    }
+
+    /// Block until `n` bytes of room are available. Panics if `n` exceeds
+    /// the buffer capacity (can never succeed — a configuration error).
+    pub fn producer_wait_space(&self, n: usize) {
+        let mut st = self.state.lock();
+        assert!(n <= st.buf.len(), "requested window {} exceeds FIFO capacity {}", n, st.buf.len());
+        while st.free_space() < n {
+            self.space_freed.wait(&mut st);
+        }
+    }
+
+    /// Write `data` at byte `offset` ahead of the producer access point.
+    /// The caller must have established a window of at least
+    /// `offset + data.len()` via `producer_wait_space`/`producer_get_space`.
+    pub fn producer_write(&self, offset: usize, data: &[u8]) {
+        let mut st = self.state.lock();
+        debug_assert!(
+            offset + data.len() <= st.free_space(),
+            "write outside granted window: offset {} + len {} > free {}",
+            offset,
+            data.len(),
+            st.free_space()
+        );
+        let cap = st.buf.len();
+        let start = (st.produced as usize + offset) % cap;
+        let first = data.len().min(cap - start);
+        st.buf[start..start + first].copy_from_slice(&data[..first]);
+        if first < data.len() {
+            let rest = data.len() - first;
+            st.buf[..rest].copy_from_slice(&data[first..]);
+        }
+    }
+
+    /// Commit `n` produced bytes, advancing the producer access point and
+    /// waking consumers.
+    pub fn producer_put_space(&self, n: usize) {
+        let mut st = self.state.lock();
+        debug_assert!(n <= st.free_space(), "committing more than the granted window");
+        st.produced += n as u64;
+        drop(st);
+        self.data_ready.notify_all();
+    }
+
+    /// Close the stream: no more data will be produced. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.data_ready.notify_all();
+        self.space_freed.notify_all();
+    }
+
+    // ---- consumer side -------------------------------------------------
+
+    /// Non-blocking inquiry: are `n` bytes available for consumer `c`?
+    pub fn consumer_get_space(&self, c: usize, n: usize) -> bool {
+        self.state.lock().available(c) >= n
+    }
+
+    /// Block until `n` bytes are available for consumer `c`, or the stream
+    /// is closed with fewer remaining. Returns `true` if the window was
+    /// granted, `false` on end-of-stream.
+    pub fn consumer_wait_space(&self, c: usize, n: usize) -> bool {
+        let mut st = self.state.lock();
+        assert!(n <= st.buf.len(), "requested window {} exceeds FIFO capacity {}", n, st.buf.len());
+        loop {
+            if st.available(c) >= n {
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            self.data_ready.wait(&mut st);
+        }
+    }
+
+    /// Bytes currently available to consumer `c` (for end-of-stream
+    /// draining of partial tails).
+    pub fn consumer_available(&self, c: usize) -> usize {
+        self.state.lock().available(c)
+    }
+
+    /// True once the producer has closed the stream.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Read `buf.len()` bytes from offset `offset` ahead of consumer `c`'s
+    /// access point. The caller must hold a granted window covering the
+    /// range.
+    pub fn consumer_read(&self, c: usize, offset: usize, buf: &mut [u8]) {
+        let st = self.state.lock();
+        debug_assert!(
+            offset + buf.len() <= st.available(c),
+            "read outside granted window: offset {} + len {} > available {}",
+            offset,
+            buf.len(),
+            st.available(c)
+        );
+        let cap = st.buf.len();
+        let start = (st.consumed[c] as usize + offset) % cap;
+        let first = buf.len().min(cap - start);
+        buf[..first].copy_from_slice(&st.buf[start..start + first]);
+        if first < buf.len() {
+            let rest = buf.len() - first;
+            buf[first..].copy_from_slice(&st.buf[..rest]);
+        }
+    }
+
+    /// Release `n` consumed bytes for consumer `c`, potentially freeing
+    /// space for the producer (only when all consumers have released).
+    pub fn consumer_put_space(&self, c: usize, n: usize) {
+        let mut st = self.state.lock();
+        debug_assert!(n <= st.available(c), "releasing more than available");
+        st.consumed[c] += n as u64;
+        drop(st);
+        self.space_freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fifo(cap: usize, consumers: usize) -> Fifo {
+        Fifo::new(FifoConfig { capacity: cap, consumers })
+    }
+
+    #[test]
+    fn basic_produce_consume() {
+        let f = fifo(16, 1);
+        assert!(f.producer_get_space(8));
+        f.producer_write(0, &[1, 2, 3, 4]);
+        f.producer_put_space(4);
+        assert!(f.consumer_get_space(0, 4));
+        let mut buf = [0u8; 4];
+        f.consumer_read(0, 0, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        f.consumer_put_space(0, 4);
+        assert!(f.producer_get_space(16));
+    }
+
+    #[test]
+    fn wraps_around() {
+        let f = fifo(8, 1);
+        for round in 0u8..10 {
+            let data = [round, round.wrapping_add(1), round.wrapping_add(2)];
+            f.producer_wait_space(3);
+            f.producer_write(0, &data);
+            f.producer_put_space(3);
+            let mut buf = [0u8; 3];
+            assert!(f.consumer_wait_space(0, 3));
+            f.consumer_read(0, 0, &mut buf);
+            assert_eq!(buf, data);
+            f.consumer_put_space(0, 3);
+        }
+    }
+
+    #[test]
+    fn window_reads_at_offsets() {
+        let f = fifo(32, 1);
+        f.producer_write(0, b"abcdefgh");
+        f.producer_put_space(8);
+        let mut buf = [0u8; 2];
+        f.consumer_read(0, 3, &mut buf); // random access inside the window
+        assert_eq!(&buf, b"de");
+        f.consumer_read(0, 0, &mut buf);
+        assert_eq!(&buf, b"ab");
+    }
+
+    #[test]
+    fn space_is_min_over_consumers() {
+        let f = fifo(8, 2);
+        f.producer_write(0, &[9; 8]);
+        f.producer_put_space(8);
+        f.consumer_put_space(0, 8); // consumer 0 done
+        // Consumer 1 hasn't released — still no room.
+        assert!(!f.producer_get_space(1));
+        f.consumer_put_space(1, 8);
+        assert!(f.producer_get_space(8));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let f = Arc::new(fifo(8, 1));
+        let g = f.clone();
+        let h = std::thread::spawn(move || g.consumer_wait_space(0, 4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.producer_write(0, &[1, 2]);
+        f.producer_put_space(2);
+        f.close();
+        // Only 2 of the requested 4 bytes exist -> EOS.
+        assert!(!h.join().unwrap());
+        assert_eq!(f.consumer_available(0), 2);
+    }
+
+    #[test]
+    fn producer_blocks_until_space_freed() {
+        let f = Arc::new(fifo(8, 1));
+        f.producer_write(0, &[0; 8]);
+        f.producer_put_space(8);
+        let g = f.clone();
+        let h = std::thread::spawn(move || {
+            g.producer_wait_space(4);
+            g.producer_write(0, b"wxyz");
+            g.producer_put_space(4);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.consumer_put_space(0, 4); // free 4 bytes
+        h.join().unwrap();
+        assert!(f.consumer_wait_space(0, 8));
+        let mut buf = [0u8; 8];
+        f.consumer_read(0, 0, &mut buf);
+        assert_eq!(&buf[4..], b"wxyz");
+    }
+
+    #[test]
+    fn threaded_pipeline_transfers_all_bytes() {
+        let f = Arc::new(fifo(64, 1));
+        let total: usize = 100_000;
+        let g = f.clone();
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0usize;
+            while sent < total {
+                let chunk = (total - sent).min(7);
+                let data: Vec<u8> = (0..chunk).map(|i| ((sent + i) % 251) as u8).collect();
+                g.producer_wait_space(chunk);
+                g.producer_write(0, &data);
+                g.producer_put_space(chunk);
+                sent += chunk;
+            }
+            g.close();
+        });
+        let mut received = Vec::with_capacity(total);
+        loop {
+            if f.consumer_wait_space(0, 13) {
+                let mut buf = [0u8; 13];
+                f.consumer_read(0, 0, &mut buf);
+                f.consumer_put_space(0, 13);
+                received.extend_from_slice(&buf);
+            } else {
+                // EOS: drain the tail.
+                let tail = f.consumer_available(0);
+                let mut buf = vec![0u8; tail];
+                f.consumer_read(0, 0, &mut buf);
+                f.consumer_put_space(0, tail);
+                received.extend_from_slice(&buf);
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(received.len(), total);
+        for (i, &b) in received.iter().enumerate() {
+            assert_eq!(b, (i % 251) as u8, "byte {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds FIFO capacity")]
+    fn oversized_window_request_panics() {
+        let f = fifo(8, 1);
+        f.producer_wait_space(9);
+    }
+}

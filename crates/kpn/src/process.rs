@@ -1,0 +1,242 @@
+//! The process (task body) abstraction for the host runtime, plus reusable
+//! combinators.
+//!
+//! A [`Process`] is the software body of one Kahn task. It receives a
+//! [`ProcessCtx`] exposing the Eclipse primitives on the task's ports —
+//! the same window discipline the hardware coprocessors use, in blocking
+//! form (a software task that cannot proceed simply blocks its thread; the
+//! OS scheduler plays the role of the shell's task scheduler).
+
+use crate::fifo::Fifo;
+use std::sync::Arc;
+
+/// Addresses one port of the running task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// Input port by index (declaration order in the graph).
+    In(usize),
+    /// Output port by index.
+    Out(usize),
+}
+
+/// Services available to a running process, mirroring the five Eclipse
+/// primitives (minus `GetTask`, which the threading model subsumes).
+pub trait ProcessCtx {
+    /// Non-blocking window inquiry: `n` bytes of data (input port) or room
+    /// (output port) available?
+    fn get_space(&self, port: Port, n: usize) -> bool;
+
+    /// Blocking window acquisition. Returns `false` on an input port when
+    /// the stream has ended with fewer than `n` bytes remaining. On output
+    /// ports it always returns `true` (blocks until room frees up).
+    fn wait_space(&self, port: Port, n: usize) -> bool;
+
+    /// Read `buf.len()` bytes at `offset` inside the granted window of an
+    /// input port.
+    fn read(&self, port: Port, offset: usize, buf: &mut [u8]);
+
+    /// Write `data` at `offset` inside the granted window of an output
+    /// port.
+    fn write(&self, port: Port, offset: usize, data: &[u8]);
+
+    /// Commit `n` bytes: consumed data on an input port, produced data on
+    /// an output port.
+    fn put_space(&self, port: Port, n: usize);
+
+    /// Bytes currently available on an input port (for draining tails at
+    /// end-of-stream).
+    fn available(&self, port: Port) -> usize;
+
+    /// True if the producer of this input port has closed the stream.
+    fn is_closed(&self, port: Port) -> bool;
+}
+
+/// The body of one Kahn task.
+pub trait Process: Send {
+    /// Run to completion. Output streams are closed automatically by the
+    /// runtime when `run` returns.
+    fn run(&mut self, ctx: &dyn ProcessCtx);
+}
+
+/// The concrete context handed to processes by the runtime: the FIFOs
+/// bound to this task's ports.
+pub(crate) struct TaskCtx {
+    /// (fifo, consumer index) per input port.
+    pub inputs: Vec<(Arc<Fifo>, usize)>,
+    /// fifo per output port.
+    pub outputs: Vec<Arc<Fifo>>,
+}
+
+impl ProcessCtx for TaskCtx {
+    fn get_space(&self, port: Port, n: usize) -> bool {
+        match port {
+            Port::In(i) => {
+                let (f, c) = &self.inputs[i];
+                f.consumer_get_space(*c, n)
+            }
+            Port::Out(o) => self.outputs[o].producer_get_space(n),
+        }
+    }
+
+    fn wait_space(&self, port: Port, n: usize) -> bool {
+        match port {
+            Port::In(i) => {
+                let (f, c) = &self.inputs[i];
+                f.consumer_wait_space(*c, n)
+            }
+            Port::Out(o) => {
+                self.outputs[o].producer_wait_space(n);
+                true
+            }
+        }
+    }
+
+    fn read(&self, port: Port, offset: usize, buf: &mut [u8]) {
+        match port {
+            Port::In(i) => {
+                let (f, c) = &self.inputs[i];
+                f.consumer_read(*c, offset, buf);
+            }
+            Port::Out(_) => panic!("read on an output port"),
+        }
+    }
+
+    fn write(&self, port: Port, offset: usize, data: &[u8]) {
+        match port {
+            Port::Out(o) => self.outputs[o].producer_write(offset, data),
+            Port::In(_) => panic!("write on an input port"),
+        }
+    }
+
+    fn put_space(&self, port: Port, n: usize) {
+        match port {
+            Port::In(i) => {
+                let (f, c) = &self.inputs[i];
+                f.consumer_put_space(*c, n);
+            }
+            Port::Out(o) => self.outputs[o].producer_put_space(n),
+        }
+    }
+
+    fn available(&self, port: Port) -> usize {
+        match port {
+            Port::In(i) => {
+                let (f, c) = &self.inputs[i];
+                f.consumer_available(*c)
+            }
+            Port::Out(o) => panic!("available() on output port {o}"),
+        }
+    }
+
+    fn is_closed(&self, port: Port) -> bool {
+        match port {
+            Port::In(i) => self.inputs[i].0.is_closed(),
+            Port::Out(o) => panic!("is_closed() on output port {o}"),
+        }
+    }
+}
+
+// ---- combinators --------------------------------------------------------
+
+/// A source that emits the bytes produced by a closure until it returns
+/// `None`, in chunks.
+pub struct SourceFn<F> {
+    f: F,
+}
+
+impl<F: FnMut() -> Option<Vec<u8>> + Send> SourceFn<F> {
+    /// Create a source from a chunk generator.
+    pub fn new(f: F) -> Self {
+        SourceFn { f }
+    }
+}
+
+impl<F: FnMut() -> Option<Vec<u8>> + Send> Process for SourceFn<F> {
+    fn run(&mut self, ctx: &dyn ProcessCtx) {
+        while let Some(chunk) = (self.f)() {
+            if chunk.is_empty() {
+                continue;
+            }
+            ctx.wait_space(Port::Out(0), chunk.len());
+            ctx.write(Port::Out(0), 0, &chunk);
+            ctx.put_space(Port::Out(0), chunk.len());
+        }
+    }
+}
+
+/// A 1-in/1-out transformer applying a closure to fixed-size input blocks.
+/// A partial tail at end-of-stream is passed through the closure as well.
+pub struct MapFn<F> {
+    block: usize,
+    f: F,
+}
+
+impl<F: FnMut(&[u8]) -> Vec<u8> + Send> MapFn<F> {
+    /// Create a mapper operating on `block`-byte units.
+    pub fn new(block: usize, f: F) -> Self {
+        assert!(block > 0);
+        MapFn { block, f }
+    }
+}
+
+impl<F: FnMut(&[u8]) -> Vec<u8> + Send> Process for MapFn<F> {
+    fn run(&mut self, ctx: &dyn ProcessCtx) {
+        let mut buf = vec![0u8; self.block];
+        loop {
+            let n = if ctx.wait_space(Port::In(0), self.block) {
+                self.block
+            } else {
+                let tail = ctx.available(Port::In(0));
+                if tail == 0 {
+                    return;
+                }
+                tail
+            };
+            ctx.read(Port::In(0), 0, &mut buf[..n]);
+            ctx.put_space(Port::In(0), n);
+            let out = (self.f)(&buf[..n]);
+            if !out.is_empty() {
+                ctx.wait_space(Port::Out(0), out.len());
+                ctx.write(Port::Out(0), 0, &out);
+                ctx.put_space(Port::Out(0), out.len());
+            }
+            if n < self.block {
+                return; // consumed the EOS tail
+            }
+        }
+    }
+}
+
+/// A sink that appends every received byte to a shared vector.
+pub struct SinkCollect {
+    /// Collected bytes, shared with the test/driver via `Arc<Mutex<_>>`.
+    pub out: Arc<parking_lot::Mutex<Vec<u8>>>,
+}
+
+impl SinkCollect {
+    /// Create a sink and return (process, shared output handle).
+    pub fn new() -> (Self, Arc<parking_lot::Mutex<Vec<u8>>>) {
+        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        (SinkCollect { out: out.clone() }, out)
+    }
+}
+
+impl Process for SinkCollect {
+    fn run(&mut self, ctx: &dyn ProcessCtx) {
+        // Greedy drain: wait for *one* byte, then take whatever is there.
+        // Demanding a large fixed window here would be the window-sizing
+        // deadlock the paper's §4.2 warns about: a consumer must never
+        // require more contiguous data than producers can commit without
+        // the consumer draining first.
+        let mut buf = [0u8; 256];
+        loop {
+            if !ctx.wait_space(Port::In(0), 1) {
+                return; // closed and empty
+            }
+            let n = ctx.available(Port::In(0)).min(buf.len());
+            ctx.read(Port::In(0), 0, &mut buf[..n]);
+            ctx.put_space(Port::In(0), n);
+            self.out.lock().extend_from_slice(&buf[..n]);
+        }
+    }
+}

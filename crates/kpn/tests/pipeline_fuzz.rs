@@ -1,0 +1,65 @@
+//! Property tests of the host KPN runtime: random linear pipelines with
+//! random stage block sizes and buffer capacities must transfer every
+//! byte unchanged (modulo the stages' deterministic transforms), for any
+//! thread interleaving the OS produces.
+
+use eclipse_kpn::{GraphBuilder, HostRuntime, Process};
+use eclipse_kpn::process::{MapFn, SinkCollect, SourceFn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// source -> N mappers -> sink moves every byte through arbitrary
+    /// block sizes and buffer capacities.
+    #[test]
+    fn random_linear_pipelines_preserve_data(
+        total in 1usize..4000,
+        chunk in 1usize..64,
+        stage_blocks in proptest::collection::vec(1usize..48, 1..4),
+        buf_extra in 0u32..256,
+    ) {
+        let n_stages = stage_blocks.len();
+        let mut g = GraphBuilder::new("fuzz");
+        // Buffers must admit the largest single window a stage requests:
+        // the sink reads 256-byte chunks; stages read their block size.
+        let cap = 256 + buf_extra;
+        let mut streams = Vec::new();
+        for i in 0..=n_stages {
+            streams.push(g.stream(format!("s{i}"), cap));
+        }
+        g.task("src", "gen", 0, &[], &[streams[0]]);
+        for (i, _) in stage_blocks.iter().enumerate() {
+            g.task(format!("map{i}"), "map", 0, &[streams[i]], &[streams[i + 1]]);
+        }
+        g.task("dst", "collect", 0, &[streams[n_stages]], &[]);
+        let graph = g.build().unwrap();
+
+        let mut procs: Vec<Box<dyn Process>> = Vec::new();
+        let mut sent = 0usize;
+        procs.push(Box::new(SourceFn::new(move || {
+            if sent >= total {
+                return None;
+            }
+            let n = chunk.min(total - sent);
+            let v: Vec<u8> = (0..n).map(|i| ((sent + i) % 251) as u8).collect();
+            sent += n;
+            Some(v)
+        })));
+        for &block in &stage_blocks {
+            procs.push(Box::new(MapFn::new(block, |b| b.iter().map(|x| x.wrapping_add(1)).collect())));
+        }
+        let (sink, out) = SinkCollect::new();
+        procs.push(Box::new(sink));
+
+        let report = HostRuntime::run(&graph, procs);
+        let out = out.lock();
+        prop_assert_eq!(out.len(), total);
+        let shift = n_stages as u8;
+        for (i, &b) in out.iter().enumerate() {
+            prop_assert_eq!(b, ((i % 251) as u8).wrapping_add(shift), "byte {}", i);
+        }
+        prop_assert_eq!(report.stream_bytes[0], total as u64);
+        prop_assert_eq!(report.stream_bytes[n_stages], total as u64);
+    }
+}

@@ -1,0 +1,252 @@
+//! Integer 8×8 forward and inverse DCT.
+//!
+//! The DCT coprocessor of the paper's Eclipse instance time-shares the
+//! forward DCT (encoding) and inverse DCT (decoding) functions. This
+//! module is the *functional* kernel both the software codec and the
+//! simulated coprocessor execute, so the two produce identical results.
+//!
+//! The implementation is a separable fixed-point orthonormal DCT-II with a
+//! 13-bit cosine table and 32-bit accumulation. Encoder reconstruction and
+//! decoder use the same [`idct2d`], so quantization is the only source of
+//! loss in the codec.
+
+/// Number of coefficients / samples in an 8x8 block.
+pub const BLOCK_LEN: usize = 64;
+
+/// A block of spatial samples or transform coefficients in raster order.
+pub type Block = [i16; BLOCK_LEN];
+
+/// Fixed-point scale: 13 fractional bits.
+const SCALE_BITS: u32 = 13;
+const ONE: f64 = (1u32 << SCALE_BITS) as f64;
+
+/// `TABLE[u][x] = round(2^13 * c(u)/2 * cos((2x+1) u pi / 16))`
+/// with `c(0) = 1/sqrt(2)`, `c(u) = 1` otherwise.
+fn table() -> &'static [[i32; 8]; 8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[i32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0i32; 8]; 8];
+        for (u, row) in t.iter_mut().enumerate() {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            for (x, v) in row.iter_mut().enumerate() {
+                let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+                *v = (ONE * cu * 0.5 * angle.cos()).round() as i32;
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn descale(x: i64) -> i32 {
+    ((x + (1 << (SCALE_BITS - 1)) as i64) >> SCALE_BITS) as i32
+}
+
+/// Forward 8×8 DCT. Input: spatial samples (typically -255..=255 residuals
+/// or level-shifted pixels). Output: transform coefficients.
+pub fn fdct2d(input: &Block) -> Block {
+    let t = table();
+    // Rows.
+    let mut tmp = [0i32; BLOCK_LEN];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc: i64 = 0;
+            for x in 0..8 {
+                acc += input[y * 8 + x] as i64 * t[u][x] as i64;
+            }
+            tmp[y * 8 + u] = descale(acc);
+        }
+    }
+    // Columns.
+    let mut out = [0i16; BLOCK_LEN];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc: i64 = 0;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] as i64 * t[v][y] as i64;
+            }
+            out[v * 8 + u] = descale(acc).clamp(-2048, 2047) as i16;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT. Input: transform coefficients. Output: spatial samples.
+pub fn idct2d(coefs: &Block) -> Block {
+    let t = table();
+    // Columns first (transpose of the forward pass order; either works).
+    let mut tmp = [0i32; BLOCK_LEN];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc: i64 = 0;
+            for v in 0..8 {
+                acc += coefs[v * 8 + u] as i64 * t[v][y] as i64;
+            }
+            tmp[y * 8 + u] = descale(acc);
+        }
+    }
+    let mut out = [0i16; BLOCK_LEN];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc: i64 = 0;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] as i64 * t[u][x] as i64;
+            }
+            out[y * 8 + x] = descale(acc).clamp(-2048, 2047) as i16;
+        }
+    }
+    out
+}
+
+/// Reference double-precision forward DCT, for accuracy tests.
+pub fn fdct2d_f64(input: &Block) -> [f64; BLOCK_LEN] {
+    let mut out = [0.0; BLOCK_LEN];
+    for v in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let mut acc = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    acc += input[y * 8 + x] as f64
+                        * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            out[v * 8 + u] = 0.25 * cu * cv * acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_block() -> Block {
+        let mut b = [0i16; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y * 8 + x] = (x as i16 * 13 + y as i16 * 7) - 60;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn dc_only_block() {
+        let b = [100i16; 64];
+        let c = fdct2d(&b);
+        // Orthonormal DCT: DC = 8 * 100 = 800, all AC ~ 0.
+        assert!((c[0] - 800).abs() <= 1, "DC = {}", c[0]);
+        for (i, &ac) in c.iter().enumerate().skip(1) {
+            assert!(ac.abs() <= 1, "AC[{i}] = {ac}");
+        }
+    }
+
+    #[test]
+    fn integer_matches_f64_reference() {
+        let b = gradient_block();
+        let int = fdct2d(&b);
+        let ref64 = fdct2d_f64(&b);
+        for i in 0..64 {
+            assert!(
+                (int[i] as f64 - ref64[i]).abs() < 1.5,
+                "coef {i}: int {} vs f64 {:.3}",
+                int[i],
+                ref64[i]
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_tiny() {
+        let b = gradient_block();
+        let rec = idct2d(&fdct2d(&b));
+        for i in 0..64 {
+            assert!((rec[i] - b[i]).abs() <= 1, "sample {i}: {} vs {}", rec[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn round_trip_on_extremes() {
+        let mut b = [0i16; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 255 } else { -255 };
+        }
+        let rec = idct2d(&fdct2d(&b));
+        for i in 0..64 {
+            assert!((rec[i] - b[i]).abs() <= 2, "sample {i}: {} vs {}", rec[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let b = [0i16; 64];
+        assert_eq!(fdct2d(&b), [0i16; 64]);
+        assert_eq!(idct2d(&b), [0i16; 64]);
+    }
+
+    #[test]
+    fn linearity_approximately_holds() {
+        let b1 = gradient_block();
+        let mut b2 = [0i16; 64];
+        for (i, v) in b2.iter_mut().enumerate() {
+            *v = ((i as i16 * 31) % 97) - 48;
+        }
+        let mut sum = [0i16; 64];
+        for i in 0..64 {
+            sum[i] = b1[i] + b2[i];
+        }
+        let c_sum = fdct2d(&sum);
+        let c1 = fdct2d(&b1);
+        let c2 = fdct2d(&b2);
+        for i in 0..64 {
+            assert!((c_sum[i] - (c1[i] + c2[i])).abs() <= 2, "coef {i}");
+        }
+    }
+
+    #[test]
+    fn energy_preservation_parseval() {
+        let b = gradient_block();
+        let c = fdct2d(&b);
+        let es: f64 = b.iter().map(|&x| (x as f64).powi(2)).sum();
+        let ec: f64 = c.iter().map(|&x| (x as f64).powi(2)).sum();
+        let rel = (es - ec).abs() / es.max(1.0);
+        assert!(rel < 0.01, "energy mismatch: spatial {es}, coef {ec}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FDCT→IDCT round trip stays within ±2 of the original for any
+        /// pixel-range block (the classic IDCT accuracy requirement).
+        #[test]
+        fn round_trip_bounded_error(samples in proptest::collection::vec(-255i16..=255, 64)) {
+            let mut b = [0i16; 64];
+            b.copy_from_slice(&samples);
+            let rec = idct2d(&fdct2d(&b));
+            for i in 0..64 {
+                prop_assert!((rec[i] - b[i]).abs() <= 2, "sample {}: {} vs {}", i, rec[i], b[i]);
+            }
+        }
+
+        /// Coefficients of pixel-range inputs stay within the clamp range
+        /// (no saturation in normal operation).
+        #[test]
+        fn coefficients_do_not_saturate(samples in proptest::collection::vec(-255i16..=255, 64)) {
+            let mut b = [0i16; 64];
+            b.copy_from_slice(&samples);
+            let c = fdct2d(&b);
+            // |DC| <= 8*255 = 2040 < 2048; AC bounded similarly.
+            for &v in &c {
+                prop_assert!((-2048..=2047).contains(&(v as i32)));
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The software MPEG-2-like decoder.
+//!
+//! Mirrors the decode task graph of the paper's Figure 2: variable-length
+//! decoding (headers + run/level symbols), run-length/inverse-scan/
+//! inverse-quantization, inverse DCT, and motion compensation — here as
+//! one sequential program. The Eclipse coprocessor models in
+//! `eclipse-coprocs` execute the same per-stage functions, so simulated
+//! decoding must produce byte-identical frames to this decoder (asserted
+//! by the integration tests).
+
+use crate::bits::BitReader;
+use crate::frame::{Frame, BLOCKS_PER_MB};
+use crate::motion::{predict_macroblock, MotionVector, PredictionMode};
+use crate::recon::reconstruct_mb;
+use crate::scan::rle_decode;
+use crate::stream::{
+    peek_marker, read_mb_header, read_picture_header, read_sequence_header, PictureType, SequenceHeader, StreamError,
+    MARKER_END, MARKER_PIC,
+};
+use crate::vlc::{get_block, get_sev};
+
+/// Per-picture decoding statistics.
+#[derive(Debug, Clone)]
+pub struct DecodedPictureStats {
+    /// Display index.
+    pub display_idx: u16,
+    /// Coding type.
+    pub ptype: PictureType,
+    /// Bits of macroblock data parsed by the VLD stage.
+    pub mb_bits: u64,
+    /// Non-zero coefficients decoded.
+    pub coefficients: u64,
+    /// Intra macroblocks.
+    pub intra_mbs: u32,
+    /// Inter macroblocks.
+    pub inter_mbs: u32,
+    /// Skipped macroblocks.
+    pub skipped_mbs: u32,
+}
+
+/// Decoder output: frames in display order plus statistics.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// Decoded frames in display order.
+    pub frames: Vec<Frame>,
+    /// Sequence parameters from the header.
+    pub header: SequenceHeader,
+    /// Per-picture statistics in coded order.
+    pub pictures: Vec<DecodedPictureStats>,
+}
+
+/// The decoder. Stateless; see [`Decoder::decode`].
+pub struct Decoder;
+
+impl Decoder {
+    /// Decode a complete elementary stream.
+    pub fn decode(bytes: &[u8]) -> Result<DecodeResult, StreamError> {
+        let mut r = BitReader::new(bytes);
+        let header = read_sequence_header(&mut r)?;
+        let (width, height) = (header.width as usize, header.height as usize);
+
+        let mut frames: Vec<Option<Frame>> = vec![None; header.num_frames as usize];
+        let mut pictures = Vec::new();
+        let mut prev_anchor: Option<(u16, Frame)> = None;
+        let mut last_anchor: Option<(u16, Frame)> = None;
+
+        loop {
+            match peek_marker(&mut r)? {
+                MARKER_END => break,
+                MARKER_PIC => {}
+                found => return Err(StreamError::BadMarker { expected: MARKER_PIC, found }),
+            }
+            let ph = read_picture_header(&mut r)?;
+            let (fwd_ref, bwd_ref): (Option<&Frame>, Option<&Frame>) = match ph.ptype {
+                PictureType::I => (None, None),
+                PictureType::P => (last_anchor.as_ref().map(|(_, f)| f), None),
+                PictureType::B => (prev_anchor.as_ref().map(|(_, f)| f), last_anchor.as_ref().map(|(_, f)| f)),
+            };
+            let (frame, stats) = decode_picture(&mut r, width, height, &ph, fwd_ref, bwd_ref)?;
+            pictures.push(stats);
+            if ph.ptype != PictureType::B {
+                prev_anchor = last_anchor.take();
+                last_anchor = Some((ph.temporal_ref, frame.clone()));
+            }
+            let slot = frames
+                .get_mut(ph.temporal_ref as usize)
+                .ok_or(StreamError::BadMarker { expected: MARKER_PIC, found: ph.temporal_ref as u32 })?;
+            *slot = Some(frame);
+        }
+
+        let frames: Option<Vec<Frame>> = frames.into_iter().collect();
+        let frames = frames.ok_or(StreamError::Eos)?;
+        Ok(DecodeResult { frames, header, pictures })
+    }
+}
+
+/// Decode one picture's macroblock layer (used by both the software
+/// decoder and, per-macroblock, by the coprocessor models).
+fn decode_picture(
+    r: &mut BitReader,
+    width: usize,
+    height: usize,
+    ph: &crate::stream::PictureHeader,
+    fwd_ref: Option<&Frame>,
+    bwd_ref: Option<&Frame>,
+) -> Result<(Frame, DecodedPictureStats), StreamError> {
+    let mut frame = Frame::new(width, height);
+    let mut stats = DecodedPictureStats {
+        display_idx: ph.temporal_ref,
+        ptype: ph.ptype,
+        mb_bits: 0,
+        coefficients: 0,
+        intra_mbs: 0,
+        inter_mbs: 0,
+        skipped_mbs: 0,
+    };
+    let mut dc_pred = [128i16, 128, 128];
+    let start_bits = r.bit_pos();
+
+    for mby in 0..height / 16 {
+        for mbx in 0..width / 16 {
+            let (mb, _) = read_mb_header(r)?;
+            let (mode, intra) = match mb.mode {
+                None => {
+                    // Skipped: forward copy with zero MV (P pictures).
+                    stats.skipped_mbs += 1;
+                    (PredictionMode::Forward(MotionVector::default()), false)
+                }
+                Some(m) => {
+                    if m == PredictionMode::Intra {
+                        stats.intra_mbs += 1;
+                    } else {
+                        stats.inter_mbs += 1;
+                    }
+                    (m, m == PredictionMode::Intra)
+                }
+            };
+            let mut levels = [[0i16; 64]; BLOCKS_PER_MB];
+            for blk in 0..BLOCKS_PER_MB {
+                if mb.cbp & (1 << (5 - blk)) == 0 {
+                    continue;
+                }
+                if intra {
+                    let comp = crate::encoder::dc_component(blk);
+                    let diff = get_sev(r)? as i16;
+                    let dc = dc_pred[comp] + diff;
+                    dc_pred[comp] = dc;
+                    let (symbols, _) = get_block(r)?;
+                    stats.coefficients += symbols.len() as u64 + 1;
+                    let mut block = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
+                    block[0] = dc;
+                    levels[blk] = block;
+                } else {
+                    let (symbols, _) = get_block(r)?;
+                    stats.coefficients += symbols.len() as u64;
+                    levels[blk] = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
+                }
+            }
+            let pred = predict_macroblock(mode, fwd_ref, bwd_ref, mbx, mby);
+            let out = reconstruct_mb(&pred, &levels, mb.cbp, intra, ph.qscale);
+            frame.set_macroblock(mbx, mby, &out);
+        }
+    }
+    r.byte_align();
+    stats.mb_bits = (r.bit_pos() - start_bits) as u64;
+    Ok((frame, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+    use crate::source::{SourceConfig, SyntheticSource};
+    use crate::stream::GopConfig;
+
+    fn round_trip(cfg: EncoderConfig, num_frames: u16, source_seed: u64) {
+        let src = SyntheticSource::new(SourceConfig {
+            width: cfg.width,
+            height: cfg.height,
+            complexity: 0.35,
+            motion: 2.0,
+            seed: source_seed,
+        });
+        let frames = src.frames(num_frames);
+        let enc = Encoder::new(cfg);
+        let (bytes, _, recon) = enc.encode_with_recon(&frames);
+        let result = Decoder::decode(&bytes).expect("decode failed");
+        assert_eq!(result.frames.len(), frames.len());
+        for (i, (dec, rec)) in result.frames.iter().zip(&recon).enumerate() {
+            assert_eq!(dec, rec, "frame {i}: decoder output != encoder reconstruction");
+        }
+        // Quality sanity: decoded should approximate the source.
+        for (i, (dec, orig)) in result.frames.iter().zip(&frames).enumerate() {
+            let psnr = dec.psnr_y(orig);
+            assert!(psnr > 20.0, "frame {i}: PSNR {psnr:.1} dB");
+        }
+    }
+
+    #[test]
+    fn intra_only_round_trip_is_bit_exact() {
+        round_trip(
+            EncoderConfig { width: 64, height: 48, qscale: 4, gop: GopConfig { n: 1, m: 1 }, search_range: 7 },
+            3,
+            11,
+        );
+    }
+
+    #[test]
+    fn ip_round_trip_is_bit_exact() {
+        round_trip(
+            EncoderConfig { width: 64, height: 48, qscale: 6, gop: GopConfig { n: 6, m: 1 }, search_range: 15 },
+            8,
+            12,
+        );
+    }
+
+    #[test]
+    fn ipb_round_trip_is_bit_exact() {
+        round_trip(
+            EncoderConfig { width: 64, height: 48, qscale: 6, gop: GopConfig { n: 12, m: 3 }, search_range: 15 },
+            14,
+            13,
+        );
+    }
+
+    #[test]
+    fn larger_frame_round_trip() {
+        round_trip(
+            EncoderConfig { width: 176, height: 144, qscale: 8, gop: GopConfig { n: 9, m: 3 }, search_range: 15 },
+            5,
+            14,
+        );
+    }
+
+    #[test]
+    fn single_frame_stream() {
+        round_trip(
+            EncoderConfig { width: 32, height: 32, qscale: 2, gop: GopConfig { n: 12, m: 3 }, search_range: 3 },
+            1,
+            15,
+        );
+    }
+
+    #[test]
+    fn stats_track_picture_types() {
+        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.3, motion: 1.0, seed: 5 });
+        let frames = src.frames(10);
+        let enc = Encoder::new(EncoderConfig {
+            width: 64,
+            height: 48,
+            qscale: 6,
+            gop: GopConfig { n: 9, m: 3 },
+            search_range: 7,
+        });
+        let (bytes, enc_stats) = enc.encode(&frames);
+        let result = Decoder::decode(&bytes).unwrap();
+        assert_eq!(result.pictures.len(), enc_stats.pictures.len());
+        for (d, e) in result.pictures.iter().zip(&enc_stats.pictures) {
+            assert_eq!(d.ptype, e.ptype);
+            assert_eq!(d.display_idx, e.display_idx);
+            assert_eq!(d.intra_mbs, e.intra_mbs, "picture {}", d.display_idx);
+            assert_eq!(d.skipped_mbs, e.skipped_mbs);
+            assert_eq!(d.coefficients, e.coefficients);
+        }
+    }
+
+    #[test]
+    fn garbage_input_is_an_error_not_a_panic() {
+        assert!(Decoder::decode(&[]).is_err());
+        assert!(Decoder::decode(&[0xFF; 100]).is_err());
+        assert!(Decoder::decode(b"ECLS then nonsense").is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let src = SyntheticSource::new(SourceConfig::default());
+        let frames = src.frames(2);
+        let enc = Encoder::new(EncoderConfig::default());
+        let (bytes, _) = enc.encode(&frames);
+        for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 5] {
+            assert!(Decoder::decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn i_pictures_carry_most_coefficients() {
+        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.4, motion: 1.5, seed: 9 });
+        let frames = src.frames(12);
+        let enc = Encoder::new(EncoderConfig {
+            width: 64,
+            height: 48,
+            qscale: 6,
+            gop: GopConfig { n: 12, m: 3 },
+            search_range: 15,
+        });
+        let (bytes, _) = enc.encode(&frames);
+        let result = Decoder::decode(&bytes).unwrap();
+        let avg = |t: PictureType| -> f64 {
+            let v: Vec<u64> =
+                result.pictures.iter().filter(|p| p.ptype == t).map(|p| p.coefficients).collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<u64>() as f64 / v.len() as f64
+            }
+        };
+        assert!(avg(PictureType::I) > avg(PictureType::B), "I {} vs B {}", avg(PictureType::I), avg(PictureType::B));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # eclipse-media — MPEG-2-like video codec substrate
+//!
+//! The Eclipse paper evaluates its architecture on MPEG-2 encoding and
+//! decoding. This crate is the *functional* codec those experiments need:
+//! a complete, host-runnable, MPEG-2-**like** video codec built from the
+//! same medium-grain functions the paper maps onto coprocessors:
+//!
+//! * [`dct`] — integer 8×8 forward/inverse DCT,
+//! * [`quant`] — intra/inter quantization with weighting matrices,
+//! * [`scan`] — zigzag scanning and run-length coding,
+//! * [`vlc`] — variable-length entropy coding (canonical Huffman for
+//!   run/level pairs + exp-Golomb side information) over [`bits`],
+//! * [`motion`] — block motion estimation (three-step search) and
+//!   motion compensation, with forward/backward/bidirectional modes,
+//! * [`frame`] — 4:2:0 frames, planes, and macroblock access,
+//! * [`stream`] — the elementary-stream syntax (sequence/picture headers,
+//!   GOP structure with I/P/B pictures, coded-order reordering),
+//! * [`source`] — deterministic synthetic video generators with tunable
+//!   complexity and motion,
+//! * [`encoder`] / [`decoder`] — the full pipelines.
+//!
+//! ## Fidelity note (substitution from the paper)
+//!
+//! The bit syntax is *not* ISO 13818-2: start codes, VLC tables, and
+//! header fields are our own (documented in `stream`). What matters for
+//! the architecture study is preserved exactly: the decode/encode task
+//! decomposition (VLD → RLSQ → IDCT → MC), the I/P/B GOP structure, and
+//! the heavy data-dependence of the bit-parsing and block-processing
+//! workload. The decoder reconstructs bit-exactly what the encoder's
+//! local reconstruction loop produced, so simulator-vs-software
+//! comparisons can assert byte equality.
+
+pub mod audio;
+pub mod bits;
+pub mod dct;
+pub mod decoder;
+pub mod encoder;
+pub mod frame;
+pub mod motion;
+pub mod quant;
+pub mod recon;
+pub mod scan;
+pub mod source;
+pub mod stream;
+pub mod transport;
+pub mod vlc;
+
+pub use decoder::Decoder;
+pub use encoder::{Encoder, EncoderConfig};
+pub use frame::{Frame, Plane};
+pub use source::SyntheticSource;
+pub use stream::{GopConfig, PictureType};

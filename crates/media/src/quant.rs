@@ -1,0 +1,255 @@
+//! Quantization and inverse quantization of DCT coefficient blocks.
+//!
+//! The RLSQ coprocessor of the Eclipse instance performs (inverse)
+//! quantization together with (inverse) scanning and run-length (de)coding
+//! — this module is its quantization half. MPEG-2-style: a per-picture
+//! quantizer scale `qscale` combined with a per-coefficient weighting
+//! matrix (flat for inter blocks, perceptually weighted for intra blocks);
+//! the intra DC coefficient is quantized separately with a fixed divisor.
+//!
+//! Inverse quantization here is the *exact* inverse the decoder applies —
+//! encoder reconstruction uses the same function, making quantization the
+//! codec's only loss.
+
+use crate::dct::Block;
+
+/// Divisor for the intra DC coefficient (MPEG-2's 8-bit DC precision).
+pub const DC_DIV: i32 = 8;
+
+/// Default intra weighting matrix (the MPEG-2 default, raster order).
+pub const INTRA_MATRIX: [u8; 64] = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Flat inter weighting matrix.
+pub const INTER_MATRIX: [u8; 64] = [16; 64];
+
+/// Quantize an intra block: DC via [`DC_DIV`], AC via matrix + qscale.
+///
+/// Rounding is to-nearest for intra AC (matching MPEG-2's intra
+/// quantizer).
+pub fn quant_intra(coefs: &Block, qscale: u8) -> Block {
+    let q = qscale.max(1) as i32;
+    let mut out = [0i16; 64];
+    out[0] = div_round(coefs[0] as i32, DC_DIV) as i16;
+    for i in 1..64 {
+        let w = INTRA_MATRIX[i] as i32;
+        out[i] = div_round(coefs[i] as i32 * 16, w * q) as i16;
+    }
+    out
+}
+
+/// Inverse-quantize an intra block.
+pub fn dequant_intra(levels: &Block, qscale: u8) -> Block {
+    let q = qscale.max(1) as i32;
+    let mut out = [0i16; 64];
+    out[0] = sat12(levels[0] as i32 * DC_DIV);
+    for i in 1..64 {
+        let w = INTRA_MATRIX[i] as i32;
+        let v = (levels[i] as i32 * w * q) / 16; // truncates toward zero
+        out[i] = sat12(v);
+    }
+    out
+}
+
+/// Quantize an inter (residual) block: flat matrix, truncation toward zero
+/// with a dead zone (matching MPEG-2's inter quantizer bias).
+pub fn quant_inter(coefs: &Block, qscale: u8) -> Block {
+    let q = qscale.max(1) as i32;
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let w = INTER_MATRIX[i] as i32;
+        // Truncation toward zero => dead zone around zero.
+        out[i] = (coefs[i] as i32 * 16 / (w * q)) as i16;
+    }
+    out
+}
+
+/// Inverse-quantize an inter block (with the MPEG-style half-step
+/// reconstruction offset away from zero).
+pub fn dequant_inter(levels: &Block, qscale: u8) -> Block {
+    let q = qscale.max(1) as i32;
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let l = levels[i] as i32;
+        if l == 0 {
+            continue;
+        }
+        let w = INTER_MATRIX[i] as i32;
+        let sign = if l < 0 { -1 } else { 1 };
+        let v = ((2 * l.abs() + 1) * w * q) / 32 * sign;
+        out[i] = sat12(v);
+    }
+    out
+}
+
+#[inline]
+fn div_round(num: i32, div: i32) -> i32 {
+    debug_assert!(div > 0);
+    if num >= 0 {
+        (num + div / 2) / div
+    } else {
+        -((-num + div / 2) / div)
+    }
+}
+
+#[inline]
+fn sat12(v: i32) -> i16 {
+    v.clamp(-2048, 2047) as i16
+}
+
+/// Count of non-zero quantized levels — the data-dependent quantity that
+/// drives VLD/RLSQ workload (many for I blocks, few for well-predicted
+/// inter blocks).
+pub fn nonzero_count(levels: &Block) -> usize {
+    levels.iter().filter(|&&l| l != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_block() -> Block {
+        let mut b = [0i16; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i32 * 37 % 401) - 200) as i16;
+        }
+        b[0] = 512;
+        b
+    }
+
+    #[test]
+    fn intra_dc_uses_fixed_divisor() {
+        let mut b = [0i16; 64];
+        b[0] = 800;
+        let q = quant_intra(&b, 31);
+        assert_eq!(q[0], 100); // 800 / 8
+        let d = dequant_intra(&q, 31);
+        assert_eq!(d[0], 800);
+    }
+
+    #[test]
+    fn higher_qscale_means_fewer_levels() {
+        let b = test_block();
+        let fine = quant_intra(&b, 2);
+        let coarse = quant_intra(&b, 30);
+        assert!(nonzero_count(&coarse) < nonzero_count(&fine));
+    }
+
+    #[test]
+    fn intra_quant_dequant_bounded_error() {
+        let b = test_block();
+        for qscale in [1u8, 2, 4, 8, 16, 31] {
+            let levels = quant_intra(&b, qscale);
+            let rec = dequant_intra(&levels, qscale);
+            for i in 1..64 {
+                let step = (INTRA_MATRIX[i] as i32 * qscale as i32) / 16 + 2;
+                let err = (rec[i] - b[i]).abs() as i32;
+                assert!(
+                    err <= step,
+                    "q={qscale} coef {i}: err {err} > step {step} ({} -> {} -> {})",
+                    b[i],
+                    levels[i],
+                    rec[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_quant_dequant_bounded_error() {
+        let b = test_block();
+        for qscale in [1u8, 2, 4, 8, 16, 31] {
+            let levels = quant_inter(&b, qscale);
+            let rec = dequant_inter(&levels, qscale);
+            for i in 0..64 {
+                let step = (INTER_MATRIX[i] as i32 * qscale as i32) / 8;
+                let err = (rec[i] - b[i]).abs() as i32;
+                assert!(err <= step.max(2), "q={qscale} coef {i}: err {err} > {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_dead_zone_zeros_small_coefficients() {
+        let mut b = [0i16; 64];
+        b[5] = 3;
+        b[9] = -3;
+        let levels = quant_inter(&b, 16);
+        assert_eq!(levels[5], 0);
+        assert_eq!(levels[9], 0);
+        // And dequant of zero is zero.
+        assert_eq!(dequant_inter(&levels, 16)[5], 0);
+    }
+
+    #[test]
+    fn dequant_saturates_extreme_levels() {
+        let mut levels = [0i16; 64];
+        levels[0] = 2000;
+        levels[63] = 2000;
+        let d = dequant_intra(&levels, 31);
+        assert!(d[0] <= 2047 && d[63] <= 2047);
+    }
+
+    #[test]
+    fn quant_is_sign_symmetric() {
+        let b = test_block();
+        let mut neg = [0i16; 64];
+        for i in 0..64 {
+            neg[i] = -b[i];
+        }
+        for qscale in [2u8, 8, 24] {
+            let qp = quant_intra(&b, qscale);
+            let qn = quant_intra(&neg, qscale);
+            for i in 0..64 {
+                assert_eq!(qp[i], -qn[i], "intra q={qscale} coef {i}");
+            }
+            let qp = quant_inter(&b, qscale);
+            let qn = quant_inter(&neg, qscale);
+            for i in 0..64 {
+                assert_eq!(qp[i], -qn[i], "inter q={qscale} coef {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Reconstruction error of the intra path is bounded by one
+        /// quantizer step for every coefficient.
+        #[test]
+        fn intra_error_bounded(samples in proptest::collection::vec(-1024i16..=1024, 64), qscale in 1u8..=31) {
+            let mut b = [0i16; 64];
+            b.copy_from_slice(&samples);
+            let rec = dequant_intra(&quant_intra(&b, qscale), qscale);
+            prop_assert!((rec[0] - b[0]).abs() <= DC_DIV as i16 / 2 + 1);
+            for i in 1..64 {
+                let step = (INTRA_MATRIX[i] as i32 * qscale as i32) / 16 + 2;
+                prop_assert!(((rec[i] - b[i]).abs() as i32) <= step, "coef {}", i);
+            }
+        }
+
+        /// Inter path error bounded by ~one step (dead zone included).
+        #[test]
+        fn inter_error_bounded(samples in proptest::collection::vec(-1024i16..=1024, 64), qscale in 1u8..=31) {
+            let mut b = [0i16; 64];
+            b.copy_from_slice(&samples);
+            let rec = dequant_inter(&quant_inter(&b, qscale), qscale);
+            for i in 0..64 {
+                let step = (INTER_MATRIX[i] as i32 * qscale as i32) / 8 + 2;
+                prop_assert!(((rec[i] - b[i]).abs() as i32) <= step, "coef {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared macroblock reconstruction — the *single* implementation used by
+//! both the encoder's local decoding loop and the decoder, guaranteeing
+//! that encoder reconstruction and decoder output are bit-identical
+//! (quantization is the codec's only loss).
+
+use crate::dct::idct2d;
+use crate::frame::BLOCKS_PER_MB;
+use crate::quant::{dequant_inter, dequant_intra};
+
+/// Reconstruct the six 8×8 pixel blocks of a macroblock from its
+/// prediction and quantized coefficient levels.
+///
+/// * `pred` — prediction blocks (all zero for intra).
+/// * `levels` — quantized levels per block; for blocks whose `cbp` bit is
+///   clear the contents are ignored.
+/// * `cbp` — coded block pattern, bit 5 = block 0 ... bit 0 = block 5.
+/// * `intra` — selects the intra or inter dequantizer.
+/// * `qscale` — the picture quantizer scale.
+///
+/// Returned samples are *not* clamped to 0..=255; callers store them via
+/// [`crate::frame::Frame::set_macroblock`], which clamps — keeping the
+/// clamp in exactly one place on both encode and decode paths.
+pub fn reconstruct_mb(
+    pred: &[[i16; 64]; BLOCKS_PER_MB],
+    levels: &[[i16; 64]; BLOCKS_PER_MB],
+    cbp: u8,
+    intra: bool,
+    qscale: u8,
+) -> [[i16; 64]; BLOCKS_PER_MB] {
+    let mut out = [[0i16; 64]; BLOCKS_PER_MB];
+    for blk in 0..BLOCKS_PER_MB {
+        let coded = cbp & (1 << (5 - blk)) != 0;
+        if coded {
+            let coefs = if intra { dequant_intra(&levels[blk], qscale) } else { dequant_inter(&levels[blk], qscale) };
+            let spatial = idct2d(&coefs);
+            for i in 0..64 {
+                out[blk][i] = pred[blk][i] + spatial[i];
+            }
+        } else {
+            out[blk] = pred[blk];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::fdct2d;
+    use crate::quant::{quant_inter, quant_intra};
+
+    #[test]
+    fn uncoded_block_copies_prediction() {
+        let mut pred = [[0i16; 64]; 6];
+        pred[2] = [77i16; 64];
+        let levels = [[99i16; 64]; 6]; // garbage — must be ignored
+        let out = reconstruct_mb(&pred, &levels, 0, false, 8);
+        assert_eq!(out[2], [77i16; 64]);
+        assert_eq!(out[0], [0i16; 64]);
+    }
+
+    #[test]
+    fn intra_reconstruction_approximates_source() {
+        let mut src = [[0i16; 64]; 6];
+        for (b, blk) in src.iter_mut().enumerate() {
+            for (i, v) in blk.iter_mut().enumerate() {
+                *v = ((i * 3 + b * 17) % 200) as i16;
+            }
+        }
+        let pred = [[0i16; 64]; 6];
+        let mut levels = [[0i16; 64]; 6];
+        let q = 4u8;
+        for b in 0..6 {
+            levels[b] = quant_intra(&fdct2d(&src[b]), q);
+        }
+        let out = reconstruct_mb(&pred, &levels, 0b111111, true, q);
+        for b in 0..6 {
+            for i in 0..64 {
+                assert!(
+                    (out[b][i] - src[b][i]).abs() <= 12,
+                    "block {b} sample {i}: {} vs {}",
+                    out[b][i],
+                    src[b][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_reconstruction_adds_residual_to_prediction() {
+        let pred = [[100i16; 64]; 6];
+        let mut residual = [0i16; 64];
+        for (i, v) in residual.iter_mut().enumerate() {
+            *v = ((i % 7) as i16) - 3;
+        }
+        let q = 2u8;
+        let mut levels = [[0i16; 64]; 6];
+        levels[0] = quant_inter(&fdct2d(&residual), q);
+        let out = reconstruct_mb(&pred, &levels, 0b100000, false, q);
+        for i in 0..64 {
+            assert!(
+                (out[0][i] - (100 + residual[i])).abs() <= 4,
+                "sample {i}: {} vs {}",
+                out[0][i],
+                100 + residual[i]
+            );
+        }
+        assert_eq!(out[1], [100i16; 64]);
+    }
+}

@@ -1,0 +1,157 @@
+//! A minimal transport (system) stream: fixed-size packets multiplexing
+//! several elementary streams, identified by packet id — the input the
+//! DSP-CPU's software *de-multiplexing* task consumes (paper §6: "audio
+//! decoding, variable-length encoding, and de-multiplexing are executed
+//! in software on the media processor").
+//!
+//! Packet layout (MPEG-TS-flavoured, simplified):
+//!
+//! ```text
+//! [sync 0x47][pid u8][len u16 LE][payload len bytes][pad to PACKET_BYTES]
+//! ```
+
+/// Sync byte of every packet.
+pub const SYNC: u8 = 0x47;
+/// Total packet size on the wire.
+pub const PACKET_BYTES: usize = 188;
+/// Maximum payload per packet.
+pub const PAYLOAD_BYTES: usize = PACKET_BYTES - 4;
+
+/// Multiplex elementary streams into a transport stream. Packets are
+/// emitted round-robin across the streams (weighted by remaining data)
+/// until all streams are exhausted.
+pub fn mux(substreams: &[(u8, &[u8])]) -> Vec<u8> {
+    let mut offsets = vec![0usize; substreams.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut emitted = false;
+        for (i, &(pid, data)) in substreams.iter().enumerate() {
+            if offsets[i] >= data.len() {
+                continue;
+            }
+            let n = PAYLOAD_BYTES.min(data.len() - offsets[i]);
+            out.push(SYNC);
+            out.push(pid);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&data[offsets[i]..offsets[i] + n]);
+            out.resize(out.len() + (PAYLOAD_BYTES - n), 0);
+            offsets[i] += n;
+            emitted = true;
+        }
+        if !emitted {
+            return out;
+        }
+    }
+}
+
+/// Error from [`parse_packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsError {
+    /// The packet did not start with the sync byte.
+    BadSync(u8),
+    /// Fewer than [`PACKET_BYTES`] bytes remained.
+    Truncated,
+    /// The length field exceeded the payload area.
+    BadLength(u16),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::BadSync(b) => write!(f, "bad sync byte {b:#04x}"),
+            TsError::Truncated => write!(f, "truncated transport packet"),
+            TsError::BadLength(l) => write!(f, "bad payload length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// Parse one packet; returns `(pid, payload)`.
+pub fn parse_packet(packet: &[u8]) -> Result<(u8, &[u8]), TsError> {
+    if packet.len() < PACKET_BYTES {
+        return Err(TsError::Truncated);
+    }
+    if packet[0] != SYNC {
+        return Err(TsError::BadSync(packet[0]));
+    }
+    let pid = packet[1];
+    let len = u16::from_le_bytes([packet[2], packet[3]]);
+    if len as usize > PAYLOAD_BYTES {
+        return Err(TsError::BadLength(len));
+    }
+    Ok((pid, &packet[4..4 + len as usize]))
+}
+
+/// Reference software demultiplexer (tests and host-side tooling).
+pub fn demux(ts: &[u8], pids: &[u8]) -> Result<Vec<Vec<u8>>, TsError> {
+    let mut out = vec![Vec::new(); pids.len()];
+    for packet in ts.chunks(PACKET_BYTES) {
+        let (pid, payload) = parse_packet(packet)?;
+        if let Some(idx) = pids.iter().position(|&p| p == pid) {
+            out[idx].extend_from_slice(payload);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_demux_round_trip() {
+        let video: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let audio: Vec<u8> = (0..333u32).map(|i| (i % 7) as u8 + 100).collect();
+        let ts = mux(&[(0x10, &video), (0x20, &audio)]);
+        assert_eq!(ts.len() % PACKET_BYTES, 0);
+        let streams = demux(&ts, &[0x10, 0x20]).unwrap();
+        assert_eq!(streams[0], video);
+        assert_eq!(streams[1], audio);
+    }
+
+    #[test]
+    fn packets_interleave_streams() {
+        let a = vec![1u8; PAYLOAD_BYTES * 3];
+        let b = vec![2u8; PAYLOAD_BYTES * 3];
+        let ts = mux(&[(1, &a), (2, &b)]);
+        let pids: Vec<u8> = ts.chunks(PACKET_BYTES).map(|p| p[1]).collect();
+        assert_eq!(pids, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_pids_are_skipped() {
+        let a = vec![9u8; 10];
+        let ts = mux(&[(5, &a), (6, &a)]);
+        let streams = demux(&ts, &[5]).unwrap();
+        assert_eq!(streams[0], a);
+    }
+
+    #[test]
+    fn bad_packets_are_errors() {
+        assert_eq!(parse_packet(&[0u8; 10]), Err(TsError::Truncated));
+        let mut p = vec![0u8; PACKET_BYTES];
+        p[0] = 0x00;
+        assert!(matches!(parse_packet(&p), Err(TsError::BadSync(0))));
+        p[0] = SYNC;
+        p[2] = 0xFF;
+        p[3] = 0xFF;
+        assert!(matches!(parse_packet(&p), Err(TsError::BadLength(_))));
+    }
+
+    #[test]
+    fn empty_mux_is_empty() {
+        assert!(mux(&[]).is_empty());
+        assert!(mux(&[(1, &[][..])]).is_empty());
+    }
+
+    #[test]
+    fn short_final_payload_is_padded() {
+        let a = vec![7u8; 10];
+        let ts = mux(&[(1, &a)]);
+        assert_eq!(ts.len(), PACKET_BYTES);
+        let (pid, payload) = parse_packet(&ts).unwrap();
+        assert_eq!(pid, 1);
+        assert_eq!(payload, &a[..]);
+    }
+}

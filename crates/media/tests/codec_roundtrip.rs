@@ -1,0 +1,77 @@
+//! Property tests of the full codec: encode → decode must reproduce the
+//! encoder's reconstruction bit-exactly for *any* content — including
+//! pathological random-pixel frames (maximum-entropy worst case for the
+//! entropy coder) — and never panic on any input bytes.
+
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::frame::Frame;
+use eclipse_media::stream::GopConfig;
+use eclipse_media::Decoder;
+use proptest::prelude::*;
+
+fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
+    (proptest::collection::vec(0u8..=255, w * h), proptest::collection::vec(0u8..=255, w * h / 2))
+        .prop_map(move |(y, uv)| {
+            let mut f = Frame::new(w, h);
+            f.y.data.copy_from_slice(&y);
+            f.u.data.copy_from_slice(&uv[..w * h / 4]);
+            f.v.data.copy_from_slice(&uv[w * h / 4..]);
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (maximum-entropy) frames survive the full encode→decode
+    /// round trip with decoder output == encoder reconstruction.
+    #[test]
+    fn random_frames_round_trip_bit_exactly(
+        frames in proptest::collection::vec(arb_frame(32, 32), 1..4),
+        qscale in 2u8..=20,
+        m in 1u8..=3,
+    ) {
+        let enc = Encoder::new(EncoderConfig {
+            width: 32,
+            height: 32,
+            qscale,
+            gop: GopConfig { n: 6, m },
+            search_range: 7,
+        });
+        let (bytes, _, recon) = enc.encode_with_recon(&frames);
+        let decoded = Decoder::decode(&bytes).expect("own streams always decode");
+        prop_assert_eq!(decoded.frames.len(), frames.len());
+        for (i, (d, r)) in decoded.frames.iter().zip(&recon).enumerate() {
+            prop_assert_eq!(d, r, "frame {}", i);
+        }
+    }
+
+    /// The decoder never panics on arbitrary input bytes (errors are Err,
+    /// not crashes).
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Decoder::decode(&bytes);
+    }
+
+    /// Prefixing a valid stream and truncating anywhere never panics.
+    #[test]
+    fn decoder_never_panics_on_truncation(cut_permille in 0u32..1000) {
+        let src = eclipse_media::SyntheticSource::new(eclipse_media::source::SourceConfig {
+            width: 32,
+            height: 32,
+            complexity: 0.5,
+            motion: 1.0,
+            seed: 3,
+        });
+        let enc = Encoder::new(EncoderConfig {
+            width: 32,
+            height: 32,
+            qscale: 6,
+            gop: GopConfig { n: 3, m: 1 },
+            search_range: 3,
+        });
+        let (bytes, _) = enc.encode(&src.frames(3));
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        let _ = Decoder::decode(&bytes[..cut]);
+    }
+}

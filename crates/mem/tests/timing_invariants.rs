@@ -1,0 +1,86 @@
+//! Property tests of the interconnect timing models: causality (no
+//! transaction completes before it starts), work conservation (the bus
+//! never idles while requests are queued), and bandwidth accounting.
+
+use eclipse_mem::{Bus, BusConfig, Dram, DramConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bus grants are causal, FIFO-ordered, and gap-free under load.
+    #[test]
+    fn bus_arbitration_invariants(
+        requests in proptest::collection::vec((0u64..50, 1u32..256), 1..60),
+        width in prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
+        latency in 0u64..8,
+    ) {
+        let mut bus = Bus::new("t", BusConfig { width_bytes: width, latency, cycles_per_beat: 1 });
+        let mut now = 0u64;
+        let mut prev_start = 0u64;
+        let mut prev_done_occupancy_end = 0u64;
+        let mut total_beats = 0u64;
+        for (gap, bytes) in requests {
+            now += gap;
+            let t = bus.request(now, bytes);
+            // Causality.
+            prop_assert!(t.start >= now);
+            prop_assert_eq!(t.wait, t.start - now);
+            let beats = (bytes as u64).div_ceil(width as u64);
+            prop_assert_eq!(t.done, t.start + latency + beats);
+            // FIFO order: starts never regress.
+            prop_assert!(t.start >= prev_start);
+            // Work conservation: if we requested while the bus was busy,
+            // our transfer starts exactly when the previous data phase
+            // ends (no idle gap under backlog).
+            if now < prev_done_occupancy_end {
+                prop_assert_eq!(t.start, prev_done_occupancy_end);
+            }
+            prev_start = t.start;
+            prev_done_occupancy_end = t.start + beats;
+            total_beats += beats;
+        }
+        prop_assert_eq!(bus.stats().busy_cycles, total_beats);
+    }
+
+    /// DRAM: row hits are never slower than row misses; requests
+    /// serialize; the open-row state is per bank.
+    #[test]
+    fn dram_row_behaviour(
+        addrs in proptest::collection::vec(0u32..1_000_000, 2..60),
+        bytes in 8u32..128,
+    ) {
+        let cfg = DramConfig::default();
+        let mut dram = Dram::new(cfg);
+        let mut now = 0u64;
+        let mut last_row_of_bank = std::collections::HashMap::new();
+        for addr in addrs {
+            let addr = addr % (cfg.size - 256);
+            let row = addr / cfg.row_bytes;
+            let bank = row % cfg.banks;
+            let expected_hit = last_row_of_bank.get(&bank) == Some(&row);
+            let before_hits = dram.stats().row_hits;
+            let t = dram.access(now, addr, bytes);
+            let was_hit = dram.stats().row_hits > before_hits;
+            prop_assert_eq!(was_hit, expected_hit, "row-hit prediction at {:#x}", addr);
+            let latency = if was_hit { cfg.row_hit_latency } else { cfg.row_miss_latency };
+            let beats = (bytes as u64).div_ceil(cfg.width_bytes as u64);
+            prop_assert_eq!(t.done, t.start + latency + beats);
+            last_row_of_bank.insert(bank, row);
+            now = t.start + 1;
+        }
+    }
+
+    /// Functional DRAM storage is exact under arbitrary writes.
+    #[test]
+    fn dram_storage_is_exact(writes in proptest::collection::vec((0u32..10_000, proptest::collection::vec(any::<u8>(), 1..64)), 1..20)) {
+        let mut dram = Dram::new(DramConfig { size: 16 * 1024, ..DramConfig::default() });
+        let mut model = vec![0u8; 16 * 1024];
+        for (addr, data) in &writes {
+            let addr = *addr % (16 * 1024 - data.len() as u32);
+            dram.write(addr, data);
+            model[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        }
+        let mut out = vec![0u8; 16 * 1024];
+        dram.read(0, &mut out);
+        prop_assert_eq!(out, model);
+    }
+}

@@ -1,0 +1,612 @@
+//! Stream caches with explicit, synchronization-driven coherency.
+//!
+//! Paper Section 5.2: the shell's read and write caches decouple the
+//! coprocessor ports from the global bus, and the GetSpace/PutSpace
+//! events drive cache coherency *explicitly* — no snooping:
+//!
+//! 1. the granted window is private, so hits inside it are always safe;
+//! 2. `GetSpace` extensions invalidate cached lines covering the newly
+//!    granted space (they may hold stale data from the previous trip
+//!    around the cyclic buffer);
+//! 3. `PutSpace` on a producer flushes dirty data covering the released
+//!    interval *before* the `putspace` message is forwarded, guaranteeing
+//!    memory-order safety for the consumer.
+//!
+//! The cache is functional: it holds real data copies, so a missing
+//! invalidation or flush produces corrupt decoded output that the
+//! integration tests catch (fault-injection tests flip these switches on
+//! purpose).
+//!
+//! Each stream-table row owns one direct-mapped cache (a shell template
+//! parameter, per the paper's "size of data caches in the shell").
+
+use eclipse_mem::{Bus, CyclicBuffer, Sram};
+use eclipse_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported cache line size in bytes (dirty mask is a u64).
+pub const MAX_LINE_BYTES: u32 = 64;
+
+/// The memory system a shell's caches talk to: the shared SRAM behind the
+/// separate read and write buses of the paper's instance (Section 6).
+#[derive(Debug)]
+pub struct MemSys {
+    /// The centralized on-chip SRAM holding all stream buffers.
+    pub sram: Sram,
+    /// Shared read data bus.
+    pub read_bus: Bus,
+    /// Shared write data bus.
+    pub write_bus: Bus,
+}
+
+impl MemSys {
+    /// Fetch `buf.len()` bytes at `addr` over the read bus; returns the
+    /// cycle at which the data is available.
+    pub fn fetch(&mut self, now: Cycle, addr: u32, buf: &mut [u8]) -> Cycle {
+        let t = self.read_bus.request(now, buf.len() as u32);
+        self.sram.read(addr, buf);
+        t.done + self.sram.config().latency
+    }
+
+    /// Write `data` at `addr` over the write bus; returns the cycle at
+    /// which the write has globally completed (safe ordering point).
+    pub fn writeback(&mut self, now: Cycle, addr: u32, data: &[u8]) -> Cycle {
+        let t = self.write_bus.request(now, data.len() as u32);
+        self.sram.write(addr, data);
+        t.done + self.sram.config().latency
+    }
+}
+
+/// Cache parameters (a shell template parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of lines; 0 disables the cache (every access goes to the
+    /// bus) — one point of the paper's Section 7 cache design-space sweep.
+    pub lines: usize,
+    /// Line size in bytes (power of two, <= 64).
+    pub line_bytes: u32,
+    /// Prefetch on GetSpace/Read (paper Section 5.2: "the shell also
+    /// initiates stream prefetches upon local GetSpace and Read
+    /// requests").
+    pub prefetch: bool,
+    /// How many lines ahead a prefetch reaches.
+    pub prefetch_depth: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 }
+    }
+}
+
+/// Cache event counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub hits: u64,
+    /// Read accesses that missed (demand fetches).
+    pub misses: u64,
+    /// Prefetch fetches issued.
+    pub prefetches: u64,
+    /// Dirty write-backs (flush or eviction).
+    pub writebacks: u64,
+    /// Lines invalidated by GetSpace window extensions.
+    pub invalidations: u64,
+    /// Cycles a coprocessor read stalled waiting for data.
+    pub stall_cycles: u64,
+}
+
+impl CacheStats {
+    /// Read hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    /// Aligned absolute address of the cached line; `u32::MAX` = invalid.
+    tag: u32,
+    /// Data became/becomes available at this cycle (prefetch in flight).
+    ready_at: Cycle,
+    /// Bit i set = byte i holds data written by the coprocessor, not yet
+    /// flushed.
+    dirty: u64,
+    /// Line data has been fetched from memory (false for write-allocated
+    /// lines that never read).
+    fetched: bool,
+    data: [u8; MAX_LINE_BYTES as usize],
+}
+
+impl Line {
+    const INVALID: u32 = u32::MAX;
+
+    fn empty() -> Self {
+        Line { tag: Self::INVALID, ready_at: 0, dirty: 0, fetched: false, data: [0; MAX_LINE_BYTES as usize] }
+    }
+
+    fn valid(&self) -> bool {
+        self.tag != Self::INVALID
+    }
+}
+
+/// A direct-mapped stream cache for one access point.
+#[derive(Debug, Clone)]
+pub struct StreamCache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    /// Cache event counters.
+    pub stats: CacheStats,
+}
+
+impl StreamCache {
+    /// Build a cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes <= MAX_LINE_BYTES, "bad line size {}", cfg.line_bytes);
+        StreamCache { cfg, lines: (0..cfg.lines).map(|_| Line::empty()).collect(), stats: CacheStats::default() }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u32) -> (usize, u32) {
+        let tag = addr & !(self.cfg.line_bytes - 1);
+        let idx = (tag / self.cfg.line_bytes) as usize % self.lines.len();
+        (idx, tag)
+    }
+
+    /// Read `buf.len()` bytes starting `offset` bytes into the cyclic
+    /// `buffer` (absolute coordinates handled internally). Returns the
+    /// cycle at which the data is available; the stall relative to `now`
+    /// is added to `stats.stall_cycles`.
+    pub fn read(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSys,
+        buffer: &CyclicBuffer,
+        offset: u32,
+        buf: &mut [u8],
+    ) -> Cycle {
+        if buf.is_empty() {
+            return now;
+        }
+        if self.lines.is_empty() {
+            // Uncached: straight to the bus, segment by segment.
+            let (a, b) = buffer.segments(offset, buf.len() as u32);
+            let mut done = mem.fetch(now, a.addr, &mut buf[..a.len as usize]);
+            if let Some(s) = b {
+                done = done.max(mem.fetch(now, s.addr, &mut buf[a.len as usize..]));
+            }
+            self.stats.misses += 1;
+            self.stats.stall_cycles += done - now;
+            return done;
+        }
+        let (a, b) = buffer.segments(offset, buf.len() as u32);
+        let mut done = now;
+        let mut buf_pos = 0usize;
+        for seg in std::iter::once(a).chain(b) {
+            let mut addr = seg.addr;
+            let mut remaining = seg.len;
+            while remaining > 0 {
+                let (idx, tag) = self.line_of(addr);
+                let in_line_off = addr - tag;
+                let chunk = remaining.min(self.cfg.line_bytes - in_line_off);
+                let ready = self.ensure_line(now, mem, idx, tag, true);
+                done = done.max(ready);
+                let line = &self.lines[idx];
+                buf[buf_pos..buf_pos + chunk as usize]
+                    .copy_from_slice(&line.data[in_line_off as usize..(in_line_off + chunk) as usize]);
+                buf_pos += chunk as usize;
+                addr += chunk;
+                remaining -= chunk;
+            }
+        }
+        // Read-triggered prefetch is issued by the shell, which knows how
+        // far the granted window extends (prefetching past it would fetch
+        // not-yet-written data only to invalidate it again).
+        self.stats.stall_cycles += done - now;
+        done
+    }
+
+    /// Make line `idx` hold `tag`; returns when its data is ready.
+    /// `demand` distinguishes demand misses from prefetches in the stats.
+    fn ensure_line(&mut self, now: Cycle, mem: &mut MemSys, idx: usize, tag: u32, demand: bool) -> Cycle {
+        let line_bytes = self.cfg.line_bytes as usize;
+        if self.lines[idx].valid() && self.lines[idx].tag == tag {
+            if self.lines[idx].fetched {
+                if demand {
+                    self.stats.hits += 1;
+                }
+                return self.lines[idx].ready_at.max(now);
+            }
+            // Write-allocated line being read: fetch and merge under the
+            // dirty bytes.
+            let mut fresh = [0u8; MAX_LINE_BYTES as usize];
+            let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
+            let line = &mut self.lines[idx];
+            for i in 0..line_bytes {
+                if line.dirty & (1 << i) == 0 {
+                    line.data[i] = fresh[i];
+                }
+            }
+            line.fetched = true;
+            line.ready_at = ready;
+            if demand {
+                self.stats.misses += 1;
+            } else {
+                self.stats.prefetches += 1;
+            }
+            return ready;
+        }
+        // Miss: evict if needed, then fetch.
+        self.evict(now, mem, idx);
+        let mut fresh = [0u8; MAX_LINE_BYTES as usize];
+        let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
+        let line = &mut self.lines[idx];
+        line.tag = tag;
+        line.dirty = 0;
+        line.fetched = true;
+        line.ready_at = ready;
+        line.data[..line_bytes].copy_from_slice(&fresh[..line_bytes]);
+        if demand {
+            self.stats.misses += 1;
+        } else {
+            self.stats.prefetches += 1;
+        }
+        ready
+    }
+
+    fn evict(&mut self, now: Cycle, mem: &mut MemSys, idx: usize) {
+        let line_bytes = self.cfg.line_bytes as usize;
+        if self.lines[idx].valid() && self.lines[idx].dirty != 0 {
+            let tag = self.lines[idx].tag;
+            let dirty = self.lines[idx].dirty;
+            let data = self.lines[idx].data;
+            Self::write_dirty_runs(mem, now, tag, dirty, &data[..line_bytes]);
+            self.stats.writebacks += 1;
+        }
+        self.lines[idx] = Line::empty();
+    }
+
+    /// Write the dirty bytes of a line back as contiguous runs.
+    fn write_dirty_runs(mem: &mut MemSys, now: Cycle, tag: u32, dirty: u64, data: &[u8]) -> Cycle {
+        let mut done = now;
+        let mut i = 0usize;
+        while i < data.len() {
+            if dirty & (1 << i) != 0 {
+                let start = i;
+                while i < data.len() && dirty & (1 << i) != 0 {
+                    i += 1;
+                }
+                done = done.max(mem.writeback(now, tag + start as u32, &data[start..i]));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Write `data` starting `offset` bytes into `buffer`. Writes are
+    /// absorbed by the cache (no stall); the bus cost is paid at flush or
+    /// eviction. Returns completion time (== `now` when cached).
+    pub fn write(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSys,
+        buffer: &CyclicBuffer,
+        offset: u32,
+        data: &[u8],
+    ) -> Cycle {
+        if data.is_empty() {
+            return now;
+        }
+        if self.lines.is_empty() {
+            let (a, b) = buffer.segments(offset, data.len() as u32);
+            let mut done = mem.writeback(now, a.addr, &data[..a.len as usize]);
+            if let Some(s) = b {
+                done = done.max(mem.writeback(now, s.addr, &data[a.len as usize..]));
+            }
+            return done;
+        }
+        let (a, b) = buffer.segments(offset, data.len() as u32);
+        let mut data_pos = 0usize;
+        for seg in std::iter::once(a).chain(b) {
+            let mut addr = seg.addr;
+            let mut remaining = seg.len;
+            while remaining > 0 {
+                let (idx, tag) = self.line_of(addr);
+                let in_line_off = addr - tag;
+                let chunk = remaining.min(self.cfg.line_bytes - in_line_off);
+                if !(self.lines[idx].valid() && self.lines[idx].tag == tag) {
+                    // Write-allocate without fetching.
+                    self.evict(now, mem, idx);
+                    let line = &mut self.lines[idx];
+                    line.tag = tag;
+                    line.dirty = 0;
+                    line.fetched = false;
+                    line.ready_at = now;
+                }
+                let line = &mut self.lines[idx];
+                for i in 0..chunk as usize {
+                    line.data[in_line_off as usize + i] = data[data_pos + i];
+                    line.dirty |= 1 << (in_line_off as usize + i);
+                }
+                data_pos += chunk as usize;
+                addr += chunk;
+                remaining -= chunk;
+            }
+        }
+        now
+    }
+
+    /// Coherency rule 2: invalidate clean cached lines overlapping the
+    /// newly granted window `[offset, offset + len)` ahead of the access
+    /// point. Dirty lines are kept — their dirty bytes are the
+    /// coprocessor's own current data (and unwritten bytes will be
+    /// re-fetched on demand thanks to the `fetched` flag).
+    pub fn invalidate_window(&mut self, buffer: &CyclicBuffer, offset: u32, len: u32) {
+        if self.lines.is_empty() || len == 0 {
+            return;
+        }
+        let mut invalidated = 0u64;
+        buffer.lines_touched(offset, len, self.cfg.line_bytes, |tag_addr| {
+            let (idx, tag) = self.line_of(tag_addr);
+            let line = &mut self.lines[idx];
+            if line.valid() && line.tag == tag && line.dirty == 0 {
+                *line = Line::empty();
+                invalidated += 1;
+            } else if line.valid() && line.tag == tag {
+                // Keep dirty bytes, but force a re-fetch for the rest.
+                line.fetched = false;
+            }
+        });
+        self.stats.invalidations += invalidated;
+    }
+
+    /// Coherency rule 3: flush dirty data in `[offset, offset + len)`
+    /// ahead of the access point; returns the cycle at which all
+    /// write-backs have completed (the `putspace` message must not be
+    /// sent earlier).
+    pub fn flush_window(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSys,
+        buffer: &CyclicBuffer,
+        offset: u32,
+        len: u32,
+    ) -> Cycle {
+        if self.lines.is_empty() || len == 0 {
+            return now;
+        }
+        let line_bytes = self.cfg.line_bytes as usize;
+        let mut done = now;
+        let mut tags = Vec::new();
+        buffer.lines_touched(offset, len, self.cfg.line_bytes, |t| tags.push(t));
+        for tag_addr in tags {
+            let (idx, tag) = self.line_of(tag_addr);
+            let line = &mut self.lines[idx];
+            if line.valid() && line.tag == tag && line.dirty != 0 {
+                let dirty = line.dirty;
+                let data = line.data;
+                line.dirty = 0;
+                done = done.max(Self::write_dirty_runs(mem, now, tag, dirty, &data[..line_bytes]));
+                self.stats.writebacks += 1;
+            }
+        }
+        done
+    }
+
+    /// GetSpace-triggered prefetch of up to `len` bytes starting at
+    /// in-buffer `offset` (must lie inside the granted window).
+    pub fn prefetch(&mut self, now: Cycle, mem: &mut MemSys, buffer: &CyclicBuffer, offset: u32, len: u32) {
+        if self.lines.is_empty() || !self.cfg.prefetch || len == 0 {
+            return;
+        }
+        let len = len.min(buffer.size);
+        let mut tags = Vec::new();
+        buffer.lines_touched(offset, len, self.cfg.line_bytes, |t| tags.push(t));
+        for tag_addr in tags {
+            let (idx, tag) = self.line_of(tag_addr);
+            if !(self.lines[idx].valid() && self.lines[idx].tag == tag) {
+                self.ensure_line(now, mem, idx, tag, false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_mem::{BusConfig, SramConfig};
+
+    fn memsys() -> MemSys {
+        MemSys {
+            sram: Sram::new(SramConfig { size: 4096, word_bytes: 16, latency: 2 }),
+            read_bus: Bus::new("read", BusConfig::default()),
+            write_bus: Bus::new("write", BusConfig::default()),
+        }
+    }
+
+    fn cache(lines: usize) -> StreamCache {
+        StreamCache::new(CacheConfig { lines, line_bytes: 64, prefetch: false, prefetch_depth: 2 })
+    }
+
+    #[test]
+    fn write_then_flush_then_read_through_memory() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 512);
+        let mut producer = cache(4);
+        let mut consumer = cache(4);
+
+        producer.write(0, &mut mem, &buffer, 0, b"hello eclipse");
+        // Data is only in the producer cache so far.
+        let mut direct = [0u8; 13];
+        mem.sram.read(0, &mut direct);
+        assert_ne!(&direct, b"hello eclipse", "write must be absorbed by the cache");
+
+        producer.flush_window(10, &mut mem, &buffer, 0, 13);
+        mem.sram.read(0, &mut direct);
+        assert_eq!(&direct, b"hello eclipse", "flush must reach memory");
+
+        let mut buf = [0u8; 13];
+        consumer.read(20, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(&buf, b"hello eclipse");
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 512);
+        mem.sram.write(0, &[7u8; 64]);
+        let mut c = cache(4);
+        let mut buf = [0u8; 16];
+        let t1 = c.read(0, &mut mem, &buffer, 0, &mut buf);
+        assert!(t1 > 0, "miss must cost time");
+        assert_eq!(c.stats.misses, 1);
+        let t2 = c.read(t1, &mut mem, &buffer, 4, &mut buf);
+        assert_eq!(t2, t1, "hit must be free");
+        assert_eq!(c.stats.hits, 1);
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn stale_line_served_without_invalidation_fresh_after() {
+        // This demonstrates why coherency rule 2 is load-bearing.
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 128);
+        mem.sram.write(0, &[1u8; 64]);
+        let mut c = cache(4);
+        let mut buf = [0u8; 8];
+        c.read(0, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(buf, [1u8; 8]);
+        // Producer overwrites memory (as after a buffer wrap)...
+        mem.sram.write(0, &[2u8; 64]);
+        // ...without invalidation the consumer reads stale data:
+        c.read(100, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(buf, [1u8; 8], "stale: cache still holds the old line");
+        // With the GetSpace-driven invalidation it reads fresh data:
+        c.invalidate_window(&buffer, 0, 64);
+        c.read(200, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(buf, [2u8; 8]);
+        assert!(c.stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn dirty_lines_survive_invalidation() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 128);
+        let mut c = cache(4);
+        c.write(0, &mut mem, &buffer, 0, b"mine");
+        c.invalidate_window(&buffer, 0, 64);
+        c.flush_window(10, &mut mem, &buffer, 0, 4);
+        let mut direct = [0u8; 4];
+        mem.sram.read(0, &mut direct);
+        assert_eq!(&direct, b"mine");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_data() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 4096);
+        let mut c = StreamCache::new(CacheConfig { lines: 1, line_bytes: 64, prefetch: false, prefetch_depth: 0 });
+        c.write(0, &mut mem, &buffer, 0, b"first");
+        // Writing a conflicting line (same index, different tag) evicts.
+        c.write(1, &mut mem, &buffer, 64, b"second");
+        let mut direct = [0u8; 5];
+        mem.sram.read(0, &mut direct);
+        assert_eq!(&direct, b"first");
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn wrapping_read_crosses_buffer_edge() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 128);
+        mem.sram.write(120, &[9u8; 8]);
+        mem.sram.write(0, &[8u8; 8]);
+        let mut c = cache(4);
+        let mut buf = [0u8; 16];
+        c.read(0, &mut mem, &buffer, 120, &mut buf);
+        assert_eq!(&buf[..8], &[9u8; 8]);
+        assert_eq!(&buf[8..], &[8u8; 8]);
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 1024);
+        mem.sram.write(0, &[5u8; 256]);
+        let mut c = StreamCache::new(CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 });
+        c.prefetch(0, &mut mem, &buffer, 0, 128);
+        assert_eq!(c.stats.prefetches, 2);
+        // A read far in the future: data long since arrived, zero stall.
+        let mut buf = [0u8; 64];
+        let done = c.read(1000, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(done, 1000);
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn prefetched_line_read_early_stalls_until_ready() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 1024);
+        let mut c = StreamCache::new(CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 1 });
+        c.prefetch(0, &mut mem, &buffer, 0, 64);
+        let mut buf = [0u8; 8];
+        let done = c.read(1, &mut mem, &buffer, 0, &mut buf);
+        assert!(done > 1, "read before prefetch completion must stall");
+    }
+
+    #[test]
+    fn uncached_mode_goes_straight_to_bus() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 512);
+        mem.sram.write(0, &[3u8; 64]);
+        let mut c = cache(0);
+        let mut buf = [0u8; 32];
+        let t1 = c.read(0, &mut mem, &buffer, 0, &mut buf);
+        let t2 = c.read(t1, &mut mem, &buffer, 0, &mut buf);
+        assert!(t2 > t1, "uncached reads always pay the bus");
+        assert!(buf.iter().all(|&b| b == 3));
+        c.write(t2, &mut mem, &buffer, 100, &[4u8; 8]);
+        let mut direct = [0u8; 8];
+        mem.sram.read(100, &mut direct);
+        assert_eq!(direct, [4u8; 8]);
+    }
+
+    #[test]
+    fn read_back_own_write_after_partial_allocate() {
+        // A write-allocated line read back: dirty bytes from the cache,
+        // the rest fetched from memory.
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 512);
+        mem.sram.write(0, &[0x55u8; 64]);
+        let mut c = cache(4);
+        c.write(0, &mut mem, &buffer, 4, b"ABCD");
+        let mut buf = [0u8; 12];
+        c.read(10, &mut mem, &buffer, 0, &mut buf);
+        assert_eq!(&buf[..4], &[0x55; 4]);
+        assert_eq!(&buf[4..8], b"ABCD");
+        assert_eq!(&buf[8..], &[0x55; 4]);
+    }
+
+    #[test]
+    fn hit_rate_reported() {
+        let mut mem = memsys();
+        let buffer = CyclicBuffer::new(0, 512);
+        let mut c = cache(4);
+        let mut buf = [0u8; 8];
+        c.read(0, &mut mem, &buffer, 0, &mut buf); // miss
+        c.read(50, &mut mem, &buffer, 8, &mut buf); // hit
+        c.read(60, &mut mem, &buffer, 16, &mut buf); // hit
+        assert!((c.stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Memory-mapped register access to the shell tables.
+//!
+//! Paper Section 5.4: "All shell tables are memory-mapped and accessible
+//! to the main CPU via a control bus (PI-bus). Thus, the main CPU can
+//! collect measurement data at regular time intervals." The same port is
+//! how the CPU programs budgets and enables tasks at run time.
+//!
+//! Register map (word addresses within one shell's window):
+//!
+//! ```text
+//! 0x000..0x00F   shell-global counters (RO)
+//! 0x100 + r*16   stream-table row r
+//! 0x800 + t*16   task-table row t
+//! ```
+
+use crate::shell::Shell;
+use crate::task_table::TaskIdx;
+
+/// Shell-global registers.
+pub mod global {
+    /// Messages sent (RO).
+    pub const MSGS_SENT: u16 = 0x000;
+    /// Messages received (RO).
+    pub const MSGS_RECEIVED: u16 = 0x001;
+    /// Bytes read by the coprocessor (RO, low 32 bits).
+    pub const BYTES_READ: u16 = 0x002;
+    /// Bytes written by the coprocessor (RO, low 32 bits).
+    pub const BYTES_WRITTEN: u16 = 0x003;
+    /// Task switches performed by the scheduler (RO).
+    pub const SWITCHES: u16 = 0x004;
+    /// GetTask decisions taken (RO).
+    pub const DECISIONS: u16 = 0x005;
+    /// Number of stream rows (RO).
+    pub const N_ROWS: u16 = 0x006;
+    /// Number of task rows (RO).
+    pub const N_TASKS: u16 = 0x007;
+}
+
+/// Per-stream-row register offsets (base `0x100 + row * 16`).
+pub mod stream {
+    /// Base address of the stream-row register window.
+    pub const BASE: u16 = 0x100;
+    /// Words per row.
+    pub const STRIDE: u16 = 16;
+    /// Current effective space (RO) — the Figure 10 quantity.
+    pub const SPACE: u16 = 0;
+    /// Current access point offset (RO).
+    pub const ACCESS_POINT: u16 = 1;
+    /// Bytes committed through this access point (RO, low 32 bits).
+    pub const BYTES_COMMITTED: u16 = 2;
+    /// GetSpace calls (RO).
+    pub const GETSPACE_CALLS: u16 = 3;
+    /// GetSpace denials (RO).
+    pub const GETSPACE_DENIED: u16 = 4;
+    /// PutSpace calls (RO).
+    pub const PUTSPACE_CALLS: u16 = 5;
+    /// Incoming putspace messages (RO).
+    pub const MSGS_RECEIVED: u16 = 6;
+    /// Buffer base address (RO).
+    pub const BUFFER_BASE: u16 = 7;
+    /// Buffer size (RO).
+    pub const BUFFER_SIZE: u16 = 8;
+}
+
+/// Per-task-row register offsets (base `0x800 + task * 16`).
+pub mod task {
+    /// Base address of the task-row register window.
+    pub const BASE: u16 = 0x800;
+    /// Words per row.
+    pub const STRIDE: u16 = 16;
+    /// Enabled flag (RW: write 0/1).
+    pub const ENABLED: u16 = 0;
+    /// Scheduler budget in cycles (RW).
+    pub const BUDGET: u16 = 1;
+    /// Completed processing steps (RO).
+    pub const STEPS: u16 = 2;
+    /// Aborted processing steps (RO).
+    pub const ABORTED: u16 = 3;
+    /// Busy cycles (RO, low 32 bits).
+    pub const BUSY_CYCLES: u16 = 4;
+    /// GetSpace denials charged to this task (RO).
+    pub const DENIALS: u16 = 5;
+    /// Task switches into this task (RO).
+    pub const SWITCHES_IN: u16 = 6;
+    /// `task_info` parameter word (RW).
+    pub const TASK_INFO: u16 = 7;
+}
+
+impl Shell {
+    /// Read a memory-mapped shell register (PI-bus slave port). Unmapped
+    /// addresses read as zero, like typical control-bus fabrics.
+    pub fn read_reg(&self, addr: u16) -> u32 {
+        if addr < stream::BASE {
+            return match addr {
+                global::MSGS_SENT => self.stats.messages_sent as u32,
+                global::MSGS_RECEIVED => self.stats.messages_received as u32,
+                global::BYTES_READ => self.stats.bytes_read as u32,
+                global::BYTES_WRITTEN => self.stats.bytes_written as u32,
+                global::SWITCHES => self.sched().switches as u32,
+                global::DECISIONS => self.sched().decisions as u32,
+                global::N_ROWS => self.rows().len() as u32,
+                global::N_TASKS => self.tasks().len() as u32,
+                _ => 0,
+            };
+        }
+        if addr >= task::BASE {
+            let idx = ((addr - task::BASE) / task::STRIDE) as usize;
+            let off = (addr - task::BASE) % task::STRIDE;
+            let Some(t) = self.tasks().get(idx) else { return 0 };
+            return match off {
+                task::ENABLED => t.enabled as u32,
+                task::BUDGET => t.cfg.budget as u32,
+                task::STEPS => t.stats.steps as u32,
+                task::ABORTED => t.stats.aborted_steps as u32,
+                task::BUSY_CYCLES => t.stats.busy_cycles as u32,
+                task::DENIALS => t.stats.denials as u32,
+                task::SWITCHES_IN => t.stats.switches_in as u32,
+                task::TASK_INFO => t.cfg.task_info,
+                _ => 0,
+            };
+        }
+        let idx = ((addr - stream::BASE) / stream::STRIDE) as usize;
+        let off = (addr - stream::BASE) % stream::STRIDE;
+        let Some(r) = self.rows().get(idx) else { return 0 };
+        match off {
+            stream::SPACE => r.effective_space(),
+            stream::ACCESS_POINT => r.access_point,
+            stream::BYTES_COMMITTED => r.stats.bytes_committed as u32,
+            stream::GETSPACE_CALLS => r.stats.getspace_calls as u32,
+            stream::GETSPACE_DENIED => r.stats.getspace_denied as u32,
+            stream::PUTSPACE_CALLS => r.stats.putspace_calls as u32,
+            stream::MSGS_RECEIVED => r.stats.messages_received as u32,
+            stream::BUFFER_BASE => r.buffer.base,
+            stream::BUFFER_SIZE => r.buffer.size,
+            _ => 0,
+        }
+    }
+
+    /// Write a memory-mapped shell register (CPU run-time control).
+    /// Writes to read-only or unmapped addresses are ignored.
+    pub fn write_reg(&mut self, addr: u16, value: u32) {
+        if addr >= task::BASE {
+            let idx = ((addr - task::BASE) / task::STRIDE) as usize;
+            let off = (addr - task::BASE) % task::STRIDE;
+            if idx >= self.tasks().len() {
+                return;
+            }
+            let t = TaskIdx(idx as u8);
+            match off {
+                task::ENABLED => self.set_task_enabled(t, value != 0),
+                task::BUDGET => self.set_task_budget(t, value as u64),
+                task::TASK_INFO => self.set_task_info(t, value),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig};
+    use crate::task_table::TaskConfig;
+    use crate::{ShellConfig, ShellId};
+    use eclipse_mem::CyclicBuffer;
+
+    fn shell() -> Shell {
+        let mut s = Shell::new(ShellId(0), ShellConfig::default());
+        let row = s.add_stream_row(StreamRowConfig {
+            buffer: CyclicBuffer::new(0x40, 256),
+            dir: PortDir::Producer,
+            remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
+        });
+        s.add_task(TaskConfig {
+            name: "t".into(),
+            budget: 1234,
+            task_info: 77,
+            ports: vec![row],
+            space_hints: vec![0],
+        });
+        s
+    }
+
+    #[test]
+    fn stream_row_registers_reflect_table_state() {
+        let s = shell();
+        let base = stream::BASE;
+        assert_eq!(s.read_reg(base + stream::SPACE), 256);
+        assert_eq!(s.read_reg(base + stream::BUFFER_BASE), 0x40);
+        assert_eq!(s.read_reg(base + stream::BUFFER_SIZE), 256);
+        assert_eq!(s.read_reg(base + stream::ACCESS_POINT), 0);
+    }
+
+    #[test]
+    fn task_registers_read_and_write() {
+        let mut s = shell();
+        let base = task::BASE;
+        assert_eq!(s.read_reg(base + task::ENABLED), 1);
+        assert_eq!(s.read_reg(base + task::BUDGET), 1234);
+        assert_eq!(s.read_reg(base + task::TASK_INFO), 77);
+        // CPU reprograms the budget and disables the task.
+        s.write_reg(base + task::BUDGET, 9999);
+        s.write_reg(base + task::ENABLED, 0);
+        s.write_reg(base + task::TASK_INFO, 5);
+        assert_eq!(s.read_reg(base + task::BUDGET), 9999);
+        assert_eq!(s.read_reg(base + task::ENABLED), 0);
+        assert_eq!(s.read_reg(base + task::TASK_INFO), 5);
+    }
+
+    #[test]
+    fn global_registers_and_unmapped_reads() {
+        let s = shell();
+        assert_eq!(s.read_reg(global::N_ROWS), 1);
+        assert_eq!(s.read_reg(global::N_TASKS), 1);
+        assert_eq!(s.read_reg(global::MSGS_SENT), 0);
+        // Unmapped: zero, no panic.
+        assert_eq!(s.read_reg(0x0FF), 0);
+        assert_eq!(s.read_reg(stream::BASE + 5 * stream::STRIDE), 0); // row 5 absent
+        assert_eq!(s.read_reg(task::BASE + 9 * task::STRIDE), 0);
+    }
+
+    #[test]
+    fn writes_to_readonly_registers_are_ignored() {
+        let mut s = shell();
+        s.write_reg(stream::BASE + stream::SPACE, 1);
+        assert_eq!(s.read_reg(stream::BASE + stream::SPACE), 256);
+        s.write_reg(task::BASE + task::STEPS, 42);
+        assert_eq!(s.read_reg(task::BASE + task::STEPS), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The event calendar: a priority queue of timestamped events with stable
+//! (FIFO) ordering among events scheduled for the same cycle.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An entry in the calendar. Ordered by `(time, seq)` so that equal-time
+/// events pop in the order they were scheduled — the cornerstone of
+/// simulator determinism.
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event calendar generic over the event payload `E`.
+///
+/// The calendar owns the notion of "current time": [`Calendar::pop`]
+/// advances `now` to the popped event's timestamp. Scheduling into the past
+/// is a logic error and panics in debug builds.
+///
+/// ```
+/// use eclipse_sim::Calendar;
+///
+/// let mut cal: Calendar<&'static str> = Calendar::new();
+/// cal.schedule(5, "b");
+/// cal.schedule(2, "a");
+/// cal.schedule(5, "c"); // same cycle as "b", scheduled later -> pops later
+/// assert_eq!(cal.pop(), Some((2, "a")));
+/// assert_eq!(cal.pop(), Some((5, "b")));
+/// assert_eq!(cal.pop(), Some((5, "c")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar at cycle 0.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` to fire `delay` cycles from now.
+    pub fn schedule(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at absolute time `time` (must be `>= now`).
+    pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past: {} < {}", time, self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Discard all pending events, keeping `now`.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(30, 3);
+        cal.schedule_at(10, 1);
+        cal.schedule_at(20, 2);
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).collect();
+        assert_eq!(order, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn equal_time_events_are_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule_at(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(10, "first");
+        assert_eq!(cal.pop(), Some((10, "first")));
+        cal.schedule(5, "second"); // now=10, fires at 15
+        assert_eq!(cal.pop(), Some((15, "second")));
+        assert_eq!(cal.now(), 15);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(1, ());
+        cal.schedule(2, ());
+        assert_eq!(cal.len(), 2);
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(10, ());
+        cal.pop();
+        cal.schedule_at(5, ());
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulated time.
+//!
+//! Eclipse is a clocked architecture: the paper's first instance runs its
+//! coprocessors at 150 MHz with the on-chip SRAM at 300 MHz (Section 6).
+//! The simulator counts time in *cycles of the base coprocessor clock*;
+//! faster clock domains (like the SRAM) are expressed as integer
+//! multipliers of the base clock.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in base-clock cycles.
+///
+/// 64 bits of cycles at 150 MHz covers ~3900 years of simulated time, so
+/// overflow is not a practical concern and arithmetic is unchecked.
+pub type Cycle = u64;
+
+/// A clock frequency in Hz.
+///
+/// Used to convert between simulated cycles and wall-clock-style metrics
+/// (frames per second, kHz task-switch rates, GB/s bandwidths) when
+/// reporting results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Frequency(pub u64);
+
+impl Frequency {
+    /// The paper's coprocessor clock: 150 MHz.
+    pub const COPROC_150MHZ: Frequency = Frequency(150_000_000);
+    /// The paper's on-chip SRAM clock: 300 MHz.
+    pub const SRAM_300MHZ: Frequency = Frequency(300_000_000);
+
+    /// Frequency in MHz as a float, for reporting.
+    pub fn mhz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Convert a cycle count at this frequency to seconds.
+    pub fn cycles_to_secs(self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.0 as f64
+    }
+
+    /// How many cycles elapse in `secs` seconds at this frequency.
+    pub fn secs_to_cycles(self, secs: f64) -> Cycle {
+        (secs * self.0 as f64).round() as Cycle
+    }
+
+    /// Events-per-second rate of `count` events over `cycles` cycles.
+    pub fn rate(self, count: u64, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            count as f64 / self.cycles_to_secs(cycles)
+        }
+    }
+}
+
+/// The simulation clock: current time plus the base frequency used for
+/// converting measurements into real-time units.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    now: Cycle,
+    /// Base (coprocessor) clock frequency.
+    pub freq: Frequency,
+}
+
+impl Clock {
+    /// A clock starting at cycle 0 with the given base frequency.
+    pub fn new(freq: Frequency) -> Self {
+        Clock { now: 0, freq }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advance the clock to `t`. Time never moves backwards; attempting to
+    /// do so is a kernel bug and panics.
+    #[inline]
+    pub fn advance_to(&mut self, t: Cycle) {
+        debug_assert!(t >= self.now, "clock moved backwards: {} -> {}", self.now, t);
+        self.now = t;
+    }
+
+    /// Seconds of simulated time elapsed since cycle 0.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.freq.cycles_to_secs(self.now)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new(Frequency::COPROC_150MHZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_conversions_round_trip() {
+        let f = Frequency::COPROC_150MHZ;
+        assert_eq!(f.mhz(), 150.0);
+        let cycles = f.secs_to_cycles(0.5);
+        assert_eq!(cycles, 75_000_000);
+        assert!((f.cycles_to_secs(cycles) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_of_zero_cycles_is_zero() {
+        assert_eq!(Frequency(1000).rate(42, 0), 0.0);
+    }
+
+    #[test]
+    fn rate_computes_events_per_second() {
+        // 300 events in 150e6 cycles at 150 MHz = 300 events/sec.
+        let f = Frequency::COPROC_150MHZ;
+        assert!((f.rate(300, 150_000_000) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::default();
+        assert_eq!(c.now(), 0);
+        c.advance_to(10);
+        c.advance_to(10); // same time is fine
+        c.advance_to(250);
+        assert_eq!(c.now(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    #[cfg(debug_assertions)]
+    fn clock_panics_on_backwards_time() {
+        let mut c = Clock::default();
+        c.advance_to(10);
+        c.advance_to(9);
+    }
+}

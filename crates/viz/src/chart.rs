@@ -1,0 +1,178 @@
+//! ASCII time-series charts.
+
+use eclipse_core::TraceSeries;
+
+/// Chart rendering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartConfig {
+    /// Plot width in characters (x axis resolution).
+    pub width: usize,
+    /// Plot height in rows (y axis resolution).
+    pub height: usize,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig { width: 72, height: 12 }
+    }
+}
+
+/// Resample a series to `width` buckets over `[t0, t1]` using the mean of
+/// samples in each bucket (carrying the last value through empty
+/// buckets).
+fn resample(series: &TraceSeries, t0: u64, t1: u64, width: usize) -> Vec<f64> {
+    let mut out = vec![f64::NAN; width];
+    if series.points.is_empty() || t1 <= t0 {
+        return out;
+    }
+    let span = (t1 - t0) as f64;
+    let mut sums = vec![0.0; width];
+    let mut counts = vec![0u32; width];
+    for &(t, v) in &series.points {
+        if t < t0 || t > t1 {
+            continue;
+        }
+        let idx = (((t - t0) as f64 / span) * (width as f64 - 1.0)).round() as usize;
+        sums[idx] += v;
+        counts[idx] += 1;
+    }
+    let mut last = f64::NAN;
+    for i in 0..width {
+        if counts[i] > 0 {
+            last = sums[i] / counts[i] as f64;
+        }
+        out[i] = last;
+    }
+    out
+}
+
+/// Render one series as an ASCII chart with y-axis labels.
+pub fn render_series(series: &TraceSeries, cfg: ChartConfig) -> String {
+    let (t0, t1) = match (series.points.first(), series.points.last()) {
+        (Some(&(a, _)), Some(&(b, _))) => (a, b),
+        _ => return format!("{}: (no samples)\n", series.name),
+    };
+    let values = resample(series, t0, t1, cfg.width);
+    let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+    let max = if max <= 0.0 { 1.0 } else { max };
+
+    let mut out = String::new();
+    out.push_str(&format!("{}  (max {:.0})\n", series.name, max));
+    for row in (0..cfg.height).rev() {
+        let threshold = (row as f64 + 0.5) / cfg.height as f64 * max;
+        let label = if row == cfg.height - 1 {
+            format!("{max:>8.0} |")
+        } else if row == 0 {
+            format!("{:>8.0} |", 0.0)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        for &v in &values {
+            out.push(if v.is_finite() && v >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          cycle {} .. {}\n",
+        "-".repeat(cfg.width),
+        t0,
+        t1
+    ));
+    out
+}
+
+/// Render several series stacked vertically over a shared time axis —
+/// the layout of the paper's Figure 10 (RLSQ / DCT / MC input buffers
+/// over the same GOP timeline).
+pub fn render_stacked(series: &[&TraceSeries], cfg: ChartConfig) -> String {
+    let mut t0 = u64::MAX;
+    let mut t1 = 0u64;
+    for s in series {
+        if let (Some(&(a, _)), Some(&(b, _))) = (s.points.first(), s.points.last()) {
+            t0 = t0.min(a);
+            t1 = t1.max(b);
+        }
+    }
+    if t0 >= t1 {
+        return "(no samples)\n".to_string();
+    }
+    let mut out = String::new();
+    for s in series {
+        let values = resample(s, t0, t1, cfg.width);
+        let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max).max(1.0);
+        out.push_str(&format!("{}  (max {:.0})\n", s.name, max));
+        for row in (0..cfg.height).rev() {
+            let threshold = (row as f64 + 0.5) / cfg.height as f64 * max;
+            out.push_str("  |");
+            for &v in &values {
+                out.push(if v.is_finite() && v >= threshold { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("  +{}\n", "-".repeat(cfg.width)));
+    }
+    out.push_str(&format!("   shared time axis: cycle {t0} .. {t1}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_core::TraceLog;
+
+    fn series(points: &[(u64, f64)]) -> TraceSeries {
+        let mut log = TraceLog::new();
+        for &(t, v) in points {
+            log.record("test", t, v);
+        }
+        log.get("test").unwrap().clone()
+    }
+
+    #[test]
+    fn renders_nonempty_chart() {
+        let s = series(&[(0, 0.0), (50, 10.0), (100, 5.0)]);
+        let chart = render_series(&s, ChartConfig { width: 40, height: 8 });
+        assert!(chart.contains("test"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains("cycle 0 .. 100"));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let s = TraceSeries { name: "empty".into(), points: vec![] };
+        let chart = render_series(&s, ChartConfig::default());
+        assert!(chart.contains("no samples"));
+    }
+
+    #[test]
+    fn charts_autoscale_to_their_own_maximum() {
+        // A constant series fills every row (its max is its value);
+        // a ramp fills a partial triangle.
+        let flat = series(&[(0, 1.0), (100, 1.0)]);
+        let ramp = series(&[(0, 1.0), (50, 50.0), (100, 100.0)]);
+        let c_flat = render_series(&flat, ChartConfig { width: 20, height: 10 });
+        let c_ramp = render_series(&ramp, ChartConfig { width: 20, height: 10 });
+        let count = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(&c_flat), 20 * 10, "constant series fills the whole plot");
+        assert!(count(&c_ramp) > 0 && count(&c_ramp) < 20 * 10, "ramp fills a partial area");
+    }
+
+    #[test]
+    fn stacked_chart_shares_time_axis() {
+        let a = series(&[(0, 1.0), (100, 2.0)]);
+        let mut b = series(&[(50, 3.0), (200, 1.0)]);
+        b.name = "b".into();
+        let chart = render_stacked(&[&a, &b], ChartConfig { width: 30, height: 4 });
+        assert!(chart.contains("cycle 0 .. 200"));
+        assert!(chart.contains("test"));
+        assert!(chart.contains('b'));
+    }
+
+    #[test]
+    fn resample_carries_last_value() {
+        let s = series(&[(0, 4.0), (100, 4.0)]);
+        let vals = resample(&s, 0, 100, 10);
+        assert!(vals.iter().all(|&v| (v - 4.0).abs() < 1e-9));
+    }
+}

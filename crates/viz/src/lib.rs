@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # eclipse-viz — performance visualization
+//!
+//! The paper's Section 7 describes a viewer that renders simulation
+//! measurements as *architecture views* (coprocessor utilization) and
+//! *application views* (stream buffer filling, task stall time) — its
+//! Figure 9. This crate is that viewer for a terminal: ASCII line charts
+//! of [`eclipse_core::TraceSeries`] data, stacked multi-series panels
+//! (the Figure 10 layout), utilization bars, and CSV export for external
+//! plotting.
+//!
+//! Like the paper's viewer, it is deliberately separate from the
+//! simulation environment: it consumes only the recorded
+//! [`eclipse_core::TraceLog`].
+
+pub mod chart;
+pub mod report;
+
+pub use chart::{render_series, render_stacked, ChartConfig};
+pub use report::{utilization_bars, UtilizationRow};

@@ -1,0 +1,71 @@
+//! Tabular reports: utilization bars and summary tables (the paper's
+//! Figure 9 "architecture view").
+
+use eclipse_sim::stats::Utilization;
+
+/// One row of a utilization report.
+#[derive(Debug, Clone)]
+pub struct UtilizationRow {
+    /// Component name.
+    pub name: String,
+    /// Its busy/stall/idle accounting.
+    pub util: Utilization,
+}
+
+/// Render utilization rows as horizontal bars:
+/// `#` busy, `~` stalled, `.` idle.
+pub fn utilization_bars(rows: &[UtilizationRow], width: usize) -> String {
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>6} {:>6} {:>6}  ({} = busy, ~ = stalled, . = idle)\n",
+        "unit", "busy%", "stall%", "idle%", '#'
+    ));
+    for r in rows {
+        let total = (r.util.busy + r.util.stalled + r.util.idle).max(1);
+        let busy_frac = r.util.busy as f64 / total as f64;
+        let stall_frac = r.util.stalled as f64 / total as f64;
+        let idle_frac = 1.0 - busy_frac - stall_frac;
+        let busy_w = (busy_frac * width as f64).round() as usize;
+        let stall_w = (stall_frac * width as f64).round() as usize;
+        let idle_w = width.saturating_sub(busy_w + stall_w);
+        out.push_str(&format!(
+            "{:<name_w$}  {:>5.1}% {:>5.1}% {:>5.1}%  [{}{}{}]\n",
+            r.name,
+            busy_frac * 100.0,
+            stall_frac * 100.0,
+            idle_frac * 100.0,
+            "#".repeat(busy_w),
+            "~".repeat(stall_w),
+            ".".repeat(idle_w),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_reflect_fractions() {
+        let rows = vec![
+            UtilizationRow { name: "vld".into(), util: Utilization { busy: 75, stalled: 15, idle: 10 } },
+            UtilizationRow { name: "dct".into(), util: Utilization { busy: 10, stalled: 0, idle: 90 } },
+        ];
+        let s = utilization_bars(&rows, 20);
+        assert!(s.contains("vld"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("dct"));
+        // vld row should have 15 '#' (75% of 20).
+        let vld_line = s.lines().find(|l| l.starts_with("vld")).unwrap();
+        assert_eq!(vld_line.matches('#').count(), 15);
+    }
+
+    #[test]
+    fn empty_utilization_is_idle() {
+        let rows = vec![UtilizationRow { name: "x".into(), util: Utilization::default() }];
+        let s = utilization_bars(&rows, 10);
+        assert!(s.contains("0.0%"));
+    }
+}

@@ -1,0 +1,67 @@
+//! A complete demuxed A/V program — the paper's §6 DSP-CPU software
+//! tasks working together: the software demultiplexer splits a transport
+//! stream from off-chip memory into the video elementary stream (feeding
+//! the VLD coprocessor through its stream input port) and coded audio
+//! (feeding the software audio decoder), while the same DSP also runs
+//! the display task. (`cargo run --release --example av_program`)
+
+use eclipse::coprocs::apps::AvProgramConfig;
+use eclipse::coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse::core::{EclipseConfig, RunOutcome};
+use eclipse::media::audio;
+use eclipse::media::encoder::{Encoder, EncoderConfig};
+use eclipse::media::source::{SourceConfig, SyntheticSource};
+use eclipse::media::stream::GopConfig;
+use eclipse::media::Decoder;
+
+fn main() {
+    // Produce the program: video + audio, multiplexed by the builder.
+    let (width, height, frames) = (96, 80, 6);
+    let source = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 99 });
+    let encoder = Encoder::new(EncoderConfig {
+        width,
+        height,
+        qscale: 6,
+        gop: GopConfig { n: 6, m: 3 },
+        search_range: 15,
+    });
+    let (video, _) = encoder.encode(&source.frames(frames));
+    let video_ref = Decoder::decode(&video).unwrap();
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 64, 0xCAFE); // ~0.34 s at 48 kHz
+    let audio_ref = audio::decode(&audio::encode(&pcm));
+
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_av_program("prog", video, &pcm, AvProgramConfig::default());
+    let mut sys = b.build();
+    let summary = sys.run(20_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+
+    let frames_out = sys.display_frames("prog").unwrap();
+    let samples = sys.pcm_samples("prog").unwrap();
+    println!(
+        "program decoded in {} cycles ({:.2} ms at 150 MHz)",
+        summary.cycles,
+        summary.cycles as f64 / 150e3
+    );
+    println!(
+        "video: {} frames, bit-exact vs software decoder: {}",
+        frames_out.len(),
+        frames_out == video_ref.frames
+    );
+    println!(
+        "audio: {} samples, SNR vs source {:.1} dB, matches software decoder: {}",
+        samples.len(),
+        audio::snr_db(&pcm, &samples),
+        samples == audio_ref
+    );
+
+    println!("\nDSP-CPU task table (all software, time-shared):");
+    let dsp = &sys.sys.shells()[sys.coprocs.dsp];
+    for t in dsp.tasks() {
+        println!(
+            "  {:<14} {:>6} steps, {:>9} busy cycles, {:>4} switches in",
+            t.cfg.name, t.stats.steps, t.stats.busy_cycles, t.stats.switches_in
+        );
+    }
+    println!("\n(the VLD consumed its bitstream through a stream port fed by the demux,\n instead of its usual private off-chip fetch — both arrangements are supported)");
+}

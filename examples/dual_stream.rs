@@ -1,0 +1,68 @@
+//! The paper's headline flexibility claim: decode several streams
+//! *simultaneously* on one set of multi-tasking coprocessors — each
+//! coprocessor time-shares tasks from multiple application graphs.
+//! (`cargo run --release --example dual_stream`)
+
+use eclipse::coprocs::apps::DecodeAppConfig;
+use eclipse::coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse::core::{EclipseConfig, RunOutcome};
+use eclipse::media::encoder::{Encoder, EncoderConfig};
+use eclipse::media::source::{SourceConfig, SyntheticSource};
+use eclipse::media::stream::GopConfig;
+use eclipse::media::Decoder;
+
+fn make_stream(seed: u64, frames: u16) -> Vec<u8> {
+    let source = SyntheticSource::new(SourceConfig { width: 176, height: 144, complexity: 0.5, motion: 2.0, seed });
+    let encoder = Encoder::new(EncoderConfig {
+        width: 176,
+        height: 144,
+        qscale: 6,
+        gop: GopConfig { n: 12, m: 3 },
+        search_range: 15,
+    });
+    encoder.encode(&source.frames(frames)).0
+}
+
+fn main() {
+    let frames = 8;
+    let stream_a = make_stream(1001, frames);
+    let stream_b = make_stream(2002, frames);
+    let ref_a = Decoder::decode(&stream_a).unwrap();
+    let ref_b = Decoder::decode(&stream_b).unwrap();
+
+    // One instance, two decode applications: every coprocessor hosts two
+    // tasks (e.g. the VLD runs vld tasks for both streams, time-shared by
+    // its shell's weighted round-robin scheduler).
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_decode("a", stream_a, DecodeAppConfig::default());
+    b.add_decode("b", stream_b, DecodeAppConfig::default());
+    let mut sys = b.build();
+    let summary = sys.run(20_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+
+    // Both applications decode bit-exactly, concurrently.
+    let out_a = sys.display_frames("a").unwrap();
+    let out_b = sys.display_frames("b").unwrap();
+    assert!(out_a.iter().zip(&ref_a.frames).all(|(x, y)| x == y), "stream A corrupted");
+    assert!(out_b.iter().zip(&ref_b.frames).all(|(x, y)| x == y), "stream B corrupted");
+    println!("both streams decoded bit-exactly in {} cycles ({:.2} ms at 150 MHz)", summary.cycles, summary.cycles as f64 / 150e3);
+
+    // Show the multi-tasking: tasks and switch counts per coprocessor.
+    println!("\nper-coprocessor multi-tasking:");
+    for (i, name) in sys.sys.shell_names().iter().enumerate() {
+        let shell = &sys.sys.shells()[i];
+        let tasks: Vec<&str> = shell.tasks().iter().map(|t| t.cfg.name.as_str()).collect();
+        println!(
+            "  {:<8} {} tasks {:?}, {} task switches",
+            name,
+            tasks.len(),
+            tasks,
+            shell.sched().switches
+        );
+    }
+    println!(
+        "\nThis is the paper's Section 4.2 claim in action: 'application\n\
+         complexity is not restricted to the number of coprocessors in the\n\
+         architecture' — the same four coprocessors serve both graphs."
+    );
+}

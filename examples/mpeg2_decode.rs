@@ -1,0 +1,74 @@
+//! Decode an MPEG-2-like stream on the paper's Figure 8 instance and
+//! verify the simulated architecture against the software decoder.
+//! (`cargo run --release --example mpeg2_decode`)
+
+use eclipse::coprocs::instance::build_decode_system;
+use eclipse::core::{EclipseConfig, RunOutcome};
+use eclipse::media::encoder::{Encoder, EncoderConfig};
+use eclipse::media::source::{SourceConfig, SyntheticSource};
+use eclipse::media::stream::GopConfig;
+use eclipse::media::Decoder;
+use eclipse::viz::{render_stacked, ChartConfig};
+
+fn main() {
+    // 1. Produce a test stream with the software encoder.
+    let (width, height, frames) = (176, 144, 10);
+    let source = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 42 });
+    let encoder = Encoder::new(EncoderConfig {
+        width,
+        height,
+        qscale: 6,
+        gop: GopConfig { n: 12, m: 3 },
+        search_range: 15,
+    });
+    let original = source.frames(frames);
+    let (bitstream, stats) = encoder.encode(&original);
+    println!(
+        "encoded {} frames ({}x{}) -> {} kB, {} pictures",
+        frames,
+        width,
+        height,
+        bitstream.len() / 1024,
+        stats.pictures.len()
+    );
+
+    // 2. Decode it in software (the reference)...
+    let reference = Decoder::decode(&bitstream).expect("valid stream");
+
+    // 3. ...and through the simulated Eclipse instance.
+    let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
+    let summary = dec.system.run(5_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    let decoded = dec.system.display_frames("dec0").expect("all frames decoded");
+
+    // 4. The architecture must be functionally transparent: byte-equal.
+    let mut exact = 0;
+    for (sim, sw) in decoded.iter().zip(&reference.frames) {
+        if sim == sw {
+            exact += 1;
+        }
+    }
+    println!(
+        "simulated decode: {} cycles ({:.2} ms at 150 MHz), {}/{} frames bit-exact vs software",
+        summary.cycles,
+        summary.cycles as f64 / 150e3,
+        exact,
+        frames
+    );
+    assert_eq!(exact, frames as usize, "architecture must not change the data");
+
+    // 5. Show the paper's Figure 10 view of the run.
+    let trace = dec.system.sys.trace();
+    let chart = render_stacked(
+        &[
+            trace.get("space/dec0.token:dec0.rlsq.in0").unwrap(),
+            trace.get("space/dec0.coef:dec0.idct.in0").unwrap(),
+            trace.get("space/dec0.resid:dec0.mc.in1").unwrap(),
+        ],
+        ChartConfig { width: 90, height: 6 },
+    );
+    println!("\nstream buffer filling over time (cf. paper Figure 10):\n\n{chart}");
+
+    let psnr = decoded[0].psnr_y(&original[0]);
+    println!("decode quality vs source: {:.1} dB (first frame, luma)", psnr);
+}

@@ -1,0 +1,155 @@
+//! Quickstart: build a tiny Eclipse application from scratch — a custom
+//! coprocessor, a Kahn graph, the system builder — run it, and read the
+//! measurements. (`cargo run --release --example quickstart`)
+
+use eclipse::core::{Coprocessor, EclipseConfig, RunOutcome, StepCtx, StepResult, SystemBuilder};
+use eclipse::kpn::GraphBuilder;
+use eclipse::shell::{PortId, TaskIdx};
+
+/// A coprocessor that upper-cases ASCII packets — the "hello world" of
+/// stream processing. One packet per processing step, written exactly in
+/// the paper's five-primitive style.
+struct UppercaseCoproc {
+    packets_done: u32,
+    total: u32,
+}
+
+impl Coprocessor for UppercaseCoproc {
+    fn name(&self) -> &str {
+        "uppercase"
+    }
+    fn supports(&self, function: &str) -> bool {
+        function == "uppercase"
+    }
+    fn configure_task(&mut self, _task: TaskIdx, _decl: &eclipse::kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        (vec![1], vec![16]) // scheduler hints: 1 byte in, a packet of room out
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        const IN: PortId = 0;
+        const OUT: PortId = 1;
+        // GetSpace: is a 16-byte packet available, and room for the result?
+        if !ctx.get_space(IN, 16) || !ctx.get_space(OUT, 16) {
+            return StepResult::Blocked; // abort the step; the shell blocks us
+        }
+        let mut buf = [0u8; 16];
+        ctx.read(IN, 0, &mut buf); // Read inside the granted window
+        for b in buf.iter_mut() {
+            *b = b.to_ascii_uppercase();
+        }
+        ctx.compute(16); // model: one cycle per byte
+        ctx.write(OUT, 0, &buf);
+        ctx.put_space(IN, 16); // commit: consumed 16 bytes...
+        ctx.put_space(OUT, 16); // ...produced 16 bytes
+        self.packets_done += 1;
+        if self.packets_done == self.total {
+            StepResult::Finished
+        } else {
+            StepResult::Done
+        }
+    }
+}
+
+/// Source/sink live on a little "software" coprocessor.
+struct TextEnds {
+    text: &'static [u8],
+    sent: usize,
+    received: Vec<u8>,
+    expected: usize,
+}
+
+impl Coprocessor for TextEnds {
+    fn name(&self) -> &str {
+        "text-io"
+    }
+    fn supports(&self, function: &str) -> bool {
+        matches!(function, "source" | "sink")
+    }
+    fn configure_task(&mut self, _t: TaskIdx, _d: &eclipse::kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        (vec![], vec![])
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        if task == TaskIdx(0) {
+            // Source task: emit 16-byte packets.
+            if self.sent >= self.text.len() {
+                return StepResult::Finished;
+            }
+            if !ctx.get_space(0, 16) {
+                return StepResult::Blocked;
+            }
+            let chunk = &self.text[self.sent..self.sent + 16];
+            ctx.write(0, 0, chunk);
+            ctx.compute(20);
+            ctx.put_space(0, 16);
+            self.sent += 16;
+            if self.sent >= self.text.len() {
+                StepResult::Finished
+            } else {
+                StepResult::Done
+            }
+        } else {
+            // Sink task: collect packets.
+            if !ctx.get_space(0, 16) {
+                return StepResult::Blocked;
+            }
+            let mut buf = [0u8; 16];
+            ctx.read(0, 0, &mut buf);
+            ctx.compute(20);
+            ctx.put_space(0, 16);
+            self.received.extend_from_slice(&buf);
+            if self.received.len() >= self.expected {
+                StepResult::Finished
+            } else {
+                StepResult::Done
+            }
+        }
+    }
+}
+
+fn main() {
+    // 1. Describe the application as a Kahn graph.
+    let mut g = GraphBuilder::new("hello");
+    let raw = g.stream("raw", 128);
+    let shouted = g.stream("shouted", 128);
+    g.task("src", "source", 0, &[], &[raw]);
+    g.task("upper", "uppercase", 0, &[raw], &[shouted]);
+    g.task("dst", "sink", 0, &[shouted], &[]);
+    let graph = g.build().expect("valid graph");
+
+    // 2. Instantiate an Eclipse system and map the application onto it.
+    let text = b"eclipse makes coprocessors reusable and multi-tasking!..";
+    let total_packets = (text.len() / 16) as u32 * 16;
+    let mut b = SystemBuilder::new(EclipseConfig::default());
+    let io = b.add_coprocessor(Box::new(TextEnds {
+        text: &text[..total_packets as usize],
+        sent: 0,
+        received: Vec::new(),
+        expected: total_packets as usize,
+    }));
+    b.add_coprocessor(Box::new(UppercaseCoproc { packets_done: 0, total: total_packets / 16 }));
+    b.map_app(&graph).expect("graph maps onto the instance");
+
+    // 3. Run the cycle simulation.
+    let mut sys = b.build();
+    let summary = sys.run(1_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+
+    // 4. Read the results: data and measurements.
+    let ends = sys.coproc(io).as_any().downcast_ref::<TextEnds>().unwrap();
+    println!("output : {}", String::from_utf8_lossy(&ends.received));
+    println!("cycles : {}", summary.cycles);
+    println!("syncs  : {} putspace messages", summary.sync_messages);
+    for (name, util) in sys.shell_names().iter().zip(&summary.utilization) {
+        println!(
+            "unit {:<10} busy {:>5.1}%  stalled {:>5.1}%",
+            name,
+            util.busy_fraction() * 100.0,
+            util.stall_fraction() * 100.0
+        );
+    }
+}
