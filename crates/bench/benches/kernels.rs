@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks of the functional kernels the coprocessors
-//! execute: DCT, quantization, run-length coding, VLC, motion search, and
-//! the windowed FIFO primitives. These keep the *simulator host speed*
-//! honest — the cycle model is separate.
+//! Microbenchmarks of the functional kernels the coprocessors execute:
+//! DCT, quantization, run-length coding, VLC, motion search, and the
+//! windowed FIFO primitives. These keep the *simulator host speed* honest
+//! — the cycle model is separate.
+//!
+//! Runs as a plain `harness = false` binary (`cargo bench --bench
+//! kernels`) on the in-repo harness in [`eclipse_bench::microbench`].
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use eclipse_bench::microbench::bench;
 use eclipse_media::bits::{BitReader, BitWriter};
 use eclipse_media::dct::{fdct2d, idct2d};
 use eclipse_media::motion::{three_step_search_pred, MotionVector};
@@ -22,66 +25,73 @@ fn test_block() -> [i16; 64] {
     b
 }
 
-fn bench_dct(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dct");
-    g.throughput(Throughput::Elements(1));
+fn bench_dct() {
     let block = test_block();
-    g.bench_function("fdct2d", |b| b.iter(|| fdct2d(black_box(&block))));
+    bench("dct/fdct2d", || fdct2d(black_box(&block)));
     let coefs = fdct2d(&block);
-    g.bench_function("idct2d", |b| b.iter(|| idct2d(black_box(&coefs))));
-    g.finish();
+    bench("dct/idct2d", || idct2d(black_box(&coefs)));
 }
 
-fn bench_quant_rle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rlsq");
+fn bench_quant_rle() {
     let coefs = fdct2d(&test_block());
-    g.bench_function("quant_intra", |b| b.iter(|| quant_intra(black_box(&coefs), 6)));
+    bench("rlsq/quant_intra", || quant_intra(black_box(&coefs), 6));
     let levels = quant_intra(&coefs, 6);
-    g.bench_function("dequant_intra", |b| b.iter(|| dequant_intra(black_box(&levels), 6)));
-    g.bench_function("rle_encode", |b| b.iter(|| rle_encode(black_box(&levels))));
+    bench("rlsq/dequant_intra", || {
+        dequant_intra(black_box(&levels), 6)
+    });
+    bench("rlsq/rle_encode", || rle_encode(black_box(&levels)));
     let symbols = rle_encode(&levels);
-    g.bench_function("rle_decode", |b| b.iter(|| rle_decode(black_box(&symbols)).unwrap()));
-    g.finish();
+    bench("rlsq/rle_decode", || {
+        rle_decode(black_box(&symbols)).unwrap()
+    });
 }
 
-fn bench_vlc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vlc");
+fn bench_vlc() {
     let symbols = rle_encode(&quant_intra(&fdct2d(&test_block()), 6));
-    g.throughput(Throughput::Elements(symbols.len() as u64));
-    g.bench_function("encode_block", |b| {
-        b.iter(|| {
-            let mut w = BitWriter::new();
-            put_block(&mut w, black_box(&symbols));
-            w.finish()
-        })
+    bench("vlc/encode_block", || {
+        let mut w = BitWriter::new();
+        put_block(&mut w, black_box(&symbols));
+        w.finish()
     });
     let mut w = BitWriter::new();
     put_block(&mut w, &symbols);
     let bytes = w.finish();
-    g.bench_function("decode_block", |b| {
-        b.iter(|| {
-            let mut r = BitReader::new(black_box(&bytes));
-            get_block(&mut r).unwrap()
-        })
+    bench("vlc/decode_block", || {
+        let mut r = BitReader::new(black_box(&bytes));
+        get_block(&mut r).unwrap()
     });
-    g.finish();
 }
 
-fn bench_motion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("motion");
-    let src = SyntheticSource::new(SourceConfig { width: 176, height: 144, complexity: 0.5, motion: 2.0, seed: 7 });
+fn bench_motion() {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 176,
+        height: 144,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 7,
+    });
     let f0 = src.frame(0);
     let f1 = src.frame(1);
-    g.bench_function("three_step_search_qcif_mb", |b| {
-        b.iter(|| three_step_search_pred(black_box(&f1), black_box(&f0), 5, 4, 15, &[MotionVector::default()]))
+    bench("motion/three_step_search_qcif_mb", || {
+        three_step_search_pred(
+            black_box(&f1),
+            black_box(&f0),
+            5,
+            4,
+            15,
+            &[MotionVector::default()],
+        )
     });
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
-    g.sample_size(10);
-    let src = SyntheticSource::new(SourceConfig { width: 176, height: 144, complexity: 0.5, motion: 2.0, seed: 7 });
+fn bench_codec() {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 176,
+        height: 144,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 7,
+    });
     let frames = src.frames(5);
     let enc = eclipse_media::Encoder::new(eclipse_media::EncoderConfig {
         width: 176,
@@ -90,86 +100,91 @@ fn bench_codec(c: &mut Criterion) {
         gop: eclipse_media::GopConfig { n: 12, m: 3 },
         search_range: 15,
     });
-    g.bench_function("encode_qcif_5f", |b| b.iter(|| enc.encode(black_box(&frames))));
+    bench("codec/encode_qcif_5f", || enc.encode(black_box(&frames)));
     let (bytes, _) = enc.encode(&frames);
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("decode_qcif_5f", |b| b.iter(|| eclipse_media::Decoder::decode(black_box(&bytes)).unwrap()));
-    g.finish();
-}
-
-fn bench_fifo(c: &mut Criterion) {
-    use eclipse_kpn::{Fifo, FifoConfig};
-    let mut g = c.benchmark_group("kpn_fifo");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("window_cycle_64B", |b| {
-        let fifo = Fifo::new(FifoConfig { capacity: 4096, consumers: 1 });
-        let data = [0xA5u8; 64];
-        let mut buf = [0u8; 64];
-        b.iter(|| {
-            fifo.producer_wait_space(64);
-            fifo.producer_write(0, &data);
-            fifo.producer_put_space(64);
-            fifo.consumer_wait_space(0, 64);
-            fifo.consumer_read(0, 0, &mut buf);
-            fifo.consumer_put_space(0, 64);
-            black_box(buf[0])
-        })
+    bench("codec/decode_qcif_5f", || {
+        eclipse_media::Decoder::decode(black_box(&bytes)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_shell(c: &mut Criterion) {
+fn bench_fifo() {
+    use eclipse_kpn::{Fifo, FifoConfig};
+    let fifo = Fifo::new(FifoConfig {
+        capacity: 4096,
+        consumers: 1,
+    });
+    let data = [0xA5u8; 64];
+    let mut buf = [0u8; 64];
+    bench("kpn_fifo/window_cycle_64B", || {
+        fifo.producer_wait_space(64);
+        fifo.producer_write(0, &data);
+        fifo.producer_put_space(64);
+        fifo.consumer_wait_space(0, 64);
+        fifo.consumer_read(0, 0, &mut buf);
+        fifo.consumer_put_space(0, 64);
+        black_box(buf[0])
+    });
+}
+
+fn bench_shell() {
     use eclipse_mem::{Bus, BusConfig, CyclicBuffer, Sram, SramConfig};
     use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig};
     use eclipse_shell::task_table::TaskConfig;
     use eclipse_shell::{MemSys, Shell, ShellConfig, ShellId, TaskIdx};
 
-    let mut g = c.benchmark_group("shell");
-    g.bench_function("getspace_putspace_roundtrip", |b| {
-        b.iter_batched(
-            || {
-                let mut shell = Shell::new(ShellId(0), ShellConfig::default());
-                let row = shell.add_stream_row(StreamRowConfig {
-                    buffer: CyclicBuffer::new(0, 4096),
-                    dir: PortDir::Producer,
-                    remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
-                });
-                shell.add_task(TaskConfig {
-                    name: "t".into(),
-                    budget: 1000,
-                    task_info: 0,
-                    ports: vec![row],
-                    space_hints: vec![0],
-                });
-                let mem = MemSys {
-                    sram: Sram::new(SramConfig::default()),
-                    read_bus: Bus::new("r", BusConfig::default()),
-                    write_bus: Bus::new("w", BusConfig::default()),
-                };
-                (shell, mem, 0u64)
-            },
-            |(mut shell, mut mem, mut now)| {
-                for _ in 0..16 {
-                    shell.get_space(TaskIdx(0), 0, 64, now);
-                    shell.write(TaskIdx(0), 0, 0, &[1u8; 64], now, &mut mem);
-                    let out = shell.put_space(TaskIdx(0), 0, 64, now, &mut mem);
-                    now = out.done + 1;
-                    // Recycle the room locally so the loop can continue.
-                    let msg = eclipse_shell::SyncMsg {
-                        src: AccessPoint { shell: ShellId(1), row: RowIdx(0) },
-                        dst: AccessPoint { shell: ShellId(0), row: RowIdx(0) },
-                        bytes: 64,
-                        send_at: now,
-                    };
-                    shell.deliver_putspace(&msg, now);
-                }
-                black_box(now)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("shell/getspace_putspace_roundtrip", || {
+        let mut shell = Shell::new(ShellId(0), ShellConfig::default());
+        let row = shell.add_stream_row(StreamRowConfig {
+            buffer: CyclicBuffer::new(0, 4096),
+            dir: PortDir::Producer,
+            remotes: vec![AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            }],
+        });
+        shell.add_task(TaskConfig {
+            name: "t".into(),
+            budget: 1000,
+            task_info: 0,
+            ports: vec![row],
+            space_hints: vec![0],
+        });
+        let mut mem = MemSys {
+            sram: Sram::new(SramConfig::default()),
+            read_bus: Bus::new("r", BusConfig::default()),
+            write_bus: Bus::new("w", BusConfig::default()),
+        };
+        let mut now = 0u64;
+        for _ in 0..16 {
+            shell.get_space(TaskIdx(0), 0, 64, now);
+            shell.write(TaskIdx(0), 0, 0, &[1u8; 64], now, &mut mem);
+            let out = shell.put_space(TaskIdx(0), 0, 64, now, &mut mem);
+            now = out.done + 1;
+            // Recycle the room locally so the loop can continue.
+            let msg = eclipse_shell::SyncMsg {
+                src: AccessPoint {
+                    shell: ShellId(1),
+                    row: RowIdx(0),
+                },
+                dst: AccessPoint {
+                    shell: ShellId(0),
+                    row: RowIdx(0),
+                },
+                bytes: 64,
+                send_at: now,
+            };
+            shell.deliver_putspace(&msg, now);
+        }
+        black_box(now)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_dct, bench_quant_rle, bench_vlc, bench_motion, bench_codec, bench_fifo, bench_shell);
-criterion_main!(benches);
+fn main() {
+    bench_dct();
+    bench_quant_rle();
+    bench_vlc();
+    bench_motion();
+    bench_codec();
+    bench_fifo();
+    bench_shell();
+}

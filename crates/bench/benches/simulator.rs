@@ -1,23 +1,26 @@
-//! Criterion benchmarks of the simulator itself: how fast the host
-//! executes simulated cycles (the paper's simulator was "a design tool";
-//! host speed bounds the explorable design space).
+//! Benchmarks of the simulator itself: how fast the host executes
+//! simulated cycles (the paper's simulator was "a design tool"; host
+//! speed bounds the explorable design space).
+//!
+//! Runs as a plain `harness = false` binary (`cargo bench --bench
+//! simulator`) on the in-repo harness in [`eclipse_bench::microbench`].
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
+use eclipse_bench::microbench::bench_with_budget;
 use eclipse_bench::synthetic::PipeCoproc;
 use eclipse_bench::StreamSpec;
 use eclipse_coprocs::instance::build_decode_system;
 use eclipse_core::{EclipseConfig, RunOutcome, SystemBuilder};
 use eclipse_kpn::GraphBuilder;
 
-fn bench_event_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-
+fn bench_event_loop() {
     // Pure event-loop speed on the synthetic pipeline.
-    g.bench_function("synthetic_pipeline_1k_packets", |b| {
-        b.iter(|| {
+    bench_with_budget(
+        "simulator/synthetic_pipeline_1k_packets",
+        Duration::from_millis(500),
+        || {
             let mut gb = GraphBuilder::new("p");
             let a = gb.stream("a", 256);
             let s2 = gb.stream("b", 256);
@@ -34,27 +37,29 @@ fn bench_event_loop(c: &mut Criterion) {
             let summary = sys.run(100_000_000);
             assert_eq!(summary.outcome, RunOutcome::AllFinished);
             black_box(summary.cycles)
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_full_decode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator_decode");
-    g.sample_size(10);
-    let spec = StreamSpec { frames: 3, ..StreamSpec::tiny() };
+fn bench_full_decode() {
+    let spec = StreamSpec {
+        frames: 3,
+        ..StreamSpec::tiny()
+    };
     let (bitstream, _) = spec.encode();
-    g.throughput(Throughput::Elements(spec.mbs_per_frame() as u64 * spec.frames as u64));
-    g.bench_function("mpeg_decode_tiny_3f", |b| {
-        b.iter(|| {
+    bench_with_budget(
+        "simulator/mpeg_decode_tiny_3f",
+        Duration::from_millis(500),
+        || {
             let mut dec = build_decode_system(EclipseConfig::default(), bitstream.clone());
             let summary = dec.system.run(1_000_000_000);
             assert_eq!(summary.outcome, RunOutcome::AllFinished);
             black_box(summary.cycles)
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-criterion_group!(benches, bench_event_loop, bench_full_decode);
-criterion_main!(benches);
+fn main() {
+    bench_event_loop();
+    bench_full_decode();
+}

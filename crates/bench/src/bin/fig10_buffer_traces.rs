@@ -50,7 +50,12 @@ fn main() {
 
     let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
     let summary = dec.system.run(2_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "decode must complete: {:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "decode must complete: {:?}",
+        summary.outcome
+    );
     println!(
         "simulated {} cycles ({:.1} ms at 150 MHz), {} sync messages\n",
         summary.cycles,
@@ -60,15 +65,33 @@ fn main() {
 
     // --- the figure: buffer-filling traces (paper Figure 10 layout) ----
     let trace = dec.system.sys.trace();
-    let rlsq_in = trace.get("space/dec0.token:dec0.rlsq.in0").expect("rlsq input trace");
-    let dct_in = trace.get("space/dec0.coef:dec0.idct.in0").expect("dct input trace");
-    let mc_in = trace.get("space/dec0.resid:dec0.mc.in1").expect("mc input trace");
-    let chart = render_stacked(&[rlsq_in, dct_in, mc_in], ChartConfig { width: 100, height: 8 });
+    let rlsq_in = trace
+        .get("space/dec0.token:dec0.rlsq.in0")
+        .expect("rlsq input trace");
+    let dct_in = trace
+        .get("space/dec0.coef:dec0.idct.in0")
+        .expect("dct input trace");
+    let mc_in = trace
+        .get("space/dec0.resid:dec0.mc.in1")
+        .expect("mc input trace");
+    let chart = render_stacked(
+        &[rlsq_in, dct_in, mc_in],
+        ChartConfig {
+            width: 100,
+            height: 8,
+        },
+    );
     println!("Available data in the RLSQ / DCT / MC input streams (paper Figure 10):\n");
     println!("{chart}");
 
     // --- bottleneck attribution per picture ----------------------------
-    let mcme = dec.system.sys.coproc(dec.system.coprocs.mcme).as_any().downcast_ref::<McMeCoproc>().unwrap();
+    let mcme = dec
+        .system
+        .sys
+        .coproc(dec.system.coprocs.mcme)
+        .as_any()
+        .downcast_ref::<McMeCoproc>()
+        .unwrap();
     let mc_task = {
         // The mc task is the only MC/ME task in this system.
         use eclipse_shell::TaskIdx;
@@ -77,12 +100,23 @@ fn main() {
     let spans = mcme.pic_spans(mc_task).to_vec();
     let shells = ["vld", "rlsq", "dct", "mcme"];
     let mut rows = Vec::new();
-    let mut per_type_wins: std::collections::HashMap<PictureType, Vec<&'static str>> = Default::default();
+    let mut per_type_wins: std::collections::HashMap<PictureType, Vec<&'static str>> =
+        Default::default();
     for span in &spans {
-        let busys: Vec<f64> = shells.iter().map(|s| occupancy_in_span(trace, s, span)).collect();
+        let busys: Vec<f64> = shells
+            .iter()
+            .map(|s| occupancy_in_span(trace, s, span))
+            .collect();
         let denom = (span.end - span.start).max(1) as f64;
-        let (best_idx, _) = busys.iter().enumerate().fold((0, -1.0), |acc, (i, &b)| if b > acc.1 { (i, b) } else { acc });
-        per_type_wins.entry(span.ptype).or_default().push(shells[best_idx]);
+        let (best_idx, _) =
+            busys.iter().enumerate().fold(
+                (0, -1.0),
+                |acc, (i, &b)| if b > acc.1 { (i, b) } else { acc },
+            );
+        per_type_wins
+            .entry(span.ptype)
+            .or_default()
+            .push(shells[best_idx]);
         rows.push(vec![
             format!("{}", span.temporal_ref),
             format!("{:?}", span.ptype),
@@ -95,7 +129,16 @@ fn main() {
         ]);
     }
     let t = table(
-        &["pic", "type", "cycles", "vld occ", "rlsq occ", "dct occ", "mc occ", "bottleneck"],
+        &[
+            "pic",
+            "type",
+            "cycles",
+            "vld occ",
+            "rlsq occ",
+            "dct occ",
+            "mc occ",
+            "bottleneck",
+        ],
         &rows,
     );
     println!("Per-picture busy fractions and bottleneck (paper: I->RLSQ, P->DCT, B->MC):\n\n{t}");
@@ -107,7 +150,11 @@ fn main() {
         for w in wins {
             *counts.entry(w).or_default() += 1;
         }
-        counts.into_iter().max_by_key(|&(_, c)| c).map(|(s, _)| s).unwrap_or("-")
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(s, _)| s)
+            .unwrap_or("-")
     };
     let verdict = table(
         &["picture type", "majority bottleneck (measured)", "paper"],

@@ -25,7 +25,10 @@ fn main() {
         .shell_names()
         .iter()
         .zip(&summary.utilization)
-        .map(|(name, util)| UtilizationRow { name: name.clone(), util: *util })
+        .map(|(name, util)| UtilizationRow {
+            name: name.clone(),
+            util: *util,
+        })
         .collect();
     let bars = utilization_bars(&rows, 50);
     println!("{bars}");
@@ -42,21 +45,36 @@ fn main() {
         "space/dec0.recon:dec0.display.in0",
     ] {
         let series = trace.get(name).expect("trace series");
-        let chart = render_series(series, ChartConfig { width: 90, height: 6 });
+        let chart = render_series(
+            series,
+            ChartConfig {
+                width: 90,
+                height: 6,
+            },
+        );
         println!("{chart}");
         out.push_str(&chart);
     }
 
     // ---- application view: GetSpace denials per task over time ----------
     println!("=== application view: GetSpace denials per task over time ===\n");
-    for name in ["taskdenied/dec0.vld", "taskdenied/dec0.rlsq", "taskdenied/dec0.mc"] {
+    for name in [
+        "taskdenied/dec0.vld",
+        "taskdenied/dec0.rlsq",
+        "taskdenied/dec0.mc",
+    ] {
         if let Some(series) = trace.get(name) {
-            let chart = render_series(series, ChartConfig { width: 90, height: 4 });
+            let chart = render_series(
+                series,
+                ChartConfig {
+                    width: 90,
+                    height: 4,
+                },
+            );
             println!("{chart}");
             out.push_str(&chart);
         }
     }
-
 
     // ---- application view: task behaviour -------------------------------
     println!("=== application view: per-task behaviour ===\n");
@@ -76,7 +94,15 @@ fn main() {
         }
     }
     let task_table = table(
-        &["task", "unit", "steps", "aborted", "busy cycles", "GetSpace denials", "switches in"],
+        &[
+            "task",
+            "unit",
+            "steps",
+            "aborted",
+            "busy cycles",
+            "GetSpace denials",
+            "switches in",
+        ],
         &rows,
     );
     println!("{task_table}");

@@ -33,7 +33,16 @@ fn main() {
             format!("{:.2}", mem.read_bus.stats().wait.mean()),
         ]);
     }
-    let t1 = table(&["bus width", "decode cycles", "read-bus util", "write-bus util", "mean arb wait"], &rows);
+    let t1 = table(
+        &[
+            "bus width",
+            "decode cycles",
+            "read-bus util",
+            "write-bus util",
+            "mean arb wait",
+        ],
+        &rows,
+    );
     println!("{t1}");
 
     println!("Bus latency sweep (width 128 bits):\n");
@@ -48,7 +57,10 @@ fn main() {
         rows.push(vec![
             format!("{latency} cycles"),
             format!("{}", summary.cycles),
-            format!("{:+.1}%", (summary.cycles as f64 / w128_cycles as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (summary.cycles as f64 / w128_cycles as f64 - 1.0) * 100.0
+            ),
         ]);
     }
     let t2 = table(&["bus latency", "decode cycles", "vs 128-bit/lat-1"], &rows);

@@ -18,18 +18,79 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline_cycles = 0u64;
     for (label, cache) in [
-        ("uncached", CacheConfig { lines: 0, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        ("128 B", CacheConfig { lines: 2, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        ("256 B", CacheConfig { lines: 4, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        ("512 B", CacheConfig { lines: 8, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        ("1 kB", CacheConfig { lines: 16, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        ("512 B + prefetch", CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 }),
-        ("1 kB + prefetch", CacheConfig { lines: 16, line_bytes: 64, prefetch: true, prefetch_depth: 2 }),
+        (
+            "uncached",
+            CacheConfig {
+                lines: 0,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            },
+        ),
+        (
+            "128 B",
+            CacheConfig {
+                lines: 2,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            },
+        ),
+        (
+            "256 B",
+            CacheConfig {
+                lines: 4,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            },
+        ),
+        (
+            "512 B",
+            CacheConfig {
+                lines: 8,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            },
+        ),
+        (
+            "1 kB",
+            CacheConfig {
+                lines: 16,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            },
+        ),
+        (
+            "512 B + prefetch",
+            CacheConfig {
+                lines: 8,
+                line_bytes: 64,
+                prefetch: true,
+                prefetch_depth: 2,
+            },
+        ),
+        (
+            "1 kB + prefetch",
+            CacheConfig {
+                lines: 16,
+                line_bytes: 64,
+                prefetch: true,
+                prefetch_depth: 2,
+            },
+        ),
     ] {
         let cfg = EclipseConfig::default().with_cache(cache);
         let mut dec = build_decode_system(cfg, bitstream.clone());
         let summary = dec.system.run(20_000_000_000);
-        assert_eq!(summary.outcome, RunOutcome::AllFinished, "{label}: {:?}", summary.outcome);
+        assert_eq!(
+            summary.outcome,
+            RunOutcome::AllFinished,
+            "{label}: {:?}",
+            summary.outcome
+        );
         if baseline_cycles == 0 {
             baseline_cycles = summary.cycles;
         }
@@ -45,11 +106,18 @@ fn main() {
         }
         let mem = dec.system.sys.mem();
         let bus_txn = mem.read_bus.stats().transactions + mem.write_bus.stats().transactions;
-        let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
         rows.push(vec![
             label.to_string(),
             format!("{}", summary.cycles),
-            format!("{:+.1}%", (summary.cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (summary.cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0
+            ),
             format!("{:.1}%", hit_rate * 100.0),
             format!("{}", prefetches),
             format!("{:.0}", stalls as f64 / total_mbs as f64),
@@ -57,7 +125,15 @@ fn main() {
         ]);
     }
     let t = table(
-        &["cache / port", "decode cycles", "vs uncached", "read hit rate", "prefetches", "stall cyc/MB", "bus txn/MB"],
+        &[
+            "cache / port",
+            "decode cycles",
+            "vs uncached",
+            "read hit rate",
+            "prefetches",
+            "stall cyc/MB",
+            "bus txn/MB",
+        ],
         &rows,
     );
     println!("Shell cache design-space sweep (paper §7):\n\n{t}");

@@ -29,21 +29,44 @@ fn main() {
         // Larger sweeps need more SRAM than the paper's 32 kB — that is
         // exactly the trade-off this experiment quantifies.
         let sram = (bufs.total() + 8 * 1024).next_power_of_two().max(32 * 1024);
-        let mut b = MpegBuilder::new(EclipseConfig::default().with_sram_size(sram), InstanceCosts::default());
+        let mut b = MpegBuilder::new(
+            EclipseConfig::default().with_sram_size(sram),
+            InstanceCosts::default(),
+        );
         b.add_decode("dec0", bitstream.clone(), bufs);
         let mut sys = b.build();
         let summary = sys.run(50_000_000_000);
-        assert_eq!(summary.outcome, RunOutcome::AllFinished, "factor {factor}: {:?}", summary.outcome);
+        assert_eq!(
+            summary.outcome,
+            RunOutcome::AllFinished,
+            "factor {factor}: {:?}",
+            summary.outcome
+        );
         if loosest == 0 {
             loosest = summary.cycles;
         }
-        let aborted: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.aborted_steps).sum();
-        let denials: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.denials).sum();
+        let aborted: u64 = sys
+            .sys
+            .shells()
+            .iter()
+            .flat_map(|s| s.tasks())
+            .map(|t| t.stats.aborted_steps)
+            .sum();
+        let denials: u64 = sys
+            .sys
+            .shells()
+            .iter()
+            .flat_map(|s| s.tasks())
+            .map(|t| t.stats.denials)
+            .sum();
         rows.push(vec![
             format!("{factor:.2}x"),
             format!("{}", bufs.total()),
             format!("{}", summary.cycles),
-            format!("{:+.1}%", (summary.cycles as f64 / loosest as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (summary.cycles as f64 / loosest as f64 - 1.0) * 100.0
+            ),
             format!("{}", denials),
             format!("{}", aborted),
             format!("{}", summary.sync_messages),
@@ -51,7 +74,15 @@ fn main() {
     }
     rows.reverse();
     let t = table(
-        &["buffer scale", "SRAM bytes", "decode cycles", "vs loosest", "GetSpace denials", "aborted steps", "sync msgs"],
+        &[
+            "buffer scale",
+            "SRAM bytes",
+            "decode cycles",
+            "vs loosest",
+            "GetSpace denials",
+            "aborted steps",
+            "sync msgs",
+        ],
         &rows,
     );
     println!("{t}");

@@ -22,7 +22,9 @@ const PACKET_BYTES: u32 = 64;
 
 fn run(pipelines: usize, cpu_sync: Option<CpuSyncConfig>) -> (u64, u64, f64) {
     // SRAM must hold 2 buffers per pipeline.
-    let sram = (pipelines as u32 * 2 * 256 + 1024).next_power_of_two().max(32 * 1024);
+    let sram = (pipelines as u32 * 2 * 256 + 1024)
+        .next_power_of_two()
+        .max(32 * 1024);
     let mut b = SystemBuilder::new(EclipseConfig::default().with_sram_size(sram));
     if let Some(c) = cpu_sync {
         b.with_cpu_sync(c);
@@ -34,15 +36,35 @@ fn run(pipelines: usize, cpu_sync: Option<CpuSyncConfig>) -> (u64, u64, f64) {
         g.task(format!("src{p}"), format!("src{p}"), 0, &[], &[a]);
         g.task(format!("mid{p}"), format!("mid{p}"), 0, &[a], &[bstream]);
         g.task(format!("dst{p}"), format!("dst{p}"), 0, &[bstream], &[]);
-        b.add_coprocessor(Box::new(PipeCoproc::source(format!("src{p}"), PACKETS, PACKET_BYTES, 60)));
-        b.add_coprocessor(Box::new(PipeCoproc::filter(format!("mid{p}"), PACKETS, PACKET_BYTES, 90)));
-        b.add_coprocessor(Box::new(PipeCoproc::sink(format!("dst{p}"), PACKETS, PACKET_BYTES, 40)));
+        b.add_coprocessor(Box::new(PipeCoproc::source(
+            format!("src{p}"),
+            PACKETS,
+            PACKET_BYTES,
+            60,
+        )));
+        b.add_coprocessor(Box::new(PipeCoproc::filter(
+            format!("mid{p}"),
+            PACKETS,
+            PACKET_BYTES,
+            90,
+        )));
+        b.add_coprocessor(Box::new(PipeCoproc::sink(
+            format!("dst{p}"),
+            PACKETS,
+            PACKET_BYTES,
+            40,
+        )));
     }
     let graph = g.build().unwrap();
     b.map_app(&graph).unwrap();
     let mut sys = b.build();
     let summary = sys.run(1_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{pipelines} pipelines: {:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "{pipelines} pipelines: {:?}",
+        summary.outcome
+    );
     let cpu_load = summary.cpu_sync_busy as f64 / summary.cycles as f64;
     (summary.cycles, summary.sync_messages, cpu_load)
 }
@@ -56,7 +78,12 @@ fn main() {
     let mut rows = Vec::new();
     for pipelines in [1usize, 2, 4, 8] {
         let (d_cycles, msgs, _) = run(pipelines, None);
-        let (c_cycles, _, cpu_load) = run(pipelines, Some(CpuSyncConfig { service_cycles: 200 }));
+        let (c_cycles, _, cpu_load) = run(
+            pipelines,
+            Some(CpuSyncConfig {
+                service_cycles: 200,
+            }),
+        );
         rows.push(vec![
             format!("{pipelines} ({} coprocs)", pipelines * 3),
             format!("{}", msgs),
@@ -67,7 +94,14 @@ fn main() {
         ]);
     }
     let t = table(
-        &["pipelines", "sync msgs", "distributed cycles", "CPU-centric cycles", "slowdown", "CPU load"],
+        &[
+            "pipelines",
+            "sync msgs",
+            "distributed cycles",
+            "CPU-centric cycles",
+            "slowdown",
+            "CPU load",
+        ],
         &rows,
     );
     println!("{t}");

@@ -11,9 +11,9 @@
 //! Usage: `cargo run -p eclipse-bench --release --bin sweep_scheduler`
 
 use eclipse_bench::{save_result, table, StreamSpec};
-use eclipse_coprocs::mcme::McMeCoproc;
 use eclipse_coprocs::apps::{DecodeAppConfig, EncodeAppConfig};
 use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
+use eclipse_coprocs::mcme::McMeCoproc;
 use eclipse_core::{EclipseConfig, RunOutcome};
 use eclipse_media::stream::GopConfig;
 use eclipse_sim::Frequency;
@@ -26,22 +26,53 @@ struct Outcome {
 }
 
 fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
-    let spec = StreamSpec { frames: 6, gop: GopConfig { n: 6, m: 3 }, ..StreamSpec::qcif() };
+    let spec = StreamSpec {
+        frames: 6,
+        gop: GopConfig { n: 6, m: 3 },
+        ..StreamSpec::qcif()
+    };
     let (bitstream, _) = spec.encode();
     let mut cfg = EclipseConfig::default();
     cfg.shell.policy = policy;
     cfg.default_budget = budget;
     let mut b = MpegBuilder::new(cfg, InstanceCosts::default());
     b.add_decode("dec0", bitstream, DecodeAppConfig::default());
-    let frames = StreamSpec { seed: spec.seed + 9, ..spec }.source_frames();
-    b.add_encode("enc0", frames, spec.gop, spec.qscale, 8, EncodeAppConfig::default());
+    let frames = StreamSpec {
+        seed: spec.seed + 9,
+        ..spec
+    }
+    .source_frames();
+    b.add_encode(
+        "enc0",
+        frames,
+        spec.gop,
+        spec.qscale,
+        8,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     let summary = sys.run(100_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{policy:?}/{budget}: {:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "{policy:?}/{budget}: {:?}",
+        summary.outcome
+    );
     let switches: u64 = sys.sys.shells().iter().map(|s| s.sched().switches).sum();
     let decisions: u64 = sys.sys.shells().iter().map(|s| s.sched().decisions).sum();
-    let aborted: u64 = sys.sys.shells().iter().flat_map(|s| s.tasks()).map(|t| t.stats.aborted_steps).sum();
-    Outcome { cycles: summary.cycles, switches, aborted, decisions }
+    let aborted: u64 = sys
+        .sys
+        .shells()
+        .iter()
+        .flat_map(|s| s.tasks())
+        .map(|t| t.stats.aborted_steps)
+        .sum();
+    Outcome {
+        cycles: summary.cycles,
+        switches,
+        aborted,
+        decisions,
+    }
 }
 
 /// Dual decode with asymmetric budgets programmed over the PI bus: the
@@ -49,9 +80,17 @@ fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
 /// stream earlier at the expense of the other.
 fn qos(budget_a: u64, budget_b: u64) -> (u64, u64) {
     use eclipse_shell::regs;
-    let spec = StreamSpec { frames: 6, gop: GopConfig { n: 6, m: 3 }, ..StreamSpec::qcif() };
+    let spec = StreamSpec {
+        frames: 6,
+        gop: GopConfig { n: 6, m: 3 },
+        ..StreamSpec::qcif()
+    };
     let (bs_a, _) = spec.encode();
-    let (bs_b, _) = StreamSpec { seed: spec.seed + 5, ..spec }.encode();
+    let (bs_b, _) = StreamSpec {
+        seed: spec.seed + 5,
+        ..spec
+    }
+    .encode();
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     b.add_decode("a", bs_a, DecodeAppConfig::default());
     b.add_decode("b", bs_b, DecodeAppConfig::default());
@@ -70,8 +109,18 @@ fn qos(budget_a: u64, budget_b: u64) -> (u64, u64) {
     let summary = sys.run(100_000_000_000);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
     // Per-stream finish time: the MC task's last picture span.
-    let mcme = sys.sys.coproc(sys.coprocs.mcme).as_any().downcast_ref::<McMeCoproc>().unwrap();
-    let finish = |task: u8| mcme.pic_spans(eclipse_shell::TaskIdx(task)).last().map(|s| s.end).unwrap_or(0);
+    let mcme = sys
+        .sys
+        .coproc(sys.coprocs.mcme)
+        .as_any()
+        .downcast_ref::<McMeCoproc>()
+        .unwrap();
+    let finish = |task: u8| {
+        mcme.pic_spans(eclipse_shell::TaskIdx(task))
+            .last()
+            .map(|s| s.end)
+            .unwrap_or(0)
+    };
     (finish(0), finish(1))
 }
 
@@ -81,7 +130,10 @@ fn main() {
 
     println!("Scheduler policy ablation (encode + decode mix, budget 2000):\n");
     let mut rows = Vec::new();
-    for (label, policy) in [("best guess (paper)", BestGuess), ("naive round-robin", NaiveRoundRobin)] {
+    for (label, policy) in [
+        ("best guess (paper)", BestGuess),
+        ("naive round-robin", NaiveRoundRobin),
+    ] {
         let o = run(policy, 2000);
         rows.push(vec![
             label.to_string(),
@@ -93,7 +145,14 @@ fn main() {
         ]);
     }
     let t1 = table(
-        &["policy", "mix cycles", "aborted steps", "task switches", "switch rate", "GetTask calls"],
+        &[
+            "policy",
+            "mix cycles",
+            "aborted steps",
+            "task switches",
+            "switch rate",
+            "GetTask calls",
+        ],
         &rows,
     );
     println!("{t1}");
@@ -109,7 +168,15 @@ fn main() {
             format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
         ]);
     }
-    let t2 = table(&["budget (cycles)", "mix cycles", "task switches", "switch rate"], &rows);
+    let t2 = table(
+        &[
+            "budget (cycles)",
+            "mix cycles",
+            "task switches",
+            "switch rate",
+        ],
+        &rows,
+    );
     println!("{t2}");
 
     println!("QoS via budgets (dual decode; budgets programmed over the PI bus):\n");
@@ -123,7 +190,15 @@ fn main() {
             format!("{:+.1}%", (fa as f64 / fb as f64 - 1.0) * 100.0),
         ]);
     }
-    let t3 = table(&["budget A / B (cycles)", "stream A done", "stream B done", "A vs B finish"], &rows);
+    let t3 = table(
+        &[
+            "budget A / B (cycles)",
+            "stream A done",
+            "stream B done",
+            "A vs B finish",
+        ],
+        &rows,
+    );
     println!("{t3}");
     println!(
         "\nExpected shape: the best guess avoids the naive policy's wasted\n\

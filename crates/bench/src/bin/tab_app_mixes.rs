@@ -26,27 +26,53 @@ struct MixResult {
 }
 
 fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResult {
-    let spec = StreamSpec { frames: 9, gop: GopConfig { n: 9, m: 3 }, ..StreamSpec::qcif() };
+    let spec = StreamSpec {
+        frames: 9,
+        gop: GopConfig { n: 9, m: 3 },
+        ..StreamSpec::qcif()
+    };
     // The SRAM is a template parameter: size it for the mix (the paper's
     // 32 kB covers dual decode or decode+encode; wider mixes extrapolate).
     let need = decodes * DecodeAppConfig::default().total()
         + encodes * EncodeAppConfig::default().total()
         + av_programs * (DecodeAppConfig::default().total() + 4096);
     let sram = (need + 4096).next_power_of_two().max(32 * 1024);
-    let mut b = MpegBuilder::new(EclipseConfig::default().with_sram_size(sram), InstanceCosts::default());
+    let mut b = MpegBuilder::new(
+        EclipseConfig::default().with_sram_size(sram),
+        InstanceCosts::default(),
+    );
     let mut mbs = 0u64;
     for i in 0..decodes {
-        let (bs, _) = StreamSpec { seed: spec.seed + i as u64, ..spec }.encode();
+        let (bs, _) = StreamSpec {
+            seed: spec.seed + i as u64,
+            ..spec
+        }
+        .encode();
         b.add_decode(&format!("dec{i}"), bs, DecodeAppConfig::default());
         mbs += spec.mbs_per_frame() as u64 * spec.frames as u64;
     }
     for i in 0..encodes {
-        let frames = StreamSpec { seed: spec.seed + 100 + i as u64, ..spec }.source_frames();
-        b.add_encode(&format!("enc{i}"), frames, spec.gop, spec.qscale, 8, EncodeAppConfig::default());
+        let frames = StreamSpec {
+            seed: spec.seed + 100 + i as u64,
+            ..spec
+        }
+        .source_frames();
+        b.add_encode(
+            &format!("enc{i}"),
+            frames,
+            spec.gop,
+            spec.qscale,
+            8,
+            EncodeAppConfig::default(),
+        );
         mbs += spec.mbs_per_frame() as u64 * spec.frames as u64;
     }
     for i in 0..av_programs {
-        let (bs, _) = StreamSpec { seed: spec.seed + 200 + i as u64, ..spec }.encode();
+        let (bs, _) = StreamSpec {
+            seed: spec.seed + 200 + i as u64,
+            ..spec
+        }
+        .encode();
         let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 32, 900 + i as u64);
         b.add_av_program(&format!("av{i}"), bs, &pcm, AvProgramConfig::default());
         mbs += spec.mbs_per_frame() as u64 * spec.frames as u64;
@@ -54,7 +80,12 @@ fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResu
     }
     let mut sys = b.build();
     let summary = sys.run(50_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{label}: {:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "{label}: {:?}",
+        summary.outcome
+    );
     let util = sys
         .sys
         .shell_names()
@@ -62,7 +93,12 @@ fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResu
         .zip(&summary.utilization)
         .map(|(n, u)| (n.clone(), u.busy_fraction() + u.stall_fraction()))
         .collect();
-    MixResult { label: label.to_string(), cycles: summary.cycles, mbs, util }
+    MixResult {
+        label: label.to_string(),
+        cycles: summary.cycles,
+        mbs,
+        util,
+    }
 }
 
 fn main() {
@@ -84,8 +120,11 @@ fn main() {
         // Real-time check: SD (720x576@25) needs 40 500 MB/s; at 150 MHz
         // that allows 3 703 cycles/MB of *pipeline* time.
         let sd_margin = 3703.0 / cyc_per_mb;
-        let util_s: Vec<String> =
-            m.util.iter().map(|(n, u)| format!("{n} {:.0}%", u * 100.0)).collect();
+        let util_s: Vec<String> = m
+            .util
+            .iter()
+            .map(|(n, u)| format!("{n} {:.0}%", u * 100.0))
+            .collect();
         rows.push(vec![
             m.label.clone(),
             format!("{}", m.cycles),
@@ -95,7 +134,13 @@ fn main() {
         ]);
     }
     let t = table(
-        &["application mix", "cycles", "cycles/MB", "real-time margin", "unit occupancy (busy+stall)"],
+        &[
+            "application mix",
+            "cycles",
+            "cycles/MB",
+            "real-time margin",
+            "unit occupancy (busy+stall)",
+        ],
         &rows,
     );
     println!("{t}");

@@ -43,20 +43,49 @@ fn main() {
             ports += 1;
         }
     }
-    let data_bytes: u64 = dec.system.sys.shells().iter().map(|s| s.stats.bytes_read + s.stats.bytes_written).sum();
+    let data_bytes: u64 = dec
+        .system
+        .sys
+        .shells()
+        .iter()
+        .map(|s| s.stats.bytes_read + s.stats.bytes_written)
+        .sum();
     let snoop_lookups = writebacks * (ports - 1);
 
     let t1 = table(
         &["quantity", "per run", "per macroblock"],
         &[
-            vec!["explicit invalidations (GetSpace)".into(), format!("{invalidations}"), format!("{:.1}", invalidations as f64 / total_mbs as f64)],
-            vec!["explicit flush write-backs (PutSpace)".into(), format!("{writebacks}"), format!("{:.1}", writebacks as f64 / total_mbs as f64)],
-            vec!["snooping baseline: snoop lookups".into(), format!("{snoop_lookups}"), format!("{:.1}", snoop_lookups as f64 / total_mbs as f64)],
-            vec!["sync messages (putspace)".into(), format!("{}", summary.sync_messages), format!("{:.1}", summary.sync_messages as f64 / total_mbs as f64)],
-            vec!["stream data moved (bytes)".into(), format!("{data_bytes}"), format!("{:.0}", data_bytes as f64 / total_mbs as f64)],
+            vec![
+                "explicit invalidations (GetSpace)".into(),
+                format!("{invalidations}"),
+                format!("{:.1}", invalidations as f64 / total_mbs as f64),
+            ],
+            vec![
+                "explicit flush write-backs (PutSpace)".into(),
+                format!("{writebacks}"),
+                format!("{:.1}", writebacks as f64 / total_mbs as f64),
+            ],
+            vec![
+                "snooping baseline: snoop lookups".into(),
+                format!("{snoop_lookups}"),
+                format!("{:.1}", snoop_lookups as f64 / total_mbs as f64),
+            ],
+            vec![
+                "sync messages (putspace)".into(),
+                format!("{}", summary.sync_messages),
+                format!("{:.1}", summary.sync_messages as f64 / total_mbs as f64),
+            ],
+            vec![
+                "stream data moved (bytes)".into(),
+                format!("{data_bytes}"),
+                format!("{:.0}", data_bytes as f64 / total_mbs as f64),
+            ],
         ],
     );
-    println!("Coherency & synchronization accounting (decode, {} MBs):\n\n{t1}", total_mbs);
+    println!(
+        "Coherency & synchronization accounting (decode, {} MBs):\n\n{t1}",
+        total_mbs
+    );
     println!(
         "Separation of sync from transport: ~{:.1} sync messages move ~{:.0} data\n\
          bytes per macroblock — synchronization at packet grain, transport at\n\
@@ -71,7 +100,11 @@ fn main() {
     let mut rows = vec![vec![
         "all rules on (baseline)".to_string(),
         "yes".to_string(),
-        if healthy_exact { "bit-exact".to_string() } else { "CORRUPT".to_string() },
+        if healthy_exact {
+            "bit-exact".to_string()
+        } else {
+            "CORRUPT".to_string()
+        },
     ]];
     for (label, invalidate_off, flush_off) in [
         ("invalidate-on-GetSpace disabled", true, false),
@@ -112,12 +145,17 @@ fn main() {
             };
             (completed, verdict)
         });
-        let (completed, verdict) = outcome.unwrap_or((false, "CORRUPT (stream parser desynchronized)".to_string()));
+        let (completed, verdict) =
+            outcome.unwrap_or((false, "CORRUPT (stream parser desynchronized)".to_string()));
         assert!(
             verdict.starts_with("CORRUPT") || verdict.contains("Deadlock") || !completed,
             "{label}: fault injection must visibly break decoding, got '{verdict}'"
         );
-        rows.push(vec![label.to_string(), if completed { "yes".into() } else { "no".into() }, verdict]);
+        rows.push(vec![
+            label.to_string(),
+            if completed { "yes".into() } else { "no".into() },
+            verdict,
+        ]);
     }
     let t2 = table(&["configuration", "run completes", "decoded output"], &rows);
     println!("Fault injection (the coherency rules are load-bearing):\n\n{t2}");

@@ -19,12 +19,17 @@
 //! Usage: `cargo run -p eclipse-bench --release --bin tab_granularity`
 
 use eclipse_bench::{save_result, table, StreamSpec};
-use eclipse_core::{Coprocessor, EclipseConfig, RunOutcome, StepCtx, StepResult, SystemBuilder};
 use eclipse_coprocs::apps::{decoder_graph, DecodeAppConfig};
 use eclipse_coprocs::cost::DctCost;
 use eclipse_coprocs::instance::{build_decode_system, DecodeSystem, InstanceCosts, MpegBuilder};
 use eclipse_coprocs::mcme::{arena_bytes, McMeCoproc, McTaskConfig, DECODE_SLOTS};
-use eclipse_coprocs::{dct::DctCoproc, dsp::DspCoproc, rlsq::RlsqCoproc, vld::{VldCoproc, VldTaskConfig}};
+use eclipse_coprocs::{
+    dct::DctCoproc,
+    dsp::DspCoproc,
+    rlsq::RlsqCoproc,
+    vld::{VldCoproc, VldTaskConfig},
+};
+use eclipse_core::{Coprocessor, EclipseConfig, RunOutcome, StepCtx, StepResult, SystemBuilder};
 use eclipse_shell::TaskIdx;
 
 /// All of the instance's coprocessors fused behind one shell: every task
@@ -44,9 +49,17 @@ impl Coprocessor for UnifiedCoproc {
         "unified"
     }
     fn supports(&self, f: &str) -> bool {
-        self.vld.supports(f) || self.rlsq.supports(f) || self.dct.supports(f) || self.mcme.supports(f) || self.dsp.supports(f)
+        self.vld.supports(f)
+            || self.rlsq.supports(f)
+            || self.dct.supports(f)
+            || self.mcme.supports(f)
+            || self.dsp.supports(f)
     }
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         let (unit, hints) = if self.vld.supports(&decl.function) {
             (0, self.vld.configure_task(task, decl))
         } else if self.rlsq.supports(&decl.function) {
@@ -81,7 +94,10 @@ fn run_unified(bitstream: Vec<u8>) -> u64 {
     let costs = InstanceCosts::default();
     let mut b = SystemBuilder::new(EclipseConfig::default());
     let bs_addr = b.dram_alloc(bitstream.len() as u32, 64);
-    let arena = b.dram_alloc(arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS), 64);
+    let arena = b.dram_alloc(
+        arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS),
+        64,
+    );
     let mut vld_cfgs = std::collections::HashMap::new();
     vld_cfgs.insert(
         "dec0.vld".to_string(),
@@ -90,7 +106,12 @@ fn run_unified(bitstream: Vec<u8>) -> u64 {
     let mut mc_cfgs = std::collections::HashMap::new();
     mc_cfgs.insert(
         "dec0.mc".to_string(),
-        McTaskConfig { arena_base: arena, width: seq.width as u32, height: seq.height as u32, search_range: 0 },
+        McTaskConfig {
+            arena_base: arena,
+            width: seq.width as u32,
+            height: seq.height as u32,
+            search_range: 0,
+        },
     );
     b.add_coprocessor(Box::new(UnifiedCoproc {
         vld: VldCoproc::new(costs.vld, vld_cfgs),
@@ -100,17 +121,25 @@ fn run_unified(bitstream: Vec<u8>) -> u64 {
         dsp: DspCoproc::new(costs.dsp),
         route: Default::default(),
     }));
-    b.map_app(&decoder_graph("dec0", &DecodeAppConfig::default())).unwrap();
+    b.map_app(&decoder_graph("dec0", &DecodeAppConfig::default()))
+        .unwrap();
     let mut sys = b.build();
     sys.dram_mut().write(bs_addr, &bitstream);
     let summary = sys.run(50_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "unified: {:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "unified: {:?}",
+        summary.outcome
+    );
     summary.cycles
 }
 
 fn run_eclipse(bitstream: Vec<u8>, dct: DctCost) -> u64 {
-    let mut costs = InstanceCosts::default();
-    costs.dct = dct;
+    let costs = InstanceCosts {
+        dct,
+        ..InstanceCosts::default()
+    };
     let mut b = MpegBuilder::new(EclipseConfig::default(), costs);
     b.add_decode("dec0", bitstream, DecodeAppConfig::default());
     let mut sys = b.build();
@@ -129,7 +158,11 @@ fn main() {
     let fine = run_eclipse(bitstream.clone(), DctCost::pipelined());
 
     // Function grain: two streams on one instance.
-    let (bitstream2, _) = StreamSpec { seed: spec.seed + 1, ..spec }.encode();
+    let (bitstream2, _) = StreamSpec {
+        seed: spec.seed + 1,
+        ..spec
+    }
+    .encode();
     let dual = {
         let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
         b.add_decode("a", bitstream.clone(), DecodeAppConfig::default());
@@ -148,7 +181,13 @@ fn main() {
     };
 
     let t = table(
-        &["granularity exploited", "configuration", "cycles", "cycles/frame", "speedup"],
+        &[
+            "granularity exploited",
+            "configuration",
+            "cycles",
+            "cycles/frame",
+            "speedup",
+        ],
         &[
             vec![
                 "none (coarse monolith)".into(),

@@ -17,28 +17,69 @@ fn main() {
     let mut rows: Vec<Vec<String>> = est
         .components
         .iter()
-        .map(|c| vec![c.name.clone(), format!("{:.2}", c.area_mm2), format!("{:.0}", c.power_mw)])
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.2}", c.area_mm2),
+                format!("{:.0}", c.power_mw),
+            ]
+        })
         .collect();
-    rows.push(vec!["TOTAL".into(), format!("{:.2}", est.total_area_mm2), format!("{:.0}", est.total_power_mw)]);
-    let t1 = table(&["component", "area (mm², 0.18 µm)", "power (mW, dual-HD)"], &rows);
+    rows.push(vec![
+        "TOTAL".into(),
+        format!("{:.2}", est.total_area_mm2),
+        format!("{:.0}", est.total_power_mw),
+    ]);
+    let t1 = table(
+        &["component", "area (mm², 0.18 µm)", "power (mW, dual-HD)"],
+        &rows,
+    );
     println!("Instance estimate (model; constants calibrated per DESIGN.md):\n\n{t1}");
 
     let t2 = table(
         &["quantity", "paper (§6)", "model"],
         &[
-            vec!["total area".into(), "< 7 mm²".into(), format!("{:.2} mm²", est.total_area_mm2)],
+            vec![
+                "total area".into(),
+                "< 7 mm²".into(),
+                format!("{:.2} mm²", est.total_area_mm2),
+            ],
             vec!["32 kB SRAM area".into(), "1.7 mm²".into(), {
-                let sram = est.components.iter().find(|c| c.name.starts_with("sram")).unwrap();
+                let sram = est
+                    .components
+                    .iter()
+                    .find(|c| c.name.starts_with("sram"))
+                    .unwrap();
                 format!("{:.2} mm²", sram.area_mm2)
             }],
             vec!["VLD area".into(), "2.0 mm²".into(), {
-                let vld = est.components.iter().find(|c| c.name.starts_with("vld")).unwrap();
+                let vld = est
+                    .components
+                    .iter()
+                    .find(|c| c.name.starts_with("vld"))
+                    .unwrap();
                 format!("{:.2} mm² (incl. shell)", vld.area_mm2)
             }],
-            vec!["power, dual-HD decode".into(), "< 240 mW".into(), format!("{:.0} mW", est.total_power_mw)],
-            vec!["performance, dual-HD".into(), "~36 Gops".into(), format!("{:.1} Gops", est.gops)],
-            vec!["coprocessor clock".into(), "150 MHz".into(), format!("{:.0} MHz", cfg.clock.mhz())],
-            vec!["SRAM clock".into(), "300 MHz".into(), "300 MHz (2x, split R/W)".into()],
+            vec![
+                "power, dual-HD decode".into(),
+                "< 240 mW".into(),
+                format!("{:.0} mW", est.total_power_mw),
+            ],
+            vec![
+                "performance, dual-HD".into(),
+                "~36 Gops".into(),
+                format!("{:.1} Gops", est.gops),
+            ],
+            vec![
+                "coprocessor clock".into(),
+                "150 MHz".into(),
+                format!("{:.0} MHz", cfg.clock.mhz()),
+            ],
+            vec![
+                "SRAM clock".into(),
+                "300 MHz".into(),
+                "300 MHz (2x, split R/W)".into(),
+            ],
         ],
     );
     println!("Paper vs model:\n\n{t2}");
@@ -47,13 +88,26 @@ fn main() {
     let mut rows = Vec::new();
     for (label, cfg) in [
         ("paper instance (32 kB)", EclipseConfig::default()),
-        ("64 kB SRAM", EclipseConfig::default().with_sram_size(64 * 1024)),
-        ("16 kB SRAM", EclipseConfig::default().with_sram_size(16 * 1024)),
+        (
+            "64 kB SRAM",
+            EclipseConfig::default().with_sram_size(64 * 1024),
+        ),
+        (
+            "16 kB SRAM",
+            EclipseConfig::default().with_sram_size(16 * 1024),
+        ),
     ] {
         let e = estimate_instance(&cfg, &WorkloadModel::dual_hd_decode());
-        rows.push(vec![label.to_string(), format!("{:.2} mm²", e.total_area_mm2), format!("{:.0} mW", e.total_power_mw)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2} mm²", e.total_area_mm2),
+            format!("{:.0} mW", e.total_power_mw),
+        ]);
     }
-    let t3 = table(&["template configuration", "area", "power (dual-HD)"], &rows);
+    let t3 = table(
+        &["template configuration", "area", "power (dual-HD)"],
+        &rows,
+    );
     println!("Template extrapolation:\n\n{t3}");
 
     save_result("tab_instance_model.txt", &format!("{t1}\n{t2}\n{t3}"));

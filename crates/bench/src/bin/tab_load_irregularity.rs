@@ -63,7 +63,11 @@ fn main() {
         ("standard", 0.5, 2.0),
         ("busy", 0.8, 3.0),
     ] {
-        let spec = StreamSpec { complexity, motion, ..StreamSpec::qcif() };
+        let spec = StreamSpec {
+            complexity,
+            motion,
+            ..StreamSpec::qcif()
+        };
         let (bitstream, _) = spec.encode();
         let (bits, coefs) = per_mb_stats(&bitstream);
         rows.push(vec![
@@ -77,7 +81,15 @@ fn main() {
         ]);
     }
     let t = table(
-        &["content", "bits/MB avg", "bits/MB max", "VLD worst/avg", "coef/MB avg", "coef/MB max", "RLSQ worst/avg"],
+        &[
+            "content",
+            "bits/MB avg",
+            "bits/MB max",
+            "VLD worst/avg",
+            "coef/MB avg",
+            "coef/MB max",
+            "RLSQ worst/avg",
+        ],
         &rows,
     );
     println!("{t}");

@@ -21,6 +21,7 @@
 //! This library holds the shared workload generators and reporting
 //! helpers those binaries use.
 
+pub mod microbench;
 pub mod synthetic;
 
 use eclipse_media::encoder::{EncodeStats, Encoder, EncoderConfig};
@@ -67,7 +68,12 @@ impl StreamSpec {
 
     /// A small, fast variant for sweeps with many configurations.
     pub fn tiny() -> Self {
-        StreamSpec { width: 64, height: 48, frames: 8, ..Self::qcif() }
+        StreamSpec {
+            width: 64,
+            height: 48,
+            frames: 8,
+            ..Self::qcif()
+        }
     }
 
     /// Generate the source frames.
@@ -114,12 +120,19 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::from("|");
         for (i, c) in cells.iter().enumerate() {
-            line.push_str(&format!(" {:<w$} |", c, w = widths.get(i).copied().unwrap_or(c.len())));
+            line.push_str(&format!(
+                " {:<w$} |",
+                c,
+                w = widths.get(i).copied().unwrap_or(c.len())
+            ));
         }
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
     out.push('|');
     for w in &widths {
         out.push_str(&format!("{}|", "-".repeat(w + 2)));
@@ -147,7 +160,10 @@ mod tests {
 
     #[test]
     fn qcif_spec_encodes() {
-        let spec = StreamSpec { frames: 2, ..StreamSpec::tiny() };
+        let spec = StreamSpec {
+            frames: 2,
+            ..StreamSpec::tiny()
+        };
         let (bytes, stats) = spec.encode();
         assert!(!bytes.is_empty());
         assert_eq!(stats.pictures.len(), 2);
@@ -155,7 +171,13 @@ mod tests {
 
     #[test]
     fn table_renders_aligned() {
-        let t = table(&["name", "value"], &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]]);
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
         assert!(t.contains("| name      | value |") || t.contains("| name"));
         assert_eq!(t.lines().count(), 4);
     }

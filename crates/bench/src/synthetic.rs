@@ -46,7 +46,13 @@ impl PipeCoproc {
         Self::new(name, packets, packet_bytes, compute, Kind::Sink)
     }
 
-    fn new(name: impl Into<String>, packets: u32, packet_bytes: u32, compute: u64, kind: Kind) -> Self {
+    fn new(
+        name: impl Into<String>,
+        packets: u32,
+        packet_bytes: u32,
+        compute: u64,
+        kind: Kind,
+    ) -> Self {
         let name = name.into();
         PipeCoproc {
             function: name.clone(),
@@ -69,7 +75,11 @@ impl Coprocessor for PipeCoproc {
         function == self.function
     }
 
-    fn configure_task(&mut self, task: TaskIdx, _decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        _decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         self.done.insert(task, 0);
         match self.kind {
             Kind::Source => (vec![], vec![self.packet_bytes]),
@@ -148,6 +158,10 @@ mod tests {
         assert_eq!(summary.outcome, RunOutcome::AllFinished);
         // Throughput is set by the slowest stage (~80 cycles/packet plus
         // overheads), not the sum of stages.
-        assert!(summary.cycles < 100 * (50 + 80 + 30 + 200), "pipeline must overlap stages: {}", summary.cycles);
+        assert!(
+            summary.cycles < 100 * (50 + 80 + 30 + 200),
+            "pipeline must overlap stages: {}",
+            summary.cycles
+        );
     }
 }

@@ -25,7 +25,13 @@ pub struct DecodeAppConfig {
 
 impl Default for DecodeAppConfig {
     fn default() -> Self {
-        DecodeAppConfig { token_buf: 3072, mv_buf: 512, coef_buf: 2048, resid_buf: 2048, recon_buf: 1600 }
+        DecodeAppConfig {
+            token_buf: 3072,
+            mv_buf: 512,
+            coef_buf: 2048,
+            resid_buf: 2048,
+            recon_buf: 1600,
+        }
     }
 }
 
@@ -61,7 +67,13 @@ pub fn decoder_graph(prefix: &str, cfg: &DecodeAppConfig) -> AppGraph {
     let recon = g.stream(format!("{prefix}.recon"), cfg.recon_buf);
     g.task(format!("{prefix}.vld"), "vld", 0, &[], &[token, mv]);
     g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
-    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(
+        format!("{prefix}.idct"),
+        "dct",
+        INFO_IDCT,
+        &[coef],
+        &[resid],
+    );
     g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
     g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
     g.build().expect("decode graph is well-formed")
@@ -135,7 +147,9 @@ pub struct AudioAppConfig {
 
 impl Default for AudioAppConfig {
     fn default() -> Self {
-        AudioAppConfig { pcm_buf: 2 * (1 + 2 * eclipse_media::audio::BLOCK_SAMPLES as u32) }
+        AudioAppConfig {
+            pcm_buf: 2 * (1 + 2 * eclipse_media::audio::BLOCK_SAMPLES as u32),
+        }
     }
 }
 
@@ -164,7 +178,13 @@ pub fn decoder_graph_with_tap(prefix: &str, cfg: &DecodeAppConfig) -> AppGraph {
     let recon = g.stream(format!("{prefix}.recon"), cfg.recon_buf);
     g.task(format!("{prefix}.vld"), "vld", 0, &[], &[token, mv]);
     g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
-    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(
+        format!("{prefix}.idct"),
+        "dct",
+        INFO_IDCT,
+        &[coef],
+        &[resid],
+    );
     g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
     g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
     g.task(format!("{prefix}.monitor"), "monitor", 0, &[recon], &[]);
@@ -213,7 +233,13 @@ pub fn av_program_graph(prefix: &str, cfg: &AvProgramConfig) -> AppGraph {
     g.task(format!("{prefix}.demux"), "demux", 0, &[], &[vidin, audin]);
     g.task(format!("{prefix}.vld"), "vld", 0, &[vidin], &[token, mv]);
     g.task(format!("{prefix}.rlsq"), "rlsq", 0, &[token], &[coef]);
-    g.task(format!("{prefix}.idct"), "dct", INFO_IDCT, &[coef], &[resid]);
+    g.task(
+        format!("{prefix}.idct"),
+        "dct",
+        INFO_IDCT,
+        &[coef],
+        &[resid],
+    );
     g.task(format!("{prefix}.mc"), "mc", 0, &[mv, resid], &[recon]);
     g.task(format!("{prefix}.display"), "display", 0, &[recon], &[]);
     g.task(format!("{prefix}.audio"), "audio_dec", 0, &[audin], &[pcm]);
@@ -238,12 +264,42 @@ pub fn encoder_graph(prefix: &str, cfg: &EncodeAppConfig) -> AppGraph {
     let bits = g.stream(format!("{prefix}.bits"), cfg.bits_buf);
     let feedback = g.stream(format!("{prefix}.feedback"), cfg.feedback_buf);
     g.task(format!("{prefix}.src"), "video_source", 0, &[], &[srcmb]);
-    g.task(format!("{prefix}.me"), "me", 0, &[srcmb, feedback], &[mbdec, eresid]);
-    g.task(format!("{prefix}.fdct"), "fdct", INFO_FDCT, &[eresid], &[fcoef]);
-    g.task(format!("{prefix}.qrl"), "qrl", 0, &[mbdec, fcoef], &[tokens, qlevels]);
+    g.task(
+        format!("{prefix}.me"),
+        "me",
+        0,
+        &[srcmb, feedback],
+        &[mbdec, eresid],
+    );
+    g.task(
+        format!("{prefix}.fdct"),
+        "fdct",
+        INFO_FDCT,
+        &[eresid],
+        &[fcoef],
+    );
+    g.task(
+        format!("{prefix}.qrl"),
+        "qrl",
+        0,
+        &[mbdec, fcoef],
+        &[tokens, qlevels],
+    );
     g.task(format!("{prefix}.iq"), "iq", 0, &[qlevels], &[rcoef]);
-    g.task(format!("{prefix}.idct"), "idct", INFO_IDCT, &[rcoef], &[rresid]);
-    g.task(format!("{prefix}.recon"), "recon", 0, &[rresid], &[feedback]);
+    g.task(
+        format!("{prefix}.idct"),
+        "idct",
+        INFO_IDCT,
+        &[rcoef],
+        &[rresid],
+    );
+    g.task(
+        format!("{prefix}.recon"),
+        "recon",
+        0,
+        &[rresid],
+        &[feedback],
+    );
     g.task(format!("{prefix}.vle"), "vle", 0, &[tokens], &[bits]);
     g.task(format!("{prefix}.sink"), "bitsink", 0, &[bits], &[]);
     g.build().expect("encode graph is well-formed")
@@ -289,6 +345,10 @@ mod tests {
         let dec = DecodeAppConfig::default().total();
         let enc = EncodeAppConfig::default().total();
         assert!(2 * dec < 32 * 1024, "dual decode: {} bytes", 2 * dec);
-        assert!(dec + enc < 32 * 1024, "decode + encode: {} bytes", dec + enc);
+        assert!(
+            dec + enc < 32 * 1024,
+            "decode + encode: {} bytes",
+            dec + enc
+        );
     }
 }

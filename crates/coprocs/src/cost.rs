@@ -29,7 +29,12 @@ pub struct VldCost {
 
 impl Default for VldCost {
     fn default() -> Self {
-        VldCost { per_mb: 12, per_4bits: 1, per_header: 24, fetch_chunk: 128 }
+        VldCost {
+            per_mb: 12,
+            per_4bits: 1,
+            per_header: 24,
+            fetch_chunk: 128,
+        }
     }
 }
 
@@ -46,7 +51,11 @@ pub struct RlsqCost {
 
 impl Default for RlsqCost {
     fn default() -> Self {
-        RlsqCost { per_mb: 10, per_block: 6, per_coef: 6 }
+        RlsqCost {
+            per_mb: 10,
+            per_block: 6,
+            per_coef: 6,
+        }
     }
 }
 
@@ -85,7 +94,11 @@ pub struct McCost {
 
 impl Default for McCost {
     fn default() -> Self {
-        McCost { per_mb: 18, per_block_add: 10, per_sad: 24 }
+        McCost {
+            per_mb: 18,
+            per_block_add: 10,
+            per_sad: 24,
+        }
     }
 }
 
@@ -101,7 +114,10 @@ pub struct DspCost {
 
 impl Default for DspCost {
     fn default() -> Self {
-        DspCost { per_byte: 1, per_record: 40 }
+        DspCost {
+            per_byte: 1,
+            per_record: 40,
+        }
     }
 }
 

@@ -52,7 +52,10 @@ pub struct DctCoproc {
 impl DctCoproc {
     /// A new DCT unit.
     pub fn new(cost: DctCost) -> Self {
-        DctCoproc { cost, tasks: HashMap::new() }
+        DctCoproc {
+            cost,
+            tasks: HashMap::new(),
+        }
     }
 
     /// Blocks transformed by a task (workload statistics).
@@ -70,7 +73,11 @@ impl Coprocessor for DctCoproc {
         matches!(function, "dct" | "fdct" | "idct")
     }
 
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         // Decode-path IDCT streams are bare block sequences; the encode
         // paths (`fdct` after ME, `idct` after IQ) are MB-framed.
         // Decode IDCT ("dct") and encode FDCT ("fdct") consume bare block
@@ -81,7 +88,14 @@ impl Coprocessor for DctCoproc {
             "idct" => Framing::Framed,
             other => panic!("DCT cannot perform '{other}'"),
         };
-        self.tasks.insert(task, DctTask { framing, blocks_left: 0, blocks_done: 0 });
+        self.tasks.insert(
+            task,
+            DctTask {
+                framing,
+                blocks_left: 0,
+                blocks_done: 0,
+            },
+        );
         // Input hint of 1: the EOS record is a single byte.
         (vec![1], vec![records::CBLK_REC_BYTES])
     }
@@ -153,7 +167,11 @@ impl Coprocessor for DctCoproc {
                     Some(b) => b,
                 };
                 let block = cblk_from_body(&rec[1..]).unwrap();
-                let transformed = if info == INFO_FDCT { fdct2d(&block) } else { idct2d(&block) };
+                let transformed = if info == INFO_FDCT {
+                    fdct2d(&block)
+                } else {
+                    idct2d(&block)
+                };
                 w.stage(&cblk_to_bytes(&transformed));
                 if !w.reserve(ctx) {
                     return StepResult::Blocked;

@@ -25,15 +25,18 @@ use eclipse_media::bits::BitWriter;
 use eclipse_media::frame::Frame;
 use eclipse_media::scan::RunLevel;
 use eclipse_media::stream::{
-    write_end, write_mb_header, write_picture_header, write_sequence_header, GopConfig, MbHeader, PictureHeader,
-    SequenceHeader,
+    write_end, write_mb_header, write_picture_header, write_sequence_header, GopConfig, MbHeader,
+    PictureHeader, SequenceHeader,
 };
 use eclipse_media::vlc::{put_block, put_sev};
 use eclipse_shell::{PortId, TaskIdx};
 
 use crate::cost::DspCost;
 use crate::io::{StepReader, StepWriter};
-use crate::records::{self, decode_mode, mbmv_from_body, pix_from_bytes, pix_to_bytes, PicRec, TAG_EOS, TAG_MB, TAG_PIC};
+use crate::records::{
+    self, decode_mode, mbmv_from_body, pix_from_bytes, pix_to_bytes, PicRec, TAG_EOS, TAG_MB,
+    TAG_PIC,
+};
 
 /// Chunk size of the VLE's byte output records.
 pub const BITS_CHUNK: usize = 64;
@@ -254,15 +257,32 @@ impl Coprocessor for DspCoproc {
     fn supports(&self, function: &str) -> bool {
         matches!(
             function,
-            "display" | "video_source" | "vle" | "bitsink" | "audio_dec" | "pcm_sink" | "demux" | "monitor"
+            "display"
+                | "video_source"
+                | "vle"
+                | "bitsink"
+                | "audio_dec"
+                | "pcm_sink"
+                | "demux"
+                | "monitor"
         )
     }
 
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         self.names.insert(decl.name.clone(), task);
         match decl.function.as_str() {
             "display" => {
-                self.tasks.insert(task, SwTask::Display(DisplayTask { frames: Vec::new(), cur: None }));
+                self.tasks.insert(
+                    task,
+                    SwTask::Display(DisplayTask {
+                        frames: Vec::new(),
+                        cur: None,
+                    }),
+                );
                 (vec![1], vec![])
             }
             "video_source" => {
@@ -279,7 +299,13 @@ impl Coprocessor for DspCoproc {
                     .collect();
                 self.tasks.insert(
                     task,
-                    SwTask::Source(SourceTask { cfg, coded, pic_idx: 0, mb_idx: 0, sent_pic_header: false }),
+                    SwTask::Source(SourceTask {
+                        cfg,
+                        coded,
+                        pic_idx: 0,
+                        mb_idx: 0,
+                        sent_pic_header: false,
+                    }),
                 );
                 (vec![], vec![1 + records::PIX_REC_BYTES])
             }
@@ -290,13 +316,27 @@ impl Coprocessor for DspCoproc {
                     .unwrap_or_else(|| panic!("no VLE config bound for task '{}'", decl.name));
                 let mut writer = BitWriter::new();
                 write_sequence_header(&mut writer, &cfg.seq);
-                self.tasks.insert(task, SwTask::Vle(VleTask { cfg, writer, pending: Vec::new(), eos_seen: false }));
+                self.tasks.insert(
+                    task,
+                    SwTask::Vle(VleTask {
+                        cfg,
+                        writer,
+                        pending: Vec::new(),
+                        eos_seen: false,
+                    }),
+                );
                 // No input hint: after EOS the VLE still runs to flush its
                 // pending output with nothing left on the input stream.
                 (vec![0], vec![BITS_CHUNK as u32 + 3])
             }
             "bitsink" => {
-                self.tasks.insert(task, SwTask::Sink(SinkTask { bytes: Vec::new(), done: false }));
+                self.tasks.insert(
+                    task,
+                    SwTask::Sink(SinkTask {
+                        bytes: Vec::new(),
+                        done: false,
+                    }),
+                );
                 (vec![2], vec![])
             }
             "audio_dec" => {
@@ -305,7 +345,12 @@ impl Coprocessor for DspCoproc {
                     .get(&decl.name)
                     .unwrap_or_else(|| panic!("no audio stream bound for task '{}'", decl.name));
                 let port_input = matches!(cfg.source, AudioSource::Port);
-                assert_eq!(decl.inputs.len(), port_input as usize, "audio task '{}' port shape", decl.name);
+                assert_eq!(
+                    decl.inputs.len(),
+                    port_input as usize,
+                    "audio task '{}' port shape",
+                    decl.name
+                );
                 self.tasks.insert(
                     task,
                     SwTask::Audio(AudioTask {
@@ -317,10 +362,20 @@ impl Coprocessor for DspCoproc {
                     }),
                 );
                 let in_hints = if port_input { vec![0] } else { vec![] };
-                (in_hints, vec![1 + 2 * eclipse_media::audio::BLOCK_SAMPLES as u32])
+                (
+                    in_hints,
+                    vec![1 + 2 * eclipse_media::audio::BLOCK_SAMPLES as u32],
+                )
             }
             "monitor" => {
-                self.tasks.insert(task, SwTask::Monitor(MonitorTask { checksum: 0xCBF2_9CE4_8422_2325, records: 0, done: false }));
+                self.tasks.insert(
+                    task,
+                    SwTask::Monitor(MonitorTask {
+                        checksum: 0xCBF2_9CE4_8422_2325,
+                        records: 0,
+                        done: false,
+                    }),
+                );
                 (vec![1], vec![])
             }
             "demux" => {
@@ -329,12 +384,24 @@ impl Coprocessor for DspCoproc {
                     .get(&decl.name)
                     .unwrap_or_else(|| panic!("no transport stream bound for task '{}'", decl.name))
                     .clone();
-                assert_eq!(decl.outputs.len(), cfg.pids.len(), "demux '{}' needs one output per pid", decl.name);
-                self.tasks.insert(task, SwTask::Demux(DemuxTask { cfg, pos: 0 }));
+                assert_eq!(
+                    decl.outputs.len(),
+                    cfg.pids.len(),
+                    "demux '{}' needs one output per pid",
+                    decl.name
+                );
+                self.tasks
+                    .insert(task, SwTask::Demux(DemuxTask { cfg, pos: 0 }));
                 (vec![], vec![0; decl.outputs.len()])
             }
             "pcm_sink" => {
-                self.tasks.insert(task, SwTask::PcmSink(PcmSinkTask { samples: Vec::new(), done: false }));
+                self.tasks.insert(
+                    task,
+                    SwTask::PcmSink(PcmSinkTask {
+                        samples: Vec::new(),
+                        done: false,
+                    }),
+                );
                 (vec![1], vec![])
             }
             other => panic!("DSP cannot perform '{other}'"),
@@ -426,7 +493,9 @@ fn step_demux(t: &mut DemuxTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> StepR
     use eclipse_media::transport::{parse_packet, PACKET_BYTES};
     if t.pos + PACKET_BYTES as u32 > t.cfg.ts_len {
         // Terminators on all outputs (staged together: all or nothing).
-        let mut writers: Vec<StepWriter> = (0..t.cfg.pids.len()).map(|p| StepWriter::new(p as PortId)).collect();
+        let mut writers: Vec<StepWriter> = (0..t.cfg.pids.len())
+            .map(|p| StepWriter::new(p as PortId))
+            .collect();
         for w in writers.iter_mut() {
             w.stage(&0u16.to_le_bytes());
         }
@@ -743,7 +812,11 @@ fn step_vle(t: &mut VleTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> StepResul
             r.commit(ctx);
             write_picture_header(
                 &mut t.writer,
-                &PictureHeader { ptype: pic.ptype, temporal_ref: pic.temporal_ref, qscale: pic.qscale },
+                &PictureHeader {
+                    ptype: pic.ptype,
+                    temporal_ref: pic.temporal_ref,
+                    qscale: pic.qscale,
+                },
             );
             let bytes = t.writer.drain_complete_bytes();
             t.pending.extend_from_slice(&bytes);
@@ -786,7 +859,10 @@ fn step_vle(t: &mut VleTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> StepResul
                 for _ in 0..nsym {
                     let mut sb = [0u8; 3];
                     r.read(ctx, &mut sb);
-                    symbols.push(RunLevel { run: sb[0], level: i16::from_le_bytes([sb[1], sb[2]]) });
+                    symbols.push(RunLevel {
+                        run: sb[0],
+                        level: i16::from_le_bytes([sb[1], sb[2]]),
+                    });
                 }
                 nsym_total += nsym as u64;
                 payloads.push((dc_diff, symbols));

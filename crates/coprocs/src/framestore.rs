@@ -61,7 +61,14 @@ impl FrameStore {
 
     /// Write a reconstructed macroblock into the slot at `base`: six
     /// aligned 64-byte tile bursts over the system bus.
-    pub fn write_mb(&self, ctx: &mut StepCtx<'_>, base: u32, mbx: u32, mby: u32, blocks: &[[i16; 64]; 6]) {
+    pub fn write_mb(
+        &self,
+        ctx: &mut StepCtx<'_>,
+        base: u32,
+        mbx: u32,
+        mby: u32,
+        blocks: &[[i16; 64]; 6],
+    ) {
         let tiles: [(PlaneSel, u32, u32); 6] = [
             (PlaneSel::Y, 2 * mbx, 2 * mby),
             (PlaneSel::Y, 2 * mbx + 1, 2 * mby),
@@ -83,7 +90,14 @@ impl FrameStore {
     /// `(x0, y0)` (may be out of bounds; edge-clamped as MPEG requires)
     /// from the slot at `base`. Gathers 1–4 tiles, one system-bus
     /// transaction each.
-    pub fn fetch_block(&self, ctx: &mut StepCtx<'_>, base: u32, plane: PlaneSel, x0: i32, y0: i32) -> [i16; 64] {
+    pub fn fetch_block(
+        &self,
+        ctx: &mut StepCtx<'_>,
+        base: u32,
+        plane: PlaneSel,
+        x0: i32,
+        y0: i32,
+    ) -> [i16; 64] {
         let (pw, ph, _) = self.plane_geom(plane);
         // Distinct tiles covering the (clamped) window. The gather is one
         // burst train: the first tile pays the full round trip, the rest
@@ -112,7 +126,11 @@ impl FrameStore {
                 let cx = (x0 + x).clamp(0, pw as i32 - 1) as u32;
                 let cy = (y0 + y).clamp(0, ph as i32 - 1) as u32;
                 let (tx, ty) = (cx / 8, cy / 8);
-                let tile = &tiles.iter().find(|&&(a, b, _)| (a, b) == (tx, ty)).unwrap().2;
+                let tile = &tiles
+                    .iter()
+                    .find(|&&(a, b, _)| (a, b) == (tx, ty))
+                    .unwrap()
+                    .2;
                 out[(y * 8 + x) as usize] = tile[((cy % 8) * 8 + cx % 8) as usize] as i16;
             }
         }
@@ -125,7 +143,14 @@ impl FrameStore {
     /// (the decode path must agree with the software decoder bit for
     /// bit). Gathers the clamped (9×9-sample) region — still at most four
     /// tiles — as one burst train.
-    pub fn fetch_block_half(&self, ctx: &mut StepCtx<'_>, base: u32, plane: PlaneSel, x2: i32, y2: i32) -> [i16; 64] {
+    pub fn fetch_block_half(
+        &self,
+        ctx: &mut StepCtx<'_>,
+        base: u32,
+        plane: PlaneSel,
+        x2: i32,
+        y2: i32,
+    ) -> [i16; 64] {
         let (hx, hy) = (x2 & 1, y2 & 1);
         let (xi, yi) = (x2 >> 1, y2 >> 1);
         if hx == 0 && hy == 0 {
@@ -156,7 +181,11 @@ impl FrameStore {
         let sample = |x: i32, y: i32| -> i32 {
             let (cx, cy) = (clamp_x(x), clamp_y(y));
             let (tx, ty) = (cx / 8, cy / 8);
-            let tile = &tiles.iter().find(|&&(a, b, _)| (a, b) == (tx, ty)).unwrap().2;
+            let tile = &tiles
+                .iter()
+                .find(|&&(a, b, _)| (a, b) == (tx, ty))
+                .unwrap()
+                .2;
             tile[((cy % 8) * 8 + cx % 8) as usize] as i32
         };
         let mut out = [0i16; 64];
@@ -185,7 +214,11 @@ impl FrameStore {
     /// used by tests and experiment harnesses after a run.
     pub fn read_frame(&self, dram: &mut eclipse_mem::Dram, base: u32) -> eclipse_media::Frame {
         let mut f = eclipse_media::Frame::new(self.width as usize, self.height as usize);
-        for (plane_sel, plane) in [(PlaneSel::Y, &mut f.y), (PlaneSel::U, &mut f.u), (PlaneSel::V, &mut f.v)] {
+        for (plane_sel, plane) in [
+            (PlaneSel::Y, &mut f.y),
+            (PlaneSel::U, &mut f.u),
+            (PlaneSel::V, &mut f.v),
+        ] {
             let (pw, ph, _) = self.plane_geom(plane_sel);
             for ty in 0..ph / 8 {
                 for tx in 0..pw / 8 {
@@ -193,7 +226,11 @@ impl FrameStore {
                     dram.read(self.tile_addr(base, plane_sel, tx, ty), &mut tile);
                     for y in 0..8 {
                         for x in 0..8 {
-                            plane.set((tx * 8 + x) as usize, (ty * 8 + y) as usize, tile[(y * 8 + x) as usize]);
+                            plane.set(
+                                (tx * 8 + x) as usize,
+                                (ty * 8 + y) as usize,
+                                tile[(y * 8 + x) as usize],
+                            );
                         }
                     }
                 }

@@ -14,12 +14,14 @@ use eclipse_media::stream::{read_sequence_header, GopConfig, SequenceHeader};
 use eclipse_sim::Cycle;
 
 use crate::apps::{
-    audio_graph, av_program_graph, decoder_graph, decoder_graph_with_tap, encoder_graph, AudioAppConfig,
-    AvProgramConfig, DecodeAppConfig, EncodeAppConfig,
+    audio_graph, av_program_graph, decoder_graph, decoder_graph_with_tap, encoder_graph,
+    AudioAppConfig, AvProgramConfig, DecodeAppConfig, EncodeAppConfig,
 };
 use crate::cost::{DctCost, DspCost, McCost, RlsqCost, VldCost};
 use crate::dct::DctCoproc;
-use crate::dsp::{AudioSource, AudioTaskConfig, DemuxTaskConfig, DspCoproc, SourceTaskConfig, VleTaskConfig};
+use crate::dsp::{
+    AudioSource, AudioTaskConfig, DemuxTaskConfig, DspCoproc, SourceTaskConfig, VleTaskConfig,
+};
 use crate::mcme::{arena_bytes, McMeCoproc, McTaskConfig, DECODE_SLOTS, ENCODE_SLOTS};
 use crate::rlsq::RlsqCoproc;
 use crate::vld::{VldCoproc, VldTaskConfig};
@@ -98,18 +100,31 @@ impl MpegBuilder {
     /// Add a decode application: `bitstream` is an elementary stream
     /// produced by [`eclipse_media::Encoder`] (or the Eclipse encoder).
     /// Returns the parsed sequence header.
-    pub fn add_decode(&mut self, prefix: &str, bitstream: Vec<u8>, bufs: DecodeAppConfig) -> SequenceHeader {
+    pub fn add_decode(
+        &mut self,
+        prefix: &str,
+        bitstream: Vec<u8>,
+        bufs: DecodeAppConfig,
+    ) -> SequenceHeader {
         let mut r = eclipse_media::bits::BitReader::new(&bitstream);
         let seq = read_sequence_header(&mut r).expect("invalid bitstream: no sequence header");
         let bs_addr = self.dram_alloc(bitstream.len() as u32, 64);
-        let arena = self.dram_alloc(arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS), 64);
+        let arena = self.dram_alloc(
+            arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS),
+            64,
+        );
         self.vld_cfgs.insert(
             format!("{prefix}.vld"),
             VldTaskConfig::dram(bs_addr, bitstream.len() as u32),
         );
         self.mc_cfgs.insert(
             format!("{prefix}.mc"),
-            McTaskConfig { arena_base: arena, width: seq.width as u32, height: seq.height as u32, search_range: 0 },
+            McTaskConfig {
+                arena_base: arena,
+                width: seq.width as u32,
+                height: seq.height as u32,
+                search_range: 0,
+            },
         );
         self.bitstream_loads.push((bs_addr, bitstream));
         self.decode_apps.push((prefix.to_string(), bufs));
@@ -119,7 +134,12 @@ impl MpegBuilder {
     /// Like [`MpegBuilder::add_decode`], with the reconstructed stream
     /// forked to a QoS monitor task on the DSP (the paper's multicast
     /// streams + §5.4 run-time measurement consumer).
-    pub fn add_decode_with_tap(&mut self, prefix: &str, bitstream: Vec<u8>, bufs: DecodeAppConfig) -> SequenceHeader {
+    pub fn add_decode_with_tap(
+        &mut self,
+        prefix: &str,
+        bitstream: Vec<u8>,
+        bufs: DecodeAppConfig,
+    ) -> SequenceHeader {
         let seq = self.add_decode(prefix, bitstream, bufs);
         // Re-route: move the app from the plain list to the tapped list.
         let entry = self.decode_apps.pop().expect("just added");
@@ -140,13 +160,31 @@ impl MpegBuilder {
         assert!(!frames.is_empty());
         let (w, h) = (frames[0].width as u32, frames[0].height as u32);
         let arena = self.dram_alloc(arena_bytes(w, h, ENCODE_SLOTS), 64);
-        let mc_cfg = McTaskConfig { arena_base: arena, width: w, height: h, search_range };
+        let mc_cfg = McTaskConfig {
+            arena_base: arena,
+            width: w,
+            height: h,
+            search_range,
+        };
         self.mc_cfgs.insert(format!("{prefix}.me"), mc_cfg);
         self.mc_cfgs.insert(format!("{prefix}.recon"), mc_cfg);
-        let seq = SequenceHeader { width: w as u16, height: h as u16, qscale, gop, num_frames: frames.len() as u16 };
+        let seq = SequenceHeader {
+            width: w as u16,
+            height: h as u16,
+            qscale,
+            gop,
+            num_frames: frames.len() as u16,
+        };
         let dsp = std::mem::replace(&mut self.dsp, DspCoproc::new(self.costs.dsp));
         self.dsp = dsp
-            .with_source(format!("{prefix}.src"), SourceTaskConfig { frames, gop, qscale })
+            .with_source(
+                format!("{prefix}.src"),
+                SourceTaskConfig {
+                    frames,
+                    gop,
+                    qscale,
+                },
+            )
             .with_vle(format!("{prefix}.vle"), VleTaskConfig { seq });
         self.encode_apps.push((prefix.to_string(), bufs));
     }
@@ -160,7 +198,12 @@ impl MpegBuilder {
         let dsp = std::mem::replace(&mut self.dsp, DspCoproc::new(self.costs.dsp));
         self.dsp = dsp.with_audio(
             format!("{prefix}.audio"),
-            AudioTaskConfig { source: crate::dsp::AudioSource::Dram { addr, len: coded.len() as u32 } },
+            AudioTaskConfig {
+                source: crate::dsp::AudioSource::Dram {
+                    addr,
+                    len: coded.len() as u32,
+                },
+            },
         );
         self.bitstream_loads.push((addr, coded));
         self.audio_apps.push((prefix.to_string(), bufs));
@@ -175,17 +218,35 @@ impl MpegBuilder {
     /// PCM audio are multiplexed into a transport stream in off-chip
     /// memory; the DSP's software demux feeds the VLD (through its input
     /// port) and the software audio decoder.
-    pub fn add_av_program(&mut self, prefix: &str, video: Vec<u8>, pcm: &[i16], bufs: AvProgramConfig) -> SequenceHeader {
+    pub fn add_av_program(
+        &mut self,
+        prefix: &str,
+        video: Vec<u8>,
+        pcm: &[i16],
+        bufs: AvProgramConfig,
+    ) -> SequenceHeader {
         let mut r = eclipse_media::bits::BitReader::new(&video);
         let seq = read_sequence_header(&mut r).expect("invalid bitstream: no sequence header");
         let coded_audio = eclipse_media::audio::encode(pcm);
-        let ts = eclipse_media::transport::mux(&[(Self::VIDEO_PID, &video), (Self::AUDIO_PID, &coded_audio)]);
+        let ts = eclipse_media::transport::mux(&[
+            (Self::VIDEO_PID, &video),
+            (Self::AUDIO_PID, &coded_audio),
+        ]);
         let ts_addr = self.dram_alloc(ts.len() as u32, 64);
-        let arena = self.dram_alloc(arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS), 64);
-        self.vld_cfgs.insert(format!("{prefix}.vld"), VldTaskConfig::port());
+        let arena = self.dram_alloc(
+            arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS),
+            64,
+        );
+        self.vld_cfgs
+            .insert(format!("{prefix}.vld"), VldTaskConfig::port());
         self.mc_cfgs.insert(
             format!("{prefix}.mc"),
-            McTaskConfig { arena_base: arena, width: seq.width as u32, height: seq.height as u32, search_range: 0 },
+            McTaskConfig {
+                arena_base: arena,
+                width: seq.width as u32,
+                height: seq.height as u32,
+                search_range: 0,
+            },
         );
         let dsp = std::mem::replace(&mut self.dsp, DspCoproc::new(self.costs.dsp));
         self.dsp = dsp
@@ -197,7 +258,12 @@ impl MpegBuilder {
                     pids: vec![Self::VIDEO_PID, Self::AUDIO_PID],
                 },
             )
-            .with_audio(format!("{prefix}.audio"), AudioTaskConfig { source: AudioSource::Port });
+            .with_audio(
+                format!("{prefix}.audio"),
+                AudioTaskConfig {
+                    source: AudioSource::Port,
+                },
+            );
         self.bitstream_loads.push((ts_addr, ts));
         self.av_apps.push((prefix.to_string(), bufs));
         seq
@@ -220,19 +286,24 @@ impl MpegBuilder {
         }
         let _ = b.dram_alloc(self.dram_next.max(max_addr).max(64), 64);
         for (prefix, bufs) in &self.decode_apps {
-            b.map_app(&decoder_graph(prefix, bufs)).expect("decode app maps");
+            b.map_app(&decoder_graph(prefix, bufs))
+                .expect("decode app maps");
         }
         for (prefix, bufs) in &self.tapped_decode_apps {
-            b.map_app(&decoder_graph_with_tap(prefix, bufs)).expect("tapped decode app maps");
+            b.map_app(&decoder_graph_with_tap(prefix, bufs))
+                .expect("tapped decode app maps");
         }
         for (prefix, bufs) in &self.encode_apps {
-            b.map_app(&encoder_graph(prefix, bufs)).expect("encode app maps");
+            b.map_app(&encoder_graph(prefix, bufs))
+                .expect("encode app maps");
         }
         for (prefix, bufs) in &self.audio_apps {
-            b.map_app(&audio_graph(prefix, bufs)).expect("audio app maps");
+            b.map_app(&audio_graph(prefix, bufs))
+                .expect("audio app maps");
         }
         for (prefix, bufs) in &self.av_apps {
-            b.map_app(&av_program_graph(prefix, bufs)).expect("A/V program maps");
+            b.map_app(&av_program_graph(prefix, bufs))
+                .expect("A/V program maps");
         }
         let mut sys = b.build();
         for (addr, bytes) in &self.bitstream_loads {
@@ -258,26 +329,44 @@ impl MpegSystem {
 
     /// Decoded frames of the decode app `prefix` (display order).
     pub fn display_frames(&self, prefix: &str) -> Option<Vec<Frame>> {
-        let dsp = self.sys.coproc(self.coprocs.dsp).as_any().downcast_ref::<DspCoproc>()?;
+        let dsp = self
+            .sys
+            .coproc(self.coprocs.dsp)
+            .as_any()
+            .downcast_ref::<DspCoproc>()?;
         dsp.display_frames(&format!("{prefix}.display"))
     }
 
     /// Bitstream produced by the encode app `prefix`.
     pub fn encoded_bytes(&self, prefix: &str) -> Option<Vec<u8>> {
-        let dsp = self.sys.coproc(self.coprocs.dsp).as_any().downcast_ref::<DspCoproc>()?;
-        dsp.sink_bytes(&format!("{prefix}.sink")).map(|b| b.to_vec())
+        let dsp = self
+            .sys
+            .coproc(self.coprocs.dsp)
+            .as_any()
+            .downcast_ref::<DspCoproc>()?;
+        dsp.sink_bytes(&format!("{prefix}.sink"))
+            .map(|b| b.to_vec())
     }
 
     /// (checksum, records) observed by the monitor of a tapped decode.
     pub fn monitor_stats(&self, prefix: &str) -> Option<(u64, u64)> {
-        let dsp = self.sys.coproc(self.coprocs.dsp).as_any().downcast_ref::<DspCoproc>()?;
+        let dsp = self
+            .sys
+            .coproc(self.coprocs.dsp)
+            .as_any()
+            .downcast_ref::<DspCoproc>()?;
         dsp.monitor_stats(&format!("{prefix}.monitor"))
     }
 
     /// PCM produced by the audio app `prefix`.
     pub fn pcm_samples(&self, prefix: &str) -> Option<Vec<i16>> {
-        let dsp = self.sys.coproc(self.coprocs.dsp).as_any().downcast_ref::<DspCoproc>()?;
-        dsp.pcm_samples(&format!("{prefix}.pcmout")).map(|s| s.to_vec())
+        let dsp = self
+            .sys
+            .coproc(self.coprocs.dsp)
+            .as_any()
+            .downcast_ref::<DspCoproc>()?;
+        dsp.pcm_samples(&format!("{prefix}.pcmout"))
+            .map(|s| s.to_vec())
     }
 }
 
@@ -293,7 +382,10 @@ pub struct DecodeSystem {
 pub fn build_decode_system(cfg: EclipseConfig, bitstream: Vec<u8>) -> DecodeSystem {
     let mut b = MpegBuilder::new(cfg, InstanceCosts::default());
     let seq = b.add_decode("dec0", bitstream, DecodeAppConfig::default());
-    DecodeSystem { system: b.build(), seq }
+    DecodeSystem {
+        system: b.build(),
+        seq,
+    }
 }
 
 /// Build the full Figure-8 instance with an arbitrary app mix — alias of

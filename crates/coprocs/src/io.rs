@@ -29,7 +29,11 @@ pub struct StepReader {
 impl StepReader {
     /// A reader for `port`, starting at the access point.
     pub fn new(port: PortId) -> Self {
-        StepReader { port, pos: 0, window: 0 }
+        StepReader {
+            port,
+            pos: 0,
+            window: 0,
+        }
     }
 
     /// Bytes consumed so far (what `commit` will release).
@@ -56,7 +60,10 @@ impl StepReader {
     /// Read exactly `buf.len()` bytes at the read head and advance it.
     /// The window must already cover them (call [`StepReader::need`]).
     pub fn read(&mut self, ctx: &mut StepCtx<'_>, buf: &mut [u8]) {
-        debug_assert!(self.pos + buf.len() as u32 <= self.window, "read beyond requested window");
+        debug_assert!(
+            self.pos + buf.len() as u32 <= self.window,
+            "read beyond requested window"
+        );
         ctx.read(self.port, self.pos, buf);
         self.pos += buf.len() as u32;
     }
@@ -98,7 +105,10 @@ pub struct StepWriter {
 impl StepWriter {
     /// A writer for `port`.
     pub fn new(port: PortId) -> Self {
-        StepWriter { port, staged: Vec::new() }
+        StepWriter {
+            port,
+            staged: Vec::new(),
+        }
     }
 
     /// Stage bytes for output (no shell interaction yet).
@@ -153,7 +163,11 @@ mod tests {
         fn supports(&self, f: &str) -> bool {
             f == "varprod"
         }
-        fn configure_task(&mut self, _: TaskIdx, _: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        fn configure_task(
+            &mut self,
+            _: TaskIdx,
+            _: &eclipse_kpn::graph::TaskDecl,
+        ) -> (Vec<u32>, Vec<u32>) {
             (vec![], vec![])
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -196,7 +210,11 @@ mod tests {
         fn supports(&self, f: &str) -> bool {
             f == "varcons"
         }
-        fn configure_task(&mut self, _: TaskIdx, _: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        fn configure_task(
+            &mut self,
+            _: TaskIdx,
+            _: &eclipse_kpn::graph::TaskDecl,
+        ) -> (Vec<u32>, Vec<u32>) {
             (vec![1], vec![])
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -233,13 +251,20 @@ mod tests {
         g.task("c", "varcons", 0, &[s], &[]);
         let graph = g.build().unwrap();
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(VarProducer { records: records.clone(), next: 0 }));
+        b.add_coprocessor(Box::new(VarProducer {
+            records: records.clone(),
+            next: 0,
+        }));
         let ci = b.add_coprocessor(Box::new(VarConsumer { received: vec![] }));
         b.map_app(&graph).unwrap();
         let mut sys = b.build();
         let summary = sys.run(1_000_000);
         assert_eq!(summary.outcome, eclipse_core::RunOutcome::AllFinished);
-        let cons = sys.coproc(ci).as_any().downcast_ref::<VarConsumer>().unwrap();
+        let cons = sys
+            .coproc(ci)
+            .as_any()
+            .downcast_ref::<VarConsumer>()
+            .unwrap();
         assert_eq!(cons.received, records);
     }
 }

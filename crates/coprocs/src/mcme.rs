@@ -35,7 +35,10 @@ use eclipse_shell::{PortId, TaskIdx};
 use crate::cost::McCost;
 use crate::framestore::{FrameStore, PlaneSel};
 use crate::io::{StepReader, StepWriter};
-use crate::records::{self, cblk_from_body, cblk_to_bytes, mbmv_from_body, mbmv_to_bytes, PicRec, TAG_EOS, TAG_MB, TAG_PIC};
+use crate::records::{
+    self, cblk_from_body, cblk_to_bytes, mbmv_from_body, mbmv_to_bytes, PicRec, TAG_EOS, TAG_MB,
+    TAG_PIC,
+};
 
 /// Per-task configuration: the frame-store arena this task works in.
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +76,11 @@ struct SlotState {
 
 impl SlotState {
     fn new() -> Self {
-        SlotState { last_anchor: None, prev_anchor: None, anchor_count: 0 }
+        SlotState {
+            last_anchor: None,
+            prev_anchor: None,
+            anchor_count: 0,
+        }
     }
 
     /// Slot the next anchor will occupy.
@@ -122,7 +129,11 @@ pub struct McMeCoproc {
 impl McMeCoproc {
     /// A new MC/ME with arena configurations keyed by task instance name.
     pub fn new(cost: McCost, cfgs: HashMap<String, McTaskConfig>) -> Self {
-        McMeCoproc { cost, cfgs, tasks: HashMap::new() }
+        McMeCoproc {
+            cost,
+            cfgs,
+            tasks: HashMap::new(),
+        }
     }
 
     /// Picture spans processed by a task (for the Figure 10 analysis).
@@ -197,23 +208,41 @@ fn predict(
     match mode_code {
         records::mode::INTRA => ([[0i16; 64]; 6], 0),
         records::mode::SKIP | records::mode::FWD => {
-            let slot = t.slots.last_anchor.expect("forward prediction without a reference");
-            let mv = if mode_code == records::mode::SKIP { MotionVector::default() } else { fwd };
+            let slot = t
+                .slots
+                .last_anchor
+                .expect("forward prediction without a reference");
+            let mv = if mode_code == records::mode::SKIP {
+                MotionVector::default()
+            } else {
+                fwd
+            };
             // B pictures predict forward from the *previous* anchor.
             let slot = if t.pic.map(|p| p.ptype) == Some(PictureType::B) {
-                t.slots.prev_anchor.expect("B forward prediction without past anchor")
+                t.slots
+                    .prev_anchor
+                    .expect("B forward prediction without past anchor")
             } else {
                 slot
             };
             (fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, mv), 384)
         }
         records::mode::BWD => {
-            let slot = t.slots.last_anchor.expect("backward prediction without future anchor");
+            let slot = t
+                .slots
+                .last_anchor
+                .expect("backward prediction without future anchor");
             (fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, bwd), 384)
         }
         records::mode::BI => {
-            let fslot = t.slots.prev_anchor.expect("bi prediction without past anchor");
-            let bslot = t.slots.last_anchor.expect("bi prediction without future anchor");
+            let fslot = t
+                .slots
+                .prev_anchor
+                .expect("bi prediction without past anchor");
+            let bslot = t
+                .slots
+                .last_anchor
+                .expect("bi prediction without future anchor");
             let f = fetch_pred(ctx, &t.fs, arena, fslot, mbx, mby, fwd);
             let b = fetch_pred(ctx, &t.fs, arena, bslot, mbx, mby, bwd);
             let mut out = [[0i16; 64]; 6];
@@ -275,7 +304,11 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             ctx.compute(8);
             // Slot selection: anchors alternate 0/1; B pictures use the
             // scratch slot 2 (never referenced).
-            t.write_slot = if pic.ptype == PictureType::B { 2 } else { t.slots.next_anchor_slot(2) };
+            t.write_slot = if pic.ptype == PictureType::B {
+                2
+            } else {
+                t.slots.next_anchor_slot(2)
+            };
             t.pic = Some(pic);
             t.mb_index = 0;
             t.pic_start = ctx.now();
@@ -291,7 +324,7 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             // Collect the residual blocks for the coded blocks.
             let mut r_res = StepReader::new(IN_RESID);
             let mut residuals = [[0i16; 64]; 6];
-            for blk in 0..6 {
+            for (blk, res) in residuals.iter_mut().enumerate() {
                 if cbp & (1 << (5 - blk)) == 0 {
                     continue;
                 }
@@ -300,9 +333,12 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
                     Some(b) => b,
                 };
                 assert_eq!(rec[0], TAG_MB, "mc: expected residual block");
-                residuals[blk] = cblk_from_body(&rec[1..]).unwrap();
+                *res = cblk_from_body(&rec[1..]).unwrap();
             }
-            let (mbx, mby) = (t.mb_index % pic.mb_cols as u32, t.mb_index / pic.mb_cols as u32);
+            let (mbx, mby) = (
+                t.mb_index % pic.mb_cols as u32,
+                t.mb_index / pic.mb_cols as u32,
+            );
             let (pred, fetch_bytes) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
             let mut recon = [[0i16; 64]; 6];
             let mut coded_blocks = 0u64;
@@ -415,7 +451,14 @@ impl SearchWindow {
 
 /// Fetch the tile-aligned luma window covering the search area of
 /// macroblock (mbx, mby) from `slot`.
-fn fetch_window(ctx: &mut StepCtx<'_>, t: &McTask, slot: u32, mbx: u32, mby: u32, range: i32) -> SearchWindow {
+fn fetch_window(
+    ctx: &mut StepCtx<'_>,
+    t: &McTask,
+    slot: u32,
+    mbx: u32,
+    mby: u32,
+    range: i32,
+) -> SearchWindow {
     let fs = &t.fs;
     let base = t.cfg.arena_base + slot * fs.slot_bytes();
     let (w, h) = (t.cfg.width as i32, t.cfg.height as i32);
@@ -442,13 +485,28 @@ fn fetch_window(ctx: &mut StepCtx<'_>, t: &McTask, slot: u32, mbx: u32, mby: u32
         }
         ty += 8;
     }
-    SearchWindow { x0: x_lo, y0: y_lo, w: ww, h: wh, data }
+    SearchWindow {
+        x0: x_lo,
+        y0: y_lo,
+        w: ww,
+        h: wh,
+        data,
+    }
 }
 
 /// SAD of the 16×16 source luma against the window displaced by the
 /// half-pel vector `mv`.
-fn window_sad(src: &[[i16; 64]; 6], win: &SearchWindow, mbx: u32, mby: u32, mv: MotionVector) -> u32 {
-    let (x20, y20) = (mbx as i32 * 32 + mv.dx as i32, mby as i32 * 32 + mv.dy as i32);
+fn window_sad(
+    src: &[[i16; 64]; 6],
+    win: &SearchWindow,
+    mbx: u32,
+    mby: u32,
+    mv: MotionVector,
+) -> u32 {
+    let (x20, y20) = (
+        mbx as i32 * 32 + mv.dx as i32,
+        mby as i32 * 32 + mv.dy as i32,
+    );
     let mut sad = 0u32;
     for y in 0..16i32 {
         for x in 0..16i32 {
@@ -473,21 +531,25 @@ fn window_search(
     candidates: &[MotionVector],
 ) -> (MotionVector, u32, u32) {
     let limit = range as i16 * 2 + 1;
-    let clamp = |v: MotionVector| MotionVector { dx: v.dx.clamp(-limit, limit), dy: v.dy.clamp(-limit, limit) };
+    let clamp = |v: MotionVector| MotionVector {
+        dx: v.dx.clamp(-limit, limit),
+        dy: v.dy.clamp(-limit, limit),
+    };
     let mut best = clamp(*candidates.first().unwrap_or(&MotionVector::default()));
     let mut best_sad = window_sad(src, win, mbx, mby, best);
     let mut evals = 1u32;
-    let consider = |cand: MotionVector, best: &mut MotionVector, best_sad: &mut u32, evals: &mut u32| {
-        if cand == *best {
-            return;
-        }
-        let sad = window_sad(src, win, mbx, mby, cand);
-        *evals += 1;
-        if sad < *best_sad || (sad == *best_sad && (cand.dx, cand.dy) < (best.dx, best.dy)) {
-            *best_sad = sad;
-            *best = cand;
-        }
-    };
+    let consider =
+        |cand: MotionVector, best: &mut MotionVector, best_sad: &mut u32, evals: &mut u32| {
+            if cand == *best {
+                return;
+            }
+            let sad = window_sad(src, win, mbx, mby, cand);
+            *evals += 1;
+            if sad < *best_sad || (sad == *best_sad && (cand.dx, cand.dy) < (best.dx, best.dy)) {
+                *best_sad = sad;
+                *best = cand;
+            }
+        };
     for &cand in candidates.iter().skip(1) {
         consider(clamp(cand), &mut best, &mut best_sad, &mut evals);
     }
@@ -499,7 +561,15 @@ fn window_search(
                 if dx == 0 && dy == 0 {
                     continue;
                 }
-                consider(clamp(MotionVector { dx: center.dx + dx, dy: center.dy + dy }), &mut best, &mut best_sad, &mut evals);
+                consider(
+                    clamp(MotionVector {
+                        dx: center.dx + dx,
+                        dy: center.dy + dy,
+                    }),
+                    &mut best,
+                    &mut best_sad,
+                    &mut evals,
+                );
             }
         }
         step /= 2;
@@ -510,7 +580,15 @@ fn window_search(
             if dx == 0 && dy == 0 {
                 continue;
             }
-            consider(clamp(MotionVector { dx: center.dx + dx, dy: center.dy + dy }), &mut best, &mut best_sad, &mut evals);
+            consider(
+                clamp(MotionVector {
+                    dx: center.dx + dx,
+                    dy: center.dy + dy,
+                }),
+                &mut best,
+                &mut best_sad,
+                &mut evals,
+            );
         }
     }
     (best, best_sad, evals)
@@ -603,7 +681,10 @@ fn step_me(t: &mut MeTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             let mut pix = vec![0u8; records::PIX_REC_BYTES as usize];
             r_src.read(ctx, &mut pix);
             let src = records::pix_from_bytes(&pix).unwrap();
-            let (mbx, mby) = (t.inner.mb_index % pic.mb_cols as u32, t.inner.mb_index / pic.mb_cols as u32);
+            let (mbx, mby) = (
+                t.inner.mb_index % pic.mb_cols as u32,
+                t.inner.mb_index / pic.mb_cols as u32,
+            );
             let range = t.inner.cfg.search_range;
 
             // Mode decision.
@@ -612,7 +693,11 @@ fn step_me(t: &mut MeTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             let (mode, pred): (Pm, [[i16; 64]; 6]) = match pic.ptype {
                 PictureType::I => (Pm::Intra, [[0i16; 64]; 6]),
                 PictureType::P => {
-                    let slot = t.inner.slots.last_anchor.expect("P picture without reference");
+                    let slot = t
+                        .inner
+                        .slots
+                        .last_anchor
+                        .expect("P picture without reference");
                     let win = fetch_window(ctx, &t.inner, slot, mbx, mby, range as i32);
                     fetch_bytes += (win.w * win.h) as u64;
                     let cands = [MotionVector::default(), t.mv_pred.0];
@@ -621,14 +706,33 @@ fn step_me(t: &mut MeTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
                     t.sad_evals += evals as u64;
                     ctx.compute(evals as u64 * cost.per_sad);
                     if sad < intra_activity(&src) {
-                        (Pm::Forward(mv), fetch_pred(ctx, &t.inner.fs, t.inner.cfg.arena_base, slot, mbx, mby, mv))
+                        (
+                            Pm::Forward(mv),
+                            fetch_pred(
+                                ctx,
+                                &t.inner.fs,
+                                t.inner.cfg.arena_base,
+                                slot,
+                                mbx,
+                                mby,
+                                mv,
+                            ),
+                        )
                     } else {
                         (Pm::Intra, [[0i16; 64]; 6])
                     }
                 }
                 PictureType::B => {
-                    let fslot = t.inner.slots.prev_anchor.expect("B picture without past anchor");
-                    let bslot = t.inner.slots.last_anchor.expect("B picture without future anchor");
+                    let fslot = t
+                        .inner
+                        .slots
+                        .prev_anchor
+                        .expect("B picture without past anchor");
+                    let bslot = t
+                        .inner
+                        .slots
+                        .last_anchor
+                        .expect("B picture without future anchor");
                     let fwin = fetch_window(ctx, &t.inner, fslot, mbx, mby, range as i32);
                     let bwin = fetch_window(ctx, &t.inner, bslot, mbx, mby, range as i32);
                     fetch_bytes += (fwin.w * fwin.h + bwin.w * bwin.h) as u64;
@@ -739,7 +843,11 @@ fn step_recon(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResul
             let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
             r.commit(ctx);
             ctx.compute(8);
-            t.write_slot = if pic.ptype == PictureType::B { u32::MAX } else { t.slots.next_anchor_slot(2) };
+            t.write_slot = if pic.ptype == PictureType::B {
+                u32::MAX
+            } else {
+                t.slots.next_anchor_slot(2)
+            };
             t.pic = Some(pic);
             t.mb_index = 0;
             StepResult::Done
@@ -752,7 +860,7 @@ fn step_recon(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResul
             };
             let (mode_code, cbp, fwd, bwd) = mbmv_from_body(&hdr[1..]).unwrap();
             let mut residuals = [[0i16; 64]; 6];
-            for blk in 0..6 {
+            for (blk, res) in residuals.iter_mut().enumerate() {
                 if cbp & (1 << (5 - blk)) == 0 {
                     continue;
                 }
@@ -760,18 +868,25 @@ fn step_recon(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResul
                     None => return StepResult::Blocked,
                     Some(b) => b,
                 };
-                residuals[blk] = cblk_from_body(&rec[1..]).unwrap();
+                *res = cblk_from_body(&rec[1..]).unwrap();
             }
             let is_b = pic.ptype == PictureType::B;
             let last_mb = t.mb_index + 1 == pic.mb_count();
             if !is_b {
                 // Reconstruct into the anchor slot.
-                let (mbx, mby) = (t.mb_index % pic.mb_cols as u32, t.mb_index / pic.mb_cols as u32);
+                let (mbx, mby) = (
+                    t.mb_index % pic.mb_cols as u32,
+                    t.mb_index / pic.mb_cols as u32,
+                );
                 let (pred, fetch_bytes) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
                 let mut recon = [[0i16; 64]; 6];
                 for blk in 0..6 {
                     for i in 0..64 {
-                        let resid = if cbp & (1 << (5 - blk)) != 0 { residuals[blk][i] } else { 0 };
+                        let resid = if cbp & (1 << (5 - blk)) != 0 {
+                            residuals[blk][i]
+                        } else {
+                            0
+                        };
                         recon[blk][i] = (pred[blk][i] + resid).clamp(0, 255);
                     }
                 }
@@ -816,7 +931,11 @@ impl Coprocessor for McMeCoproc {
         matches!(function, "mc" | "me" | "recon")
     }
 
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         let cfg = *self
             .cfgs
             .get(&decl.name)
@@ -839,7 +958,15 @@ impl Coprocessor for McMeCoproc {
                 (vec![1, 0], vec![1 + records::PIX_REC_BYTES])
             }
             "me" => {
-                self.tasks.insert(task, TaskKind::Me(MeTask { inner, anchors_confirmed: 0, sad_evals: 0, mv_pred: Default::default() }));
+                self.tasks.insert(
+                    task,
+                    TaskKind::Me(MeTask {
+                        inner,
+                        anchors_confirmed: 0,
+                        sad_evals: 0,
+                        mv_pred: Default::default(),
+                    }),
+                );
                 (vec![1, 0], vec![records::MBMV_REC_BYTES, 0])
             }
             "recon" => {

@@ -127,7 +127,11 @@ pub fn encode_mode(m: Option<PredictionMode>) -> (u8, MotionVector, MotionVector
 
 /// Decode a wire mode code plus vectors back into a [`PredictionMode`]
 /// option. Returns `None` for invalid codes.
-pub fn decode_mode(code: u8, fwd: MotionVector, bwd: MotionVector) -> Option<Option<PredictionMode>> {
+pub fn decode_mode(
+    code: u8,
+    fwd: MotionVector,
+    bwd: MotionVector,
+) -> Option<Option<PredictionMode>> {
     Some(match code {
         mode::SKIP => None,
         mode::INTRA => Some(PredictionMode::Intra),
@@ -139,7 +143,12 @@ pub fn decode_mode(code: u8, fwd: MotionVector, bwd: MotionVector) -> Option<Opt
 }
 
 /// Serialize an `MBMV` record (11 bytes).
-pub fn mbmv_to_bytes(mode_code: u8, cbp: u8, fwd: MotionVector, bwd: MotionVector) -> [u8; MBMV_REC_BYTES as usize] {
+pub fn mbmv_to_bytes(
+    mode_code: u8,
+    cbp: u8,
+    fwd: MotionVector,
+    bwd: MotionVector,
+) -> [u8; MBMV_REC_BYTES as usize] {
     let mut b = [0u8; MBMV_REC_BYTES as usize];
     b[0] = TAG_MB;
     b[1] = mode_code;
@@ -156,8 +165,14 @@ pub fn mbmv_from_body(b: &[u8]) -> Option<(u8, u8, MotionVector, MotionVector)> 
     if b.len() < 10 {
         return None;
     }
-    let fwd = MotionVector { dx: i16::from_le_bytes([b[2], b[3]]), dy: i16::from_le_bytes([b[4], b[5]]) };
-    let bwd = MotionVector { dx: i16::from_le_bytes([b[6], b[7]]), dy: i16::from_le_bytes([b[8], b[9]]) };
+    let fwd = MotionVector {
+        dx: i16::from_le_bytes([b[2], b[3]]),
+        dy: i16::from_le_bytes([b[4], b[5]]),
+    };
+    let bwd = MotionVector {
+        dx: i16::from_le_bytes([b[6], b[7]]),
+        dy: i16::from_le_bytes([b[8], b[9]]),
+    };
     Some((b[0], b[1], fwd, bwd))
 }
 
@@ -214,7 +229,13 @@ mod tests {
 
     #[test]
     fn pic_rec_round_trip() {
-        let p = PicRec { ptype: PictureType::B, qscale: 13, temporal_ref: 999, mb_cols: 45, mb_rows: 36 };
+        let p = PicRec {
+            ptype: PictureType::B,
+            qscale: 13,
+            temporal_ref: 999,
+            mb_cols: 45,
+            mb_rows: 36,
+        };
         let bytes = p.to_bytes();
         assert_eq!(bytes[0], TAG_PIC);
         assert_eq!(PicRec::from_body(&bytes[1..]).unwrap(), p);

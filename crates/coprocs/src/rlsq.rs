@@ -61,7 +61,10 @@ pub struct RlsqCoproc {
 impl RlsqCoproc {
     /// A new RLSQ.
     pub fn new(cost: RlsqCost) -> Self {
-        RlsqCoproc { cost, tasks: HashMap::new() }
+        RlsqCoproc {
+            cost,
+            tasks: HashMap::new(),
+        }
     }
 
     /// Coefficients processed by a task (workload statistics).
@@ -79,7 +82,11 @@ impl Coprocessor for RlsqCoproc {
         matches!(function, "rlsq" | "qrl" | "iq")
     }
 
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         let function = match decl.function.as_str() {
             "rlsq" => Function::Decode,
             "qrl" => Function::EncodeQrl,
@@ -88,7 +95,13 @@ impl Coprocessor for RlsqCoproc {
         };
         self.tasks.insert(
             task,
-            RlsqTask { function, pic: None, dc_pred: [128; 3], coefs_processed: 0, blocks_processed: 0 },
+            RlsqTask {
+                function,
+                pic: None,
+                dc_pred: [128; 3],
+                coefs_processed: 0,
+                blocks_processed: 0,
+            },
         );
         // Input hints must not exceed the smallest record (the 1-byte
         // EOS tag), or the scheduler would never run the stream tail.
@@ -185,13 +198,21 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
                 for _ in 0..nsym {
                     let mut sb = [0u8; 3];
                     r.read(ctx, &mut sb);
-                    symbols.push(RunLevel { run: sb[0], level: i16::from_le_bytes([sb[1], sb[2]]) });
+                    symbols.push(RunLevel {
+                        run: sb[0],
+                        level: i16::from_le_bytes([sb[1], sb[2]]),
+                    });
                 }
-                let mut levels = rle_decode(&symbols).expect("corrupt token stream: block overflow");
+                let mut levels =
+                    rle_decode(&symbols).expect("corrupt token stream: block overflow");
                 if let Some(dc) = dc {
                     levels[0] = dc;
                 }
-                let dequant = if intra { dequant_intra(&levels, pic.qscale) } else { dequant_inter(&levels, pic.qscale) };
+                let dequant = if intra {
+                    dequant_intra(&levels, pic.qscale)
+                } else {
+                    dequant_inter(&levels, pic.qscale)
+                };
                 w.stage(&cblk_to_bytes(&dequant));
                 cycles += cost.per_block + (nsym as u64 + intra as u64) * cost.per_coef;
                 coefs += nsym as u64 + intra as u64;
@@ -280,15 +301,23 @@ fn step_qrl(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepRes
             let mut cycles = cost.per_mb;
             let mut symbol_sets: Vec<(usize, Option<i16>, Vec<RunLevel>)> = Vec::new();
             let mut dc_pred = t.dc_pred;
-            for blk in 0..6 {
+            for (blk, lv_out) in level_blocks.iter_mut().enumerate() {
                 let rec = match r_coef.take::<{ records::CBLK_REC_BYTES as usize }>(ctx) {
                     None => return StepResult::Blocked,
                     Some(b) => b,
                 };
                 assert_eq!(rec[0], TAG_MB, "qrl expects coefficient blocks");
                 let coefs = cblk_from_body(&rec[1..]).unwrap();
-                let levels = if intra { quant_intra(&coefs, pic.qscale) } else { quant_inter(&coefs, pic.qscale) };
-                let coded = if intra { true } else { levels.iter().any(|&l| l != 0) };
+                let levels = if intra {
+                    quant_intra(&coefs, pic.qscale)
+                } else {
+                    quant_inter(&coefs, pic.qscale)
+                };
+                let coded = if intra {
+                    true
+                } else {
+                    levels.iter().any(|&l| l != 0)
+                };
                 if coded {
                     cbp |= 1 << (5 - blk);
                     let (dc_diff, symbols) = if intra {
@@ -306,10 +335,11 @@ fn step_qrl(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepRes
                     } else {
                         (None, rle_encode(&levels))
                     };
-                    cycles += cost.per_block + (symbols.len() as u64 + intra as u64) * cost.per_coef;
+                    cycles +=
+                        cost.per_block + (symbols.len() as u64 + intra as u64) * cost.per_coef;
                     t.coefs_processed += symbols.len() as u64 + intra as u64;
                     symbol_sets.push((blk, dc_diff, symbols));
-                    level_blocks[blk] = levels;
+                    *lv_out = levels;
                 }
             }
             // Token record for the VLE: MBMV header (mode/mv/cbp now
@@ -412,7 +442,11 @@ fn step_iq(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> StepResu
                     Some(b) => b,
                 };
                 let levels = cblk_from_body(&rec[1..]).unwrap();
-                let coefs = if intra { dequant_intra(&levels, pic.qscale) } else { dequant_inter(&levels, pic.qscale) };
+                let coefs = if intra {
+                    dequant_intra(&levels, pic.qscale)
+                } else {
+                    dequant_inter(&levels, pic.qscale)
+                };
                 w.stage(&cblk_to_bytes(&coefs));
                 let nz = levels.iter().filter(|&&l| l != 0).count() as u64;
                 cycles += cost.per_block + nz * cost.per_coef;

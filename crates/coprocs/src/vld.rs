@@ -26,7 +26,8 @@ use std::collections::HashMap;
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::bits::BitReader;
 use eclipse_media::stream::{
-    read_mb_header, read_picture_header, read_sequence_header, SequenceHeader, MARKER_END, MARKER_PIC,
+    read_mb_header, read_picture_header, read_sequence_header, SequenceHeader, MARKER_END,
+    MARKER_PIC,
 };
 use eclipse_media::vlc::{get_block, get_sev};
 use eclipse_shell::{PortId, TaskIdx};
@@ -67,12 +68,16 @@ pub struct VldTaskConfig {
 impl VldTaskConfig {
     /// Shorthand for the off-chip arrangement.
     pub fn dram(addr: u32, len: u32) -> Self {
-        VldTaskConfig { source: VldSource::Dram { addr, len } }
+        VldTaskConfig {
+            source: VldSource::Dram { addr, len },
+        }
     }
 
     /// Shorthand for the demux-fed arrangement.
     pub fn port() -> Self {
-        VldTaskConfig { source: VldSource::Port }
+        VldTaskConfig {
+            source: VldSource::Port,
+        }
     }
 }
 
@@ -119,7 +124,11 @@ pub struct VldCoproc {
 impl VldCoproc {
     /// A VLD with stream configurations keyed by graph task name.
     pub fn new(cost: VldCost, cfgs: HashMap<String, VldTaskConfig>) -> Self {
-        VldCoproc { cost, cfgs, tasks: HashMap::new() }
+        VldCoproc {
+            cost,
+            cfgs,
+            tasks: HashMap::new(),
+        }
     }
 
     /// Bits parsed by a task so far (workload statistics).
@@ -137,7 +146,12 @@ impl VldCoproc {
     /// bus (bounded by the stream length); port mode pulls length-framed
     /// chunks from input port 0 and returns `false` (caller blocks) when
     /// the demux has not delivered enough yet.
-    fn ensure_fetched(t: &mut VldTask, cost: &VldCost, ctx: &mut StepCtx<'_>, bytes_ahead: usize) -> bool {
+    fn ensure_fetched(
+        t: &mut VldTask,
+        cost: &VldCost,
+        ctx: &mut StepCtx<'_>,
+        bytes_ahead: usize,
+    ) -> bool {
         match t.cfg.source {
             VldSource::Dram { addr, len } => {
                 let want = ((t.bit_pos / 8) + bytes_ahead).min(len as usize);
@@ -192,7 +206,11 @@ impl Coprocessor for VldCoproc {
         function == "vld"
     }
 
-    fn configure_task(&mut self, task: TaskIdx, decl: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        task: TaskIdx,
+        decl: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         let cfg = *self
             .cfgs
             .get(&decl.name)
@@ -200,7 +218,12 @@ impl Coprocessor for VldCoproc {
         // Port numbering: inputs first. In port mode the bitstream input
         // occupies port 0, shifting both outputs by one.
         let port_input = matches!(cfg.source, VldSource::Port);
-        assert_eq!(decl.inputs.len(), port_input as usize, "VLD '{}' port shape mismatch", decl.name);
+        assert_eq!(
+            decl.inputs.len(),
+            port_input as usize,
+            "VLD '{}' port shape mismatch",
+            decl.name
+        );
         let base = port_input as PortId;
         self.tasks.insert(
             task,
@@ -222,7 +245,10 @@ impl Coprocessor for VldCoproc {
         );
         // Output hints: a header-sized window on both streams keeps the
         // scheduler's best guess cheapish without starving small buffers.
-        (if port_input { vec![0] } else { vec![] }, vec![64, records::MBMV_REC_BYTES])
+        (
+            if port_input { vec![0] } else { vec![] },
+            vec![64, records::MBMV_REC_BYTES],
+        )
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -270,7 +296,10 @@ impl Coprocessor for VldCoproc {
                     ctx.compute(cost.per_header);
                     return StepResult::Finished;
                 }
-                assert_eq!(marker, MARKER_PIC, "corrupt bitstream: unexpected marker {marker:#x}");
+                assert_eq!(
+                    marker, MARKER_PIC,
+                    "corrupt bitstream: unexpected marker {marker:#x}"
+                );
                 let ph = read_picture_header(&mut r).expect("corrupt bitstream: picture header");
                 let seq = t.seq.expect("picture before sequence header");
                 let pic = PicRec {

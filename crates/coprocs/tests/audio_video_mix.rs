@@ -15,7 +15,13 @@ use eclipse_media::Decoder;
 #[test]
 fn audio_decodes_alongside_video_on_the_dsp() {
     // Video side.
-    let src = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 11 });
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 11,
+    });
     let frames = src.frames(4);
     let enc = Encoder::new(EncoderConfig {
         width: 48,
@@ -52,7 +58,10 @@ fn audio_decodes_alongside_video_on_the_dsp() {
     // The DSP really time-shared three tasks (display + audio + pcm sink).
     let dsp_shell = &sys.sys.shells()[sys.coprocs.dsp];
     assert_eq!(dsp_shell.tasks().len(), 3);
-    assert!(dsp_shell.sched().switches > 2, "DSP must have task-switched");
+    assert!(
+        dsp_shell.sched().switches > 2,
+        "DSP must have task-switched"
+    );
 }
 
 #[test]
@@ -72,7 +81,13 @@ fn forked_recon_stream_feeds_display_and_monitor_identically() {
     // has two consumers; the monitor must observe exactly the display's
     // bytes, and the decode must stay bit-exact despite the second
     // consumer gating buffer recycling.
-    let src = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 44 });
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 44,
+    });
     let enc = Encoder::new(EncoderConfig {
         width: 48,
         height: 32,
@@ -94,7 +109,13 @@ fn forked_recon_stream_feeds_display_and_monitor_identically() {
     let mbs = 48 / 16 * (32 / 16) * 4;
     assert_eq!(recs, (4 + mbs) as u64);
     // The checksum is deterministic: two identical runs agree.
-    let src2 = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 44 });
+    let src2 = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 44,
+    });
     let (bs2, _) = enc.encode(&src2.frames(4));
     let mut b2 = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     b2.add_decode_with_tap("tap", bs2, DecodeAppConfig::default());

@@ -9,9 +9,27 @@ use eclipse_media::source::{SourceConfig, SyntheticSource};
 use eclipse_media::stream::GopConfig;
 use eclipse_media::Decoder;
 
-fn encode_test_stream(width: usize, height: usize, frames: u16, gop: GopConfig, seed: u64) -> Vec<u8> {
-    let src = SyntheticSource::new(SourceConfig { width, height, complexity: 0.35, motion: 2.0, seed });
-    let enc = Encoder::new(EncoderConfig { width, height, qscale: 6, gop, search_range: 15 });
+fn encode_test_stream(
+    width: usize,
+    height: usize,
+    frames: u16,
+    gop: GopConfig,
+    seed: u64,
+) -> Vec<u8> {
+    let src = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.35,
+        motion: 2.0,
+        seed,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width,
+        height,
+        qscale: 6,
+        gop,
+        search_range: 15,
+    });
     enc.encode(&src.frames(frames)).0
 }
 
@@ -19,11 +37,21 @@ fn assert_bit_exact_decode(bitstream: Vec<u8>, max_cycles: u64) {
     let reference = Decoder::decode(&bitstream).expect("software decode");
     let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
     let summary = dec.system.run(max_cycles);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "simulation must complete");
-    let frames = dec.system.display_frames("dec0").expect("display collected all frames");
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "simulation must complete"
+    );
+    let frames = dec
+        .system
+        .display_frames("dec0")
+        .expect("display collected all frames");
     assert_eq!(frames.len(), reference.frames.len());
     for (i, (sim, sw)) in frames.iter().zip(&reference.frames).enumerate() {
-        assert_eq!(sim, sw, "frame {i}: simulated decode differs from software decode");
+        assert_eq!(
+            sim, sw,
+            "frame {i}: simulated decode differs from software decode"
+        );
     }
 }
 

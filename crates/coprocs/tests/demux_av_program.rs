@@ -16,7 +16,13 @@ use eclipse_media::Decoder;
 #[test]
 fn demuxed_av_program_decodes_bit_exactly() {
     // Video.
-    let src = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 21 });
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 21,
+    });
     let frames = src.frames(5);
     let enc = Encoder::new(EncoderConfig {
         width: 48,
@@ -35,11 +41,19 @@ fn demuxed_av_program_decodes_bit_exactly() {
     b.add_av_program("prog", video, &pcm, AvProgramConfig::default());
     let mut sys = b.build();
     let summary = sys.run(50_000_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "{:?}", summary.outcome);
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "{:?}",
+        summary.outcome
+    );
 
     // Video decoded through demux -> VLD(port) -> ... is bit-exact.
     let out = sys.display_frames("prog").unwrap();
-    assert_eq!(out, video_ref.frames, "demuxed video path corrupted the data");
+    assert_eq!(
+        out, video_ref.frames,
+        "demuxed video path corrupted the data"
+    );
 
     // Audio decoded through demux -> audio_dec(port) matches software.
     let samples = sys.pcm_samples("prog").unwrap();
@@ -54,7 +68,13 @@ fn demuxed_av_program_decodes_bit_exactly() {
 #[test]
 fn av_program_next_to_plain_decode() {
     // An A/V program and an independent plain decode share the instance.
-    let src_a = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 31 });
+    let src_a = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 31,
+    });
     let enc = Encoder::new(EncoderConfig {
         width: 48,
         height: 32,
@@ -64,14 +84,24 @@ fn av_program_next_to_plain_decode() {
     });
     let (video_a, _) = enc.encode(&src_a.frames(4));
     let ref_a = Decoder::decode(&video_a).unwrap();
-    let src_b = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 32 });
+    let src_b = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 32,
+    });
     let (video_b, _) = enc.encode(&src_b.frames(4));
     let ref_b = Decoder::decode(&video_b).unwrap();
     let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 4, 5);
 
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     b.add_av_program("prog", video_a, &pcm, AvProgramConfig::default());
-    b.add_decode("plain", video_b, eclipse_coprocs::apps::DecodeAppConfig::default());
+    b.add_decode(
+        "plain",
+        video_b,
+        eclipse_coprocs::apps::DecodeAppConfig::default(),
+    );
     let mut sys = b.build();
     assert_eq!(sys.run(50_000_000_000).outcome, RunOutcome::AllFinished);
     assert_eq!(sys.display_frames("prog").unwrap(), ref_a.frames);

@@ -12,19 +12,39 @@ use eclipse_media::stream::{GopConfig, PictureType};
 use eclipse_media::Decoder;
 
 fn source_frames(width: usize, height: usize, n: u16, seed: u64) -> Vec<eclipse_media::Frame> {
-    SyntheticSource::new(SourceConfig { width, height, complexity: 0.3, motion: 1.5, seed }).frames(n)
+    SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.3,
+        motion: 1.5,
+        seed,
+    })
+    .frames(n)
 }
 
 #[test]
 fn eclipse_encoded_stream_decodes_with_good_quality() {
     let frames = source_frames(48, 32, 6, 31);
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
-    b.add_encode("enc0", frames.clone(), GopConfig { n: 6, m: 1 }, 5, 7, EncodeAppConfig::default());
+    b.add_encode(
+        "enc0",
+        frames.clone(),
+        GopConfig { n: 6, m: 1 },
+        5,
+        7,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     let summary = sys.run(500_000_000);
-    assert_eq!(summary.outcome, RunOutcome::AllFinished, "encode must complete");
+    assert_eq!(
+        summary.outcome,
+        RunOutcome::AllFinished,
+        "encode must complete"
+    );
 
-    let bytes = sys.encoded_bytes("enc0").expect("sink collected the bitstream");
+    let bytes = sys
+        .encoded_bytes("enc0")
+        .expect("sink collected the bitstream");
     assert!(!bytes.is_empty());
     let decoded = Decoder::decode(&bytes).expect("software decoder accepts the Eclipse bitstream");
     assert_eq!(decoded.frames.len(), frames.len());
@@ -42,13 +62,23 @@ fn eclipse_encoded_stream_decodes_with_good_quality() {
 fn eclipse_encode_with_b_pictures() {
     let frames = source_frames(48, 32, 7, 33);
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
-    b.add_encode("enc0", frames.clone(), GopConfig { n: 12, m: 3 }, 6, 7, EncodeAppConfig::default());
+    b.add_encode(
+        "enc0",
+        frames.clone(),
+        GopConfig { n: 12, m: 3 },
+        6,
+        7,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     let summary = sys.run(1_000_000_000);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
     let bytes = sys.encoded_bytes("enc0").unwrap();
     let decoded = Decoder::decode(&bytes).expect("decodes");
-    assert!(decoded.pictures.iter().any(|p| p.ptype == PictureType::B), "B pictures expected");
+    assert!(
+        decoded.pictures.iter().any(|p| p.ptype == PictureType::B),
+        "B pictures expected"
+    );
     for (i, (dec, src)) in decoded.frames.iter().zip(&frames).enumerate() {
         let psnr = dec.psnr_y(src);
         assert!(psnr > 22.0, "frame {i}: PSNR {psnr:.1} dB");
@@ -73,7 +103,14 @@ fn simultaneous_encode_and_decode_share_the_coprocessors() {
     let enc_frames = source_frames(48, 32, 4, 36);
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     b.add_decode("dec0", bitstream, DecodeAppConfig::default());
-    b.add_encode("enc0", enc_frames.clone(), GopConfig { n: 4, m: 1 }, 6, 7, EncodeAppConfig::default());
+    b.add_encode(
+        "enc0",
+        enc_frames.clone(),
+        GopConfig { n: 4, m: 1 },
+        6,
+        7,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     let summary = sys.run(1_000_000_000);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
@@ -81,7 +118,10 @@ fn simultaneous_encode_and_decode_share_the_coprocessors() {
     // Decode half still bit-exact.
     let frames = sys.display_frames("dec0").unwrap();
     for (i, (sim, sw)) in frames.iter().zip(&reference.frames).enumerate() {
-        assert_eq!(sim, sw, "decode frame {i} corrupted by the concurrent encode");
+        assert_eq!(
+            sim, sw,
+            "decode frame {i} corrupted by the concurrent encode"
+        );
     }
     // Encode half still valid.
     let bytes = sys.encoded_bytes("enc0").unwrap();
@@ -93,5 +133,8 @@ fn simultaneous_encode_and_decode_share_the_coprocessors() {
     // (decode idct, encode fdct, encode idct) and switched between them.
     let dct_shell = &sys.sys.shells()[sys.coprocs.dct];
     assert_eq!(dct_shell.tasks().len(), 3);
-    assert!(dct_shell.sched().switches > 2, "expected task switches on the DCT");
+    assert!(
+        dct_shell.sched().switches > 2,
+        "expected task switches on the DCT"
+    );
 }

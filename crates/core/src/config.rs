@@ -44,7 +44,11 @@ impl Default for EclipseConfig {
             sram: SramConfig::default(),
             read_bus: BusConfig::default(),
             write_bus: BusConfig::default(),
-            system_bus: BusConfig { width_bytes: 8, latency: 6, cycles_per_beat: 1 },
+            system_bus: BusConfig {
+                width_bytes: 8,
+                latency: 6,
+                cycles_per_beat: 1,
+            },
             dram: DramConfig::default(),
             shell: ShellConfig::default(),
             default_budget: 2000,
@@ -90,7 +94,9 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let c = EclipseConfig::default().with_sram_size(64 * 1024).with_bus_width(32);
+        let c = EclipseConfig::default()
+            .with_sram_size(64 * 1024)
+            .with_bus_width(32);
         assert_eq!(c.sram.size, 64 * 1024);
         assert_eq!(c.read_bus.width_bytes, 32);
         assert_eq!(c.write_bus.width_bytes, 32);

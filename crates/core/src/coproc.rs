@@ -121,7 +121,8 @@ impl<'a> StepCtx<'a> {
         let ok = self.shell.get_space(self.task, port, n_bytes, now);
         if ok {
             // GetSpace-triggered prefetch (consumer rows only).
-            self.shell.prefetch_window(self.task, port, n_bytes, now, self.mem);
+            self.shell
+                .prefetch_window(self.task, port, n_bytes, now, self.mem);
         }
         ok
     }
@@ -139,7 +140,9 @@ impl<'a> StepCtx<'a> {
     /// `port`. Absorbed by the shell's write cache.
     pub fn write(&mut self, port: PortId, offset: u32, data: &[u8]) {
         let now = self.now();
-        let done = self.shell.write(self.task, port, offset, data, now, self.mem);
+        let done = self
+            .shell
+            .write(self.task, port, offset, data, now, self.mem);
         self.stall += done - now;
         self.cost += done - now;
     }
@@ -150,7 +153,9 @@ impl<'a> StepCtx<'a> {
     pub fn put_space(&mut self, port: PortId, n_bytes: u32) {
         self.cost += self.shell.cfg.putspace_cost;
         let now = self.now();
-        let outcome = self.shell.put_space(self.task, port, n_bytes, now, self.mem);
+        let outcome = self
+            .shell
+            .put_space(self.task, port, n_bytes, now, self.mem);
         self.msgs.extend(outcome.msgs);
         self.put_called = true;
     }
@@ -178,7 +183,8 @@ impl<'a> StepCtx<'a> {
         let t = self.system_bus.request(now, buf.len() as u32);
         let _ = self.dram.access(t.start, addr, buf.len() as u32);
         self.dram.read(addr, buf);
-        let occupancy = self.system_bus.beats(buf.len() as u32) * self.system_bus.config().cycles_per_beat;
+        let occupancy =
+            self.system_bus.beats(buf.len() as u32) * self.system_bus.config().cycles_per_beat;
         self.stall += occupancy;
         self.cost += occupancy;
     }

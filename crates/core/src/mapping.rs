@@ -70,7 +70,10 @@ impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MapError::NoCoprocessor { task, function } => {
-                write!(f, "no coprocessor implements function '{function}' (task '{task}')")
+                write!(
+                    f,
+                    "no coprocessor implements function '{function}' (task '{task}')"
+                )
             }
             MapError::BufferAlloc { stream, cause } => {
                 write!(f, "cannot allocate buffer for stream '{stream}': {cause}")
@@ -78,7 +81,11 @@ impl std::fmt::Display for MapError {
             MapError::BadAssignment { task, coproc } => {
                 write!(f, "task '{task}' assigned to unknown coprocessor {coproc}")
             }
-            MapError::UnsupportedFunction { task, function, coproc } => {
+            MapError::UnsupportedFunction {
+                task,
+                function,
+                coproc,
+            } => {
                 write!(f, "task '{task}' ('{function}') assigned to coprocessor '{coproc}', which does not implement it")
             }
         }
@@ -131,8 +138,10 @@ pub(crate) fn plan_rows(
     // Allocate buffers per stream.
     let mut buffers = Vec::with_capacity(graph.streams().len());
     for (_sid, s) in graph.stream_ids() {
-        let buf = alloc(s.buffer_size)
-            .map_err(|cause| MapError::BufferAlloc { stream: s.name.clone(), cause })?;
+        let buf = alloc(s.buffer_size).map_err(|cause| MapError::BufferAlloc {
+            stream: s.name.clone(),
+            cause,
+        })?;
         buffers.push(buf);
     }
 
@@ -149,16 +158,22 @@ pub(crate) fn plan_rows(
             let row = RowIdx(next_row[shell]);
             next_row[shell] += 1;
             rows.push(row);
-            consumer_aps
-                .entry(sid)
-                .or_default()
-                .push(AccessPoint { shell: eclipse_shell::ShellId(shell as u16), row });
+            consumer_aps.entry(sid).or_default().push(AccessPoint {
+                shell: eclipse_shell::ShellId(shell as u16),
+                row,
+            });
         }
         for &sid in &t.outputs {
             let row = RowIdx(next_row[shell]);
             next_row[shell] += 1;
             rows.push(row);
-            producer_ap.insert(sid, AccessPoint { shell: eclipse_shell::ShellId(shell as u16), row });
+            producer_ap.insert(
+                sid,
+                AccessPoint {
+                    shell: eclipse_shell::ShellId(shell as u16),
+                    row,
+                },
+            );
         }
         port_rows.push(rows);
     }
@@ -194,7 +209,11 @@ pub(crate) fn plan_rows(
             name: t.name.clone(),
         });
     }
-    Ok(RowPlan { rows, tasks, buffers })
+    Ok(RowPlan {
+        rows,
+        tasks,
+        buffers,
+    })
 }
 
 /// Build the shell [`TaskConfig`] for a planned task given the
@@ -245,7 +264,10 @@ mod tests {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
         // src -> shell 0, mid -> shell 1, dst -> shell 0 (multi-tasking).
-        let plan = plan_rows(&g, &[0, 1, 0], 2, &[0, 0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        let plan = plan_rows(&g, &[0, 1, 0], 2, &[0, 0], |size| {
+            alloc.alloc(size, BUFFER_ALIGN)
+        })
+        .unwrap();
         // Shell 0 rows: src.out0 (stream a), dst.in0 (stream b).
         assert_eq!(plan.rows[0].len(), 2);
         // Shell 1 rows: mid.in0 (a), mid.out0 (b).
@@ -254,11 +276,23 @@ mod tests {
         let (src_out, label) = &plan.rows[0][0];
         assert_eq!(label, "a:src.out0");
         assert_eq!(src_out.dir, PortDir::Producer);
-        assert_eq!(src_out.remotes, vec![AccessPoint { shell: eclipse_shell::ShellId(1), row: RowIdx(0) }]);
+        assert_eq!(
+            src_out.remotes,
+            vec![AccessPoint {
+                shell: eclipse_shell::ShellId(1),
+                row: RowIdx(0)
+            }]
+        );
         // mid.in0's remote is src.out0 = shell 0 row 0.
         let (mid_in, _) = &plan.rows[1][0];
         assert_eq!(mid_in.dir, PortDir::Consumer);
-        assert_eq!(mid_in.remotes, vec![AccessPoint { shell: eclipse_shell::ShellId(0), row: RowIdx(0) }]);
+        assert_eq!(
+            mid_in.remotes,
+            vec![AccessPoint {
+                shell: eclipse_shell::ShellId(0),
+                row: RowIdx(0)
+            }]
+        );
         // Buffers are disjoint.
         assert_ne!(plan.buffers[0].base, plan.buffers[1].base);
         // Tasks grouped per shell.
@@ -270,7 +304,10 @@ mod tests {
     fn row_base_offsets_multi_app_rows() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 0, 0], 1, &[5], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        let plan = plan_rows(&g, &[0, 0, 0], 1, &[5], |size| {
+            alloc.alloc(size, BUFFER_ALIGN)
+        })
+        .unwrap();
         // With 5 preexisting rows, the first new row is index 5.
         assert_eq!(plan.tasks[0][0].ports, vec![RowIdx(5)]);
     }
@@ -284,7 +321,10 @@ mod tests {
         g.task("c2", "collect", 0, &[s], &[]);
         let g = g.build().unwrap();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 1, 1], 2, &[0, 0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap();
+        let plan = plan_rows(&g, &[0, 1, 1], 2, &[0, 0], |size| {
+            alloc.alloc(size, BUFFER_ALIGN)
+        })
+        .unwrap();
         let (p_out, _) = &plan.rows[0][0];
         assert_eq!(p_out.remotes.len(), 2);
     }
@@ -293,7 +333,10 @@ mod tests {
     fn alloc_failure_is_reported_with_stream_name() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 100); // too small
-        let err = plan_rows(&g, &[0, 0, 0], 1, &[0], |size| alloc.alloc(size, BUFFER_ALIGN)).unwrap_err();
+        let err = plan_rows(&g, &[0, 0, 0], 1, &[0], |size| {
+            alloc.alloc(size, BUFFER_ALIGN)
+        })
+        .unwrap_err();
         match err {
             MapError::BufferAlloc { stream, .. } => assert_eq!(stream, "a"),
             other => panic!("{other:?}"),
@@ -304,7 +347,11 @@ mod tests {
     fn task_config_combines_hints_in_port_order() {
         let g = simple_graph();
         let decl = g.task(g.task_by_name("mid").unwrap());
-        let planned = PlannedTask { graph_task: TaskId(1), ports: vec![RowIdx(0), RowIdx(1)], name: "mid".into() };
+        let planned = PlannedTask {
+            graph_task: TaskId(1),
+            ports: vec![RowIdx(0), RowIdx(1)],
+            name: "mid".into(),
+        };
         let cfg = task_config(&planned, decl, 1000, vec![128], vec![64]);
         assert_eq!(cfg.space_hints, vec![128, 64]);
         assert_eq!(cfg.budget, 1000);

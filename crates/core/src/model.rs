@@ -94,12 +94,20 @@ impl WorkloadModel {
     /// The paper's headline workload: simultaneous decoding of two HD
     /// MPEG-2 streams.
     pub fn dual_hd_decode() -> Self {
-        WorkloadModel { mb_per_sec: 2.0 * 8160.0 * 30.0, utilization: 0.75, sram_gbs: 1.8 }
+        WorkloadModel {
+            mb_per_sec: 2.0 * 8160.0 * 30.0,
+            utilization: 0.75,
+            sram_gbs: 1.8,
+        }
     }
 
     /// Standard-definition decode of one stream (720×576 @ 25 Hz).
     pub fn sd_decode() -> Self {
-        WorkloadModel { mb_per_sec: 1620.0 * 25.0, utilization: 0.15, sram_gbs: 0.15 }
+        WorkloadModel {
+            mb_per_sec: 1620.0 * 25.0,
+            utilization: 0.15,
+            sram_gbs: 0.15,
+        }
     }
 }
 
@@ -140,7 +148,12 @@ pub fn estimate_instance(cfg: &EclipseConfig, workload: &WorkloadModel) -> Insta
 
     let total_area_mm2 = components.iter().map(|c| c.area_mm2).sum();
     let total_power_mw = components.iter().map(|c| c.power_mw).sum();
-    InstanceEstimate { components, total_area_mm2, total_power_mw, gops }
+    InstanceEstimate {
+        components,
+        total_area_mm2,
+        total_power_mw,
+        gops,
+    }
 }
 
 #[cfg(test)]
@@ -152,14 +165,38 @@ mod tests {
         let est = estimate_instance(&EclipseConfig::default(), &WorkloadModel::dual_hd_decode());
         // Paper: < 7 mm² total, 1.7 mm² SRAM, 2.0 mm² VLD, < 240 mW,
         // ~36 Gops.
-        assert!(est.total_area_mm2 < 7.0, "area {:.2} mm²", est.total_area_mm2);
-        assert!(est.total_area_mm2 > 5.0, "area {:.2} mm² suspiciously small", est.total_area_mm2);
-        let sram = est.components.iter().find(|c| c.name.starts_with("sram")).unwrap();
+        assert!(
+            est.total_area_mm2 < 7.0,
+            "area {:.2} mm²",
+            est.total_area_mm2
+        );
+        assert!(
+            est.total_area_mm2 > 5.0,
+            "area {:.2} mm² suspiciously small",
+            est.total_area_mm2
+        );
+        let sram = est
+            .components
+            .iter()
+            .find(|c| c.name.starts_with("sram"))
+            .unwrap();
         assert!((sram.area_mm2 - 1.7).abs() < 0.01);
-        let vld = est.components.iter().find(|c| c.name.starts_with("vld")).unwrap();
+        let vld = est
+            .components
+            .iter()
+            .find(|c| c.name.starts_with("vld"))
+            .unwrap();
         assert!(vld.area_mm2 >= 2.0 && vld.area_mm2 < 2.6);
-        assert!(est.total_power_mw < 240.0, "power {:.0} mW", est.total_power_mw);
-        assert!(est.total_power_mw > 120.0, "power {:.0} mW suspiciously low", est.total_power_mw);
+        assert!(
+            est.total_power_mw < 240.0,
+            "power {:.0} mW",
+            est.total_power_mw
+        );
+        assert!(
+            est.total_power_mw > 120.0,
+            "power {:.0} mW suspiciously low",
+            est.total_power_mw
+        );
         assert!((est.gops - 36.0).abs() < 4.0, "gops {:.1}", est.gops);
     }
 

@@ -17,7 +17,8 @@
 use eclipse_kpn::graph::AppGraph;
 use eclipse_mem::{BufferAllocator, Bus, Dram, Sram};
 use eclipse_shell::{GetTaskResult, MemSys, Shell, ShellConfig, ShellId, SyncMsg};
-use eclipse_sim::stats::Utilization;
+use eclipse_sim::stats::{Histogram, Utilization};
+use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle, TraceSink};
 use eclipse_sim::{Calendar, Cycle};
 
 use crate::config::EclipseConfig;
@@ -68,6 +69,15 @@ pub struct RunSummary {
     /// CPU busy cycles spent forwarding sync messages (CPU-centric
     /// baseline only; 0 with distributed sync).
     pub cpu_sync_busy: Cycle,
+    /// Per-stream `GetSpace` denial rate: `(row label, denied / calls)`
+    /// for every stream row that answered at least one call.
+    pub denial_rates: Vec<(String, f64)>,
+    /// Fraction of all scheduler slots (GetTask invocations) that selected
+    /// a runnable task, aggregated over all shells.
+    pub sched_occupancy: f64,
+    /// Send-to-delivery latency of every `putspace` message, in cycles
+    /// (includes CPU serialization in the E10 baseline).
+    pub sync_latency: Histogram,
 }
 
 /// Builds an [`EclipseSystem`]: instantiate coprocessors, map
@@ -107,7 +117,11 @@ impl SystemBuilder {
 
     /// Instantiate a coprocessor with shell-specific parameters (e.g. the
     /// media processor's software shell with higher handshake costs).
-    pub fn add_coprocessor_with_shell(&mut self, coproc: Box<dyn Coprocessor>, shell_cfg: ShellConfig) -> usize {
+    pub fn add_coprocessor_with_shell(
+        &mut self,
+        coproc: Box<dyn Coprocessor>,
+        shell_cfg: ShellConfig,
+    ) -> usize {
         let idx = self.coprocs.len();
         self.shells.push(Shell::new(ShellId(idx as u16), shell_cfg));
         self.shell_names.push(coproc.name().to_string());
@@ -157,7 +171,10 @@ impl SystemBuilder {
             let shell = match assignments.get(&t.name) {
                 Some(&s) => {
                     if s >= self.coprocs.len() {
-                        return Err(MapError::BadAssignment { task: t.name.clone(), coproc: s });
+                        return Err(MapError::BadAssignment {
+                            task: t.name.clone(),
+                            coproc: s,
+                        });
                     }
                     if !self.coprocs[s].supports(&t.function) {
                         return Err(MapError::UnsupportedFunction {
@@ -172,7 +189,10 @@ impl SystemBuilder {
                     .coprocs
                     .iter()
                     .position(|c| c.supports(&t.function))
-                    .ok_or_else(|| MapError::NoCoprocessor { task: t.name.clone(), function: t.function.clone() })?,
+                    .ok_or_else(|| MapError::NoCoprocessor {
+                        task: t.name.clone(),
+                        function: t.function.clone(),
+                    })?,
             };
             assign.push(shell);
         }
@@ -202,11 +222,15 @@ impl SystemBuilder {
                 let cfg = task_config(planned, decl, self.cfg.default_budget, in_hints, out_hints);
                 let actual = self.shells[shell_idx].add_task(cfg);
                 debug_assert_eq!(actual, task_idx);
-                handles.tasks.insert(decl.name.clone(), (shell_idx, task_idx));
+                handles
+                    .tasks
+                    .insert(decl.name.clone(), (shell_idx, task_idx));
             }
         }
         for (sid, s) in graph.stream_ids() {
-            handles.streams.insert(s.name.clone(), plan.buffers[sid.0 as usize]);
+            handles
+                .streams
+                .insert(s.name.clone(), plan.buffers[sid.0 as usize]);
         }
         Ok(handles)
     }
@@ -241,6 +265,9 @@ impl SystemBuilder {
             idle_since: vec![None; n],
             utilization: vec![Utilization::default(); n],
             trace: TraceLog::new(),
+            trace_sink: None,
+            sys_trace: None,
+            sync_latency: Histogram::new(24),
             cpu_sync: self.cpu_sync,
             cpu_next_free: 0,
             cpu_sync_busy: 0,
@@ -264,6 +291,9 @@ pub struct EclipseSystem {
     idle_since: Vec<Option<Cycle>>,
     utilization: Vec<Utilization>,
     trace: TraceLog,
+    trace_sink: Option<SharedTraceSink>,
+    sys_trace: Option<TraceHandle>,
+    sync_latency: Histogram,
     cpu_sync: Option<CpuSyncConfig>,
     cpu_next_free: Cycle,
     cpu_sync_busy: Cycle,
@@ -344,6 +374,31 @@ impl EclipseSystem {
         &self.trace
     }
 
+    /// Install a structured event-trace sink of the given ring capacity
+    /// and attach every shell, both SRAM buses, and the off-chip system
+    /// bus to it. Returns the shared sink so the caller can export the
+    /// events (or toggle collection) after the run. Tracing is purely
+    /// observational: enabling it never changes simulated timing.
+    pub fn enable_tracing(&mut self, capacity: usize) -> SharedTraceSink {
+        let sink = TraceSink::shared(capacity);
+        for (s, shell) in self.shells.iter_mut().enumerate() {
+            let name = self.shell_names[s].clone();
+            shell.attach_trace(&sink, &name);
+        }
+        self.mem.read_bus.attach_trace(&sink);
+        self.mem.write_bus.attach_trace(&sink);
+        self.system_bus.attach_trace(&sink);
+        self.sys_trace = Some(TraceHandle::new(&sink, "system"));
+        self.trace_sink = Some(sink.clone());
+        sink
+    }
+
+    /// The installed event-trace sink, if [`EclipseSystem::enable_tracing`]
+    /// was called.
+    pub fn trace_sink(&self) -> Option<&SharedTraceSink> {
+        self.trace_sink.as_ref()
+    }
+
     /// Direct access to a coprocessor model (e.g. to extract a display
     /// task's collected frames after a run).
     pub fn coproc(&self, idx: usize) -> &dyn Coprocessor {
@@ -361,7 +416,11 @@ impl EclipseSystem {
         for s in 0..self.shells.len() {
             self.cal.schedule_at(0, Event::Step(s));
         }
-        self.cal.schedule_at(self.cfg.sample_interval, Event::Sample);
+        self.cal
+            .schedule_at(self.cfg.sample_interval, Event::Sample);
+        if let Some(t) = &self.sys_trace {
+            t.emit(0, TraceEventKind::RunStart);
+        }
 
         let mut outcome = RunOutcome::MaxCycles;
         while let Some((now, ev)) = self.cal.pop() {
@@ -374,6 +433,17 @@ impl EclipseSystem {
                 Event::Sync(msg) => {
                     let dst = msg.dst.shell.0 as usize;
                     self.sync_messages += 1;
+                    let latency = now.saturating_sub(msg.send_at);
+                    self.sync_latency.record(latency);
+                    if let Some(t) = &self.sys_trace {
+                        t.emit(
+                            now,
+                            TraceEventKind::SyncDeliver {
+                                bytes: msg.bytes,
+                                latency,
+                            },
+                        );
+                    }
                     // The delivery may unblock a task or satisfy a space
                     // hint; an idle shell re-evaluates its scheduler on
                     // every message (spurious wakeups just re-idle).
@@ -382,6 +452,9 @@ impl EclipseSystem {
                 }
                 Event::Sample => {
                     self.sample(now);
+                    if let Some(t) = &self.sys_trace {
+                        t.emit(now, TraceEventKind::Sample);
+                    }
                     // Keep sampling while anything can still happen.
                     if !self.cal.is_empty() {
                         self.cal.schedule(self.cfg.sample_interval, Event::Sample);
@@ -405,12 +478,46 @@ impl EclipseSystem {
             }
         }
         self.sample(end);
+        if let Some(t) = &self.sys_trace {
+            let name = match &outcome {
+                RunOutcome::AllFinished => "all_finished",
+                RunOutcome::Deadlock(_) => "deadlock",
+                RunOutcome::MaxCycles => "max_cycles",
+            };
+            t.emit_with(end, |sink| TraceEventKind::RunEnd {
+                outcome: sink.intern(name),
+            });
+        }
+        // Derived observability metrics (always on; pure counters).
+        let mut denial_rates = Vec::new();
+        for (s, shell) in self.shells.iter().enumerate() {
+            for (r, row) in shell.rows().iter().enumerate() {
+                let calls = row.stats.getspace_calls;
+                if calls > 0 {
+                    let rate = row.stats.getspace_denied as f64 / calls as f64;
+                    denial_rates.push((self.row_labels[s][r].clone(), rate));
+                }
+            }
+        }
+        let (mut calls, mut runs) = (0u64, 0u64);
+        for shell in &self.shells {
+            calls += shell.stats.gettask_calls;
+            runs += shell.stats.gettask_runs;
+        }
+        let sched_occupancy = if calls == 0 {
+            0.0
+        } else {
+            runs as f64 / calls as f64
+        };
         RunSummary {
             outcome,
             cycles: end,
             utilization: self.utilization.clone(),
             sync_messages: self.sync_messages,
             cpu_sync_busy: self.cpu_sync_busy,
+            denial_rates,
+            sched_occupancy,
+            sync_latency: self.sync_latency.clone(),
         }
     }
 
@@ -438,15 +545,24 @@ impl EclipseSystem {
     }
 
     fn do_step(&mut self, s: usize, now: Cycle) {
-        match self.shells[s].get_task() {
+        match self.shells[s].get_task(now) {
             GetTaskResult::Idle => {
                 if self.idle_since[s].is_none() {
                     self.idle_since[s] = Some(now);
                 }
             }
-            GetTaskResult::Run { task, info, switched } => {
+            GetTaskResult::Run {
+                task,
+                info,
+                switched,
+            } => {
                 let shell_cfg = self.shells[s].cfg;
-                let initial = shell_cfg.gettask_cost + if switched { shell_cfg.task_switch_penalty } else { 0 };
+                let initial = shell_cfg.gettask_cost
+                    + if switched {
+                        shell_cfg.task_switch_penalty
+                    } else {
+                        0
+                    };
                 let mut ctx = StepCtx::new(
                     &mut self.shells[s],
                     &mut self.mem,
@@ -460,6 +576,18 @@ impl EclipseSystem {
                 let (cost, stall, msgs, _put_called) = ctx.finish();
                 let cost = cost.max(1); // forbid zero-cost livelock
                 self.shells[s].charge(task, cost);
+                let step_stall = match result {
+                    StepResult::Blocked => cost,
+                    _ => stall.min(cost),
+                };
+                if let Some(tr) = self.shells[s].trace_handle() {
+                    let name = self.shells[s].tasks()[task.0 as usize].cfg.name.clone();
+                    tr.emit_with(now, |sink| TraceEventKind::Step {
+                        task: sink.intern(&name),
+                        busy: cost - step_stall,
+                        stall: step_stall,
+                    });
+                }
                 match result {
                     StepResult::Done => {
                         self.shells[s].note_step(task, false);
@@ -504,16 +632,30 @@ impl EclipseSystem {
                 let label = &self.row_labels[s][r];
                 // Only consumer-side rows report "available data" (the
                 // paper's Figure 10 quantity); producer rows report room.
-                self.trace.record(&format!("space/{label}"), now, row.effective_space() as f64);
+                self.trace
+                    .record(&format!("space/{label}"), now, row.effective_space() as f64);
             }
             let u = &self.utilization[s];
-            self.trace.record(&format!("busy/{}", self.shell_names[s]), now, u.busy as f64);
-            self.trace.record(&format!("stall/{}", self.shell_names[s]), now, u.stalled as f64);
+            self.trace
+                .record(&format!("busy/{}", self.shell_names[s]), now, u.busy as f64);
+            self.trace.record(
+                &format!("stall/{}", self.shell_names[s]),
+                now,
+                u.stalled as f64,
+            );
             // Per-task views (paper Figure 9's "stall time of tasks"):
             // cumulative busy cycles and GetSpace denials per task.
             for t in shell.tasks() {
-                self.trace.record(&format!("taskbusy/{}", t.cfg.name), now, t.stats.busy_cycles as f64);
-                self.trace.record(&format!("taskdenied/{}", t.cfg.name), now, t.stats.denials as f64);
+                self.trace.record(
+                    &format!("taskbusy/{}", t.cfg.name),
+                    now,
+                    t.stats.busy_cycles as f64,
+                );
+                self.trace.record(
+                    &format!("taskdenied/{}", t.cfg.name),
+                    now,
+                    t.stats.denials as f64,
+                );
             }
         }
     }
@@ -541,7 +683,11 @@ mod tests {
         fn supports(&self, function: &str) -> bool {
             function == "gen"
         }
-        fn configure_task(&mut self, _t: TaskIdx, _d: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        fn configure_task(
+            &mut self,
+            _t: TaskIdx,
+            _d: &eclipse_kpn::graph::TaskDecl,
+        ) -> (Vec<u32>, Vec<u32>) {
             (vec![], vec![self.packet])
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -555,7 +701,9 @@ mod tests {
             if !ctx.get_space(OUT, self.packet) {
                 return StepResult::Blocked;
             }
-            let data: Vec<u8> = (0..self.packet).map(|i| (self.sent + i) as u8 ^ self.fill).collect();
+            let data: Vec<u8> = (0..self.packet)
+                .map(|i| (self.sent + i) as u8 ^ self.fill)
+                .collect();
             ctx.write(OUT, 0, &data);
             ctx.compute(self.packet as u64); // 1 cycle per byte
             ctx.put_space(OUT, self.packet);
@@ -584,7 +732,11 @@ mod tests {
         fn supports(&self, function: &str) -> bool {
             function == "collect"
         }
-        fn configure_task(&mut self, _t: TaskIdx, _d: &eclipse_kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+        fn configure_task(
+            &mut self,
+            _t: TaskIdx,
+            _d: &eclipse_kpn::graph::TaskDecl,
+        ) -> (Vec<u32>, Vec<u32>) {
             (vec![self.packet], vec![])
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -624,8 +776,19 @@ mod tests {
         let graph = g.build().unwrap();
 
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(TestProducer { total, packet, sent: 0, fill: 0x5A }));
-        let cons = b.add_coprocessor(Box::new(TestConsumer { total, packet, received: 0, fill: 0x5A, errors: 0 }));
+        b.add_coprocessor(Box::new(TestProducer {
+            total,
+            packet,
+            sent: 0,
+            fill: 0x5A,
+        }));
+        let cons = b.add_coprocessor(Box::new(TestConsumer {
+            total,
+            packet,
+            received: 0,
+            fill: 0x5A,
+            errors: 0,
+        }));
         b.map_app(&graph).unwrap();
         let mut sys = b.build();
         let summary = sys.run(10_000_000);
@@ -672,8 +835,19 @@ mod tests {
         g.task("c", "collect", 0, &[s], &[]);
         let graph = g.build().unwrap();
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(TestProducer { total: 1024, packet: 128, sent: 0, fill: 0 }));
-        b.add_coprocessor(Box::new(TestConsumer { total: 1024, packet: 128, received: 0, fill: 0, errors: 0 }));
+        b.add_coprocessor(Box::new(TestProducer {
+            total: 1024,
+            packet: 128,
+            sent: 0,
+            fill: 0,
+        }));
+        b.add_coprocessor(Box::new(TestConsumer {
+            total: 1024,
+            packet: 128,
+            received: 0,
+            fill: 0,
+            errors: 0,
+        }));
         b.map_app(&graph).unwrap();
         let mut sys = b.build();
         let summary = sys.run(1_000_000);
@@ -703,15 +877,26 @@ mod tests {
 
     #[test]
     fn cpu_sync_baseline_is_slower_and_busies_cpu() {
-        let mut build = |cpu: Option<CpuSyncConfig>| {
+        let build = |cpu: Option<CpuSyncConfig>| {
             let mut g = GraphBuilder::new("pipe");
             let s = g.stream("s", 128);
             g.task("p", "gen", 0, &[], &[s]);
             g.task("c", "collect", 0, &[s], &[]);
             let graph = g.build().unwrap();
             let mut b = SystemBuilder::new(EclipseConfig::default());
-            b.add_coprocessor(Box::new(TestProducer { total: 4096, packet: 64, sent: 0, fill: 1 }));
-            b.add_coprocessor(Box::new(TestConsumer { total: 4096, packet: 64, received: 0, fill: 1, errors: 0 }));
+            b.add_coprocessor(Box::new(TestProducer {
+                total: 4096,
+                packet: 64,
+                sent: 0,
+                fill: 1,
+            }));
+            b.add_coprocessor(Box::new(TestConsumer {
+                total: 4096,
+                packet: 64,
+                received: 0,
+                fill: 1,
+                errors: 0,
+            }));
             if let Some(c) = cpu {
                 b.with_cpu_sync(c);
             }
@@ -720,7 +905,9 @@ mod tests {
             sys.run(10_000_000)
         };
         let distributed = build(None);
-        let centralized = build(Some(CpuSyncConfig { service_cycles: 200 }));
+        let centralized = build(Some(CpuSyncConfig {
+            service_cycles: 200,
+        }));
         assert_eq!(centralized.outcome, RunOutcome::AllFinished);
         assert!(centralized.cycles > distributed.cycles);
         assert!(centralized.cpu_sync_busy > 0);
@@ -735,13 +922,28 @@ mod tests {
         g.task("c", "collect", 0, &[s], &[]);
         let graph = g.build().unwrap();
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(TestProducer { total: 64, packet: 64, sent: 0, fill: 0 }));
-        b.add_coprocessor(Box::new(TestConsumer { total: 64, packet: 64, received: 0, fill: 0, errors: 0 }));
+        b.add_coprocessor(Box::new(TestProducer {
+            total: 64,
+            packet: 64,
+            sent: 0,
+            fill: 0,
+        }));
+        b.add_coprocessor(Box::new(TestConsumer {
+            total: 64,
+            packet: 64,
+            received: 0,
+            fill: 0,
+            errors: 0,
+        }));
         // Force the consumer task onto the producer coprocessor.
         let mut assign = std::collections::HashMap::new();
         assign.insert("c".to_string(), 0usize);
         match b.map_app_with(&graph, &assign) {
-            Err(crate::mapping::MapError::UnsupportedFunction { task, function, coproc }) => {
+            Err(crate::mapping::MapError::UnsupportedFunction {
+                task,
+                function,
+                coproc,
+            }) => {
                 assert_eq!(task, "c");
                 assert_eq!(function, "collect");
                 assert_eq!(coproc, "test-producer");
@@ -758,14 +960,28 @@ mod tests {
         g.task("c", "collect", 0, &[s], &[]);
         let graph = g.build().unwrap();
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(TestProducer { total: 4096, packet: 64, sent: 0, fill: 0 }));
-        b.add_coprocessor(Box::new(TestConsumer { total: 4096, packet: 64, received: 0, fill: 0, errors: 0 }));
+        b.add_coprocessor(Box::new(TestProducer {
+            total: 4096,
+            packet: 64,
+            sent: 0,
+            fill: 0,
+        }));
+        b.add_coprocessor(Box::new(TestConsumer {
+            total: 4096,
+            packet: 64,
+            received: 0,
+            fill: 0,
+            errors: 0,
+        }));
         b.map_app(&graph).unwrap();
         let mut sys = b.build();
         use eclipse_shell::regs;
         // Before the run: the CPU reads the programmed tables over PI.
         assert_eq!(sys.pi_read(0, regs::global::N_TASKS), 1);
-        assert_eq!(sys.pi_read(0, regs::stream::BASE + regs::stream::BUFFER_SIZE), 256);
+        assert_eq!(
+            sys.pi_read(0, regs::stream::BASE + regs::stream::BUFFER_SIZE),
+            256
+        );
         // ...and reprograms a budget at run time.
         sys.pi_write(0, regs::task::BASE + regs::task::BUDGET, 500);
         assert_eq!(sys.pi_read(0, regs::task::BASE + regs::task::BUDGET), 500);
@@ -786,13 +1002,26 @@ mod tests {
         g.task("c", "collect", 0, &[s], &[]);
         let graph = g.build().unwrap();
         let mut b = SystemBuilder::new(EclipseConfig::default());
-        b.add_coprocessor(Box::new(TestProducer { total: 65536, packet: 64, sent: 0, fill: 0 }));
-        b.add_coprocessor(Box::new(TestConsumer { total: 65536, packet: 64, received: 0, fill: 0, errors: 0 }));
+        b.add_coprocessor(Box::new(TestProducer {
+            total: 65536,
+            packet: 64,
+            sent: 0,
+            fill: 0,
+        }));
+        b.add_coprocessor(Box::new(TestConsumer {
+            total: 65536,
+            packet: 64,
+            received: 0,
+            fill: 0,
+            errors: 0,
+        }));
         b.map_app(&graph).unwrap();
         let mut sys = b.build();
         sys.run(10_000_000);
         let trace = sys.trace();
-        let series = trace.get("space/coef:c.in0").expect("consumer space series exists");
+        let series = trace
+            .get("space/coef:c.in0")
+            .expect("consumer space series exists");
         assert!(series.points.len() > 2, "multiple samples expected");
         assert!(trace.get("busy/test-producer").is_some());
     }

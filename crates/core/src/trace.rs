@@ -5,6 +5,8 @@
 //! series. `eclipse-viz` renders these as the paper's Figure 9/10 style
 //! charts; benches export them as CSV.
 
+use std::collections::HashMap;
+
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +45,9 @@ impl TraceSeries {
 pub struct TraceLog {
     /// All series, in creation order.
     pub series: Vec<TraceSeries>,
+    /// Name → index into `series`. Series are created once and sampled
+    /// many times, so `record` must not re-scan the whole vec per sample.
+    by_name: HashMap<String, usize>,
 }
 
 impl TraceLog {
@@ -53,21 +58,44 @@ impl TraceLog {
 
     /// Append a sample to the named series, creating it if needed.
     pub fn record(&mut self, name: &str, time: Cycle, value: f64) {
-        if let Some(s) = self.series.iter_mut().find(|s| s.name == name) {
-            s.points.push((time, value));
-        } else {
-            self.series.push(TraceSeries { name: name.to_string(), points: vec![(time, value)] });
+        let idx = self.index_of(name);
+        self.series[idx].points.push((time, value));
+    }
+
+    /// Index of the named series, creating an empty one if needed.
+    fn index_of(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
         }
+        // The map only sees names that went through `record`, so a miss can
+        // also mean the series was pushed onto the pub `series` field
+        // directly; fall back to a scan before creating.
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            self.by_name.insert(name.to_string(), i);
+            return i;
+        }
+        let i = self.series.len();
+        self.series.push(TraceSeries {
+            name: name.to_string(),
+            points: Vec::new(),
+        });
+        self.by_name.insert(name.to_string(), i);
+        i
     }
 
     /// Find a series by name.
     pub fn get(&self, name: &str) -> Option<&TraceSeries> {
+        if let Some(&i) = self.by_name.get(name) {
+            return self.series.get(i);
+        }
         self.series.iter().find(|s| s.name == name)
     }
 
     /// All series whose name starts with `prefix`.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceSeries> {
-        self.series.iter().filter(move |s| s.name.starts_with(prefix))
+        self.series
+            .iter()
+            .filter(move |s| s.name.starts_with(prefix))
     }
 
     /// Export the log as CSV (`series,cycle,value` rows).
@@ -116,6 +144,34 @@ mod tests {
         let csv = log.to_csv();
         assert!(csv.starts_with("series,cycle,value\n"));
         assert!(csv.contains("x,1,0.5\n"));
+    }
+
+    #[test]
+    fn record_after_direct_series_push_does_not_duplicate() {
+        let mut log = TraceLog::new();
+        log.series.push(TraceSeries {
+            name: "ext".into(),
+            points: vec![(0, 1.0)],
+        });
+        log.record("ext", 5, 2.0);
+        assert_eq!(log.series.len(), 1);
+        assert_eq!(log.get("ext").unwrap().points, vec![(0, 1.0), (5, 2.0)]);
+    }
+
+    #[test]
+    fn many_series_many_samples() {
+        // Exercises the indexed fast path: interleaved records across many
+        // series must land on the right series in creation order.
+        let mut log = TraceLog::new();
+        for t in 0..100u64 {
+            for s in 0..50 {
+                log.record(&format!("s{s}"), t, s as f64);
+            }
+        }
+        assert_eq!(log.series.len(), 50);
+        assert_eq!(log.series[0].name, "s0");
+        assert_eq!(log.get("s49").unwrap().points.len(), 100);
+        assert_eq!(log.get("s49").unwrap().last(), 49.0);
     }
 
     #[test]

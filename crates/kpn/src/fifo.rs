@@ -16,7 +16,7 @@
 //! host programs terminate): the producer [`Fifo::close`]s the stream and
 //! blocked consumers learn that the remaining data is all there is.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// Configuration of one host FIFO.
 #[derive(Debug, Clone, Copy)]
@@ -77,28 +77,33 @@ impl Fifo {
 
     /// Buffer capacity in bytes.
     pub fn capacity(&self) -> usize {
-        self.state.lock().buf.len()
+        self.state.lock().unwrap().buf.len()
     }
 
     /// Total bytes committed by the producer so far.
     pub fn produced(&self) -> u64 {
-        self.state.lock().produced
+        self.state.lock().unwrap().produced
     }
 
     // ---- producer side -------------------------------------------------
 
     /// Non-blocking inquiry: is there room for `n` more bytes?
     pub fn producer_get_space(&self, n: usize) -> bool {
-        self.state.lock().free_space() >= n
+        self.state.lock().unwrap().free_space() >= n
     }
 
     /// Block until `n` bytes of room are available. Panics if `n` exceeds
     /// the buffer capacity (can never succeed — a configuration error).
     pub fn producer_wait_space(&self, n: usize) {
-        let mut st = self.state.lock();
-        assert!(n <= st.buf.len(), "requested window {} exceeds FIFO capacity {}", n, st.buf.len());
+        let mut st = self.state.lock().unwrap();
+        assert!(
+            n <= st.buf.len(),
+            "requested window {} exceeds FIFO capacity {}",
+            n,
+            st.buf.len()
+        );
         while st.free_space() < n {
-            self.space_freed.wait(&mut st);
+            st = self.space_freed.wait(st).unwrap();
         }
     }
 
@@ -106,7 +111,7 @@ impl Fifo {
     /// The caller must have established a window of at least
     /// `offset + data.len()` via `producer_wait_space`/`producer_get_space`.
     pub fn producer_write(&self, offset: usize, data: &[u8]) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         debug_assert!(
             offset + data.len() <= st.free_space(),
             "write outside granted window: offset {} + len {} > free {}",
@@ -127,8 +132,11 @@ impl Fifo {
     /// Commit `n` produced bytes, advancing the producer access point and
     /// waking consumers.
     pub fn producer_put_space(&self, n: usize) {
-        let mut st = self.state.lock();
-        debug_assert!(n <= st.free_space(), "committing more than the granted window");
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(
+            n <= st.free_space(),
+            "committing more than the granted window"
+        );
         st.produced += n as u64;
         drop(st);
         self.data_ready.notify_all();
@@ -136,7 +144,7 @@ impl Fifo {
 
     /// Close the stream: no more data will be produced. Idempotent.
     pub fn close(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.closed = true;
         drop(st);
         self.data_ready.notify_all();
@@ -147,15 +155,20 @@ impl Fifo {
 
     /// Non-blocking inquiry: are `n` bytes available for consumer `c`?
     pub fn consumer_get_space(&self, c: usize, n: usize) -> bool {
-        self.state.lock().available(c) >= n
+        self.state.lock().unwrap().available(c) >= n
     }
 
     /// Block until `n` bytes are available for consumer `c`, or the stream
     /// is closed with fewer remaining. Returns `true` if the window was
     /// granted, `false` on end-of-stream.
     pub fn consumer_wait_space(&self, c: usize, n: usize) -> bool {
-        let mut st = self.state.lock();
-        assert!(n <= st.buf.len(), "requested window {} exceeds FIFO capacity {}", n, st.buf.len());
+        let mut st = self.state.lock().unwrap();
+        assert!(
+            n <= st.buf.len(),
+            "requested window {} exceeds FIFO capacity {}",
+            n,
+            st.buf.len()
+        );
         loop {
             if st.available(c) >= n {
                 return true;
@@ -163,26 +176,26 @@ impl Fifo {
             if st.closed {
                 return false;
             }
-            self.data_ready.wait(&mut st);
+            st = self.data_ready.wait(st).unwrap();
         }
     }
 
     /// Bytes currently available to consumer `c` (for end-of-stream
     /// draining of partial tails).
     pub fn consumer_available(&self, c: usize) -> usize {
-        self.state.lock().available(c)
+        self.state.lock().unwrap().available(c)
     }
 
     /// True once the producer has closed the stream.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
+        self.state.lock().unwrap().closed
     }
 
     /// Read `buf.len()` bytes from offset `offset` ahead of consumer `c`'s
     /// access point. The caller must hold a granted window covering the
     /// range.
     pub fn consumer_read(&self, c: usize, offset: usize, buf: &mut [u8]) {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         debug_assert!(
             offset + buf.len() <= st.available(c),
             "read outside granted window: offset {} + len {} > available {}",
@@ -203,7 +216,7 @@ impl Fifo {
     /// Release `n` consumed bytes for consumer `c`, potentially freeing
     /// space for the producer (only when all consumers have released).
     pub fn consumer_put_space(&self, c: usize, n: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         debug_assert!(n <= st.available(c), "releasing more than available");
         st.consumed[c] += n as u64;
         drop(st);
@@ -217,7 +230,10 @@ mod tests {
     use std::sync::Arc;
 
     fn fifo(cap: usize, consumers: usize) -> Fifo {
-        Fifo::new(FifoConfig { capacity: cap, consumers })
+        Fifo::new(FifoConfig {
+            capacity: cap,
+            consumers,
+        })
     }
 
     #[test]
@@ -268,7 +284,7 @@ mod tests {
         f.producer_write(0, &[9; 8]);
         f.producer_put_space(8);
         f.consumer_put_space(0, 8); // consumer 0 done
-        // Consumer 1 hasn't released — still no room.
+                                    // Consumer 1 hasn't released — still no room.
         assert!(!f.producer_get_space(1));
         f.consumer_put_space(1, 8);
         assert!(f.producer_get_space(8));

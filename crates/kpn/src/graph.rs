@@ -113,12 +113,18 @@ impl AppGraph {
 
     /// Find a task by name.
     pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
-        self.tasks.iter().position(|t| t.name == name).map(|i| TaskId(i as u32))
+        self.tasks
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TaskId(i as u32))
     }
 
     /// Find a stream by name.
     pub fn stream_by_name(&self, name: &str) -> Option<StreamId> {
-        self.streams.iter().position(|s| s.name == name).map(|i| StreamId(i as u32))
+        self.streams
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StreamId(i as u32))
     }
 
     /// Total buffer bytes required by all streams.
@@ -128,12 +134,18 @@ impl AppGraph {
 
     /// Iterator over `(TaskId, &TaskDecl)`.
     pub fn task_ids(&self) -> impl Iterator<Item = (TaskId, &TaskDecl)> {
-        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i as u32), t))
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
     }
 
     /// Iterator over `(StreamId, &StreamDecl)`.
     pub fn stream_ids(&self) -> impl Iterator<Item = (StreamId, &StreamDecl)> {
-        self.streams.iter().enumerate().map(|(i, s)| (StreamId(i as u32), s))
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StreamId(i as u32), s))
     }
 }
 
@@ -160,7 +172,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a new graph.
     pub fn new(name: impl Into<String>) -> Self {
-        GraphBuilder { name: name.into(), tasks: Vec::new(), streams: Vec::new() }
+        GraphBuilder {
+            name: name.into(),
+            tasks: Vec::new(),
+            streams: Vec::new(),
+        }
     }
 
     /// Declare a stream with the given FIFO buffer size in bytes. Returns
@@ -219,7 +235,9 @@ impl GraphBuilder {
                 s.producer = (TaskId(ti as u32), pi as PortIndex);
             }
             for (pi, &sid) in t.inputs.iter().enumerate() {
-                streams[sid.0 as usize].consumers.push((TaskId(ti as u32), pi as PortIndex));
+                streams[sid.0 as usize]
+                    .consumers
+                    .push((TaskId(ti as u32), pi as PortIndex));
             }
         }
         for s in &streams {
@@ -233,7 +251,11 @@ impl GraphBuilder {
                 return Err(GraphError::ZeroBuffer(s.name.clone()));
             }
         }
-        Ok(AppGraph { name: self.name, tasks: self.tasks, streams })
+        Ok(AppGraph {
+            name: self.name,
+            tasks: self.tasks,
+            streams,
+        })
     }
 }
 
@@ -258,7 +280,10 @@ mod tests {
         assert_eq!(g.streams().len(), 2);
         let a = g.stream_by_name("a").unwrap();
         assert_eq!(g.stream(a).producer, (g.task_by_name("src").unwrap(), 0));
-        assert_eq!(g.stream(a).consumers, vec![(g.task_by_name("mid").unwrap(), 0)]);
+        assert_eq!(
+            g.stream(a).consumers,
+            vec![(g.task_by_name("mid").unwrap(), 0)]
+        );
         assert_eq!(g.task(g.task_by_name("mid").unwrap()).task_info, 7);
         assert_eq!(g.total_buffer_bytes(), 192);
     }
@@ -279,7 +304,10 @@ mod tests {
         let mut g = GraphBuilder::new("bad");
         let s = g.stream("orphan", 64);
         g.task("c", "collect", 0, &[s], &[]);
-        assert_eq!(g.build().unwrap_err(), GraphError::MissingProducer("orphan".into()));
+        assert_eq!(
+            g.build().unwrap_err(),
+            GraphError::MissingProducer("orphan".into())
+        );
     }
 
     #[test]
@@ -287,7 +315,10 @@ mod tests {
         let mut g = GraphBuilder::new("bad");
         let s = g.stream("deadend", 64);
         g.task("p", "gen", 0, &[], &[s]);
-        assert_eq!(g.build().unwrap_err(), GraphError::MissingConsumer("deadend".into()));
+        assert_eq!(
+            g.build().unwrap_err(),
+            GraphError::MissingConsumer("deadend".into())
+        );
     }
 
     #[test]
@@ -297,7 +328,10 @@ mod tests {
         g.task("p1", "gen", 0, &[], &[s]);
         g.task("p2", "gen", 0, &[], &[s]);
         g.task("c", "collect", 0, &[s], &[]);
-        assert_eq!(g.build().unwrap_err(), GraphError::DuplicateProducer("s".into()));
+        assert_eq!(
+            g.build().unwrap_err(),
+            GraphError::DuplicateProducer("s".into())
+        );
     }
 
     #[test]
@@ -306,7 +340,10 @@ mod tests {
         let s = g.stream("s", 64);
         g.task("x", "gen", 0, &[], &[s]);
         g.task("x", "collect", 0, &[s], &[]);
-        assert_eq!(g.build().unwrap_err(), GraphError::DuplicateTaskName("x".into()));
+        assert_eq!(
+            g.build().unwrap_err(),
+            GraphError::DuplicateTaskName("x".into())
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   by the host runtime below.
 //! * [`fifo`] — a bounded, windowed FIFO implementing Eclipse's
 //!   GetSpace/Read/Write/PutSpace discipline on host memory with real
-//!   blocking synchronization (parking_lot mutex + condvars). Unlike a
+//!   blocking synchronization (std mutex + condvars). Unlike a
 //!   plain channel, synchronization granularity is decoupled from
 //!   transport granularity, exactly as the paper's Section 2.2 prescribes.
 //! * [`runtime`] — a multi-threaded host executor that runs every task of

@@ -210,13 +210,13 @@ impl<F: FnMut(&[u8]) -> Vec<u8> + Send> Process for MapFn<F> {
 /// A sink that appends every received byte to a shared vector.
 pub struct SinkCollect {
     /// Collected bytes, shared with the test/driver via `Arc<Mutex<_>>`.
-    pub out: Arc<parking_lot::Mutex<Vec<u8>>>,
+    pub out: Arc<std::sync::Mutex<Vec<u8>>>,
 }
 
 impl SinkCollect {
     /// Create a sink and return (process, shared output handle).
-    pub fn new() -> (Self, Arc<parking_lot::Mutex<Vec<u8>>>) {
-        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    pub fn new() -> (Self, Arc<std::sync::Mutex<Vec<u8>>>) {
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
         (SinkCollect { out: out.clone() }, out)
     }
 }
@@ -236,7 +236,7 @@ impl Process for SinkCollect {
             let n = ctx.available(Port::In(0)).min(buf.len());
             ctx.read(Port::In(0), 0, &mut buf[..n]);
             ctx.put_space(Port::In(0), n);
-            self.out.lock().extend_from_slice(&buf[..n]);
+            self.out.lock().unwrap().extend_from_slice(&buf[..n]);
         }
     }
 }

@@ -74,7 +74,11 @@ impl HostRuntime {
                     (fifos[sid.0 as usize].clone(), ci)
                 })
                 .collect();
-            let outputs = t.outputs.iter().map(|&sid| fifos[sid.0 as usize].clone()).collect();
+            let outputs = t
+                .outputs
+                .iter()
+                .map(|&sid| fifos[sid.0 as usize].clone())
+                .collect();
             ctxs.push(TaskCtx { inputs, outputs });
         }
 
@@ -136,12 +140,14 @@ mod tests {
             &graph,
             vec![
                 Box::new(SourceFn::new(counting_source(10_000, 17))),
-                Box::new(MapFn::new(13, |block| block.iter().map(|x| x.wrapping_add(1)).collect())),
+                Box::new(MapFn::new(13, |block| {
+                    block.iter().map(|x| x.wrapping_add(1)).collect()
+                })),
                 Box::new(sink),
             ],
         );
         assert_eq!(report.stream_bytes, vec![10_000, 10_000]);
-        let out = out.lock();
+        let out = out.lock().unwrap();
         assert_eq!(out.len(), 10_000);
         for (i, &x) in out.iter().enumerate() {
             assert_eq!(x, ((i % 251) as u8).wrapping_add(1), "byte {i}");
@@ -161,10 +167,14 @@ mod tests {
         let (s2, o2) = SinkCollect::new();
         HostRuntime::run(
             &graph,
-            vec![Box::new(SourceFn::new(counting_source(5000, 19))), Box::new(s1), Box::new(s2)],
+            vec![
+                Box::new(SourceFn::new(counting_source(5000, 19))),
+                Box::new(s1),
+                Box::new(s2),
+            ],
         );
-        assert_eq!(o1.lock().len(), 5000);
-        assert_eq!(*o1.lock(), *o2.lock());
+        assert_eq!(o1.lock().unwrap().len(), 5000);
+        assert_eq!(*o1.lock().unwrap(), *o2.lock().unwrap());
     }
 
     /// The Kahn property: stream contents are independent of scheduling.
@@ -220,12 +230,14 @@ mod tests {
                 &graph,
                 vec![
                     Box::new(SourceFn::new(counting_source(4096, 16))),
-                    Box::new(MapFn::new(8, |b| b.iter().map(|x| x.wrapping_mul(2)).collect())),
+                    Box::new(MapFn::new(8, |b| {
+                        b.iter().map(|x| x.wrapping_mul(2)).collect()
+                    })),
                     Box::new(Interleave),
                     Box::new(sink),
                 ],
             );
-            let bytes = out.lock().clone();
+            let bytes = out.lock().unwrap().clone();
             match &baseline {
                 None => baseline = Some(bytes),
                 Some(base) => assert_eq!(base, &bytes, "Kahn determinism violated"),
@@ -264,6 +276,6 @@ mod tests {
                 Box::new(sink),
             ],
         );
-        assert_eq!(out.lock().len(), 2000);
+        assert_eq!(out.lock().unwrap().len(), 2000);
     }
 }

@@ -3,8 +3,8 @@
 //! byte unchanged (modulo the stages' deterministic transforms), for any
 //! thread interleaving the OS produces.
 
-use eclipse_kpn::{GraphBuilder, HostRuntime, Process};
 use eclipse_kpn::process::{MapFn, SinkCollect, SourceFn};
+use eclipse_kpn::{GraphBuilder, HostRuntime, Process};
 use proptest::prelude::*;
 
 proptest! {
@@ -53,7 +53,7 @@ proptest! {
         procs.push(Box::new(sink));
 
         let report = HostRuntime::run(&graph, procs);
-        let out = out.lock();
+        let out = out.lock().unwrap();
         prop_assert_eq!(out.len(), total);
         let shift = n_stages as u8;
         for (i, &b) in out.iter().enumerate() {

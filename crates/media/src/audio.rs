@@ -22,11 +22,11 @@ pub const BLOCK_BYTES: usize = 4 + BLOCK_SAMPLES / 2;
 
 /// The IMA step-size table.
 const STEPS: [i32; 89] = [
-    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97,
-    107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
-    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
-    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350,
-    22385, 24623, 27086, 29794, 32767,
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// The IMA index-adjustment table (by code magnitude).
@@ -60,7 +60,11 @@ impl AdpcmState {
             code |= 1;
             delta += step >> 2;
         }
-        self.predictor = if code & 8 != 0 { self.predictor - delta } else { self.predictor + delta };
+        self.predictor = if code & 8 != 0 {
+            self.predictor - delta
+        } else {
+            self.predictor + delta
+        };
         self.predictor = self.predictor.clamp(i16::MIN as i32, i16::MAX as i32);
         self.step_index = (self.step_index + INDEX_ADJUST[(code & 7) as usize]).clamp(0, 88);
         code
@@ -78,7 +82,11 @@ impl AdpcmState {
         if code & 1 != 0 {
             delta += step >> 2;
         }
-        self.predictor = if code & 8 != 0 { self.predictor - delta } else { self.predictor + delta };
+        self.predictor = if code & 8 != 0 {
+            self.predictor - delta
+        } else {
+            self.predictor + delta
+        };
         self.predictor = self.predictor.clamp(i16::MIN as i32, i16::MAX as i32);
         self.step_index = (self.step_index + INDEX_ADJUST[(code & 7) as usize]).clamp(0, 88);
         self.predictor as i16
@@ -95,7 +103,10 @@ pub fn encode(pcm: &[i16]) -> Vec<u8> {
         let first = pcm.get(start).copied().unwrap_or(0);
         // Start at the smallest step: silence encodes exactly, and the
         // index ramps to loud content within ~a dozen samples.
-        let mut state = AdpcmState { predictor: first as i32, step_index: 0 };
+        let mut state = AdpcmState {
+            predictor: first as i32,
+            step_index: 0,
+        };
         out.extend_from_slice(&first.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes());
         let mut nibble: Option<u8> = None;
@@ -116,7 +127,10 @@ pub fn encode(pcm: &[i16]) -> Vec<u8> {
 pub fn decode_block(block: &[u8; BLOCK_BYTES]) -> [i16; BLOCK_SAMPLES] {
     let predictor = i16::from_le_bytes([block[0], block[1]]) as i32;
     let step_index = u16::from_le_bytes([block[2], block[3]]) as i32;
-    let mut state = AdpcmState { predictor, step_index: step_index.clamp(0, 88) };
+    let mut state = AdpcmState {
+        predictor,
+        step_index: step_index.clamp(0, 88),
+    };
     let mut out = [0i16; BLOCK_SAMPLES];
     for i in 0..BLOCK_SAMPLES {
         let byte = block[4 + i / 2];
@@ -144,7 +158,9 @@ pub fn synth_pcm(samples: usize, seed: u64) -> Vec<i16> {
             let t = i as f64 / 48_000.0;
             let tone = 6000.0 * (2.0 * std::f64::consts::PI * 440.0 * t).sin()
                 + 2500.0 * (2.0 * std::f64::consts::PI * 1330.0 * t).sin();
-            let mut h = (i as u64).wrapping_add(seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut h = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             h ^= h >> 31;
             let noise = (h % 801) as f64 - 400.0;
             (tone + noise) as i16
@@ -184,7 +200,10 @@ mod tests {
     fn silence_round_trips_exactly() {
         let pcm = vec![0i16; BLOCK_SAMPLES];
         let decoded = decode(&encode(&pcm));
-        assert!(decoded.iter().all(|&s| s.abs() <= 1), "silence must stay (near) silent");
+        assert!(
+            decoded.iter().all(|&s| s.abs() <= 1),
+            "silence must stay (near) silent"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl BitWriter {
     /// Write the low `n` bits of `v`, MSB first. `n` must be <= 32.
     pub fn put_bits(&mut self, v: u32, n: u8) {
         debug_assert!(n <= 32);
-        debug_assert!(n == 32 || v < (1u64 << n) as u32, "value {v} does not fit in {n} bits");
+        debug_assert!(
+            n == 32 || v < (1u64 << n) as u32,
+            "value {v} does not fit in {n} bits"
+        );
         for i in (0..n).rev() {
             let bit = (v >> i) & 1;
             if self.bit_pos == 0 {
@@ -70,7 +73,10 @@ impl BitWriter {
         if self.bit_pos == 0 {
             std::mem::take(&mut self.bytes)
         } else {
-            let last = self.bytes.pop().expect("bit_pos != 0 implies a partial byte");
+            let last = self
+                .bytes
+                .pop()
+                .expect("bit_pos != 0 implies a partial byte");
             let out = std::mem::take(&mut self.bytes);
             self.bytes.push(last);
             out

@@ -165,7 +165,12 @@ mod tests {
         let b = gradient_block();
         let rec = idct2d(&fdct2d(&b));
         for i in 0..64 {
-            assert!((rec[i] - b[i]).abs() <= 1, "sample {i}: {} vs {}", rec[i], b[i]);
+            assert!(
+                (rec[i] - b[i]).abs() <= 1,
+                "sample {i}: {} vs {}",
+                rec[i],
+                b[i]
+            );
         }
     }
 
@@ -177,7 +182,12 @@ mod tests {
         }
         let rec = idct2d(&fdct2d(&b));
         for i in 0..64 {
-            assert!((rec[i] - b[i]).abs() <= 2, "sample {i}: {} vs {}", rec[i], b[i]);
+            assert!(
+                (rec[i] - b[i]).abs() <= 2,
+                "sample {i}: {} vs {}",
+                rec[i],
+                b[i]
+            );
         }
     }
 

@@ -14,8 +14,8 @@ use crate::motion::{predict_macroblock, MotionVector, PredictionMode};
 use crate::recon::reconstruct_mb;
 use crate::scan::rle_decode;
 use crate::stream::{
-    peek_marker, read_mb_header, read_picture_header, read_sequence_header, PictureType, SequenceHeader, StreamError,
-    MARKER_END, MARKER_PIC,
+    peek_marker, read_mb_header, read_picture_header, read_sequence_header, PictureType,
+    SequenceHeader, StreamError, MARKER_END, MARKER_PIC,
 };
 use crate::vlc::{get_block, get_sev};
 
@@ -68,13 +68,21 @@ impl Decoder {
             match peek_marker(&mut r)? {
                 MARKER_END => break,
                 MARKER_PIC => {}
-                found => return Err(StreamError::BadMarker { expected: MARKER_PIC, found }),
+                found => {
+                    return Err(StreamError::BadMarker {
+                        expected: MARKER_PIC,
+                        found,
+                    })
+                }
             }
             let ph = read_picture_header(&mut r)?;
             let (fwd_ref, bwd_ref): (Option<&Frame>, Option<&Frame>) = match ph.ptype {
                 PictureType::I => (None, None),
                 PictureType::P => (last_anchor.as_ref().map(|(_, f)| f), None),
-                PictureType::B => (prev_anchor.as_ref().map(|(_, f)| f), last_anchor.as_ref().map(|(_, f)| f)),
+                PictureType::B => (
+                    prev_anchor.as_ref().map(|(_, f)| f),
+                    last_anchor.as_ref().map(|(_, f)| f),
+                ),
             };
             let (frame, stats) = decode_picture(&mut r, width, height, &ph, fwd_ref, bwd_ref)?;
             pictures.push(stats);
@@ -84,13 +92,20 @@ impl Decoder {
             }
             let slot = frames
                 .get_mut(ph.temporal_ref as usize)
-                .ok_or(StreamError::BadMarker { expected: MARKER_PIC, found: ph.temporal_ref as u32 })?;
+                .ok_or(StreamError::BadMarker {
+                    expected: MARKER_PIC,
+                    found: ph.temporal_ref as u32,
+                })?;
             *slot = Some(frame);
         }
 
         let frames: Option<Vec<Frame>> = frames.into_iter().collect();
         let frames = frames.ok_or(StreamError::Eos)?;
-        Ok(DecodeResult { frames, header, pictures })
+        Ok(DecodeResult {
+            frames,
+            header,
+            pictures,
+        })
     }
 }
 
@@ -136,7 +151,7 @@ fn decode_picture(
                 }
             };
             let mut levels = [[0i16; 64]; BLOCKS_PER_MB];
-            for blk in 0..BLOCKS_PER_MB {
+            for (blk, lv) in levels.iter_mut().enumerate() {
                 if mb.cbp & (1 << (5 - blk)) == 0 {
                     continue;
                 }
@@ -149,11 +164,11 @@ fn decode_picture(
                     stats.coefficients += symbols.len() as u64 + 1;
                     let mut block = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
                     block[0] = dc;
-                    levels[blk] = block;
+                    *lv = block;
                 } else {
                     let (symbols, _) = get_block(r)?;
                     stats.coefficients += symbols.len() as u64;
-                    levels[blk] = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
+                    *lv = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
                 }
             }
             let pred = predict_macroblock(mode, fwd_ref, bwd_ref, mbx, mby);
@@ -187,7 +202,10 @@ mod tests {
         let result = Decoder::decode(&bytes).expect("decode failed");
         assert_eq!(result.frames.len(), frames.len());
         for (i, (dec, rec)) in result.frames.iter().zip(&recon).enumerate() {
-            assert_eq!(dec, rec, "frame {i}: decoder output != encoder reconstruction");
+            assert_eq!(
+                dec, rec,
+                "frame {i}: decoder output != encoder reconstruction"
+            );
         }
         // Quality sanity: decoded should approximate the source.
         for (i, (dec, orig)) in result.frames.iter().zip(&frames).enumerate() {
@@ -199,7 +217,13 @@ mod tests {
     #[test]
     fn intra_only_round_trip_is_bit_exact() {
         round_trip(
-            EncoderConfig { width: 64, height: 48, qscale: 4, gop: GopConfig { n: 1, m: 1 }, search_range: 7 },
+            EncoderConfig {
+                width: 64,
+                height: 48,
+                qscale: 4,
+                gop: GopConfig { n: 1, m: 1 },
+                search_range: 7,
+            },
             3,
             11,
         );
@@ -208,7 +232,13 @@ mod tests {
     #[test]
     fn ip_round_trip_is_bit_exact() {
         round_trip(
-            EncoderConfig { width: 64, height: 48, qscale: 6, gop: GopConfig { n: 6, m: 1 }, search_range: 15 },
+            EncoderConfig {
+                width: 64,
+                height: 48,
+                qscale: 6,
+                gop: GopConfig { n: 6, m: 1 },
+                search_range: 15,
+            },
             8,
             12,
         );
@@ -217,7 +247,13 @@ mod tests {
     #[test]
     fn ipb_round_trip_is_bit_exact() {
         round_trip(
-            EncoderConfig { width: 64, height: 48, qscale: 6, gop: GopConfig { n: 12, m: 3 }, search_range: 15 },
+            EncoderConfig {
+                width: 64,
+                height: 48,
+                qscale: 6,
+                gop: GopConfig { n: 12, m: 3 },
+                search_range: 15,
+            },
             14,
             13,
         );
@@ -226,7 +262,13 @@ mod tests {
     #[test]
     fn larger_frame_round_trip() {
         round_trip(
-            EncoderConfig { width: 176, height: 144, qscale: 8, gop: GopConfig { n: 9, m: 3 }, search_range: 15 },
+            EncoderConfig {
+                width: 176,
+                height: 144,
+                qscale: 8,
+                gop: GopConfig { n: 9, m: 3 },
+                search_range: 15,
+            },
             5,
             14,
         );
@@ -235,7 +277,13 @@ mod tests {
     #[test]
     fn single_frame_stream() {
         round_trip(
-            EncoderConfig { width: 32, height: 32, qscale: 2, gop: GopConfig { n: 12, m: 3 }, search_range: 3 },
+            EncoderConfig {
+                width: 32,
+                height: 32,
+                qscale: 2,
+                gop: GopConfig { n: 12, m: 3 },
+                search_range: 3,
+            },
             1,
             15,
         );
@@ -243,7 +291,13 @@ mod tests {
 
     #[test]
     fn stats_track_picture_types() {
-        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.3, motion: 1.0, seed: 5 });
+        let src = SyntheticSource::new(SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.3,
+            motion: 1.0,
+            seed: 5,
+        });
         let frames = src.frames(10);
         let enc = Encoder::new(EncoderConfig {
             width: 64,
@@ -278,13 +332,22 @@ mod tests {
         let enc = Encoder::new(EncoderConfig::default());
         let (bytes, _) = enc.encode(&frames);
         for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 5] {
-            assert!(Decoder::decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                Decoder::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 
     #[test]
     fn i_pictures_carry_most_coefficients() {
-        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.4, motion: 1.5, seed: 9 });
+        let src = SyntheticSource::new(SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.4,
+            motion: 1.5,
+            seed: 9,
+        });
         let frames = src.frames(12);
         let enc = Encoder::new(EncoderConfig {
             width: 64,
@@ -296,14 +359,23 @@ mod tests {
         let (bytes, _) = enc.encode(&frames);
         let result = Decoder::decode(&bytes).unwrap();
         let avg = |t: PictureType| -> f64 {
-            let v: Vec<u64> =
-                result.pictures.iter().filter(|p| p.ptype == t).map(|p| p.coefficients).collect();
+            let v: Vec<u64> = result
+                .pictures
+                .iter()
+                .filter(|p| p.ptype == t)
+                .map(|p| p.coefficients)
+                .collect();
             if v.is_empty() {
                 0.0
             } else {
                 v.iter().sum::<u64>() as f64 / v.len() as f64
             }
         };
-        assert!(avg(PictureType::I) > avg(PictureType::B), "I {} vs B {}", avg(PictureType::I), avg(PictureType::B));
+        assert!(
+            avg(PictureType::I) > avg(PictureType::B),
+            "I {} vs B {}",
+            avg(PictureType::I),
+            avg(PictureType::B)
+        );
     }
 }

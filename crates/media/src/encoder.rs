@@ -15,8 +15,8 @@ use crate::quant::{quant_inter, quant_intra};
 use crate::recon::reconstruct_mb;
 use crate::scan::rle_encode;
 use crate::stream::{
-    write_end, write_mb_header, write_picture_header, write_sequence_header, GopConfig, MbHeader, PictureHeader,
-    PictureType, SequenceHeader,
+    write_end, write_mb_header, write_picture_header, write_sequence_header, GopConfig, MbHeader,
+    PictureHeader, PictureType, SequenceHeader,
 };
 use crate::vlc::{put_block, put_sev};
 
@@ -37,7 +37,13 @@ pub struct EncoderConfig {
 
 impl Default for EncoderConfig {
     fn default() -> Self {
-        EncoderConfig { width: 64, height: 48, qscale: 6, gop: GopConfig::default(), search_range: 15 }
+        EncoderConfig {
+            width: 64,
+            height: 48,
+            qscale: 6,
+            gop: GopConfig::default(),
+            search_range: 15,
+        }
     }
 }
 
@@ -110,7 +116,11 @@ impl Encoder {
         assert!(!frames.is_empty(), "nothing to encode");
         assert!(frames.len() <= u16::MAX as usize);
         for f in frames {
-            assert_eq!((f.width, f.height), (cfg.width, cfg.height), "frame size mismatch");
+            assert_eq!(
+                (f.width, f.height),
+                (cfg.width, cfg.height),
+                "frame size mismatch"
+            );
         }
         let num_frames = frames.len() as u16;
         let mut w = BitWriter::new();
@@ -136,10 +146,20 @@ impl Encoder {
             let (fwd_ref, bwd_ref): (Option<&Frame>, Option<&Frame>) = match planned.ptype {
                 PictureType::I => (None, None),
                 PictureType::P => (last_anchor.as_ref().map(|(_, f)| f), None),
-                PictureType::B => (prev_anchor.as_ref().map(|(_, f)| f), last_anchor.as_ref().map(|(_, f)| f)),
+                PictureType::B => (
+                    prev_anchor.as_ref().map(|(_, f)| f),
+                    last_anchor.as_ref().map(|(_, f)| f),
+                ),
             };
             let bits_before = w.bit_len() as u64;
-            let (recon, pic_stats) = self.encode_picture(&mut w, cur, planned.ptype, planned.display_idx, fwd_ref, bwd_ref);
+            let (recon, pic_stats) = self.encode_picture(
+                &mut w,
+                cur,
+                planned.ptype,
+                planned.display_idx,
+                fwd_ref,
+                bwd_ref,
+            );
             let mut pic_stats = pic_stats;
             pic_stats.bits = w.bit_len() as u64 - bits_before;
             stats.pictures.push(pic_stats);
@@ -152,7 +172,10 @@ impl Encoder {
         }
         write_end(&mut w);
         let bytes = w.finish();
-        let recon = recon_frames.into_iter().map(|f| f.expect("every frame encoded")).collect();
+        let recon = recon_frames
+            .into_iter()
+            .map(|f| f.expect("every frame encoded"))
+            .collect();
         (bytes, stats, recon)
     }
 
@@ -167,7 +190,14 @@ impl Encoder {
     ) -> (Frame, PictureStats) {
         let cfg = &self.cfg;
         let q = cfg.qscale;
-        write_picture_header(w, &PictureHeader { ptype, temporal_ref: display_idx, qscale: q });
+        write_picture_header(
+            w,
+            &PictureHeader {
+                ptype,
+                temporal_ref: display_idx,
+                qscale: q,
+            },
+        );
 
         let mut recon = Frame::new(cfg.width, cfg.height);
         let mut pic = PictureStats {
@@ -189,7 +219,18 @@ impl Encoder {
         for mby in 0..cur.mb_rows() {
             for mbx in 0..cur.mb_cols() {
                 self.encode_macroblock(
-                    w, cur, &mut recon, ptype, fwd_ref, bwd_ref, mbx, mby, q, &mut dc_pred, &mut mv_pred, &mut pic,
+                    w,
+                    cur,
+                    &mut recon,
+                    ptype,
+                    fwd_ref,
+                    bwd_ref,
+                    mbx,
+                    mby,
+                    q,
+                    &mut dc_pred,
+                    &mut mv_pred,
+                    &mut pic,
                 );
             }
         }
@@ -221,7 +262,8 @@ impl Encoder {
             PictureType::P => {
                 let fref = fwd_ref.expect("P picture needs a forward reference");
                 let cands = [MotionVector::default(), mv_pred.0];
-                let (mv, sad, evals) = three_step_search_pred(cur, fref, mbx, mby, self.cfg.search_range, &cands);
+                let (mv, sad, evals) =
+                    three_step_search_pred(cur, fref, mbx, mby, self.cfg.search_range, &cands);
                 pic.me_evals += evals as u64;
                 mv_pred.0 = mv;
                 if sad < intra_activity(&cur_blocks) {
@@ -242,7 +284,13 @@ impl Encoder {
                 mv_pred.1 = bmv;
                 pic.me_evals += (fe + be) as u64;
                 // Evaluate bidirectional with the two candidate vectors.
-                let bi_pred = predict_macroblock(PredictionMode::Bidirectional(fmv, bmv), Some(fref), Some(bref), mbx, mby);
+                let bi_pred = predict_macroblock(
+                    PredictionMode::Bidirectional(fmv, bmv),
+                    Some(fref),
+                    Some(bref),
+                    mbx,
+                    mby,
+                );
                 let bi_sad = sad_against(&cur_blocks, &bi_pred);
                 let best = fsad.min(bsad).min(bi_sad);
                 if best >= intra_activity(&cur_blocks) {
@@ -268,7 +316,11 @@ impl Encoder {
                 residual[i] = cur_blocks[blk][i] - pred[blk][i];
             }
             let coefs = fdct2d(&residual);
-            levels[blk] = if intra { quant_intra(&coefs, q) } else { quant_inter(&coefs, q) };
+            levels[blk] = if intra {
+                quant_intra(&coefs, q)
+            } else {
+                quant_inter(&coefs, q)
+            };
             let any_nonzero = if intra {
                 true // intra blocks always coded (DC at minimum)
             } else {
@@ -292,24 +344,30 @@ impl Encoder {
         }
 
         // ---- entropy coding ----
-        write_mb_header(w, &MbHeader { mode: Some(mode), cbp });
-        for blk in 0..BLOCKS_PER_MB {
+        write_mb_header(
+            w,
+            &MbHeader {
+                mode: Some(mode),
+                cbp,
+            },
+        );
+        for (blk, lv) in levels.iter().enumerate().take(BLOCKS_PER_MB) {
             if cbp & (1 << (5 - blk)) == 0 {
                 continue;
             }
             if intra {
                 // DC coded as a predicted difference, AC as run/levels.
                 let comp = dc_component(blk);
-                let dc = levels[blk][0];
+                let dc = lv[0];
                 put_sev(w, (dc - dc_pred[comp]) as i32);
                 dc_pred[comp] = dc;
-                let mut ac = levels[blk];
+                let mut ac = *lv;
                 ac[0] = 0;
                 let symbols = rle_encode(&ac);
                 pic.coefficients += symbols.len() as u64 + 1; // + DC
                 put_block(w, &symbols);
             } else {
-                let symbols = rle_encode(&levels[blk]);
+                let symbols = rle_encode(lv);
                 pic.coefficients += symbols.len() as u64;
                 put_block(w, &symbols);
             }
@@ -371,7 +429,13 @@ mod tests {
     use crate::source::{SourceConfig, SyntheticSource};
 
     fn small_source() -> SyntheticSource {
-        SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.3, motion: 2.0, seed: 42 })
+        SyntheticSource::new(SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.3,
+            motion: 2.0,
+            seed: 42,
+        })
     }
 
     #[test]
@@ -389,7 +453,10 @@ mod tests {
         assert!(!bytes.is_empty());
         assert_eq!(stats.pictures.len(), 3);
         assert!(stats.pictures.iter().all(|p| p.ptype == PictureType::I));
-        assert!(stats.pictures.iter().all(|p| p.inter_mbs == 0 && p.skipped_mbs == 0));
+        assert!(stats
+            .pictures
+            .iter()
+            .all(|p| p.inter_mbs == 0 && p.skipped_mbs == 0));
     }
 
     #[test]
@@ -413,7 +480,13 @@ mod tests {
     #[test]
     fn p_pictures_cost_fewer_bits_than_i() {
         // A low-motion scene: P frames should compress much better.
-        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.2, motion: 0.5, seed: 7 });
+        let src = SyntheticSource::new(SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.2,
+            motion: 0.5,
+            seed: 7,
+        });
         let frames = src.frames(8);
         let enc = Encoder::new(EncoderConfig {
             width: 64,
@@ -423,9 +496,19 @@ mod tests {
             search_range: 7,
         });
         let (_, stats) = enc.encode(&frames);
-        let i_bits = stats.pictures.iter().find(|p| p.ptype == PictureType::I).unwrap().bits;
+        let i_bits = stats
+            .pictures
+            .iter()
+            .find(|p| p.ptype == PictureType::I)
+            .unwrap()
+            .bits;
         let avg_p: u64 = {
-            let ps: Vec<u64> = stats.pictures.iter().filter(|p| p.ptype == PictureType::P).map(|p| p.bits).collect();
+            let ps: Vec<u64> = stats
+                .pictures
+                .iter()
+                .filter(|p| p.ptype == PictureType::P)
+                .map(|p| p.bits)
+                .collect();
             ps.iter().sum::<u64>() / ps.len() as u64
         };
         assert!(avg_p < i_bits, "P avg {avg_p} should be < I {i_bits}");
@@ -433,7 +516,13 @@ mod tests {
 
     #[test]
     fn skip_macroblocks_appear_in_static_scenes() {
-        let src = SyntheticSource::new(SourceConfig { width: 64, height: 48, complexity: 0.0, motion: 0.0, seed: 3 });
+        let src = SyntheticSource::new(SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.0,
+            motion: 0.0,
+            seed: 3,
+        });
         let frames = src.frames(4);
         let enc = Encoder::new(EncoderConfig {
             width: 64,
@@ -461,7 +550,10 @@ mod tests {
         let (_, stats) = enc.encode(&frames);
         use PictureType::*;
         for t in [I, P, B] {
-            assert!(stats.pictures.iter().any(|p| p.ptype == t), "missing picture type {t:?}");
+            assert!(
+                stats.pictures.iter().any(|p| p.ptype == t),
+                "missing picture type {t:?}"
+            );
         }
     }
 

@@ -28,7 +28,11 @@ pub struct Plane {
 impl Plane {
     /// A zero (black) plane.
     pub fn new(width: usize, height: usize) -> Self {
-        Plane { width, height, data: vec![0; width * height] }
+        Plane {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
     }
 
     /// Sample at (x, y) with edge clamping (out-of-range coordinates are
@@ -104,7 +108,10 @@ pub struct Frame {
 impl Frame {
     /// A black frame. Dimensions must be multiples of 16.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width.is_multiple_of(MB_SIZE) && height.is_multiple_of(MB_SIZE), "frame dimensions must be multiples of 16 (got {width}x{height})");
+        assert!(
+            width.is_multiple_of(MB_SIZE) && height.is_multiple_of(MB_SIZE),
+            "frame dimensions must be multiples of 16 (got {width}x{height})"
+        );
         assert!(width > 0 && height > 0);
         Frame {
             width,

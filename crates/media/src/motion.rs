@@ -30,7 +30,10 @@ pub struct MotionVector {
 impl MotionVector {
     /// A vector from full-pel displacements.
     pub fn full_pel(dx: i16, dy: i16) -> Self {
-        MotionVector { dx: dx * 2, dy: dy * 2 }
+        MotionVector {
+            dx: dx * 2,
+            dy: dy * 2,
+        }
     }
 
     /// True if either component needs half-sample interpolation.
@@ -93,7 +96,11 @@ pub fn sad_16x16(cur: &Frame, reference: &Frame, mbx: usize, mby: usize, mv: Mot
     for y in 0..MB_SIZE as i32 {
         for x in 0..MB_SIZE as i32 {
             let c = cur.y.get((x0 + x) as usize, (y0 + y) as usize) as i32;
-            let r = sample_half(&reference.y, (x0 + x) * 2 + mv.dx as i32, (y0 + y) * 2 + mv.dy as i32) as i32;
+            let r = sample_half(
+                &reference.y,
+                (x0 + x) * 2 + mv.dx as i32,
+                (y0 + y) * 2 + mv.dy as i32,
+            ) as i32;
             sad += (c - r).unsigned_abs();
         }
     }
@@ -133,21 +140,25 @@ pub fn three_step_search_pred(
     // (even components), then a final pass refines to half-pel — the
     // classic MPEG encoder structure.
     let limit = range as i16 * 2 + 1; // half-pel clamp
-    let clamp = |v: MotionVector| MotionVector { dx: v.dx.clamp(-limit, limit), dy: v.dy.clamp(-limit, limit) };
+    let clamp = |v: MotionVector| MotionVector {
+        dx: v.dx.clamp(-limit, limit),
+        dy: v.dy.clamp(-limit, limit),
+    };
     let mut best = clamp(*candidates.first().unwrap_or(&MotionVector::default()));
     let mut best_sad = sad_16x16(cur, reference, mbx, mby, best);
     let mut evals: u32 = 1;
-    let consider = |cand: MotionVector, best: &mut MotionVector, best_sad: &mut u32, evals: &mut u32| {
-        if cand == *best {
-            return;
-        }
-        let sad = sad_16x16(cur, reference, mbx, mby, cand);
-        *evals += 1;
-        if sad < *best_sad || (sad == *best_sad && (cand.dx, cand.dy) < (best.dx, best.dy)) {
-            *best_sad = sad;
-            *best = cand;
-        }
-    };
+    let consider =
+        |cand: MotionVector, best: &mut MotionVector, best_sad: &mut u32, evals: &mut u32| {
+            if cand == *best {
+                return;
+            }
+            let sad = sad_16x16(cur, reference, mbx, mby, cand);
+            *evals += 1;
+            if sad < *best_sad || (sad == *best_sad && (cand.dx, cand.dy) < (best.dx, best.dy)) {
+                *best_sad = sad;
+                *best = cand;
+            }
+        };
     for &cand in candidates.iter().skip(1) {
         consider(clamp(cand), &mut best, &mut best_sad, &mut evals);
     }
@@ -159,7 +170,10 @@ pub fn three_step_search_pred(
                 if dx == 0 && dy == 0 {
                     continue;
                 }
-                let cand = clamp(MotionVector { dx: center.dx + dx, dy: center.dy + dy });
+                let cand = clamp(MotionVector {
+                    dx: center.dx + dx,
+                    dy: center.dy + dy,
+                });
                 consider(cand, &mut best, &mut best_sad, &mut evals);
             }
         }
@@ -172,7 +186,10 @@ pub fn three_step_search_pred(
             if dx == 0 && dy == 0 {
                 continue;
             }
-            let cand = clamp(MotionVector { dx: center.dx + dx, dy: center.dy + dy });
+            let cand = clamp(MotionVector {
+                dx: center.dx + dx,
+                dy: center.dy + dy,
+            });
             consider(cand, &mut best, &mut best_sad, &mut evals);
         }
     }
@@ -194,18 +211,42 @@ pub fn predict_macroblock(
     match mode {
         PredictionMode::Intra => out, // zero prediction
         PredictionMode::Forward(mv) => {
-            fetch_pred(fwd_ref.expect("forward prediction needs a past reference"), mbx, mby, mv, &mut out);
+            fetch_pred(
+                fwd_ref.expect("forward prediction needs a past reference"),
+                mbx,
+                mby,
+                mv,
+                &mut out,
+            );
             out
         }
         PredictionMode::Backward(mv) => {
-            fetch_pred(bwd_ref.expect("backward prediction needs a future reference"), mbx, mby, mv, &mut out);
+            fetch_pred(
+                bwd_ref.expect("backward prediction needs a future reference"),
+                mbx,
+                mby,
+                mv,
+                &mut out,
+            );
             out
         }
         PredictionMode::Bidirectional(fmv, bmv) => {
             let mut f = [[0i16; 64]; BLOCKS_PER_MB];
             let mut b = [[0i16; 64]; BLOCKS_PER_MB];
-            fetch_pred(fwd_ref.expect("bidirectional prediction needs a past reference"), mbx, mby, fmv, &mut f);
-            fetch_pred(bwd_ref.expect("bidirectional prediction needs a future reference"), mbx, mby, bmv, &mut b);
+            fetch_pred(
+                fwd_ref.expect("bidirectional prediction needs a past reference"),
+                mbx,
+                mby,
+                fmv,
+                &mut f,
+            );
+            fetch_pred(
+                bwd_ref.expect("bidirectional prediction needs a future reference"),
+                mbx,
+                mby,
+                bmv,
+                &mut b,
+            );
             for blk in 0..BLOCKS_PER_MB {
                 for i in 0..64 {
                     // MPEG averaging with round-up.
@@ -217,7 +258,13 @@ pub fn predict_macroblock(
     }
 }
 
-fn fetch_pred(reference: &Frame, mbx: usize, mby: usize, mv: MotionVector, out: &mut [[i16; 64]; BLOCKS_PER_MB]) {
+fn fetch_pred(
+    reference: &Frame,
+    mbx: usize,
+    mby: usize,
+    mv: MotionVector,
+    out: &mut [[i16; 64]; BLOCKS_PER_MB],
+) {
     // Half-pel coordinates of the macroblock origin.
     let x2 = (mbx * MB_SIZE) as i32 * 2;
     let y2 = (mby * MB_SIZE) as i32 * 2;
@@ -316,7 +363,13 @@ mod tests {
     #[test]
     fn forward_prediction_reproduces_reference() {
         let reference = frame_with_square(16, 16);
-        let pred = predict_macroblock(PredictionMode::Forward(MotionVector::default()), Some(&reference), None, 1, 1);
+        let pred = predict_macroblock(
+            PredictionMode::Forward(MotionVector::default()),
+            Some(&reference),
+            None,
+            1,
+            1,
+        );
         let direct = reference.get_macroblock(1, 1);
         assert_eq!(pred, direct);
     }
@@ -349,7 +402,11 @@ mod tests {
             0,
             0,
         );
-        assert!(pred[0].iter().all(|&v| v == 150), "half-pel average expected, got {:?}", &pred[0][..8]);
+        assert!(
+            pred[0].iter().all(|&v| v == 150),
+            "half-pel average expected, got {:?}",
+            &pred[0][..8]
+        );
     }
 
     #[test]
@@ -384,11 +441,19 @@ mod tests {
         let mut cur = Frame::new(64, 64);
         for y in 0..64 {
             for x in 0..64 {
-                cur.y.set(x, y, sample_half(&reference.y, x as i32 * 2 + 1, y as i32 * 2).clamp(0, 255) as u8);
+                cur.y.set(
+                    x,
+                    y,
+                    sample_half(&reference.y, x as i32 * 2 + 1, y as i32 * 2).clamp(0, 255) as u8,
+                );
             }
         }
         let (mv, sad, _) = three_step_search(&cur, &reference, 1, 1, 4);
-        assert_eq!(mv, MotionVector { dx: 1, dy: 0 }, "should lock onto the half-pel shift");
+        assert_eq!(
+            mv,
+            MotionVector { dx: 1, dy: 0 },
+            "should lock onto the half-pel shift"
+        );
         assert_eq!(sad, 0);
     }
 
@@ -433,9 +498,15 @@ mod tests {
     #[test]
     fn fetch_bytes_model() {
         assert_eq!(mc_fetch_bytes(PredictionMode::Intra), 0);
-        assert_eq!(mc_fetch_bytes(PredictionMode::Forward(MotionVector::default())), 384);
         assert_eq!(
-            mc_fetch_bytes(PredictionMode::Bidirectional(MotionVector::default(), MotionVector::default())),
+            mc_fetch_bytes(PredictionMode::Forward(MotionVector::default())),
+            384
+        );
+        assert_eq!(
+            mc_fetch_bytes(PredictionMode::Bidirectional(
+                MotionVector::default(),
+                MotionVector::default()
+            )),
             768
         );
     }

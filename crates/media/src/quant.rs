@@ -172,7 +172,10 @@ mod tests {
             for i in 0..64 {
                 let step = (INTER_MATRIX[i] as i32 * qscale as i32) / 8;
                 let err = (rec[i] - b[i]).abs() as i32;
-                assert!(err <= step.max(2), "q={qscale} coef {i}: err {err} > {step}");
+                assert!(
+                    err <= step.max(2),
+                    "q={qscale} coef {i}: err {err} > {step}"
+                );
             }
         }
     }

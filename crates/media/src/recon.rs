@@ -31,7 +31,11 @@ pub fn reconstruct_mb(
     for blk in 0..BLOCKS_PER_MB {
         let coded = cbp & (1 << (5 - blk)) != 0;
         if coded {
-            let coefs = if intra { dequant_intra(&levels[blk], qscale) } else { dequant_inter(&levels[blk], qscale) };
+            let coefs = if intra {
+                dequant_intra(&levels[blk], qscale)
+            } else {
+                dequant_inter(&levels[blk], qscale)
+            };
             let spatial = idct2d(&coefs);
             for i in 0..64 {
                 out[blk][i] = pred[blk][i] + spatial[i];

@@ -121,7 +121,10 @@ mod tests {
         let syms = rle_encode(&b);
         assert_eq!(
             syms,
-            vec![RunLevel { run: 0, level: 5 }, RunLevel { run: 2, level: -3 }]
+            vec![
+                RunLevel { run: 0, level: 5 },
+                RunLevel { run: 2, level: -3 }
+            ]
         );
         assert_eq!(rle_decode(&syms).unwrap(), b);
     }
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn overflow_detected() {
-        let syms = vec![RunLevel { run: 63, level: 1 }, RunLevel { run: 0, level: 1 }];
+        let syms = vec![
+            RunLevel { run: 63, level: 1 },
+            RunLevel { run: 0, level: 1 },
+        ];
         assert_eq!(rle_decode(&syms), Err(RleOverflow));
         let syms = vec![RunLevel { run: 64, level: 1 }];
         assert_eq!(rle_decode(&syms), Err(RleOverflow));

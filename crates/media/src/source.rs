@@ -35,7 +35,13 @@ pub struct SourceConfig {
 
 impl Default for SourceConfig {
     fn default() -> Self {
-        SourceConfig { width: 64, height: 48, complexity: 0.4, motion: 2.0, seed: 0x0EC1_195E }
+        SourceConfig {
+            width: 64,
+            height: 48,
+            complexity: 0.4,
+            motion: 2.0,
+            seed: 0x0EC1_195E,
+        }
     }
 }
 
@@ -81,7 +87,11 @@ impl SyntheticSource {
                 // motion is exactly trackable); the rest drift at
                 // fractional speeds and leave residual texture behind —
                 // a realistic mix of prediction quality.
-                let (vx, vy) = if i % 2 == 0 { (vx.round(), vy.round()) } else { (vx, vy) };
+                let (vx, vy) = if i % 2 == 0 {
+                    (vx.round(), vy.round())
+                } else {
+                    (vx, vy)
+                };
                 MovingRect {
                     x0: (h1 % cfg.width as u64) as f64,
                     y0: (h2 % cfg.height as u64) as f64,
@@ -143,7 +153,8 @@ impl SyntheticSource {
                     let x = (ox + dx) % cfg.width;
                     let y = (oy + dy) % cfg.height;
                     let tex = if o.texture > 0 {
-                        (hash64((dx as u64) << 32 | dy as u64 | (oi as u64) << 48) % (o.texture as u64 * 2 + 1)) as i32
+                        (hash64((dx as u64) << 32 | dy as u64 | (oi as u64) << 48)
+                            % (o.texture as u64 * 2 + 1)) as i32
                             - o.texture as i32
                     } else {
                         0
@@ -186,14 +197,24 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SyntheticSource::new(SourceConfig { seed: 1, ..Default::default() });
-        let b = SyntheticSource::new(SourceConfig { seed: 2, ..Default::default() });
+        let a = SyntheticSource::new(SourceConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = SyntheticSource::new(SourceConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.frame(0), b.frame(0));
     }
 
     #[test]
     fn consecutive_frames_are_similar_but_not_identical() {
-        let s = SyntheticSource::new(SourceConfig { complexity: 0.3, motion: 1.5, ..Default::default() });
+        let s = SyntheticSource::new(SourceConfig {
+            complexity: 0.3,
+            motion: 1.5,
+            ..Default::default()
+        });
         let f0 = s.frame(0);
         let f1 = s.frame(1);
         assert_ne!(f0, f1);
@@ -206,8 +227,16 @@ mod tests {
 
     #[test]
     fn complexity_increases_detail_energy() {
-        let flat = SyntheticSource::new(SourceConfig { complexity: 0.0, ..Default::default() }).frame(0);
-        let busy = SyntheticSource::new(SourceConfig { complexity: 1.0, ..Default::default() }).frame(0);
+        let flat = SyntheticSource::new(SourceConfig {
+            complexity: 0.0,
+            ..Default::default()
+        })
+        .frame(0);
+        let busy = SyntheticSource::new(SourceConfig {
+            complexity: 1.0,
+            ..Default::default()
+        })
+        .frame(0);
         // High-frequency energy proxy: sum of absolute horizontal gradients.
         let energy = |f: &Frame| -> u64 {
             let mut e = 0u64;
@@ -218,12 +247,21 @@ mod tests {
             }
             e
         };
-        assert!(energy(&busy) > energy(&flat) * 2, "busy {} vs flat {}", energy(&busy), energy(&flat));
+        assert!(
+            energy(&busy) > energy(&flat) * 2,
+            "busy {} vs flat {}",
+            energy(&busy),
+            energy(&flat)
+        );
     }
 
     #[test]
     fn dimensions_respected() {
-        let s = SyntheticSource::new(SourceConfig { width: 128, height: 96, ..Default::default() });
+        let s = SyntheticSource::new(SourceConfig {
+            width: 128,
+            height: 96,
+            ..Default::default()
+        });
         let f = s.frame(0);
         assert_eq!((f.width, f.height), (128, 96));
         assert_eq!(f.u.width, 64);

@@ -93,7 +93,10 @@ impl GopConfig {
     /// B pictures that would lack a future anchor (at the sequence tail)
     /// are demoted to P.
     pub fn plan(&self, num_frames: u16) -> Vec<PlannedPicture> {
-        assert!(self.n >= 1 && self.m >= 1 && self.m <= self.n, "invalid GOP config {self:?}");
+        assert!(
+            self.n >= 1 && self.m >= 1 && self.m <= self.n,
+            "invalid GOP config {self:?}"
+        );
         let mut plan: Vec<PlannedPicture> = (0..num_frames)
             .map(|i| {
                 let g = i % self.n as u16;
@@ -104,7 +107,10 @@ impl GopConfig {
                 } else {
                     PictureType::B
                 };
-                PlannedPicture { display_idx: i, ptype }
+                PlannedPicture {
+                    display_idx: i,
+                    ptype,
+                }
             })
             .collect();
         // Demote trailing Bs (no future anchor) to P.
@@ -203,7 +209,10 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::Eos => write!(f, "unexpected end of stream"),
             StreamError::BadMarker { expected, found } => {
-                write!(f, "bad marker: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "bad marker: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             StreamError::BadPictureType(v) => write!(f, "bad picture type byte {v}"),
             StreamError::BadMbType(v) => write!(f, "bad macroblock type code {v}"),
@@ -235,7 +244,13 @@ pub fn read_sequence_header(r: &mut BitReader) -> Result<SequenceHeader, StreamE
     let n = r.get_bits(8)? as u8;
     let m = r.get_bits(8)? as u8;
     let num_frames = r.get_bits(16)? as u16;
-    Ok(SequenceHeader { width, height, qscale, gop: GopConfig { n, m }, num_frames })
+    Ok(SequenceHeader {
+        width,
+        height,
+        qscale,
+        gop: GopConfig { n, m },
+        num_frames,
+    })
 }
 
 /// Write a picture header (byte-aligns first).
@@ -254,7 +269,11 @@ pub fn read_picture_header(r: &mut BitReader) -> Result<PictureHeader, StreamErr
     let ptype = PictureType::from_u8(r.get_bits(8)? as u8)?;
     let temporal_ref = r.get_bits(16)? as u16;
     let qscale = r.get_bits(8)? as u8;
-    Ok(PictureHeader { ptype, temporal_ref, qscale })
+    Ok(PictureHeader {
+        ptype,
+        temporal_ref,
+        qscale,
+    })
 }
 
 /// Write the end-of-stream marker.
@@ -343,15 +362,25 @@ pub fn read_mb_header(r: &mut BitReader) -> Result<(MbHeader, u32), StreamError>
         MB_SKIP => MbHeader::SKIP,
         MB_INTRA => {
             let cbp = r.get_bits(6)? as u8;
-            MbHeader { mode: Some(PredictionMode::Intra), cbp }
+            MbHeader {
+                mode: Some(PredictionMode::Intra),
+                cbp,
+            }
         }
         MB_FWD | MB_BWD => {
             let dx = get_sev(r)? as i16;
             let dy = get_sev(r)? as i16;
             let cbp = r.get_bits(6)? as u8;
             let mv = MotionVector { dx, dy };
-            let mode = if code == MB_FWD { PredictionMode::Forward(mv) } else { PredictionMode::Backward(mv) };
-            MbHeader { mode: Some(mode), cbp }
+            let mode = if code == MB_FWD {
+                PredictionMode::Forward(mv)
+            } else {
+                PredictionMode::Backward(mv)
+            };
+            MbHeader {
+                mode: Some(mode),
+                cbp,
+            }
         }
         MB_BI => {
             let fdx = get_sev(r)? as i16;
@@ -402,7 +431,10 @@ mod tests {
         let seq: Vec<(u16, PictureType)> = coded.iter().map(|p| (p.display_idx, p.ptype)).collect();
         use PictureType::*;
         // display: I0 B1 B2 P3 B4 B5 P6 -> coded: I0 P3 B1 B2 P6 B4 B5
-        assert_eq!(seq, vec![(0, I), (3, P), (1, B), (2, B), (6, P), (4, B), (5, B)]);
+        assert_eq!(
+            seq,
+            vec![(0, I), (3, P), (1, B), (2, B), (6, P), (4, B), (5, B)]
+        );
     }
 
     #[test]
@@ -424,7 +456,11 @@ mod tests {
                 let decoded: Vec<u16> = coded[..i].iter().map(|q| q.display_idx).collect();
                 let past = decoded.iter().any(|&d| d < p.display_idx);
                 let future = decoded.iter().any(|&d| d > p.display_idx);
-                assert!(past && future, "B picture {} lacks decoded anchors", p.display_idx);
+                assert!(
+                    past && future,
+                    "B picture {} lacks decoded anchors",
+                    p.display_idx
+                );
             }
         }
     }
@@ -447,7 +483,11 @@ mod tests {
 
     #[test]
     fn picture_header_round_trip() {
-        let h = PictureHeader { ptype: PictureType::B, temporal_ref: 17, qscale: 12 };
+        let h = PictureHeader {
+            ptype: PictureType::B,
+            temporal_ref: 17,
+            qscale: 12,
+        };
         let mut w = BitWriter::new();
         w.put_bits(0b101, 3); // force misalignment; writer must align
         write_picture_header(&mut w, &h);
@@ -476,9 +516,18 @@ mod tests {
     fn mb_header_round_trips_all_modes() {
         let cases = vec![
             MbHeader::SKIP,
-            MbHeader { mode: Some(PredictionMode::Intra), cbp: 0b111111 },
-            MbHeader { mode: Some(PredictionMode::Forward(MotionVector { dx: -7, dy: 12 })), cbp: 0b101010 },
-            MbHeader { mode: Some(PredictionMode::Backward(MotionVector { dx: 3, dy: -3 })), cbp: 0 },
+            MbHeader {
+                mode: Some(PredictionMode::Intra),
+                cbp: 0b111111,
+            },
+            MbHeader {
+                mode: Some(PredictionMode::Forward(MotionVector { dx: -7, dy: 12 })),
+                cbp: 0b101010,
+            },
+            MbHeader {
+                mode: Some(PredictionMode::Backward(MotionVector { dx: 3, dy: -3 })),
+                cbp: 0,
+            },
             MbHeader {
                 mode: Some(PredictionMode::Bidirectional(
                     MotionVector { dx: 15, dy: -15 },

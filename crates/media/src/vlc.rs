@@ -53,14 +53,22 @@ pub fn get_uev(r: &mut BitReader) -> Result<u32, EndOfStream> {
 
 /// Write a signed exp-Golomb code (0, 1, -1, 2, -2, ... mapping).
 pub fn put_sev(w: &mut BitWriter, v: i32) {
-    let mapped = if v <= 0 { (-(v as i64) * 2) as u32 } else { (v as u32) * 2 - 1 };
+    let mapped = if v <= 0 {
+        (-(v as i64) * 2) as u32
+    } else {
+        (v as u32) * 2 - 1
+    };
     put_uev(w, mapped);
 }
 
 /// Read a signed exp-Golomb code.
 pub fn get_sev(r: &mut BitReader) -> Result<i32, EndOfStream> {
     let u = get_uev(r)? as i64;
-    Ok(if u % 2 == 0 { -(u / 2) as i32 } else { ((u + 1) / 2) as i32 })
+    Ok(if u % 2 == 0 {
+        -(u / 2) as i32
+    } else {
+        ((u + 1) / 2) as i32
+    })
 }
 
 // ---- run/level Huffman ----------------------------------------------------
@@ -138,7 +146,11 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
     let mut nodes: Vec<Node> = freqs
         .iter()
         .enumerate()
-        .map(|(i, &f)| Node { freq: f, order: i, kind: NodeKind::Leaf(i) })
+        .map(|(i, &f)| Node {
+            freq: f,
+            order: i,
+            kind: NodeKind::Leaf(i),
+        })
         .collect();
     let mut active: Vec<usize> = (0..nodes.len()).collect();
     let mut next_order = nodes.len();
@@ -208,7 +220,14 @@ impl RunLevelCode {
             count[len as usize] += 1;
             code += 1;
         }
-        RunLevelCode { codes, first_code, offset, count, sorted_symbols, max_len }
+        RunLevelCode {
+            codes,
+            first_code,
+            offset,
+            count,
+            sorted_symbols,
+            max_len,
+        }
     }
 
     /// The process-wide code table (built once).
@@ -268,7 +287,10 @@ impl RunLevelCode {
                             let run = (idx / MAX_TABLE_LEVEL as usize) as u8;
                             let mag = (idx % MAX_TABLE_LEVEL as usize + 1) as i16;
                             let neg = r.get_bit()?;
-                            CoefSymbol::Run(RunLevel { run, level: if neg { -mag } else { mag } })
+                            CoefSymbol::Run(RunLevel {
+                                run,
+                                level: if neg { -mag } else { mag },
+                            })
                         }
                     };
                     let used = (r.bit_pos() - start) as u8;
@@ -378,8 +400,15 @@ mod tests {
         let code = RunLevelCode::global();
         let (_, len_01) = code.codes[sym_index(0, 1).unwrap()];
         let (_, len_1510) = code.codes[sym_index(15, 8).unwrap()];
-        assert!(len_01 < len_1510, "(0,1) len {len_01} should beat (15,8) len {len_1510}");
-        assert!(code.eob_len() <= 4, "EOB should be short, got {}", code.eob_len());
+        assert!(
+            len_01 < len_1510,
+            "(0,1) len {len_01} should beat (15,8) len {len_1510}"
+        );
+        assert!(
+            code.eob_len() <= 4,
+            "EOB should be short, got {}",
+            code.eob_len()
+        );
     }
 
     #[test]
@@ -407,10 +436,16 @@ mod tests {
     fn escape_symbols_round_trip() {
         let code = RunLevelCode::global();
         let escapes = [
-            RunLevel { run: 16, level: 1 },   // run too large
-            RunLevel { run: 0, level: 9 },    // level too large
-            RunLevel { run: 63, level: -2047 },
-            RunLevel { run: 20, level: 2047 },
+            RunLevel { run: 16, level: 1 }, // run too large
+            RunLevel { run: 0, level: 9 },  // level too large
+            RunLevel {
+                run: 63,
+                level: -2047,
+            },
+            RunLevel {
+                run: 20,
+                level: 2047,
+            },
         ];
         let mut w = BitWriter::new();
         for &rl in &escapes {
@@ -473,7 +508,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_run_level() -> impl Strategy<Value = RunLevel> {
-        (0u8..=63, prop_oneof![1i16..=8, 9i16..=2047, -2047i16..=-1]).prop_map(|(run, level)| RunLevel { run, level })
+        (0u8..=63, prop_oneof![1i16..=8, 9i16..=2047, -2047i16..=-1])
+            .prop_map(|(run, level)| RunLevel { run, level })
     }
 
     proptest! {

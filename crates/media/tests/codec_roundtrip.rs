@@ -10,7 +10,10 @@ use eclipse_media::Decoder;
 use proptest::prelude::*;
 
 fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
-    (proptest::collection::vec(0u8..=255, w * h), proptest::collection::vec(0u8..=255, w * h / 2))
+    (
+        proptest::collection::vec(0u8..=255, w * h),
+        proptest::collection::vec(0u8..=255, w * h / 2),
+    )
         .prop_map(move |(y, uv)| {
             let mut f = Frame::new(w, h);
             f.y.data.copy_from_slice(&y);

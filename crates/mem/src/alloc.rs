@@ -54,7 +54,13 @@ pub struct BufferAllocator {
 impl BufferAllocator {
     /// An allocator managing `[base, base + size)`.
     pub fn new(base: u32, size: u32) -> Self {
-        BufferAllocator { base, size, free: vec![(base, size)], in_use: 0, high_watermark: 0 }
+        BufferAllocator {
+            base,
+            size,
+            free: vec![(base, size)],
+            in_use: 0,
+            high_watermark: 0,
+        }
     }
 
     /// Bytes currently allocated.
@@ -103,7 +109,10 @@ impl BufferAllocator {
                 return Ok(CyclicBuffer::new(aligned, size));
             }
         }
-        Err(AllocError::OutOfMemory { requested: size, largest_free: self.largest_free() })
+        Err(AllocError::OutOfMemory {
+            requested: size,
+            largest_free: self.largest_free(),
+        })
     }
 
     /// Free a previously allocated buffer. Coalesces with neighbours.
@@ -112,17 +121,26 @@ impl BufferAllocator {
     /// Panics if the buffer overlaps a free region (double free / corruption).
     pub fn free(&mut self, buf: CyclicBuffer) {
         let (start, len) = (buf.base, buf.size);
-        assert!(start >= self.base && start + len <= self.base + self.size, "freeing buffer outside managed range");
+        assert!(
+            start >= self.base && start + len <= self.base + self.size,
+            "freeing buffer outside managed range"
+        );
         // Find insertion point keeping the list sorted by start.
         let idx = self.free.partition_point(|&(s, _)| s < start);
         // Check overlap with neighbours.
         if idx > 0 {
             let (ps, pl) = self.free[idx - 1];
-            assert!(ps + pl <= start, "double free / overlap with preceding free region");
+            assert!(
+                ps + pl <= start,
+                "double free / overlap with preceding free region"
+            );
         }
         if idx < self.free.len() {
             let (ns, _) = self.free[idx];
-            assert!(start + len <= ns, "double free / overlap with following free region");
+            assert!(
+                start + len <= ns,
+                "double free / overlap with following free region"
+            );
         }
         self.free.insert(idx, (start, len));
         // Coalesce around idx.
@@ -175,7 +193,13 @@ mod tests {
         let mut a = BufferAllocator::new(0, 256);
         let _b = a.alloc(200, 1).unwrap();
         let err = a.alloc(100, 1).unwrap_err();
-        assert_eq!(err, AllocError::OutOfMemory { requested: 100, largest_free: 56 });
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                requested: 100,
+                largest_free: 56
+            }
+        );
     }
 
     #[test]

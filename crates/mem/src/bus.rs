@@ -14,6 +14,7 @@
 //! design-space experiments (E4) measure.
 
 use eclipse_sim::stats::RunningStat;
+use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +32,11 @@ pub struct BusConfig {
 
 impl Default for BusConfig {
     fn default() -> Self {
-        BusConfig { width_bytes: 16, latency: 1, cycles_per_beat: 1 }
+        BusConfig {
+            width_bytes: 16,
+            latency: 1,
+            cycles_per_beat: 1,
+        }
     }
 }
 
@@ -67,12 +72,25 @@ pub struct Bus {
     name: &'static str,
     next_free: Cycle,
     stats: BusStats,
+    trace: Option<TraceHandle>,
 }
 
 impl Bus {
     /// A new idle bus.
     pub fn new(name: &'static str, cfg: BusConfig) -> Self {
-        Bus { cfg, name, next_free: 0, stats: BusStats::default() }
+        Bus {
+            cfg,
+            name,
+            next_free: 0,
+            stats: BusStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Connect this bus to a shared event-trace sink; every grant emits a
+    /// [`TraceEventKind::BusGrant`] with its arbitration wait.
+    pub fn attach_trace(&mut self, sink: &SharedTraceSink) {
+        self.trace = Some(TraceHandle::new(sink, &format!("bus/{}", self.name)));
     }
 
     /// Bus name for reporting ("read", "write", "system").
@@ -111,6 +129,16 @@ impl Bus {
         self.stats.bytes += bytes as u64;
         self.stats.busy_cycles += occupancy;
         self.stats.wait.record(wait as f64);
+        if let Some(t) = &self.trace {
+            t.emit(
+                start,
+                TraceEventKind::BusGrant {
+                    bytes,
+                    wait,
+                    busy: occupancy,
+                },
+            );
+        }
         Transfer { start, done, wait }
     }
 
@@ -138,14 +166,28 @@ mod tests {
     use super::*;
 
     fn bus() -> Bus {
-        Bus::new("test", BusConfig { width_bytes: 16, latency: 2, cycles_per_beat: 1 })
+        Bus::new(
+            "test",
+            BusConfig {
+                width_bytes: 16,
+                latency: 2,
+                cycles_per_beat: 1,
+            },
+        )
     }
 
     #[test]
     fn uncontended_transfer_costs_latency_plus_beats() {
         let mut b = bus();
         let t = b.request(100, 64); // 4 beats
-        assert_eq!(t, Transfer { start: 100, done: 106, wait: 0 });
+        assert_eq!(
+            t,
+            Transfer {
+                start: 100,
+                done: 106,
+                wait: 0
+            }
+        );
     }
 
     #[test]
@@ -201,8 +243,22 @@ mod tests {
 
     #[test]
     fn wider_bus_is_faster() {
-        let mut narrow = Bus::new("n", BusConfig { width_bytes: 4, latency: 1, cycles_per_beat: 1 });
-        let mut wide = Bus::new("w", BusConfig { width_bytes: 32, latency: 1, cycles_per_beat: 1 });
+        let mut narrow = Bus::new(
+            "n",
+            BusConfig {
+                width_bytes: 4,
+                latency: 1,
+                cycles_per_beat: 1,
+            },
+        );
+        let mut wide = Bus::new(
+            "w",
+            BusConfig {
+                width_bytes: 32,
+                latency: 1,
+                cycles_per_beat: 1,
+            },
+        );
         let tn = narrow.request(0, 128);
         let tw = wide.request(0, 128);
         assert!(tn.done > tw.done);

@@ -55,12 +55,23 @@ impl CyclicBuffer {
     /// can never exceed the whole buffer — the shell guarantees this via
     /// the GetSpace window discipline).
     pub fn segments(&self, offset: u32, len: u32) -> (Segment, Option<Segment>) {
-        debug_assert!(len <= self.size, "access larger than buffer: {} > {}", len, self.size);
+        debug_assert!(
+            len <= self.size,
+            "access larger than buffer: {} > {}",
+            len,
+            self.size
+        );
         let offset = offset % self.size;
         let first_len = len.min(self.size - offset);
-        let first = Segment { addr: self.base + offset, len: first_len };
+        let first = Segment {
+            addr: self.base + offset,
+            len: first_len,
+        };
         let rest = len - first_len;
-        let second = (rest > 0).then_some(Segment { addr: self.base, len: rest });
+        let second = (rest > 0).then_some(Segment {
+            addr: self.base,
+            len: rest,
+        });
         (first, second)
     }
 
@@ -74,14 +85,14 @@ impl CyclicBuffer {
         }
         let (a, b) = self.segments(offset, len);
         for seg in std::iter::once(a).chain(b) {
-            let first = seg.addr & !(line - 1);
-            let last = (seg.addr + seg.len - 1) & !(line - 1);
+            // Walk in u64: a buffer ending at the top of the 32-bit address
+            // space makes both `addr + len - 1` and the stride overflow u32.
+            let line = line as u64;
+            let first = seg.addr as u64 & !(line - 1);
+            let last = (seg.addr as u64 + seg.len as u64 - 1) & !(line - 1);
             let mut addr = first;
-            loop {
-                f(addr);
-                if addr == last {
-                    break;
-                }
+            while addr <= last {
+                f(addr as u32);
                 addr += line;
             }
         }
@@ -106,7 +117,13 @@ mod tests {
     fn segments_no_wrap() {
         let b = CyclicBuffer::new(0x100, 64);
         let (a, second) = b.segments(8, 16);
-        assert_eq!(a, Segment { addr: 0x108, len: 16 });
+        assert_eq!(
+            a,
+            Segment {
+                addr: 0x108,
+                len: 16
+            }
+        );
         assert!(second.is_none());
     }
 
@@ -114,8 +131,20 @@ mod tests {
     fn segments_with_wrap() {
         let b = CyclicBuffer::new(0x100, 64);
         let (a, second) = b.segments(56, 16);
-        assert_eq!(a, Segment { addr: 0x138, len: 8 });
-        assert_eq!(second, Some(Segment { addr: 0x100, len: 8 }));
+        assert_eq!(
+            a,
+            Segment {
+                addr: 0x138,
+                len: 8
+            }
+        );
+        assert_eq!(
+            second,
+            Some(Segment {
+                addr: 0x100,
+                len: 8
+            })
+        );
     }
 
     #[test]
@@ -130,7 +159,13 @@ mod tests {
     fn segments_full_buffer() {
         let b = CyclicBuffer::new(0x40, 32);
         let (a, second) = b.segments(8, 32);
-        assert_eq!(a, Segment { addr: 0x48, len: 24 });
+        assert_eq!(
+            a,
+            Segment {
+                addr: 0x48,
+                len: 24
+            }
+        );
         assert_eq!(second, Some(Segment { addr: 0x40, len: 8 }));
     }
 
@@ -152,6 +187,23 @@ mod tests {
         // seg2 = [0x1000, 8) -> line 0x1000.
         b.lines_touched(120, 16, 64, |a| lines.push(a));
         assert_eq!(lines, vec![0x1040, 0x1000]);
+    }
+
+    #[test]
+    fn lines_touched_at_top_of_address_space() {
+        // Regression: a buffer ending at u32::MAX made `addr + len - 1`
+        // (and the line-stride increment past the last line) overflow u32.
+        let size = 256u32;
+        let base = u32::MAX - size + 1;
+        let b = CyclicBuffer::new(base, size);
+        let mut lines = Vec::new();
+        b.lines_touched(size - 64, 64, 64, |a| lines.push(a));
+        assert_eq!(lines, vec![u32::MAX - 63]);
+
+        // Wrapping access over the same boundary.
+        lines.clear();
+        b.lines_touched(size - 32, 64, 64, |a| lines.push(a));
+        assert_eq!(lines, vec![u32::MAX - 63, base]);
     }
 
     #[test]

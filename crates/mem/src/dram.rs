@@ -202,7 +202,7 @@ mod tests {
     fn different_row_same_bank_misses() {
         let mut d = dram();
         d.access(0, 0, 8); // row 0, bank 0
-        // row 4 maps to bank 0 (4 % 4 == 0) but is a different row.
+                           // row 4 maps to bank 0 (4 % 4 == 0) but is a different row.
         let t = d.access(100, 4 * 2048, 8);
         assert_eq!(t.done, 100 + 30 + 1);
         assert_eq!(d.stats().row_misses, 2);

@@ -23,7 +23,11 @@ pub struct SramConfig {
 
 impl Default for SramConfig {
     fn default() -> Self {
-        SramConfig { size: 32 * 1024, word_bytes: 16, latency: 2 }
+        SramConfig {
+            size: 32 * 1024,
+            word_bytes: 16,
+            latency: 2,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ pub struct Sram {
 impl Sram {
     /// A zero-initialized SRAM.
     pub fn new(cfg: SramConfig) -> Self {
-        Sram { cfg, data: vec![0; cfg.size as usize], stats: SramStats::default() }
+        Sram {
+            cfg,
+            data: vec![0; cfg.size as usize],
+            stats: SramStats::default(),
+        }
     }
 
     /// Configuration this SRAM was built with.
@@ -134,7 +142,11 @@ mod tests {
 
     #[test]
     fn beats_are_alignment_aware() {
-        let s = Sram::new(SramConfig { size: 1024, word_bytes: 16, latency: 2 });
+        let s = Sram::new(SramConfig {
+            size: 1024,
+            word_bytes: 16,
+            latency: 2,
+        });
         assert_eq!(s.beats(0, 16), 1); // aligned single word
         assert_eq!(s.beats(0, 17), 2);
         assert_eq!(s.beats(8, 16), 2); // straddles a word boundary
@@ -145,14 +157,22 @@ mod tests {
 
     #[test]
     fn access_cost_is_latency_plus_beats() {
-        let s = Sram::new(SramConfig { size: 1024, word_bytes: 16, latency: 2 });
+        let s = Sram::new(SramConfig {
+            size: 1024,
+            word_bytes: 16,
+            latency: 2,
+        });
         assert_eq!(s.access_cost(0, 64), 2 + 4);
         assert_eq!(s.access_cost(0, 0), 0);
     }
 
     #[test]
     fn fresh_sram_is_zeroed() {
-        let mut s = Sram::new(SramConfig { size: 64, word_bytes: 16, latency: 1 });
+        let mut s = Sram::new(SramConfig {
+            size: 64,
+            word_bytes: 16,
+            latency: 1,
+        });
         let mut buf = [0xAAu8; 64];
         s.read(0, &mut buf);
         assert!(buf.iter().all(|&b| b == 0));
@@ -161,7 +181,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_bounds_read_panics() {
-        let mut s = Sram::new(SramConfig { size: 64, word_bytes: 16, latency: 1 });
+        let mut s = Sram::new(SramConfig {
+            size: 64,
+            word_bytes: 16,
+            latency: 1,
+        });
         let mut buf = [0u8; 8];
         s.read(60, &mut buf);
     }

@@ -75,7 +75,12 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 }
+        CacheConfig {
+            lines: 8,
+            line_bytes: 64,
+            prefetch: true,
+            prefetch_depth: 2,
+        }
     }
 }
 
@@ -127,7 +132,13 @@ impl Line {
     const INVALID: u32 = u32::MAX;
 
     fn empty() -> Self {
-        Line { tag: Self::INVALID, ready_at: 0, dirty: 0, fetched: false, data: [0; MAX_LINE_BYTES as usize] }
+        Line {
+            tag: Self::INVALID,
+            ready_at: 0,
+            dirty: 0,
+            fetched: false,
+            data: [0; MAX_LINE_BYTES as usize],
+        }
     }
 
     fn valid(&self) -> bool {
@@ -147,8 +158,16 @@ pub struct StreamCache {
 impl StreamCache {
     /// Build a cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes <= MAX_LINE_BYTES, "bad line size {}", cfg.line_bytes);
-        StreamCache { cfg, lines: (0..cfg.lines).map(|_| Line::empty()).collect(), stats: CacheStats::default() }
+        assert!(
+            cfg.line_bytes.is_power_of_two() && cfg.line_bytes <= MAX_LINE_BYTES,
+            "bad line size {}",
+            cfg.line_bytes
+        );
+        StreamCache {
+            cfg,
+            lines: (0..cfg.lines).map(|_| Line::empty()).collect(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache configuration.
@@ -202,8 +221,9 @@ impl StreamCache {
                 let ready = self.ensure_line(now, mem, idx, tag, true);
                 done = done.max(ready);
                 let line = &self.lines[idx];
-                buf[buf_pos..buf_pos + chunk as usize]
-                    .copy_from_slice(&line.data[in_line_off as usize..(in_line_off + chunk) as usize]);
+                buf[buf_pos..buf_pos + chunk as usize].copy_from_slice(
+                    &line.data[in_line_off as usize..(in_line_off + chunk) as usize],
+                );
                 buf_pos += chunk as usize;
                 addr += chunk;
                 remaining -= chunk;
@@ -218,7 +238,14 @@ impl StreamCache {
 
     /// Make line `idx` hold `tag`; returns when its data is ready.
     /// `demand` distinguishes demand misses from prefetches in the stats.
-    fn ensure_line(&mut self, now: Cycle, mem: &mut MemSys, idx: usize, tag: u32, demand: bool) -> Cycle {
+    fn ensure_line(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSys,
+        idx: usize,
+        tag: u32,
+        demand: bool,
+    ) -> Cycle {
         let line_bytes = self.cfg.line_bytes as usize;
         if self.lines[idx].valid() && self.lines[idx].tag == tag {
             if self.lines[idx].fetched {
@@ -232,9 +259,9 @@ impl StreamCache {
             let mut fresh = [0u8; MAX_LINE_BYTES as usize];
             let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
             let line = &mut self.lines[idx];
-            for i in 0..line_bytes {
+            for (i, &byte) in fresh.iter().enumerate().take(line_bytes) {
                 if line.dirty & (1 << i) == 0 {
-                    line.data[i] = fresh[i];
+                    line.data[i] = byte;
                 }
             }
             line.fetched = true;
@@ -397,7 +424,13 @@ impl StreamCache {
                 let dirty = line.dirty;
                 let data = line.data;
                 line.dirty = 0;
-                done = done.max(Self::write_dirty_runs(mem, now, tag, dirty, &data[..line_bytes]));
+                done = done.max(Self::write_dirty_runs(
+                    mem,
+                    now,
+                    tag,
+                    dirty,
+                    &data[..line_bytes],
+                ));
                 self.stats.writebacks += 1;
             }
         }
@@ -406,7 +439,14 @@ impl StreamCache {
 
     /// GetSpace-triggered prefetch of up to `len` bytes starting at
     /// in-buffer `offset` (must lie inside the granted window).
-    pub fn prefetch(&mut self, now: Cycle, mem: &mut MemSys, buffer: &CyclicBuffer, offset: u32, len: u32) {
+    pub fn prefetch(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSys,
+        buffer: &CyclicBuffer,
+        offset: u32,
+        len: u32,
+    ) {
         if self.lines.is_empty() || !self.cfg.prefetch || len == 0 {
             return;
         }
@@ -429,14 +469,23 @@ mod tests {
 
     fn memsys() -> MemSys {
         MemSys {
-            sram: Sram::new(SramConfig { size: 4096, word_bytes: 16, latency: 2 }),
+            sram: Sram::new(SramConfig {
+                size: 4096,
+                word_bytes: 16,
+                latency: 2,
+            }),
             read_bus: Bus::new("read", BusConfig::default()),
             write_bus: Bus::new("write", BusConfig::default()),
         }
     }
 
     fn cache(lines: usize) -> StreamCache {
-        StreamCache::new(CacheConfig { lines, line_bytes: 64, prefetch: false, prefetch_depth: 2 })
+        StreamCache::new(CacheConfig {
+            lines,
+            line_bytes: 64,
+            prefetch: false,
+            prefetch_depth: 2,
+        })
     }
 
     #[test]
@@ -450,7 +499,10 @@ mod tests {
         // Data is only in the producer cache so far.
         let mut direct = [0u8; 13];
         mem.sram.read(0, &mut direct);
-        assert_ne!(&direct, b"hello eclipse", "write must be absorbed by the cache");
+        assert_ne!(
+            &direct, b"hello eclipse",
+            "write must be absorbed by the cache"
+        );
 
         producer.flush_window(10, &mut mem, &buffer, 0, 13);
         mem.sram.read(0, &mut direct);
@@ -516,7 +568,12 @@ mod tests {
     fn eviction_writes_back_dirty_data() {
         let mut mem = memsys();
         let buffer = CyclicBuffer::new(0, 4096);
-        let mut c = StreamCache::new(CacheConfig { lines: 1, line_bytes: 64, prefetch: false, prefetch_depth: 0 });
+        let mut c = StreamCache::new(CacheConfig {
+            lines: 1,
+            line_bytes: 64,
+            prefetch: false,
+            prefetch_depth: 0,
+        });
         c.write(0, &mut mem, &buffer, 0, b"first");
         // Writing a conflicting line (same index, different tag) evicts.
         c.write(1, &mut mem, &buffer, 64, b"second");
@@ -544,7 +601,12 @@ mod tests {
         let mut mem = memsys();
         let buffer = CyclicBuffer::new(0, 1024);
         mem.sram.write(0, &[5u8; 256]);
-        let mut c = StreamCache::new(CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 });
+        let mut c = StreamCache::new(CacheConfig {
+            lines: 8,
+            line_bytes: 64,
+            prefetch: true,
+            prefetch_depth: 2,
+        });
         c.prefetch(0, &mut mem, &buffer, 0, 128);
         assert_eq!(c.stats.prefetches, 2);
         // A read far in the future: data long since arrived, zero stall.
@@ -558,7 +620,12 @@ mod tests {
     fn prefetched_line_read_early_stalls_until_ready() {
         let mut mem = memsys();
         let buffer = CyclicBuffer::new(0, 1024);
-        let mut c = StreamCache::new(CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 1 });
+        let mut c = StreamCache::new(CacheConfig {
+            lines: 8,
+            line_bytes: 64,
+            prefetch: true,
+            prefetch_depth: 1,
+        });
         c.prefetch(0, &mut mem, &buffer, 0, 64);
         let mut buf = [0u8; 8];
         let done = c.read(1, &mut mem, &buffer, 0, &mut buf);

@@ -37,7 +37,9 @@ pub mod stream_table;
 pub mod task_table;
 
 pub use cache::{CacheConfig, CacheStats, MemSys, StreamCache};
-pub use shell::{GetTaskResult, PutSpaceOutcome, SchedPolicy, Shell, ShellConfig, ShellStats, SyncMsg};
+pub use shell::{
+    GetTaskResult, PutSpaceOutcome, SchedPolicy, Shell, ShellConfig, ShellStats, SyncMsg,
+};
 pub use stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig, StreamRowStats};
 pub use task_table::{TaskConfig, TaskIdx, TaskStats};
 

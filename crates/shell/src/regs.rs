@@ -106,7 +106,9 @@ impl Shell {
         if addr >= task::BASE {
             let idx = ((addr - task::BASE) / task::STRIDE) as usize;
             let off = (addr - task::BASE) % task::STRIDE;
-            let Some(t) = self.tasks().get(idx) else { return 0 };
+            let Some(t) = self.tasks().get(idx) else {
+                return 0;
+            };
             return match off {
                 task::ENABLED => t.enabled as u32,
                 task::BUDGET => t.cfg.budget as u32,
@@ -121,7 +123,9 @@ impl Shell {
         }
         let idx = ((addr - stream::BASE) / stream::STRIDE) as usize;
         let off = (addr - stream::BASE) % stream::STRIDE;
-        let Some(r) = self.rows().get(idx) else { return 0 };
+        let Some(r) = self.rows().get(idx) else {
+            return 0;
+        };
         match off {
             stream::SPACE => r.effective_space(),
             stream::ACCESS_POINT => r.access_point,
@@ -169,7 +173,10 @@ mod tests {
         let row = s.add_stream_row(StreamRowConfig {
             buffer: CyclicBuffer::new(0x40, 256),
             dir: PortDir::Producer,
-            remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
+            remotes: vec![AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            }],
         });
         s.add_task(TaskConfig {
             name: "t".into(),

@@ -9,6 +9,7 @@
 //! cache coherency actions, and `GetTask` runs the local scheduler.
 
 use eclipse_mem::CyclicBuffer;
+use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +117,22 @@ pub struct ShellStats {
     pub bytes_read: u64,
     /// Written bytes moved for the coprocessor.
     pub bytes_written: u64,
+    /// `GetTask` invocations (scheduler slots offered).
+    pub gettask_calls: u64,
+    /// `GetTask` invocations that selected a task (occupied slots).
+    pub gettask_runs: u64,
+}
+
+impl ShellStats {
+    /// Fraction of scheduler slots that found a runnable task (0 when the
+    /// scheduler never ran).
+    pub fn slot_occupancy(&self) -> f64 {
+        if self.gettask_calls == 0 {
+            0.0
+        } else {
+            self.gettask_runs as f64 / self.gettask_calls as f64
+        }
+    }
 }
 
 /// One coprocessor shell.
@@ -136,6 +153,7 @@ pub struct Shell {
     pub disable_invalidate: bool,
     /// See [`Shell::disable_invalidate`].
     pub disable_flush: bool,
+    trace: Option<TraceHandle>,
 }
 
 impl Shell {
@@ -151,7 +169,21 @@ impl Shell {
             stats: ShellStats::default(),
             disable_invalidate: false,
             disable_flush: false,
+            trace: None,
         }
+    }
+
+    /// Connect this shell to a shared event-trace sink; the five
+    /// primitives and the coherency actions then emit structured events
+    /// under the unit name `shell/<unit_name>`.
+    pub fn attach_trace(&mut self, sink: &SharedTraceSink, unit_name: &str) {
+        self.trace = Some(TraceHandle::new(sink, &format!("shell/{unit_name}")));
+    }
+
+    /// The shell's trace connection, if attached (the run loop uses it to
+    /// stamp processing-step duration events onto this shell's timeline).
+    pub fn trace_handle(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     // ---- configuration (the CPU over the PI bus) ------------------------
@@ -162,7 +194,11 @@ impl Shell {
     }
 
     /// Program a stream-table row with a row-specific cache configuration.
-    pub fn add_stream_row_with_cache(&mut self, cfg: StreamRowConfig, cache: CacheConfig) -> RowIdx {
+    pub fn add_stream_row_with_cache(
+        &mut self,
+        cfg: StreamRowConfig,
+        cache: CacheConfig,
+    ) -> RowIdx {
         let idx = RowIdx(self.rows.len() as u16);
         self.rows.push(StreamRow::new(cfg));
         self.caches.push(StreamCache::new(cache));
@@ -172,7 +208,10 @@ impl Shell {
     /// Program a task-table row; returns its index (the `task_id`).
     pub fn add_task(&mut self, cfg: TaskConfig) -> TaskIdx {
         for &port in &cfg.ports {
-            assert!((port.0 as usize) < self.rows.len(), "task references unknown stream row {port:?}");
+            assert!(
+                (port.0 as usize) < self.rows.len(),
+                "task references unknown stream row {port:?}"
+            );
         }
         let idx = TaskIdx(self.tasks.len() as u8);
         self.tasks.push(TaskRow::new(cfg));
@@ -250,8 +289,10 @@ impl Shell {
     // ---- the five primitives --------------------------------------------
 
     /// `GetTask`: run the weighted round-robin scheduler under the
-    /// configured policy.
-    pub fn get_task(&mut self) -> GetTaskResult {
+    /// configured policy. `now` stamps the selection event in the trace
+    /// (the scheduler itself is time-free).
+    pub fn get_task(&mut self, now: Cycle) -> GetTaskResult {
+        self.stats.gettask_calls += 1;
         let rows = &self.rows;
         let policy = self.cfg.policy;
         let choice = select(&mut self.sched, &self.tasks, |t| {
@@ -265,18 +306,41 @@ impl Shell {
                 return false;
             }
             // Best guess from locally known space vs the per-port hints.
-            t.cfg.ports.iter().zip(&t.cfg.space_hints).all(|(&row, &hint)| {
-                hint == 0 || rows[row.0 as usize].effective_space() >= hint
-            })
+            t.cfg
+                .ports
+                .iter()
+                .zip(&t.cfg.space_hints)
+                .all(|(&row, &hint)| hint == 0 || rows[row.0 as usize].effective_space() >= hint)
         });
         match choice {
-            Choice::Run { task, info, switched } => {
+            Choice::Run {
+                task,
+                info,
+                switched,
+            } => {
+                self.stats.gettask_runs += 1;
                 if switched {
                     self.tasks[task.0 as usize].stats.switches_in += 1;
                 }
-                GetTaskResult::Run { task, info, switched }
+                if let Some(tr) = &self.trace {
+                    let name = &self.tasks[task.0 as usize].cfg.name;
+                    tr.emit_with(now, |sink| TraceEventKind::TaskSelected {
+                        task: sink.intern(name),
+                        switched,
+                    });
+                }
+                GetTaskResult::Run {
+                    task,
+                    info,
+                    switched,
+                }
             }
-            Choice::Idle => GetTaskResult::Idle,
+            Choice::Idle => {
+                if let Some(tr) = &self.trace {
+                    tr.emit(now, TraceEventKind::TaskIdle);
+                }
+                GetTaskResult::Idle
+            }
         }
     }
 
@@ -286,20 +350,58 @@ impl Shell {
     /// best-guess scheduler.
     pub fn get_space(&mut self, task: TaskIdx, port: PortId, n_bytes: u32, now: Cycle) -> bool {
         let row_idx = self.row_of(task, port);
+        let hint = self.tasks[task.0 as usize].cfg.space_hints[port as usize];
         let row = &mut self.rows[row_idx.0 as usize];
+        let space = row.effective_space();
         let prev_granted = row.granted;
         match row.get_space(n_bytes, now) {
-            Ok(newly) => {
+            Some(newly) => {
                 if newly > 0 && !self.disable_invalidate {
                     let buffer = row.buffer;
                     let start = buffer.wrap_add(row.access_point, prev_granted);
-                    self.caches[row_idx.0 as usize].invalidate_window(&buffer, start, newly);
+                    let cache = &mut self.caches[row_idx.0 as usize];
+                    let inv_before = cache.stats.invalidations;
+                    cache.invalidate_window(&buffer, start, newly);
+                    let lines = cache.stats.invalidations - inv_before;
+                    if let Some(tr) = &self.trace {
+                        if lines > 0 {
+                            tr.emit(
+                                now,
+                                TraceEventKind::CacheInvalidate {
+                                    row: row_idx.0 as u32,
+                                    lines,
+                                },
+                            );
+                        }
+                    }
+                }
+                if let Some(tr) = &self.trace {
+                    tr.emit(
+                        now,
+                        TraceEventKind::SpaceGranted {
+                            port: port as u32,
+                            bytes: n_bytes,
+                            space,
+                            hint,
+                        },
+                    );
                 }
                 true
             }
-            Err(()) => {
+            None => {
                 self.tasks[task.0 as usize].blocked_on = Some((port, n_bytes));
                 self.tasks[task.0 as usize].stats.denials += 1;
+                if let Some(tr) = &self.trace {
+                    tr.emit(
+                        now,
+                        TraceEventKind::SpaceDenied {
+                            port: port as u32,
+                            bytes: n_bytes,
+                            space,
+                            hint,
+                        },
+                    );
+                }
                 false
             }
         }
@@ -309,14 +411,40 @@ impl Shell {
     /// (consumer rows only; producers have nothing to fetch). Called by
     /// the core after a successful `get_space` with access to the memory
     /// system.
-    pub fn prefetch_window(&mut self, task: TaskIdx, port: PortId, len: u32, now: Cycle, mem: &mut MemSys) {
+    pub fn prefetch_window(
+        &mut self,
+        task: TaskIdx,
+        port: PortId,
+        len: u32,
+        now: Cycle,
+        mem: &mut MemSys,
+    ) {
         let row_idx = self.row_of(task, port);
         let row = &self.rows[row_idx.0 as usize];
         if row.dir != PortDir::Consumer {
             return;
         }
         let cache = &mut self.caches[row_idx.0 as usize];
-        cache.prefetch(now, mem, &row.buffer, row.access_point, len.min(row.granted));
+        let pf_before = cache.stats.prefetches;
+        cache.prefetch(
+            now,
+            mem,
+            &row.buffer,
+            row.access_point,
+            len.min(row.granted),
+        );
+        let lines = cache.stats.prefetches - pf_before;
+        if let Some(tr) = &self.trace {
+            if lines > 0 {
+                tr.emit(
+                    now,
+                    TraceEventKind::CachePrefetch {
+                        row: row_idx.0 as u32,
+                        lines,
+                    },
+                );
+            }
+        }
     }
 
     /// `Read`: move bytes from the stream buffer (through the row cache)
@@ -357,7 +485,20 @@ impl Shell {
             let len = remaining.min(depth);
             if len > 0 {
                 let from = buffer.wrap_add(row.access_point, end_off);
+                let pf_before = cache.stats.prefetches;
                 cache.prefetch(now, mem, &buffer, from, len);
+                let lines = cache.stats.prefetches - pf_before;
+                if let Some(tr) = &self.trace {
+                    if lines > 0 {
+                        tr.emit(
+                            now,
+                            TraceEventKind::CachePrefetch {
+                                row: row_idx.0 as u32,
+                                lines,
+                            },
+                        );
+                    }
+                }
             }
         }
         self.stats.bytes_read += buf.len() as u64;
@@ -397,24 +538,68 @@ impl Shell {
     /// committed interval first (coherency rule 3) and only then releases
     /// the `putspace` messages; the returned messages carry their
     /// earliest send time.
-    pub fn put_space(&mut self, task: TaskIdx, port: PortId, n_bytes: u32, now: Cycle, mem: &mut MemSys) -> PutSpaceOutcome {
+    pub fn put_space(
+        &mut self,
+        task: TaskIdx,
+        port: PortId,
+        n_bytes: u32,
+        now: Cycle,
+        mem: &mut MemSys,
+    ) -> PutSpaceOutcome {
         let row_idx = self.row_of(task, port);
         let row = &mut self.rows[row_idx.0 as usize];
         let flush_done = if row.dir == PortDir::Producer && !self.disable_flush {
             let cache = &mut self.caches[row_idx.0 as usize];
-            cache.flush_window(now, mem, &row.buffer, row.access_point, n_bytes)
+            let wb_before = cache.stats.writebacks;
+            let done = cache.flush_window(now, mem, &row.buffer, row.access_point, n_bytes);
+            let lines = cache.stats.writebacks - wb_before;
+            if let Some(tr) = &self.trace {
+                if lines > 0 {
+                    tr.emit(
+                        now,
+                        TraceEventKind::CacheFlush {
+                            row: row_idx.0 as u32,
+                            lines,
+                        },
+                    );
+                }
+            }
+            done
         } else {
             now
         };
         row.put_space(n_bytes, now);
-        let src = AccessPoint { shell: self.id, row: row_idx };
+        let src = AccessPoint {
+            shell: self.id,
+            row: row_idx,
+        };
         let msgs: Vec<SyncMsg> = row
             .remotes
             .iter()
-            .map(|&dst| SyncMsg { src, dst, bytes: n_bytes, send_at: flush_done })
+            .map(|&dst| SyncMsg {
+                src,
+                dst,
+                bytes: n_bytes,
+                send_at: flush_done,
+            })
             .collect();
         self.stats.messages_sent += msgs.len() as u64;
-        PutSpaceOutcome { msgs, done: flush_done }
+        if let Some(tr) = &self.trace {
+            if !msgs.is_empty() {
+                tr.emit(
+                    now,
+                    TraceEventKind::PutSpaceSend {
+                        port: port as u32,
+                        bytes: n_bytes,
+                        send_at: flush_done,
+                    },
+                );
+            }
+        }
+        PutSpaceOutcome {
+            msgs,
+            done: flush_done,
+        }
     }
 
     /// Deliver an incoming `putspace` message to a local row. Returns true
@@ -434,6 +619,16 @@ impl Shell {
                     unblocked = true;
                 }
             }
+        }
+        if let Some(tr) = &self.trace {
+            tr.emit(
+                now,
+                TraceEventKind::PutSpaceRecv {
+                    row: row_idx.0 as u32,
+                    bytes: msg.bytes,
+                    unblocked,
+                },
+            );
         }
         unblocked
     }
@@ -470,7 +665,11 @@ mod tests {
 
     fn memsys() -> MemSys {
         MemSys {
-            sram: Sram::new(SramConfig { size: 8192, word_bytes: 16, latency: 2 }),
+            sram: Sram::new(SramConfig {
+                size: 8192,
+                word_bytes: 16,
+                latency: 2,
+            }),
             read_bus: Bus::new("read", BusConfig::default()),
             write_bus: Bus::new("write", BusConfig::default()),
         }
@@ -484,12 +683,18 @@ mod tests {
         let prow = producer.add_stream_row(StreamRowConfig {
             buffer: buf,
             dir: PortDir::Producer,
-            remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
+            remotes: vec![AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            }],
         });
         let crow = consumer.add_stream_row(StreamRowConfig {
             buffer: buf,
             dir: PortDir::Consumer,
-            remotes: vec![AccessPoint { shell: ShellId(0), row: RowIdx(0) }],
+            remotes: vec![AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            }],
         });
         producer.add_task(TaskConfig {
             name: "prod".into(),
@@ -540,7 +745,10 @@ mod tests {
         p.get_space(T0, 0, 128, 0);
         p.write(T0, 0, 0, &[1u8; 128], 0, &mut mem);
         let out = p.put_space(T0, 0, 128, 0, &mut mem);
-        assert!(out.msgs[0].send_at > 0, "message must wait for the flush write-backs");
+        assert!(
+            out.msgs[0].send_at > 0,
+            "message must wait for the flush write-backs"
+        );
         // And the data must actually be in memory by then.
         let mut direct = [0u8; 128];
         mem.sram.read(0, &mut direct);
@@ -593,7 +801,10 @@ mod tests {
             p.deliver_putspace(&back.msgs[0], now + 4);
             now += 10;
         }
-        assert!(saw_stale, "without invalidation the consumer must eventually read stale data");
+        assert!(
+            saw_stale,
+            "without invalidation the consumer must eventually read stale data"
+        );
     }
 
     #[test]
@@ -601,16 +812,22 @@ mod tests {
         let (mut _p, mut c, mut _mem) = pair(128);
         // The consumer task blocks on data.
         assert!(!c.get_space(T0, 0, 64, 0));
-        assert_eq!(c.get_task(), GetTaskResult::Idle);
+        assert_eq!(c.get_task(0), GetTaskResult::Idle);
         // A message for 64 bytes unblocks it.
         let msg = SyncMsg {
-            src: AccessPoint { shell: ShellId(0), row: RowIdx(0) },
-            dst: AccessPoint { shell: ShellId(1), row: RowIdx(0) },
+            src: AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            },
+            dst: AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            },
             bytes: 64,
             send_at: 0,
         };
         assert!(c.deliver_putspace(&msg, 5));
-        match c.get_task() {
+        match c.get_task(0) {
             GetTaskResult::Run { task, .. } => assert_eq!(task, T0),
             GetTaskResult::Idle => panic!("task should be runnable"),
         }
@@ -621,13 +838,19 @@ mod tests {
         let (mut _p, mut c, mut _mem) = pair(128);
         assert!(!c.get_space(T0, 0, 64, 0));
         let msg = SyncMsg {
-            src: AccessPoint { shell: ShellId(0), row: RowIdx(0) },
-            dst: AccessPoint { shell: ShellId(1), row: RowIdx(0) },
+            src: AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            },
+            dst: AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            },
             bytes: 32, // less than requested
             send_at: 0,
         };
         assert!(!c.deliver_putspace(&msg, 5), "32 < 64: stays blocked");
-        assert_eq!(c.get_task(), GetTaskResult::Idle);
+        assert_eq!(c.get_task(0), GetTaskResult::Idle);
     }
 
     #[test]
@@ -650,7 +873,10 @@ mod tests {
         let row = shell.add_stream_row(StreamRowConfig {
             buffer: buf,
             dir: PortDir::Consumer,
-            remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
+            remotes: vec![AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            }],
         });
         shell.add_task(TaskConfig {
             name: "t".into(),
@@ -659,17 +885,23 @@ mod tests {
             ports: vec![row],
             space_hints: vec![128], // needs a full packet before running
         });
-        assert_eq!(shell.get_task(), GetTaskResult::Idle);
+        assert_eq!(shell.get_task(0), GetTaskResult::Idle);
         let msg = SyncMsg {
-            src: AccessPoint { shell: ShellId(1), row: RowIdx(0) },
-            dst: AccessPoint { shell: ShellId(0), row: RowIdx(0) },
+            src: AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            },
+            dst: AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            },
             bytes: 64,
             send_at: 0,
         };
         shell.deliver_putspace(&msg, 1);
-        assert_eq!(shell.get_task(), GetTaskResult::Idle, "64 < hint 128");
+        assert_eq!(shell.get_task(0), GetTaskResult::Idle, "64 < hint 128");
         shell.deliver_putspace(&msg, 2);
-        match shell.get_task() {
+        match shell.get_task(0) {
             GetTaskResult::Run { info, .. } => assert_eq!(info, 7),
             GetTaskResult::Idle => panic!("128 bytes available; hint satisfied"),
         }
@@ -683,7 +915,10 @@ mod tests {
             let row = shell.add_stream_row(StreamRowConfig {
                 buffer: buf,
                 dir: PortDir::Producer,
-                remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(i) }],
+                remotes: vec![AccessPoint {
+                    shell: ShellId(1),
+                    row: RowIdx(i),
+                }],
             });
             shell.add_task(TaskConfig {
                 name: format!("t{i}"),
@@ -695,7 +930,7 @@ mod tests {
         }
         let mut seen = Vec::new();
         for _ in 0..6 {
-            match shell.get_task() {
+            match shell.get_task(0) {
                 GetTaskResult::Run { task, .. } => {
                     seen.push(task.0);
                     shell.charge(task, 10); // burn the budget
@@ -711,7 +946,7 @@ mod tests {
         let (mut p, _c, _mem) = pair(64);
         assert!(!p.all_tasks_finished());
         p.finish_task(T0);
-        assert_eq!(p.get_task(), GetTaskResult::Idle);
+        assert_eq!(p.get_task(0), GetTaskResult::Idle);
         assert!(p.all_tasks_finished());
     }
 }

@@ -101,9 +101,16 @@ pub struct StreamRow {
 impl StreamRow {
     /// Build a row from its configuration.
     pub fn new(cfg: StreamRowConfig) -> Self {
-        assert!(!cfg.remotes.is_empty(), "a stream row needs at least one remote");
+        assert!(
+            !cfg.remotes.is_empty(),
+            "a stream row needs at least one remote"
+        );
         if cfg.dir == PortDir::Consumer {
-            assert_eq!(cfg.remotes.len(), 1, "a consumer has exactly one remote (the producer)");
+            assert_eq!(
+                cfg.remotes.len(),
+                1,
+                "a consumer has exactly one remote (the producer)"
+            );
         }
         let initial = match cfg.dir {
             PortDir::Producer => cfg.buffer.size,
@@ -131,23 +138,23 @@ impl StreamRow {
     /// requested size with the locally stored space value"). On success
     /// the granted window is extended to at least `n` and the number of
     /// *newly granted* bytes (beyond any previous grant) is returned for
-    /// cache invalidation.
-    pub fn get_space(&mut self, n: u32, now: Cycle) -> Result<u32, ()> {
+    /// cache invalidation; `None` is a denial.
+    pub fn get_space(&mut self, n: u32, now: Cycle) -> Option<u32> {
         self.stats.getspace_calls += 1;
         if n > self.buffer.size {
             // Can never succeed; treated as a denial (a configuration
             // error the coprocessor must handle).
             self.stats.getspace_denied += 1;
-            return Err(());
+            return None;
         }
         if self.effective_space() >= n {
             let newly = n.saturating_sub(self.granted);
             self.granted = self.granted.max(n);
             let _ = now;
-            Ok(newly)
+            Some(newly)
         } else {
             self.stats.getspace_denied += 1;
-            Err(())
+            None
         }
     }
 
@@ -160,7 +167,11 @@ impl StreamRow {
     /// the interface contract (paper: "in size constrained by the
     /// previously granted space").
     pub fn put_space(&mut self, n: u32, now: Cycle) {
-        assert!(n <= self.granted, "PutSpace({n}) exceeds granted window {}", self.granted);
+        assert!(
+            n <= self.granted,
+            "PutSpace({n}) exceeds granted window {}",
+            self.granted
+        );
         self.granted -= n;
         for s in &mut self.space {
             debug_assert!(*s >= n);
@@ -169,7 +180,9 @@ impl StreamRow {
         self.access_point = self.buffer.wrap_add(self.access_point, n);
         self.stats.bytes_committed += n as u64;
         self.stats.putspace_calls += 1;
-        self.stats.space_trace.set(now, self.effective_space() as f64);
+        self.stats
+            .space_trace
+            .set(now, self.effective_space() as f64);
     }
 
     /// Receive a `putspace` message from remote `src`: increment the space
@@ -188,13 +201,16 @@ impl StreamRow {
             self.buffer.size
         );
         self.stats.messages_received += 1;
-        self.stats.space_trace.set(now, self.effective_space() as f64);
+        self.stats
+            .space_trace
+            .set(now, self.effective_space() as f64);
     }
 
     /// Absolute SRAM address of `offset` bytes ahead of the access point.
     #[inline]
     pub fn addr_at(&self, offset: u32) -> u32 {
-        self.buffer.abs(self.buffer.wrap_add(self.access_point, offset))
+        self.buffer
+            .abs(self.buffer.wrap_add(self.access_point, offset))
     }
 }
 
@@ -203,7 +219,10 @@ mod tests {
     use super::*;
 
     fn ap(shell: u16, row: u16) -> AccessPoint {
-        AccessPoint { shell: ShellId(shell), row: RowIdx(row) }
+        AccessPoint {
+            shell: ShellId(shell),
+            row: RowIdx(row),
+        }
     }
 
     fn producer(size: u32, consumers: usize) -> StreamRow {
@@ -231,28 +250,28 @@ mod tests {
     #[test]
     fn get_space_grants_within_space() {
         let mut p = producer(64, 1);
-        assert_eq!(p.get_space(40, 0), Ok(40));
+        assert_eq!(p.get_space(40, 0), Some(40));
         // Extending the window: only the delta is newly granted.
-        assert_eq!(p.get_space(50, 0), Ok(10));
+        assert_eq!(p.get_space(50, 0), Some(10));
         // Re-inquiring a smaller window grants nothing new.
-        assert_eq!(p.get_space(20, 0), Ok(0));
+        assert_eq!(p.get_space(20, 0), Some(0));
         assert_eq!(p.granted, 50);
     }
 
     #[test]
     fn get_space_denied_when_insufficient() {
         let mut c = consumer(64);
-        assert_eq!(c.get_space(1, 0), Err(()));
+        assert_eq!(c.get_space(1, 0), None);
         assert_eq!(c.stats.getspace_denied, 1);
         c.deliver_putspace(ap(0, 0), 16, 5);
-        assert_eq!(c.get_space(16, 6), Ok(16));
-        assert_eq!(c.get_space(17, 7), Err(()));
+        assert_eq!(c.get_space(16, 6), Some(16));
+        assert_eq!(c.get_space(17, 7), None);
     }
 
     #[test]
     fn oversized_request_is_denied_not_panicking() {
         let mut p = producer(64, 1);
-        assert_eq!(p.get_space(65, 0), Err(()));
+        assert_eq!(p.get_space(65, 0), None);
     }
 
     #[test]
@@ -285,7 +304,11 @@ mod tests {
         p.put_space(64, 1); // buffer now full
         assert_eq!(p.effective_space(), 0);
         p.deliver_putspace(ap(1, 0), 64, 2); // consumer 0 released all
-        assert_eq!(p.effective_space(), 0, "slowest consumer gates the producer");
+        assert_eq!(
+            p.effective_space(),
+            0,
+            "slowest consumer gates the producer"
+        );
         p.deliver_putspace(ap(1, 1), 48, 3);
         assert_eq!(p.effective_space(), 48);
     }

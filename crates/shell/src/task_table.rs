@@ -76,8 +76,18 @@ pub struct TaskRow {
 impl TaskRow {
     /// Build an enabled row.
     pub fn new(cfg: TaskConfig) -> Self {
-        assert_eq!(cfg.ports.len(), cfg.space_hints.len(), "one space hint per port");
-        TaskRow { cfg, enabled: true, blocked_on: None, finished: false, stats: TaskStats::default() }
+        assert_eq!(
+            cfg.ports.len(),
+            cfg.space_hints.len(),
+            "one space hint per port"
+        );
+        TaskRow {
+            cfg,
+            enabled: true,
+            blocked_on: None,
+            finished: false,
+            stats: TaskStats::default(),
+        }
     }
 }
 
@@ -132,7 +142,11 @@ pub fn select(
     // naturally provides by re-selecting it).
     if let Some(cur) = sched.current {
         if sched.budget_left > 0 && eligible(&tasks[cur.0 as usize]) {
-            return Choice::Run { task: cur, info: tasks[cur.0 as usize].cfg.task_info, switched: false };
+            return Choice::Run {
+                task: cur,
+                info: tasks[cur.0 as usize].cfg.task_info,
+                switched: false,
+            };
         }
     }
     // Round-robin scan for the next eligible task.
@@ -148,7 +162,11 @@ pub fn select(
                 sched.switches += 1;
             }
             sched.current = Some(task);
-            return Choice::Run { task, info: tasks[idx].cfg.task_info, switched };
+            return Choice::Run {
+                task,
+                info: tasks[idx].cfg.task_info,
+                switched,
+            };
         }
     }
     sched.current = None;
@@ -175,10 +193,24 @@ mod tests {
         let tasks = vec![row("a", 100)];
         let mut s = SchedState::default();
         let c1 = select(&mut s, &tasks, |_| true);
-        assert_eq!(c1, Choice::Run { task: TaskIdx(0), info: 0, switched: true });
+        assert_eq!(
+            c1,
+            Choice::Run {
+                task: TaskIdx(0),
+                info: 0,
+                switched: true
+            }
+        );
         s.budget_left -= 50;
         let c2 = select(&mut s, &tasks, |_| true);
-        assert_eq!(c2, Choice::Run { task: TaskIdx(0), info: 0, switched: false });
+        assert_eq!(
+            c2,
+            Choice::Run {
+                task: TaskIdx(0),
+                info: 0,
+                switched: false
+            }
+        );
         assert_eq!(s.switches, 1);
     }
 
@@ -252,7 +284,7 @@ mod tests {
         let tasks = vec![row("a", 1000), row("b", 1000)];
         let mut s = SchedState::default();
         select(&mut s, &tasks, |_| true); // a runs
-        // a becomes blocked mid-budget; b must take over.
+                                          // a becomes blocked mid-budget; b must take over.
         match select(&mut s, &tasks, |t| t.cfg.name == "b") {
             Choice::Run { task, switched, .. } => {
                 assert_eq!(task, TaskIdx(1));

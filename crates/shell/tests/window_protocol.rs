@@ -34,9 +34,24 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 
 fn arb_cache() -> impl Strategy<Value = CacheConfig> {
     prop_oneof![
-        Just(CacheConfig { lines: 0, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
-        Just(CacheConfig { lines: 2, line_bytes: 32, prefetch: false, prefetch_depth: 0 }),
-        Just(CacheConfig { lines: 8, line_bytes: 64, prefetch: true, prefetch_depth: 2 }),
+        Just(CacheConfig {
+            lines: 0,
+            line_bytes: 64,
+            prefetch: false,
+            prefetch_depth: 0
+        }),
+        Just(CacheConfig {
+            lines: 2,
+            line_bytes: 32,
+            prefetch: false,
+            prefetch_depth: 0
+        }),
+        Just(CacheConfig {
+            lines: 8,
+            line_bytes: 64,
+            prefetch: true,
+            prefetch_depth: 2
+        }),
     ]
 }
 
@@ -51,8 +66,7 @@ proptest! {
         buffer_size in 96u32..512,
         cache in arb_cache(),
     ) {
-        let mut cfg = ShellConfig::default();
-        cfg.cache = cache;
+        let cfg = ShellConfig { cache, ..ShellConfig::default() };
         let buf = CyclicBuffer::new(0, buffer_size);
         let mut producer = Shell::new(ShellId(0), cfg);
         let mut consumer = Shell::new(ShellId(1), cfg);

@@ -63,7 +63,11 @@ pub struct Calendar<E> {
 impl<E> Calendar<E> {
     /// An empty calendar at cycle 0.
     pub fn new() -> Self {
-        Calendar { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// Current simulated time (timestamp of the last popped event).
@@ -89,7 +93,12 @@ impl<E> Calendar<E> {
 
     /// Schedule `event` at absolute time `time` (must be `>= now`).
     pub fn schedule_at(&mut self, time: Cycle, event: E) {
-        debug_assert!(time >= self.now, "scheduling into the past: {} < {}", time, self.now);
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {} < {}",
+            time,
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });

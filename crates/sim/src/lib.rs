@@ -29,6 +29,8 @@ pub mod calendar;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use calendar::Calendar;
 pub use time::{Clock, Cycle, Frequency};
+pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};

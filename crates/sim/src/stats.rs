@@ -138,12 +138,19 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram able to hold samples up to `2^(buckets-1)`.
     pub fn new(buckets: usize) -> Self {
-        Histogram { buckets: vec![0; buckets.max(2)], stat: RunningStat::new() }
+        Histogram {
+            buckets: vec![0; buckets.max(2)],
+            stat: RunningStat::new(),
+        }
     }
 
     /// Record one sample.
     pub fn record(&mut self, x: u64) {
-        let idx = if x == 0 { 0 } else { (64 - x.leading_zeros()) as usize };
+        let idx = if x == 0 {
+            0
+        } else {
+            (64 - x.leading_zeros()) as usize
+        };
         let last = self.buckets.len() - 1;
         self.buckets[idx.min(last)] += 1;
         self.stat.record(x as f64);
@@ -377,7 +384,7 @@ mod tests {
         tw.set(0, 10.0);
         tw.set(10, 20.0); // value 10 for 10 cycles
         tw.set(30, 0.0); // value 20 for 20 cycles
-        // mean over [0, 40]: (10*10 + 20*20 + 0*10) / 40 = 12.5
+                         // mean over [0, 40]: (10*10 + 20*20 + 0*10) / 40 = 12.5
         assert!((tw.mean(40) - 12.5).abs() < 1e-12);
         assert_eq!(tw.max(), 20.0);
         assert_eq!(tw.current(), 0.0);
@@ -385,7 +392,11 @@ mod tests {
 
     #[test]
     fn utilization_fractions() {
-        let u = Utilization { busy: 60, stalled: 30, idle: 10 };
+        let u = Utilization {
+            busy: 60,
+            stalled: 30,
+            idle: 10,
+        };
         assert!((u.busy_fraction() - 0.6).abs() < 1e-12);
         assert!((u.stall_fraction() - 0.3).abs() < 1e-12);
         let z = Utilization::default();

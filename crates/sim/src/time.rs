@@ -78,7 +78,12 @@ impl Clock {
     /// do so is a kernel bug and panics.
     #[inline]
     pub fn advance_to(&mut self, t: Cycle) {
-        debug_assert!(t >= self.now, "clock moved backwards: {} -> {}", self.now, t);
+        debug_assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
         self.now = t;
     }
 

@@ -1,0 +1,741 @@
+//! Structured event tracing: a ring-buffer sink shared by the shells,
+//! buses, and the run loop, with Chrome-`trace_event` and CSV exporters.
+//!
+//! The time-series measurements of the paper's Section 5.4 (sampled
+//! counters, see `eclipse-core`'s `TraceLog`) answer *how much*; the event
+//! trace answers *why* — which task a scheduler slot went to, which
+//! `GetSpace` was denied against which hint, when a `putspace` message was
+//! held back by a flush, and how long each bus grant waited on
+//! arbitration.
+//!
+//! Design constraints:
+//!
+//! * **Near-zero cost when disabled.** Every producer holds a
+//!   [`TraceHandle`]; an instrumented component without one pays a single
+//!   `Option` check per hook, and one with a disabled sink pays one
+//!   `bool` load. No allocation, no formatting.
+//! * **No effect on simulated time.** Emitting is purely observational —
+//!   enabling tracing must not change a single cycle of a run (a tier-1
+//!   test asserts summary equality with tracing on and off).
+//! * **Bounded memory.** The sink is a ring: when full, the oldest event
+//!   is dropped and counted, never reallocated.
+//! * **Deterministic output.** Events carry only simulated time and
+//!   interned labels, so two identical runs export byte-identical traces.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use crate::Cycle;
+
+/// Interned-string id; resolves through [`TraceSink::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(pub u32);
+
+/// What happened. Fixed-size payloads only — names are interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// `GetTask` selected a task (`switched` = a task switch penalty was
+    /// paid).
+    TaskSelected {
+        /// Selected task's name.
+        task: LabelId,
+        /// True when the selection switched away from another task.
+        switched: bool,
+    },
+    /// `GetTask` found nothing runnable; the coprocessor goes idle.
+    TaskIdle,
+    /// `GetSpace` granted. `space` is the locally known space *before* the
+    /// call and `hint` the scheduler's best-guess space hint for the port.
+    SpaceGranted {
+        /// Port index within the calling task.
+        port: u32,
+        /// Requested bytes.
+        bytes: u32,
+        /// Locally known space before the call.
+        space: u32,
+        /// The port's best-guess scheduler hint.
+        hint: u32,
+    },
+    /// `GetSpace` denied; fields as in
+    /// [`TraceEventKind::SpaceGranted`]. The task blocks.
+    SpaceDenied {
+        /// Port index within the calling task.
+        port: u32,
+        /// Requested bytes.
+        bytes: u32,
+        /// Locally known space before the call.
+        space: u32,
+        /// The port's best-guess scheduler hint.
+        hint: u32,
+    },
+    /// `PutSpace` released `putspace` messages; `send_at` is when the
+    /// flush allows the first message to leave.
+    PutSpaceSend {
+        /// Port index within the calling task.
+        port: u32,
+        /// Committed bytes.
+        bytes: u32,
+        /// Earliest departure (after the flush).
+        send_at: Cycle,
+    },
+    /// An incoming `putspace` message was applied to a local row.
+    PutSpaceRecv {
+        /// Destination stream-table row.
+        row: u32,
+        /// Released bytes.
+        bytes: u32,
+        /// True if the delivery unblocked a waiting task.
+        unblocked: bool,
+    },
+    /// Coherency rule 2: lines invalidated on a `GetSpace` window
+    /// extension.
+    CacheInvalidate {
+        /// Stream-table row owning the cache.
+        row: u32,
+        /// Lines invalidated.
+        lines: u64,
+    },
+    /// Coherency rule 3: dirty lines written back before a `putspace`
+    /// release.
+    CacheFlush {
+        /// Stream-table row owning the cache.
+        row: u32,
+        /// Lines written back.
+        lines: u64,
+    },
+    /// Prefetch fetches issued (GetSpace- or Read-triggered).
+    CachePrefetch {
+        /// Stream-table row owning the cache.
+        row: u32,
+        /// Lines fetched ahead.
+        lines: u64,
+    },
+    /// A bus transaction was granted after `wait` cycles of arbitration,
+    /// occupying the bus for `busy` cycles.
+    BusGrant {
+        /// Payload bytes.
+        bytes: u32,
+        /// Arbitration wait in cycles.
+        wait: Cycle,
+        /// Data-path occupancy in cycles.
+        busy: Cycle,
+    },
+    /// One coprocessor processing step (run-loop phase; a duration event
+    /// in the Chrome export).
+    Step {
+        /// Executing task's name.
+        task: LabelId,
+        /// Cycles of useful work.
+        busy: Cycle,
+        /// Cycles stalled on memory.
+        stall: Cycle,
+    },
+    /// A `putspace` message was delivered by the run loop's sync phase.
+    SyncDeliver {
+        /// Released bytes.
+        bytes: u32,
+        /// Send-to-delivery latency in cycles.
+        latency: Cycle,
+    },
+    /// The periodic measurement sampler ran (run-loop phase).
+    Sample,
+    /// The run loop started.
+    RunStart,
+    /// The run loop ended; `outcome` is the interned outcome name.
+    RunEnd {
+        /// Interned outcome name: "AllFinished", "Deadlock", "MaxCycles".
+        outcome: LabelId,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable kind name used by both exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::TaskSelected { .. } => "task_selected",
+            TraceEventKind::TaskIdle => "task_idle",
+            TraceEventKind::SpaceGranted { .. } => "getspace_grant",
+            TraceEventKind::SpaceDenied { .. } => "getspace_deny",
+            TraceEventKind::PutSpaceSend { .. } => "putspace_send",
+            TraceEventKind::PutSpaceRecv { .. } => "putspace_recv",
+            TraceEventKind::CacheInvalidate { .. } => "cache_invalidate",
+            TraceEventKind::CacheFlush { .. } => "cache_flush",
+            TraceEventKind::CachePrefetch { .. } => "cache_prefetch",
+            TraceEventKind::BusGrant { .. } => "bus_grant",
+            TraceEventKind::Step { .. } => "step",
+            TraceEventKind::SyncDeliver { .. } => "sync_deliver",
+            TraceEventKind::Sample => "sample",
+            TraceEventKind::RunStart => "run_start",
+            TraceEventKind::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub cycle: Cycle,
+    /// Emitting unit (shell, bus, or system) as an interned label.
+    pub unit: LabelId,
+    /// Payload.
+    pub kind: TraceEventKind,
+}
+
+/// Ring-buffer event sink with runtime enable/disable.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    labels: Vec<String>,
+    by_label: HashMap<String, LabelId>,
+    emitted: u64,
+    dropped: u64,
+}
+
+/// A [`TraceSink`] shared by every instrumented component of one system.
+pub type SharedTraceSink = Rc<RefCell<TraceSink>>;
+
+impl TraceSink {
+    /// A sink holding at most `capacity` events (oldest dropped first).
+    /// Starts enabled.
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            enabled: true,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            labels: Vec::new(),
+            by_label: HashMap::new(),
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A shareable sink (the form the instrumented components hold).
+    pub fn shared(capacity: usize) -> SharedTraceSink {
+        Rc::new(RefCell::new(Self::new(capacity)))
+    }
+
+    /// Turn event collection on or off at runtime. Disabling does not
+    /// discard already collected events.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are currently collected.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Intern a label; repeated calls with the same string return the same
+    /// id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_label.get(name) {
+            return id;
+        }
+        let id = LabelId(self.labels.len() as u32);
+        self.labels.push(name.to_string());
+        self.by_label.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an interned label.
+    pub fn label(&self, id: LabelId) -> &str {
+        &self.labels[id.0 as usize]
+    }
+
+    /// Append an event (no-op when disabled; drops the oldest event when
+    /// full).
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.emitted += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events emitted while enabled (including dropped ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discard all retained events (the counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Per-kind event counts over the retained events, sorted by name (for
+    /// reports).
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: HashMap<&'static str, u64> = HashMap::new();
+        for e in &self.events {
+            *counts.entry(e.kind.name()).or_insert(0) += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by_key(|&(name, _)| name);
+        out
+    }
+
+    // ---- exporters ------------------------------------------------------
+
+    /// Export as Chrome `trace_event` JSON (the array-of-events form;
+    /// loadable in Perfetto / `chrome://tracing`). Simulated cycles map
+    /// 1:1 to the `ts` microsecond field; `pid` 0 is the instance and
+    /// each emitting unit gets a `tid` named via metadata events.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, line: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        // Thread-name metadata for every unit that appears.
+        let mut seen_units: Vec<LabelId> = Vec::new();
+        for e in &self.events {
+            if !seen_units.contains(&e.unit) {
+                seen_units.push(e.unit);
+            }
+        }
+        for unit in &seen_units {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                    unit.0,
+                    json_string(self.label(*unit))
+                ),
+            );
+        }
+        for e in &self.events {
+            let tid = e.unit.0;
+            let line = match e.kind {
+                TraceEventKind::Step { task, busy, stall } => format!(
+                    "{{\"name\":{},\"cat\":\"step\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"busy\":{busy},\"stall\":{stall}}}}}",
+                    json_string(self.label(task)),
+                    e.cycle,
+                    busy + stall,
+                ),
+                TraceEventKind::BusGrant { bytes, wait, busy } => format!(
+                    "{{\"name\":\"xfer {bytes}B\",\"cat\":\"bus\",\"ph\":\"X\",\"ts\":{},\"dur\":{busy},\"pid\":0,\
+                     \"tid\":{tid},\"args\":{{\"bytes\":{bytes},\"wait\":{wait}}}}}",
+                    e.cycle,
+                ),
+                kind => {
+                    let args = instant_args(&kind, self);
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"shell\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                         \"s\":\"t\",\"args\":{{{args}}}}}",
+                        kind.name(),
+                        e.cycle,
+                    )
+                }
+            };
+            push(&mut out, line);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Export as CSV with a fixed header:
+    /// `cycle,unit,event,detail,a,b,c` — `detail` is the task name where
+    /// one applies, and `a`/`b`/`c` are the kind's numeric payload in
+    /// declaration order (empty when absent).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,unit,event,detail,a,b,c\n");
+        for e in &self.events {
+            let unit = self.label(e.unit);
+            let (detail, a, b, c): (&str, String, String, String) = match e.kind {
+                TraceEventKind::TaskSelected { task, switched } => (
+                    self.label(task),
+                    (switched as u8).to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                TraceEventKind::TaskIdle | TraceEventKind::Sample | TraceEventKind::RunStart => {
+                    ("", String::new(), String::new(), String::new())
+                }
+                TraceEventKind::SpaceGranted {
+                    port,
+                    bytes,
+                    space,
+                    hint,
+                }
+                | TraceEventKind::SpaceDenied {
+                    port,
+                    bytes,
+                    space,
+                    hint,
+                } => (
+                    "",
+                    port.to_string(),
+                    bytes.to_string(),
+                    format!("{space}/{hint}"),
+                ),
+                TraceEventKind::PutSpaceSend {
+                    port,
+                    bytes,
+                    send_at,
+                } => ("", port.to_string(), bytes.to_string(), send_at.to_string()),
+                TraceEventKind::PutSpaceRecv {
+                    row,
+                    bytes,
+                    unblocked,
+                } => (
+                    "",
+                    row.to_string(),
+                    bytes.to_string(),
+                    (unblocked as u8).to_string(),
+                ),
+                TraceEventKind::CacheInvalidate { row, lines }
+                | TraceEventKind::CacheFlush { row, lines }
+                | TraceEventKind::CachePrefetch { row, lines } => {
+                    ("", row.to_string(), lines.to_string(), String::new())
+                }
+                TraceEventKind::BusGrant { bytes, wait, busy } => {
+                    ("", bytes.to_string(), wait.to_string(), busy.to_string())
+                }
+                TraceEventKind::Step { task, busy, stall } => (
+                    self.label(task),
+                    busy.to_string(),
+                    stall.to_string(),
+                    String::new(),
+                ),
+                TraceEventKind::SyncDeliver { bytes, latency } => {
+                    ("", bytes.to_string(), latency.to_string(), String::new())
+                }
+                TraceEventKind::RunEnd { outcome } => (
+                    self.label(outcome),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                e.cycle,
+                unit,
+                e.kind.name(),
+                detail,
+                a,
+                b,
+                c
+            ));
+        }
+        out
+    }
+}
+
+/// `args` body (without braces) for instant events in the Chrome export.
+fn instant_args(kind: &TraceEventKind, sink: &TraceSink) -> String {
+    match *kind {
+        TraceEventKind::TaskSelected { task, switched } => {
+            format!(
+                "\"task\":{},\"switched\":{switched}",
+                json_string(sink.label(task))
+            )
+        }
+        TraceEventKind::SpaceGranted {
+            port,
+            bytes,
+            space,
+            hint,
+        }
+        | TraceEventKind::SpaceDenied {
+            port,
+            bytes,
+            space,
+            hint,
+        } => {
+            format!("\"port\":{port},\"bytes\":{bytes},\"space\":{space},\"hint\":{hint}")
+        }
+        TraceEventKind::PutSpaceSend {
+            port,
+            bytes,
+            send_at,
+        } => {
+            format!("\"port\":{port},\"bytes\":{bytes},\"send_at\":{send_at}")
+        }
+        TraceEventKind::PutSpaceRecv {
+            row,
+            bytes,
+            unblocked,
+        } => {
+            format!("\"row\":{row},\"bytes\":{bytes},\"unblocked\":{unblocked}")
+        }
+        TraceEventKind::CacheInvalidate { row, lines }
+        | TraceEventKind::CacheFlush { row, lines }
+        | TraceEventKind::CachePrefetch { row, lines } => {
+            format!("\"row\":{row},\"lines\":{lines}")
+        }
+        TraceEventKind::SyncDeliver { bytes, latency } => {
+            format!("\"bytes\":{bytes},\"latency\":{latency}")
+        }
+        TraceEventKind::RunEnd { outcome } => {
+            format!("\"outcome\":{}", json_string(sink.label(outcome)))
+        }
+        _ => String::new(),
+    }
+}
+
+/// Minimal JSON string escaping for labels (control chars, quote,
+/// backslash).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A component's connection to the shared sink: the sink plus the
+/// component's own interned unit label. Cloning shares the sink.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    sink: SharedTraceSink,
+    unit: LabelId,
+}
+
+impl TraceHandle {
+    /// Connect a unit to a sink.
+    pub fn new(sink: &SharedTraceSink, unit_name: &str) -> Self {
+        let unit = sink.borrow_mut().intern(unit_name);
+        TraceHandle {
+            sink: Rc::clone(sink),
+            unit,
+        }
+    }
+
+    /// The shared sink.
+    pub fn sink(&self) -> &SharedTraceSink {
+        &self.sink
+    }
+
+    /// Intern a label (task names, outcome names).
+    pub fn intern(&self, name: &str) -> LabelId {
+        self.sink.borrow_mut().intern(name)
+    }
+
+    /// Emit an event stamped with this unit.
+    #[inline]
+    pub fn emit(&self, cycle: Cycle, kind: TraceEventKind) {
+        let mut sink = self.sink.borrow_mut();
+        if sink.enabled() {
+            sink.emit(TraceEvent {
+                cycle,
+                unit: self.unit,
+                kind,
+            });
+        }
+    }
+
+    /// Emit an event whose payload needs label interning, building it only
+    /// when the sink is enabled.
+    #[inline]
+    pub fn emit_with(&self, cycle: Cycle, kind: impl FnOnce(&mut TraceSink) -> TraceEventKind) {
+        let mut sink = self.sink.borrow_mut();
+        if sink.enabled() {
+            let kind = kind(&mut sink);
+            let unit = self.unit;
+            sink.emit(TraceEvent { cycle, unit, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_with(n: usize) -> TraceSink {
+        let mut s = TraceSink::new(16);
+        let u = s.intern("unit");
+        for i in 0..n as u64 {
+            s.emit(TraceEvent {
+                cycle: i,
+                unit: u,
+                kind: TraceEventKind::Sample,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn disabled_sink_collects_nothing() {
+        let mut s = TraceSink::new(16);
+        s.set_enabled(false);
+        let u = s.intern("u");
+        s.emit(TraceEvent {
+            cycle: 0,
+            unit: u,
+            kind: TraceEventKind::Sample,
+        });
+        assert!(s.is_empty());
+        assert_eq!(s.emitted(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut s = TraceSink::new(4);
+        let u = s.intern("u");
+        for i in 0..10u64 {
+            s.emit(TraceEvent {
+                cycle: i,
+                unit: u,
+                kind: TraceEventKind::Sample,
+            });
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.emitted(), 10);
+        let cycles: Vec<_> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut s = TraceSink::new(4);
+        let a = s.intern("alpha");
+        let b = s.intern("beta");
+        assert_eq!(s.intern("alpha"), a);
+        assert_ne!(a, b);
+        assert_eq!(s.label(a), "alpha");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape() {
+        let mut s = TraceSink::new(16);
+        let u = s.intern("vld");
+        let t = s.intern("vld.task");
+        s.emit(TraceEvent {
+            cycle: 5,
+            unit: u,
+            kind: TraceEventKind::Step {
+                task: t,
+                busy: 10,
+                stall: 2,
+            },
+        });
+        s.emit(TraceEvent {
+            cycle: 17,
+            unit: u,
+            kind: TraceEventKind::SpaceDenied {
+                port: 1,
+                bytes: 64,
+                space: 32,
+                hint: 64,
+            },
+        });
+        let json = s.to_chrome_trace();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"dur\":12"));
+        assert!(json.contains("getspace_deny"));
+        assert!(json.contains("\"hint\":64"));
+        // Balanced braces as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn csv_export_has_fixed_header() {
+        let s = sink_with(3);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("cycle,unit,event,detail,a,b,c\n"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("0,unit,sample,,,,"));
+    }
+
+    #[test]
+    fn handle_emits_through_shared_sink() {
+        let shared = TraceSink::shared(8);
+        let h = TraceHandle::new(&shared, "bus");
+        h.emit(
+            3,
+            TraceEventKind::BusGrant {
+                bytes: 64,
+                wait: 2,
+                busy: 4,
+            },
+        );
+        assert_eq!(shared.borrow().len(), 1);
+        shared.borrow_mut().set_enabled(false);
+        h.emit(
+            4,
+            TraceEventKind::BusGrant {
+                bytes: 64,
+                wait: 0,
+                busy: 4,
+            },
+        );
+        assert_eq!(shared.borrow().len(), 1, "disabled sink must not collect");
+    }
+
+    #[test]
+    fn counts_by_kind_sorted() {
+        let mut s = TraceSink::new(16);
+        let u = s.intern("u");
+        s.emit(TraceEvent {
+            cycle: 0,
+            unit: u,
+            kind: TraceEventKind::Sample,
+        });
+        s.emit(TraceEvent {
+            cycle: 1,
+            unit: u,
+            kind: TraceEventKind::TaskIdle,
+        });
+        s.emit(TraceEvent {
+            cycle: 2,
+            unit: u,
+            kind: TraceEventKind::Sample,
+        });
+        assert_eq!(s.counts_by_kind(), vec![("sample", 2), ("task_idle", 1)]);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+}

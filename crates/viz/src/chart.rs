@@ -13,7 +13,10 @@ pub struct ChartConfig {
 
 impl Default for ChartConfig {
     fn default() -> Self {
-        ChartConfig { width: 72, height: 12 }
+        ChartConfig {
+            width: 72,
+            height: 12,
+        }
     }
 }
 
@@ -53,7 +56,11 @@ pub fn render_series(series: &TraceSeries, cfg: ChartConfig) -> String {
         _ => return format!("{}: (no samples)\n", series.name),
     };
     let values = resample(series, t0, t1, cfg.width);
-    let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+    let max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
     let max = if max <= 0.0 { 1.0 } else { max };
 
     let mut out = String::new();
@@ -69,7 +76,11 @@ pub fn render_series(series: &TraceSeries, cfg: ChartConfig) -> String {
         };
         out.push_str(&label);
         for &v in &values {
-            out.push(if v.is_finite() && v >= threshold { '#' } else { ' ' });
+            out.push(if v.is_finite() && v >= threshold {
+                '#'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }
@@ -100,13 +111,22 @@ pub fn render_stacked(series: &[&TraceSeries], cfg: ChartConfig) -> String {
     let mut out = String::new();
     for s in series {
         let values = resample(s, t0, t1, cfg.width);
-        let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max).max(1.0);
+        let max = values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
         out.push_str(&format!("{}  (max {:.0})\n", s.name, max));
         for row in (0..cfg.height).rev() {
             let threshold = (row as f64 + 0.5) / cfg.height as f64 * max;
             out.push_str("  |");
             for &v in &values {
-                out.push(if v.is_finite() && v >= threshold { '#' } else { ' ' });
+                out.push(if v.is_finite() && v >= threshold {
+                    '#'
+                } else {
+                    ' '
+                });
             }
             out.push('\n');
         }
@@ -132,7 +152,13 @@ mod tests {
     #[test]
     fn renders_nonempty_chart() {
         let s = series(&[(0, 0.0), (50, 10.0), (100, 5.0)]);
-        let chart = render_series(&s, ChartConfig { width: 40, height: 8 });
+        let chart = render_series(
+            &s,
+            ChartConfig {
+                width: 40,
+                height: 8,
+            },
+        );
         assert!(chart.contains("test"));
         assert!(chart.contains('#'));
         assert!(chart.contains("cycle 0 .. 100"));
@@ -140,7 +166,10 @@ mod tests {
 
     #[test]
     fn empty_series_is_handled() {
-        let s = TraceSeries { name: "empty".into(), points: vec![] };
+        let s = TraceSeries {
+            name: "empty".into(),
+            points: vec![],
+        };
         let chart = render_series(&s, ChartConfig::default());
         assert!(chart.contains("no samples"));
     }
@@ -151,11 +180,30 @@ mod tests {
         // a ramp fills a partial triangle.
         let flat = series(&[(0, 1.0), (100, 1.0)]);
         let ramp = series(&[(0, 1.0), (50, 50.0), (100, 100.0)]);
-        let c_flat = render_series(&flat, ChartConfig { width: 20, height: 10 });
-        let c_ramp = render_series(&ramp, ChartConfig { width: 20, height: 10 });
+        let c_flat = render_series(
+            &flat,
+            ChartConfig {
+                width: 20,
+                height: 10,
+            },
+        );
+        let c_ramp = render_series(
+            &ramp,
+            ChartConfig {
+                width: 20,
+                height: 10,
+            },
+        );
         let count = |s: &str| s.chars().filter(|&c| c == '#').count();
-        assert_eq!(count(&c_flat), 20 * 10, "constant series fills the whole plot");
-        assert!(count(&c_ramp) > 0 && count(&c_ramp) < 20 * 10, "ramp fills a partial area");
+        assert_eq!(
+            count(&c_flat),
+            20 * 10,
+            "constant series fills the whole plot"
+        );
+        assert!(
+            count(&c_ramp) > 0 && count(&c_ramp) < 20 * 10,
+            "ramp fills a partial area"
+        );
     }
 
     #[test]
@@ -163,7 +211,13 @@ mod tests {
         let a = series(&[(0, 1.0), (100, 2.0)]);
         let mut b = series(&[(50, 3.0), (200, 1.0)]);
         b.name = "b".into();
-        let chart = render_stacked(&[&a, &b], ChartConfig { width: 30, height: 4 });
+        let chart = render_stacked(
+            &[&a, &b],
+            ChartConfig {
+                width: 30,
+                height: 4,
+            },
+        );
         assert!(chart.contains("cycle 0 .. 200"));
         assert!(chart.contains("test"));
         assert!(chart.contains('b'));

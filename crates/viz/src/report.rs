@@ -1,7 +1,9 @@
 //! Tabular reports: utilization bars and summary tables (the paper's
-//! Figure 9 "architecture view").
+//! Figure 9 "architecture view"), plus a digest of a structured
+//! event-trace capture.
 
 use eclipse_sim::stats::Utilization;
+use eclipse_sim::trace::TraceSink;
 
 /// One row of a utilization report.
 #[derive(Debug, Clone)]
@@ -43,6 +45,30 @@ pub fn utilization_bars(rows: &[UtilizationRow], width: usize) -> String {
     out
 }
 
+/// Render a per-event-kind count table for a trace capture, plus the
+/// ring-buffer accounting (events kept vs. dropped once the ring filled).
+pub fn trace_event_summary(sink: &TraceSink) -> String {
+    let counts = sink.counts_by_kind();
+    let name_w = counts
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = String::new();
+    out.push_str(&format!("{:<name_w$}  {:>10}\n", "event", "count"));
+    for (name, n) in &counts {
+        out.push_str(&format!("{name:<name_w$}  {n:>10}\n"));
+    }
+    out.push_str(&format!(
+        "total emitted {} | in ring {} | dropped {}\n",
+        sink.emitted(),
+        sink.len(),
+        sink.dropped()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,8 +76,22 @@ mod tests {
     #[test]
     fn bars_reflect_fractions() {
         let rows = vec![
-            UtilizationRow { name: "vld".into(), util: Utilization { busy: 75, stalled: 15, idle: 10 } },
-            UtilizationRow { name: "dct".into(), util: Utilization { busy: 10, stalled: 0, idle: 90 } },
+            UtilizationRow {
+                name: "vld".into(),
+                util: Utilization {
+                    busy: 75,
+                    stalled: 15,
+                    idle: 10,
+                },
+            },
+            UtilizationRow {
+                name: "dct".into(),
+                util: Utilization {
+                    busy: 10,
+                    stalled: 0,
+                    idle: 90,
+                },
+            },
         ];
         let s = utilization_bars(&rows, 20);
         assert!(s.contains("vld"));
@@ -64,8 +104,37 @@ mod tests {
 
     #[test]
     fn empty_utilization_is_idle() {
-        let rows = vec![UtilizationRow { name: "x".into(), util: Utilization::default() }];
+        let rows = vec![UtilizationRow {
+            name: "x".into(),
+            util: Utilization::default(),
+        }];
         let s = utilization_bars(&rows, 10);
         assert!(s.contains("0.0%"));
+    }
+
+    #[test]
+    fn trace_summary_counts_and_accounting() {
+        use eclipse_sim::trace::{TraceEvent, TraceEventKind, TraceSink};
+        let mut sink = TraceSink::new(16);
+        let u = sink.intern("shell/x");
+        sink.emit(TraceEvent {
+            cycle: 1,
+            unit: u,
+            kind: TraceEventKind::TaskIdle,
+        });
+        sink.emit(TraceEvent {
+            cycle: 2,
+            unit: u,
+            kind: TraceEventKind::TaskIdle,
+        });
+        sink.emit(TraceEvent {
+            cycle: 3,
+            unit: u,
+            kind: TraceEventKind::Sample,
+        });
+        let s = trace_event_summary(&sink);
+        assert!(s.contains("task_idle"));
+        assert!(s.contains("sample"));
+        assert!(s.contains("total emitted 3 | in ring 3 | dropped 0"));
     }
 }

@@ -17,7 +17,13 @@ use eclipse::media::Decoder;
 fn main() {
     // Produce the program: video + audio, multiplexed by the builder.
     let (width, height, frames) = (96, 80, 6);
-    let source = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 99 });
+    let source = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 99,
+    });
     let encoder = Encoder::new(EncoderConfig {
         width,
         height,

@@ -20,7 +20,13 @@ fn decode_cycles(cfg: EclipseConfig, bitstream: &[u8]) -> u64 {
 
 fn main() {
     let (width, height) = (96, 80);
-    let source = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 5 });
+    let source = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 5,
+    });
     let encoder = Encoder::new(EncoderConfig {
         width,
         height,
@@ -30,21 +36,43 @@ fn main() {
     });
     let (bitstream, _) = encoder.encode(&source.frames(6));
 
-    println!("decode time vs template parameters ({}x{}, 6 frames):\n", width, height);
+    println!(
+        "decode time vs template parameters ({}x{}, 6 frames):\n",
+        width, height
+    );
     let baseline = decode_cycles(EclipseConfig::default(), &bitstream);
-    println!("{:<34} {:>10} cycles", "baseline (paper instance)", baseline);
+    println!(
+        "{:<34} {:>10} cycles",
+        "baseline (paper instance)", baseline
+    );
 
     for (label, cfg) in [
         (
             "no shell caches",
-            EclipseConfig::default().with_cache(CacheConfig { lines: 0, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
+            EclipseConfig::default().with_cache(CacheConfig {
+                lines: 0,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            }),
         ),
         (
             "no prefetch",
-            EclipseConfig::default().with_cache(CacheConfig { lines: 8, line_bytes: 64, prefetch: false, prefetch_depth: 0 }),
+            EclipseConfig::default().with_cache(CacheConfig {
+                lines: 8,
+                line_bytes: 64,
+                prefetch: false,
+                prefetch_depth: 0,
+            }),
         ),
-        ("32-bit data buses", EclipseConfig::default().with_bus_width(4)),
-        ("256-bit data buses", EclipseConfig::default().with_bus_width(32)),
+        (
+            "32-bit data buses",
+            EclipseConfig::default().with_bus_width(4),
+        ),
+        (
+            "256-bit data buses",
+            EclipseConfig::default().with_bus_width(32),
+        ),
         ("slow off-chip memory", {
             let mut c = EclipseConfig::default();
             c.dram.row_hit_latency = 30;

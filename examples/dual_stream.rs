@@ -12,7 +12,13 @@ use eclipse::media::stream::GopConfig;
 use eclipse::media::Decoder;
 
 fn make_stream(seed: u64, frames: u16) -> Vec<u8> {
-    let source = SyntheticSource::new(SourceConfig { width: 176, height: 144, complexity: 0.5, motion: 2.0, seed });
+    let source = SyntheticSource::new(SourceConfig {
+        width: 176,
+        height: 144,
+        complexity: 0.5,
+        motion: 2.0,
+        seed,
+    });
     let encoder = Encoder::new(EncoderConfig {
         width: 176,
         height: 144,
@@ -43,9 +49,19 @@ fn main() {
     // Both applications decode bit-exactly, concurrently.
     let out_a = sys.display_frames("a").unwrap();
     let out_b = sys.display_frames("b").unwrap();
-    assert!(out_a.iter().zip(&ref_a.frames).all(|(x, y)| x == y), "stream A corrupted");
-    assert!(out_b.iter().zip(&ref_b.frames).all(|(x, y)| x == y), "stream B corrupted");
-    println!("both streams decoded bit-exactly in {} cycles ({:.2} ms at 150 MHz)", summary.cycles, summary.cycles as f64 / 150e3);
+    assert!(
+        out_a.iter().zip(&ref_a.frames).all(|(x, y)| x == y),
+        "stream A corrupted"
+    );
+    assert!(
+        out_b.iter().zip(&ref_b.frames).all(|(x, y)| x == y),
+        "stream B corrupted"
+    );
+    println!(
+        "both streams decoded bit-exactly in {} cycles ({:.2} ms at 150 MHz)",
+        summary.cycles,
+        summary.cycles as f64 / 150e3
+    );
 
     // Show the multi-tasking: tasks and switch counts per coprocessor.
     println!("\nper-coprocessor multi-tasking:");

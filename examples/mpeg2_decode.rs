@@ -13,7 +13,13 @@ use eclipse::viz::{render_stacked, ChartConfig};
 fn main() {
     // 1. Produce a test stream with the software encoder.
     let (width, height, frames) = (176, 144, 10);
-    let source = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 42 });
+    let source = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 42,
+    });
     let encoder = Encoder::new(EncoderConfig {
         width,
         height,
@@ -39,7 +45,10 @@ fn main() {
     let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
     let summary = dec.system.run(5_000_000_000);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
-    let decoded = dec.system.display_frames("dec0").expect("all frames decoded");
+    let decoded = dec
+        .system
+        .display_frames("dec0")
+        .expect("all frames decoded");
 
     // 4. The architecture must be functionally transparent: byte-equal.
     let mut exact = 0;
@@ -55,7 +64,10 @@ fn main() {
         exact,
         frames
     );
-    assert_eq!(exact, frames as usize, "architecture must not change the data");
+    assert_eq!(
+        exact, frames as usize,
+        "architecture must not change the data"
+    );
 
     // 5. Show the paper's Figure 10 view of the run.
     let trace = dec.system.sys.trace();
@@ -65,10 +77,16 @@ fn main() {
             trace.get("space/dec0.coef:dec0.idct.in0").unwrap(),
             trace.get("space/dec0.resid:dec0.mc.in1").unwrap(),
         ],
-        ChartConfig { width: 90, height: 6 },
+        ChartConfig {
+            width: 90,
+            height: 6,
+        },
     );
     println!("\nstream buffer filling over time (cf. paper Figure 10):\n\n{chart}");
 
     let psnr = decoded[0].psnr_y(&original[0]);
-    println!("decode quality vs source: {:.1} dB (first frame, luma)", psnr);
+    println!(
+        "decode quality vs source: {:.1} dB (first frame, luma)",
+        psnr
+    );
 }

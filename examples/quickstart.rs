@@ -21,7 +21,11 @@ impl Coprocessor for UppercaseCoproc {
     fn supports(&self, function: &str) -> bool {
         function == "uppercase"
     }
-    fn configure_task(&mut self, _task: TaskIdx, _decl: &eclipse::kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        _task: TaskIdx,
+        _decl: &eclipse::kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         (vec![1], vec![16]) // scheduler hints: 1 byte in, a packet of room out
     }
     fn as_any(&self) -> &dyn std::any::Any {
@@ -67,7 +71,11 @@ impl Coprocessor for TextEnds {
     fn supports(&self, function: &str) -> bool {
         matches!(function, "source" | "sink")
     }
-    fn configure_task(&mut self, _t: TaskIdx, _d: &eclipse::kpn::graph::TaskDecl) -> (Vec<u32>, Vec<u32>) {
+    fn configure_task(
+        &mut self,
+        _t: TaskIdx,
+        _d: &eclipse::kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
         (vec![], vec![])
     }
     fn as_any(&self) -> &dyn std::any::Any {
@@ -131,7 +139,10 @@ fn main() {
         received: Vec::new(),
         expected: total_packets as usize,
     }));
-    b.add_coprocessor(Box::new(UppercaseCoproc { packets_done: 0, total: total_packets / 16 }));
+    b.add_coprocessor(Box::new(UppercaseCoproc {
+        packets_done: 0,
+        total: total_packets / 16,
+    }));
     b.map_app(&graph).expect("graph maps onto the instance");
 
     // 3. Run the cycle simulation.

@@ -18,19 +18,44 @@ fn main() {
     let gop = GopConfig { n: 6, m: 3 };
 
     // The "broadcast" stream we are watching (decode side).
-    let live = SyntheticSource::new(SourceConfig { width, height, complexity: 0.5, motion: 2.0, seed: 77 });
+    let live = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.5,
+        motion: 2.0,
+        seed: 77,
+    });
     let live_frames = live.frames(frames);
-    let enc = Encoder::new(EncoderConfig { width, height, qscale: 6, gop, search_range: 15 });
+    let enc = Encoder::new(EncoderConfig {
+        width,
+        height,
+        qscale: 6,
+        gop,
+        search_range: 15,
+    });
     let (live_bits, _) = enc.encode(&live_frames);
     let live_ref = Decoder::decode(&live_bits).unwrap();
 
     // The camera feed we are recording (encode side).
-    let cam = SyntheticSource::new(SourceConfig { width, height, complexity: 0.4, motion: 1.5, seed: 88 });
+    let cam = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 88,
+    });
     let cam_frames = cam.frames(frames);
 
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     b.add_decode("watch", live_bits, DecodeAppConfig::default());
-    b.add_encode("record", cam_frames.clone(), gop, 6, 8, EncodeAppConfig::default());
+    b.add_encode(
+        "record",
+        cam_frames.clone(),
+        gop,
+        6,
+        8,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     let summary = sys.run(50_000_000_000);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
@@ -38,7 +63,10 @@ fn main() {
     // Watching: bit-exact decode despite the concurrent encode.
     let watched = sys.display_frames("watch").unwrap();
     assert!(watched.iter().zip(&live_ref.frames).all(|(a, b)| a == b));
-    println!("decode side: {} frames bit-exact while encoding concurrently", watched.len());
+    println!(
+        "decode side: {} frames bit-exact while encoding concurrently",
+        watched.len()
+    );
 
     // Recording: the produced bitstream is valid and decodes with good
     // quality.
@@ -63,5 +91,9 @@ fn main() {
         let tasks: Vec<&str> = shell.tasks().iter().map(|t| t.cfg.name.as_str()).collect();
         println!("  {:<8} {:?}", name, tasks);
     }
-    println!("\ntotal: {} cycles ({:.2} ms at 150 MHz)", summary.cycles, summary.cycles as f64 / 150e3);
+    println!(
+        "\ntotal: {} cycles ({:.2} ms at 150 MHz)",
+        summary.cycles,
+        summary.cycles as f64 / 150e3
+    );
 }

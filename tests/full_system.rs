@@ -10,8 +10,19 @@ use eclipse::media::source::{SourceConfig, SyntheticSource};
 use eclipse::media::stream::GopConfig;
 use eclipse::media::Decoder;
 
-fn make_stream(w: usize, h: usize, frames: u16, seed: u64) -> (Vec<u8>, Vec<eclipse::media::Frame>) {
-    let src = SyntheticSource::new(SourceConfig { width: w, height: h, complexity: 0.4, motion: 2.0, seed });
+fn make_stream(
+    w: usize,
+    h: usize,
+    frames: u16,
+    seed: u64,
+) -> (Vec<u8>, Vec<eclipse::media::Frame>) {
+    let src = SyntheticSource::new(SourceConfig {
+        width: w,
+        height: h,
+        complexity: 0.4,
+        motion: 2.0,
+        seed,
+    });
     let enc = Encoder::new(EncoderConfig {
         width: w,
         height: h,
@@ -38,7 +49,10 @@ fn facade_decode_is_functionally_transparent() {
 #[test]
 fn three_concurrent_decodes_are_all_exact() {
     let streams: Vec<_> = (0..3).map(|i| make_stream(48, 32, 5, 100 + i)).collect();
-    let refs: Vec<_> = streams.iter().map(|(b, _)| Decoder::decode(b).unwrap()).collect();
+    let refs: Vec<_> = streams
+        .iter()
+        .map(|(b, _)| Decoder::decode(b).unwrap())
+        .collect();
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
     for (i, (bytes, _)) in streams.iter().enumerate() {
         b.add_decode(&format!("s{i}"), bytes.clone(), DecodeAppConfig::default());
@@ -54,10 +68,23 @@ fn three_concurrent_decodes_are_all_exact() {
 
 #[test]
 fn eclipse_encode_round_trips_through_software_decoder() {
-    let src = SyntheticSource::new(SourceConfig { width: 48, height: 32, complexity: 0.4, motion: 1.5, seed: 7 });
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 7,
+    });
     let frames = src.frames(6);
     let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
-    b.add_encode("e", frames.clone(), GopConfig { n: 6, m: 3 }, 6, 8, EncodeAppConfig::default());
+    b.add_encode(
+        "e",
+        frames.clone(),
+        GopConfig { n: 6, m: 3 },
+        6,
+        8,
+        EncodeAppConfig::default(),
+    );
     let mut sys = b.build();
     assert_eq!(sys.run(20_000_000_000).outcome, RunOutcome::AllFinished);
     let bytes = sys.encoded_bytes("e").unwrap();
@@ -114,7 +141,10 @@ fn architecture_timing_varies_but_data_never_does() {
     }
     // Timing genuinely differed across configurations.
     cycle_counts.dedup();
-    assert!(cycle_counts.len() > 1, "configurations should differ in timing: {cycle_counts:?}");
+    assert!(
+        cycle_counts.len() > 1,
+        "configurations should differ in timing: {cycle_counts:?}"
+    );
 }
 
 #[test]
@@ -128,6 +158,9 @@ fn dsp_cpu_shell_can_be_slower_without_breaking_function() {
     cfg.shell.putspace_cost = 20;
     cfg.shell.gettask_cost = 30;
     let mut dec = build_decode_system(cfg, bitstream);
-    assert_eq!(dec.system.run(5_000_000_000).outcome, RunOutcome::AllFinished);
+    assert_eq!(
+        dec.system.run(5_000_000_000).outcome,
+        RunOutcome::AllFinished
+    );
     assert_eq!(dec.system.display_frames("dec0").unwrap(), reference.frames);
 }

@@ -23,10 +23,17 @@ fn section6_silicon_envelope() {
 #[test]
 fn section2_load_irregularity_reaches_order_10x() {
     use eclipse::media::bits::BitReader;
-    use eclipse::media::stream::{peek_marker, read_mb_header, read_picture_header, read_sequence_header, MARKER_END};
+    use eclipse::media::stream::{
+        peek_marker, read_mb_header, read_picture_header, read_sequence_header, MARKER_END,
+    };
     use eclipse::media::vlc::{get_block, get_sev};
 
-    let spec = StreamSpec { complexity: 0.08, motion: 0.5, frames: 10, ..StreamSpec::tiny() };
+    let spec = StreamSpec {
+        complexity: 0.08,
+        motion: 0.5,
+        frames: 10,
+        ..StreamSpec::tiny()
+    };
     let (bitstream, _) = spec.encode();
     let mut r = BitReader::new(&bitstream);
     let seq = read_sequence_header(&mut r).unwrap();
@@ -55,7 +62,10 @@ fn section2_load_irregularity_reaches_order_10x() {
         r.byte_align();
     }
     let ratio = max_bits as f64 / (total_bits as f64 / count as f64);
-    assert!(ratio > 4.0, "worst/avg VLD load only {ratio:.1}x — data-dependence collapsed");
+    assert!(
+        ratio > 4.0,
+        "worst/avg VLD load only {ratio:.1}x — data-dependence collapsed"
+    );
 }
 
 /// §2.3/§5.1: CPU-centric synchronization does not scale; distributed
@@ -85,7 +95,9 @@ fn section5_distributed_sync_scales_cpu_centric_does_not() {
     let d6 = run(6, None);
     // Distributed: independent pipelines stay (nearly) constant-time.
     assert!(d6 < d1 * 2, "distributed sync must scale: {d1} -> {d6}");
-    let cpu = Some(CpuSyncConfig { service_cycles: 200 });
+    let cpu = Some(CpuSyncConfig {
+        service_cycles: 200,
+    });
     let c1 = run(1, cpu);
     let c6 = run(6, cpu);
     // Centralized: wall-clock grows roughly with the pipeline count.
@@ -98,12 +110,18 @@ fn section5_distributed_sync_scales_cpu_centric_does_not() {
 fn section3_coupling_knee() {
     use eclipse::coprocs::apps::DecodeAppConfig;
     use eclipse::coprocs::instance::{InstanceCosts, MpegBuilder};
-    let spec = StreamSpec { frames: 4, ..StreamSpec::tiny() };
+    let spec = StreamSpec {
+        frames: 4,
+        ..StreamSpec::tiny()
+    };
     let (bitstream, _) = spec.encode();
     let run = |factor: f64| -> u64 {
         let bufs = DecodeAppConfig::default().scaled(factor);
         let sram = (bufs.total() + 8192).next_power_of_two().max(32 * 1024);
-        let mut b = MpegBuilder::new(EclipseConfig::default().with_sram_size(sram), InstanceCosts::default());
+        let mut b = MpegBuilder::new(
+            EclipseConfig::default().with_sram_size(sram),
+            InstanceCosts::default(),
+        );
         b.add_decode("d", bitstream.clone(), bufs);
         let mut sys = b.build();
         let summary = sys.run(10_000_000_000);
@@ -113,11 +131,20 @@ fn section3_coupling_knee() {
     let tight = run(0.01);
     let nominal = run(1.0);
     let loose = run(3.0);
-    assert!(tight > nominal, "tight coupling must cost cycles: {tight} vs {nominal}");
-    assert!(loose <= nominal, "more buffering must not hurt: {loose} vs {nominal}");
+    assert!(
+        tight > nominal,
+        "tight coupling must cost cycles: {tight} vs {nominal}"
+    );
+    assert!(
+        loose <= nominal,
+        "more buffering must not hurt: {loose} vs {nominal}"
+    );
     let knee_gain = tight as f64 / nominal as f64;
     let tail_gain = nominal as f64 / loose as f64;
-    assert!(knee_gain > tail_gain, "the knee must be below nominal buffering");
+    assert!(
+        knee_gain > tail_gain,
+        "the knee must be below nominal buffering"
+    );
 }
 
 /// §5.2: the explicit coherency mechanism is load-bearing — disabling
@@ -126,7 +153,10 @@ fn section3_coupling_knee() {
 fn section52_coherency_fault_injection() {
     use eclipse::coprocs::instance::build_decode_system;
     use eclipse::media::Decoder;
-    let spec = StreamSpec { frames: 3, ..StreamSpec::tiny() };
+    let spec = StreamSpec {
+        frames: 3,
+        ..StreamSpec::tiny()
+    };
     let (bitstream, _) = spec.encode();
     let reference = Decoder::decode(&bitstream).unwrap();
     let outcome = std::panic::catch_unwind(|| {
@@ -145,5 +175,8 @@ fn section52_coherency_fault_injection() {
         }
     });
     let corrupted = outcome.unwrap_or(true); // a panic is also corruption
-    assert!(corrupted, "disabling invalidation must visibly corrupt decoding");
+    assert!(
+        corrupted,
+        "disabling invalidation must visibly corrupt decoding"
+    );
 }

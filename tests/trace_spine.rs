@@ -1,0 +1,73 @@
+//! Integration tests of the structured event-tracing spine: exports are
+//! byte-reproducible across identical runs, and enabling tracing never
+//! perturbs simulated behavior (the instrumentation is observational).
+
+use eclipse::coprocs::instance::build_decode_system;
+use eclipse::core::{EclipseConfig, RunOutcome, RunSummary};
+use eclipse::media::encoder::{Encoder, EncoderConfig};
+use eclipse::media::source::{SourceConfig, SyntheticSource};
+use eclipse::media::stream::GopConfig;
+
+fn make_stream(seed: u64) -> Vec<u8> {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 2.0,
+        seed,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width: 48,
+        height: 32,
+        qscale: 6,
+        gop: GopConfig { n: 6, m: 3 },
+        search_range: 15,
+    });
+    let (bytes, _) = enc.encode(&src.frames(4));
+    bytes
+}
+
+fn traced_run(bitstream: Vec<u8>) -> (RunSummary, String, String) {
+    let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
+    let sink = dec.system.sys.enable_tracing(4_000_000);
+    let summary = dec.system.run(2_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    let sink = sink.borrow();
+    assert!(!sink.is_empty(), "traced run must capture events");
+    (summary, sink.to_chrome_trace(), sink.to_csv())
+}
+
+#[test]
+fn identical_runs_export_byte_identical_traces() {
+    let bitstream = make_stream(0x7ACE);
+    let (_, json_a, csv_a) = traced_run(bitstream.clone());
+    let (_, json_b, csv_b) = traced_run(bitstream);
+    assert_eq!(json_a, json_b, "Chrome-trace export must be byte-identical");
+    assert_eq!(csv_a, csv_b, "CSV export must be byte-identical");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let bitstream = make_stream(0x0B5E_7AB1E);
+    let mut plain = build_decode_system(EclipseConfig::default(), bitstream.clone());
+    let untraced = plain.system.run(2_000_000_000);
+    let (traced, _, _) = traced_run(bitstream);
+    // RunSummary has no PartialEq (it carries a Histogram); the Debug
+    // rendering covers every field, so string equality is full equality.
+    assert_eq!(format!("{untraced:?}"), format!("{traced:?}"));
+}
+
+#[test]
+fn disabled_sink_collects_nothing_but_run_is_unchanged() {
+    let bitstream = make_stream(0xD15AB1ED);
+    let mut plain = build_decode_system(EclipseConfig::default(), bitstream.clone());
+    let untraced = plain.system.run(2_000_000_000);
+
+    let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
+    let sink = dec.system.sys.enable_tracing(4_000_000);
+    sink.borrow_mut().set_enabled(false);
+    let summary = dec.system.run(2_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    assert!(sink.borrow().is_empty(), "disabled sink must stay empty");
+    assert_eq!(format!("{untraced:?}"), format!("{summary:?}"));
+}

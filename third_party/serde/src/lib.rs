@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in the
+//! workspace actually serializes values through serde — the
+//! `#[derive(Serialize, Deserialize)]` annotations only mark types as
+//! serialization-ready for downstream consumers. This crate keeps those
+//! annotations compiling by providing derive macros that expand to
+//! nothing. Swap the workspace dependency back to the real `serde` (the
+//! version bound is already `1`) when network access is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
