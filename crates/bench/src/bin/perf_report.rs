@@ -1,0 +1,259 @@
+//! Machine-readable host-performance report over the canonical workloads.
+//!
+//! Times the Figure-10 QCIF decode, the synthetic three-stage pipeline,
+//! and a calendar microbenchmark (hybrid wheel vs the `BaselineCalendar`
+//! heap), then writes `BENCH_sim.json` at the repo root so every PR has a
+//! committed wall-clock trajectory to beat. See DESIGN.md "Host
+//! performance" for how to read the file.
+//!
+//! Modes:
+//! * default — measure with the full budget and (re)write `BENCH_sim.json`
+//! * `--quick` — reduced measurement budget (same per-iteration workloads,
+//!   noisier numbers); suitable for CI smoke runs
+//! * `--check` — measure, compare against the committed `BENCH_sim.json`,
+//!   and exit non-zero if any canonical workload regressed by more than
+//!   25%; does not overwrite the file
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin perf_report [--quick] [--check]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Duration;
+
+use eclipse_bench::microbench::bench_with_budget;
+use eclipse_bench::synthetic::PipeCoproc;
+use eclipse_bench::StreamSpec;
+use eclipse_coprocs::instance::build_decode_system;
+use eclipse_core::{EclipseConfig, RunOutcome, SystemBuilder};
+use eclipse_kpn::GraphBuilder;
+use eclipse_sim::{BaselineCalendar, Calendar};
+
+/// Committed reference point: `cargo bench --bench simulator` at the PR-1
+/// tree (BinaryHeap calendar, per-byte cache loops) on the dev machine.
+const PR1_SYNTHETIC_MS: f64 = 1.76;
+const PR1_TINY_DECODE_MS: f64 = 2.02;
+
+/// Allowed wall-clock regression before `--check` fails the run.
+const REGRESSION_LIMIT: f64 = 1.25;
+
+const REPORT_PATH: &str = "BENCH_sim.json";
+
+struct Workload {
+    name: &'static str,
+    /// Reference number from before this optimization pass, when one was
+    /// recorded (`None` renders as JSON null).
+    baseline_ms: Option<f64>,
+    current_ms: f64,
+}
+
+fn run_synthetic_pipeline() -> u64 {
+    let mut gb = GraphBuilder::new("p");
+    let a = gb.stream("a", 256);
+    let s2 = gb.stream("b", 256);
+    gb.task("src", "s", 0, &[], &[a]);
+    gb.task("mid", "f", 0, &[a], &[s2]);
+    gb.task("dst", "k", 0, &[s2], &[]);
+    let graph = gb.build().unwrap();
+    let mut builder = SystemBuilder::new(EclipseConfig::default());
+    builder.add_coprocessor(Box::new(PipeCoproc::source("s", 1000, 64, 50)));
+    builder.add_coprocessor(Box::new(PipeCoproc::filter("f", 1000, 64, 80)));
+    builder.add_coprocessor(Box::new(PipeCoproc::sink("k", 1000, 64, 30)));
+    builder.map_app(&graph).unwrap();
+    let mut sys = builder.build();
+    let summary = sys.run(100_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    summary.cycles
+}
+
+// The two calendar drivers share the same schedule/pop pattern: 256 events
+// in flight, xorshift delays spanning both the wheel window and the far
+// heap, 200k pops per iteration.
+macro_rules! drive_calendar {
+    ($cal:expr) => {{
+        let mut cal = $cal;
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for i in 0..256u64 {
+            cal.schedule_at(i, i as u32);
+        }
+        let mut acc = 0u64;
+        for _ in 0..200_000 {
+            let (t, v) = cal.pop().unwrap();
+            acc ^= t ^ v as u64;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            cal.schedule(x % 5000, v);
+        }
+        acc
+    }};
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let budget = if quick {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(500)
+    };
+
+    let spec = StreamSpec::qcif();
+    let (qcif_bs, _) = spec.encode();
+    let tiny_spec = StreamSpec {
+        frames: 3,
+        ..StreamSpec::tiny()
+    };
+    let (tiny_bs, _) = tiny_spec.encode();
+
+    let qcif = bench_with_budget("perf/qcif_decode_15f", budget, || {
+        let mut dec = build_decode_system(EclipseConfig::default(), qcif_bs.clone());
+        let summary = dec.system.run(20_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished);
+        black_box(summary.cycles)
+    });
+    let pipeline = bench_with_budget("perf/synthetic_pipeline_1k_packets", budget, || {
+        black_box(run_synthetic_pipeline())
+    });
+    let tiny = bench_with_budget("perf/mpeg_decode_tiny_3f", budget, || {
+        let mut dec = build_decode_system(EclipseConfig::default(), tiny_bs.clone());
+        let summary = dec.system.run(1_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished);
+        black_box(summary.cycles)
+    });
+    let cal_wheel = bench_with_budget("perf/calendar_hot (wheel)", budget, || {
+        black_box(drive_calendar!(Calendar::<u32>::new()))
+    });
+    let cal_heap = bench_with_budget("perf/calendar_hot (heap baseline)", budget, || {
+        black_box(drive_calendar!(BaselineCalendar::<u32>::new()))
+    });
+
+    let ms = |r: &eclipse_bench::microbench::BenchResult| r.ns_per_iter() / 1e6;
+    let workloads = [
+        Workload {
+            name: "qcif_decode_15f",
+            baseline_ms: None,
+            current_ms: ms(&qcif),
+        },
+        Workload {
+            name: "synthetic_pipeline_1k_packets",
+            baseline_ms: Some(PR1_SYNTHETIC_MS),
+            current_ms: ms(&pipeline),
+        },
+        Workload {
+            name: "mpeg_decode_tiny_3f",
+            baseline_ms: Some(PR1_TINY_DECODE_MS),
+            current_ms: ms(&tiny),
+        },
+        Workload {
+            name: "calendar_hot",
+            baseline_ms: Some(ms(&cal_heap)),
+            current_ms: ms(&cal_wheel),
+        },
+    ];
+
+    println!();
+    for w in &workloads {
+        match w.baseline_ms {
+            Some(b) => println!(
+                "{:<32} {:>8.2} ms (baseline {:.2} ms, {:.2}x)",
+                w.name,
+                w.current_ms,
+                b,
+                b / w.current_ms
+            ),
+            None => println!("{:<32} {:>8.2} ms", w.name, w.current_ms),
+        }
+    }
+
+    if check {
+        match std::fs::read_to_string(REPORT_PATH) {
+            Ok(committed) => {
+                let mut failures = Vec::new();
+                for w in &workloads {
+                    match committed_current_ms(&committed, w.name) {
+                        Some(committed_ms) => {
+                            let ratio = w.current_ms / committed_ms;
+                            let verdict = if ratio > REGRESSION_LIMIT {
+                                failures.push(w.name);
+                                "REGRESSED"
+                            } else {
+                                "ok"
+                            };
+                            println!(
+                                "check {:<28} {:.2} ms vs committed {:.2} ms ({:+.0}%) {}",
+                                w.name,
+                                w.current_ms,
+                                committed_ms,
+                                (ratio - 1.0) * 100.0,
+                                verdict
+                            );
+                        }
+                        None => println!("check {:<28} not in committed report, skipped", w.name),
+                    }
+                }
+                if !failures.is_empty() {
+                    eprintln!(
+                        "perf check FAILED: {} regressed >{:.0}% vs {}",
+                        failures.join(", "),
+                        (REGRESSION_LIMIT - 1.0) * 100.0,
+                        REPORT_PATH
+                    );
+                    std::process::exit(1);
+                }
+                println!("perf check passed");
+            }
+            Err(e) => {
+                eprintln!("perf check FAILED: cannot read {REPORT_PATH}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"schema\": \"eclipse-perf-report/v1\",").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"wall-clock ms per iteration; baseline_ms = pre-optimization reference \
+         (PR-1 tree or heap calendar); regenerate with: cargo run -p eclipse-bench --release \
+         --bin perf_report\","
+    )
+    .unwrap();
+    writeln!(json, "  \"budget_ms\": {},", budget.as_millis()).unwrap();
+    writeln!(json, "  \"workloads\": [").unwrap();
+    for (i, w) in workloads.iter().enumerate() {
+        let baseline = match w.baseline_ms {
+            Some(b) => format!("{b:.3}"),
+            None => "null".to_string(),
+        };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"baseline_ms\": {}, \"current_ms\": {:.3}}}{}",
+            w.name,
+            baseline,
+            w.current_ms,
+            if i + 1 < workloads.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(REPORT_PATH, &json).expect("write BENCH_sim.json");
+    println!("[saved {REPORT_PATH}]");
+}
+
+/// Extract `current_ms` for `name` from the committed report. The file is
+/// written one workload per line (see above), so a line-oriented scan is
+/// enough — no JSON parser dependency.
+fn committed_current_ms(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let tail = line.split("\"current_ms\":").nth(1)?;
+    tail.trim()
+        .trim_end_matches(['}', ',', ' '])
+        .trim_end_matches('}')
+        .parse()
+        .ok()
+}

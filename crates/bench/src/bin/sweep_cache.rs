@@ -3,87 +3,46 @@
 //! prefetching or not)". Sweeps the per-row shell cache size and the
 //! prefetch switch, reporting decode time, hit rate, and bus traffic.
 //!
-//! Usage: `cargo run -p eclipse-bench --release --bin sweep_cache`
+//! Design points run in parallel across host cores (`par_sweep`); pass
+//! `--trace` to annotate each point with denial-rate / sync-latency /
+//! event-mix metrics from the structured trace spine.
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_cache [--trace]`
 
-use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_bench::{par_sweep, save_result, table, trace_annotation, trace_flag, StreamSpec};
 use eclipse_coprocs::instance::build_decode_system;
 use eclipse_core::{EclipseConfig, RunOutcome};
 use eclipse_shell::CacheConfig;
 
+struct PointResult {
+    cycles: u64,
+    hit_rate: f64,
+    prefetches: u64,
+    stalls: u64,
+    bus_txn: u64,
+    annotation: Option<String>,
+}
+
 fn main() {
+    let trace = trace_flag();
     let spec = StreamSpec::qcif();
     let (bitstream, _) = spec.encode();
     let total_mbs = spec.mbs_per_frame() as u64 * spec.frames as u64;
 
-    let mut rows = Vec::new();
-    let mut baseline_cycles = 0u64;
-    for (label, cache) in [
-        (
-            "uncached",
-            CacheConfig {
-                lines: 0,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            },
-        ),
-        (
-            "128 B",
-            CacheConfig {
-                lines: 2,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            },
-        ),
-        (
-            "256 B",
-            CacheConfig {
-                lines: 4,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            },
-        ),
-        (
-            "512 B",
-            CacheConfig {
-                lines: 8,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            },
-        ),
-        (
-            "1 kB",
-            CacheConfig {
-                lines: 16,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            },
-        ),
-        (
-            "512 B + prefetch",
-            CacheConfig {
-                lines: 8,
-                line_bytes: 64,
-                prefetch: true,
-                prefetch_depth: 2,
-            },
-        ),
-        (
-            "1 kB + prefetch",
-            CacheConfig {
-                lines: 16,
-                line_bytes: 64,
-                prefetch: true,
-                prefetch_depth: 2,
-            },
-        ),
-    ] {
+    let points: Vec<(&str, CacheConfig)> = vec![
+        ("uncached", CacheConfig::with_lines(0, false)),
+        ("128 B", CacheConfig::with_lines(2, false)),
+        ("256 B", CacheConfig::with_lines(4, false)),
+        ("512 B", CacheConfig::with_lines(8, false)),
+        ("1 kB", CacheConfig::with_lines(16, false)),
+        ("512 B + prefetch", CacheConfig::with_lines(8, true)),
+        ("1 kB + prefetch", CacheConfig::with_lines(16, true)),
+    ];
+
+    let results = par_sweep(&points, |&(label, cache)| {
         let cfg = EclipseConfig::default().with_cache(cache);
         let mut dec = build_decode_system(cfg, bitstream.clone());
+        let sink = trace.then(|| dec.system.sys.enable_tracing(1 << 16));
         let summary = dec.system.run(20_000_000_000);
         assert_eq!(
             summary.outcome,
@@ -91,9 +50,6 @@ fn main() {
             "{label}: {:?}",
             summary.outcome
         );
-        if baseline_cycles == 0 {
-            baseline_cycles = summary.cycles;
-        }
         // Aggregate cache stats over all shells.
         let (mut hits, mut misses, mut prefetches, mut stalls) = (0u64, 0u64, 0u64, 0u64);
         for shell in dec.system.sys.shells() {
@@ -111,19 +67,37 @@ fn main() {
         } else {
             hits as f64 / (hits + misses) as f64
         };
-        rows.push(vec![
-            label.to_string(),
-            format!("{}", summary.cycles),
-            format!(
-                "{:+.1}%",
-                (summary.cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0
-            ),
-            format!("{:.1}%", hit_rate * 100.0),
-            format!("{}", prefetches),
-            format!("{:.0}", stalls as f64 / total_mbs as f64),
-            format!("{:.1}", bus_txn as f64 / total_mbs as f64),
-        ]);
-    }
+        PointResult {
+            cycles: summary.cycles,
+            hit_rate,
+            prefetches,
+            stalls,
+            bus_txn,
+            annotation: sink
+                .as_ref()
+                .map(|s| trace_annotation(label, &summary, Some(s))),
+        }
+    });
+
+    let baseline_cycles = results[0].cycles;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&results)
+        .map(|((label, _), r)| {
+            vec![
+                label.to_string(),
+                format!("{}", r.cycles),
+                format!(
+                    "{:+.1}%",
+                    (r.cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0
+                ),
+                format!("{:.1}%", r.hit_rate * 100.0),
+                format!("{}", r.prefetches),
+                format!("{:.0}", r.stalls as f64 / total_mbs as f64),
+                format!("{:.1}", r.bus_txn as f64 / total_mbs as f64),
+            ]
+        })
+        .collect();
     let t = table(
         &[
             "cache / port",
@@ -137,6 +111,11 @@ fn main() {
         &rows,
     );
     println!("Shell cache design-space sweep (paper §7):\n\n{t}");
+    for r in &results {
+        if let Some(a) = &r.annotation {
+            print!("{a}");
+        }
+    }
     println!("Expected shape: bigger caches cut stalls and bus transactions;\nprefetch removes most remaining demand-miss stalls.");
     save_result("sweep_cache.txt", &t);
 }

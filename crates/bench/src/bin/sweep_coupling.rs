@@ -7,24 +7,24 @@
 //!
 //! Sweeps the decode application's stream-buffer sizes from the
 //! single-packet minimum (tight coupling) upward and reports throughput,
-//! stall behaviour, and the SRAM footprint.
+//! stall behaviour, and the SRAM footprint. Points run in parallel across
+//! host cores; pass `--trace` for per-point denial/sync annotations.
 //!
-//! Usage: `cargo run -p eclipse-bench --release --bin sweep_coupling`
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_coupling [--trace]`
 
-use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_bench::{par_sweep, save_result, table, trace_annotation, trace_flag, StreamSpec};
 use eclipse_coprocs::apps::DecodeAppConfig;
 use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
 use eclipse_core::{EclipseConfig, RunOutcome};
 
 fn main() {
+    let trace = trace_flag();
     let spec = StreamSpec::qcif();
     let (bitstream, _) = spec.encode();
 
     println!("Buffer-size (coupling) sweep for the decode application:\n");
-    let mut rows = Vec::new();
-    let mut loosest = 0u64;
     let factors = [0.01, 0.4, 0.7, 1.0, 2.0, 4.0];
-    for &factor in factors.iter().rev() {
+    let results = par_sweep(&factors, |&factor| {
         let bufs = DecodeAppConfig::default().scaled(factor);
         // Larger sweeps need more SRAM than the paper's 32 kB — that is
         // exactly the trade-off this experiment quantifies.
@@ -35,6 +35,7 @@ fn main() {
         );
         b.add_decode("dec0", bitstream.clone(), bufs);
         let mut sys = b.build();
+        let sink = trace.then(|| sys.sys.enable_tracing(1 << 16));
         let summary = sys.run(50_000_000_000);
         assert_eq!(
             summary.outcome,
@@ -42,9 +43,6 @@ fn main() {
             "factor {factor}: {:?}",
             summary.outcome
         );
-        if loosest == 0 {
-            loosest = summary.cycles;
-        }
         let aborted: u64 = sys
             .sys
             .shells()
@@ -59,20 +57,37 @@ fn main() {
             .flat_map(|s| s.tasks())
             .map(|t| t.stats.denials)
             .sum();
-        rows.push(vec![
-            format!("{factor:.2}x"),
-            format!("{}", bufs.total()),
-            format!("{}", summary.cycles),
-            format!(
-                "{:+.1}%",
-                (summary.cycles as f64 / loosest as f64 - 1.0) * 100.0
-            ),
-            format!("{}", denials),
-            format!("{}", aborted),
-            format!("{}", summary.sync_messages),
-        ]);
-    }
-    rows.reverse();
+        let annotation = sink
+            .as_ref()
+            .map(|s| trace_annotation(&format!("{factor:.2}x buffers"), &summary, Some(s)));
+        (
+            summary.cycles,
+            bufs.total(),
+            denials,
+            aborted,
+            summary.sync_messages,
+            annotation,
+        )
+    });
+
+    let loosest = results.last().expect("non-empty sweep").0;
+    let rows: Vec<Vec<String>> = factors
+        .iter()
+        .zip(&results)
+        .map(
+            |(factor, (cycles, total, denials, aborted, sync_msgs, _))| {
+                vec![
+                    format!("{factor:.2}x"),
+                    format!("{total}"),
+                    format!("{cycles}"),
+                    format!("{:+.1}%", (*cycles as f64 / loosest as f64 - 1.0) * 100.0),
+                    format!("{denials}"),
+                    format!("{aborted}"),
+                    format!("{sync_msgs}"),
+                ]
+            },
+        )
+        .collect();
     let t = table(
         &[
             "buffer scale",
@@ -86,6 +101,11 @@ fn main() {
         &rows,
     );
     println!("{t}");
+    for (.., a) in &results {
+        if let Some(a) = a {
+            print!("{a}");
+        }
+    }
     println!(
         "\nExpected shape: below ~1x the stages serialize (every producer blocks\n\
          on its consumer — tight coupling costs cycles and explodes the denial\n\

@@ -8,11 +8,13 @@
 //! source→filter→sink chain on three dedicated coprocessors) and compares
 //! Eclipse's distributed shell-to-shell synchronization against the
 //! CPU-centric baseline where every `putspace` interrupts a central CPU.
+//! The (pipeline-count × sync-mode) grid runs in parallel across host
+//! cores; pass `--trace` for per-point denial/sync annotations.
 //!
-//! Usage: `cargo run -p eclipse-bench --release --bin sweep_scalability`
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_scalability [--trace]`
 
 use eclipse_bench::synthetic::PipeCoproc;
-use eclipse_bench::{save_result, table};
+use eclipse_bench::{par_sweep, save_result, table, trace_annotation, trace_flag};
 use eclipse_core::system::CpuSyncConfig;
 use eclipse_core::{EclipseConfig, RunOutcome, SystemBuilder};
 use eclipse_kpn::GraphBuilder;
@@ -20,12 +22,21 @@ use eclipse_kpn::GraphBuilder;
 const PACKETS: u32 = 400;
 const PACKET_BYTES: u32 = 64;
 
-fn run(pipelines: usize, cpu_sync: Option<CpuSyncConfig>) -> (u64, u64, f64) {
+fn run(
+    pipelines: usize,
+    cpu_sync: Option<CpuSyncConfig>,
+    trace: bool,
+) -> (u64, u64, f64, Option<String>) {
     // SRAM must hold 2 buffers per pipeline.
     let sram = (pipelines as u32 * 2 * 256 + 1024)
         .next_power_of_two()
         .max(32 * 1024);
     let mut b = SystemBuilder::new(EclipseConfig::default().with_sram_size(sram));
+    let mode = if cpu_sync.is_some() {
+        "cpu-centric"
+    } else {
+        "distributed"
+    };
     if let Some(c) = cpu_sync {
         b.with_cpu_sync(c);
     }
@@ -58,6 +69,7 @@ fn run(pipelines: usize, cpu_sync: Option<CpuSyncConfig>) -> (u64, u64, f64) {
     let graph = g.build().unwrap();
     b.map_app(&graph).unwrap();
     let mut sys = b.build();
+    let sink = trace.then(|| sys.enable_tracing(1 << 16));
     let summary = sys.run(1_000_000_000);
     assert_eq!(
         summary.outcome,
@@ -66,30 +78,42 @@ fn run(pipelines: usize, cpu_sync: Option<CpuSyncConfig>) -> (u64, u64, f64) {
         summary.outcome
     );
     let cpu_load = summary.cpu_sync_busy as f64 / summary.cycles as f64;
-    (summary.cycles, summary.sync_messages, cpu_load)
+    let annotation = sink
+        .as_ref()
+        .map(|s| trace_annotation(&format!("{pipelines} pipelines, {mode}"), &summary, Some(s)));
+    (summary.cycles, summary.sync_messages, cpu_load, annotation)
 }
 
 fn main() {
+    let trace = trace_flag();
     println!(
         "Synchronization scalability: {PACKETS} packets through N independent\n\
          3-stage pipelines (3N coprocessors). Distributed shell sync vs a\n\
          central CPU servicing every putspace (200-cycle interrupt service).\n"
     );
+    // One design point per (pipeline count, sync mode) pair so the whole
+    // grid spreads over the host cores.
+    let counts = [1usize, 2, 4, 8];
+    let points: Vec<(usize, bool)> = counts
+        .iter()
+        .flat_map(|&p| [(p, false), (p, true)])
+        .collect();
+    let results = par_sweep(&points, |&(pipelines, cpu)| {
+        let cfg = cpu.then_some(CpuSyncConfig {
+            service_cycles: 200,
+        });
+        run(pipelines, cfg, trace)
+    });
     let mut rows = Vec::new();
-    for pipelines in [1usize, 2, 4, 8] {
-        let (d_cycles, msgs, _) = run(pipelines, None);
-        let (c_cycles, _, cpu_load) = run(
-            pipelines,
-            Some(CpuSyncConfig {
-                service_cycles: 200,
-            }),
-        );
+    for (i, &pipelines) in counts.iter().enumerate() {
+        let (d_cycles, msgs, _, _) = &results[2 * i];
+        let (c_cycles, _, cpu_load, _) = &results[2 * i + 1];
         rows.push(vec![
             format!("{pipelines} ({} coprocs)", pipelines * 3),
             format!("{}", msgs),
             format!("{}", d_cycles),
             format!("{}", c_cycles),
-            format!("{:.2}x", c_cycles as f64 / d_cycles as f64),
+            format!("{:.2}x", *c_cycles as f64 / *d_cycles as f64),
             format!("{:.0}%", cpu_load * 100.0),
         ]);
     }
@@ -105,6 +129,11 @@ fn main() {
         &rows,
     );
     println!("{t}");
+    for (.., a) in &results {
+        if let Some(a) = a {
+            print!("{a}");
+        }
+    }
     println!(
         "\nExpected shape: distributed sync keeps wall-clock flat as pipelines\n\
          are added (they are independent); the CPU-centric baseline saturates\n\

@@ -6,11 +6,13 @@
 //!
 //! We run the encode+decode mix (the multi-tasking workload) under
 //! (a) best-guess vs naive round-robin selection and (b) a budget sweep,
-//! reporting throughput, aborted steps, and the task-switch rate.
+//! reporting throughput, aborted steps, and the task-switch rate. Each
+//! section's design points run in parallel across host cores; pass
+//! `--trace` for per-point denial/sync annotations.
 //!
-//! Usage: `cargo run -p eclipse-bench --release --bin sweep_scheduler`
+//! Usage: `cargo run -p eclipse-bench --release --bin sweep_scheduler [--trace]`
 
-use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_bench::{par_sweep, save_result, table, trace_annotation, trace_flag, StreamSpec};
 use eclipse_coprocs::apps::{DecodeAppConfig, EncodeAppConfig};
 use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
 use eclipse_coprocs::mcme::McMeCoproc;
@@ -23,9 +25,10 @@ struct Outcome {
     switches: u64,
     aborted: u64,
     decisions: u64,
+    annotation: Option<String>,
 }
 
-fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
+fn run(policy: eclipse_shell::SchedPolicy, budget: u64, trace: bool) -> Outcome {
     let spec = StreamSpec {
         frames: 6,
         gop: GopConfig { n: 6, m: 3 },
@@ -51,6 +54,7 @@ fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
         EncodeAppConfig::default(),
     );
     let mut sys = b.build();
+    let sink = trace.then(|| sys.sys.enable_tracing(1 << 16));
     let summary = sys.run(100_000_000_000);
     assert_eq!(
         summary.outcome,
@@ -67,11 +71,15 @@ fn run(policy: eclipse_shell::SchedPolicy, budget: u64) -> Outcome {
         .flat_map(|s| s.tasks())
         .map(|t| t.stats.aborted_steps)
         .sum();
+    let annotation = sink
+        .as_ref()
+        .map(|s| trace_annotation(&format!("{policy:?}/budget-{budget}"), &summary, Some(s)));
     Outcome {
         cycles: summary.cycles,
         switches,
         aborted,
         decisions,
+        annotation,
     }
 }
 
@@ -126,24 +134,29 @@ fn qos(budget_a: u64, budget_b: u64) -> (u64, u64) {
 
 fn main() {
     use eclipse_shell::SchedPolicy::*;
+    let trace = trace_flag();
     let f = Frequency::COPROC_150MHZ;
 
     println!("Scheduler policy ablation (encode + decode mix, budget 2000):\n");
-    let mut rows = Vec::new();
-    for (label, policy) in [
+    let policies = [
         ("best guess (paper)", BestGuess),
         ("naive round-robin", NaiveRoundRobin),
-    ] {
-        let o = run(policy, 2000);
-        rows.push(vec![
-            label.to_string(),
-            format!("{}", o.cycles),
-            format!("{}", o.aborted),
-            format!("{}", o.switches),
-            format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
-            format!("{}", o.decisions),
-        ]);
-    }
+    ];
+    let policy_results = par_sweep(&policies, |&(_, policy)| run(policy, 2000, trace));
+    let rows: Vec<Vec<String>> = policies
+        .iter()
+        .zip(&policy_results)
+        .map(|((label, _), o)| {
+            vec![
+                label.to_string(),
+                format!("{}", o.cycles),
+                format!("{}", o.aborted),
+                format!("{}", o.switches),
+                format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
+                format!("{}", o.decisions),
+            ]
+        })
+        .collect();
     let t1 = table(
         &[
             "policy",
@@ -156,18 +169,27 @@ fn main() {
         &rows,
     );
     println!("{t1}");
+    for o in &policy_results {
+        if let Some(a) = &o.annotation {
+            print!("{a}");
+        }
+    }
 
     println!("Budget sweep (best guess; paper range 1000-10000 cycles):\n");
-    let mut rows = Vec::new();
-    for budget in [250u64, 1000, 2000, 5000, 10_000, 40_000] {
-        let o = run(BestGuess, budget);
-        rows.push(vec![
-            format!("{budget}"),
-            format!("{}", o.cycles),
-            format!("{}", o.switches),
-            format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
-        ]);
-    }
+    let budgets = [250u64, 1000, 2000, 5000, 10_000, 40_000];
+    let budget_results = par_sweep(&budgets, |&budget| run(BestGuess, budget, trace));
+    let rows: Vec<Vec<String>> = budgets
+        .iter()
+        .zip(&budget_results)
+        .map(|(budget, o)| {
+            vec![
+                format!("{budget}"),
+                format!("{}", o.cycles),
+                format!("{}", o.switches),
+                format!("{:.0} kHz", f.rate(o.switches, o.cycles) / 1e3),
+            ]
+        })
+        .collect();
     let t2 = table(
         &[
             "budget (cycles)",
@@ -178,18 +200,27 @@ fn main() {
         &rows,
     );
     println!("{t2}");
+    for o in &budget_results {
+        if let Some(a) = &o.annotation {
+            print!("{a}");
+        }
+    }
 
     println!("QoS via budgets (dual decode; budgets programmed over the PI bus):\n");
-    let mut rows = Vec::new();
-    for (ba, bb) in [(2000u64, 2000u64), (6000, 1000), (1000, 6000)] {
-        let (fa, fb) = qos(ba, bb);
-        rows.push(vec![
-            format!("{ba} / {bb}"),
-            format!("{fa}"),
-            format!("{fb}"),
-            format!("{:+.1}%", (fa as f64 / fb as f64 - 1.0) * 100.0),
-        ]);
-    }
+    let pairs = [(2000u64, 2000u64), (6000, 1000), (1000, 6000)];
+    let qos_results = par_sweep(&pairs, |&(ba, bb)| qos(ba, bb));
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .zip(&qos_results)
+        .map(|((ba, bb), (fa, fb))| {
+            vec![
+                format!("{ba} / {bb}"),
+                format!("{fa}"),
+                format!("{fb}"),
+                format!("{:+.1}%", (*fa as f64 / *fb as f64 - 1.0) * 100.0),
+            ]
+        })
+        .collect();
     let t3 = table(
         &[
             "budget A / B (cycles)",

@@ -8,10 +8,12 @@
 //! SD/HD; absolute resolution does not change who shares which
 //! coprocessor) and report completion, per-unit utilization, and the
 //! achieved macroblock throughput against the real-time requirement.
+//! Mixes run in parallel across host cores; pass `--trace` for per-point
+//! denial/sync annotations.
 //!
-//! Usage: `cargo run -p eclipse-bench --release --bin tab_app_mixes`
+//! Usage: `cargo run -p eclipse-bench --release --bin tab_app_mixes [--trace]`
 
-use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_bench::{par_sweep, save_result, table, trace_annotation, trace_flag, StreamSpec};
 use eclipse_coprocs::apps::{AudioAppConfig, AvProgramConfig, DecodeAppConfig, EncodeAppConfig};
 use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder};
 use eclipse_core::{EclipseConfig, RunOutcome};
@@ -23,9 +25,10 @@ struct MixResult {
     cycles: u64,
     mbs: u64,
     util: Vec<(String, f64)>,
+    annotation: Option<String>,
 }
 
-fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResult {
+fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32, trace: bool) -> MixResult {
     let spec = StreamSpec {
         frames: 9,
         gop: GopConfig { n: 9, m: 3 },
@@ -79,6 +82,7 @@ fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResu
         let _ = AudioAppConfig::default();
     }
     let mut sys = b.build();
+    let sink = trace.then(|| sys.sys.enable_tracing(1 << 16));
     let summary = sys.run(50_000_000_000);
     assert_eq!(
         summary.outcome,
@@ -98,21 +102,28 @@ fn run_mix(label: &str, decodes: u32, encodes: u32, av_programs: u32) -> MixResu
         cycles: summary.cycles,
         mbs,
         util,
+        annotation: sink
+            .as_ref()
+            .map(|s| trace_annotation(label, &summary, Some(s))),
     }
 }
 
 fn main() {
+    let trace = trace_flag();
     println!("Application mixes on the shared coprocessors (paper §6).\n");
-    let mixes = [
-        run_mix("1x decode", 1, 0, 0),
-        run_mix("2x decode (dual-stream)", 2, 0, 0),
-        run_mix("3x decode", 3, 0, 0),
-        run_mix("1x encode", 0, 1, 0),
-        run_mix("encode + decode (time-shift)", 1, 1, 0),
-        run_mix("encode + 2x decode", 2, 1, 0),
-        run_mix("A/V program (demux+audio)", 0, 0, 1),
-        run_mix("A/V program + decode", 1, 0, 1),
+    let points: [(&str, u32, u32, u32); 8] = [
+        ("1x decode", 1, 0, 0),
+        ("2x decode (dual-stream)", 2, 0, 0),
+        ("3x decode", 3, 0, 0),
+        ("1x encode", 0, 1, 0),
+        ("encode + decode (time-shift)", 1, 1, 0),
+        ("encode + 2x decode", 2, 1, 0),
+        ("A/V program (demux+audio)", 0, 0, 1),
+        ("A/V program + decode", 1, 0, 1),
     ];
+    let mixes = par_sweep(&points, |&(label, d, e, av)| {
+        run_mix(label, d, e, av, trace)
+    });
 
     let mut rows = Vec::new();
     for m in &mixes {
@@ -144,6 +155,11 @@ fn main() {
         &rows,
     );
     println!("{t}");
+    for m in &mixes {
+        if let Some(a) = &m.annotation {
+            print!("{a}");
+        }
+    }
     println!(
         "\nReading: every mix completes on the same four coprocessors + DSP —\n\
          the multi-tasking flexibility the paper claims. Throughput degrades\n\

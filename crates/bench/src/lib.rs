@@ -22,7 +22,10 @@
 //! helpers those binaries use.
 
 pub mod microbench;
+pub mod sweep;
 pub mod synthetic;
+
+pub use sweep::{par_sweep, sweep_threads, trace_annotation, trace_flag};
 
 use eclipse_media::encoder::{EncodeStats, Encoder, EncoderConfig};
 use eclipse_media::source::{SourceConfig, SyntheticSource};

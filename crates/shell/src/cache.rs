@@ -41,7 +41,10 @@ pub struct MemSys {
 
 impl MemSys {
     /// Fetch `buf.len()` bytes at `addr` over the read bus; returns the
-    /// cycle at which the data is available.
+    /// cycle at which the data is available. The whole request is one
+    /// contiguous burst: one bus transaction, one SRAM access — callers
+    /// fetch straight into their line storage with no staging copy.
+    #[inline]
     pub fn fetch(&mut self, now: Cycle, addr: u32, buf: &mut [u8]) -> Cycle {
         let t = self.read_bus.request(now, buf.len() as u32);
         self.sram.read(addr, buf);
@@ -50,6 +53,7 @@ impl MemSys {
 
     /// Write `data` at `addr` over the write bus; returns the cycle at
     /// which the write has globally completed (safe ordering point).
+    #[inline]
     pub fn writeback(&mut self, now: Cycle, addr: u32, data: &[u8]) -> Cycle {
         let t = self.write_bus.request(now, data.len() as u32);
         self.sram.write(addr, data);
@@ -71,6 +75,18 @@ pub struct CacheConfig {
     pub prefetch: bool,
     /// How many lines ahead a prefetch reaches.
     pub prefetch_depth: u32,
+}
+
+impl CacheConfig {
+    /// The standard 64-byte-line configuration with `lines` lines and the
+    /// default prefetch depth — the shape every design-space sweep varies.
+    pub fn with_lines(lines: usize, prefetch: bool) -> Self {
+        CacheConfig {
+            lines,
+            prefetch,
+            ..CacheConfig::default()
+        }
+    }
 }
 
 impl Default for CacheConfig {
@@ -151,6 +167,11 @@ impl Line {
 pub struct StreamCache {
     cfg: CacheConfig,
     lines: Vec<Line>,
+    /// `log2(line_bytes)`, so `line_of` shifts instead of dividing.
+    line_shift: u32,
+    /// `lines.len() - 1` when the line count is a power of two,
+    /// `usize::MAX` otherwise (fall back to `%`).
+    idx_mask: usize,
     /// Cache event counters.
     pub stats: CacheStats,
 }
@@ -166,6 +187,12 @@ impl StreamCache {
         StreamCache {
             cfg,
             lines: (0..cfg.lines).map(|_| Line::empty()).collect(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            idx_mask: if cfg.lines.is_power_of_two() {
+                cfg.lines - 1
+            } else {
+                usize::MAX
+            },
             stats: CacheStats::default(),
         }
     }
@@ -178,8 +205,24 @@ impl StreamCache {
     #[inline]
     fn line_of(&self, addr: u32) -> (usize, u32) {
         let tag = addr & !(self.cfg.line_bytes - 1);
-        let idx = (tag / self.cfg.line_bytes) as usize % self.lines.len();
+        let n = (tag >> self.line_shift) as usize;
+        let idx = if self.idx_mask != usize::MAX {
+            n & self.idx_mask
+        } else {
+            n % self.lines.len()
+        };
         (idx, tag)
+    }
+
+    /// Dirty mask for `len` bytes starting at byte `off` (len >= 1).
+    #[inline]
+    fn byte_mask(off: u32, len: u32) -> u64 {
+        debug_assert!(len >= 1 && off + len <= 64);
+        if len == 64 {
+            !0
+        } else {
+            ((1u64 << len) - 1) << off
+        }
     }
 
     /// Read `buf.len()` bytes starting `offset` bytes into the cyclic
@@ -209,6 +252,24 @@ impl StreamCache {
             return done;
         }
         let (a, b) = buffer.segments(offset, buf.len() as u32);
+        // Fast path: the whole request falls inside one already-fetched
+        // line — the overwhelmingly common case for streaming access. Same
+        // stats and timing as one hit through `ensure_line`.
+        if b.is_none() {
+            let (idx, tag) = self.line_of(a.addr);
+            let in_line_off = a.addr - tag;
+            if in_line_off + a.len <= self.cfg.line_bytes {
+                let line = &self.lines[idx];
+                if line.tag == tag && line.fetched {
+                    self.stats.hits += 1;
+                    let done = line.ready_at.max(now);
+                    let s = in_line_off as usize;
+                    buf.copy_from_slice(&line.data[s..s + a.len as usize]);
+                    self.stats.stall_cycles += done - now;
+                    return done;
+                }
+            }
+        }
         let mut done = now;
         let mut buf_pos = 0usize;
         for seg in std::iter::once(a).chain(b) {
@@ -255,14 +316,25 @@ impl StreamCache {
                 return self.lines[idx].ready_at.max(now);
             }
             // Write-allocated line being read: fetch and merge under the
-            // dirty bytes.
+            // dirty bytes (8-byte groups: skip fully-dirty, bulk-copy
+            // fully-clean, blend only mixed groups).
             let mut fresh = [0u8; MAX_LINE_BYTES as usize];
             let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
             let line = &mut self.lines[idx];
-            for (i, &byte) in fresh.iter().enumerate().take(line_bytes) {
-                if line.dirty & (1 << i) == 0 {
-                    line.data[i] = byte;
+            let mut g = 0usize;
+            while g < line_bytes {
+                let glen = 8.min(line_bytes - g);
+                let gmask = ((line.dirty >> g) & 0xFF) as u8;
+                if gmask == 0 {
+                    line.data[g..g + glen].copy_from_slice(&fresh[g..g + glen]);
+                } else if gmask != 0xFF {
+                    for (i, &byte) in fresh.iter().enumerate().skip(g).take(glen) {
+                        if line.dirty & (1 << i) == 0 {
+                            line.data[i] = byte;
+                        }
+                    }
                 }
+                g += 8;
             }
             line.fetched = true;
             line.ready_at = ready;
@@ -273,16 +345,15 @@ impl StreamCache {
             }
             return ready;
         }
-        // Miss: evict if needed, then fetch.
+        // Miss: evict if needed, then fetch straight into the line (no
+        // staging copy).
         self.evict(now, mem, idx);
-        let mut fresh = [0u8; MAX_LINE_BYTES as usize];
-        let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
         let line = &mut self.lines[idx];
+        let ready = mem.fetch(now, tag, &mut line.data[..line_bytes]);
         line.tag = tag;
         line.dirty = 0;
         line.fetched = true;
         line.ready_at = ready;
-        line.data[..line_bytes].copy_from_slice(&fresh[..line_bytes]);
         if demand {
             self.stats.misses += 1;
         } else {
@@ -303,20 +374,31 @@ impl StreamCache {
         self.lines[idx] = Line::empty();
     }
 
-    /// Write the dirty bytes of a line back as contiguous runs.
+    /// Write the dirty bytes of a line back as contiguous runs, lowest
+    /// address first (the order the bus sees them, so it is part of the
+    /// simulated timing and must not change).
     fn write_dirty_runs(mem: &mut MemSys, now: Cycle, tag: u32, dirty: u64, data: &[u8]) -> Cycle {
+        let full = if data.len() >= 64 {
+            !0u64
+        } else {
+            (1u64 << data.len()) - 1
+        };
+        let mut d = dirty & full;
+        if d == full {
+            // Fully dirty line: one run covering the whole line.
+            return mem.writeback(now, tag, data);
+        }
         let mut done = now;
-        let mut i = 0usize;
-        while i < data.len() {
-            if dirty & (1 << i) != 0 {
-                let start = i;
-                while i < data.len() && dirty & (1 << i) != 0 {
-                    i += 1;
-                }
-                done = done.max(mem.writeback(now, tag + start as u32, &data[start..i]));
+        while d != 0 {
+            let start = d.trailing_zeros() as usize;
+            let run = (d >> start).trailing_ones() as usize;
+            done = done.max(mem.writeback(now, tag + start as u32, &data[start..start + run]));
+            let end = start + run;
+            d &= if end >= 64 {
+                !(!0u64 << start)
             } else {
-                i += 1;
-            }
+                !((1u64 << end) - (1u64 << start))
+            };
         }
         done
     }
@@ -344,6 +426,21 @@ impl StreamCache {
             return done;
         }
         let (a, b) = buffer.segments(offset, data.len() as u32);
+        // Fast path: the whole request lands inside one already-resident
+        // line — bulk copy plus one mask OR, no eviction possible.
+        if b.is_none() {
+            let (idx, tag) = self.line_of(a.addr);
+            let in_line_off = a.addr - tag;
+            if in_line_off + a.len <= self.cfg.line_bytes {
+                let line = &mut self.lines[idx];
+                if line.valid() && line.tag == tag {
+                    let s = in_line_off as usize;
+                    line.data[s..s + a.len as usize].copy_from_slice(data);
+                    line.dirty |= Self::byte_mask(in_line_off, a.len);
+                    return now;
+                }
+            }
+        }
         let mut data_pos = 0usize;
         for seg in std::iter::once(a).chain(b) {
             let mut addr = seg.addr;
@@ -362,10 +459,10 @@ impl StreamCache {
                     line.ready_at = now;
                 }
                 let line = &mut self.lines[idx];
-                for i in 0..chunk as usize {
-                    line.data[in_line_off as usize + i] = data[data_pos + i];
-                    line.dirty |= 1 << (in_line_off as usize + i);
-                }
+                let s = in_line_off as usize;
+                line.data[s..s + chunk as usize]
+                    .copy_from_slice(&data[data_pos..data_pos + chunk as usize]);
+                line.dirty |= Self::byte_mask(in_line_off, chunk);
                 data_pos += chunk as usize;
                 addr += chunk;
                 remaining -= chunk;
@@ -413,27 +510,34 @@ impl StreamCache {
         if self.lines.is_empty() || len == 0 {
             return now;
         }
-        let line_bytes = self.cfg.line_bytes as usize;
+        let line_bytes = self.cfg.line_bytes;
+        let n_lines = self.lines.len();
+        let (line_shift, idx_mask) = (self.line_shift, self.idx_mask);
+        let lines = &mut self.lines;
+        let stats = &mut self.stats;
         let mut done = now;
-        let mut tags = Vec::new();
-        buffer.lines_touched(offset, len, self.cfg.line_bytes, |t| tags.push(t));
-        for tag_addr in tags {
-            let (idx, tag) = self.line_of(tag_addr);
-            let line = &mut self.lines[idx];
+        buffer.lines_touched(offset, len, line_bytes, |tag_addr| {
+            let tag = tag_addr & !(line_bytes - 1);
+            let n = (tag >> line_shift) as usize;
+            let idx = if idx_mask != usize::MAX {
+                n & idx_mask
+            } else {
+                n % n_lines
+            };
+            let line = &mut lines[idx];
             if line.valid() && line.tag == tag && line.dirty != 0 {
                 let dirty = line.dirty;
-                let data = line.data;
                 line.dirty = 0;
                 done = done.max(Self::write_dirty_runs(
                     mem,
                     now,
                     tag,
                     dirty,
-                    &data[..line_bytes],
+                    &line.data[..line_bytes as usize],
                 ));
-                self.stats.writebacks += 1;
+                stats.writebacks += 1;
             }
-        }
+        });
         done
     }
 
@@ -451,14 +555,12 @@ impl StreamCache {
             return;
         }
         let len = len.min(buffer.size);
-        let mut tags = Vec::new();
-        buffer.lines_touched(offset, len, self.cfg.line_bytes, |t| tags.push(t));
-        for tag_addr in tags {
+        buffer.lines_touched(offset, len, self.cfg.line_bytes, |tag_addr| {
             let (idx, tag) = self.line_of(tag_addr);
             if !(self.lines[idx].valid() && self.lines[idx].tag == tag) {
                 self.ensure_line(now, mem, idx, tag, false);
             }
-        }
+        });
     }
 }
 
@@ -480,12 +582,7 @@ mod tests {
     }
 
     fn cache(lines: usize) -> StreamCache {
-        StreamCache::new(CacheConfig {
-            lines,
-            line_bytes: 64,
-            prefetch: false,
-            prefetch_depth: 2,
-        })
+        StreamCache::new(CacheConfig::with_lines(lines, false))
     }
 
     #[test]
@@ -568,12 +665,7 @@ mod tests {
     fn eviction_writes_back_dirty_data() {
         let mut mem = memsys();
         let buffer = CyclicBuffer::new(0, 4096);
-        let mut c = StreamCache::new(CacheConfig {
-            lines: 1,
-            line_bytes: 64,
-            prefetch: false,
-            prefetch_depth: 0,
-        });
+        let mut c = StreamCache::new(CacheConfig::with_lines(1, false));
         c.write(0, &mut mem, &buffer, 0, b"first");
         // Writing a conflicting line (same index, different tag) evicts.
         c.write(1, &mut mem, &buffer, 64, b"second");
@@ -601,12 +693,7 @@ mod tests {
         let mut mem = memsys();
         let buffer = CyclicBuffer::new(0, 1024);
         mem.sram.write(0, &[5u8; 256]);
-        let mut c = StreamCache::new(CacheConfig {
-            lines: 8,
-            line_bytes: 64,
-            prefetch: true,
-            prefetch_depth: 2,
-        });
+        let mut c = StreamCache::new(CacheConfig::with_lines(8, true));
         c.prefetch(0, &mut mem, &buffer, 0, 128);
         assert_eq!(c.stats.prefetches, 2);
         // A read far in the future: data long since arrived, zero stall.

@@ -34,24 +34,14 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 
 fn arb_cache() -> impl Strategy<Value = CacheConfig> {
     prop_oneof![
-        Just(CacheConfig {
-            lines: 0,
-            line_bytes: 64,
-            prefetch: false,
-            prefetch_depth: 0
-        }),
+        Just(CacheConfig::with_lines(0, false)),
         Just(CacheConfig {
             lines: 2,
             line_bytes: 32,
             prefetch: false,
             prefetch_depth: 0
         }),
-        Just(CacheConfig {
-            lines: 8,
-            line_bytes: 64,
-            prefetch: true,
-            prefetch_depth: 2
-        }),
+        Just(CacheConfig::with_lines(8, true)),
     ]
 }
 

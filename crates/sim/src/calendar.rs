@@ -1,14 +1,44 @@
 //! The event calendar: a priority queue of timestamped events with stable
 //! (FIFO) ordering among events scheduled for the same cycle.
+//!
+//! Two implementations share the same API and the same `(time, seq)`
+//! contract:
+//!
+//! * [`Calendar`] — the production hybrid: a near-future **bucket wheel**
+//!   (one slot per cycle over a sliding [`WHEEL_SLOTS`]-cycle window, with
+//!   a two-level occupancy bitmap for O(1) next-event search) backed by a
+//!   far-future binary heap. The simulator's schedule pattern is dense and
+//!   short-delay (step costs, bus grants, and sync latencies are almost
+//!   always well under a few thousand cycles), so nearly every event takes
+//!   the O(1) wheel path; only rare long-delay events (deep sample
+//!   intervals, far-off timeouts) pay the heap's O(log n).
+//! * [`BaselineCalendar`] — the original pure `BinaryHeap` implementation,
+//!   kept as the executable specification. The differential tests in
+//!   `tests/calendar_equivalence.rs` drive both with identical schedule
+//!   sequences and assert identical pop order, and `perf_report` times one
+//!   against the other.
+//!
+//! Host-performance rule (see `DESIGN.md` "Host performance"): swapping
+//! calendar implementations must never change simulated timing — both
+//! structures pop in exactly `(time, seq)` order, so the simulation is
+//! bit-identical regardless of which one drives it.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
 
-/// An entry in the calendar. Ordered by `(time, seq)` so that equal-time
-/// events pop in the order they were scheduled — the cornerstone of
-/// simulator determinism.
+/// Number of one-cycle slots in the near-future wheel window. Power of
+/// two; delays shorter than this take the O(1) wheel path. 4096 = 64
+/// bitmap words, exactly one summary word — and comfortably covers the
+/// simulator's step costs, bus grants, and sync latencies.
+pub const WHEEL_SLOTS: usize = 4096;
+const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+const WORDS: usize = WHEEL_SLOTS / 64;
+
+/// An entry in the far-future heap. Ordered by `(time, seq)` so that
+/// equal-time events pop in the order they were scheduled — the
+/// cornerstone of simulator determinism.
 struct Entry<E> {
     time: Cycle,
     seq: u64,
@@ -36,6 +66,77 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Two-level occupancy bitmap over the wheel slots: one bit per slot,
+/// plus a summary word with one bit per 64-slot group, so "next occupied
+/// slot at or after `i`" is a handful of shifts and `trailing_zeros`.
+struct SlotBitmap {
+    words: [u64; WORDS],
+    summary: u64,
+}
+
+impl SlotBitmap {
+    fn new() -> Self {
+        debug_assert_eq!(WORDS, 64, "summary word covers exactly 64 groups");
+        SlotBitmap {
+            words: [0; WORDS],
+            summary: 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize) {
+        self.words[slot >> 6] |= 1 << (slot & 63);
+        self.summary |= 1 << (slot >> 6);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.words[w] &= !(1 << (slot & 63));
+        if self.words[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    fn clear_all(&mut self) {
+        self.words = [0; WORDS];
+        self.summary = 0;
+    }
+
+    /// First occupied slot in `[from, WHEEL_SLOTS)`, if any.
+    #[inline]
+    fn find_from(&self, from: usize) -> Option<usize> {
+        let wi = from >> 6;
+        let w = self.words[wi] & (!0u64 << (from & 63));
+        if w != 0 {
+            return Some((wi << 6) + w.trailing_zeros() as usize);
+        }
+        if wi + 1 >= WORDS {
+            return None;
+        }
+        let s = self.summary & (!0u64 << (wi + 1));
+        if s == 0 {
+            return None;
+        }
+        let wj = s.trailing_zeros() as usize;
+        Some((wj << 6) + self.words[wj].trailing_zeros() as usize)
+    }
+
+    /// First occupied slot scanning cyclically from `from`.
+    #[inline]
+    fn find_cyclic(&self, from: usize) -> Option<usize> {
+        // If the forward search fails, every occupied slot (if any) lies
+        // in [0, from), so the restart cannot re-find a slot >= from.
+        self.find_from(from).or_else(|| {
+            if self.summary == 0 {
+                None
+            } else {
+                self.find_from(0)
+            }
+        })
+    }
+}
+
 /// A discrete-event calendar generic over the event payload `E`.
 ///
 /// The calendar owns the notion of "current time": [`Calendar::pop`]
@@ -54,8 +155,21 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(cal.pop(), Some((5, "c")));
 /// assert_eq!(cal.pop(), None);
 /// ```
+///
+/// # Structure invariants
+///
+/// Every wheel-resident event has a timestamp in `[now, now + WHEEL_SLOTS)`,
+/// so `time & WHEEL_MASK` addresses a unique slot and all events in one
+/// slot share one timestamp (their FIFO order is the slot deque's push
+/// order, which is seq order). Far-heap events were scheduled at least
+/// `WHEEL_SLOTS` cycles ahead; when a far event ties a wheel event on time,
+/// the far event necessarily has the smaller sequence number (it was
+/// scheduled at a strictly earlier `now`), so ties break toward the heap.
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
+    slots: Vec<VecDeque<E>>,
+    occupied: SlotBitmap,
+    wheel_len: usize,
+    far: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Cycle,
 }
@@ -64,6 +178,147 @@ impl<E> Calendar<E> {
     /// An empty calendar at cycle 0.
     pub fn new() -> Self {
         Calendar {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: SlotBitmap::new(),
+            wheel_len: 0,
+            far: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.far.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` to fire `delay` cycles from now.
+    #[inline]
+    pub fn schedule(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at absolute time `time` (must be `>= now`).
+    pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {} < {}",
+            time,
+            self.now
+        );
+        self.seq += 1;
+        if time - self.now < WHEEL_SLOTS as Cycle {
+            let slot = (time & WHEEL_MASK) as usize;
+            self.slots[slot].push_back(event);
+            self.occupied.set(slot);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(Entry {
+                time,
+                seq: self.seq,
+                event,
+            });
+        }
+    }
+
+    /// Timestamp of the next wheel event, if any (`now + cyclic slot
+    /// distance`, valid because all wheel timestamps lie within one window
+    /// of `now`).
+    #[inline]
+    fn wheel_peek_time(&self) -> Option<Cycle> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (self.now & WHEEL_MASK) as usize;
+        let slot = self
+            .occupied
+            .find_cyclic(start)
+            .expect("wheel_len > 0 implies an occupied slot");
+        let dist = (slot as u64).wrapping_sub(self.now) & WHEEL_MASK;
+        Some(self.now + dist)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        match (self.wheel_peek_time(), self.far.peek().map(|e| e.time)) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let wheel_time = self.wheel_peek_time();
+        let far_time = self.far.peek().map(|e| e.time);
+        let from_far = match (wheel_time, far_time) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            // On a time tie the far event was scheduled strictly earlier
+            // (smaller seq), so the heap wins.
+            (Some(w), Some(f)) => f <= w,
+        };
+        if from_far {
+            let entry = self.far.pop().expect("peeked entry present");
+            self.now = entry.time;
+            Some((entry.time, entry.event))
+        } else {
+            let time = wheel_time.expect("wheel path requires a wheel event");
+            let slot = (time & WHEEL_MASK) as usize;
+            let event = self.slots[slot].pop_front().expect("occupied slot");
+            if self.slots[slot].is_empty() {
+                self.occupied.clear(slot);
+            }
+            self.wheel_len -= 1;
+            self.now = time;
+            Some((time, event))
+        }
+    }
+
+    /// Discard all pending events, keeping `now`.
+    pub fn clear(&mut self) {
+        if self.wheel_len > 0 {
+            for slot in &mut self.slots {
+                slot.clear();
+            }
+        }
+        self.occupied.clear_all();
+        self.wheel_len = 0;
+        self.far.clear();
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original `BinaryHeap`-only calendar, kept as the executable
+/// specification of the `(time, seq)` ordering contract. Same API as
+/// [`Calendar`]; used by the differential/property tests and by
+/// `perf_report`'s calendar microbenchmark as the comparison baseline.
+pub struct BaselineCalendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> BaselineCalendar<E> {
+    /// An empty calendar at cycle 0.
+    pub fn new() -> Self {
+        BaselineCalendar {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
@@ -99,8 +354,8 @@ impl<E> Calendar<E> {
             time,
             self.now
         );
-        let seq = self.seq;
         self.seq += 1;
+        let seq = self.seq;
         self.heap.push(Entry { time, seq, event });
     }
 
@@ -122,7 +377,7 @@ impl<E> Calendar<E> {
     }
 }
 
-impl<E> Default for Calendar<E> {
+impl<E> Default for BaselineCalendar<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -183,5 +438,127 @@ mod tests {
         cal.schedule_at(10, ());
         cal.pop();
         cal.schedule_at(5, ());
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order() {
+        // Delays beyond the wheel window land in the far heap and must
+        // interleave correctly with near events.
+        let mut cal = Calendar::new();
+        cal.schedule_at(WHEEL_SLOTS as u64 * 3 + 17, "far2");
+        cal.schedule_at(5, "near1");
+        cal.schedule_at(WHEEL_SLOTS as u64 + 100, "far1");
+        cal.schedule_at(WHEEL_SLOTS as u64 - 1, "near2");
+        assert_eq!(cal.pop(), Some((5, "near1")));
+        assert_eq!(cal.pop(), Some((WHEEL_SLOTS as u64 - 1, "near2")));
+        assert_eq!(cal.pop(), Some((WHEEL_SLOTS as u64 + 100, "far1")));
+        assert_eq!(cal.pop(), Some((WHEEL_SLOTS as u64 * 3 + 17, "far2")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn far_event_beats_wheel_event_scheduled_later_at_same_time() {
+        // A far-heap event and a wheel event at the same timestamp: the
+        // far one was scheduled first (strictly smaller now), so FIFO
+        // demands it pops first.
+        let t = WHEEL_SLOTS as u64 + 50;
+        let mut cal = Calendar::new();
+        cal.schedule_at(t, "scheduled-early-via-heap");
+        cal.schedule_at(100, "advance");
+        assert_eq!(cal.pop(), Some((100, "advance")));
+        // now = 100, so t is within the window: this lands in the wheel.
+        cal.schedule_at(t, "scheduled-late-via-wheel");
+        assert_eq!(cal.pop(), Some((t, "scheduled-early-via-heap")));
+        assert_eq!(cal.pop(), Some((t, "scheduled-late-via-wheel")));
+    }
+
+    #[test]
+    fn window_advances_with_popped_time() {
+        // March time forward across many windows with a stride just under
+        // the window size; the slot mapping must stay consistent the whole
+        // way.
+        let stride = WHEEL_SLOTS as u64 - 3;
+        let mut cal = Calendar::new();
+        cal.schedule_at(0, 0u64);
+        for i in 0..50 {
+            let (t, v) = cal.pop().unwrap();
+            assert_eq!(t, i * stride);
+            assert_eq!(v, i);
+            cal.schedule_at(t + stride, v + 1);
+        }
+        let jumped = cal.now();
+        cal.clear();
+        // Reuse after a deep jump keeps the same `now`.
+        cal.schedule(3, 99u64);
+        assert_eq!(cal.pop(), Some((jumped + 3, 99)));
+    }
+
+    #[test]
+    fn dense_wraparound_traffic() {
+        // Keep ~64 events in flight with pseudo-random short delays for
+        // long enough that the wheel wraps many times; order must be
+        // non-decreasing in time throughout.
+        let mut cal = Calendar::new();
+        let mut x = 0x12345678u64;
+        for i in 0..64 {
+            cal.schedule_at(i, i);
+        }
+        let mut last = 0u64;
+        for _ in 0..100_000 {
+            let (t, _) = cal.pop().unwrap();
+            assert!(t >= last, "time went backwards: {t} < {last}");
+            last = t;
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delay = x % (WHEEL_SLOTS as u64 * 2); // near and far mix
+            cal.schedule(delay, t);
+        }
+        assert_eq!(cal.len(), 64);
+    }
+
+    #[test]
+    fn clear_then_reuse_keeps_now() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(1000, "x");
+        cal.pop();
+        cal.schedule_at(2000, "y");
+        cal.schedule_at(WHEEL_SLOTS as u64 * 2, "z");
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.now(), 1000);
+        cal.schedule(1, "after");
+        assert_eq!(cal.pop(), Some((1001, "after")));
+    }
+
+    #[test]
+    fn baseline_matches_on_mixed_sequence() {
+        // A quick inline differential check; the exhaustive property test
+        // lives in tests/calendar_equivalence.rs.
+        let mut a = Calendar::new();
+        let mut b = BaselineCalendar::new();
+        let mut x = 0xDEADBEEFu64;
+        let mut id = 0u32;
+        for round in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if round % 3 != 0 || a.is_empty() {
+                let delay = x % 10_000;
+                a.schedule(delay, id);
+                b.schedule(delay, id);
+                id += 1;
+            } else {
+                assert_eq!(a.pop(), b.pop());
+                assert_eq!(a.now(), b.now());
+            }
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.peek_time(), b.peek_time());
+        }
+        while let Some(got) = a.pop() {
+            assert_eq!(Some(got), b.pop());
+        }
+        assert!(b.is_empty());
     }
 }

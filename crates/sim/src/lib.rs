@@ -31,6 +31,6 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use calendar::Calendar;
+pub use calendar::{BaselineCalendar, Calendar};
 pub use time::{Clock, Cycle, Frequency};
 pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};

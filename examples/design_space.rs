@@ -49,21 +49,11 @@ fn main() {
     for (label, cfg) in [
         (
             "no shell caches",
-            EclipseConfig::default().with_cache(CacheConfig {
-                lines: 0,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            }),
+            EclipseConfig::default().with_cache(CacheConfig::with_lines(0, false)),
         ),
         (
             "no prefetch",
-            EclipseConfig::default().with_cache(CacheConfig {
-                lines: 8,
-                line_bytes: 64,
-                prefetch: false,
-                prefetch_depth: 0,
-            }),
+            EclipseConfig::default().with_cache(CacheConfig::with_lines(8, false)),
         ),
         (
             "32-bit data buses",

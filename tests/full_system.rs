@@ -120,12 +120,7 @@ fn architecture_timing_varies_but_data_never_does() {
     for cfg in [
         EclipseConfig::default(),
         EclipseConfig::default().with_bus_width(4),
-        EclipseConfig::default().with_cache(eclipse::shell::CacheConfig {
-            lines: 0,
-            line_bytes: 64,
-            prefetch: false,
-            prefetch_depth: 0,
-        }),
+        EclipseConfig::default().with_cache(eclipse::shell::CacheConfig::with_lines(0, false)),
         {
             let mut c = EclipseConfig::default();
             c.shell.sync_latency = 40;
