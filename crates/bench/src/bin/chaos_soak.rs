@@ -1,0 +1,196 @@
+//! Chaos soak: sweep every injected-fault class and rate across decode
+//! workloads and report per-class recovery statistics.
+//!
+//! Each design point runs the full hardware decode pipeline under one
+//! fault class (sync drop/delay, bus transfer errors, SRAM bit flips,
+//! coprocessor stalls, or input-bitstream corruption) at a fixed rate,
+//! all driven by one seed so every row reproduces exactly. The columns
+//! show how the system degrades: did the run terminate (finish, or wedge
+//! *diagnosed* by the watchdog — never a silent hang), how many faults
+//! were actually injected, and how much damage the media layer absorbed
+//! (error records skipped, macroblocks concealed, pictures still
+//! delivered to the display).
+//!
+//! Usage:
+//!   cargo run -p eclipse-bench --release --bin chaos_soak           # full sweep
+//!   cargo run -p eclipse-bench --release --bin chaos_soak -- --quick # CI smoke
+
+use eclipse_bench::{save_result, table, StreamSpec};
+use eclipse_coprocs::instance::build_decode_system;
+use eclipse_core::{EclipseConfig, RunOutcome};
+use eclipse_media::stream::GopConfig;
+use eclipse_sim::{corrupt_bytes, FaultPlan, FaultStats};
+
+const SEED: u64 = 0xC4A0_50AC;
+const WATCHDOG: u64 = 5_000_000;
+
+/// The sync/bus/SRAM/stall classes, driven through [`FaultPlan`].
+const PLAN_CLASSES: [&str; 5] = ["sync_drop", "sync_delay", "bus_error", "sram_flip", "stall"];
+
+fn plan_for(class: &str, rate: f64, seed: u64) -> FaultPlan {
+    let base = FaultPlan::with_seed(seed);
+    match class {
+        "sync_drop" => FaultPlan {
+            sync_drop_rate: rate,
+            ..base
+        },
+        "sync_delay" => FaultPlan {
+            sync_delay_rate: rate,
+            ..base
+        },
+        "bus_error" => FaultPlan {
+            bus_error_rate: rate,
+            ..base
+        },
+        "sram_flip" => FaultPlan {
+            sram_flip_rate: rate,
+            ..base
+        },
+        "stall" => FaultPlan {
+            stall_rate: rate,
+            ..base
+        },
+        other => panic!("unknown fault class {other}"),
+    }
+}
+
+fn injected(class: &str, f: &FaultStats) -> u64 {
+    match class {
+        "sync_drop" => f.sync_dropped,
+        "sync_delay" => f.sync_delayed,
+        "bus_error" => f.bus_errors,
+        "sram_flip" => f.sram_flips,
+        "stall" => f.coproc_stalls,
+        _ => f.total(),
+    }
+}
+
+fn outcome_cell(o: &RunOutcome) -> String {
+    match o {
+        RunOutcome::AllFinished => "finished".into(),
+        RunOutcome::Deadlock(tasks) => format!("deadlock({} diagnosed)", tasks.len()),
+        RunOutcome::MaxCycles => "max_cycles".into(),
+    }
+}
+
+/// One design point: decode `bitstream` under `plan` (faults may be all
+/// zero for the baseline), return the table row.
+fn run_point(
+    workload: &str,
+    class: &str,
+    rate: f64,
+    bitstream: Vec<u8>,
+    plan: Option<FaultPlan>,
+    extra_injected: u64,
+) -> Vec<String> {
+    let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
+    if let Some(p) = plan {
+        dec.system.sys.inject_faults(p);
+    }
+    dec.system.sys.set_watchdog(WATCHDOG);
+    let s = dec.system.run(20_000_000_000);
+    let frames = dec
+        .system
+        .display_frames("dec0")
+        .map(|f| f.len())
+        .unwrap_or(0);
+    vec![
+        workload.into(),
+        class.into(),
+        format!("{rate:.4}"),
+        outcome_cell(&s.outcome),
+        s.cycles.to_string(),
+        (injected(class, &s.faults) + extra_injected).to_string(),
+        s.faults.credits_lost.to_string(),
+        s.media_errors.to_string(),
+        s.concealed_mbs.to_string(),
+        frames.to_string(),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Workloads: the sweep-scale tiny stream always; the QCIF workhorse
+    // only in the full soak (CI runs --quick).
+    let mut workloads: Vec<(&str, StreamSpec)> = vec![(
+        "tiny",
+        StreamSpec {
+            frames: 4,
+            gop: GopConfig { n: 4, m: 2 },
+            ..StreamSpec::tiny()
+        },
+    )];
+    if !quick {
+        workloads.push(("qcif", StreamSpec::qcif()));
+    }
+    let rates: &[f64] = if quick { &[0.01] } else { &[0.001, 0.01, 0.05] };
+
+    let mut rows = Vec::new();
+    for (wname, spec) in &workloads {
+        let (bitstream, _) = spec.encode();
+
+        // Faults-off baseline: must finish with zero faults and errors.
+        let base = run_point(wname, "none", 0.0, bitstream.clone(), None, 0);
+        assert_eq!(base[3], "finished", "faults-off baseline must finish");
+        assert_eq!(base[5], "0", "faults-off baseline must inject nothing");
+        rows.push(base);
+
+        for class in PLAN_CLASSES {
+            for &rate in rates {
+                rows.push(run_point(
+                    wname,
+                    class,
+                    rate,
+                    bitstream.clone(),
+                    Some(plan_for(class, rate, SEED)),
+                    0,
+                ));
+            }
+        }
+
+        // Input-stream corruption (outside FaultPlan: damages the bytes
+        // before the pipeline ever sees them; spares the sequence header
+        // that sizes the frame arena).
+        for &rate in rates {
+            let mut damaged = bitstream.clone();
+            let flipped = corrupt_bytes(&mut damaged[16..], rate, SEED);
+            rows.push(run_point(wname, "bitstream", rate, damaged, None, flipped));
+        }
+    }
+
+    let report = table(
+        &[
+            "workload",
+            "class",
+            "rate",
+            "outcome",
+            "cycles",
+            "injected",
+            "credits_lost",
+            "media_errors",
+            "concealed",
+            "frames_out",
+        ],
+        &rows,
+    );
+    print!("{report}");
+    save_result(
+        if quick {
+            "chaos_soak_quick.txt"
+        } else {
+            "chaos_soak.txt"
+        },
+        &report,
+    );
+
+    // Soak invariant: every run terminated — a wedge is acceptable only
+    // when diagnosed by the watchdog/deadlock detector.
+    for row in &rows {
+        assert_ne!(
+            row[3], "max_cycles",
+            "run {}/{}/{} neither finished nor produced a deadlock diagnosis",
+            row[0], row[1], row[2]
+        );
+    }
+}

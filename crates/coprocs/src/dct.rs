@@ -41,6 +41,8 @@ struct DctTask {
     /// For framed streams: coded blocks remaining in the current MB.
     blocks_left: u8,
     blocks_done: u64,
+    /// Damaged records skipped instead of crashing.
+    errors_recovered: u64,
 }
 
 /// The DCT coprocessor model.
@@ -94,6 +96,7 @@ impl Coprocessor for DctCoproc {
                 framing,
                 blocks_left: 0,
                 blocks_done: 0,
+                errors_recovered: 0,
             },
         );
         // Input hint of 1: the EOS record is a single byte.
@@ -102,6 +105,10 @@ impl Coprocessor for DctCoproc {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn error_counters(&self) -> (u64, u64) {
+        (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)
     }
 
     fn step(&mut self, task: TaskIdx, info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
@@ -166,7 +173,7 @@ impl Coprocessor for DctCoproc {
                     None => return StepResult::Blocked,
                     Some(b) => b,
                 };
-                let block = cblk_from_body(&rec[1..]).unwrap();
+                let block = cblk_from_body(&rec[1..]).unwrap_or([0i16; 64]);
                 let transformed = if info == INFO_FDCT {
                     fdct2d(&block)
                 } else {
@@ -185,7 +192,16 @@ impl Coprocessor for DctCoproc {
                 }
                 StepResult::Done
             }
-            other => panic!("DCT: unexpected tag {other:#x}"),
+            _ => {
+                // Unknown tag (bit-flipped in SRAM): skip one byte and
+                // rescan for the next plausible record boundary.
+                let mut b = [0u8; 1];
+                r.read(ctx, &mut b);
+                r.commit(ctx);
+                ctx.compute(1);
+                t.errors_recovered += 1;
+                StepResult::Done
+            }
         }
     }
 }

@@ -99,6 +99,8 @@ pub struct DemuxTaskConfig {
 struct DisplayTask {
     frames: Vec<Option<Frame>>,
     cur: Option<(PicRec, Frame, u32)>,
+    /// Damaged records tolerated instead of crashing.
+    errors_recovered: u64,
 }
 
 struct SourceTask {
@@ -137,6 +139,8 @@ struct AudioTask {
 struct DemuxTask {
     cfg: DemuxTaskConfig,
     pos: u32,
+    /// Corrupt packets dropped.
+    errors_recovered: u64,
 }
 
 struct MonitorTask {
@@ -144,11 +148,15 @@ struct MonitorTask {
     checksum: u64,
     records: u64,
     done: bool,
+    /// Damaged records tolerated instead of crashing.
+    errors_recovered: u64,
 }
 
 struct PcmSinkTask {
     samples: Vec<i16>,
     done: bool,
+    /// Damaged records tolerated instead of crashing.
+    errors_recovered: u64,
 }
 
 enum SwTask {
@@ -281,6 +289,7 @@ impl Coprocessor for DspCoproc {
                     SwTask::Display(DisplayTask {
                         frames: Vec::new(),
                         cur: None,
+                        errors_recovered: 0,
                     }),
                 );
                 (vec![1], vec![])
@@ -374,6 +383,7 @@ impl Coprocessor for DspCoproc {
                         checksum: 0xCBF2_9CE4_8422_2325,
                         records: 0,
                         done: false,
+                        errors_recovered: 0,
                     }),
                 );
                 (vec![1], vec![])
@@ -390,8 +400,14 @@ impl Coprocessor for DspCoproc {
                     "demux '{}' needs one output per pid",
                     decl.name
                 );
-                self.tasks
-                    .insert(task, SwTask::Demux(DemuxTask { cfg, pos: 0 }));
+                self.tasks.insert(
+                    task,
+                    SwTask::Demux(DemuxTask {
+                        cfg,
+                        pos: 0,
+                        errors_recovered: 0,
+                    }),
+                );
                 (vec![], vec![0; decl.outputs.len()])
             }
             "pcm_sink" => {
@@ -400,6 +416,7 @@ impl Coprocessor for DspCoproc {
                     SwTask::PcmSink(PcmSinkTask {
                         samples: Vec::new(),
                         done: false,
+                        errors_recovered: 0,
                     }),
                 );
                 (vec![1], vec![])
@@ -410,6 +427,21 @@ impl Coprocessor for DspCoproc {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn error_counters(&self) -> (u64, u64) {
+        let errors = self
+            .tasks
+            .values()
+            .map(|t| match t {
+                SwTask::Display(t) => t.errors_recovered,
+                SwTask::Monitor(t) => t.errors_recovered,
+                SwTask::Demux(t) => t.errors_recovered,
+                SwTask::PcmSink(t) => t.errors_recovered,
+                _ => 0,
+            })
+            .sum();
+        (errors, 0)
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
@@ -480,7 +512,16 @@ fn step_monitor(t: &mut MonitorTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
             ctx.compute(cost.per_record + buf.len() as u64 / 4);
             StepResult::Done
         }
-        other => panic!("monitor: unexpected tag {other:#x}"),
+        _ => {
+            // Unknown tag (bit-flipped in SRAM): skip one byte and
+            // rescan for the next plausible record boundary.
+            let mut b = [0u8; 1];
+            r.read(ctx, &mut b);
+            r.commit(ctx);
+            ctx.compute(1);
+            t.errors_recovered += 1;
+            StepResult::Done
+        }
     }
 }
 
@@ -511,7 +552,15 @@ fn step_demux(t: &mut DemuxTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> StepR
     }
     let mut packet = [0u8; PACKET_BYTES];
     ctx.dram_read(t.cfg.ts_addr + t.pos, &mut packet);
-    let (pid, payload) = parse_packet(&packet).expect("corrupt transport stream");
+    // A corrupt packet (bad sync byte, bad header checksum) is dropped
+    // whole, like a real demux: the packet framing is fixed-size, so the
+    // stream re-synchronizes at the next packet boundary.
+    let Ok((pid, payload)) = parse_packet(&packet) else {
+        ctx.compute(cost.per_record);
+        t.pos += PACKET_BYTES as u32;
+        t.errors_recovered += 1;
+        return StepResult::Done;
+    };
     if let Some(port) = t.cfg.pids.iter().position(|&p| p == pid) {
         let mut w = StepWriter::new(port as PortId);
         w.stage(&(payload.len() as u16).to_le_bytes());
@@ -644,7 +693,15 @@ fn step_pcm_sink(t: &mut PcmSinkTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> 
             ctx.compute(cost.per_record + payload.len() as u64 * cost.per_byte);
             StepResult::Done
         }
-        other => panic!("pcm_sink: unexpected tag {other:#x}"),
+        _ => {
+            // Unknown tag: skip one byte and rescan.
+            let mut b = [0u8; 1];
+            r.read(ctx, &mut b);
+            r.commit(ctx);
+            ctx.compute(1);
+            t.errors_recovered += 1;
+            StepResult::Done
+        }
     }
 }
 
@@ -667,9 +724,22 @@ fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
                 None => return StepResult::Blocked,
                 Some(b) => b,
             };
-            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            // Bound the geometry (a corrupt record could name a frame
+            // too large to allocate); drop bad PIC records and let the
+            // MB-without-PIC path below swallow their macroblocks.
+            let pic = PicRec::from_body(&body[1..])
+                .filter(|p| p.mb_count() > 0 && p.mb_cols <= 256 && p.mb_rows <= 256);
             r.commit(ctx);
             ctx.compute(cost.per_record);
+            let Some(pic) = pic else {
+                t.errors_recovered += 1;
+                return StepResult::Done;
+            };
+            if t.cur.is_some() {
+                // The previous picture never completed (records lost
+                // upstream): drop the partial frame.
+                t.errors_recovered += 1;
+            }
             let frame = Frame::new(pic.mb_cols as usize * 16, pic.mb_rows as usize * 16);
             if t.frames.len() <= pic.temporal_ref as usize {
                 t.frames.resize(pic.temporal_ref as usize + 1, None);
@@ -678,8 +748,6 @@ fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
             StepResult::Done
         }
         TAG_MB => {
-            let (pic, _, _) = t.cur.as_ref().expect("MB before PIC on display stream");
-            let pic = *pic;
             if !r.need(ctx, 1 + records::PIX_REC_BYTES) {
                 return StepResult::Blocked;
             }
@@ -689,7 +757,14 @@ fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
             r.read(ctx, &mut pix);
             r.commit(ctx);
             ctx.compute(cost.per_record + records::PIX_REC_BYTES as u64 * cost.per_byte);
-            let blocks = pix_from_bytes(&pix).unwrap();
+            let Some((pic, _, _)) = t.cur.as_ref() else {
+                // MB with no live picture (its PIC record was damaged
+                // and dropped): the bytes are consumed, nothing shown.
+                t.errors_recovered += 1;
+                return StepResult::Done;
+            };
+            let pic = *pic;
+            let blocks = pix_from_bytes(&pix).unwrap_or([[0i16; 64]; 6]);
             let (_, frame, mb_idx) = t.cur.as_mut().unwrap();
             let (mbx, mby) = (*mb_idx % pic.mb_cols as u32, *mb_idx / pic.mb_cols as u32);
             frame.set_macroblock(mbx as usize, mby as usize, &blocks);
@@ -700,7 +775,15 @@ fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
             }
             StepResult::Done
         }
-        other => panic!("display: unexpected tag {other:#x}"),
+        _ => {
+            // Unknown tag: skip one byte and rescan.
+            let mut b = [0u8; 1];
+            r.read(ctx, &mut b);
+            r.commit(ctx);
+            ctx.compute(1);
+            t.errors_recovered += 1;
+            StepResult::Done
+        }
     }
 }
 

@@ -106,8 +106,23 @@ impl MpegBuilder {
         bitstream: Vec<u8>,
         bufs: DecodeAppConfig,
     ) -> SequenceHeader {
+        self.try_add_decode(prefix, bitstream, bufs)
+            .expect("invalid bitstream: no sequence header")
+    }
+
+    /// Fallible [`MpegBuilder::add_decode`] for untrusted bitstreams: a
+    /// missing or nonsensical sequence header (which would size the
+    /// frame arena) is a typed error instead of a panic. Damage *after*
+    /// the header is the hardened pipeline's problem and is fine here.
+    pub fn try_add_decode(
+        &mut self,
+        prefix: &str,
+        bitstream: Vec<u8>,
+        bufs: DecodeAppConfig,
+    ) -> Result<SequenceHeader, eclipse_media::stream::StreamError> {
         let mut r = eclipse_media::bits::BitReader::new(&bitstream);
-        let seq = read_sequence_header(&mut r).expect("invalid bitstream: no sequence header");
+        let seq = read_sequence_header(&mut r)?;
+        seq.validate()?;
         let bs_addr = self.dram_alloc(bitstream.len() as u32, 64);
         let arena = self.dram_alloc(
             arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS),
@@ -128,7 +143,7 @@ impl MpegBuilder {
         );
         self.bitstream_loads.push((bs_addr, bitstream));
         self.decode_apps.push((prefix.to_string(), bufs));
-        seq
+        Ok(seq)
     }
 
     /// Like [`MpegBuilder::add_decode`], with the reconstructed stream
@@ -380,12 +395,20 @@ pub struct DecodeSystem {
 
 /// Build a system decoding one bitstream with default buffers and costs.
 pub fn build_decode_system(cfg: EclipseConfig, bitstream: Vec<u8>) -> DecodeSystem {
+    try_build_decode_system(cfg, bitstream).expect("invalid bitstream: no sequence header")
+}
+
+/// Fallible [`build_decode_system`] for untrusted bitstreams.
+pub fn try_build_decode_system(
+    cfg: EclipseConfig,
+    bitstream: Vec<u8>,
+) -> Result<DecodeSystem, eclipse_media::stream::StreamError> {
     let mut b = MpegBuilder::new(cfg, InstanceCosts::default());
-    let seq = b.add_decode("dec0", bitstream, DecodeAppConfig::default());
-    DecodeSystem {
+    let seq = b.try_add_decode("dec0", bitstream, DecodeAppConfig::default())?;
+    Ok(DecodeSystem {
         system: b.build(),
         seq,
-    }
+    })
 }
 
 /// Build the full Figure-8 instance with an arbitrary app mix — alias of

@@ -111,6 +111,10 @@ struct McTask {
     /// Statistics.
     mbs_done: u64,
     ref_bytes_fetched: u64,
+    /// Damaged records tolerated instead of crashing.
+    errors_recovered: u64,
+    /// Macroblocks reconstructed from a fallback prediction.
+    mbs_concealed: u64,
 }
 
 enum TaskKind {
@@ -194,6 +198,13 @@ fn fetch_pred(
 }
 
 /// Build this macroblock's prediction according to the wire mode.
+///
+/// Damaged streams may name a reference that does not exist yet (e.g. a
+/// P picture arriving before any anchor after an I picture was lost) or
+/// carry an invalid mode code. Those cases fall back to a flat zero
+/// prediction instead of crashing; the third return value flags the
+/// fallback so the caller can count the concealment *after* the step
+/// commits.
 #[allow(clippy::too_many_arguments)]
 fn predict(
     ctx: &mut StepCtx<'_>,
@@ -203,46 +214,44 @@ fn predict(
     bwd: MotionVector,
     mbx: u32,
     mby: u32,
-) -> ([[i16; 64]; 6], u64) {
+) -> ([[i16; 64]; 6], u64, bool) {
     let arena = t.cfg.arena_base;
+    let flat = ([[0i16; 64]; 6], 0, true);
     match mode_code {
-        records::mode::INTRA => ([[0i16; 64]; 6], 0),
+        records::mode::INTRA => ([[0i16; 64]; 6], 0, false),
         records::mode::SKIP | records::mode::FWD => {
-            let slot = t
-                .slots
-                .last_anchor
-                .expect("forward prediction without a reference");
+            // B pictures predict forward from the *previous* anchor.
+            let slot = if t.pic.map(|p| p.ptype) == Some(PictureType::B) {
+                t.slots.prev_anchor
+            } else {
+                t.slots.last_anchor
+            };
+            let Some(slot) = slot else { return flat };
             let mv = if mode_code == records::mode::SKIP {
                 MotionVector::default()
             } else {
                 fwd
             };
-            // B pictures predict forward from the *previous* anchor.
-            let slot = if t.pic.map(|p| p.ptype) == Some(PictureType::B) {
-                t.slots
-                    .prev_anchor
-                    .expect("B forward prediction without past anchor")
-            } else {
-                slot
-            };
-            (fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, mv), 384)
+            (
+                fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, mv),
+                384,
+                false,
+            )
         }
         records::mode::BWD => {
-            let slot = t
-                .slots
-                .last_anchor
-                .expect("backward prediction without future anchor");
-            (fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, bwd), 384)
+            let Some(slot) = t.slots.last_anchor else {
+                return flat;
+            };
+            (
+                fetch_pred(ctx, &t.fs, arena, slot, mbx, mby, bwd),
+                384,
+                false,
+            )
         }
         records::mode::BI => {
-            let fslot = t
-                .slots
-                .prev_anchor
-                .expect("bi prediction without past anchor");
-            let bslot = t
-                .slots
-                .last_anchor
-                .expect("bi prediction without future anchor");
+            let (Some(fslot), Some(bslot)) = (t.slots.prev_anchor, t.slots.last_anchor) else {
+                return flat;
+            };
             let f = fetch_pred(ctx, &t.fs, arena, fslot, mbx, mby, fwd);
             let b = fetch_pred(ctx, &t.fs, arena, bslot, mbx, mby, bwd);
             let mut out = [[0i16; 64]; 6];
@@ -251,9 +260,9 @@ fn predict(
                     out[blk][i] = (f[blk][i] + b[blk][i] + 1) >> 1;
                 }
             }
-            (out, 768)
+            (out, 768, false)
         }
-        other => panic!("bad prediction mode {other}"),
+        _ => flat,
     }
 }
 
@@ -266,18 +275,27 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
     };
     match tag {
         TAG_EOS => {
-            let mut b = [0u8; 1];
-            r_mv.read(ctx, &mut b);
-            // Drain the residual stream's EOS as well.
+            // Drain the residual stream's EOS as well. A damaged stream
+            // can leave stray residual records behind; eat them one byte
+            // per step until the residual EOS lines up, so the graph
+            // still terminates instead of wedging.
             let mut r_res = StepReader::new(IN_RESID);
             match r_res.peek_tag(ctx) {
                 None => return StepResult::Blocked,
-                Some(TAG_EOS) => {
+                Some(TAG_EOS) => {}
+                Some(_) => {
                     let mut b = [0u8; 1];
                     r_res.read(ctx, &mut b);
+                    r_res.commit(ctx);
+                    ctx.compute(1);
+                    t.errors_recovered += 1;
+                    return StepResult::Done;
                 }
-                Some(other) => panic!("mc: residual stream out of sync at EOS (tag {other:#x})"),
             }
+            let mut b = [0u8; 1];
+            r_mv.read(ctx, &mut b);
+            let mut b = [0u8; 1];
+            r_res.read(ctx, &mut b);
             let mut w = StepWriter::new(OUT_PIX);
             w.stage(&[TAG_EOS]);
             if !w.reserve(ctx) {
@@ -293,7 +311,21 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
                 None => return StepResult::Blocked,
                 Some(b) => b,
             };
-            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            // Validate against the configured geometry: a corrupt PIC
+            // record (bad type byte, zero or oversized dimensions) would
+            // break MB indexing and the frame-store writes. Drop it; the
+            // picture's MBs are swallowed by the MB-without-PIC path.
+            let pic = PicRec::from_body(&body[1..]).filter(|p| {
+                p.mb_count() > 0
+                    && p.mb_cols as u32 <= t.cfg.width.div_ceil(16)
+                    && p.mb_rows as u32 <= t.cfg.height.div_ceil(16)
+            });
+            let Some(pic) = pic else {
+                r_mv.commit(ctx);
+                ctx.compute(1);
+                t.errors_recovered += 1;
+                return StepResult::Done;
+            };
             let mut w = StepWriter::new(OUT_PIX);
             w.stage(&body);
             if !w.reserve(ctx) {
@@ -315,15 +347,43 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             StepResult::Done
         }
         TAG_MB => {
-            let pic = t.pic.expect("MB before PIC on mv stream");
             let hdr = match r_mv.take::<{ records::MBMV_REC_BYTES as usize }>(ctx) {
                 None => return StepResult::Blocked,
                 Some(b) => b,
             };
-            let (mode_code, cbp, fwd, bwd) = mbmv_from_body(&hdr[1..]).unwrap();
+            let (mode_code, cbp, fwd, bwd) = mbmv_from_body(&hdr[1..]).unwrap_or((
+                records::mode::INTRA,
+                hdr[2],
+                MotionVector::default(),
+                MotionVector::default(),
+            ));
+            let Some(pic) = t.pic else {
+                // MB with no live picture (its PIC record was damaged and
+                // dropped): consume the header and the residual blocks
+                // its cbp claims so both streams stay record-aligned,
+                // and emit nothing.
+                let mut r_res = StepReader::new(IN_RESID);
+                for blk in 0..6 {
+                    if cbp & (1 << (5 - blk)) == 0 {
+                        continue;
+                    }
+                    if r_res
+                        .take::<{ records::CBLK_REC_BYTES as usize }>(ctx)
+                        .is_none()
+                    {
+                        return StepResult::Blocked;
+                    }
+                }
+                r_mv.commit(ctx);
+                r_res.commit(ctx);
+                ctx.compute(1);
+                t.errors_recovered += 1;
+                return StepResult::Done;
+            };
             // Collect the residual blocks for the coded blocks.
             let mut r_res = StepReader::new(IN_RESID);
             let mut residuals = [[0i16; 64]; 6];
+            let mut bad_residual = false;
             for (blk, res) in residuals.iter_mut().enumerate() {
                 if cbp & (1 << (5 - blk)) == 0 {
                     continue;
@@ -332,14 +392,19 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
                     None => return StepResult::Blocked,
                     Some(b) => b,
                 };
-                assert_eq!(rec[0], TAG_MB, "mc: expected residual block");
-                *res = cblk_from_body(&rec[1..]).unwrap();
+                if rec[0] == TAG_MB {
+                    *res = cblk_from_body(&rec[1..]).unwrap_or([0i16; 64]);
+                } else {
+                    // Desynced residual record: substitute zeros (the
+                    // bytes are consumed either way).
+                    bad_residual = true;
+                }
             }
             let (mbx, mby) = (
                 t.mb_index % pic.mb_cols as u32,
                 t.mb_index / pic.mb_cols as u32,
             );
-            let (pred, fetch_bytes) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
+            let (pred, fetch_bytes, fallback) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
             let mut recon = [[0i16; 64]; 6];
             let mut coded_blocks = 0u64;
             for blk in 0..6 {
@@ -370,6 +435,12 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             ctx.compute(cost.per_mb + coded_blocks * cost.per_block_add);
             t.ref_bytes_fetched += fetch_bytes;
             t.mbs_done += 1;
+            if fallback {
+                t.mbs_concealed += 1;
+            }
+            if bad_residual {
+                t.errors_recovered += 1;
+            }
             t.mb_index += 1;
             if t.mb_index == pic.mb_count() {
                 if pic.ptype != PictureType::B {
@@ -385,7 +456,16 @@ fn step_mc(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResult {
             }
             StepResult::Done
         }
-        other => panic!("mc: unexpected tag {other:#x} on mv stream"),
+        _ => {
+            // Unknown tag (bit-flipped in SRAM): skip one byte and
+            // rescan for the next plausible record boundary.
+            let mut b = [0u8; 1];
+            r_mv.read(ctx, &mut b);
+            r_mv.commit(ctx);
+            ctx.compute(1);
+            t.errors_recovered += 1;
+            StepResult::Done
+        }
     }
 }
 
@@ -878,7 +958,7 @@ fn step_recon(t: &mut McTask, cost: &McCost, ctx: &mut StepCtx<'_>) -> StepResul
                     t.mb_index % pic.mb_cols as u32,
                     t.mb_index / pic.mb_cols as u32,
                 );
-                let (pred, fetch_bytes) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
+                let (pred, fetch_bytes, _) = predict(ctx, t, mode_code, fwd, bwd, mbx, mby);
                 let mut recon = [[0i16; 64]; 6];
                 for blk in 0..6 {
                     for i in 0..64 {
@@ -951,6 +1031,8 @@ impl Coprocessor for McMeCoproc {
             pic_spans: Vec::new(),
             mbs_done: 0,
             ref_bytes_fetched: 0,
+            errors_recovered: 0,
+            mbs_concealed: 0,
         };
         match decl.function.as_str() {
             "mc" => {
@@ -979,6 +1061,20 @@ impl Coprocessor for McMeCoproc {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn error_counters(&self) -> (u64, u64) {
+        let mut errors = 0;
+        let mut concealed = 0;
+        for kind in self.tasks.values() {
+            let t = match kind {
+                TaskKind::Mc(t) | TaskKind::Recon(t) => t,
+                TaskKind::Me(t) => &t.inner,
+            };
+            errors += t.errors_recovered;
+            concealed += t.mbs_concealed;
+        }
+        (errors, concealed)
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

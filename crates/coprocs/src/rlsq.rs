@@ -50,6 +50,9 @@ struct RlsqTask {
     /// Statistics.
     coefs_processed: u64,
     blocks_processed: u64,
+    /// Decode-path records that arrived damaged (SRAM faults upstream)
+    /// and were skipped or zero-substituted instead of crashing.
+    errors_recovered: u64,
 }
 
 /// The RLSQ coprocessor model.
@@ -101,6 +104,7 @@ impl Coprocessor for RlsqCoproc {
                 dc_pred: [128; 3],
                 coefs_processed: 0,
                 blocks_processed: 0,
+                errors_recovered: 0,
             },
         );
         // Input hints must not exceed the smallest record (the 1-byte
@@ -114,6 +118,10 @@ impl Coprocessor for RlsqCoproc {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn error_counters(&self) -> (u64, u64) {
+        (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
@@ -155,14 +163,24 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
                 None => return StepResult::Blocked,
                 Some(b) => b,
             };
-            let pic = PicRec::from_body(&body[1..]).expect("bad PIC record");
+            match PicRec::from_body(&body[1..]) {
+                Some(pic) => t.pic = Some(pic),
+                // Damaged picture record (an upstream SRAM fault): keep
+                // the previous picture context and move on.
+                None => t.errors_recovered += 1,
+            }
             ctx.compute(8);
             r.commit(ctx);
-            t.pic = Some(pic);
             StepResult::Done
         }
         TAG_MB => {
-            let pic = t.pic.expect("MB record before PIC record");
+            // A damaged stream can deliver an MB record before any valid
+            // PIC record; dequantize with a default scale instead of
+            // crashing (the output is concealment fodder anyway).
+            let (qscale, mut errs) = match t.pic {
+                Some(pic) => (pic.qscale, 0u64),
+                None => (8, 1),
+            };
             let hdr = match r.take::<{ records::MB_REC_BYTES as usize }>(ctx) {
                 None => return StepResult::Blocked,
                 Some(b) => b,
@@ -173,8 +191,16 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
             let mut cycles = cost.per_mb;
             let mut coefs: u64 = 0;
             let mut blocks: u64 = 0;
+            let mut corrupt = false;
             for blk in 0..6 {
                 if cbp & (1 << (5 - blk)) == 0 {
+                    continue;
+                }
+                if corrupt {
+                    // Zero-substitute the rest so the CBLK count still
+                    // matches this record's coded-block pattern.
+                    w.stage(&cblk_to_bytes(&[0i16; 64]));
+                    blocks += 1;
                     continue;
                 }
                 // Parse one block: [dc if intra] nsym, then symbols.
@@ -191,6 +217,16 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
                     None => return StepResult::Blocked,
                     Some(b) => u16::from_le_bytes(b) as u32,
                 };
+                // At most 64 symbols fit in an 8x8 block; a larger count
+                // is a corrupted length field, and waiting for that many
+                // bytes could exceed the buffer and deadlock the graph.
+                if nsym > 64 {
+                    errs += 1;
+                    corrupt = true;
+                    w.stage(&cblk_to_bytes(&[0i16; 64]));
+                    blocks += 1;
+                    continue;
+                }
                 if !r.need(ctx, nsym * 3) {
                     return StepResult::Blocked;
                 }
@@ -203,15 +239,21 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
                         level: i16::from_le_bytes([sb[1], sb[2]]),
                     });
                 }
-                let mut levels =
-                    rle_decode(&symbols).expect("corrupt token stream: block overflow");
+                let mut levels = match rle_decode(&symbols) {
+                    Ok(levels) => levels,
+                    Err(_) => {
+                        // Run/level data overflows the block: zero it.
+                        errs += 1;
+                        [0i16; 64]
+                    }
+                };
                 if let Some(dc) = dc {
                     levels[0] = dc;
                 }
                 let dequant = if intra {
-                    dequant_intra(&levels, pic.qscale)
+                    dequant_intra(&levels, qscale)
                 } else {
-                    dequant_inter(&levels, pic.qscale)
+                    dequant_inter(&levels, qscale)
                 };
                 w.stage(&cblk_to_bytes(&dequant));
                 cycles += cost.per_block + (nsym as u64 + intra as u64) * cost.per_coef;
@@ -226,9 +268,20 @@ fn step_decode(t: &mut RlsqTask, cost: &RlsqCost, ctx: &mut StepCtx<'_>) -> Step
             ctx.compute(cycles);
             t.coefs_processed += coefs;
             t.blocks_processed += blocks;
+            t.errors_recovered += errs;
             StepResult::Done
         }
-        other => panic!("RLSQ: unexpected tag {other:#x} on token stream"),
+        other => {
+            // Unknown tag (bit-flipped in SRAM): skip one byte and rescan
+            // for the next plausible record boundary.
+            let _ = other;
+            let mut b = [0u8; 1];
+            r.read(ctx, &mut b);
+            r.commit(ctx);
+            ctx.compute(1);
+            t.errors_recovered += 1;
+            StepResult::Done
+        }
     }
 }
 

@@ -25,9 +25,10 @@ use std::collections::HashMap;
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::bits::BitReader;
+use eclipse_media::motion::PredictionMode;
 use eclipse_media::stream::{
     read_mb_header, read_picture_header, read_sequence_header, SequenceHeader, MARKER_END,
-    MARKER_PIC,
+    MARKER_PIC, MARKER_SEQ,
 };
 use eclipse_media::vlc::{get_block, get_sev};
 use eclipse_shell::{PortId, TaskIdx};
@@ -86,6 +87,12 @@ enum VldState {
     Seq,
     PicOrEnd,
     Mb,
+    /// Error recovery: finish concealing the damaged picture, then scan
+    /// byte by byte for the next start marker.
+    Recover,
+    /// Terminal drain after unrecoverable damage or truncation: emit
+    /// end-of-stream records so downstream tasks shut down cleanly.
+    Eos,
 }
 
 struct VldTask {
@@ -111,6 +118,59 @@ struct VldTask {
     /// Statistics: total bits parsed, macroblocks decoded.
     bits_parsed: u64,
     mbs_decoded: u64,
+    /// Graceful degradation: concealment records still owed for the
+    /// picture damaged by the current error, recovery-in-progress flag
+    /// (so one corrupt region counts as one error), and counters.
+    conceal_left: u32,
+    in_recovery: bool,
+    errors_recovered: u64,
+    mbs_concealed: u64,
+}
+
+impl VldTask {
+    /// True when no byte beyond `fetched` can ever arrive.
+    fn stream_exhausted(&self) -> bool {
+        match self.cfg.source {
+            VldSource::Dram { len, .. } => self.fetched.len() >= len as usize,
+            VldSource::Port => self.source_done,
+        }
+    }
+
+    /// Enter recovery (idempotent while one corrupt region is being
+    /// skipped), owing `conceal` concealment macroblocks.
+    fn begin_recovery(&mut self, conceal: u32) {
+        if !self.in_recovery {
+            self.in_recovery = true;
+            self.errors_recovered += 1;
+        }
+        self.conceal_left = conceal;
+        self.mb_left = 0;
+        self.state = VldState::Recover;
+    }
+
+    /// Scan the fetched bytes from the committed position for the next
+    /// start marker. Positions `bit_pos` at the marker and returns it, or
+    /// advances `bit_pos` to just short of the fetch horizon (keeping a
+    /// 3-byte marker prefix) and returns `None` so the caller can fetch
+    /// more and rescan.
+    fn resync_scan(&mut self) -> Option<u32> {
+        let mut p = self.bit_pos.div_ceil(8);
+        while p + 4 <= self.fetched.len() {
+            let m = u32::from_be_bytes([
+                self.fetched[p],
+                self.fetched[p + 1],
+                self.fetched[p + 2],
+                self.fetched[p + 3],
+            ]);
+            if m == MARKER_SEQ || m == MARKER_PIC || m == MARKER_END {
+                self.bit_pos = p * 8;
+                return Some(m);
+            }
+            p += 1;
+        }
+        self.bit_pos = self.fetched.len().saturating_sub(3) * 8;
+        None
+    }
 }
 
 /// The VLD coprocessor model.
@@ -241,6 +301,10 @@ impl Coprocessor for VldCoproc {
                 dc_pred: [128; 3],
                 bits_parsed: 0,
                 mbs_decoded: 0,
+                conceal_left: 0,
+                in_recovery: false,
+                errors_recovered: 0,
+                mbs_concealed: 0,
             },
         );
         // Output hints: a header-sized window on both streams keeps the
@@ -255,6 +319,12 @@ impl Coprocessor for VldCoproc {
         self
     }
 
+    fn error_counters(&self) -> (u64, u64) {
+        self.tasks.values().fold((0, 0), |(e, c), t| {
+            (e + t.errors_recovered, c + t.mbs_concealed)
+        })
+    }
+
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
         let cost = self.cost;
         let t = self.tasks.get_mut(&task).expect("unconfigured VLD task");
@@ -266,7 +336,16 @@ impl Coprocessor for VldCoproc {
                 }
                 let mut r = BitReader::new(&t.fetched);
                 r.seek(t.bit_pos);
-                let seq = read_sequence_header(&mut r).expect("corrupt bitstream: sequence header");
+                let seq = match read_sequence_header(&mut r) {
+                    Ok(seq) if seq.validate().is_ok() => seq,
+                    _ => {
+                        // Corrupt head: hunt for a later start marker
+                        // instead of crashing the whole pipeline.
+                        ctx.compute(cost.per_header);
+                        t.begin_recovery(0);
+                        return StepResult::Done;
+                    }
+                };
                 ctx.compute(cost.per_header);
                 t.bits_parsed += (r.bit_pos() - t.bit_pos) as u64;
                 t.bit_pos = r.bit_pos();
@@ -281,7 +360,30 @@ impl Coprocessor for VldCoproc {
                 let mut r = BitReader::new(&t.fetched);
                 r.seek(t.bit_pos);
                 r.byte_align();
-                let marker = r.clone().get_bits(32).expect("corrupt bitstream: marker");
+                let marker = match r.clone().get_bits(32) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        // Truncated between pictures.
+                        if t.stream_exhausted() {
+                            t.state = VldState::Eos;
+                            if !t.in_recovery {
+                                t.in_recovery = true;
+                                t.errors_recovered += 1;
+                            }
+                        } else {
+                            t.begin_recovery(0);
+                        }
+                        ctx.compute(cost.per_header);
+                        return StepResult::Done;
+                    }
+                };
+                if marker == MARKER_SEQ {
+                    // A repeated sequence header (seen after resync past a
+                    // damaged region): re-parse it.
+                    t.state = VldState::Seq;
+                    ctx.compute(cost.per_header);
+                    return StepResult::Done;
+                }
                 if marker == MARKER_END {
                     // Emit end-of-stream on both outputs, then finish.
                     let mut w_tok = StepWriter::new(port_token);
@@ -296,12 +398,22 @@ impl Coprocessor for VldCoproc {
                     ctx.compute(cost.per_header);
                     return StepResult::Finished;
                 }
-                assert_eq!(
-                    marker, MARKER_PIC,
-                    "corrupt bitstream: unexpected marker {marker:#x}"
-                );
-                let ph = read_picture_header(&mut r).expect("corrupt bitstream: picture header");
-                let seq = t.seq.expect("picture before sequence header");
+                if marker != MARKER_PIC {
+                    // Garbage between pictures: scan for the next marker.
+                    ctx.compute(cost.per_header);
+                    t.begin_recovery(0);
+                    return StepResult::Done;
+                }
+                let (ph, seq) = match (read_picture_header(&mut r), t.seq) {
+                    (Ok(ph), Some(seq)) if ph.temporal_ref < seq.num_frames => (ph, seq),
+                    _ => {
+                        // Corrupt picture header (or one with a display
+                        // slot outside the sequence): drop the picture.
+                        ctx.compute(cost.per_header);
+                        t.begin_recovery(0);
+                        return StepResult::Done;
+                    }
+                };
                 let pic = PicRec {
                     ptype: ph.ptype,
                     qscale: ph.qscale,
@@ -336,7 +448,17 @@ impl Coprocessor for VldCoproc {
                 let mut r = BitReader::new(&t.fetched);
                 r.seek(t.bit_pos);
                 let start_bits = r.bit_pos();
-                let (mb, _) = read_mb_header(&mut r).expect("corrupt bitstream: mb header");
+                let mb = match read_mb_header(&mut r) {
+                    Ok((mb, _)) => mb,
+                    Err(_) => {
+                        // Slice damage: conceal the rest of the picture
+                        // and resynchronize at the next marker.
+                        ctx.compute(cost.per_mb);
+                        let owed = t.mb_left;
+                        t.begin_recovery(owed);
+                        return StepResult::Done;
+                    }
+                };
                 let (mode_code, fwd, bwd) = records::encode_mode(mb.mode);
                 let intra = mode_code == records::mode::INTRA;
 
@@ -347,7 +469,8 @@ impl Coprocessor for VldCoproc {
 
                 // Parse coefficient data, staging the DC predictor state.
                 let mut dc_pred = t.dc_pred;
-                for blk in 0..6 {
+                let mut parse_ok = true;
+                'blocks: for blk in 0..6 {
                     if mb.cbp & (1 << (5 - blk)) == 0 {
                         continue;
                     }
@@ -357,17 +480,37 @@ impl Coprocessor for VldCoproc {
                             4 => 1,
                             _ => 2,
                         };
-                        let diff = get_sev(&mut r).expect("corrupt bitstream: dc") as i16;
-                        let dc = dc_pred[comp] + diff;
+                        let diff = match get_sev(&mut r) {
+                            Ok(d) => d as i16,
+                            Err(_) => {
+                                parse_ok = false;
+                                break 'blocks;
+                            }
+                        };
+                        // Wrapping: a corrupt diff must not abort in
+                        // overflow-checked builds.
+                        let dc = dc_pred[comp].wrapping_add(diff);
                         dc_pred[comp] = dc;
                         w_tok.stage(&dc.to_le_bytes());
                     }
-                    let (symbols, _) = get_block(&mut r).expect("corrupt bitstream: coefficients");
+                    let symbols = match get_block(&mut r) {
+                        Ok((s, _)) => s,
+                        Err(_) => {
+                            parse_ok = false;
+                            break 'blocks;
+                        }
+                    };
                     w_tok.stage(&(symbols.len() as u16).to_le_bytes());
                     for s in &symbols {
                         w_tok.stage(&[s.run]);
                         w_tok.stage(&s.level.to_le_bytes());
                     }
+                }
+                if !parse_ok {
+                    ctx.compute(cost.per_mb);
+                    let owed = t.mb_left;
+                    t.begin_recovery(owed);
+                    return StepResult::Done;
                 }
 
                 if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
@@ -388,6 +531,80 @@ impl Coprocessor for VldCoproc {
                 }
                 t.bit_pos = r.bit_pos();
                 StepResult::Done
+            }
+            VldState::Recover => {
+                // First settle the concealment debt: one INTRA macroblock
+                // with an empty coded-block pattern per step, so every
+                // picture whose header was emitted still carries exactly
+                // mb_count records downstream (decodes to a flat block —
+                // the MC model substitutes something better if it has a
+                // reference frame).
+                if t.conceal_left > 0 {
+                    let (mode_code, fwd, bwd) = records::encode_mode(Some(PredictionMode::Intra));
+                    let mut w_tok = StepWriter::new(port_token);
+                    let mut w_mv = StepWriter::new(port_mv);
+                    w_tok.stage(&[TAG_MB, mode_code, 0]);
+                    w_mv.stage(&records::mbmv_to_bytes(mode_code, 0, fwd, bwd));
+                    if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
+                        return StepResult::Blocked;
+                    }
+                    w_tok.commit(ctx);
+                    w_mv.commit(ctx);
+                    ctx.compute(cost.per_mb);
+                    t.conceal_left -= 1;
+                    t.mbs_concealed += 1;
+                    return StepResult::Done;
+                }
+                // Then hunt for the next start marker.
+                if !Self::ensure_fetched(t, &cost, ctx, 64) {
+                    return StepResult::Blocked;
+                }
+                loop {
+                    match t.resync_scan() {
+                        // A picture before any valid sequence header is
+                        // useless (no geometry): keep scanning past it.
+                        Some(MARKER_PIC) if t.seq.is_none() => {
+                            t.bit_pos += 8;
+                            continue;
+                        }
+                        Some(m) => {
+                            t.in_recovery = false;
+                            t.state = if m == MARKER_SEQ {
+                                VldState::Seq
+                            } else {
+                                VldState::PicOrEnd
+                            };
+                            break;
+                        }
+                        None => {
+                            if t.stream_exhausted() {
+                                t.in_recovery = false;
+                                t.state = VldState::Eos;
+                            }
+                            // Otherwise: fetch horizon reached; the next
+                            // step fetches more bytes and rescans.
+                            break;
+                        }
+                    }
+                }
+                ctx.compute(cost.per_header);
+                StepResult::Done
+            }
+            VldState::Eos => {
+                // Truncated or unrecoverable stream: emit end-of-stream on
+                // both outputs so the rest of the graph terminates instead
+                // of deadlocking on input that will never come.
+                let mut w_tok = StepWriter::new(port_token);
+                let mut w_mv = StepWriter::new(port_mv);
+                w_tok.stage(&[TAG_EOS]);
+                w_mv.stage(&[TAG_EOS]);
+                if !w_tok.reserve(ctx) || !w_mv.reserve(ctx) {
+                    return StepResult::Blocked;
+                }
+                w_tok.commit(ctx);
+                w_mv.commit(ctx);
+                ctx.compute(cost.per_header);
+                StepResult::Finished
             }
         }
     }

@@ -26,7 +26,7 @@
 
 use eclipse_mem::{Bus, Dram};
 use eclipse_shell::{MemSys, PortId, Shell, SyncMsg, TaskIdx};
-use eclipse_sim::Cycle;
+use eclipse_sim::{Cycle, FaultInjector};
 
 /// Outcome of one processing step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +54,14 @@ pub struct StepCtx<'a> {
     stall: u64,
     msgs: Vec<SyncMsg>,
     put_called: bool,
+    /// Deterministic fault injector (None in normal runs — the hooks
+    /// then take the exact same code path and draw no RNG values).
+    fault: Option<&'a mut FaultInjector>,
 }
 
 impl<'a> StepCtx<'a> {
     /// Build a context for one step (called by the system event loop).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shell: &'a mut Shell,
         mem: &'a mut MemSys,
@@ -66,6 +70,7 @@ impl<'a> StepCtx<'a> {
         task: TaskIdx,
         step_start: Cycle,
         initial_cost: u64,
+        fault: Option<&'a mut FaultInjector>,
     ) -> Self {
         StepCtx {
             shell,
@@ -78,6 +83,7 @@ impl<'a> StepCtx<'a> {
             stall: 0,
             msgs: Vec::new(),
             put_called: false,
+            fault,
         }
     }
 
@@ -137,8 +143,23 @@ impl<'a> StepCtx<'a> {
     }
 
     /// `Write` `data` at `offset` inside the granted window of output
-    /// `port`. Absorbed by the shell's write cache.
+    /// `port`. Absorbed by the shell's write cache. An active fault
+    /// injector may flip one bit of the transfer (SRAM corruption as
+    /// seen by the consumer).
     pub fn write(&mut self, port: PortId, offset: u32, data: &[u8]) {
+        if let Some(inj) = self.fault.as_deref_mut() {
+            if let Some((i, mask)) = inj.sram_flip(data.len()) {
+                let mut corrupted = data.to_vec();
+                corrupted[i] ^= mask;
+                let now = self.now();
+                let done = self
+                    .shell
+                    .write(self.task, port, offset, &corrupted, now, self.mem);
+                self.stall += done - now;
+                self.cost += done - now;
+                return;
+            }
+        }
         let now = self.now();
         let done = self
             .shell
@@ -164,13 +185,24 @@ impl<'a> StepCtx<'a> {
     /// port (VLD bitstream fetch, MC/ME reference access). Stalls for the
     /// full round trip.
     pub fn dram_read(&mut self, addr: u32, buf: &mut [u8]) {
+        let penalty = self.bus_fault_penalty();
         let now = self.now();
         let t = self.system_bus.request(now, buf.len() as u32);
         let access = self.dram.access(t.start, addr, buf.len() as u32);
         self.dram.read(addr, buf);
-        let done = access.done.max(t.done);
+        let done = access.done.max(t.done) + penalty;
         self.stall += done - now;
         self.cost += done - now;
+    }
+
+    /// Retry penalty for an injected bus-transfer error (0 without an
+    /// active injector).
+    #[inline]
+    fn bus_fault_penalty(&mut self) -> u64 {
+        match self.fault.as_deref_mut() {
+            Some(inj) => inj.bus_penalty(),
+            None => 0,
+        }
     }
 
     /// Read from off-chip memory *pipelined behind a preceding demand
@@ -179,12 +211,14 @@ impl<'a> StepCtx<'a> {
     /// units issue the whole gather as one burst train; the first tile
     /// pays the latency ([`StepCtx::dram_read`]), the rest ride behind it.
     pub fn dram_read_overlapped(&mut self, addr: u32, buf: &mut [u8]) {
+        let penalty = self.bus_fault_penalty();
         let now = self.now();
         let t = self.system_bus.request(now, buf.len() as u32);
         let _ = self.dram.access(t.start, addr, buf.len() as u32);
         self.dram.read(addr, buf);
-        let occupancy =
-            self.system_bus.beats(buf.len() as u32) * self.system_bus.config().cycles_per_beat;
+        let occupancy = self.system_bus.beats(buf.len() as u32)
+            * self.system_bus.config().cycles_per_beat
+            + penalty;
         self.stall += occupancy;
         self.cost += occupancy;
     }
@@ -192,13 +226,14 @@ impl<'a> StepCtx<'a> {
     /// Write to off-chip memory through the system-bus port. Posted
     /// (pipelined) — costs the bus occupancy, not the full round trip.
     pub fn dram_write(&mut self, addr: u32, data: &[u8]) {
+        let penalty = self.bus_fault_penalty();
         let now = self.now();
         let t = self.system_bus.request(now, data.len() as u32);
         let _ = self.dram.access(t.start, addr, data.len() as u32);
         self.dram.write(addr, data);
         // Posted write: the coprocessor continues after the bus accepted
-        // the data (one beat handshake).
-        let accept = t.start + 1;
+        // the data (one beat handshake; a retry delays acceptance).
+        let accept = t.start + 1 + penalty;
         self.stall += accept.saturating_sub(now);
         self.cost += accept.saturating_sub(now);
     }
@@ -240,4 +275,11 @@ pub trait Coprocessor {
     /// Downcast support, so experiments can extract model-specific results
     /// (e.g. a display task's collected frames) after a run.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Graceful-degradation counters, summed over this coprocessor's
+    /// tasks: `(decode/parse errors recovered from, macroblocks
+    /// concealed)`. Zero for models that never degrade.
+    fn error_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }

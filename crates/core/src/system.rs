@@ -14,12 +14,15 @@
 //! * **Sample** — the periodic measurement process reads the shell
 //!   counters into the trace log (paper Section 5.4).
 
+use std::collections::HashMap;
+
 use eclipse_kpn::graph::AppGraph;
 use eclipse_mem::{BufferAllocator, Bus, Dram, Sram};
+use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx};
 use eclipse_shell::{GetTaskResult, MemSys, Shell, ShellConfig, ShellId, SyncMsg};
 use eclipse_sim::stats::{Histogram, Utilization};
 use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle, TraceSink};
-use eclipse_sim::{Calendar, Cycle};
+use eclipse_sim::{Calendar, Cycle, FaultInjector, FaultPlan, FaultStats, SyncAction};
 
 use crate::config::EclipseConfig;
 use crate::coproc::{Coprocessor, StepCtx, StepResult};
@@ -78,6 +81,13 @@ pub struct RunSummary {
     /// Send-to-delivery latency of every `putspace` message, in cycles
     /// (includes CPU serialization in the E10 baseline).
     pub sync_latency: Histogram,
+    /// Faults injected during the run (all zero without an injector).
+    pub faults: FaultStats,
+    /// Decode/parse errors the coprocessors recovered from (graceful
+    /// degradation; 0 on clean inputs).
+    pub media_errors: u64,
+    /// Macroblocks concealed instead of decoded (error concealment).
+    pub concealed_mbs: u64,
 }
 
 /// Builds an [`EclipseSystem`]: instantiate coprocessors, map
@@ -273,6 +283,12 @@ impl SystemBuilder {
             cpu_sync_busy: 0,
             sync_messages: 0,
             pi_accesses: 0,
+            fault: None,
+            watchdog_cycles: None,
+            last_progress: 0,
+            credit_check: false,
+            in_flight: HashMap::new(),
+            credits_lost: HashMap::new(),
         }
     }
 }
@@ -299,6 +315,23 @@ pub struct EclipseSystem {
     cpu_sync_busy: Cycle,
     sync_messages: u64,
     pi_accesses: u64,
+    /// Deterministic fault injector (None = no injection; the run loop
+    /// then draws no RNG values and timing is bit-identical).
+    fault: Option<FaultInjector>,
+    /// Deadlock/livelock watchdog: a run with no task progress (PutSpace
+    /// commit or task completion) for this many cycles is diagnosed as
+    /// deadlocked. None disables the watchdog.
+    watchdog_cycles: Option<u64>,
+    /// Cycle of the most recent task progress (watchdog state).
+    last_progress: Cycle,
+    /// Run the credit-conservation invariant checker after every event.
+    credit_check: bool,
+    /// Credit bytes in transit on the sync network, keyed by
+    /// (destination, source) access points.
+    in_flight: HashMap<(AccessPoint, AccessPoint), u64>,
+    /// Credit bytes lost to injected message drops, same keying (the
+    /// conservation invariant accounts them explicitly).
+    credits_lost: HashMap<(AccessPoint, AccessPoint), u64>,
 }
 
 impl EclipseSystem {
@@ -410,6 +443,41 @@ impl EclipseSystem {
         self.coprocs[idx].as_mut()
     }
 
+    /// Arm deterministic fault injection for the next run. Injection is
+    /// reproducible from `plan.seed`; a plan with all rates at zero is
+    /// equivalent to never calling this.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_active() {
+            Some(FaultInjector::new(plan))
+        } else {
+            None
+        };
+    }
+
+    /// Counters of faults injected so far (all zero without an injector).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| *f.stats()).unwrap_or_default()
+    }
+
+    /// Arm the deadlock/livelock watchdog: if no task commits any space
+    /// (PutSpace) or finishes for `cycles` simulated cycles while events
+    /// are still firing, the run ends with a [`RunOutcome::Deadlock`]
+    /// diagnosis instead of spinning to `max_cycles`. Complements the
+    /// empty-calendar deadlock detection, which cannot fire while
+    /// injected faults or retry loops keep generating events.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = if cycles == 0 { None } else { Some(cycles) };
+    }
+
+    /// Enable the credit-conservation invariant checker: after every
+    /// event, for every producer→consumer link, assert
+    /// `producer space + consumer data + in-flight credits + dropped
+    /// credits == buffer capacity`. Panics with a diagnosis on
+    /// violation. Costs host time; intended for tests and chaos runs.
+    pub fn enable_credit_check(&mut self) {
+        self.credit_check = true;
+    }
+
     /// Run until every task finishes, deadlock, or `max_cycles`.
     pub fn run(&mut self, max_cycles: Cycle) -> RunSummary {
         // Kick off: one step event per shell, plus the sampler.
@@ -447,6 +515,10 @@ impl EclipseSystem {
                     // The delivery may unblock a task or satisfy a space
                     // hint; an idle shell re-evaluates its scheduler on
                     // every message (spurious wakeups just re-idle).
+                    if self.credit_check {
+                        let slot = self.in_flight.entry((msg.dst, msg.src)).or_insert(0);
+                        *slot = slot.saturating_sub(msg.bytes as u64);
+                    }
                     self.shells[dst].deliver_putspace(&msg, now);
                     self.wake(dst, now);
                 }
@@ -461,6 +533,9 @@ impl EclipseSystem {
                     }
                 }
             }
+            if self.credit_check {
+                self.verify_credits(now);
+            }
             if self.shells.iter().all(|sh| sh.all_tasks_finished()) {
                 outcome = RunOutcome::AllFinished;
                 break;
@@ -468,6 +543,12 @@ impl EclipseSystem {
             if self.cal.is_empty() {
                 outcome = RunOutcome::Deadlock(self.blocked_tasks());
                 break;
+            }
+            if let Some(k) = self.watchdog_cycles {
+                if now.saturating_sub(self.last_progress) > k {
+                    outcome = RunOutcome::Deadlock(self.blocked_tasks());
+                    break;
+                }
             }
         }
         let end = self.cal.now();
@@ -509,6 +590,12 @@ impl EclipseSystem {
         } else {
             runs as f64 / calls as f64
         };
+        let (mut media_errors, mut concealed_mbs) = (0u64, 0u64);
+        for c in &self.coprocs {
+            let (e, m) = c.error_counters();
+            media_errors += e;
+            concealed_mbs += m;
+        }
         RunSummary {
             outcome,
             cycles: end,
@@ -518,17 +605,95 @@ impl EclipseSystem {
             denial_rates,
             sched_occupancy,
             sync_latency: self.sync_latency.clone(),
+            faults: self.fault_stats(),
+            media_errors,
+            concealed_mbs,
+        }
+    }
+
+    /// Assert the credit-conservation invariant on every
+    /// producer→consumer link (see [`EclipseSystem::enable_credit_check`]).
+    fn verify_credits(&self, now: Cycle) {
+        for (s, shell) in self.shells.iter().enumerate() {
+            for (r, row) in shell.rows().iter().enumerate() {
+                if row.dir != PortDir::Producer {
+                    continue;
+                }
+                let prod = AccessPoint {
+                    shell: ShellId(s as u16),
+                    row: RowIdx(r as u16),
+                };
+                let cap = row.buffer.size as u64;
+                for (ci, remote) in row.remotes.iter().enumerate() {
+                    let cons = &self.shells[remote.shell.0 as usize].rows()[remote.row.0 as usize];
+                    let p_view = row.space_toward(ci) as u64;
+                    let c_view = cons.space_toward(0) as u64;
+                    let fly = self.in_flight.get(&(*remote, prod)).copied().unwrap_or(0)
+                        + self.in_flight.get(&(prod, *remote)).copied().unwrap_or(0);
+                    let lost = self
+                        .credits_lost
+                        .get(&(*remote, prod))
+                        .copied()
+                        .unwrap_or(0)
+                        + self
+                            .credits_lost
+                            .get(&(prod, *remote))
+                            .copied()
+                            .unwrap_or(0);
+                    assert_eq!(
+                        p_view + c_view + fly + lost,
+                        cap,
+                        "credit conservation violated at cycle {now} on {}: \
+                         producer view {p_view} + consumer view {c_view} + \
+                         in-flight {fly} + lost {lost} != capacity {cap}",
+                        self.row_labels[s][r]
+                    );
+                }
+            }
         }
     }
 
     fn blocked_tasks(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for shell in &self.shells {
+        for (s, shell) in self.shells.iter().enumerate() {
             for t in shell.tasks() {
                 if !t.finished && t.enabled {
                     let why = match t.blocked_on {
-                        Some((port, n)) => format!("blocked on port {port} for {n} bytes"),
-                        None => "runnable but starved".to_string(),
+                        // Name the stream and show the local space view so
+                        // a deadlock diagnosis pinpoints the starved link.
+                        Some((port, n)) => match t.cfg.ports.get(port as usize) {
+                            Some(ri) => {
+                                let row = &shell.rows()[ri.0 as usize];
+                                format!(
+                                    "blocked on port {port} [{}] for {n} bytes; \
+                                     local space {} of {}",
+                                    self.row_labels[s][ri.0 as usize],
+                                    row.effective_space(),
+                                    row.buffer.size
+                                )
+                            }
+                            None => format!("blocked on port {port} for {n} bytes"),
+                        },
+                        // Never denied a GetSpace, but the best-guess
+                        // scheduler may be gating the task on an unmet
+                        // space hint — diagnose the starved port anyway.
+                        None => match t.cfg.ports.iter().zip(&t.cfg.space_hints).enumerate().find(
+                            |(_, (&row, &hint))| {
+                                hint != 0 && shell.rows()[row.0 as usize].effective_space() < hint
+                            },
+                        ) {
+                            Some((port, (&ri, &hint))) => {
+                                let row = &shell.rows()[ri.0 as usize];
+                                format!(
+                                    "blocked on port {port} [{}] awaiting space \
+                                     hint of {hint} bytes; local space {} of {}",
+                                    self.row_labels[s][ri.0 as usize],
+                                    row.effective_space(),
+                                    row.buffer.size
+                                )
+                            }
+                            None => "runnable but starved".to_string(),
+                        },
                     };
                     out.push(format!("{} ({why})", t.cfg.name));
                 }
@@ -571,10 +736,29 @@ impl EclipseSystem {
                     task,
                     now,
                     initial,
+                    self.fault.as_mut(),
                 );
                 let result = self.coprocs[s].step(task, info, &mut ctx);
-                let (cost, stall, msgs, _put_called) = ctx.finish();
-                let cost = cost.max(1); // forbid zero-cost livelock
+                let (cost, stall, msgs, put_called) = ctx.finish();
+                let mut cost = cost.max(1); // forbid zero-cost livelock
+                let mut stall = stall;
+                // Injected coprocessor stall: the unit freezes mid-step.
+                if let Some(inj) = &mut self.fault {
+                    let extra = inj.step_stall();
+                    if extra > 0 {
+                        cost += extra;
+                        stall += extra;
+                        if let Some(t) = &self.sys_trace {
+                            t.emit_with(now, |sink| TraceEventKind::Fault {
+                                class: sink.intern("stall"),
+                                magnitude: extra,
+                            });
+                        }
+                    }
+                }
+                if put_called || matches!(result, StepResult::Finished) {
+                    self.last_progress = now + cost;
+                }
                 self.shells[s].charge(task, cost);
                 let step_stall = match result {
                     StepResult::Blocked => cost,
@@ -606,9 +790,38 @@ impl EclipseSystem {
                     }
                 }
                 // Dispatch putspace messages through the sync network (or
-                // the CPU in the E10 baseline).
+                // the CPU in the E10 baseline). An active fault injector
+                // may drop or delay individual messages.
                 let sync_latency = shell_cfg.sync_latency;
                 for msg in msgs {
+                    let mut extra_delay = 0u64;
+                    if let Some(inj) = &mut self.fault {
+                        match inj.sync_action(msg.bytes) {
+                            SyncAction::Deliver => {}
+                            SyncAction::Delay(d) => {
+                                extra_delay = d;
+                                if let Some(t) = &self.sys_trace {
+                                    t.emit_with(now, |sink| TraceEventKind::Fault {
+                                        class: sink.intern("sync_delay"),
+                                        magnitude: d,
+                                    });
+                                }
+                            }
+                            SyncAction::Drop => {
+                                if let Some(t) = &self.sys_trace {
+                                    t.emit_with(now, |sink| TraceEventKind::Fault {
+                                        class: sink.intern("sync_drop"),
+                                        magnitude: msg.bytes as u64,
+                                    });
+                                }
+                                if self.credit_check {
+                                    *self.credits_lost.entry((msg.dst, msg.src)).or_insert(0) +=
+                                        msg.bytes as u64;
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     let depart = msg.send_at.max(now);
                     let arrive = match self.cpu_sync {
                         None => depart + sync_latency,
@@ -618,7 +831,10 @@ impl EclipseSystem {
                             self.cpu_sync_busy += cpu.service_cycles;
                             start + cpu.service_cycles + sync_latency
                         }
-                    };
+                    } + extra_delay;
+                    if self.credit_check {
+                        *self.in_flight.entry((msg.dst, msg.src)).or_insert(0) += msg.bytes as u64;
+                    }
                     self.cal.schedule_at(arrive, Event::Sync(msg));
                 }
                 self.cal.schedule_at(now + cost, Event::Step(s));
@@ -634,6 +850,16 @@ impl EclipseSystem {
                 // paper's Figure 10 quantity); producer rows report room.
                 self.trace
                     .record(&format!("space/{label}"), now, row.effective_space() as f64);
+                // Mirror the fill level onto the structured trace spine as
+                // a Chrome counter track (ph:"C"), so chaos runs visualize
+                // backpressure building up behind injected faults.
+                if let Some(t) = &self.sys_trace {
+                    let space = row.effective_space() as u64;
+                    t.emit_with(now, |sink| TraceEventKind::Counter {
+                        track: sink.intern(&format!("space/{label}")),
+                        value: space,
+                    });
+                }
             }
             let u = &self.utilization[s];
             self.trace

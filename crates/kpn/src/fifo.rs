@@ -36,6 +36,10 @@ struct State {
     consumed: Vec<u64>,
     /// Producer has closed the stream.
     closed: bool,
+    /// A peer process died (panicked) while attached to this stream: no
+    /// further progress is coming from it. Blocked peers must wake and
+    /// wind down instead of waiting forever.
+    poisoned: bool,
 }
 
 impl State {
@@ -69,6 +73,7 @@ impl Fifo {
                 produced: 0,
                 consumed: vec![0; cfg.consumers],
                 closed: false,
+                poisoned: false,
             }),
             space_freed: Condvar::new(),
             data_ready: Condvar::new(),
@@ -92,9 +97,11 @@ impl Fifo {
         self.state.lock().unwrap().free_space() >= n
     }
 
-    /// Block until `n` bytes of room are available. Panics if `n` exceeds
-    /// the buffer capacity (can never succeed — a configuration error).
-    pub fn producer_wait_space(&self, n: usize) {
+    /// Block until `n` bytes of room are available. Returns `false` if
+    /// the stream was poisoned (a consumer died — the space will never
+    /// free up). Panics if `n` exceeds the buffer capacity (can never
+    /// succeed — a configuration error).
+    pub fn producer_wait_space(&self, n: usize) -> bool {
         let mut st = self.state.lock().unwrap();
         assert!(
             n <= st.buf.len(),
@@ -103,8 +110,12 @@ impl Fifo {
             st.buf.len()
         );
         while st.free_space() < n {
+            if st.poisoned {
+                return false;
+            }
             st = self.space_freed.wait(st).unwrap();
         }
+        !st.poisoned
     }
 
     /// Write `data` at byte `offset` ahead of the producer access point.
@@ -151,6 +162,24 @@ impl Fifo {
         self.space_freed.notify_all();
     }
 
+    /// Poison the stream: a process attached to it died without closing
+    /// its side. Also closes the stream (no more data is coming) and
+    /// wakes every blocked peer so the rest of the graph can wind down.
+    /// Idempotent.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.poisoned = true;
+        st.closed = true;
+        drop(st);
+        self.data_ready.notify_all();
+        self.space_freed.notify_all();
+    }
+
+    /// True once the stream has been poisoned by a dying peer.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().unwrap().poisoned
+    }
+
     // ---- consumer side -------------------------------------------------
 
     /// Non-blocking inquiry: are `n` bytes available for consumer `c`?
@@ -160,7 +189,9 @@ impl Fifo {
 
     /// Block until `n` bytes are available for consumer `c`, or the stream
     /// is closed with fewer remaining. Returns `true` if the window was
-    /// granted, `false` on end-of-stream.
+    /// granted, `false` on end-of-stream (including poisoning: a dead
+    /// producer's stream reads as ended, with whatever bytes it had
+    /// committed still drainable).
     pub fn consumer_wait_space(&self, c: usize, n: usize) -> bool {
         let mut st = self.state.lock().unwrap();
         assert!(

@@ -27,8 +27,9 @@ pub trait ProcessCtx {
     fn get_space(&self, port: Port, n: usize) -> bool;
 
     /// Blocking window acquisition. Returns `false` on an input port when
-    /// the stream has ended with fewer than `n` bytes remaining. On output
-    /// ports it always returns `true` (blocks until room frees up).
+    /// the stream has ended with fewer than `n` bytes remaining, and on
+    /// an output port when the stream was poisoned by a dead consumer
+    /// (the room will never free up); otherwise blocks until granted.
     fn wait_space(&self, port: Port, n: usize) -> bool;
 
     /// Read `buf.len()` bytes at `offset` inside the granted window of an
@@ -84,10 +85,7 @@ impl ProcessCtx for TaskCtx {
                 let (f, c) = &self.inputs[i];
                 f.consumer_wait_space(*c, n)
             }
-            Port::Out(o) => {
-                self.outputs[o].producer_wait_space(n);
-                true
-            }
+            Port::Out(o) => self.outputs[o].producer_wait_space(n),
         }
     }
 
@@ -157,7 +155,9 @@ impl<F: FnMut() -> Option<Vec<u8>> + Send> Process for SourceFn<F> {
             if chunk.is_empty() {
                 continue;
             }
-            ctx.wait_space(Port::Out(0), chunk.len());
+            if !ctx.wait_space(Port::Out(0), chunk.len()) {
+                return; // output poisoned: consumer died
+            }
             ctx.write(Port::Out(0), 0, &chunk);
             ctx.put_space(Port::Out(0), chunk.len());
         }
@@ -196,7 +196,9 @@ impl<F: FnMut(&[u8]) -> Vec<u8> + Send> Process for MapFn<F> {
             ctx.put_space(Port::In(0), n);
             let out = (self.f)(&buf[..n]);
             if !out.is_empty() {
-                ctx.wait_space(Port::Out(0), out.len());
+                if !ctx.wait_space(Port::Out(0), out.len()) {
+                    return; // output poisoned: consumer died
+                }
                 ctx.write(Port::Out(0), 0, &out);
                 ctx.put_space(Port::Out(0), out.len());
             }

@@ -20,6 +20,17 @@ pub struct RunReport {
     pub stream_bytes: Vec<u64>,
     /// Wall-clock duration of the run.
     pub elapsed: std::time::Duration,
+    /// Tasks whose process panicked, as `(task name, panic message)`.
+    /// A failed task poisons its streams so the rest of the graph winds
+    /// down instead of deadlocking; the run still completes.
+    pub failures: Vec<(String, String)>,
+}
+
+impl RunReport {
+    /// True when every task ran to completion.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// The host runtime. Stateless; see [`HostRuntime::run`].
@@ -29,9 +40,13 @@ impl HostRuntime {
     /// Execute `graph`, using `processes` as the task bodies (one per task,
     /// in [`TaskId`] order). Blocks until every task has returned.
     ///
+    /// A panicking process does not take the run down with it: the panic
+    /// is caught, the task's streams are poisoned (waking any peer
+    /// blocked on them), and the failure is reported in
+    /// [`RunReport::failures`].
+    ///
     /// # Panics
-    /// Panics if `processes.len()` differs from the number of tasks, or if
-    /// any task thread panics.
+    /// Panics if `processes.len()` differs from the number of tasks.
     pub fn run(graph: &AppGraph, processes: Vec<Box<dyn Process>>) -> RunReport {
         assert_eq!(
             processes.len(),
@@ -83,25 +98,56 @@ impl HostRuntime {
         }
 
         // Run all tasks; close each task's output streams when it returns
-        // so downstream tasks observe end-of-stream.
+        // so downstream tasks observe end-of-stream. A panic poisons the
+        // task's streams instead (both directions: upstream producers
+        // blocked on a dead consumer must wake too).
+        let task_names: Vec<String> = graph.tasks().iter().map(|t| t.name.clone()).collect();
+        let failures = std::sync::Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (mut process, ctx) in processes.into_iter().zip(ctxs) {
-                handles.push(scope.spawn(move || {
-                    process.run(&ctx);
-                    for out in &ctx.outputs {
-                        out.close();
+            for ((mut process, ctx), name) in processes.into_iter().zip(ctxs).zip(&task_names) {
+                handles.push(scope.spawn({
+                    let failures = &failures;
+                    move || {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                process.run(&ctx)
+                            }));
+                        match outcome {
+                            Ok(()) => {
+                                for out in &ctx.outputs {
+                                    out.close();
+                                }
+                            }
+                            Err(payload) => {
+                                for out in &ctx.outputs {
+                                    out.poison();
+                                }
+                                for (input, _) in &ctx.inputs {
+                                    input.poison();
+                                }
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                                failures.lock().unwrap().push((name.clone(), msg));
+                            }
+                        }
                     }
                 }));
             }
             for h in handles {
-                h.join().expect("task thread panicked");
+                h.join().expect("task wrapper thread panicked");
             }
         });
 
+        let mut failures = failures.into_inner().unwrap();
+        failures.sort();
         RunReport {
             stream_bytes: fifos.iter().map(|f| f.produced()).collect(),
             elapsed: start.elapsed(),
+            failures,
         }
     }
 }
@@ -255,6 +301,92 @@ mod tests {
         g.task("c", "collect", 0, &[s], &[]);
         let graph = g.build().unwrap();
         HostRuntime::run(&graph, vec![]);
+    }
+
+    /// A process that dies mid-run must not wedge the graph: without
+    /// poisoning, the source would block forever on the full stream into
+    /// the dead task and the sink would block forever waiting for data
+    /// that never comes. With poisoning, everyone winds down and the
+    /// failure is reported by name.
+    #[test]
+    fn panicking_task_poisons_streams_and_run_completes() {
+        struct PanicAfter {
+            bytes: usize,
+        }
+        impl Process for PanicAfter {
+            fn run(&mut self, ctx: &dyn ProcessCtx) {
+                let mut buf = [0u8; 8];
+                let mut seen = 0usize;
+                loop {
+                    if !ctx.wait_space(Port::In(0), 8) {
+                        return;
+                    }
+                    ctx.read(Port::In(0), 0, &mut buf);
+                    ctx.put_space(Port::In(0), 8);
+                    seen += 8;
+                    if seen >= self.bytes {
+                        panic!("injected failure after {seen} bytes");
+                    }
+                    if !ctx.wait_space(Port::Out(0), 8) {
+                        return;
+                    }
+                    ctx.write(Port::Out(0), 0, &buf);
+                    ctx.put_space(Port::Out(0), 8);
+                }
+            }
+        }
+
+        // Tiny buffers so the source genuinely blocks on the dead task.
+        let mut g = GraphBuilder::new("chaos");
+        let a = g.stream("a", 32);
+        let b = g.stream("b", 32);
+        g.task("src", "gen", 0, &[], &[a]);
+        g.task("mid", "map", 0, &[a], &[b]);
+        g.task("dst", "collect", 0, &[b], &[]);
+        let graph = g.build().unwrap();
+        let (sink, out) = SinkCollect::new();
+        let report = HostRuntime::run(
+            &graph,
+            vec![
+                Box::new(SourceFn::new(counting_source(100_000, 16))),
+                Box::new(PanicAfter { bytes: 256 }),
+                Box::new(sink),
+            ],
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, "mid");
+        assert!(report.failures[0].1.contains("injected failure"));
+        // The sink got everything committed before the failure, and the
+        // source stopped far short of its 100k total.
+        assert!(out.lock().unwrap().len() <= 256);
+        assert!(report.stream_bytes[0] < 100_000);
+    }
+
+    /// A dead *consumer* must wake a producer blocked on a full buffer.
+    #[test]
+    fn panicking_sink_unblocks_producer() {
+        struct PanicSink;
+        impl Process for PanicSink {
+            fn run(&mut self, _ctx: &dyn ProcessCtx) {
+                panic!("sink died immediately");
+            }
+        }
+        let mut g = GraphBuilder::new("deadsink");
+        let s = g.stream("s", 16);
+        g.task("src", "gen", 0, &[], &[s]);
+        g.task("dst", "collect", 0, &[s], &[]);
+        let graph = g.build().unwrap();
+        let report = HostRuntime::run(
+            &graph,
+            vec![
+                Box::new(SourceFn::new(counting_source(10_000, 8))),
+                Box::new(PanicSink),
+            ],
+        );
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, "dst");
+        assert!(report.stream_bytes[0] < 10_000);
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::motion::{predict_macroblock, MotionVector, PredictionMode};
 use crate::recon::reconstruct_mb;
 use crate::scan::rle_decode;
 use crate::stream::{
-    peek_marker, read_mb_header, read_picture_header, read_sequence_header, PictureType,
-    SequenceHeader, StreamError, MARKER_END, MARKER_PIC,
+    peek_marker, read_mb_header, read_picture_header, read_sequence_header, resync_to_marker,
+    PictureHeader, PictureType, SequenceHeader, StreamError, MARKER_END, MARKER_PIC,
 };
 use crate::vlc::{get_block, get_sev};
 
@@ -49,6 +49,29 @@ pub struct DecodeResult {
     pub pictures: Vec<DecodedPictureStats>,
 }
 
+/// Counters accumulated by [`Decoder::decode_resilient`] — the decoder's
+/// graceful-degradation telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Syntax errors recovered from (each one triggers a resync scan).
+    pub parse_errors: u64,
+    /// Successful resynchronizations to a later start marker.
+    pub resyncs: u64,
+    /// Macroblocks concealed (copied from a reference frame, or left
+    /// flat when no reference exists yet).
+    pub concealed_mbs: u64,
+    /// Display slots never filled by any decodable picture (substituted
+    /// with the nearest earlier frame, or a flat frame).
+    pub dropped_pictures: u64,
+}
+
+impl ResilienceStats {
+    /// True when the stream decoded without any degradation.
+    pub fn is_clean(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+}
+
 /// The decoder. Stateless; see [`Decoder::decode`].
 pub struct Decoder;
 
@@ -57,6 +80,7 @@ impl Decoder {
     pub fn decode(bytes: &[u8]) -> Result<DecodeResult, StreamError> {
         let mut r = BitReader::new(bytes);
         let header = read_sequence_header(&mut r)?;
+        header.validate()?;
         let (width, height) = (header.width as usize, header.height as usize);
 
         let mut frames: Vec<Option<Frame>> = vec![None; header.num_frames as usize];
@@ -107,6 +131,128 @@ impl Decoder {
             pictures,
         })
     }
+
+    /// Decode a possibly-corrupted elementary stream, degrading instead
+    /// of failing: syntax errors inside a picture conceal the remaining
+    /// macroblocks (copying from the forward reference when one exists)
+    /// and resynchronize at the next start marker; undecodable display
+    /// slots are substituted with the nearest earlier frame. Only a
+    /// missing or invalid *sequence header* is a hard error — without it
+    /// there are no frame dimensions to decode into.
+    ///
+    /// On a clean stream this produces bit-identical frames to
+    /// [`Decoder::decode`] with all-zero [`ResilienceStats`].
+    pub fn decode_resilient(bytes: &[u8]) -> Result<(DecodeResult, ResilienceStats), StreamError> {
+        let mut r = BitReader::new(bytes);
+        let header = read_sequence_header(&mut r)?;
+        header.validate()?;
+        let (width, height) = (header.width as usize, header.height as usize);
+        let mut res = ResilienceStats::default();
+
+        let mut frames: Vec<Option<Frame>> = vec![None; header.num_frames as usize];
+        let mut pictures = Vec::new();
+        let mut prev_anchor: Option<(u16, Frame)> = None;
+        let mut last_anchor: Option<(u16, Frame)> = None;
+
+        loop {
+            match peek_marker(&mut r) {
+                Err(_) => {
+                    // Ran out without an END marker: tolerate the
+                    // truncation, the tail slots get concealed below.
+                    res.parse_errors += 1;
+                    break;
+                }
+                Ok(MARKER_END) => break,
+                Ok(MARKER_PIC) => {}
+                Ok(_) => {
+                    // Garbage between pictures: hunt for the next marker.
+                    res.parse_errors += 1;
+                    let _ = r.get_bits(8);
+                    match resync_to_marker(&mut r) {
+                        Some(_) => {
+                            res.resyncs += 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            let ph = match read_picture_header(&mut r) {
+                Ok(ph) => ph,
+                Err(_) => {
+                    res.parse_errors += 1;
+                    match resync_to_marker(&mut r) {
+                        Some(_) => {
+                            res.resyncs += 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            };
+            let (fwd_ref, bwd_ref): (Option<&Frame>, Option<&Frame>) = match ph.ptype {
+                PictureType::I => (None, None),
+                PictureType::P => (last_anchor.as_ref().map(|(_, f)| f), None),
+                PictureType::B => (
+                    prev_anchor.as_ref().map(|(_, f)| f),
+                    last_anchor.as_ref().map(|(_, f)| f),
+                ),
+            };
+            let (frame, stats, err) =
+                decode_picture_resilient(&mut r, width, height, &ph, fwd_ref, bwd_ref, &mut res);
+            pictures.push(stats);
+            if ph.ptype != PictureType::B {
+                // A concealed anchor still becomes a reference — exactly
+                // what a hardware decoder does, and it keeps later
+                // pictures predicting from *something* plausible.
+                prev_anchor = last_anchor.take();
+                last_anchor = Some((ph.temporal_ref, frame.clone()));
+            }
+            match frames.get_mut(ph.temporal_ref as usize) {
+                Some(slot) => *slot = Some(frame),
+                None => {
+                    // Corrupt temporal reference: no display slot for it.
+                    res.parse_errors += 1;
+                    res.dropped_pictures += 1;
+                }
+            }
+            if err {
+                match resync_to_marker(&mut r) {
+                    Some(_) => res.resyncs += 1,
+                    None => break,
+                }
+            }
+        }
+
+        // Fill display slots no decodable picture claimed: repeat the
+        // nearest earlier frame (freeze), or a flat frame at the head.
+        let mut out_frames = Vec::with_capacity(frames.len());
+        let mut last_good: Option<Frame> = None;
+        for slot in frames {
+            match slot {
+                Some(f) => {
+                    last_good = Some(f.clone());
+                    out_frames.push(f);
+                }
+                None => {
+                    res.dropped_pictures += 1;
+                    out_frames.push(
+                        last_good
+                            .clone()
+                            .unwrap_or_else(|| Frame::new(width, height)),
+                    );
+                }
+            }
+        }
+        Ok((
+            DecodeResult {
+                frames: out_frames,
+                header,
+                pictures,
+            },
+            res,
+        ))
+    }
 }
 
 /// Decode one picture's macroblock layer (used by both the software
@@ -134,51 +280,145 @@ fn decode_picture(
 
     for mby in 0..height / 16 {
         for mbx in 0..width / 16 {
-            let (mb, _) = read_mb_header(r)?;
-            let (mode, intra) = match mb.mode {
-                None => {
-                    // Skipped: forward copy with zero MV (P pictures).
-                    stats.skipped_mbs += 1;
-                    (PredictionMode::Forward(MotionVector::default()), false)
-                }
-                Some(m) => {
-                    if m == PredictionMode::Intra {
-                        stats.intra_mbs += 1;
-                    } else {
-                        stats.inter_mbs += 1;
-                    }
-                    (m, m == PredictionMode::Intra)
-                }
-            };
-            let mut levels = [[0i16; 64]; BLOCKS_PER_MB];
-            for (blk, lv) in levels.iter_mut().enumerate() {
-                if mb.cbp & (1 << (5 - blk)) == 0 {
-                    continue;
-                }
-                if intra {
-                    let comp = crate::encoder::dc_component(blk);
-                    let diff = get_sev(r)? as i16;
-                    let dc = dc_pred[comp] + diff;
-                    dc_pred[comp] = dc;
-                    let (symbols, _) = get_block(r)?;
-                    stats.coefficients += symbols.len() as u64 + 1;
-                    let mut block = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
-                    block[0] = dc;
-                    *lv = block;
-                } else {
-                    let (symbols, _) = get_block(r)?;
-                    stats.coefficients += symbols.len() as u64;
-                    *lv = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
-                }
-            }
-            let pred = predict_macroblock(mode, fwd_ref, bwd_ref, mbx, mby);
-            let out = reconstruct_mb(&pred, &levels, mb.cbp, intra, ph.qscale);
-            frame.set_macroblock(mbx, mby, &out);
+            decode_one_mb(r, ph, fwd_ref, bwd_ref, mbx, mby, &mut dc_pred, &mut stats)
+                .map(|out| frame.set_macroblock(mbx, mby, &out))?;
         }
     }
     r.byte_align();
     stats.mb_bits = (r.bit_pos() - start_bits) as u64;
     Ok((frame, stats))
+}
+
+/// Parse + reconstruct one macroblock. Shared by the strict and the
+/// resilient decoders; any `Err` leaves the reader wherever parsing
+/// stopped (the resilient caller resynchronizes to the next marker).
+#[allow(clippy::too_many_arguments)]
+fn decode_one_mb(
+    r: &mut BitReader,
+    ph: &PictureHeader,
+    fwd_ref: Option<&Frame>,
+    bwd_ref: Option<&Frame>,
+    mbx: usize,
+    mby: usize,
+    dc_pred: &mut [i16; 3],
+    stats: &mut DecodedPictureStats,
+) -> Result<[[i16; 64]; BLOCKS_PER_MB], StreamError> {
+    let (mb, _) = read_mb_header(r)?;
+    let (mode, intra) = match mb.mode {
+        None => {
+            // Skipped: forward copy with zero MV (P pictures).
+            stats.skipped_mbs += 1;
+            (PredictionMode::Forward(MotionVector::default()), false)
+        }
+        Some(m) => {
+            if m == PredictionMode::Intra {
+                stats.intra_mbs += 1;
+            } else {
+                stats.inter_mbs += 1;
+            }
+            (m, m == PredictionMode::Intra)
+        }
+    };
+    // A corrupt stream can request prediction from an anchor that was
+    // never decoded (e.g. a flipped picture-type byte turning the first
+    // I picture into P); `predict_macroblock` would panic on that.
+    let needs_fwd = matches!(
+        mode,
+        PredictionMode::Forward(_) | PredictionMode::Bidirectional(..)
+    );
+    let needs_bwd = matches!(
+        mode,
+        PredictionMode::Backward(_) | PredictionMode::Bidirectional(..)
+    );
+    if (needs_fwd && fwd_ref.is_none()) || (needs_bwd && bwd_ref.is_none()) {
+        return Err(StreamError::MissingReference);
+    }
+    let mut levels = [[0i16; 64]; BLOCKS_PER_MB];
+    for (blk, lv) in levels.iter_mut().enumerate() {
+        if mb.cbp & (1 << (5 - blk)) == 0 {
+            continue;
+        }
+        if intra {
+            let comp = crate::encoder::dc_component(blk);
+            let diff = get_sev(r)? as i16;
+            // Wrapping: valid streams stay far from the i16 range, but a
+            // corrupt diff must not abort in overflow-checked builds.
+            let dc = dc_pred[comp].wrapping_add(diff);
+            dc_pred[comp] = dc;
+            let (symbols, _) = get_block(r)?;
+            stats.coefficients += symbols.len() as u64 + 1;
+            let mut block = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
+            block[0] = dc;
+            *lv = block;
+        } else {
+            let (symbols, _) = get_block(r)?;
+            stats.coefficients += symbols.len() as u64;
+            *lv = rle_decode(&symbols).map_err(|_| StreamError::BlockOverflow)?;
+        }
+    }
+    let pred = predict_macroblock(mode, fwd_ref, bwd_ref, mbx, mby);
+    Ok(reconstruct_mb(&pred, &levels, mb.cbp, intra, ph.qscale))
+}
+
+/// Decode one picture, concealing instead of failing. On the first
+/// macroblock syntax error the rest of the picture is concealed by
+/// copying co-located macroblocks from the forward (else backward)
+/// reference — classic slice-level error concealment — and the caller is
+/// told to resynchronize (`true` in the last tuple slot).
+fn decode_picture_resilient(
+    r: &mut BitReader,
+    width: usize,
+    height: usize,
+    ph: &PictureHeader,
+    fwd_ref: Option<&Frame>,
+    bwd_ref: Option<&Frame>,
+    res: &mut ResilienceStats,
+) -> (Frame, DecodedPictureStats, bool) {
+    let mut frame = Frame::new(width, height);
+    let mut stats = DecodedPictureStats {
+        display_idx: ph.temporal_ref,
+        ptype: ph.ptype,
+        mb_bits: 0,
+        coefficients: 0,
+        intra_mbs: 0,
+        inter_mbs: 0,
+        skipped_mbs: 0,
+    };
+    let mut dc_pred = [128i16, 128, 128];
+    let start_bits = r.bit_pos();
+    let conceal_src = fwd_ref.or(bwd_ref);
+    let (mbs_x, mbs_y) = (width / 16, height / 16);
+    let mut failed = false;
+
+    'rows: for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            match decode_one_mb(r, ph, fwd_ref, bwd_ref, mbx, mby, &mut dc_pred, &mut stats) {
+                Ok(out) => frame.set_macroblock(mbx, mby, &out),
+                Err(_) => {
+                    res.parse_errors += 1;
+                    let remaining = (mbs_y - mby) * mbs_x - mbx;
+                    res.concealed_mbs += remaining as u64;
+                    if let Some(src) = conceal_src {
+                        let mut cy = mby;
+                        let mut cx = mbx;
+                        while cy < mbs_y {
+                            frame.set_macroblock(cx, cy, &src.get_macroblock(cx, cy));
+                            cx += 1;
+                            if cx == mbs_x {
+                                cx = 0;
+                                cy += 1;
+                            }
+                        }
+                    }
+                    failed = true;
+                    break 'rows;
+                }
+            }
+        }
+    }
+    r.byte_align();
+    stats.mb_bits = (r.bit_pos() - start_bits) as u64;
+    (frame, stats, failed)
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ pub mod stream;
 pub mod transport;
 pub mod vlc;
 
-pub use decoder::Decoder;
+pub use decoder::{Decoder, ResilienceStats};
 pub use encoder::{Encoder, EncoderConfig};
 pub use frame::{Frame, Plane};
 pub use source::SyntheticSource;

@@ -167,6 +167,28 @@ pub struct SequenceHeader {
     pub num_frames: u16,
 }
 
+impl SequenceHeader {
+    /// Largest dimension the decoder will allocate for — a corrupt header
+    /// must not be able to demand gigabyte frame stores.
+    pub const MAX_DIM: u16 = 4096;
+
+    /// Validate the header against the decodable range. Any stream the
+    /// encoder can produce passes; headers reconstructed from corrupted
+    /// bytes frequently do not, and the decoders reject them before
+    /// allocating frame memory (a corrupt width of 0 or 0xFFFF would
+    /// otherwise panic or exhaust memory downstream).
+    pub fn validate(&self) -> Result<(), StreamError> {
+        let dim_ok = |d: u16| d > 0 && d.is_multiple_of(16) && d <= Self::MAX_DIM;
+        if !dim_ok(self.width) || !dim_ok(self.height) {
+            return Err(StreamError::BadSequence);
+        }
+        if self.gop.n < 1 || self.gop.m < 1 || self.gop.m > self.gop.n {
+            return Err(StreamError::BadSequence);
+        }
+        Ok(())
+    }
+}
+
 /// Picture-level parameters carried in each picture header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PictureHeader {
@@ -196,6 +218,12 @@ pub enum StreamError {
     BadMbType(u32),
     /// Run/level data overflowed a block.
     BlockOverflow,
+    /// Sequence header fields outside the decodable range (zero or
+    /// non-multiple-of-16 dimensions, absurd sizes, bad GOP shape).
+    BadSequence,
+    /// A predicted picture referenced an anchor frame that was never
+    /// decoded (corrupt picture type or truncated stream head).
+    MissingReference,
 }
 
 impl From<EndOfStream> for StreamError {
@@ -217,6 +245,10 @@ impl std::fmt::Display for StreamError {
             StreamError::BadPictureType(v) => write!(f, "bad picture type byte {v}"),
             StreamError::BadMbType(v) => write!(f, "bad macroblock type code {v}"),
             StreamError::BlockOverflow => write!(f, "coefficient data overflows 8x8 block"),
+            StreamError::BadSequence => write!(f, "sequence header outside decodable range"),
+            StreamError::MissingReference => {
+                write!(f, "predicted picture without a decoded reference")
+            }
         }
     }
 }
@@ -287,6 +319,24 @@ pub fn peek_marker(r: &mut BitReader) -> Result<u32, StreamError> {
     r.byte_align();
     let mut probe = r.clone();
     Ok(probe.get_bits(32)?)
+}
+
+/// Error-recovery resynchronization: scan forward byte by byte for the
+/// next picture or end marker. Leaves the reader positioned *at* the
+/// marker and returns it, or `None` when the stream runs out first (the
+/// caller then abandons the tail). This is the software analogue of an
+/// MPEG decoder hunting for the next start code after a syntax error.
+pub fn resync_to_marker(r: &mut BitReader) -> Option<u32> {
+    r.byte_align();
+    while r.remaining_bits() >= 32 {
+        let mut probe = r.clone();
+        let m = probe.get_bits(32).ok()?;
+        if m == MARKER_PIC || m == MARKER_END {
+            return Some(m);
+        }
+        let _ = r.get_bits(8);
+    }
+    None
 }
 
 fn expect_marker(r: &mut BitReader, expected: u32) -> Result<(), StreamError> {

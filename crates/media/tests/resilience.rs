@@ -1,0 +1,145 @@
+//! Graceful-degradation tests: corrupted, truncated, and random byte
+//! streams through the transport demux and the resilient decoder must
+//! never panic, and corruption *past the headers* must still yield a
+//! full set of output frames with the damage reported in
+//! [`ResilienceStats`] rather than as a crash.
+
+use eclipse_media::decoder::ResilienceStats;
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::source::SourceConfig;
+use eclipse_media::stream::GopConfig;
+use eclipse_media::transport::{demux, mux};
+use eclipse_media::{Decoder, SyntheticSource};
+use proptest::prelude::*;
+
+fn test_stream(num_frames: u16, seed: u64) -> Vec<u8> {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width: 48,
+        height: 32,
+        qscale: 6,
+        gop: GopConfig { n: 6, m: 3 },
+        search_range: 7,
+    });
+    enc.encode(&src.frames(num_frames)).0
+}
+
+/// Deterministic bit corruption (xorshift), flipping roughly
+/// `rate_permille`/1000 of the bytes starting at `from` (sparing the
+/// sequence header, which is a hard precondition of any decode).
+fn corrupt(bytes: &mut [u8], from: usize, rate_permille: u32, seed: u64) -> u64 {
+    let mut s = seed | 1;
+    let mut flipped = 0;
+    for b in bytes.iter_mut().skip(from) {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        if (s % 1000) < rate_permille as u64 {
+            *b ^= 1 << (s >> 10 & 7);
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+#[test]
+fn resilient_decode_matches_strict_on_clean_stream() {
+    let bytes = test_stream(8, 21);
+    let strict = Decoder::decode(&bytes).expect("clean stream decodes");
+    let (res, stats) = Decoder::decode_resilient(&bytes).expect("clean stream decodes");
+    assert_eq!(stats, ResilienceStats::default());
+    assert!(stats.is_clean());
+    assert_eq!(strict.frames, res.frames);
+    assert_eq!(strict.pictures.len(), res.pictures.len());
+}
+
+#[test]
+fn one_percent_corruption_completes_with_nonzero_counters() {
+    let mut bytes = test_stream(10, 22);
+    // Spare the 15-byte sequence header; hit everything after at ~1%.
+    let flipped = corrupt(&mut bytes, 16, 10, 0xC0FFEE);
+    assert!(flipped > 0, "corruption must actually land");
+    let (res, stats) = Decoder::decode_resilient(&bytes).expect("header intact");
+    assert_eq!(res.frames.len(), 10, "every display slot is filled");
+    assert!(
+        stats.parse_errors + stats.concealed_mbs + stats.dropped_pictures > 0,
+        "1% corruption must be detected and reported: {stats:?}"
+    );
+}
+
+#[test]
+fn concealment_copies_from_reference() {
+    let bytes = test_stream(4, 23);
+    // Corrupt only the tail third: the first pictures decode clean and
+    // provide a reference, the damaged one gets concealed from it.
+    let mut damaged = bytes.clone();
+    let from = damaged.len() * 2 / 3;
+    corrupt(&mut damaged, from, 300, 7);
+    if let Ok((res, stats)) = Decoder::decode_resilient(&damaged) {
+        assert_eq!(res.frames.len(), 4);
+        if stats.concealed_mbs > 0 {
+            // Concealed regions must carry real picture content, not
+            // stay black (the default frame fill).
+            let any_nonzero = res.frames.iter().any(|f| f.y.data.iter().any(|&p| p > 0));
+            assert!(any_nonzero);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Bit corruption at any rate and position never panics either
+    /// decoder; the resilient one fills every display slot whenever the
+    /// header survives.
+    #[test]
+    fn corrupted_streams_never_panic(
+        rate_permille in 1u32..200,
+        from in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut bytes = test_stream(6, 24);
+        corrupt(&mut bytes, from, rate_permille, seed);
+        let _ = Decoder::decode(&bytes);
+        if let Ok((res, _)) = Decoder::decode_resilient(&bytes) {
+            // Corruption inside the header may change num_frames itself;
+            // the output must match whatever header was decoded.
+            prop_assert_eq!(res.frames.len(), res.header.num_frames as usize);
+        }
+    }
+
+    /// Random bytes wrapped as transport packets go through demux + the
+    /// decoders without panicking anywhere in the stack.
+    #[test]
+    fn transport_demux_to_decoder_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        noise in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut ts = mux(&[(1, &payload), (2, &noise)]);
+        ts.extend_from_slice(&noise);
+        // A demux failure is a typed error, never a panic.
+        if let Ok(streams) = demux(&ts, &[1, 2]) {
+            for es in &streams {
+                let _ = Decoder::decode(es);
+                let _ = Decoder::decode_resilient(es);
+            }
+        }
+    }
+
+    /// Truncating a valid stream anywhere: the resilient decoder still
+    /// returns a frame for every display slot (frozen/flat tail).
+    #[test]
+    fn truncation_still_fills_every_slot(cut_permille in 50u32..1000) {
+        let bytes = test_stream(5, 25);
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        if let Ok((res, _)) = Decoder::decode_resilient(&bytes[..cut]) {
+            prop_assert_eq!(res.frames.len(), 5);
+        }
+    }
+}

@@ -133,6 +133,14 @@ impl StreamRow {
         *self.space.iter().min().expect("row has remotes")
     }
 
+    /// The locally known space toward remote link `idx` (on a forked
+    /// producer row each consumer has its own view; a consumer row has
+    /// exactly one link). Used by the credit-conservation checker.
+    #[inline]
+    pub fn space_toward(&self, idx: usize) -> u32 {
+        self.space[idx]
+    }
+
     /// Answer a `GetSpace` inquiry locally (paper Figure 7: "the shell
     /// ... can answer a GetSpace request immediately by comparing the
     /// requested size with the locally stored space value"). On success

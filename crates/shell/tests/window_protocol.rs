@@ -178,4 +178,118 @@ proptest! {
         // Total stream order: consumed prefix of produced sequence.
         prop_assert!(consumed_total <= produced_total);
     }
+
+    /// Credit conservation under *reordered and delayed* putspace
+    /// delivery: sync messages sit in a pending pool and are delivered
+    /// one at a time in an arbitrary (generator-chosen) order, modelling
+    /// a congested message network. At every step the buffer's capacity
+    /// must be exactly partitioned into producer room, consumer-visible
+    /// data, and in-flight credits — no byte is ever lost or duplicated,
+    /// regardless of delivery order.
+    #[test]
+    fn credit_conservation_under_reordered_delivery(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1u8..=96).prop_map(ReorderOp::Produce),
+                (1u8..=96).prop_map(ReorderOp::Consume),
+                any::<u16>().prop_map(ReorderOp::DeliverOne),
+            ],
+            1..250,
+        ),
+        buffer_size in 96u32..512,
+    ) {
+        let cfg = ShellConfig::default();
+        let buf = CyclicBuffer::new(0, buffer_size);
+        let mut producer = Shell::new(ShellId(0), cfg);
+        let mut consumer = Shell::new(ShellId(1), cfg);
+        let prow = producer.add_stream_row(StreamRowConfig {
+            buffer: buf,
+            dir: PortDir::Producer,
+            remotes: vec![AccessPoint { shell: ShellId(1), row: RowIdx(0) }],
+        });
+        let crow = consumer.add_stream_row(StreamRowConfig {
+            buffer: buf,
+            dir: PortDir::Consumer,
+            remotes: vec![AccessPoint { shell: ShellId(0), row: RowIdx(0) }],
+        });
+        producer.add_task(TaskConfig { name: "p".into(), budget: 1000, task_info: 0, ports: vec![prow], space_hints: vec![0] });
+        consumer.add_task(TaskConfig { name: "c".into(), budget: 1000, task_info: 0, ports: vec![crow], space_hints: vec![0] });
+        let mut mem = MemSys {
+            sram: Sram::new(SramConfig { size: (buffer_size + 63) & !63, word_bytes: 16, latency: 2 }),
+            read_bus: Bus::new("r", BusConfig::default()),
+            write_bus: Bus::new("w", BusConfig::default()),
+        };
+
+        let mut pending: Vec<SyncMsg> = Vec::new();
+        let mut now: u64 = 0;
+        let conserve = |producer: &Shell, consumer: &Shell, pending: &[SyncMsg]| -> u64 {
+            let in_flight: u64 = pending.iter().map(|m| m.bytes as u64).sum();
+            producer.space(RowIdx(0)) as u64 + consumer.space(RowIdx(0)) as u64 + in_flight
+        };
+
+        for op in ops {
+            now += 50;
+            match op {
+                ReorderOp::Produce(n) => {
+                    let n = n as u32;
+                    if producer.get_space(T0, 0, n, now) {
+                        let data = vec![0xA5u8; n as usize];
+                        now = producer.write(T0, 0, 0, &data, now, &mut mem).max(now);
+                        let out = producer.put_space(T0, 0, n, now, &mut mem);
+                        pending.extend(out.msgs);
+                    }
+                }
+                ReorderOp::Consume(n) => {
+                    let n = n as u32;
+                    if consumer.get_space(T0, 0, n, now) {
+                        let mut data = vec![0u8; n as usize];
+                        now = consumer.read(T0, 0, 0, &mut data, now, &mut mem).max(now);
+                        let out = consumer.put_space(T0, 0, n, now, &mut mem);
+                        pending.extend(out.msgs);
+                    }
+                }
+                ReorderOp::DeliverOne(sel) => {
+                    if !pending.is_empty() {
+                        // Arbitrary (not FIFO) pick: out-of-order delivery.
+                        let msg = pending.swap_remove(sel as usize % pending.len());
+                        now += 100;
+                        if msg.dst.shell == ShellId(1) {
+                            consumer.deliver_putspace(&msg, now);
+                        } else {
+                            producer.deliver_putspace(&msg, now);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                conserve(&producer, &consumer, &pending),
+                buffer_size as u64,
+                "credit conservation violated with {} messages in flight",
+                pending.len()
+            );
+        }
+        // Drain every remaining credit: space views must close the books.
+        while let Some(msg) = pending.pop() {
+            now += 100;
+            if msg.dst.shell == ShellId(1) {
+                consumer.deliver_putspace(&msg, now);
+            } else {
+                producer.deliver_putspace(&msg, now);
+            }
+        }
+        prop_assert_eq!(
+            producer.space(RowIdx(0)) as u64 + consumer.space(RowIdx(0)) as u64,
+            buffer_size as u64
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ReorderOp {
+    /// Producer tries to write-and-commit `n` bytes.
+    Produce(u8),
+    /// Consumer tries to read-and-commit `n` bytes.
+    Consume(u8),
+    /// Deliver one pending sync message, chosen arbitrarily.
+    DeliverOne(u16),
 }

@@ -1,0 +1,367 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong and how often; a
+//! [`FaultInjector`] turns the plan into a reproducible stream of
+//! per-event decisions, driven entirely by the simulator's own seeded
+//! RNGs ([`crate::rng`]). Every fault class draws from its own child
+//! generator (split from the single plan seed), so enabling one class
+//! does not perturb the decision stream of another — a sweep over
+//! `sync_drop_rate` sees identical bus-error decisions at every point.
+//!
+//! The plan is **off by default**: with all rates at zero the injector
+//! is never constructed, no RNG values are drawn, and the simulated
+//! timing is bit-identical to an uninstrumented run (the
+//! `timing_fingerprint` invariant).
+//!
+//! Fault classes (ISSUE 3 tentpole):
+//!
+//! * **sync**: delay or drop `putspace` messages on the sync network —
+//!   dropped credits are never recovered, so the stream eventually
+//!   stalls and the deadlock watchdog must diagnose it;
+//! * **bus**: a transfer error on the off-chip bus, modeled as a retry
+//!   penalty of extra wait cycles;
+//! * **sram**: a single-bit flip in data written to the on-chip stream
+//!   buffers (applied to the transfer, i.e. corruption-at-rest as seen
+//!   by the consumer);
+//! * **stall**: a coprocessor freezes for N cycles in the middle of a
+//!   processing step (pipeline hiccup, clock-domain recovery, ...);
+//! * **stream corruption**: byte corruption of an input elementary
+//!   stream, applied host-side by [`corrupt_bytes`] before the run.
+
+use crate::rng::{SplitMix64, Xoshiro256StarStar};
+
+/// What faults to inject and how often. All-zero rates (the default)
+/// mean no injection at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every fault class derives an independent child seed.
+    pub seed: u64,
+    /// Probability that a `putspace` message is silently dropped.
+    pub sync_drop_rate: f64,
+    /// Probability that a `putspace` message is delayed.
+    pub sync_delay_rate: f64,
+    /// Maximum extra delivery delay in cycles (uniform in `1..=max`).
+    pub sync_delay_max: u64,
+    /// Probability that an off-chip bus transfer errors and is retried.
+    pub bus_error_rate: f64,
+    /// Retry penalty per injected bus error, in cycles.
+    pub bus_retry_cycles: u64,
+    /// Probability that a stream-buffer write suffers a single-bit flip.
+    pub sram_flip_rate: f64,
+    /// Probability that a processing step stalls the coprocessor.
+    pub stall_rate: f64,
+    /// Stall length in cycles.
+    pub stall_cycles: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            sync_drop_rate: 0.0,
+            sync_delay_rate: 0.0,
+            sync_delay_max: 200,
+            bus_error_rate: 0.0,
+            bus_retry_cycles: 40,
+            sram_flip_rate: 0.0,
+            stall_rate: 0.0,
+            stall_cycles: 500,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero and the given seed (useful as a
+    /// base for builder-style sweeps).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.sync_drop_rate > 0.0
+            || self.sync_delay_rate > 0.0
+            || self.bus_error_rate > 0.0
+            || self.sram_flip_rate > 0.0
+            || self.stall_rate > 0.0
+    }
+}
+
+/// Counters of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `putspace` messages dropped.
+    pub sync_dropped: u64,
+    /// `putspace` messages delayed.
+    pub sync_delayed: u64,
+    /// Credit bytes lost to dropped messages (never recovered).
+    pub credits_lost: u64,
+    /// Bus transfer errors (retry penalties) injected.
+    pub bus_errors: u64,
+    /// Single-bit flips injected into stream-buffer writes.
+    pub sram_flips: u64,
+    /// Coprocessor stalls injected.
+    pub coproc_stalls: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected faults across all classes.
+    pub fn total(&self) -> u64 {
+        self.sync_dropped
+            + self.sync_delayed
+            + self.bus_errors
+            + self.sram_flips
+            + self.coproc_stalls
+    }
+}
+
+/// Decision for one `putspace` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncAction {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver after this many extra cycles.
+    Delay(u64),
+    /// Drop the message; the credit bytes are lost.
+    Drop,
+}
+
+/// A running injector: the plan plus one independent RNG per fault class
+/// and the injection counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng_sync: Xoshiro256StarStar,
+    rng_bus: Xoshiro256StarStar,
+    rng_sram: Xoshiro256StarStar,
+    rng_stall: Xoshiro256StarStar,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector from a plan. Child seeds are split in a fixed
+    /// order so each fault class owns an independent decision stream.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut sm = SplitMix64::new(plan.seed);
+        let rng_sync = Xoshiro256StarStar::new(sm.split());
+        let rng_bus = Xoshiro256StarStar::new(sm.split());
+        let rng_sram = Xoshiro256StarStar::new(sm.split());
+        let rng_stall = Xoshiro256StarStar::new(sm.split());
+        FaultInjector {
+            plan,
+            rng_sync,
+            rng_bus,
+            rng_sram,
+            rng_stall,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Decide the fate of one `putspace` message carrying `bytes`
+    /// credits. One uniform draw splits [0,1) into drop / delay /
+    /// deliver bands, so the per-message decision cost is constant.
+    pub fn sync_action(&mut self, bytes: u32) -> SyncAction {
+        let (drop, delay) = (self.plan.sync_drop_rate, self.plan.sync_delay_rate);
+        if drop <= 0.0 && delay <= 0.0 {
+            return SyncAction::Deliver;
+        }
+        let r = self.rng_sync.next_f64();
+        if r < drop {
+            self.stats.sync_dropped += 1;
+            self.stats.credits_lost += bytes as u64;
+            SyncAction::Drop
+        } else if r < drop + delay {
+            self.stats.sync_delayed += 1;
+            let d = 1 + self.rng_sync.below(self.plan.sync_delay_max.max(1));
+            SyncAction::Delay(d)
+        } else {
+            SyncAction::Deliver
+        }
+    }
+
+    /// Extra wait cycles for one off-chip bus transfer (0 = no fault).
+    pub fn bus_penalty(&mut self) -> u64 {
+        if self.plan.bus_error_rate <= 0.0 {
+            return 0;
+        }
+        if self.rng_bus.next_f64() < self.plan.bus_error_rate {
+            self.stats.bus_errors += 1;
+            self.plan.bus_retry_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Maybe flip one bit of a `len`-byte stream-buffer write. Returns
+    /// the byte index and XOR mask to apply.
+    pub fn sram_flip(&mut self, len: usize) -> Option<(usize, u8)> {
+        if self.plan.sram_flip_rate <= 0.0 || len == 0 {
+            return None;
+        }
+        if self.rng_sram.next_f64() < self.plan.sram_flip_rate {
+            self.stats.sram_flips += 1;
+            let idx = self.rng_sram.below(len as u64) as usize;
+            let mask = 1u8 << self.rng_sram.below(8);
+            Some((idx, mask))
+        } else {
+            None
+        }
+    }
+
+    /// Extra stall cycles for one processing step (0 = no fault).
+    pub fn step_stall(&mut self) -> u64 {
+        if self.plan.stall_rate <= 0.0 {
+            return 0;
+        }
+        if self.rng_stall.next_f64() < self.plan.stall_rate {
+            self.stats.coproc_stalls += 1;
+            self.plan.stall_cycles
+        } else {
+            0
+        }
+    }
+}
+
+/// Corrupt an elementary stream in place: each byte independently has
+/// one random bit flipped with probability `rate`. Deterministic in
+/// `seed`; returns the number of bytes corrupted. Callers that must
+/// keep a header intact corrupt a sub-slice (`&mut bytes[hdr..]`).
+pub fn corrupt_bytes(data: &mut [u8], rate: f64, seed: u64) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut flipped = 0;
+    for b in data.iter_mut() {
+        if rng.next_f64() < rate {
+            *b ^= 1u8 << rng.below(8);
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        assert!(!FaultPlan::default().is_active());
+        assert!(!FaultPlan::with_seed(99).is_active());
+        let active = FaultPlan {
+            sync_drop_rate: 0.01,
+            ..FaultPlan::with_seed(1)
+        };
+        assert!(active.is_active());
+    }
+
+    #[test]
+    fn decisions_are_reproducible_per_seed() {
+        let plan = FaultPlan {
+            sync_drop_rate: 0.1,
+            sync_delay_rate: 0.2,
+            bus_error_rate: 0.15,
+            sram_flip_rate: 0.1,
+            stall_rate: 0.05,
+            ..FaultPlan::with_seed(0xC0FFEE)
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..2000 {
+            assert_eq!(a.sync_action(64), b.sync_action(64), "sync {i}");
+            assert_eq!(a.bus_penalty(), b.bus_penalty(), "bus {i}");
+            assert_eq!(a.sram_flip(128), b.sram_flip(128), "sram {i}");
+            assert_eq!(a.step_stall(), b.step_stall(), "stall {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0);
+    }
+
+    #[test]
+    fn classes_draw_independently() {
+        // Consuming one class's stream must not disturb another's.
+        let plan = FaultPlan {
+            sync_drop_rate: 0.5,
+            bus_error_rate: 0.5,
+            ..FaultPlan::with_seed(7)
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..100 {
+            let _ = a.sync_action(8); // a consumes sync decisions...
+        }
+        for _ in 0..50 {
+            // ...but its bus stream still matches b's untouched one.
+            assert_eq!(a.bus_penalty(), b.bus_penalty());
+        }
+    }
+
+    #[test]
+    fn zero_rate_classes_inject_nothing() {
+        let plan = FaultPlan {
+            sync_delay_rate: 1.0,
+            ..FaultPlan::with_seed(3)
+        };
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert!(matches!(inj.sync_action(4), SyncAction::Delay(_)));
+            assert_eq!(inj.bus_penalty(), 0);
+            assert_eq!(inj.sram_flip(64), None);
+            assert_eq!(inj.step_stall(), 0);
+        }
+        let s = inj.stats();
+        assert_eq!(s.sync_delayed, 100);
+        assert_eq!(
+            s.sync_dropped + s.bus_errors + s.sram_flips + s.coproc_stalls,
+            0
+        );
+    }
+
+    #[test]
+    fn delay_bounds_respected() {
+        let plan = FaultPlan {
+            sync_delay_rate: 1.0,
+            sync_delay_max: 10,
+            ..FaultPlan::with_seed(11)
+        };
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..1000 {
+            match inj.sync_action(1) {
+                SyncAction::Delay(d) => assert!((1..=10).contains(&d), "delay {d}"),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_and_rate_proportional() {
+        let mut a = vec![0u8; 10_000];
+        let mut b = vec![0u8; 10_000];
+        let na = corrupt_bytes(&mut a, 0.01, 42);
+        let nb = corrupt_bytes(&mut b, 0.01, 42);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!((50..200).contains(&na), "≈1% of 10000, got {na}");
+        // Each corrupted byte differs by exactly one bit.
+        let ones: u32 = a.iter().map(|&x| x.count_ones()).sum();
+        assert_eq!(ones as u64, na);
+        // Zero rate: untouched.
+        let mut c = vec![0xABu8; 64];
+        assert_eq!(corrupt_bytes(&mut c, 0.0, 1), 0);
+        assert!(c.iter().all(|&x| x == 0xAB));
+    }
+}

@@ -15,7 +15,10 @@
 //!   without pulling an RNG dependency into the kernel, and
 //! * lightweight statistics accumulators ([`stats::RunningStat`],
 //!   [`stats::Histogram`], [`stats::TimeWeighted`]) shared by all
-//!   architecture components.
+//!   architecture components, and
+//! * deterministic fault injection ([`fault::FaultPlan`],
+//!   [`fault::FaultInjector`]) for chaos experiments — off by default
+//!   and bit-transparent when disabled.
 //!
 //! ## Determinism
 //!
@@ -26,11 +29,13 @@
 //! rely on.
 
 pub mod calendar;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use calendar::{BaselineCalendar, Calendar};
+pub use fault::{corrupt_bytes, FaultInjector, FaultPlan, FaultStats, SyncAction};
 pub use time::{Clock, Cycle, Frequency};
 pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};

@@ -147,6 +147,24 @@ pub enum TraceEventKind {
         /// Interned outcome name: "AllFinished", "Deadlock", "MaxCycles".
         outcome: LabelId,
     },
+    /// A sampled counter value (buffer fill level, queue depth, ...).
+    /// Exported as a Chrome counter track (`ph:"C"`), so chaos runs can
+    /// visualize backpressure building up behind injected faults.
+    Counter {
+        /// Interned track name (e.g. `space/dec0.token:dec0.rlsq.in0`).
+        track: LabelId,
+        /// Sampled value.
+        value: u64,
+    },
+    /// A fault was injected (see `eclipse_sim::fault`).
+    Fault {
+        /// Interned fault-class name: "sync_drop", "sync_delay",
+        /// "bus_error", "sram_flip", "stall".
+        class: LabelId,
+        /// Class-specific magnitude: credit bytes lost, delay or stall
+        /// cycles, retry penalty, flipped-byte index.
+        magnitude: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -168,6 +186,8 @@ impl TraceEventKind {
             TraceEventKind::Sample => "sample",
             TraceEventKind::RunStart => "run_start",
             TraceEventKind::RunEnd { .. } => "run_end",
+            TraceEventKind::Counter { .. } => "counter",
+            TraceEventKind::Fault { .. } => "fault",
         }
     }
 }
@@ -352,6 +372,12 @@ impl TraceSink {
                      \"tid\":{tid},\"args\":{{\"bytes\":{bytes},\"wait\":{wait}}}}}",
                     e.cycle,
                 ),
+                TraceEventKind::Counter { track, value } => format!(
+                    "{{\"name\":{},\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"value\":{value}}}}}",
+                    json_string(self.label(track)),
+                    e.cycle,
+                ),
                 kind => {
                     let args = instant_args(&kind, self);
                     format!(
@@ -441,6 +467,18 @@ impl TraceSink {
                     String::new(),
                     String::new(),
                 ),
+                TraceEventKind::Counter { track, value } => (
+                    self.label(track),
+                    value.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                TraceEventKind::Fault { class, magnitude } => (
+                    self.label(class),
+                    magnitude.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
             };
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
@@ -504,6 +542,12 @@ fn instant_args(kind: &TraceEventKind, sink: &TraceSink) -> String {
         }
         TraceEventKind::RunEnd { outcome } => {
             format!("\"outcome\":{}", json_string(sink.label(outcome)))
+        }
+        TraceEventKind::Fault { class, magnitude } => {
+            format!(
+                "\"class\":{},\"magnitude\":{magnitude}",
+                json_string(sink.label(class))
+            )
         }
         _ => String::new(),
     }
