@@ -172,6 +172,7 @@ fn bench_shell() {
                 },
                 bytes: 64,
                 send_at: now,
+                dst_gen: 0,
             };
             shell.deliver_putspace(&msg, now);
         }

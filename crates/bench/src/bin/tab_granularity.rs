@@ -77,6 +77,9 @@ impl Coprocessor for UnifiedCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
     fn step(&mut self, task: TaskIdx, info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
         match self.route[&task] {
             0 => self.vld.step(task, info, ctx),

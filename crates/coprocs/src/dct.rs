@@ -106,6 +106,9 @@ impl Coprocessor for DctCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn error_counters(&self) -> (u64, u64) {
         (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)

@@ -201,6 +201,13 @@ impl DspCoproc {
         self
     }
 
+    /// Bind an `audio_dec` stream in place — the non-consuming form of
+    /// [`DspCoproc::with_audio`], for binding new work to a DSP already
+    /// installed in a built system (run-time reconfiguration).
+    pub fn bind_audio(&mut self, name: impl Into<String>, cfg: AudioTaskConfig) {
+        self.audio_cfgs.insert(name.into(), cfg);
+    }
+
     /// Bind a `demux` transport stream to the task named `name`.
     pub fn with_demux(mut self, name: impl Into<String>, cfg: DemuxTaskConfig) -> Self {
         self.demux_cfgs.insert(name.into(), cfg);
@@ -426,6 +433,9 @@ impl Coprocessor for DspCoproc {
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use eclipse_core::{EclipseConfig, EclipseSystem, RunSummary, SystemBuilder};
+use eclipse_core::{
+    AppHandles, EclipseConfig, EclipseSystem, MapError, ReconfigError, RunSummary, SystemBuilder,
+};
 use eclipse_media::frame::Frame;
 use eclipse_media::stream::{read_sequence_header, GopConfig, SequenceHeader};
 use eclipse_sim::Cycle;
@@ -92,9 +94,17 @@ impl MpegBuilder {
     }
 
     fn dram_alloc(&mut self, size: u32, align: u32) -> u32 {
-        let base = (self.dram_next + align - 1) & !(align - 1);
-        self.dram_next = base + size;
-        base
+        // Widen to u64: the `(next + align - 1)` round-up and the end
+        // address can both overflow u32 near the top of the address
+        // space, which would silently wrap and overlap earlier loads.
+        let base = (self.dram_next as u64 + align as u64 - 1) & !(align as u64 - 1);
+        let end = base + size as u64;
+        assert!(
+            end <= u32::MAX as u64,
+            "off-chip reservation of {size} bytes overflows the 32-bit address space"
+        );
+        self.dram_next = end as u32;
+        base as u32
     }
 
     /// Add a decode application: `bitstream` is an elementary stream
@@ -371,6 +381,47 @@ impl MpegSystem {
             .as_any()
             .downcast_ref::<DspCoproc>()?;
         dsp.monitor_stats(&format!("{prefix}.monitor"))
+    }
+
+    /// Admit an audio-decode application into the *live* system
+    /// (run-time reconfiguration): the PCM is compressed, placed in
+    /// off-chip memory, bound to the DSP's software audio decoder, and
+    /// the `audio_dec → pcm_sink` graph is mapped mid-run. Pair with
+    /// [`EclipseSystem::drain_app`] / [`EclipseSystem::unmap_app`] on
+    /// `sys` (the app name is `{prefix}-audio`) to tear it down again.
+    pub fn add_audio_live(
+        &mut self,
+        prefix: &str,
+        pcm: &[i16],
+        bufs: AudioAppConfig,
+    ) -> Result<AppHandles, ReconfigError> {
+        let coded = eclipse_media::audio::encode(pcm);
+        let addr = self
+            .sys
+            .try_dram_alloc(coded.len() as u32, 64)
+            .map_err(|cause| {
+                ReconfigError::Map(MapError::BufferAlloc {
+                    stream: format!("{prefix}.audio-bitstream"),
+                    cause,
+                })
+            })?;
+        self.sys.dram_mut().write(addr, &coded);
+        let dsp = self
+            .sys
+            .coproc_mut(self.coprocs.dsp)
+            .as_any_mut()
+            .downcast_mut::<DspCoproc>()
+            .expect("DSP shell hosts a DspCoproc");
+        dsp.bind_audio(
+            format!("{prefix}.audio"),
+            AudioTaskConfig {
+                source: AudioSource::Dram {
+                    addr,
+                    len: coded.len() as u32,
+                },
+            },
+        );
+        self.sys.map_app_live(&audio_graph(prefix, &bufs))
     }
 
     /// PCM produced by the audio app `prefix`.

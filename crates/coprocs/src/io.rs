@@ -173,6 +173,9 @@ mod tests {
         fn as_any(&self) -> &dyn std::any::Any {
             self
         }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
         fn step(&mut self, _t: TaskIdx, _i: u32, ctx: &mut StepCtx<'_>) -> StepResult {
             if self.next >= self.records.len() {
                 // End marker: length 0.
@@ -218,6 +221,9 @@ mod tests {
             (vec![1], vec![])
         }
         fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
         fn step(&mut self, _t: TaskIdx, _i: u32, ctx: &mut StepCtx<'_>) -> StepResult {

@@ -1062,6 +1062,9 @@ impl Coprocessor for McMeCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn error_counters(&self) -> (u64, u64) {
         let mut errors = 0;

@@ -119,6 +119,9 @@ impl Coprocessor for RlsqCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn error_counters(&self) -> (u64, u64) {
         (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)

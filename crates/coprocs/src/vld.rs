@@ -318,6 +318,9 @@ impl Coprocessor for VldCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn error_counters(&self) -> (u64, u64) {
         self.tasks.values().fold((0, 0), |(e, c), t| {

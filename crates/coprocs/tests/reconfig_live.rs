@@ -1,0 +1,118 @@
+//! Run-time reconfiguration at instance level (paper Section 3): audio
+//! applications are admitted into a *running* MPEG instance, drained,
+//! and unmapped, while a co-resident video decode keeps streaming — and
+//! the video output must be bit-identical to a churn-free solo run.
+
+use eclipse_coprocs::apps::{AudioAppConfig, DecodeAppConfig};
+use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder, MpegSystem};
+use eclipse_core::{AppState, EclipseConfig, RunOutcome};
+use eclipse_media::audio;
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::source::{SourceConfig, SyntheticSource};
+use eclipse_media::stream::GopConfig;
+use eclipse_media::Decoder;
+
+fn video_system() -> (MpegSystem, Vec<eclipse_media::frame::Frame>) {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 48,
+        height: 32,
+        complexity: 0.4,
+        motion: 1.5,
+        seed: 23,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width: 48,
+        height: 32,
+        qscale: 6,
+        gop: GopConfig { n: 8, m: 1 },
+        search_range: 7,
+    });
+    let (bitstream, _) = enc.encode(&src.frames(16));
+    let reference = Decoder::decode(&bitstream).unwrap().frames;
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_decode("vid", bitstream, DecodeAppConfig::default());
+    (b.build(), reference)
+}
+
+/// Pump the simulation in slices until `done` says stop (or everything
+/// finished). Panics on deadlock.
+fn pump(sys: &mut MpegSystem, mut done: impl FnMut(&MpegSystem) -> bool) -> bool {
+    loop {
+        let stop = sys.sys.now() + 5_000;
+        match sys.sys.run_until(stop) {
+            Some(RunOutcome::AllFinished) => return true,
+            Some(other) => panic!("unexpected outcome while pumping: {other:?}"),
+            None => {}
+        }
+        if done(sys) {
+            return false;
+        }
+    }
+}
+
+#[test]
+fn audio_churn_leaves_video_decode_bit_identical() {
+    // Solo reference: the same video system with no reconfiguration.
+    let (mut solo, reference) = video_system();
+    assert_eq!(solo.run(20_000_000_000).outcome, RunOutcome::AllFinished);
+    assert_eq!(solo.display_frames("vid").unwrap(), reference);
+    let solo_cycles = solo.sys.now();
+
+    // Churn run: admit an audio app mid-decode, let it finish, reclaim
+    // it, then admit a *second* one into the recycled slots.
+    let (mut sys, _) = video_system();
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 8, 0xBEEF);
+    let audio_ref = audio::decode(&audio::encode(&pcm));
+
+    assert_eq!(sys.sys.run_until(5_000), None, "video still decoding");
+    let sram_before = sys.sys.sram_allocator().in_use();
+
+    sys.add_audio_live("aud", &pcm, AudioAppConfig::default())
+        .expect("audio app admitted");
+    assert_eq!(sys.sys.app_state("aud-audio"), Some(AppState::Running));
+
+    // Pump until the audio path delivered every PCM block.
+    let target = audio_ref.len();
+    let all_done = pump(&mut sys, |s| {
+        s.pcm_samples("aud").map_or(0, |p| p.len()) >= target
+    });
+    assert!(!all_done, "video should still be running");
+    // Capture before the slots are recycled by the next app.
+    assert_eq!(sys.pcm_samples("aud").unwrap(), audio_ref);
+
+    sys.sys.drain_app("aud-audio", 10_000_000).unwrap();
+    sys.sys.unmap_app("aud-audio").unwrap();
+    assert_eq!(sys.sys.sram_allocator().in_use(), sram_before);
+
+    // Second audio app: exercises stream-row / task-slot recycling and a
+    // fresh DRAM reservation in the live system.
+    let pcm2 = audio::synth_pcm(audio::BLOCK_SAMPLES * 4, 0xCAFE);
+    let audio_ref2 = audio::decode(&audio::encode(&pcm2));
+    sys.add_audio_live("aud2", &pcm2, AudioAppConfig::default())
+        .expect("second audio app admitted into recycled slots");
+
+    // Run everything to completion.
+    let summary = sys.run(20_000_000_000);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    assert_eq!(sys.pcm_samples("aud2").unwrap(), audio_ref2);
+
+    // The co-resident video decode is bit-identical to the solo run.
+    assert_eq!(sys.display_frames("vid").unwrap(), reference);
+    // Sanity: the churn really shared the DSP (video took no less time).
+    assert!(sys.sys.now() >= solo_cycles);
+}
+
+#[test]
+fn second_map_of_same_prefix_is_rejected() {
+    let (mut sys, _) = video_system();
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 2, 7);
+    assert_eq!(sys.sys.run_until(10_000), None);
+    sys.add_audio_live("a", &pcm, AudioAppConfig::default())
+        .unwrap();
+    assert!(sys
+        .add_audio_live("a", &pcm, AudioAppConfig::default())
+        .is_err());
+    // The duplicate rejection didn't corrupt anything: everything runs
+    // to completion.
+    assert_eq!(sys.run(20_000_000_000).outcome, RunOutcome::AllFinished);
+}

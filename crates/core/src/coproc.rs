@@ -276,6 +276,11 @@ pub trait Coprocessor {
     /// (e.g. a display task's collected frames) after a run.
     fn as_any(&self) -> &dyn std::any::Any;
 
+    /// Mutable downcast support, so run-time reconfiguration can bind new
+    /// work (e.g. an audio stream for a live-mapped app) to a coprocessor
+    /// model inside a built system.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
     /// Graceful-degradation counters, summed over this coprocessor's
     /// tasks: `(decode/parse errors recovered from, macroblocks
     /// concealed)`. Zero for models that never degrade.

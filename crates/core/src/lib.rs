@@ -35,5 +35,7 @@ pub mod trace;
 pub use config::EclipseConfig;
 pub use coproc::{Coprocessor, StepCtx, StepResult};
 pub use mapping::{AppHandles, MapError};
-pub use system::{EclipseSystem, RunOutcome, RunSummary, SystemBuilder};
+pub use system::{
+    AppState, DrainReport, EclipseSystem, ReconfigError, RunOutcome, RunSummary, SystemBuilder,
+};
 pub use trace::{TraceLog, TraceSeries};

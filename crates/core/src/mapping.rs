@@ -126,13 +126,16 @@ pub(crate) struct PlannedTask {
 /// Compute the complete table-programming plan for `graph`.
 ///
 /// `assign[task] = shell index` for every task (resolved by the builder);
-/// `alloc` carves the stream buffers; `shell_row_base[s]` is the number of
-/// rows shell `s` already has (multi-application mapping stacks rows).
+/// `alloc` carves the stream buffers; `next_slot(s)` predicts the row
+/// index the next stream-row add on shell `s` will return — successive
+/// calls must return successive slots (the builder closes over per-shell
+/// append counters; the live path also replays retired-slot free lists,
+/// so recycled rows are predicted exactly).
 pub(crate) fn plan_rows(
     graph: &AppGraph,
     assign: &[usize],
     n_shells: usize,
-    shell_row_base: &[u16],
+    mut next_slot: impl FnMut(usize) -> RowIdx,
     mut alloc: impl FnMut(u32) -> Result<CyclicBuffer, AllocError>,
 ) -> Result<RowPlan, MapError> {
     // Allocate buffers per stream.
@@ -147,7 +150,6 @@ pub(crate) fn plan_rows(
 
     // First pass: assign a (shell, row) access point to every port.
     // Row order within a shell follows (task order, inputs then outputs).
-    let mut next_row: Vec<u16> = shell_row_base.to_vec();
     let mut producer_ap: HashMap<StreamId, AccessPoint> = HashMap::new();
     let mut consumer_aps: HashMap<StreamId, Vec<AccessPoint>> = HashMap::new();
     let mut port_rows: Vec<Vec<RowIdx>> = Vec::with_capacity(graph.tasks().len());
@@ -155,8 +157,7 @@ pub(crate) fn plan_rows(
         let shell = assign[tid.0 as usize];
         let mut rows = Vec::with_capacity(t.inputs.len() + t.outputs.len());
         for &sid in &t.inputs {
-            let row = RowIdx(next_row[shell]);
-            next_row[shell] += 1;
+            let row = next_slot(shell);
             rows.push(row);
             consumer_aps.entry(sid).or_default().push(AccessPoint {
                 shell: eclipse_shell::ShellId(shell as u16),
@@ -164,8 +165,7 @@ pub(crate) fn plan_rows(
             });
         }
         for &sid in &t.outputs {
-            let row = RowIdx(next_row[shell]);
-            next_row[shell] += 1;
+            let row = next_slot(shell);
             rows.push(row);
             producer_ap.insert(
                 sid,
@@ -249,6 +249,17 @@ mod tests {
     use eclipse_kpn::GraphBuilder;
     use eclipse_mem::BufferAllocator;
 
+    /// Test stand-in for the builder's append counters: successive slots
+    /// per shell starting from `base`.
+    fn bump(base: &[u16]) -> impl FnMut(usize) -> RowIdx {
+        let mut next = base.to_vec();
+        move |s| {
+            let r = RowIdx(next[s]);
+            next[s] += 1;
+            r
+        }
+    }
+
     fn simple_graph() -> AppGraph {
         let mut g = GraphBuilder::new("t");
         let a = g.stream("a", 256);
@@ -264,7 +275,7 @@ mod tests {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
         // src -> shell 0, mid -> shell 1, dst -> shell 0 (multi-tasking).
-        let plan = plan_rows(&g, &[0, 1, 0], 2, &[0, 0], |size| {
+        let plan = plan_rows(&g, &[0, 1, 0], 2, bump(&[0, 0]), |size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -304,7 +315,7 @@ mod tests {
     fn row_base_offsets_multi_app_rows() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 0, 0], 1, &[5], |size| {
+        let plan = plan_rows(&g, &[0, 0, 0], 1, bump(&[5]), |size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -321,7 +332,7 @@ mod tests {
         g.task("c2", "collect", 0, &[s], &[]);
         let g = g.build().unwrap();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 1, 1], 2, &[0, 0], |size| {
+        let plan = plan_rows(&g, &[0, 1, 1], 2, bump(&[0, 0]), |size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -333,7 +344,7 @@ mod tests {
     fn alloc_failure_is_reported_with_stream_name() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 100); // too small
-        let err = plan_rows(&g, &[0, 0, 0], 1, &[0], |size| {
+        let err = plan_rows(&g, &[0, 0, 0], 1, bump(&[0]), |size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap_err();

@@ -17,8 +17,10 @@
 use std::collections::HashMap;
 
 use eclipse_kpn::graph::AppGraph;
-use eclipse_mem::{BufferAllocator, Bus, Dram, Sram};
+use eclipse_mem::alloc::AllocError;
+use eclipse_mem::{BufferAllocator, Bus, CyclicBuffer, Dram, Sram};
 use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx};
+use eclipse_shell::task_table::TaskIdx;
 use eclipse_shell::{GetTaskResult, MemSys, Shell, ShellConfig, ShellId, SyncMsg};
 use eclipse_sim::stats::{Histogram, Utilization};
 use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle, TraceSink};
@@ -26,7 +28,7 @@ use eclipse_sim::{Calendar, Cycle, FaultInjector, FaultPlan, FaultStats, SyncAct
 
 use crate::config::EclipseConfig;
 use crate::coproc::{Coprocessor, StepCtx, StepResult};
-use crate::mapping::{plan_rows, task_config, AppHandles, MapError, BUFFER_ALIGN};
+use crate::mapping::{plan_rows, task_config, AppHandles, MapError, RowPlan, BUFFER_ALIGN};
 use crate::trace::TraceLog;
 
 /// CPU-centric synchronization baseline (experiment E10): every
@@ -90,6 +92,239 @@ pub struct RunSummary {
     pub concealed_mbs: u64,
 }
 
+/// Lifecycle state of a mapped application (run-time reconfiguration).
+///
+/// `Running -> Paused -> Running` via [`EclipseSystem::pause_app`] /
+/// [`EclipseSystem::resume_app`]; `Running|Paused -> Drained` via
+/// [`EclipseSystem::drain_app`]; a `Drained` app can be reclaimed with
+/// [`EclipseSystem::unmap_app`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppState {
+    /// Tasks enabled and schedulable.
+    Running,
+    /// Tasks disabled (preempted) but tables, buffers, and in-flight
+    /// state intact; resumable.
+    Paused,
+    /// Tasks disabled and every in-flight `putspace` addressed to the
+    /// app's rows delivered; safe to unmap.
+    Drained,
+}
+
+/// Book-keeping for one mapped application.
+#[derive(Debug)]
+struct AppRecord {
+    state: AppState,
+    /// (shell index, task slot) of every task.
+    tasks: Vec<(usize, TaskIdx)>,
+    /// (shell index, stream row) of every access point.
+    rows: Vec<(usize, RowIdx)>,
+    /// The app's stream buffers in SRAM.
+    buffers: Vec<CyclicBuffer>,
+}
+
+/// Errors from run-time reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The graph could not be placed (assignment or SRAM exhaustion);
+    /// already-allocated buffers are rolled back.
+    Map(MapError),
+    /// A shell's task table has no room for the app's tasks.
+    TaskSlotsExhausted {
+        /// The shell that ran out of slots.
+        shell: String,
+        /// Task slots the app needs on that shell.
+        needed: usize,
+        /// Task slots available there.
+        available: usize,
+    },
+    /// No mapped application with this name.
+    UnknownApp(String),
+    /// An application with this name is already mapped.
+    AlreadyMapped(String),
+    /// `unmap_app` requires a prior successful `drain_app`.
+    NotDrained(String),
+    /// The operation is invalid for the app's current lifecycle state.
+    InvalidState {
+        /// The application.
+        app: String,
+        /// Its current state.
+        state: AppState,
+        /// The rejected operation.
+        op: &'static str,
+    },
+    /// The drain's in-flight syncs did not quiesce within `max_wait`.
+    DrainTimeout {
+        /// The application.
+        app: String,
+        /// Cycles waited before giving up.
+        waited: u64,
+        /// Syncs still in flight toward the app's rows.
+        pending: u32,
+    },
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Map(e) => write!(f, "cannot map application: {e}"),
+            ReconfigError::TaskSlotsExhausted {
+                shell,
+                needed,
+                available,
+            } => write!(
+                f,
+                "shell '{shell}' task table exhausted: app needs {needed} slots, {available} available"
+            ),
+            ReconfigError::UnknownApp(name) => write!(f, "no mapped application '{name}'"),
+            ReconfigError::AlreadyMapped(name) => {
+                write!(f, "application '{name}' is already mapped")
+            }
+            ReconfigError::NotDrained(name) => {
+                write!(f, "application '{name}' must be drained before unmapping")
+            }
+            ReconfigError::InvalidState { app, state, op } => {
+                write!(f, "cannot {op} application '{app}' in state {state:?}")
+            }
+            ReconfigError::DrainTimeout {
+                app,
+                waited,
+                pending,
+            } => write!(
+                f,
+                "draining '{app}' timed out after {waited} cycles with {pending} syncs in flight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<MapError> for ReconfigError {
+    fn from(e: MapError) -> Self {
+        ReconfigError::Map(e)
+    }
+}
+
+/// What a completed [`EclipseSystem::drain_app`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Cycles of simulated time the quiesce waited for in-flight syncs
+    /// (0 when the app was already quiescent).
+    pub wait_cycles: u64,
+}
+
+/// Overflow-checked bump allocation: round `next` up to `align`, advance
+/// past `size` bytes, and check against a `capacity` ceiling. Returns
+/// `(base, new_next)`.
+fn checked_bump(next: u32, size: u32, align: u32, capacity: u32) -> Result<(u32, u32), AllocError> {
+    assert!(align.is_power_of_two());
+    let base = (next as u64 + align as u64 - 1) & !(align as u64 - 1);
+    let end = base + size as u64;
+    if end > u32::MAX as u64 {
+        return Err(AllocError::AddressOverflow { requested: size });
+    }
+    if end > capacity as u64 {
+        return Err(AllocError::OutOfMemory {
+            requested: size,
+            largest_free: capacity.saturating_sub(next),
+        });
+    }
+    Ok((base as u32, end as u32))
+}
+
+/// Resolve a shell assignment for every task of `graph`: explicit
+/// assignments (validated) override the first coprocessor supporting
+/// the task's function.
+fn resolve_assignments(
+    coprocs: &[Box<dyn Coprocessor>],
+    graph: &AppGraph,
+    assignments: &HashMap<String, usize>,
+) -> Result<Vec<usize>, MapError> {
+    let mut assign = Vec::with_capacity(graph.tasks().len());
+    for (_tid, t) in graph.task_ids() {
+        let shell = match assignments.get(&t.name) {
+            Some(&s) => {
+                if s >= coprocs.len() {
+                    return Err(MapError::BadAssignment {
+                        task: t.name.clone(),
+                        coproc: s,
+                    });
+                }
+                if !coprocs[s].supports(&t.function) {
+                    return Err(MapError::UnsupportedFunction {
+                        task: t.name.clone(),
+                        function: t.function.clone(),
+                        coproc: coprocs[s].name().to_string(),
+                    });
+                }
+                s
+            }
+            None => coprocs
+                .iter()
+                .position(|c| c.supports(&t.function))
+                .ok_or_else(|| MapError::NoCoprocessor {
+                    task: t.name.clone(),
+                    function: t.function.clone(),
+                })?,
+        };
+        assign.push(shell);
+    }
+    Ok(assign)
+}
+
+/// Program a computed [`RowPlan`] into the shells: stream rows first
+/// (recycling retired slots, with the labels updated in place), then the
+/// task tables. Shared by build-time mapping and live admission — the
+/// build path sees empty free lists, so its behavior is unchanged.
+#[allow(clippy::type_complexity)]
+fn install_plan(
+    shells: &mut [Shell],
+    row_labels: &mut [Vec<String>],
+    coprocs: &mut [Box<dyn Coprocessor>],
+    default_budget: u64,
+    graph: &AppGraph,
+    plan: &RowPlan,
+) -> (AppHandles, Vec<(usize, RowIdx)>, Vec<(usize, TaskIdx)>) {
+    let mut app_rows = Vec::new();
+    let mut app_tasks = Vec::new();
+    for (shell_idx, rows) in plan.rows.iter().enumerate() {
+        for (cfg, label) in rows {
+            let idx = shells[shell_idx].add_stream_row(cfg.clone());
+            let slot = idx.0 as usize;
+            if slot < row_labels[shell_idx].len() {
+                row_labels[shell_idx][slot] = label.clone();
+            } else {
+                debug_assert_eq!(slot, row_labels[shell_idx].len());
+                row_labels[shell_idx].push(label.clone());
+            }
+            app_rows.push((shell_idx, idx));
+        }
+    }
+    let mut handles = AppHandles::default();
+    for (shell_idx, tasks) in plan.tasks.iter().enumerate() {
+        for planned in tasks {
+            let decl = graph.task(planned.graph_task);
+            // Pre-assign the shell task id (append or recycled slot) so
+            // the coprocessor can key its per-task state by it.
+            let task_idx = shells[shell_idx].next_task_slot();
+            let (in_hints, out_hints) = coprocs[shell_idx].configure_task(task_idx, decl);
+            let cfg = task_config(planned, decl, default_budget, in_hints, out_hints);
+            let actual = shells[shell_idx].add_task(cfg);
+            debug_assert_eq!(actual, task_idx);
+            handles
+                .tasks
+                .insert(decl.name.clone(), (shell_idx, task_idx));
+            app_tasks.push((shell_idx, task_idx));
+        }
+    }
+    for (sid, s) in graph.stream_ids() {
+        handles
+            .streams
+            .insert(s.name.clone(), plan.buffers[sid.0 as usize]);
+    }
+    (handles, app_rows, app_tasks)
+}
+
 /// Builds an [`EclipseSystem`]: instantiate coprocessors, map
 /// applications, then [`SystemBuilder::build`].
 pub struct SystemBuilder {
@@ -101,6 +336,7 @@ pub struct SystemBuilder {
     alloc: BufferAllocator,
     dram_next: u32,
     cpu_sync: Option<CpuSyncConfig>,
+    apps: HashMap<String, AppRecord>,
 }
 
 impl SystemBuilder {
@@ -115,6 +351,7 @@ impl SystemBuilder {
             row_labels: Vec::new(),
             dram_next: 0,
             cpu_sync: None,
+            apps: HashMap::new(),
         }
     }
 
@@ -148,18 +385,23 @@ impl SystemBuilder {
 
     /// Reserve `size` bytes of off-chip memory (bitstreams, frame
     /// stores). A simple bump allocator — off-chip layout is static per
-    /// experiment.
+    /// experiment. Panics on exhaustion; see
+    /// [`SystemBuilder::try_dram_alloc`] for the fallible form.
     pub fn dram_alloc(&mut self, size: u32, align: u32) -> u32 {
-        assert!(align.is_power_of_two());
-        let base = (self.dram_next + align - 1) & !(align - 1);
-        self.dram_next = base + size;
-        assert!(
-            self.dram_next <= self.cfg.dram.size,
-            "off-chip memory exhausted: {} > {}",
-            self.dram_next,
-            self.cfg.dram.size
-        );
-        base
+        let capacity = self.cfg.dram.size;
+        match self.try_dram_alloc(size, align) {
+            Ok(base) => base,
+            Err(e) => panic!("off-chip memory exhausted: {e} (capacity {capacity})"),
+        }
+    }
+
+    /// Fallible off-chip reservation: reports exhaustion and 32-bit
+    /// address-space overflow in the `(next + align - 1)` round-up as
+    /// typed errors instead of wrapping or panicking.
+    pub fn try_dram_alloc(&mut self, size: u32, align: u32) -> Result<u32, AllocError> {
+        let (base, next) = checked_bump(self.dram_next, size, align, self.cfg.dram.size)?;
+        self.dram_next = next;
+        Ok(base)
     }
 
     /// Map an application graph, assigning every task to the first
@@ -175,73 +417,43 @@ impl SystemBuilder {
         graph: &AppGraph,
         assignments: &std::collections::HashMap<String, usize>,
     ) -> Result<AppHandles, MapError> {
-        // Resolve an assignment for every task.
-        let mut assign = Vec::with_capacity(graph.tasks().len());
-        for (_tid, t) in graph.task_ids() {
-            let shell = match assignments.get(&t.name) {
-                Some(&s) => {
-                    if s >= self.coprocs.len() {
-                        return Err(MapError::BadAssignment {
-                            task: t.name.clone(),
-                            coproc: s,
-                        });
-                    }
-                    if !self.coprocs[s].supports(&t.function) {
-                        return Err(MapError::UnsupportedFunction {
-                            task: t.name.clone(),
-                            function: t.function.clone(),
-                            coproc: self.coprocs[s].name().to_string(),
-                        });
-                    }
-                    s
-                }
-                None => self
-                    .coprocs
-                    .iter()
-                    .position(|c| c.supports(&t.function))
-                    .ok_or_else(|| MapError::NoCoprocessor {
-                        task: t.name.clone(),
-                        function: t.function.clone(),
-                    })?,
-            };
-            assign.push(shell);
-        }
+        let assign = resolve_assignments(&self.coprocs, graph, assignments)?;
 
-        let row_base: Vec<u16> = self.shells.iter().map(|s| s.rows().len() as u16).collect();
+        // Build-time mapping only ever appends rows (nothing has been
+        // retired yet), so slot prediction is a plain per-shell counter.
+        let mut next_row: Vec<u16> = self.shells.iter().map(|s| s.rows().len() as u16).collect();
         let alloc = &mut self.alloc;
-        let plan = plan_rows(graph, &assign, self.shells.len(), &row_base, |size| {
-            alloc.alloc(size, BUFFER_ALIGN)
-        })?;
+        let plan = plan_rows(
+            graph,
+            &assign,
+            self.shells.len(),
+            |s| {
+                let r = RowIdx(next_row[s]);
+                next_row[s] += 1;
+                r
+            },
+            |size| alloc.alloc(size, BUFFER_ALIGN),
+        )?;
 
-        // Program the stream tables.
-        for (shell_idx, rows) in plan.rows.iter().enumerate() {
-            for (cfg, label) in rows {
-                self.shells[shell_idx].add_stream_row(cfg.clone());
-                self.row_labels[shell_idx].push(label.clone());
-            }
-        }
-
-        // Program the task tables and bind tasks to coprocessors.
-        let mut handles = AppHandles::default();
-        for (shell_idx, tasks) in plan.tasks.iter().enumerate() {
-            for planned in tasks {
-                let decl = graph.task(planned.graph_task);
-                // Pre-assign the shell task id (rows are appended in order).
-                let task_idx = eclipse_shell::TaskIdx(self.shells[shell_idx].tasks().len() as u8);
-                let (in_hints, out_hints) = self.coprocs[shell_idx].configure_task(task_idx, decl);
-                let cfg = task_config(planned, decl, self.cfg.default_budget, in_hints, out_hints);
-                let actual = self.shells[shell_idx].add_task(cfg);
-                debug_assert_eq!(actual, task_idx);
-                handles
-                    .tasks
-                    .insert(decl.name.clone(), (shell_idx, task_idx));
-            }
-        }
-        for (sid, s) in graph.stream_ids() {
-            handles
-                .streams
-                .insert(s.name.clone(), plan.buffers[sid.0 as usize]);
-        }
+        let (handles, rows, tasks) = install_plan(
+            &mut self.shells,
+            &mut self.row_labels,
+            &mut self.coprocs,
+            self.cfg.default_budget,
+            graph,
+            &plan,
+        );
+        // Register the app so a built system can pause/drain/unmap it
+        // exactly like a live-mapped one.
+        self.apps.insert(
+            graph.name.clone(),
+            AppRecord {
+                state: AppState::Running,
+                tasks,
+                rows,
+                buffers: plan.buffers.clone(),
+            },
+        );
         Ok(handles)
     }
 
@@ -271,6 +483,11 @@ impl SystemBuilder {
             shells: self.shells,
             shell_names: self.shell_names,
             row_labels: self.row_labels,
+            alloc: self.alloc,
+            dram_next: self.dram_next,
+            apps: self.apps,
+            pending_syncs: HashMap::new(),
+            started: false,
             cal: Calendar::new(),
             idle_since: vec![None; n],
             utilization: vec![Utilization::default(); n],
@@ -303,6 +520,19 @@ pub struct EclipseSystem {
     mem: MemSys,
     dram: Dram,
     system_bus: Bus,
+    /// The SRAM buffer allocator, carried over from the builder so live
+    /// reconfiguration can claim and reclaim stream buffers.
+    alloc: BufferAllocator,
+    /// Off-chip bump watermark, carried over for live DRAM reservations.
+    dram_next: u32,
+    /// Mapped applications by graph name.
+    apps: HashMap<String, AppRecord>,
+    /// In-flight `putspace` messages per (destination shell, row) —
+    /// host-side accounting only; the drain protocol waits on it.
+    pending_syncs: HashMap<(usize, u16), u32>,
+    /// The kickoff events (initial steps + sampler + RunStart) have been
+    /// scheduled; guards resumed runs against double kickoff.
+    started: bool,
     cal: Calendar<Event>,
     idle_since: Vec<Option<Cycle>>,
     utilization: Vec<Utilization>,
@@ -478,17 +708,106 @@ impl EclipseSystem {
         self.credit_check = true;
     }
 
+    /// Schedule the kickoff events (one step per shell, the sampler, and
+    /// the RunStart mark) exactly once per system lifetime; resumed runs
+    /// continue from the live calendar instead.
+    fn kickoff(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let t0 = self.cal.now();
+        for s in 0..self.shells.len() {
+            self.cal.schedule_at(t0, Event::Step(s));
+        }
+        self.cal
+            .schedule_at(t0 + self.cfg.sample_interval, Event::Sample);
+        if let Some(t) = &self.sys_trace {
+            t.emit(t0, TraceEventKind::RunStart);
+        }
+    }
+
+    /// Process one popped calendar event (shared by [`EclipseSystem::run`],
+    /// [`EclipseSystem::run_until`], and the drain pump).
+    fn handle_event(&mut self, now: Cycle, ev: Event) {
+        match ev {
+            Event::Step(s) => self.do_step(s, now),
+            Event::Sync(msg) => {
+                let dst = msg.dst.shell.0 as usize;
+                if let Some(p) = self.pending_syncs.get_mut(&(dst, msg.dst.row.0)) {
+                    *p = p.saturating_sub(1);
+                }
+                self.sync_messages += 1;
+                let latency = now.saturating_sub(msg.send_at);
+                self.sync_latency.record(latency);
+                if let Some(t) = &self.sys_trace {
+                    t.emit(
+                        now,
+                        TraceEventKind::SyncDeliver {
+                            bytes: msg.bytes,
+                            latency,
+                        },
+                    );
+                }
+                // The delivery may unblock a task or satisfy a space
+                // hint; an idle shell re-evaluates its scheduler on
+                // every message (spurious wakeups just re-idle).
+                if self.credit_check {
+                    let slot = self.in_flight.entry((msg.dst, msg.src)).or_insert(0);
+                    *slot = slot.saturating_sub(msg.bytes as u64);
+                }
+                self.shells[dst].deliver_putspace(&msg, now);
+                self.wake(dst, now);
+            }
+            Event::Sample => {
+                self.sample(now);
+                if let Some(t) = &self.sys_trace {
+                    t.emit(now, TraceEventKind::Sample);
+                }
+                // Keep sampling while anything can still happen.
+                if !self.cal.is_empty() {
+                    self.cal.schedule(self.cfg.sample_interval, Event::Sample);
+                }
+            }
+        }
+    }
+
+    /// Advance the simulation until `stop_at` (inclusive), every task
+    /// finishing, or deadlock. Returns `None` when the stop time was
+    /// reached with events still pending — the caller may reconfigure
+    /// (map/pause/drain/unmap apps) and resume with another
+    /// `run_until` or a final [`EclipseSystem::run`], which also
+    /// produces the summary. Unlike `run`, the event at the stop
+    /// boundary is left in the calendar, not discarded.
+    pub fn run_until(&mut self, stop_at: Cycle) -> Option<RunOutcome> {
+        self.kickoff();
+        loop {
+            if self.shells.iter().all(|sh| sh.all_tasks_finished()) {
+                return Some(RunOutcome::AllFinished);
+            }
+            match self.cal.peek_time() {
+                None => return Some(RunOutcome::Deadlock(self.blocked_tasks())),
+                Some(t) if t > stop_at => return None,
+                Some(_) => {
+                    let (now, ev) = self.cal.pop().expect("peeked event");
+                    self.handle_event(now, ev);
+                    if self.credit_check {
+                        self.verify_credits(now);
+                    }
+                    if let Some(k) = self.watchdog_cycles {
+                        if now.saturating_sub(self.last_progress) > k {
+                            return Some(RunOutcome::Deadlock(self.blocked_tasks()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Run until every task finishes, deadlock, or `max_cycles`.
     pub fn run(&mut self, max_cycles: Cycle) -> RunSummary {
         // Kick off: one step event per shell, plus the sampler.
-        for s in 0..self.shells.len() {
-            self.cal.schedule_at(0, Event::Step(s));
-        }
-        self.cal
-            .schedule_at(self.cfg.sample_interval, Event::Sample);
-        if let Some(t) = &self.sys_trace {
-            t.emit(0, TraceEventKind::RunStart);
-        }
+        self.kickoff();
 
         let mut outcome = RunOutcome::MaxCycles;
         while let Some((now, ev)) = self.cal.pop() {
@@ -496,43 +815,7 @@ impl EclipseSystem {
                 outcome = RunOutcome::MaxCycles;
                 break;
             }
-            match ev {
-                Event::Step(s) => self.do_step(s, now),
-                Event::Sync(msg) => {
-                    let dst = msg.dst.shell.0 as usize;
-                    self.sync_messages += 1;
-                    let latency = now.saturating_sub(msg.send_at);
-                    self.sync_latency.record(latency);
-                    if let Some(t) = &self.sys_trace {
-                        t.emit(
-                            now,
-                            TraceEventKind::SyncDeliver {
-                                bytes: msg.bytes,
-                                latency,
-                            },
-                        );
-                    }
-                    // The delivery may unblock a task or satisfy a space
-                    // hint; an idle shell re-evaluates its scheduler on
-                    // every message (spurious wakeups just re-idle).
-                    if self.credit_check {
-                        let slot = self.in_flight.entry((msg.dst, msg.src)).or_insert(0);
-                        *slot = slot.saturating_sub(msg.bytes as u64);
-                    }
-                    self.shells[dst].deliver_putspace(&msg, now);
-                    self.wake(dst, now);
-                }
-                Event::Sample => {
-                    self.sample(now);
-                    if let Some(t) = &self.sys_trace {
-                        t.emit(now, TraceEventKind::Sample);
-                    }
-                    // Keep sampling while anything can still happen.
-                    if !self.cal.is_empty() {
-                        self.cal.schedule(self.cfg.sample_interval, Event::Sample);
-                    }
-                }
-            }
+            self.handle_event(now, ev);
             if self.credit_check {
                 self.verify_credits(now);
             }
@@ -552,10 +835,13 @@ impl EclipseSystem {
             }
         }
         let end = self.cal.now();
-        // Close out idle accounting.
+        // Close out idle accounting. Idle shells stay marked idle (at
+        // `end`) rather than cleared, so a run resumed after live
+        // reconfiguration can still be woken by new work.
         for s in 0..self.shells.len() {
-            if let Some(since) = self.idle_since[s].take() {
+            if let Some(since) = self.idle_since[s] {
                 self.utilization[s].idle += end - since;
+                self.idle_since[s] = Some(end);
             }
         }
         self.sample(end);
@@ -573,6 +859,9 @@ impl EclipseSystem {
         let mut denial_rates = Vec::new();
         for (s, shell) in self.shells.iter().enumerate() {
             for (r, row) in shell.rows().iter().enumerate() {
+                if row.retired {
+                    continue;
+                }
                 let calls = row.stats.getspace_calls;
                 if calls > 0 {
                     let rate = row.stats.getspace_denied as f64 / calls as f64;
@@ -611,12 +900,328 @@ impl EclipseSystem {
         }
     }
 
+    /// Current simulated time (the calendar clock).
+    pub fn now(&self) -> Cycle {
+        self.cal.now()
+    }
+
+    /// The SRAM buffer allocator (for inspecting `in_use` and the high
+    /// watermark across reconfiguration cycles).
+    pub fn sram_allocator(&self) -> &BufferAllocator {
+        &self.alloc
+    }
+
+    /// Lifecycle state of a mapped application, if one with this name
+    /// exists.
+    pub fn app_state(&self, name: &str) -> Option<AppState> {
+        self.apps.get(name).map(|r| r.state)
+    }
+
+    /// Fallible off-chip reservation at run time, continuing the bump
+    /// watermark the builder used (e.g. a PCM buffer for a live-mapped
+    /// audio app).
+    pub fn try_dram_alloc(&mut self, size: u32, align: u32) -> Result<u32, AllocError> {
+        let (base, next) = checked_bump(self.dram_next, size, align, self.cfg.dram.size)?;
+        self.dram_next = next;
+        Ok(base)
+    }
+
+    /// Admit an application graph into the *live* system (run-time
+    /// reconfiguration, paper Section 3): tasks go to the first
+    /// coprocessor supporting their function. See
+    /// [`EclipseSystem::map_app_live_with`].
+    pub fn map_app_live(&mut self, graph: &AppGraph) -> Result<AppHandles, ReconfigError> {
+        self.map_app_live_with(graph, &HashMap::new())
+    }
+
+    /// Admit an application graph into the live system with explicit
+    /// task→coprocessor assignments. Admission is all-or-nothing: task
+    /// slots and SRAM are checked/claimed first, and a failure rolls
+    /// back every buffer already carved, leaving the system exactly as
+    /// it was. Retired stream rows and task slots from earlier
+    /// [`EclipseSystem::unmap_app`] calls are recycled.
+    pub fn map_app_live_with(
+        &mut self,
+        graph: &AppGraph,
+        assignments: &HashMap<String, usize>,
+    ) -> Result<AppHandles, ReconfigError> {
+        if self.apps.contains_key(&graph.name) {
+            return Err(ReconfigError::AlreadyMapped(graph.name.clone()));
+        }
+        let assign = resolve_assignments(&self.coprocs, graph, assignments)?;
+
+        // Admission control: every shell must have task-table headroom
+        // for the tasks placed on it.
+        let mut needed = vec![0usize; self.shells.len()];
+        for &s in &assign {
+            needed[s] += 1;
+        }
+        for (s, &n) in needed.iter().enumerate() {
+            let available = self.shells[s].free_task_slots();
+            if n > available {
+                return Err(ReconfigError::TaskSlotsExhausted {
+                    shell: self.shell_names[s].clone(),
+                    needed: n,
+                    available,
+                });
+            }
+        }
+
+        // Predict the row slot every access point will land in: replay
+        // each shell's retired-slot free list, then append positions.
+        let mut sim_free: Vec<Vec<RowIdx>> = self
+            .shells
+            .iter()
+            .map(|sh| sh.free_rows().to_vec())
+            .collect();
+        let mut sim_len: Vec<u16> = self
+            .shells
+            .iter()
+            .map(|sh| sh.rows().len() as u16)
+            .collect();
+        // Carve the stream buffers, remembering them for rollback.
+        let mut allocated: Vec<CyclicBuffer> = Vec::new();
+        let alloc = &mut self.alloc;
+        let plan = plan_rows(
+            graph,
+            &assign,
+            self.shells.len(),
+            |s| {
+                if sim_free[s].is_empty() {
+                    let r = RowIdx(sim_len[s]);
+                    sim_len[s] += 1;
+                    r
+                } else {
+                    sim_free[s].remove(0)
+                }
+            },
+            |size| {
+                let b = alloc.alloc(size, BUFFER_ALIGN)?;
+                allocated.push(b);
+                Ok(b)
+            },
+        );
+        let plan = match plan {
+            Ok(p) => p,
+            Err(e) => {
+                // All-or-nothing: return the partial SRAM claim.
+                for b in allocated {
+                    self.alloc.free(b);
+                }
+                return Err(ReconfigError::Map(e));
+            }
+        };
+
+        let (handles, rows, tasks) = install_plan(
+            &mut self.shells,
+            &mut self.row_labels,
+            &mut self.coprocs,
+            self.cfg.default_budget,
+            graph,
+            &plan,
+        );
+        let sram_bytes: u32 = plan.buffers.iter().map(|b| b.size).sum();
+        let now = self.cal.now();
+        if let Some(t) = &self.sys_trace {
+            t.emit_with(now, |sink| TraceEventKind::AppMapped {
+                app: sink.intern(&graph.name),
+                sram_bytes,
+                tasks: tasks.len() as u32,
+            });
+        }
+        // Idle shells have no pending Step event to discover the new
+        // work — wake every shell that received a task.
+        let mut touched: Vec<usize> = tasks.iter().map(|&(s, _)| s).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            self.wake(s, now);
+        }
+        self.apps.insert(
+            graph.name.clone(),
+            AppRecord {
+                state: AppState::Running,
+                tasks,
+                rows,
+                buffers: plan.buffers.clone(),
+            },
+        );
+        Ok(handles)
+    }
+
+    /// Disable (preempt) every task of a mapped application. Tables,
+    /// buffers, and in-flight syncs stay intact; resume with
+    /// [`EclipseSystem::resume_app`].
+    pub fn pause_app(&mut self, name: &str) -> Result<(), ReconfigError> {
+        let (state, tasks) = {
+            let rec = self
+                .apps
+                .get(name)
+                .ok_or_else(|| ReconfigError::UnknownApp(name.to_string()))?;
+            (rec.state, rec.tasks.clone())
+        };
+        if state == AppState::Drained {
+            return Err(ReconfigError::InvalidState {
+                app: name.to_string(),
+                state,
+                op: "pause",
+            });
+        }
+        for (s, t) in tasks {
+            self.shells[s].set_task_enabled(t, false);
+        }
+        self.apps.get_mut(name).expect("checked above").state = AppState::Paused;
+        if let Some(tr) = &self.sys_trace {
+            tr.emit_with(self.cal.now(), |sink| TraceEventKind::AppPaused {
+                app: sink.intern(name),
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-enable a paused application's tasks. A `Running` app is a
+    /// no-op; a `Drained` app cannot be resumed (its quiesce is a
+    /// one-way gate toward [`EclipseSystem::unmap_app`]).
+    pub fn resume_app(&mut self, name: &str) -> Result<(), ReconfigError> {
+        let (state, tasks) = {
+            let rec = self
+                .apps
+                .get(name)
+                .ok_or_else(|| ReconfigError::UnknownApp(name.to_string()))?;
+            (rec.state, rec.tasks.clone())
+        };
+        match state {
+            AppState::Running => return Ok(()),
+            AppState::Drained => {
+                return Err(ReconfigError::InvalidState {
+                    app: name.to_string(),
+                    state,
+                    op: "resume",
+                })
+            }
+            AppState::Paused => {}
+        }
+        let now = self.cal.now();
+        let mut touched = Vec::new();
+        for (s, t) in tasks {
+            self.shells[s].set_task_enabled(t, true);
+            touched.push(s);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            self.wake(s, now);
+        }
+        self.apps.get_mut(name).expect("checked above").state = AppState::Running;
+        if let Some(tr) = &self.sys_trace {
+            tr.emit_with(now, |sink| TraceEventKind::AppResumed {
+                app: sink.intern(name),
+            });
+        }
+        Ok(())
+    }
+
+    /// Quiesce a mapped application: disable its tasks, then pump the
+    /// event loop until every in-flight `putspace` addressed to the
+    /// app's rows has been delivered (other applications keep making
+    /// progress meanwhile). After a successful drain the app's rows can
+    /// receive no further syncs and [`EclipseSystem::unmap_app`] is
+    /// safe. Gives up after `max_wait` simulated cycles.
+    pub fn drain_app(&mut self, name: &str, max_wait: u64) -> Result<DrainReport, ReconfigError> {
+        let (state, tasks, rows) = {
+            let rec = self
+                .apps
+                .get(name)
+                .ok_or_else(|| ReconfigError::UnknownApp(name.to_string()))?;
+            (rec.state, rec.tasks.clone(), rec.rows.clone())
+        };
+        if state == AppState::Drained {
+            return Ok(DrainReport { wait_cycles: 0 });
+        }
+        for (s, t) in tasks {
+            self.shells[s].set_task_enabled(t, false);
+        }
+        let start = self.cal.now();
+        let deadline = start.saturating_add(max_wait);
+        loop {
+            let pending: u32 = rows
+                .iter()
+                .map(|&(s, r)| self.pending_syncs.get(&(s, r.0)).copied().unwrap_or(0))
+                .sum();
+            if pending == 0 {
+                break;
+            }
+            match self.cal.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (now, ev) = self.cal.pop().expect("peeked event");
+                    self.handle_event(now, ev);
+                    if self.credit_check {
+                        self.verify_credits(now);
+                    }
+                }
+                // No events left, or the next one is past the deadline:
+                // the in-flight syncs cannot quiesce in time.
+                _ => {
+                    return Err(ReconfigError::DrainTimeout {
+                        app: name.to_string(),
+                        waited: self.cal.now().saturating_sub(start),
+                        pending,
+                    });
+                }
+            }
+        }
+        let waited = self.cal.now().saturating_sub(start);
+        self.apps.get_mut(name).expect("checked above").state = AppState::Drained;
+        if let Some(tr) = &self.sys_trace {
+            tr.emit_with(self.cal.now(), |sink| TraceEventKind::AppDrained {
+                app: sink.intern(name),
+                wait_cycles: waited,
+            });
+        }
+        Ok(DrainReport {
+            wait_cycles: waited,
+        })
+    }
+
+    /// Reclaim a drained application: retire its task slots and stream
+    /// rows (bumping each row's generation so any straggler sync is
+    /// rejected) and return its SRAM buffers to the allocator. The
+    /// freed slots and bytes are available to the next
+    /// [`EclipseSystem::map_app_live`].
+    pub fn unmap_app(&mut self, name: &str) -> Result<(), ReconfigError> {
+        match self.apps.get(name) {
+            None => return Err(ReconfigError::UnknownApp(name.to_string())),
+            Some(rec) if rec.state != AppState::Drained => {
+                return Err(ReconfigError::NotDrained(name.to_string()))
+            }
+            Some(_) => {}
+        }
+        let rec = self.apps.remove(name).expect("checked above");
+        for (s, t) in rec.tasks {
+            self.shells[s].retire_task(t);
+        }
+        for (s, r) in rec.rows {
+            self.shells[s].retire_stream_row(r);
+        }
+        let sram_bytes: u32 = rec.buffers.iter().map(|b| b.size).sum();
+        for b in rec.buffers {
+            self.alloc.free(b);
+        }
+        if let Some(tr) = &self.sys_trace {
+            tr.emit_with(self.cal.now(), |sink| TraceEventKind::AppUnmapped {
+                app: sink.intern(name),
+                sram_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// Assert the credit-conservation invariant on every
     /// producer→consumer link (see [`EclipseSystem::enable_credit_check`]).
     fn verify_credits(&self, now: Cycle) {
         for (s, shell) in self.shells.iter().enumerate() {
             for (r, row) in shell.rows().iter().enumerate() {
-                if row.dir != PortDir::Producer {
+                if row.dir != PortDir::Producer || row.retired {
                     continue;
                 }
                 let prod = AccessPoint {
@@ -657,7 +1262,16 @@ impl EclipseSystem {
         let mut out = Vec::new();
         for (s, shell) in self.shells.iter().enumerate() {
             for t in shell.tasks() {
-                if !t.finished && t.enabled {
+                if t.retired || t.finished {
+                    continue;
+                }
+                if !t.enabled {
+                    // Paused (or admin-disabled) tasks are not deadlock
+                    // suspects, but they explain why a drain stalls.
+                    out.push(format!("{} (paused)", t.cfg.name));
+                    continue;
+                }
+                {
                     let why = match t.blocked_on {
                         // Name the stream and show the local space view so
                         // a deadlock diagnosis pinpoints the starved link.
@@ -793,7 +1407,7 @@ impl EclipseSystem {
                 // the CPU in the E10 baseline). An active fault injector
                 // may drop or delay individual messages.
                 let sync_latency = shell_cfg.sync_latency;
-                for msg in msgs {
+                for mut msg in msgs {
                     let mut extra_delay = 0u64;
                     if let Some(inj) = &mut self.fault {
                         match inj.sync_action(msg.bytes) {
@@ -835,6 +1449,16 @@ impl EclipseSystem {
                     if self.credit_check {
                         *self.in_flight.entry((msg.dst, msg.src)).or_insert(0) += msg.bytes as u64;
                     }
+                    // Stamp the destination row's current generation so the
+                    // receiver can reject the message if the row is retired
+                    // and recycled while this sync is in flight. The sender
+                    // can't know this (hardware shells don't either) — the
+                    // sync network stamps at injection time.
+                    msg.dst_gen = self.shells[msg.dst.shell.0 as usize].row_generation(msg.dst.row);
+                    *self
+                        .pending_syncs
+                        .entry((msg.dst.shell.0 as usize, msg.dst.row.0))
+                        .or_insert(0) += 1;
                     self.cal.schedule_at(arrive, Event::Sync(msg));
                 }
                 self.cal.schedule_at(now + cost, Event::Step(s));
@@ -845,6 +1469,9 @@ impl EclipseSystem {
     fn sample(&mut self, now: Cycle) {
         for (s, shell) in self.shells.iter().enumerate() {
             for (r, row) in shell.rows().iter().enumerate() {
+                if row.retired {
+                    continue;
+                }
                 let label = &self.row_labels[s][r];
                 // Only consumer-side rows report "available data" (the
                 // paper's Figure 10 quantity); producer rows report room.
@@ -872,6 +1499,9 @@ impl EclipseSystem {
             // Per-task views (paper Figure 9's "stall time of tasks"):
             // cumulative busy cycles and GetSpace denials per task.
             for t in shell.tasks() {
+                if t.retired {
+                    continue;
+                }
                 self.trace.record(
                     &format!("taskbusy/{}", t.cfg.name),
                     now,
@@ -917,6 +1547,9 @@ mod tests {
             (vec![], vec![self.packet])
         }
         fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
         fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
@@ -966,6 +1599,9 @@ mod tests {
             (vec![self.packet], vec![])
         }
         fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
         fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

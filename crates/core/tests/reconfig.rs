@@ -1,0 +1,337 @@
+//! Run-time application reconfiguration (paper Section 3: "communication
+//! buffers can be allocated at run-time" and applications are
+//! (re)configured by software while the subsystem runs).
+//!
+//! These tests drive the live lifecycle — `map_app_live` → `drain_app` →
+//! `unmap_app`, plus `pause_app`/`resume_app` — against a base
+//! application that keeps streaming throughout, and check the two
+//! invariants the design hinges on:
+//!
+//! 1. **No leaks**: every unmap returns the app's exact SRAM bytes and
+//!    slot claims, so arbitrary churn converges back to the base
+//!    footprint (proptest below).
+//! 2. **Isolation**: the co-resident base application's output is
+//!    bit-identical to a solo run, churn or no churn.
+
+use std::collections::HashMap;
+
+use eclipse_core::coproc::{Coprocessor, StepCtx, StepResult};
+use eclipse_core::{AppState, EclipseConfig, ReconfigError, RunOutcome, SystemBuilder};
+use eclipse_kpn::graph::AppGraph;
+use eclipse_kpn::GraphBuilder;
+use eclipse_shell::{PortId, TaskIdx};
+
+/// A producer that time-shares any number of `gen` tasks: each task emits
+/// `total` bytes in `packet`-sized packets, XOR-filled with the task's
+/// `task_info` byte, then finishes.
+struct MultiProducer {
+    total: u32,
+    packet: u32,
+    sent: HashMap<u8, u32>,
+}
+
+impl MultiProducer {
+    fn new(total: u32, packet: u32) -> Self {
+        MultiProducer {
+            total,
+            packet,
+            sent: HashMap::new(),
+        }
+    }
+}
+
+impl Coprocessor for MultiProducer {
+    fn name(&self) -> &str {
+        "multi-producer"
+    }
+    fn supports(&self, function: &str) -> bool {
+        function == "gen"
+    }
+    fn configure_task(
+        &mut self,
+        t: TaskIdx,
+        _d: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
+        self.sent.insert(t.0, 0);
+        (vec![], vec![self.packet])
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, task: TaskIdx, info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        const OUT: PortId = 0;
+        let fill = info as u8;
+        let sent = *self.sent.get(&task.0).unwrap();
+        if sent >= self.total {
+            return StepResult::Finished;
+        }
+        if !ctx.get_space(OUT, self.packet) {
+            return StepResult::Blocked;
+        }
+        let data: Vec<u8> = (0..self.packet).map(|i| (sent + i) as u8 ^ fill).collect();
+        ctx.write(OUT, 0, &data);
+        ctx.compute(self.packet as u64);
+        ctx.put_space(OUT, self.packet);
+        let sent = sent + self.packet;
+        self.sent.insert(task.0, sent);
+        if sent >= self.total {
+            StepResult::Finished
+        } else {
+            StepResult::Done
+        }
+    }
+}
+
+/// A consumer that time-shares any number of `collect` tasks, appending
+/// every received byte to a per-task sink for post-run comparison.
+struct MultiConsumer {
+    total: u32,
+    packet: u32,
+    sinks: HashMap<u8, Vec<u8>>,
+}
+
+impl MultiConsumer {
+    fn new(total: u32, packet: u32) -> Self {
+        MultiConsumer {
+            total,
+            packet,
+            sinks: HashMap::new(),
+        }
+    }
+}
+
+impl Coprocessor for MultiConsumer {
+    fn name(&self) -> &str {
+        "multi-consumer"
+    }
+    fn supports(&self, function: &str) -> bool {
+        function == "collect"
+    }
+    fn configure_task(
+        &mut self,
+        t: TaskIdx,
+        _d: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
+        self.sinks.insert(t.0, Vec::new());
+        (vec![self.packet], vec![])
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        const IN: PortId = 0;
+        let received = self.sinks.get(&task.0).unwrap().len() as u32;
+        if received >= self.total {
+            return StepResult::Finished;
+        }
+        if !ctx.get_space(IN, self.packet) {
+            return StepResult::Blocked;
+        }
+        let mut buf = vec![0u8; self.packet as usize];
+        ctx.read(IN, 0, &mut buf);
+        ctx.compute(self.packet as u64 / 2);
+        ctx.put_space(IN, self.packet);
+        let sink = self.sinks.get_mut(&task.0).unwrap();
+        sink.extend_from_slice(&buf);
+        if sink.len() as u32 >= self.total {
+            StepResult::Finished
+        } else {
+            StepResult::Done
+        }
+    }
+}
+
+/// `gen → collect` over one stream, with `fill` carried in `task_info`.
+fn pipe_graph(name: &str, buffer: u32, fill: u8) -> AppGraph {
+    let mut g = GraphBuilder::new(name);
+    let s = g.stream(format!("{name}.s"), buffer);
+    g.task(format!("{name}.p"), "gen", fill as u32, &[], &[s]);
+    g.task(format!("{name}.c"), "collect", fill as u32, &[s], &[]);
+    g.build().unwrap()
+}
+
+const BASE_TOTAL: u32 = 4096;
+const PACKET: u32 = 64;
+
+/// Build a two-shell system with the base app mapped at build time.
+fn base_system() -> eclipse_core::EclipseSystem {
+    let mut b = SystemBuilder::new(EclipseConfig::default());
+    b.add_coprocessor(Box::new(MultiProducer::new(BASE_TOTAL, PACKET)));
+    b.add_coprocessor(Box::new(MultiConsumer::new(BASE_TOTAL, PACKET)));
+    b.map_app(&pipe_graph("base", 256, 0x5A)).unwrap();
+    b.build()
+}
+
+/// The bytes the base consumer collected (shell 1, task 0 is always the
+/// base `collect` task — it was mapped first).
+fn base_output(sys: &eclipse_core::EclipseSystem) -> Vec<u8> {
+    let cons = sys.coproc(1).as_any().downcast_ref::<MultiConsumer>();
+    cons.unwrap().sinks.get(&0).unwrap().clone()
+}
+
+#[test]
+fn app_admitted_mid_run_completes_and_unmaps() {
+    // Solo reference.
+    let mut solo = base_system();
+    assert_eq!(solo.run(10_000_000).outcome, RunOutcome::AllFinished);
+    let reference = base_output(&solo);
+    assert_eq!(reference.len() as u32, BASE_TOTAL);
+
+    // Churn run: admit a second app mid-stream, let both finish, then
+    // drain and reclaim it.
+    let mut sys = base_system();
+    assert_eq!(sys.run_until(2_000), None, "base app still streaming");
+    let in_use_before = sys.sram_allocator().in_use();
+
+    sys.map_app_live(&pipe_graph("late", 128, 0xC3)).unwrap();
+    assert_eq!(sys.app_state("late"), Some(AppState::Running));
+    assert!(sys.sram_allocator().in_use() > in_use_before);
+
+    let outcome = sys.run_until(10_000_000);
+    assert_eq!(outcome, Some(RunOutcome::AllFinished));
+
+    // The late app really decoded its stream.
+    let late = {
+        let cons = sys.coproc(1).as_any().downcast_ref::<MultiConsumer>();
+        cons.unwrap().sinks.get(&1).unwrap().clone()
+    };
+    assert_eq!(late.len() as u32, BASE_TOTAL);
+    assert!(late.iter().enumerate().all(|(i, &b)| b == i as u8 ^ 0xC3));
+
+    // Quiesce and reclaim; the SRAM footprint returns exactly.
+    // (The run ended the instant the last task finished, so the final
+    // putspace credits may still be in flight — the drain delivers them.)
+    let report = sys.drain_app("late", 1_000_000).unwrap();
+    assert_eq!(sys.app_state("late"), Some(AppState::Drained));
+    assert!(report.wait_cycles < 1_000, "near-quiescent finished app");
+    sys.unmap_app("late").unwrap();
+    assert_eq!(sys.app_state("late"), None);
+    assert_eq!(sys.sram_allocator().in_use(), in_use_before);
+
+    // Co-resident base output is bit-identical to the solo run.
+    assert_eq!(base_output(&sys), reference);
+}
+
+#[test]
+fn pause_preempts_and_resume_restores_progress() {
+    let mut sys = base_system();
+    assert_eq!(sys.run_until(2_000), None);
+    sys.pause_app("base").unwrap();
+    assert_eq!(sys.app_state("base"), Some(AppState::Paused));
+
+    // A paused system makes no task progress: the consumer's sink is
+    // frozen while events (sampler) keep firing.
+    let frozen = base_output(&sys);
+    let outcome = sys.run_until(50_000);
+    assert_eq!(base_output(&sys), frozen);
+    // The only tasks are paused: the run can't finish...
+    assert_ne!(outcome, Some(RunOutcome::AllFinished));
+
+    sys.resume_app("base").unwrap();
+    assert_eq!(sys.app_state("base"), Some(AppState::Running));
+    assert_eq!(sys.run_until(10_000_000), Some(RunOutcome::AllFinished));
+    assert_eq!(base_output(&sys).len() as u32, BASE_TOTAL);
+}
+
+#[test]
+fn admission_control_rejects_and_rolls_back() {
+    let mut sys = base_system();
+    assert_eq!(sys.run_until(2_000), None);
+    let in_use = sys.sram_allocator().in_use();
+
+    // SRAM exhaustion: a buffer bigger than the whole SRAM. The claim
+    // must roll back entirely.
+    let huge = pipe_graph("huge", u32::MAX / 2, 0x01);
+    match sys.map_app_live(&huge) {
+        Err(ReconfigError::Map(_)) => {}
+        other => panic!("expected Map(BufferAlloc), got {other:?}"),
+    }
+    assert_eq!(sys.sram_allocator().in_use(), in_use);
+    assert_eq!(sys.app_state("huge"), None);
+
+    // Task-slot exhaustion: shrink the producer shell's task table to
+    // its current occupancy.
+    let occupied = sys.shells()[0].tasks().len();
+    sys.shell_mut(0).task_capacity = occupied;
+    match sys.map_app_live(&pipe_graph("extra", 128, 0x02)) {
+        Err(ReconfigError::TaskSlotsExhausted {
+            needed, available, ..
+        }) => {
+            assert_eq!(needed, 1);
+            assert_eq!(available, 0);
+        }
+        other => panic!("expected TaskSlotsExhausted, got {other:?}"),
+    }
+    assert_eq!(sys.sram_allocator().in_use(), in_use);
+
+    // Lifecycle guards.
+    assert!(matches!(
+        sys.unmap_app("base"),
+        Err(ReconfigError::NotDrained(_))
+    ));
+    assert!(matches!(
+        sys.pause_app("nope"),
+        Err(ReconfigError::UnknownApp(_))
+    ));
+    assert!(matches!(
+        sys.map_app_live(&pipe_graph("base", 64, 0)),
+        Err(ReconfigError::AlreadyMapped(_))
+    ));
+
+    // The base app still finishes cleanly after all the rejections.
+    sys.shell_mut(0).task_capacity = occupied + 8;
+    assert_eq!(sys.run_until(10_000_000), Some(RunOutcome::AllFinished));
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Random map→(run)→drain→unmap→map churn cycles never leak SRAM
+        /// (the footprint returns to the base app's exactly) and leave the
+        /// co-resident base app's output bit-identical to a solo run.
+        #[test]
+        fn churn_never_leaks_and_base_output_is_solo_identical(
+            cycles in proptest::collection::vec(
+                (500u64..20_000, 32u32..256, 1u8..255), 1..4)
+        ) {
+            let mut solo = base_system();
+            prop_assert_eq!(solo.run(10_000_000).outcome, RunOutcome::AllFinished);
+            let reference = base_output(&solo);
+
+            let mut sys = base_system();
+            let base_in_use = {
+                // Claim nothing yet; record the build-time footprint.
+                sys.sram_allocator().in_use()
+            };
+            for (i, &(advance, buffer, fill)) in cycles.iter().enumerate() {
+                let stop = sys.now() + advance;
+                let _ = sys.run_until(stop);
+                let name = format!("churn{i}");
+                let graph = pipe_graph(&name, buffer.max(PACKET), fill);
+                sys.map_app_live(&graph).unwrap();
+                // Let the newcomer make some progress (it may or may not
+                // finish), then quiesce and reclaim it mid-flight.
+                let stop = sys.now() + advance;
+                let _ = sys.run_until(stop);
+                sys.drain_app(&name, 1_000_000).unwrap();
+                sys.unmap_app(&name).unwrap();
+                prop_assert_eq!(sys.sram_allocator().in_use(), base_in_use,
+                    "SRAM leaked after churn cycle {}", i);
+            }
+            // The base app still runs to completion, bit-identically.
+            prop_assert_eq!(sys.run(10_000_000).outcome, RunOutcome::AllFinished);
+            prop_assert_eq!(base_output(&sys), reference);
+            prop_assert_eq!(sys.sram_allocator().in_use(), base_in_use);
+        }
+    }
+}

@@ -25,6 +25,13 @@ pub enum AllocError {
         /// Largest contiguous free region available.
         largest_free: u32,
     },
+    /// The aligned end address of the request does not fit in the 32-bit
+    /// address space (the `(start + align - 1)` round-up or `start + size`
+    /// would overflow `u32`).
+    AddressOverflow {
+        /// Bytes requested.
+        requested: u32,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -33,6 +40,10 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfMemory { requested, largest_free } => write!(
                 f,
                 "out of on-chip buffer memory: requested {requested} bytes, largest free region {largest_free} bytes"
+            ),
+            AllocError::AddressOverflow { requested } => write!(
+                f,
+                "buffer allocation of {requested} bytes overflows the 32-bit address space"
             ),
         }
     }
@@ -88,11 +99,21 @@ impl BufferAllocator {
     pub fn alloc(&mut self, size: u32, align: u32) -> Result<CyclicBuffer, AllocError> {
         assert!(size > 0, "zero-size buffer");
         assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut overflowed = false;
         for i in 0..self.free.len() {
             let (start, len) = self.free[i];
-            let aligned = (start + align - 1) & !(align - 1);
+            // Widen to u64: the round-up `(start + align - 1)` and the end
+            // address `aligned + size` can both overflow u32 for large
+            // sizes near the top of the address space.
+            let aligned64 = (start as u64 + align as u64 - 1) & !(align as u64 - 1);
+            let end64 = aligned64 + size as u64;
+            if end64 > u32::MAX as u64 {
+                overflowed = true;
+                continue;
+            }
+            let aligned = aligned64 as u32;
             let pad = aligned - start;
-            if len >= pad + size {
+            if len as u64 >= pad as u64 + size as u64 {
                 // Carve [aligned, aligned+size) out of the region.
                 let tail_start = aligned + size;
                 let tail_len = len - pad - size;
@@ -109,6 +130,9 @@ impl BufferAllocator {
                 return Ok(CyclicBuffer::new(aligned, size));
             }
         }
+        if overflowed {
+            return Err(AllocError::AddressOverflow { requested: size });
+        }
         Err(AllocError::OutOfMemory {
             requested: size,
             largest_free: self.largest_free(),
@@ -122,7 +146,7 @@ impl BufferAllocator {
     pub fn free(&mut self, buf: CyclicBuffer) {
         let (start, len) = (buf.base, buf.size);
         assert!(
-            start >= self.base && start + len <= self.base + self.size,
+            start >= self.base && start as u64 + len as u64 <= self.base as u64 + self.size as u64,
             "freeing buffer outside managed range"
         );
         // Find insertion point keeping the list sorted by start.
@@ -235,6 +259,24 @@ mod tests {
         let b = a.alloc(128, 1).unwrap();
         a.free(b);
         a.free(b);
+    }
+
+    /// Regression (u32 overflow): a request whose aligned end address
+    /// exceeds the 32-bit address space must report `AddressOverflow`, not
+    /// wrap around and corrupt the free list.
+    #[test]
+    fn huge_request_near_address_top_reports_overflow() {
+        let top = u32::MAX - 1024;
+        let mut a = BufferAllocator::new(top, 1024);
+        assert_eq!(
+            a.alloc(2048, 4096).unwrap_err(),
+            AllocError::AddressOverflow { requested: 2048 }
+        );
+        // A fitting request still succeeds afterwards.
+        let b = a.alloc(512, 1).unwrap();
+        assert_eq!(b.base, top);
+        a.free(b);
+        assert_eq!(a.total_free(), 1024);
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub struct SyncMsg {
     /// Earliest cycle the message may leave the sending shell (after the
     /// flush completed — paper Section 5.2 rule 3).
     pub send_at: Cycle,
+    /// Generation of the destination row the message was addressed to.
+    /// Stamped by the sync network at send time; a delivery whose
+    /// generation no longer matches the destination row (the row was
+    /// retired and possibly recycled for another application since) is
+    /// rejected as stale. The sending shell fills in a placeholder of 0 —
+    /// rows that were never recycled are at generation 0.
+    pub dst_gen: u32,
 }
 
 /// Result of a `PutSpace` call.
@@ -121,6 +128,9 @@ pub struct ShellStats {
     pub gettask_calls: u64,
     /// `GetTask` invocations that selected a task (occupied slots).
     pub gettask_runs: u64,
+    /// Incoming `putspace` messages rejected because their destination
+    /// row had been retired or recycled (generation mismatch).
+    pub stale_syncs_rejected: u64,
 }
 
 impl ShellStats {
@@ -135,6 +145,11 @@ impl ShellStats {
     }
 }
 
+/// Default hardware size of a shell's task table (run-time admission
+/// control rejects live mappings that would exceed it; overridable per
+/// shell via [`Shell::task_capacity`]).
+pub const DEFAULT_TASK_CAPACITY: usize = 32;
+
 /// One coprocessor shell.
 #[derive(Debug)]
 pub struct Shell {
@@ -146,6 +161,18 @@ pub struct Shell {
     caches: Vec<StreamCache>,
     tasks: Vec<TaskRow>,
     sched: SchedState,
+    /// Per-row generation counters, bumped every time a row is retired.
+    /// In-flight `putspace` messages carry the generation they were
+    /// stamped with; a mismatch on delivery marks the message stale.
+    generations: Vec<u32>,
+    /// Retired stream-row slots available for recycling (ascending).
+    free_rows: Vec<RowIdx>,
+    /// Retired task-row slots available for recycling (ascending).
+    free_tasks: Vec<TaskIdx>,
+    /// Hardware size of the task table: live admission control rejects
+    /// mappings that would exceed it. Build-time mapping is not checked
+    /// (a builder error is a configuration bug, not a run-time denial).
+    pub task_capacity: usize,
     /// Aggregate counters.
     pub stats: ShellStats,
     /// Fault-injection switches for the coherency experiments (E11):
@@ -166,6 +193,10 @@ impl Shell {
             caches: Vec::new(),
             tasks: Vec::new(),
             sched: SchedState::default(),
+            generations: Vec::new(),
+            free_rows: Vec::new(),
+            free_tasks: Vec::new(),
+            task_capacity: DEFAULT_TASK_CAPACITY,
             stats: ShellStats::default(),
             disable_invalidate: false,
             disable_flush: false,
@@ -199,23 +230,41 @@ impl Shell {
         cfg: StreamRowConfig,
         cache: CacheConfig,
     ) -> RowIdx {
-        let idx = RowIdx(self.rows.len() as u16);
-        self.rows.push(StreamRow::new(cfg));
-        self.caches.push(StreamCache::new(cache));
-        idx
+        // Recycle the lowest retired slot if one exists (run-time
+        // reconfiguration); otherwise append. The generation counter of a
+        // recycled slot keeps its bumped value so in-flight syncs stamped
+        // against the old occupant stay stale.
+        if self.free_rows.is_empty() {
+            let idx = RowIdx(self.rows.len() as u16);
+            self.rows.push(StreamRow::new(cfg));
+            self.caches.push(StreamCache::new(cache));
+            self.generations.push(0);
+            idx
+        } else {
+            let idx = self.free_rows.remove(0);
+            self.rows[idx.0 as usize] = StreamRow::new(cfg);
+            self.caches[idx.0 as usize] = StreamCache::new(cache);
+            idx
+        }
     }
 
     /// Program a task-table row; returns its index (the `task_id`).
     pub fn add_task(&mut self, cfg: TaskConfig) -> TaskIdx {
         for &port in &cfg.ports {
             assert!(
-                (port.0 as usize) < self.rows.len(),
+                (port.0 as usize) < self.rows.len() && !self.rows[port.0 as usize].retired,
                 "task references unknown stream row {port:?}"
             );
         }
-        let idx = TaskIdx(self.tasks.len() as u8);
-        self.tasks.push(TaskRow::new(cfg));
-        idx
+        if self.free_tasks.is_empty() {
+            let idx = TaskIdx(self.tasks.len() as u8);
+            self.tasks.push(TaskRow::new(cfg));
+            idx
+        } else {
+            let idx = self.free_tasks.remove(0);
+            self.tasks[idx.0 as usize] = TaskRow::new(cfg);
+            idx
+        }
     }
 
     /// All stream rows (for measurement collection).
@@ -248,9 +297,16 @@ impl Shell {
         self.rows[row.0 as usize].effective_space()
     }
 
-    /// Enable or disable a task (CPU control).
+    /// Enable or disable a task (CPU control). Disabling the currently
+    /// selected task preempts it immediately, exactly like `finish_task`
+    /// — otherwise the scheduler would keep running a paused task until
+    /// its budget expired.
     pub fn set_task_enabled(&mut self, task: TaskIdx, enabled: bool) {
         self.tasks[task.0 as usize].enabled = enabled;
+        if !enabled && self.sched.current == Some(task) {
+            self.sched.current = None;
+            self.sched.budget_left = 0;
+        }
     }
 
     /// Reprogram a task's scheduler budget (CPU control).
@@ -280,10 +336,80 @@ impl Shell {
         }
     }
 
-    /// True when every task of this shell has finished (vacuously true
-    /// for a shell with no tasks configured — an unused coprocessor).
+    /// True when every task of this shell has finished or been retired
+    /// (vacuously true for a shell with no tasks configured — an unused
+    /// coprocessor). A disabled-but-unfinished task is *paused*, not
+    /// done: pausing an app must not terminate the run early.
     pub fn all_tasks_finished(&self) -> bool {
-        self.tasks.iter().all(|t| t.finished || !t.enabled)
+        self.tasks.iter().all(|t| t.finished || t.retired)
+    }
+
+    // ---- run-time reconfiguration (CPU over the PI bus) -----------------
+
+    /// Retire a stream row: bump its generation (so in-flight `putspace`
+    /// messages addressed to the old occupant are rejected as stale),
+    /// replace its cache with a fresh object (dropping any dirty state —
+    /// the quiesce protocol guarantees nothing coherent remains), and
+    /// put the slot on the free list for recycling.
+    pub fn retire_stream_row(&mut self, row: RowIdx) {
+        let i = row.0 as usize;
+        assert!(!self.rows[i].retired, "double retire of stream row {row:?}");
+        self.rows[i].retired = true;
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        let cache_cfg = *self.caches[i].config();
+        self.caches[i] = StreamCache::new(cache_cfg);
+        let pos = self.free_rows.partition_point(|&r| r.0 < row.0);
+        self.free_rows.insert(pos, row);
+    }
+
+    /// Retire a task row: it is terminated for completion purposes,
+    /// preempted if currently selected, and its slot freed for recycling.
+    pub fn retire_task(&mut self, task: TaskIdx) {
+        let i = task.0 as usize;
+        assert!(!self.tasks[i].retired, "double retire of task {task:?}");
+        let t = &mut self.tasks[i];
+        t.retired = true;
+        t.enabled = false;
+        t.blocked_on = None;
+        if self.sched.current == Some(task) {
+            self.sched.current = None;
+            self.sched.budget_left = 0;
+        }
+        let pos = self.free_tasks.partition_point(|&t| t.0 < task.0);
+        self.free_tasks.insert(pos, task);
+    }
+
+    /// Current generation of a stream row.
+    pub fn row_generation(&self, row: RowIdx) -> u32 {
+        self.generations[row.0 as usize]
+    }
+
+    /// Retired stream-row slots available for recycling (ascending).
+    pub fn free_rows(&self) -> &[RowIdx] {
+        &self.free_rows
+    }
+
+    /// Number of task slots a live mapping could still claim before
+    /// hitting [`Shell::task_capacity`].
+    pub fn free_task_slots(&self) -> usize {
+        self.free_tasks.len() + self.task_capacity.saturating_sub(self.tasks.len())
+    }
+
+    /// The slot the next `add_task` will return (recycled or appended).
+    pub fn next_task_slot(&self) -> TaskIdx {
+        self.free_tasks
+            .first()
+            .copied()
+            .unwrap_or(TaskIdx(self.tasks.len() as u8))
+    }
+
+    /// The slot the next stream-row add will return (recycled or
+    /// appended).
+    pub fn next_row_slot(&self) -> RowIdx {
+        self.free_rows
+            .first()
+            .copied()
+            .unwrap_or(RowIdx(self.rows.len() as u16))
     }
 
     // ---- the five primitives --------------------------------------------
@@ -581,6 +707,10 @@ impl Shell {
                 dst,
                 bytes: n_bytes,
                 send_at: flush_done,
+                // Placeholder: the sync network stamps the destination
+                // row's real generation at send time (the sending shell
+                // has no view of remote tables).
+                dst_gen: 0,
             })
             .collect();
         self.stats.messages_sent += msgs.len() as u64;
@@ -604,9 +734,25 @@ impl Shell {
 
     /// Deliver an incoming `putspace` message to a local row. Returns true
     /// if the message unblocked at least one task (the coprocessor should
-    /// be woken if idle).
+    /// be woken if idle). A message addressed to a retired or recycled
+    /// row (generation mismatch) is rejected as stale and dropped.
     pub fn deliver_putspace(&mut self, msg: &SyncMsg, now: Cycle) -> bool {
         let row_idx = msg.dst.row;
+        if self.rows[row_idx.0 as usize].retired
+            || msg.dst_gen != self.generations[row_idx.0 as usize]
+        {
+            self.stats.stale_syncs_rejected += 1;
+            if let Some(tr) = &self.trace {
+                tr.emit(
+                    now,
+                    TraceEventKind::StaleSyncRejected {
+                        row: row_idx.0 as u32,
+                        bytes: msg.bytes,
+                    },
+                );
+            }
+            return false;
+        }
         self.rows[row_idx.0 as usize].deliver_putspace(msg.src, msg.bytes, now);
         self.stats.messages_received += 1;
         let mut unblocked = false;
@@ -825,6 +971,7 @@ mod tests {
             },
             bytes: 64,
             send_at: 0,
+            dst_gen: 0,
         };
         assert!(c.deliver_putspace(&msg, 5));
         match c.get_task(0) {
@@ -848,6 +995,7 @@ mod tests {
             },
             bytes: 32, // less than requested
             send_at: 0,
+            dst_gen: 0,
         };
         assert!(!c.deliver_putspace(&msg, 5), "32 < 64: stays blocked");
         assert_eq!(c.get_task(0), GetTaskResult::Idle);
@@ -897,6 +1045,7 @@ mod tests {
             },
             bytes: 64,
             send_at: 0,
+            dst_gen: 0,
         };
         shell.deliver_putspace(&msg, 1);
         assert_eq!(shell.get_task(0), GetTaskResult::Idle, "64 < hint 128");
@@ -948,5 +1097,129 @@ mod tests {
         p.finish_task(T0);
         assert_eq!(p.get_task(0), GetTaskResult::Idle);
         assert!(p.all_tasks_finished());
+    }
+
+    /// Regression (satellite #1): disabling the currently selected task
+    /// must preempt it immediately, not let it run out its budget.
+    #[test]
+    fn disabling_current_task_preempts_immediately() {
+        let (mut p, _c, _mem) = pair(64);
+        match p.get_task(0) {
+            GetTaskResult::Run { task, .. } => assert_eq!(task, T0),
+            GetTaskResult::Idle => panic!("producer task should run"),
+        }
+        assert_eq!(p.sched().current, Some(T0));
+        p.set_task_enabled(T0, false);
+        assert_eq!(p.sched().current, None, "disable must preempt");
+        assert_eq!(p.sched().budget_left, 0);
+        assert_eq!(p.get_task(1), GetTaskResult::Idle);
+        // Re-enabling lets it run again.
+        p.set_task_enabled(T0, true);
+        match p.get_task(2) {
+            GetTaskResult::Run { task, .. } => assert_eq!(task, T0),
+            GetTaskResult::Idle => panic!("re-enabled task should run"),
+        }
+    }
+
+    /// Regression (satellite #2): a paused (disabled-but-unfinished)
+    /// task must not count as finished — pausing an app must not
+    /// terminate the run early.
+    #[test]
+    fn paused_task_is_not_finished() {
+        let (mut p, _c, _mem) = pair(64);
+        p.set_task_enabled(T0, false);
+        assert!(
+            !p.all_tasks_finished(),
+            "paused is not finished: the run must keep going"
+        );
+        // A retired task *is* terminated for completion purposes.
+        p.retire_task(T0);
+        assert!(p.all_tasks_finished());
+    }
+
+    /// A putspace stamped against a retired/recycled row's old generation
+    /// is rejected as stale and must not corrupt the new occupant.
+    #[test]
+    fn stale_putspace_to_recycled_row_is_rejected() {
+        let (_p, mut c, _mem) = pair(128);
+        let row = RowIdx(0);
+        assert_eq!(c.row_generation(row), 0);
+        let msg = SyncMsg {
+            src: AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            },
+            dst: AccessPoint {
+                shell: ShellId(1),
+                row,
+            },
+            bytes: 64,
+            send_at: 0,
+            dst_gen: 0,
+        };
+        // Retire the row: both the retired flag and the generation bump
+        // now reject the in-flight message.
+        c.retire_stream_row(row);
+        assert!(!c.deliver_putspace(&msg, 5));
+        assert_eq!(c.stats.stale_syncs_rejected, 1);
+        // Recycle the slot for a fresh stream; the old-generation message
+        // must still be rejected, a correctly stamped one delivered.
+        let buf = CyclicBuffer::new(0, 128);
+        let new_row = c.add_stream_row(StreamRowConfig {
+            buffer: buf,
+            dir: PortDir::Consumer,
+            remotes: vec![AccessPoint {
+                shell: ShellId(0),
+                row: RowIdx(0),
+            }],
+        });
+        assert_eq!(new_row, row, "lowest free slot is recycled");
+        assert_eq!(c.row_generation(row), 1);
+        assert!(!c.deliver_putspace(&msg, 6), "old generation stays stale");
+        assert_eq!(c.stats.stale_syncs_rejected, 2);
+        let fresh = SyncMsg { dst_gen: 1, ..msg };
+        let space_before = c.space(row);
+        c.deliver_putspace(&fresh, 7);
+        assert_eq!(c.space(row), space_before + 64);
+    }
+
+    /// Retired task slots are recycled lowest-first and the scheduler
+    /// never selects a retired row.
+    #[test]
+    fn retired_task_slot_is_recycled() {
+        let mut shell = Shell::new(ShellId(0), ShellConfig::default());
+        let buf = CyclicBuffer::new(0, 256);
+        let row = shell.add_stream_row(StreamRowConfig {
+            buffer: buf,
+            dir: PortDir::Producer,
+            remotes: vec![AccessPoint {
+                shell: ShellId(1),
+                row: RowIdx(0),
+            }],
+        });
+        let t0 = shell.add_task(TaskConfig {
+            name: "a".into(),
+            budget: 10,
+            task_info: 0,
+            ports: vec![row],
+            space_hints: vec![0],
+        });
+        assert_eq!(shell.free_task_slots(), DEFAULT_TASK_CAPACITY - 1);
+        shell.retire_task(t0);
+        assert_eq!(shell.get_task(0), GetTaskResult::Idle);
+        assert_eq!(shell.free_task_slots(), DEFAULT_TASK_CAPACITY);
+        assert_eq!(shell.next_task_slot(), t0);
+        let t1 = shell.add_task(TaskConfig {
+            name: "b".into(),
+            budget: 10,
+            task_info: 9,
+            ports: vec![row],
+            space_hints: vec![0],
+        });
+        assert_eq!(t1, t0, "retired slot is reused");
+        match shell.get_task(1) {
+            GetTaskResult::Run { info, .. } => assert_eq!(info, 9),
+            GetTaskResult::Idle => panic!("recycled task should run"),
+        }
     }
 }

@@ -94,6 +94,11 @@ pub struct StreamRow {
     /// Currently granted window (the largest `GetSpace` grant not yet
     /// released by `PutSpace`). Reads/writes must stay inside it.
     pub granted: u32,
+    /// The row has been retired by run-time unmapping: its buffer is
+    /// freed and the slot is available for recycling. Retired rows are
+    /// skipped by the scheduler, the sampler, and the credit checker;
+    /// `putspace` messages addressed to them are rejected as stale.
+    pub retired: bool,
     /// Measurement fields.
     pub stats: StreamRowStats,
 }
@@ -123,6 +128,7 @@ impl StreamRow {
             access_point: 0,
             space: vec![initial; cfg.remotes.len()],
             granted: 0,
+            retired: false,
             stats: StreamRowStats::default(),
         }
     }

@@ -69,6 +69,11 @@ pub struct TaskRow {
     /// The task has voluntarily finished (end of stream reached); it will
     /// never be selected again.
     pub finished: bool,
+    /// The row has been retired by run-time unmapping; the slot is free
+    /// for recycling and the scheduler never selects it. Unlike a merely
+    /// disabled (paused) task, a retired task counts as terminated for
+    /// run-completion purposes.
+    pub retired: bool,
     /// Measurement fields.
     pub stats: TaskStats,
 }
@@ -86,6 +91,7 @@ impl TaskRow {
             enabled: true,
             blocked_on: None,
             finished: false,
+            retired: false,
             stats: TaskStats::default(),
         }
     }
@@ -134,7 +140,7 @@ pub fn select(
     mut runnable: impl FnMut(&TaskRow) -> bool,
 ) -> Choice {
     sched.decisions += 1;
-    let mut eligible = |t: &TaskRow| t.enabled && !t.finished && runnable(t);
+    let mut eligible = |t: &TaskRow| t.enabled && !t.finished && !t.retired && runnable(t);
 
     // Keep the current task while it has budget and remains eligible
     // (budgets guarantee *minimum* contiguous execution; a task may run

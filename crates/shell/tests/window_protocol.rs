@@ -116,6 +116,7 @@ proptest! {
                                 dst: AccessPoint { shell: ShellId(0), row: RowIdx(0) },
                                 bytes: 0,
                                 send_at: now,
+                                dst_gen: 0,
                             },
                             now,
                         );
@@ -144,6 +145,7 @@ proptest! {
                                 dst: AccessPoint { shell: ShellId(1), row: RowIdx(0) },
                                 bytes: 0,
                                 send_at: now,
+                                dst_gen: 0,
                             },
                             now,
                         );

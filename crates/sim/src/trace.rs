@@ -165,6 +165,50 @@ pub enum TraceEventKind {
         /// cycles, retry penalty, flipped-byte index.
         magnitude: u64,
     },
+    /// An application graph was admitted into a live system
+    /// (run-time reconfiguration).
+    AppMapped {
+        /// Interned application name.
+        app: LabelId,
+        /// SRAM bytes claimed for the app's stream buffers.
+        sram_bytes: u32,
+        /// Task-table rows claimed across all shells.
+        tasks: u32,
+    },
+    /// A live application's tasks were disabled (paused).
+    AppPaused {
+        /// Interned application name.
+        app: LabelId,
+    },
+    /// A paused application's tasks were re-enabled.
+    AppResumed {
+        /// Interned application name.
+        app: LabelId,
+    },
+    /// A live application finished quiescing: tasks disabled and every
+    /// in-flight `putspace` addressed to its rows delivered or expired.
+    AppDrained {
+        /// Interned application name.
+        app: LabelId,
+        /// Cycles the drain waited for in-flight syncs.
+        wait_cycles: u64,
+    },
+    /// A drained application's rows, task slots, and buffers were
+    /// reclaimed.
+    AppUnmapped {
+        /// Interned application name.
+        app: LabelId,
+        /// SRAM bytes returned to the allocator.
+        sram_bytes: u32,
+    },
+    /// An incoming `putspace` was rejected because its destination row
+    /// was retired or recycled (generation mismatch).
+    StaleSyncRejected {
+        /// Destination stream-table row.
+        row: u32,
+        /// Bytes the stale message carried (dropped, not applied).
+        bytes: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -188,6 +232,12 @@ impl TraceEventKind {
             TraceEventKind::RunEnd { .. } => "run_end",
             TraceEventKind::Counter { .. } => "counter",
             TraceEventKind::Fault { .. } => "fault",
+            TraceEventKind::AppMapped { .. } => "app_mapped",
+            TraceEventKind::AppPaused { .. } => "app_paused",
+            TraceEventKind::AppResumed { .. } => "app_resumed",
+            TraceEventKind::AppDrained { .. } => "app_drained",
+            TraceEventKind::AppUnmapped { .. } => "app_unmapped",
+            TraceEventKind::StaleSyncRejected { .. } => "stale_sync_rejected",
         }
     }
 }
@@ -479,6 +529,34 @@ impl TraceSink {
                     String::new(),
                     String::new(),
                 ),
+                TraceEventKind::AppMapped {
+                    app,
+                    sram_bytes,
+                    tasks,
+                } => (
+                    self.label(app),
+                    sram_bytes.to_string(),
+                    tasks.to_string(),
+                    String::new(),
+                ),
+                TraceEventKind::AppPaused { app } | TraceEventKind::AppResumed { app } => {
+                    (self.label(app), String::new(), String::new(), String::new())
+                }
+                TraceEventKind::AppDrained { app, wait_cycles } => (
+                    self.label(app),
+                    wait_cycles.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                TraceEventKind::AppUnmapped { app, sram_bytes } => (
+                    self.label(app),
+                    sram_bytes.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                TraceEventKind::StaleSyncRejected { row, bytes } => {
+                    ("", row.to_string(), bytes.to_string(), String::new())
+                }
             };
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
@@ -548,6 +626,34 @@ fn instant_args(kind: &TraceEventKind, sink: &TraceSink) -> String {
                 "\"class\":{},\"magnitude\":{magnitude}",
                 json_string(sink.label(class))
             )
+        }
+        TraceEventKind::AppMapped {
+            app,
+            sram_bytes,
+            tasks,
+        } => {
+            format!(
+                "\"app\":{},\"sram_bytes\":{sram_bytes},\"tasks\":{tasks}",
+                json_string(sink.label(app))
+            )
+        }
+        TraceEventKind::AppPaused { app } | TraceEventKind::AppResumed { app } => {
+            format!("\"app\":{}", json_string(sink.label(app)))
+        }
+        TraceEventKind::AppDrained { app, wait_cycles } => {
+            format!(
+                "\"app\":{},\"wait_cycles\":{wait_cycles}",
+                json_string(sink.label(app))
+            )
+        }
+        TraceEventKind::AppUnmapped { app, sram_bytes } => {
+            format!(
+                "\"app\":{},\"sram_bytes\":{sram_bytes}",
+                json_string(sink.label(app))
+            )
+        }
+        TraceEventKind::StaleSyncRejected { row, bytes } => {
+            format!("\"row\":{row},\"bytes\":{bytes}")
         }
         _ => String::new(),
     }

@@ -31,6 +31,9 @@ impl Coprocessor for UppercaseCoproc {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
     fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
         const IN: PortId = 0;
         const OUT: PortId = 1;
@@ -79,6 +82,9 @@ impl Coprocessor for TextEnds {
         (vec![], vec![])
     }
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
