@@ -127,7 +127,7 @@ fn bench_fifo() {
 }
 
 fn bench_shell() {
-    use eclipse_mem::{Bus, BusConfig, CyclicBuffer, Sram, SramConfig};
+    use eclipse_mem::{BusConfig, CyclicBuffer, SramConfig};
     use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig};
     use eclipse_shell::task_table::TaskConfig;
     use eclipse_shell::{MemSys, Shell, ShellConfig, ShellId, TaskIdx};
@@ -149,11 +149,11 @@ fn bench_shell() {
             ports: vec![row],
             space_hints: vec![0],
         });
-        let mut mem = MemSys {
-            sram: Sram::new(SramConfig::default()),
-            read_bus: Bus::new("r", BusConfig::default()),
-            write_bus: Bus::new("w", BusConfig::default()),
-        };
+        let mut mem = MemSys::shared_bus(
+            SramConfig::default(),
+            BusConfig::default(),
+            BusConfig::default(),
+        );
         let mut now = 0u64;
         for _ in 0..16 {
             shell.get_space(TaskIdx(0), 0, 64, now);

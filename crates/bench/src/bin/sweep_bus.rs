@@ -25,13 +25,15 @@ fn main() {
         let sink = trace.then(|| dec.system.sys.enable_tracing(1 << 16));
         let summary = dec.system.run(20_000_000_000);
         assert_eq!(summary.outcome, RunOutcome::AllFinished);
-        let mem = dec.system.sys.mem();
+        let fabric = dec.system.sys.data_fabric();
+        let read = fabric.port("read").expect("shared-bus read port");
+        let write = fabric.port("write").expect("shared-bus write port");
         let row = vec![
             format!("{} bits", width * 8),
             format!("{}", summary.cycles),
-            format!("{:.1}%", mem.read_bus.utilization(summary.cycles) * 100.0),
-            format!("{:.1}%", mem.write_bus.utilization(summary.cycles) * 100.0),
-            format!("{:.2}", mem.read_bus.stats().wait.mean()),
+            format!("{:.1}%", read.utilization(summary.cycles) * 100.0),
+            format!("{:.1}%", write.utilization(summary.cycles) * 100.0),
+            format!("{:.2}", read.stats.wait.mean()),
         ];
         let annotation = sink
             .as_ref()

@@ -60,8 +60,14 @@ fn main() {
                 stalls += c.stats.stall_cycles;
             }
         }
-        let mem = dec.system.sys.mem();
-        let bus_txn = mem.read_bus.stats().transactions + mem.write_bus.stats().transactions;
+        let bus_txn: u64 = dec
+            .system
+            .sys
+            .data_fabric()
+            .ports()
+            .iter()
+            .map(|p| p.stats.transactions)
+            .sum();
         let hit_rate = if hits + misses == 0 {
             0.0
         } else {

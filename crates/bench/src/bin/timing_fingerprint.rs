@@ -76,16 +76,15 @@ fn main() {
              invalidations={inv} stall_cycles={stall}"
         )
         .unwrap();
-        let mem = dec.system.sys.mem();
-        for bus in [&mem.read_bus, &mem.write_bus] {
+        for port in dec.system.sys.data_fabric().ports() {
             writeln!(
                 out,
                 "bus/{}: txn={} bytes={} busy={} wait_sum={:.3}",
-                bus.name(),
-                bus.stats().transactions,
-                bus.stats().bytes,
-                bus.stats().busy_cycles,
-                bus.stats().wait.sum()
+                port.name,
+                port.stats.transactions,
+                port.stats.bytes,
+                port.stats.busy_cycles,
+                port.stats.wait.sum()
             )
             .unwrap();
         }

@@ -13,6 +13,8 @@ use eclipse_core::{
 };
 use eclipse_media::frame::Frame;
 use eclipse_media::stream::{read_sequence_header, GopConfig, SequenceHeader};
+use eclipse_mem::DataFabricConfig;
+use eclipse_shell::SyncFabricConfig;
 use eclipse_sim::Cycle;
 
 use crate::apps::{
@@ -72,6 +74,8 @@ pub struct MpegBuilder {
     av_apps: Vec<(String, AvProgramConfig)>,
     bitstream_loads: Vec<(u32, Vec<u8>)>,
     dram_next: u32,
+    data_fabric: Option<DataFabricConfig>,
+    sync_fabric: Option<SyncFabricConfig>,
 }
 
 impl MpegBuilder {
@@ -90,7 +94,23 @@ impl MpegBuilder {
             av_apps: Vec::new(),
             bitstream_loads: Vec::new(),
             dram_next: 0,
+            data_fabric: None,
+            sync_fabric: None,
         }
+    }
+
+    /// Select the shell↔SRAM transport fabric (default: the paper
+    /// instance's shared read/write bus pair).
+    pub fn with_data_fabric(&mut self, fabric: DataFabricConfig) -> &mut Self {
+        self.data_fabric = Some(fabric);
+        self
+    }
+
+    /// Select the `putspace` synchronization network (default: the flat
+    /// direct network).
+    pub fn with_sync_fabric(&mut self, fabric: SyncFabricConfig) -> &mut Self {
+        self.sync_fabric = Some(fabric);
+        self
     }
 
     fn dram_alloc(&mut self, size: u32, align: u32) -> u32 {
@@ -297,6 +317,12 @@ impl MpegBuilder {
     /// Build the runnable system.
     pub fn build(self) -> MpegSystem {
         let mut b = SystemBuilder::new(self.cfg);
+        if let Some(f) = self.data_fabric {
+            b.with_data_fabric(f);
+        }
+        if let Some(f) = self.sync_fabric {
+            b.with_sync_fabric(f);
+        }
         let coprocs = MpegCoprocs {
             vld: b.add_coprocessor(Box::new(VldCoproc::new(self.costs.vld, self.vld_cfgs))),
             rlsq: b.add_coprocessor(Box::new(RlsqCoproc::new(self.costs.rlsq))),

@@ -31,6 +31,12 @@ pub struct EclipseConfig {
     pub shell: ShellConfig,
     /// Default task budget in cycles (paper Section 5.3: 1 000–10 000).
     pub default_budget: u64,
+    /// Coprocessor cycles one PI-bus register access occupies (paper
+    /// Section 2.2: shells are configured by the CPU over the PI bus).
+    /// Run-time reconfiguration serializes its table writes at this
+    /// cost, so mapping an app is not free; 0 restores the idealized
+    /// free-configuration model.
+    pub pi_access_cycles: u64,
     /// Measurement sampling interval in cycles (paper Section 5.4: "a
     /// separate process in the shell takes measurement samples at regular
     /// intervals").
@@ -52,6 +58,7 @@ impl Default for EclipseConfig {
             dram: DramConfig::default(),
             shell: ShellConfig::default(),
             default_budget: 2000,
+            pi_access_cycles: 10,
             sample_interval: 2048,
         }
     }

@@ -14,6 +14,10 @@
 //! * [`bus::Bus`] — a shared, arbitrated, wide data bus with occupancy and
 //!   contention accounting (instantiated as the on-chip read bus, write
 //!   bus, and the off-chip system bus),
+//! * [`fabric::DataFabric`] — the pluggable shell↔SRAM transport seam:
+//!   [`fabric::SharedBusFabric`] (the paper-instance bus pair, the
+//!   default) and [`fabric::MultiBankFabric`] (address-interleaved
+//!   multi-bank arbitration for bandwidth scaling),
 //! * [`alloc::BufferAllocator`] — run-time allocation of cyclic stream
 //!   buffers in the shared SRAM address range (the paper's "communication
 //!   buffers can be allocated at run-time"),
@@ -28,10 +32,14 @@ pub mod alloc;
 pub mod bus;
 pub mod cyclic;
 pub mod dram;
+pub mod fabric;
 pub mod sram;
 
 pub use alloc::BufferAllocator;
-pub use bus::{Bus, BusConfig, Transfer};
+pub use bus::{Bus, BusConfig, BusStats, Transfer};
 pub use cyclic::CyclicBuffer;
 pub use dram::{Dram, DramConfig};
+pub use fabric::{
+    DataFabric, DataFabricConfig, FabricDir, FabricPort, MultiBankFabric, SharedBusFabric,
+};
 pub use sram::{Sram, SramConfig};

@@ -20,42 +20,68 @@
 //! Each stream-table row owns one direct-mapped cache (a shell template
 //! parameter, per the paper's "size of data caches in the shell").
 
-use eclipse_mem::{Bus, CyclicBuffer, Sram};
+use eclipse_mem::{
+    BusConfig, CyclicBuffer, DataFabric, DataFabricConfig, FabricDir, SharedBusFabric, Sram,
+    SramConfig,
+};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
 /// Maximum supported cache line size in bytes (dirty mask is a u64).
 pub const MAX_LINE_BYTES: u32 = 64;
 
-/// The memory system a shell's caches talk to: the shared SRAM behind the
-/// separate read and write buses of the paper's instance (Section 6).
+/// The memory system a shell's caches talk to: the shared SRAM behind a
+/// pluggable [`DataFabric`]. The paper's instance (Section 6) is the
+/// default [`SharedBusFabric`] — one shared read bus, one shared write
+/// bus; multi-bank backends stripe the same SRAM across parallel
+/// arbiters.
 #[derive(Debug)]
 pub struct MemSys {
     /// The centralized on-chip SRAM holding all stream buffers.
     pub sram: Sram,
-    /// Shared read data bus.
-    pub read_bus: Bus,
-    /// Shared write data bus.
-    pub write_bus: Bus,
+    /// The shell↔SRAM transport fabric (timing only; bytes move through
+    /// [`MemSys::sram`]).
+    pub fabric: Box<dyn DataFabric>,
 }
 
 impl MemSys {
-    /// Fetch `buf.len()` bytes at `addr` over the read bus; returns the
+    /// A memory system behind the paper-instance shared bus pair.
+    pub fn shared_bus(sram: SramConfig, read: BusConfig, write: BusConfig) -> Self {
+        MemSys {
+            sram: Sram::new(sram),
+            fabric: Box::new(SharedBusFabric::new(read, write)),
+        }
+    }
+
+    /// A memory system behind an explicitly configured fabric backend.
+    pub fn with_fabric(sram: SramConfig, fabric: DataFabricConfig) -> Self {
+        MemSys {
+            sram: Sram::new(sram),
+            fabric: fabric.build(),
+        }
+    }
+
+    /// Fetch `buf.len()` bytes at `addr` over the fabric; returns the
     /// cycle at which the data is available. The whole request is one
-    /// contiguous burst: one bus transaction, one SRAM access — callers
-    /// fetch straight into their line storage with no staging copy.
+    /// contiguous burst: one fabric transaction, one SRAM access —
+    /// callers fetch straight into their line storage with no staging
+    /// copy.
     #[inline]
     pub fn fetch(&mut self, now: Cycle, addr: u32, buf: &mut [u8]) -> Cycle {
-        let t = self.read_bus.request(now, buf.len() as u32);
+        let t = self
+            .fabric
+            .request(FabricDir::Read, now, addr, buf.len() as u32);
         self.sram.read(addr, buf);
         t.done + self.sram.config().latency
     }
 
-    /// Write `data` at `addr` over the write bus; returns the cycle at
+    /// Write `data` at `addr` over the fabric; returns the cycle at
     /// which the write has globally completed (safe ordering point).
     #[inline]
     pub fn writeback(&mut self, now: Cycle, addr: u32, data: &[u8]) -> Cycle {
-        let t = self.write_bus.request(now, data.len() as u32);
+        let t = self
+            .fabric
+            .request(FabricDir::Write, now, addr, data.len() as u32);
         self.sram.write(addr, data);
         t.done + self.sram.config().latency
     }
@@ -570,15 +596,15 @@ mod tests {
     use eclipse_mem::{BusConfig, SramConfig};
 
     fn memsys() -> MemSys {
-        MemSys {
-            sram: Sram::new(SramConfig {
+        MemSys::shared_bus(
+            SramConfig {
                 size: 4096,
                 word_bytes: 16,
                 latency: 2,
-            }),
-            read_bus: Bus::new("read", BusConfig::default()),
-            write_bus: Bus::new("write", BusConfig::default()),
-        }
+            },
+            BusConfig::default(),
+            BusConfig::default(),
+        )
     }
 
     fn cache(lines: usize) -> StreamCache {

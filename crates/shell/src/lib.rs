@@ -34,6 +34,7 @@ pub mod cache;
 pub mod regs;
 pub mod shell;
 pub mod stream_table;
+pub mod sync_fabric;
 pub mod task_table;
 
 pub use cache::{CacheConfig, CacheStats, MemSys, StreamCache};
@@ -41,6 +42,9 @@ pub use shell::{
     GetTaskResult, PutSpaceOutcome, SchedPolicy, Shell, ShellConfig, ShellStats, SyncMsg,
 };
 pub use stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig, StreamRowStats};
+pub use sync_fabric::{
+    DirectSyncFabric, RingSyncFabric, SyncFabric, SyncFabricConfig, SyncFabricStats,
+};
 pub use task_table::{TaskConfig, TaskIdx, TaskStats};
 
 use serde::{Deserialize, Serialize};

@@ -807,18 +807,18 @@ impl Shell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eclipse_mem::{Bus, BusConfig, Sram, SramConfig};
+    use eclipse_mem::{BusConfig, SramConfig};
 
     fn memsys() -> MemSys {
-        MemSys {
-            sram: Sram::new(SramConfig {
+        MemSys::shared_bus(
+            SramConfig {
                 size: 8192,
                 word_bytes: 16,
                 latency: 2,
-            }),
-            read_bus: Bus::new("read", BusConfig::default()),
-            write_bus: Bus::new("write", BusConfig::default()),
-        }
+            },
+            BusConfig::default(),
+            BusConfig::default(),
+        )
     }
 
     /// Wire a producer shell and a consumer shell around one stream.

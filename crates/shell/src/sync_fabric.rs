@@ -1,0 +1,256 @@
+//! Pluggable `putspace` synchronization networks.
+//!
+//! Paper Section 5.1 keeps synchronization fully distributed: shells
+//! exchange small `putspace` messages over a dedicated network, with no
+//! CPU in the loop. The paper's instance uses a message network whose
+//! delivery cost the model folds into a flat per-message latency — that
+//! is [`DirectSyncFabric`], the default. [`SyncFabric`] makes the
+//! network a replaceable component (the template's promise), and
+//! [`RingSyncFabric`] adds the first scalable topology: a unidirectional
+//! ring where a message traverses one link per intermediate shell, each
+//! link carrying one message at a time, so sync traffic between distant
+//! shells both costs more and *contends* — visible in the fabric stats
+//! and the `SyncHop` trace events.
+//!
+//! A sync fabric only computes *arrival times*; message payload,
+//! generation stamping, and delivery stay in the run loop.
+
+use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
+use eclipse_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::ShellId;
+
+/// Cumulative statistics of a sync network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncFabricStats {
+    /// Messages routed.
+    pub messages: u64,
+    /// Links traversed in total (0 for shell-local messages).
+    pub hops: u64,
+    /// Messages that queued behind at least one busy link.
+    pub contended: u64,
+    /// Total cycles messages spent queued behind busy links.
+    pub wait_cycles: u64,
+}
+
+/// A `putspace` message network: computes when a message departing at
+/// `depart` arrives at the destination shell. Implementations must be
+/// deterministic.
+pub trait SyncFabric: std::fmt::Debug {
+    /// Short backend name for reports ("direct", "ring", ...).
+    fn kind(&self) -> &'static str;
+
+    /// Route one message; returns its arrival cycle. `base_latency` is
+    /// the shell-configured per-message latency (`ShellConfig::
+    /// sync_latency`), which every backend honors as the minimum cost.
+    fn route(&mut self, depart: Cycle, src: ShellId, dst: ShellId, base_latency: u64) -> Cycle;
+
+    /// Cumulative routing statistics.
+    fn stats(&self) -> SyncFabricStats;
+
+    /// Connect the fabric to a shared event-trace sink.
+    fn attach_trace(&mut self, sink: &SharedTraceSink);
+}
+
+/// Sync-network selection, resolved to a backend at system build time.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum SyncFabricConfig {
+    /// The paper-instance message network: a flat per-message latency,
+    /// no topology, no contention (the default; timing-identical to the
+    /// pre-fabric model).
+    Direct,
+    /// A unidirectional ring: a message from shell *s* to shell *d*
+    /// traverses `(d - s) mod n` links, paying `hop_latency` per link;
+    /// each link carries one message per `link_occupancy` cycles, so
+    /// concurrent messages over shared links queue.
+    Ring {
+        /// Added latency per traversed link.
+        hop_latency: u64,
+        /// Cycles a link is held per message (1 = full rate).
+        link_occupancy: u64,
+    },
+}
+
+impl SyncFabricConfig {
+    /// Instantiate the configured backend for an instance of `n_shells`.
+    pub fn build(self, n_shells: usize) -> Box<dyn SyncFabric> {
+        match self {
+            SyncFabricConfig::Direct => Box::new(DirectSyncFabric::default()),
+            SyncFabricConfig::Ring {
+                hop_latency,
+                link_occupancy,
+            } => Box::new(RingSyncFabric::new(n_shells, hop_latency, link_occupancy)),
+        }
+    }
+}
+
+/// The default network: every message arrives `base_latency` cycles
+/// after departure, regardless of topology or load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectSyncFabric {
+    stats: SyncFabricStats,
+}
+
+impl DirectSyncFabric {
+    /// A new idle network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SyncFabric for DirectSyncFabric {
+    fn kind(&self) -> &'static str {
+        "direct"
+    }
+
+    fn route(&mut self, depart: Cycle, src: ShellId, dst: ShellId, base_latency: u64) -> Cycle {
+        self.stats.messages += 1;
+        self.stats.hops += u64::from(src != dst);
+        depart + base_latency
+    }
+
+    fn stats(&self) -> SyncFabricStats {
+        self.stats
+    }
+
+    fn attach_trace(&mut self, _sink: &SharedTraceSink) {}
+}
+
+/// A unidirectional ring sync network with per-link occupancy.
+#[derive(Debug)]
+pub struct RingSyncFabric {
+    /// `link_free[i]`: earliest cycle link i→(i+1) accepts a message.
+    link_free: Vec<Cycle>,
+    hop_latency: u64,
+    link_occupancy: u64,
+    stats: SyncFabricStats,
+    trace: Option<TraceHandle>,
+}
+
+impl RingSyncFabric {
+    /// A new idle ring connecting `n_shells` shells.
+    pub fn new(n_shells: usize, hop_latency: u64, link_occupancy: u64) -> Self {
+        assert!(n_shells > 0, "a ring needs at least one shell");
+        RingSyncFabric {
+            link_free: vec![0; n_shells],
+            hop_latency,
+            link_occupancy: link_occupancy.max(1),
+            stats: SyncFabricStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Links a message from `src` to `dst` traverses.
+    pub fn hops(&self, src: ShellId, dst: ShellId) -> u64 {
+        let n = self.link_free.len() as u64;
+        (u64::from(dst.0) + n - u64::from(src.0)) % n
+    }
+}
+
+impl SyncFabric for RingSyncFabric {
+    fn kind(&self) -> &'static str {
+        "ring"
+    }
+
+    fn route(&mut self, depart: Cycle, src: ShellId, dst: ShellId, base_latency: u64) -> Cycle {
+        self.stats.messages += 1;
+        let n = self.link_free.len();
+        let hops = self.hops(src, dst);
+        // Injection costs the shell-level message latency; each traversed
+        // link then adds its hop latency, queuing while the link drains
+        // the previous message.
+        let mut t = depart + base_latency;
+        let mut waited = 0;
+        for k in 0..hops {
+            let link = (usize::from(src.0) + k as usize) % n;
+            let start = t.max(self.link_free[link]);
+            waited += start - t;
+            self.link_free[link] = start + self.link_occupancy;
+            t = start + self.hop_latency;
+        }
+        self.stats.hops += hops;
+        self.stats.wait_cycles += waited;
+        if waited > 0 {
+            self.stats.contended += 1;
+        }
+        if let Some(h) = &self.trace {
+            if hops > 0 {
+                h.emit(
+                    depart,
+                    TraceEventKind::SyncHop {
+                        hops: hops as u32,
+                        wait: waited,
+                    },
+                );
+            }
+        }
+        t
+    }
+
+    fn stats(&self) -> SyncFabricStats {
+        self.stats
+    }
+
+    fn attach_trace(&mut self, sink: &SharedTraceSink) {
+        self.trace = Some(TraceHandle::new(sink, "fabric/ring"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_is_flat_latency() {
+        let mut f = DirectSyncFabric::new();
+        assert_eq!(f.route(100, ShellId(0), ShellId(3), 4), 104);
+        assert_eq!(f.route(0, ShellId(2), ShellId(2), 4), 4);
+        assert_eq!(f.stats().messages, 2);
+        assert_eq!(f.stats().contended, 0);
+    }
+
+    #[test]
+    fn ring_charges_per_hop() {
+        let mut f = RingSyncFabric::new(5, 3, 1);
+        // 0 → 3: three links, 4 base + 3×3 hop.
+        assert_eq!(f.route(0, ShellId(0), ShellId(3), 4), 4 + 9);
+        // Wrap-around: 3 → 1 crosses links 3, 4, 0.
+        assert_eq!(f.hops(ShellId(3), ShellId(1)), 3);
+        // Local delivery never touches a link.
+        assert_eq!(f.route(50, ShellId(2), ShellId(2), 4), 54);
+        assert_eq!(f.stats().hops, 3);
+    }
+
+    #[test]
+    fn ring_links_contend() {
+        let mut f = RingSyncFabric::new(4, 2, 10);
+        let a = f.route(0, ShellId(0), ShellId(1), 4);
+        assert_eq!(a, 6); // base 4 + one hop of 2
+                          // Same first link, same instant: queues the full occupancy (10)
+                          // behind the first message, then crosses two links.
+        let b = f.route(0, ShellId(0), ShellId(2), 4);
+        assert_eq!(b, 4 + 10 + 2 + 2);
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.wait_cycles, 10);
+    }
+
+    #[test]
+    fn ring_route_is_deterministic() {
+        let runs: Vec<Vec<Cycle>> = (0..2)
+            .map(|_| {
+                let mut f = RingSyncFabric::new(6, 2, 3);
+                (0..50u64)
+                    .map(|i| {
+                        let src = ShellId((i % 6) as u16);
+                        let dst = ShellId(((i * 7) % 6) as u16);
+                        f.route(i * 2, src, dst, 4)
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+}

@@ -3,7 +3,7 @@
 //! model must never lose, duplicate, or corrupt a byte, and the space
 //! accounting must match the model exactly.
 
-use eclipse_mem::{Bus, BusConfig, CyclicBuffer, Sram, SramConfig};
+use eclipse_mem::{BusConfig, CyclicBuffer, SramConfig};
 use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig};
 use eclipse_shell::task_table::TaskConfig;
 use eclipse_shell::{CacheConfig, MemSys, Shell, ShellConfig, ShellId, SyncMsg, TaskIdx};
@@ -72,13 +72,13 @@ proptest! {
         });
         producer.add_task(TaskConfig { name: "p".into(), budget: 1000, task_info: 0, ports: vec![prow], space_hints: vec![0] });
         consumer.add_task(TaskConfig { name: "c".into(), budget: 1000, task_info: 0, ports: vec![crow], space_hints: vec![0] });
-        let mut mem = MemSys {
-            // SRAM sized to a whole number of cache lines (line fetches are
-            // line-aligned, as in the real instance's power-of-two SRAM).
-            sram: Sram::new(SramConfig { size: (buffer_size + 63) & !63, word_bytes: 16, latency: 2 }),
-            read_bus: Bus::new("r", BusConfig::default()),
-            write_bus: Bus::new("w", BusConfig::default()),
-        };
+        // SRAM sized to a whole number of cache lines (line fetches are
+        // line-aligned, as in the real instance's power-of-two SRAM).
+        let mut mem = MemSys::shared_bus(
+            SramConfig { size: (buffer_size + 63) & !63, word_bytes: 16, latency: 2 },
+            BusConfig::default(),
+            BusConfig::default(),
+        );
 
         // Reference model.
         let mut produced_total: u64 = 0;
@@ -216,11 +216,11 @@ proptest! {
         });
         producer.add_task(TaskConfig { name: "p".into(), budget: 1000, task_info: 0, ports: vec![prow], space_hints: vec![0] });
         consumer.add_task(TaskConfig { name: "c".into(), budget: 1000, task_info: 0, ports: vec![crow], space_hints: vec![0] });
-        let mut mem = MemSys {
-            sram: Sram::new(SramConfig { size: (buffer_size + 63) & !63, word_bytes: 16, latency: 2 }),
-            read_bus: Bus::new("r", BusConfig::default()),
-            write_bus: Bus::new("w", BusConfig::default()),
-        };
+        let mut mem = MemSys::shared_bus(
+            SramConfig { size: (buffer_size + 63) & !63, word_bytes: 16, latency: 2 },
+            BusConfig::default(),
+            BusConfig::default(),
+        );
 
         let mut pending: Vec<SyncMsg> = Vec::new();
         let mut now: u64 = 0;

@@ -32,6 +32,11 @@ use crate::Cycle;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabelId(pub u32);
 
+/// Chrome-export `tid` base for per-task tracks: task `t` renders on
+/// `TASK_TID_OFFSET + t.0`, well clear of the per-unit tids (raw label
+/// ids, which number in the dozens).
+pub const TASK_TID_OFFSET: u32 = 1 << 20;
+
 /// What happened. Fixed-size payloads only — names are interned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEventKind {
@@ -121,8 +126,26 @@ pub enum TraceEventKind {
         /// Data-path occupancy in cycles.
         busy: Cycle,
     },
+    /// A multi-bank data-fabric chunk was granted on a bank port after
+    /// `wait` cycles of arbitration.
+    BankGrant {
+        /// Bank index within the fabric.
+        bank: u32,
+        /// Chunk payload bytes.
+        bytes: u32,
+        /// Arbitration wait in cycles.
+        wait: Cycle,
+    },
+    /// A `putspace` message was routed across a sync network (ring /
+    /// crossbar backends; the direct network emits none).
+    SyncHop {
+        /// Links traversed between source and destination shell.
+        hops: u32,
+        /// Cycles queued behind busy links along the path.
+        wait: Cycle,
+    },
     /// One coprocessor processing step (run-loop phase; a duration event
-    /// in the Chrome export).
+    /// in the Chrome export, on the executing task's own track).
     Step {
         /// Executing task's name.
         task: LabelId,
@@ -225,6 +248,8 @@ impl TraceEventKind {
             TraceEventKind::CacheFlush { .. } => "cache_flush",
             TraceEventKind::CachePrefetch { .. } => "cache_prefetch",
             TraceEventKind::BusGrant { .. } => "bus_grant",
+            TraceEventKind::BankGrant { .. } => "bank_grant",
+            TraceEventKind::SyncHop { .. } => "sync_hop",
             TraceEventKind::Step { .. } => "step",
             TraceEventKind::SyncDeliver { .. } => "sync_deliver",
             TraceEventKind::Sample => "sample",
@@ -380,6 +405,10 @@ impl TraceSink {
     /// loadable in Perfetto / `chrome://tracing`). Simulated cycles map
     /// 1:1 to the `ts` microsecond field; `pid` 0 is the instance and
     /// each emitting unit gets a `tid` named via metadata events.
+    /// [`TraceEventKind::Step`] duration events additionally land on a
+    /// per-*task* track (`tid` = [`TASK_TID_OFFSET`] + task label), so a
+    /// multi-tasking shell's interleaved steps separate into one swim
+    /// lane per task.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("[\n");
         let mut first = true;
@@ -390,11 +419,17 @@ impl TraceSink {
             first = false;
             out.push_str(&line);
         };
-        // Thread-name metadata for every unit that appears.
+        // Thread-name metadata for every unit and task track that appears.
         let mut seen_units: Vec<LabelId> = Vec::new();
+        let mut seen_tasks: Vec<LabelId> = Vec::new();
         for e in &self.events {
             if !seen_units.contains(&e.unit) {
                 seen_units.push(e.unit);
+            }
+            if let TraceEventKind::Step { task, .. } = e.kind {
+                if !seen_tasks.contains(&task) {
+                    seen_tasks.push(task);
+                }
             }
         }
         for unit in &seen_units {
@@ -407,15 +442,27 @@ impl TraceSink {
                 ),
             );
         }
+        for task in &seen_tasks {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                    TASK_TID_OFFSET + task.0,
+                    json_string(&format!("task/{}", self.label(*task)))
+                ),
+            );
+        }
         for e in &self.events {
             let tid = e.unit.0;
             let line = match e.kind {
                 TraceEventKind::Step { task, busy, stall } => format!(
-                    "{{\"name\":{},\"cat\":\"step\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\
-                     \"args\":{{\"busy\":{busy},\"stall\":{stall}}}}}",
+                    "{{\"name\":{},\"cat\":\"step\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"busy\":{busy},\"stall\":{stall},\"shell\":{}}}}}",
                     json_string(self.label(task)),
                     e.cycle,
                     busy + stall,
+                    TASK_TID_OFFSET + task.0,
+                    json_string(self.label(e.unit)),
                 ),
                 TraceEventKind::BusGrant { bytes, wait, busy } => format!(
                     "{{\"name\":\"xfer {bytes}B\",\"cat\":\"bus\",\"ph\":\"X\",\"ts\":{},\"dur\":{busy},\"pid\":0,\
@@ -501,6 +548,12 @@ impl TraceSink {
                 }
                 TraceEventKind::BusGrant { bytes, wait, busy } => {
                     ("", bytes.to_string(), wait.to_string(), busy.to_string())
+                }
+                TraceEventKind::BankGrant { bank, bytes, wait } => {
+                    ("", bank.to_string(), bytes.to_string(), wait.to_string())
+                }
+                TraceEventKind::SyncHop { hops, wait } => {
+                    ("", hops.to_string(), wait.to_string(), String::new())
                 }
                 TraceEventKind::Step { task, busy, stall } => (
                     self.label(task),
@@ -614,6 +667,12 @@ fn instant_args(kind: &TraceEventKind, sink: &TraceSink) -> String {
         | TraceEventKind::CacheFlush { row, lines }
         | TraceEventKind::CachePrefetch { row, lines } => {
             format!("\"row\":{row},\"lines\":{lines}")
+        }
+        TraceEventKind::BankGrant { bank, bytes, wait } => {
+            format!("\"bank\":{bank},\"bytes\":{bytes},\"wait\":{wait}")
+        }
+        TraceEventKind::SyncHop { hops, wait } => {
+            format!("\"hops\":{hops},\"wait\":{wait}")
         }
         TraceEventKind::SyncDeliver { bytes, latency } => {
             format!("\"bytes\":{bytes},\"latency\":{latency}")
@@ -825,6 +884,61 @@ mod tests {
         assert!(json.contains("\"hint\":64"));
         // Balanced braces as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn steps_land_on_per_task_tracks() {
+        let mut s = TraceSink::new(16);
+        let u = s.intern("shell/vld");
+        let t1 = s.intern("a.vld");
+        let t2 = s.intern("b.vld");
+        for (i, t) in [t1, t2, t1].iter().enumerate() {
+            s.emit(TraceEvent {
+                cycle: i as u64,
+                unit: u,
+                kind: TraceEventKind::Step {
+                    task: *t,
+                    busy: 1,
+                    stall: 0,
+                },
+            });
+        }
+        let json = s.to_chrome_trace();
+        // Each task gets its own named track above the unit tids.
+        assert!(json.contains(&format!("\"tid\":{}", TASK_TID_OFFSET + t1.0)));
+        assert!(json.contains(&format!("\"tid\":{}", TASK_TID_OFFSET + t2.0)));
+        assert!(json.contains("\"task/a.vld\""));
+        assert!(json.contains("\"task/b.vld\""));
+        // The shell the step executed on stays recoverable from args.
+        assert!(json.contains("\"shell\":\"shell/vld\""));
+    }
+
+    #[test]
+    fn fabric_events_export_in_both_formats() {
+        let mut s = TraceSink::new(16);
+        let u = s.intern("fabric/multibank");
+        s.emit(TraceEvent {
+            cycle: 7,
+            unit: u,
+            kind: TraceEventKind::BankGrant {
+                bank: 3,
+                bytes: 64,
+                wait: 2,
+            },
+        });
+        s.emit(TraceEvent {
+            cycle: 9,
+            unit: u,
+            kind: TraceEventKind::SyncHop { hops: 2, wait: 1 },
+        });
+        let json = s.to_chrome_trace();
+        assert!(json.contains("bank_grant"));
+        assert!(json.contains("\"bank\":3"));
+        assert!(json.contains("sync_hop"));
+        assert!(json.contains("\"hops\":2"));
+        let csv = s.to_csv();
+        assert!(csv.contains("7,fabric/multibank,bank_grant,,3,64,2"));
+        assert!(csv.contains("9,fabric/multibank,sync_hop,,2,1,"));
     }
 
     #[test]
