@@ -14,6 +14,15 @@
 //! Usage:
 //!   cargo run -p eclipse-bench --release --bin chaos_soak           # full sweep
 //!   cargo run -p eclipse-bench --release --bin chaos_soak -- --quick # CI smoke
+//!   cargo run -p eclipse-bench --release --bin chaos_soak -- --replay <class> <rate>
+//!
+//! `--replay` re-runs one design point with rolling checkpoints and,
+//! when the run wedges, forks from the last checkpoint before the
+//! failure with event tracing enabled — reproducing the exact failure
+//! (the fault injector's RNG cursors travel in the checkpoint) and
+//! bisecting the wedge to the last cycle at which the architectural
+//! state still changed. The traced tail is saved as
+//! `results/replay_trace.csv` for inspection.
 
 use eclipse_bench::{save_result, table, StreamSpec};
 use eclipse_coprocs::instance::build_decode_system;
@@ -108,7 +117,96 @@ fn run_point(
     ]
 }
 
+/// Re-run one soak design point deterministically, checkpointing as it
+/// goes, then bisect a failure by forking from the nearest checkpoint
+/// with tracing on. See the module docs.
+fn replay(class: &str, rate: f64) {
+    let spec = StreamSpec {
+        frames: 4,
+        gop: GopConfig { n: 4, m: 2 },
+        ..StreamSpec::tiny()
+    };
+    let (mut bitstream, _) = spec.encode();
+    if class == "bitstream" {
+        corrupt_bytes(&mut bitstream[16..], rate, SEED);
+    }
+    let arm = |bs: Vec<u8>| {
+        let mut dec = build_decode_system(EclipseConfig::default(), bs);
+        if PLAN_CLASSES.contains(&class) {
+            dec.system.sys.inject_faults(plan_for(class, rate, SEED));
+        }
+        dec.system.sys.set_watchdog(WATCHDOG);
+        dec
+    };
+
+    // First pass: run in slices, keeping the latest pre-failure checkpoint.
+    const SLICE: u64 = 100_000;
+    let mut dec = arm(bitstream.clone());
+    let mut ckpt_cycle = 0;
+    let mut ckpt = dec.system.sys.save();
+    let outcome = loop {
+        let stop = dec.system.sys.now() + SLICE;
+        match dec.system.sys.run_until(stop) {
+            None => {
+                ckpt_cycle = dec.system.sys.now();
+                ckpt = dec.system.sys.save();
+            }
+            Some(o) => break o,
+        }
+    };
+    let fail_at = dec.system.sys.now();
+    println!(
+        "replay {class}@{rate}: {} at cycle {fail_at}",
+        outcome_cell(&outcome)
+    );
+    if outcome == RunOutcome::AllFinished {
+        println!("run finished clean — nothing to bisect");
+        return;
+    }
+
+    // Second pass: fork from the checkpoint (fault plan, RNG cursors and
+    // watchdog all travel inside it — a *fresh* build reproduces the
+    // failure exactly), tracing on, fine-grained hash watch.
+    let mut rep = build_decode_system(EclipseConfig::default(), bitstream);
+    rep.system.sys.restore(&ckpt).expect("restore checkpoint");
+    let sink = rep.system.sys.enable_tracing(1 << 16);
+    let fine = (SLICE / 64).max(1);
+    let mut last_active = ckpt_cycle;
+    let mut prev = rep.system.sys.state_hash();
+    let replayed = loop {
+        let stop = rep.system.sys.now() + fine;
+        match rep.system.sys.run_until(stop) {
+            None => {
+                let h = rep.system.sys.state_hash();
+                if h != prev {
+                    prev = h;
+                    last_active = rep.system.sys.now();
+                }
+            }
+            Some(o) => break o,
+        }
+    };
+    assert_eq!(replayed, outcome, "fork did not reproduce the failure");
+    assert_eq!(
+        rep.system.sys.now(),
+        fail_at,
+        "fork reproduced the failure at a different cycle"
+    );
+    println!(
+        "forked from checkpoint at {ckpt_cycle}; failure reproduced at {fail_at}; \
+         last state change at cycle {last_active} (±{fine})"
+    );
+    save_result("replay_trace.csv", &sink.borrow().to_csv());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        let class = args.get(i + 1).map(String::as_str).unwrap_or("sync_drop");
+        let rate = args.get(i + 2).and_then(|r| r.parse().ok()).unwrap_or(0.05);
+        replay(class, rate);
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
 
     // Workloads: the sweep-scale tiny stream always; the QCIF workhorse

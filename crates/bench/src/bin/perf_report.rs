@@ -121,6 +121,35 @@ fn main() {
         assert_eq!(summary.outcome, RunOutcome::AllFinished);
         black_box(summary.cycles)
     });
+    // Fork-from-checkpoint: restoring a mid-decode checkpoint into a
+    // fresh build, vs the baseline of re-simulating the same prefix.
+    // This is the per-design-point cost model for checkpoint-forked
+    // sweeps (see snapshot_smoke / sweep_reconfig); the QCIF stream
+    // gives the prefix enough simulated work to be representative.
+    let fork_mid = {
+        let mut dec = build_decode_system(EclipseConfig::default(), qcif_bs.clone());
+        let summary = dec.system.run(20_000_000_000);
+        assert_eq!(summary.outcome, RunOutcome::AllFinished);
+        summary.cycles / 2
+    };
+    let fork_ckpt = {
+        let mut dec = build_decode_system(EclipseConfig::default(), qcif_bs.clone());
+        assert_eq!(dec.system.sys.run_until(fork_mid), None);
+        dec.system.sys.save()
+    };
+    let fork = bench_with_budget("perf/fork_from_checkpoint", budget, || {
+        let mut dec = build_decode_system(EclipseConfig::default(), qcif_bs.clone());
+        dec.system
+            .sys
+            .restore(&fork_ckpt)
+            .expect("restore checkpoint");
+        black_box(dec.system.sys.state_hash())
+    });
+    let resim = bench_with_budget("perf/resim_to_checkpoint (baseline)", budget, || {
+        let mut dec = build_decode_system(EclipseConfig::default(), qcif_bs.clone());
+        assert_eq!(dec.system.sys.run_until(fork_mid), None);
+        black_box(dec.system.sys.state_hash())
+    });
     let cal_wheel = bench_with_budget("perf/calendar_hot (wheel)", budget, || {
         black_box(drive_calendar!(Calendar::<u32>::new()))
     });
@@ -149,6 +178,11 @@ fn main() {
             name: "calendar_hot",
             baseline_ms: Some(ms(&cal_heap)),
             current_ms: ms(&cal_wheel),
+        },
+        Workload {
+            name: "fork_from_checkpoint",
+            baseline_ms: Some(ms(&resim)),
+            current_ms: ms(&fork),
         },
     ];
 

@@ -53,19 +53,27 @@ fn main() {
     };
     let (bitstream, _) = spec.encode();
 
-    // Churn-free solo reference.
+    // Both arms of the sweep fork from one warm checkpoint taken 5k
+    // cycles in, so they share a bit-identical prefix instead of each
+    // re-simulating the warm-up from scratch.
+    let mut proto = build_video(&spec, bitstream.clone());
+    assert_eq!(proto.sys.run_until(5_000), None, "video must still be live");
+    let warm = proto.sys.save();
+
+    // Churn-free solo reference, forked from the warm checkpoint.
     let mut solo = build_video(&spec, bitstream.clone());
+    solo.sys.restore(&warm).expect("fork solo arm");
     let solo_summary = solo.run(20_000_000_000);
     assert_eq!(solo_summary.outcome, RunOutcome::AllFinished);
     let reference = solo.display_frames("vid").expect("solo decode output");
     let solo_cycles = solo.sys.now();
 
-    // Churn run: repeated map → run → drain → unmap cycles while the
-    // video streams on.
+    // Churn run, forked from the same checkpoint: repeated map → run →
+    // drain → unmap cycles while the video streams on.
     let churn_cycles = if quick { 2 } else { 4 };
     let blocks = if quick { 4 } else { 16 };
     let mut sys = build_video(&spec, bitstream);
-    assert_eq!(sys.sys.run_until(5_000), None, "video must still be live");
+    sys.sys.restore(&warm).expect("fork churn arm");
     let base_in_use = sys.sys.sram_allocator().in_use();
 
     let mut rows = Vec::new();

@@ -101,12 +101,12 @@ fn run_unified(bitstream: Vec<u8>) -> u64 {
         arena_bytes(seq.width as u32, seq.height as u32, DECODE_SLOTS),
         64,
     );
-    let mut vld_cfgs = std::collections::HashMap::new();
+    let mut vld_cfgs = std::collections::BTreeMap::new();
     vld_cfgs.insert(
         "dec0.vld".to_string(),
         VldTaskConfig::dram(bs_addr, bitstream.len() as u32),
     );
-    let mut mc_cfgs = std::collections::HashMap::new();
+    let mut mc_cfgs = std::collections::BTreeMap::new();
     mc_cfgs.insert(
         "dec0.mc".to_string(),
         McTaskConfig {

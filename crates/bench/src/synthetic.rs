@@ -4,6 +4,7 @@
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_shell::{PortId, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// A synthetic stage: consumes packets on port 0 (unless a pure source),
 /// produces packets on its output port (unless a pure sink).
@@ -16,8 +17,9 @@ pub struct PipeCoproc {
     packet_bytes: u32,
     /// Compute cycles charged per packet.
     compute: u64,
-    /// Per-task progress.
-    done: std::collections::HashMap<TaskIdx, u32>,
+    /// Per-task progress. Ordered map: checkpoint serialization iterates
+    /// it, and two builds of the same system must produce identical bytes.
+    done: std::collections::BTreeMap<TaskIdx, u32>,
     kind: Kind,
 }
 
@@ -93,6 +95,24 @@ impl Coprocessor for PipeCoproc {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.done.len());
+        for (task, count) in &self.done {
+            w.u8(task.0);
+            w.u32(*count);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.done.clear();
+        for _ in 0..r.usize()? {
+            let task = TaskIdx(r.u8()?);
+            let count = r.u32()?;
+            self.done.insert(task, count);
+        }
+        Ok(())
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

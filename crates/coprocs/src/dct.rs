@@ -12,11 +12,12 @@
 //! macroblock headers (present on the encoder's path) pass through
 //! untouched — the DCT only transforms `CBLK` payloads.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::dct::{fdct2d, idct2d};
 use eclipse_shell::{PortId, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 use crate::cost::DctCost;
 use crate::io::{StepReader, StepWriter};
@@ -45,10 +46,34 @@ struct DctTask {
     errors_recovered: u64,
 }
 
+impl DctTask {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.bool(self.framing == Framing::Framed);
+        w.u8(self.blocks_left);
+        w.u64(self.blocks_done);
+        w.u64(self.errors_recovered);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<DctTask, SnapError> {
+        Ok(DctTask {
+            framing: if r.bool()? {
+                Framing::Framed
+            } else {
+                Framing::Bare
+            },
+            blocks_left: r.u8()?,
+            blocks_done: r.u64()?,
+            errors_recovered: r.u64()?,
+        })
+    }
+}
+
 /// The DCT coprocessor model.
 pub struct DctCoproc {
     cost: DctCost,
-    tasks: HashMap<TaskIdx, DctTask>,
+    /// Ordered map: checkpoint serialization iterates it, and two builds
+    /// of the same system must produce identical bytes.
+    tasks: BTreeMap<TaskIdx, DctTask>,
 }
 
 impl DctCoproc {
@@ -56,7 +81,7 @@ impl DctCoproc {
     pub fn new(cost: DctCost) -> Self {
         DctCoproc {
             cost,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
         }
     }
 
@@ -112,6 +137,23 @@ impl Coprocessor for DctCoproc {
 
     fn error_counters(&self) -> (u64, u64) {
         (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.tasks.len());
+        for (task, t) in &self.tasks {
+            w.u8(task.0);
+            t.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.tasks.clear();
+        for _ in 0..r.usize()? {
+            let task = TaskIdx(r.u8()?);
+            self.tasks.insert(task, DctTask::load_state(r)?);
+        }
+        Ok(())
     }
 
     fn step(&mut self, task: TaskIdx, info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

@@ -18,7 +18,7 @@
 //!   stream into the elementary bit syntax of [`eclipse_media::stream`];
 //! * `bitsink` — collects the final bitstream bytes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::bits::BitWriter;
@@ -30,6 +30,7 @@ use eclipse_media::stream::{
 };
 use eclipse_media::vlc::{put_block, put_sev};
 use eclipse_shell::{PortId, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 use crate::cost::DspCost;
 use crate::io::{StepReader, StepWriter};
@@ -37,6 +38,7 @@ use crate::records::{
     self, decode_mode, mbmv_from_body, pix_from_bytes, pix_to_bytes, PicRec, TAG_EOS, TAG_MB,
     TAG_PIC,
 };
+use crate::snap;
 
 /// Chunk size of the VLE's byte output records.
 pub const BITS_CHUNK: usize = 64;
@@ -170,15 +172,261 @@ enum SwTask {
     Monitor(MonitorTask),
 }
 
+// ---- checkpoint serialization ----------------------------------------------
+
+impl AudioSource {
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            AudioSource::Dram { addr, len } => {
+                w.u8(0);
+                w.u32(*addr);
+                w.u32(*len);
+            }
+            AudioSource::Port => w.u8(1),
+        }
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<AudioSource, SnapError> {
+        match r.u8()? {
+            0 => Ok(AudioSource::Dram {
+                addr: r.u32()?,
+                len: r.u32()?,
+            }),
+            1 => Ok(AudioSource::Port),
+            _ => Err(SnapError::Corrupt("audio source tag")),
+        }
+    }
+}
+
+impl SourceTaskConfig {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.frames.len());
+        for f in &self.frames {
+            snap::save_frame(w, f);
+        }
+        w.u8(self.gop.n);
+        w.u8(self.gop.m);
+        w.u8(self.qscale);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<SourceTaskConfig, SnapError> {
+        let n = r.usize()?;
+        let mut frames = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            frames.push(snap::load_frame(r)?);
+        }
+        Ok(SourceTaskConfig {
+            frames,
+            gop: GopConfig {
+                n: r.u8()?,
+                m: r.u8()?,
+            },
+            qscale: r.u8()?,
+        })
+    }
+}
+
+impl DemuxTaskConfig {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.ts_addr);
+        w.u32(self.ts_len);
+        w.bytes_slice(&self.pids);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<DemuxTaskConfig, SnapError> {
+        Ok(DemuxTaskConfig {
+            ts_addr: r.u32()?,
+            ts_len: r.u32()?,
+            pids: r.bytes_vec()?,
+        })
+    }
+}
+
+impl SwTask {
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            SwTask::Display(t) => {
+                w.u8(0);
+                w.usize(t.frames.len());
+                for f in &t.frames {
+                    snap::save_frame_opt(w, f);
+                }
+                match &t.cur {
+                    None => w.bool(false),
+                    Some((pic, frame, mb_idx)) => {
+                        w.bool(true);
+                        snap::save_pic(w, pic);
+                        snap::save_frame(w, frame);
+                        w.u32(*mb_idx);
+                    }
+                }
+                w.u64(t.errors_recovered);
+            }
+            SwTask::Source(t) => {
+                w.u8(1);
+                t.cfg.save_state(w);
+                w.usize(t.coded.len());
+                for (display_idx, ptype) in &t.coded {
+                    w.u16(*display_idx);
+                    snap::save_ptype(w, *ptype);
+                }
+                w.usize(t.pic_idx);
+                w.u32(t.mb_idx);
+                w.bool(t.sent_pic_header);
+            }
+            SwTask::Vle(t) => {
+                w.u8(2);
+                snap::save_seq(w, &t.cfg.seq);
+                let (bytes, bit_pos) = t.writer.snapshot_parts();
+                w.bytes_slice(bytes);
+                w.u8(bit_pos);
+                w.bytes_slice(&t.pending);
+                w.bool(t.eos_seen);
+            }
+            SwTask::Sink(t) => {
+                w.u8(3);
+                w.blob(&t.bytes);
+                w.bool(t.done);
+            }
+            SwTask::Audio(t) => {
+                w.u8(4);
+                t.cfg.source.save_state(w);
+                w.u32(t.pos);
+                w.bytes_slice(&t.pending);
+                w.bool(t.source_done);
+                w.u8(t.out_port);
+            }
+            SwTask::PcmSink(t) => {
+                w.u8(5);
+                w.usize(t.samples.len());
+                for &s in &t.samples {
+                    w.i16(s);
+                }
+                w.bool(t.done);
+                w.u64(t.errors_recovered);
+            }
+            SwTask::Demux(t) => {
+                w.u8(6);
+                t.cfg.save_state(w);
+                w.u32(t.pos);
+                w.u64(t.errors_recovered);
+            }
+            SwTask::Monitor(t) => {
+                w.u8(7);
+                w.u64(t.checksum);
+                w.u64(t.records);
+                w.bool(t.done);
+                w.u64(t.errors_recovered);
+            }
+        }
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<SwTask, SnapError> {
+        Ok(match r.u8()? {
+            0 => {
+                let n = r.usize()?;
+                let mut frames = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    frames.push(snap::load_frame_opt(r)?);
+                }
+                let cur = if r.bool()? {
+                    let pic = snap::load_pic(r)?;
+                    let frame = snap::load_frame(r)?;
+                    Some((pic, frame, r.u32()?))
+                } else {
+                    None
+                };
+                SwTask::Display(DisplayTask {
+                    frames,
+                    cur,
+                    errors_recovered: r.u64()?,
+                })
+            }
+            1 => {
+                let cfg = SourceTaskConfig::load_state(r)?;
+                let n = r.usize()?;
+                let mut coded = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    coded.push((r.u16()?, snap::load_ptype(r)?));
+                }
+                SwTask::Source(SourceTask {
+                    cfg,
+                    coded,
+                    pic_idx: r.usize()?,
+                    mb_idx: r.u32()?,
+                    sent_pic_header: r.bool()?,
+                })
+            }
+            2 => {
+                let seq = snap::load_seq(r)?;
+                let bytes = r.bytes_vec()?;
+                let bit_pos = r.u8()?;
+                if bit_pos >= 8 || (bit_pos != 0 && bytes.is_empty()) {
+                    return Err(SnapError::Corrupt("vle writer bit position"));
+                }
+                SwTask::Vle(VleTask {
+                    cfg: VleTaskConfig { seq },
+                    writer: BitWriter::from_parts(bytes, bit_pos),
+                    pending: r.bytes_vec()?,
+                    eos_seen: r.bool()?,
+                })
+            }
+            3 => SwTask::Sink(SinkTask {
+                bytes: r.blob()?,
+                done: r.bool()?,
+            }),
+            4 => {
+                let source = AudioSource::load_state(r)?;
+                SwTask::Audio(AudioTask {
+                    cfg: AudioTaskConfig { source },
+                    pos: r.u32()?,
+                    pending: r.bytes_vec()?,
+                    source_done: r.bool()?,
+                    out_port: r.u8()?,
+                })
+            }
+            5 => {
+                let n = r.usize()?;
+                let mut samples = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    samples.push(r.i16()?);
+                }
+                SwTask::PcmSink(PcmSinkTask {
+                    samples,
+                    done: r.bool()?,
+                    errors_recovered: r.u64()?,
+                })
+            }
+            6 => {
+                let cfg = DemuxTaskConfig::load_state(r)?;
+                SwTask::Demux(DemuxTask {
+                    cfg,
+                    pos: r.u32()?,
+                    errors_recovered: r.u64()?,
+                })
+            }
+            7 => SwTask::Monitor(MonitorTask {
+                checksum: r.u64()?,
+                records: r.u64()?,
+                done: r.bool()?,
+                errors_recovered: r.u64()?,
+            }),
+            _ => return Err(SnapError::Corrupt("dsp task tag")),
+        })
+    }
+}
+
 /// The DSP-CPU model.
 pub struct DspCoproc {
     cost: DspCost,
-    source_cfgs: HashMap<String, SourceTaskConfig>,
-    vle_cfgs: HashMap<String, VleTaskConfig>,
-    audio_cfgs: HashMap<String, AudioTaskConfig>,
-    demux_cfgs: HashMap<String, DemuxTaskConfig>,
-    tasks: HashMap<TaskIdx, SwTask>,
-    names: HashMap<String, TaskIdx>,
+    /// Ordered maps: checkpoint serialization iterates them, and two
+    /// builds of the same system must produce identical bytes.
+    source_cfgs: BTreeMap<String, SourceTaskConfig>,
+    vle_cfgs: BTreeMap<String, VleTaskConfig>,
+    audio_cfgs: BTreeMap<String, AudioTaskConfig>,
+    demux_cfgs: BTreeMap<String, DemuxTaskConfig>,
+    tasks: BTreeMap<TaskIdx, SwTask>,
+    names: BTreeMap<String, TaskIdx>,
 }
 
 impl DspCoproc {
@@ -186,12 +434,12 @@ impl DspCoproc {
     pub fn new(cost: DspCost) -> Self {
         DspCoproc {
             cost,
-            source_cfgs: HashMap::new(),
-            vle_cfgs: HashMap::new(),
-            audio_cfgs: HashMap::new(),
-            demux_cfgs: HashMap::new(),
-            tasks: HashMap::new(),
-            names: HashMap::new(),
+            source_cfgs: BTreeMap::new(),
+            vle_cfgs: BTreeMap::new(),
+            audio_cfgs: BTreeMap::new(),
+            demux_cfgs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            names: BTreeMap::new(),
         }
     }
 
@@ -452,6 +700,78 @@ impl Coprocessor for DspCoproc {
             })
             .sum();
         (errors, 0)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.source_cfgs.len());
+        for (name, cfg) in &self.source_cfgs {
+            w.str(name);
+            cfg.save_state(w);
+        }
+        w.usize(self.vle_cfgs.len());
+        for (name, cfg) in &self.vle_cfgs {
+            w.str(name);
+            snap::save_seq(w, &cfg.seq);
+        }
+        w.usize(self.audio_cfgs.len());
+        for (name, cfg) in &self.audio_cfgs {
+            w.str(name);
+            cfg.source.save_state(w);
+        }
+        w.usize(self.demux_cfgs.len());
+        for (name, cfg) in &self.demux_cfgs {
+            w.str(name);
+            cfg.save_state(w);
+        }
+        w.usize(self.names.len());
+        for (name, task) in &self.names {
+            w.str(name);
+            w.u8(task.0);
+        }
+        w.usize(self.tasks.len());
+        for (task, t) in &self.tasks {
+            w.u8(task.0);
+            t.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.source_cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let cfg = SourceTaskConfig::load_state(r)?;
+            self.source_cfgs.insert(name, cfg);
+        }
+        self.vle_cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let seq = snap::load_seq(r)?;
+            self.vle_cfgs.insert(name, VleTaskConfig { seq });
+        }
+        self.audio_cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let source = AudioSource::load_state(r)?;
+            self.audio_cfgs.insert(name, AudioTaskConfig { source });
+        }
+        self.demux_cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let cfg = DemuxTaskConfig::load_state(r)?;
+            self.demux_cfgs.insert(name, cfg);
+        }
+        self.names.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let task = TaskIdx(r.u8()?);
+            self.names.insert(name, task);
+        }
+        self.tasks.clear();
+        for _ in 0..r.usize()? {
+            let task = TaskIdx(r.u8()?);
+            self.tasks.insert(task, SwTask::load_state(r)?);
+        }
+        Ok(())
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

@@ -6,7 +6,7 @@
 //! decode, SD encode plus SD decodes, transcoding) — before building the
 //! runnable [`MpegSystem`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eclipse_core::{
     AppHandles, EclipseConfig, EclipseSystem, MapError, ReconfigError, RunSummary, SystemBuilder,
@@ -64,8 +64,8 @@ pub struct InstanceCosts {
 pub struct MpegBuilder {
     cfg: EclipseConfig,
     costs: InstanceCosts,
-    vld_cfgs: HashMap<String, VldTaskConfig>,
-    mc_cfgs: HashMap<String, McTaskConfig>,
+    vld_cfgs: BTreeMap<String, VldTaskConfig>,
+    mc_cfgs: BTreeMap<String, McTaskConfig>,
     dsp: DspCoproc,
     decode_apps: Vec<(String, DecodeAppConfig)>,
     tapped_decode_apps: Vec<(String, DecodeAppConfig)>,
@@ -85,8 +85,8 @@ impl MpegBuilder {
             dsp: DspCoproc::new(costs.dsp),
             cfg,
             costs,
-            vld_cfgs: HashMap::new(),
-            mc_cfgs: HashMap::new(),
+            vld_cfgs: BTreeMap::new(),
+            mc_cfgs: BTreeMap::new(),
             decode_apps: Vec::new(),
             tapped_decode_apps: Vec::new(),
             encode_apps: Vec::new(),

@@ -42,6 +42,7 @@ pub mod io;
 pub mod mcme;
 pub mod records;
 pub mod rlsq;
+mod snap;
 pub mod vld;
 
 pub use apps::{

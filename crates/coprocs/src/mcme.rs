@@ -25,12 +25,13 @@
 //!   completed anchor picture back to `me` over a feedback stream (the
 //!   frame-level dependency that makes the encode graph cyclic).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::motion::MotionVector;
 use eclipse_media::stream::PictureType;
 use eclipse_shell::{PortId, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 use crate::cost::McCost;
 use crate::framestore::{FrameStore, PlaneSel};
@@ -39,6 +40,7 @@ use crate::records::{
     self, cblk_from_body, cblk_to_bytes, mbmv_from_body, mbmv_to_bytes, PicRec, TAG_EOS, TAG_MB,
     TAG_PIC,
 };
+use crate::snap;
 
 /// Per-task configuration: the frame-store arena this task works in.
 #[derive(Debug, Clone, Copy)]
@@ -117,26 +119,157 @@ struct McTask {
     mbs_concealed: u64,
 }
 
+impl McTaskConfig {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.arena_base);
+        w.u32(self.width);
+        w.u32(self.height);
+        w.u8(self.search_range);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<McTaskConfig, SnapError> {
+        Ok(McTaskConfig {
+            arena_base: r.u32()?,
+            width: r.u32()?,
+            height: r.u32()?,
+            search_range: r.u8()?,
+        })
+    }
+}
+
+impl McTask {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cfg.save_state(w);
+        // The frame store is pure geometry (the pixels live in off-chip
+        // memory); it is rebuilt from the config on load.
+        match self.slots.last_anchor {
+            None => w.bool(false),
+            Some(s) => {
+                w.bool(true);
+                w.u32(s);
+            }
+        }
+        match self.slots.prev_anchor {
+            None => w.bool(false),
+            Some(s) => {
+                w.bool(true);
+                w.u32(s);
+            }
+        }
+        w.u32(self.slots.anchor_count);
+        snap::save_pic_opt(w, &self.pic);
+        w.u32(self.write_slot);
+        w.u32(self.mb_index);
+        w.u64(self.pic_start);
+        w.usize(self.pic_spans.len());
+        for span in &self.pic_spans {
+            w.u16(span.temporal_ref);
+            snap::save_ptype(w, span.ptype);
+            w.u64(span.start);
+            w.u64(span.end);
+        }
+        w.u64(self.mbs_done);
+        w.u64(self.ref_bytes_fetched);
+        w.u64(self.errors_recovered);
+        w.u64(self.mbs_concealed);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<McTask, SnapError> {
+        let cfg = McTaskConfig::load_state(r)?;
+        let mut slots = SlotState::new();
+        slots.last_anchor = if r.bool()? { Some(r.u32()?) } else { None };
+        slots.prev_anchor = if r.bool()? { Some(r.u32()?) } else { None };
+        slots.anchor_count = r.u32()?;
+        let pic = snap::load_pic_opt(r)?;
+        let write_slot = r.u32()?;
+        let mb_index = r.u32()?;
+        let pic_start = r.u64()?;
+        let n_spans = r.usize()?;
+        let mut pic_spans = Vec::with_capacity(n_spans.min(1 << 16));
+        for _ in 0..n_spans {
+            pic_spans.push(records::PicSpan {
+                temporal_ref: r.u16()?,
+                ptype: snap::load_ptype(r)?,
+                start: r.u64()?,
+                end: r.u64()?,
+            });
+        }
+        Ok(McTask {
+            fs: FrameStore::new(cfg.width, cfg.height),
+            cfg,
+            slots,
+            pic,
+            write_slot,
+            mb_index,
+            pic_start,
+            pic_spans,
+            mbs_done: r.u64()?,
+            ref_bytes_fetched: r.u64()?,
+            errors_recovered: r.u64()?,
+            mbs_concealed: r.u64()?,
+        })
+    }
+}
+
 enum TaskKind {
     Mc(McTask),
     Me(MeTask),
     Recon(McTask),
 }
 
+impl TaskKind {
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            TaskKind::Mc(t) => {
+                w.u8(0);
+                t.save_state(w);
+            }
+            TaskKind::Me(t) => {
+                w.u8(1);
+                t.inner.save_state(w);
+                w.u32(t.anchors_confirmed);
+                w.u64(t.sad_evals);
+                snap::save_mv(w, t.mv_pred.0);
+                snap::save_mv(w, t.mv_pred.1);
+            }
+            TaskKind::Recon(t) => {
+                w.u8(2);
+                t.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<TaskKind, SnapError> {
+        Ok(match r.u8()? {
+            0 => TaskKind::Mc(McTask::load_state(r)?),
+            1 => TaskKind::Me(MeTask {
+                inner: McTask::load_state(r)?,
+                anchors_confirmed: r.u32()?,
+                sad_evals: r.u64()?,
+                mv_pred: (snap::load_mv(r)?, snap::load_mv(r)?),
+            }),
+            2 => TaskKind::Recon(McTask::load_state(r)?),
+            _ => return Err(SnapError::Corrupt("mcme task kind tag")),
+        })
+    }
+}
+
 /// The MC/ME coprocessor model.
 pub struct McMeCoproc {
     cost: McCost,
-    cfgs: HashMap<String, McTaskConfig>,
-    tasks: HashMap<TaskIdx, TaskKind>,
+    /// Ordered maps: checkpoint serialization iterates them, and two
+    /// builds of the same system must produce identical bytes.
+    cfgs: BTreeMap<String, McTaskConfig>,
+    tasks: BTreeMap<TaskIdx, TaskKind>,
 }
 
 impl McMeCoproc {
     /// A new MC/ME with arena configurations keyed by task instance name.
-    pub fn new(cost: McCost, cfgs: HashMap<String, McTaskConfig>) -> Self {
+    pub fn new(cost: McCost, cfgs: BTreeMap<String, McTaskConfig>) -> Self {
         McMeCoproc {
             cost,
             cfgs,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
         }
     }
 
@@ -1078,6 +1211,34 @@ impl Coprocessor for McMeCoproc {
             concealed += t.mbs_concealed;
         }
         (errors, concealed)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cfgs.len());
+        for (name, cfg) in &self.cfgs {
+            w.str(name);
+            cfg.save_state(w);
+        }
+        w.usize(self.tasks.len());
+        for (task, t) in &self.tasks {
+            w.u8(task.0);
+            t.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let cfg = McTaskConfig::load_state(r)?;
+            self.cfgs.insert(name, cfg);
+        }
+        self.tasks.clear();
+        for _ in 0..r.usize()? {
+            let task = TaskIdx(r.u8()?);
+            self.tasks.insert(task, TaskKind::load_state(r)?);
+        }
+        Ok(())
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

@@ -21,7 +21,7 @@
 //! GetSpace aborts the step and the retry re-parses from the committed
 //! bit position.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eclipse_core::{Coprocessor, StepCtx, StepResult};
 use eclipse_media::bits::BitReader;
@@ -32,10 +32,12 @@ use eclipse_media::stream::{
 };
 use eclipse_media::vlc::{get_block, get_sev};
 use eclipse_shell::{PortId, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 use crate::cost::VldCost;
 use crate::io::StepWriter;
 use crate::records::{self, PicRec, TAG_EOS, TAG_MB};
+use crate::snap;
 
 /// Conventional output port of the token stream when the VLD has no
 /// input port (DRAM-sourced tasks).
@@ -64,6 +66,30 @@ pub enum VldSource {
 pub struct VldTaskConfig {
     /// Bitstream source.
     pub source: VldSource,
+}
+
+impl VldSource {
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            VldSource::Dram { addr, len } => {
+                w.u8(0);
+                w.u32(*addr);
+                w.u32(*len);
+            }
+            VldSource::Port => w.u8(1),
+        }
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<VldSource, SnapError> {
+        match r.u8()? {
+            0 => Ok(VldSource::Dram {
+                addr: r.u32()?,
+                len: r.u32()?,
+            }),
+            1 => Ok(VldSource::Port),
+            _ => Err(SnapError::Corrupt("vld source tag")),
+        }
+    }
 }
 
 impl VldTaskConfig {
@@ -148,6 +174,79 @@ impl VldTask {
         self.state = VldState::Recover;
     }
 
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cfg.source.save_state(w);
+        w.blob(&self.fetched);
+        w.bool(self.source_done);
+        w.u8(self.port_token);
+        w.u8(self.port_mv);
+        w.usize(self.bit_pos);
+        snap::save_seq_opt(w, &self.seq);
+        w.u8(match self.state {
+            VldState::Seq => 0,
+            VldState::PicOrEnd => 1,
+            VldState::Mb => 2,
+            VldState::Recover => 3,
+            VldState::Eos => 4,
+        });
+        snap::save_pic_opt(w, &self.cur_pic);
+        w.u32(self.mb_left);
+        for v in self.dc_pred {
+            w.i16(v);
+        }
+        w.u64(self.bits_parsed);
+        w.u64(self.mbs_decoded);
+        w.u32(self.conceal_left);
+        w.bool(self.in_recovery);
+        w.u64(self.errors_recovered);
+        w.u64(self.mbs_concealed);
+    }
+
+    fn load_state(r: &mut SnapReader) -> Result<VldTask, SnapError> {
+        let cfg = VldTaskConfig {
+            source: VldSource::load_state(r)?,
+        };
+        let fetched = r.blob()?;
+        let source_done = r.bool()?;
+        let port_token = r.u8()?;
+        let port_mv = r.u8()?;
+        let bit_pos = r.usize()?;
+        let seq = snap::load_seq_opt(r)?;
+        let state = match r.u8()? {
+            0 => VldState::Seq,
+            1 => VldState::PicOrEnd,
+            2 => VldState::Mb,
+            3 => VldState::Recover,
+            4 => VldState::Eos,
+            _ => return Err(SnapError::Corrupt("vld state tag")),
+        };
+        let cur_pic = snap::load_pic_opt(r)?;
+        let mb_left = r.u32()?;
+        let mut dc_pred = [0i16; 3];
+        for v in &mut dc_pred {
+            *v = r.i16()?;
+        }
+        Ok(VldTask {
+            cfg,
+            fetched,
+            source_done,
+            port_token,
+            port_mv,
+            bit_pos,
+            seq,
+            state,
+            cur_pic,
+            mb_left,
+            dc_pred,
+            bits_parsed: r.u64()?,
+            mbs_decoded: r.u64()?,
+            conceal_left: r.u32()?,
+            in_recovery: r.bool()?,
+            errors_recovered: r.u64()?,
+            mbs_concealed: r.u64()?,
+        })
+    }
+
     /// Scan the fetched bytes from the committed position for the next
     /// start marker. Positions `bit_pos` at the marker and returns it, or
     /// advances `bit_pos` to just short of the fetch horizon (keeping a
@@ -177,17 +276,19 @@ impl VldTask {
 pub struct VldCoproc {
     cost: VldCost,
     /// Stream configs by task instance name (bound in `configure_task`).
-    cfgs: HashMap<String, VldTaskConfig>,
-    tasks: HashMap<TaskIdx, VldTask>,
+    /// Ordered maps: checkpoint serialization iterates them, and two
+    /// builds of the same system must produce identical bytes.
+    cfgs: BTreeMap<String, VldTaskConfig>,
+    tasks: BTreeMap<TaskIdx, VldTask>,
 }
 
 impl VldCoproc {
     /// A VLD with stream configurations keyed by graph task name.
-    pub fn new(cost: VldCost, cfgs: HashMap<String, VldTaskConfig>) -> Self {
+    pub fn new(cost: VldCost, cfgs: BTreeMap<String, VldTaskConfig>) -> Self {
         VldCoproc {
             cost,
             cfgs,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
         }
     }
 
@@ -326,6 +427,34 @@ impl Coprocessor for VldCoproc {
         self.tasks.values().fold((0, 0), |(e, c), t| {
             (e + t.errors_recovered, c + t.mbs_concealed)
         })
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cfgs.len());
+        for (name, cfg) in &self.cfgs {
+            w.str(name);
+            cfg.source.save_state(w);
+        }
+        w.usize(self.tasks.len());
+        for (task, t) in &self.tasks {
+            w.u8(task.0);
+            t.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.cfgs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let source = VldSource::load_state(r)?;
+            self.cfgs.insert(name, VldTaskConfig { source });
+        }
+        self.tasks.clear();
+        for _ in 0..r.usize()? {
+            let task = TaskIdx(r.u8()?);
+            self.tasks.insert(task, VldTask::load_state(r)?);
+        }
+        Ok(())
     }
 
     fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {

@@ -1,0 +1,175 @@
+//! Checkpoint/restore over the real MPEG instance: a decode interrupted
+//! mid-run and restored into a freshly built system must finish with
+//! bit-identical frames, summary, and state-hash sequence — including
+//! after live reconfiguration has reshaped the tables relative to the
+//! fresh build receiving the checkpoint.
+
+use eclipse_coprocs::apps::AudioAppConfig;
+use eclipse_coprocs::instance::{build_decode_system, DecodeSystem};
+use eclipse_core::{EclipseConfig, RunOutcome};
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::source::{SourceConfig, SyntheticSource};
+use eclipse_media::stream::GopConfig;
+use eclipse_media::{audio, Decoder};
+
+fn encode_test_stream(
+    width: usize,
+    height: usize,
+    frames: u16,
+    gop: GopConfig,
+    seed: u64,
+) -> Vec<u8> {
+    let src = SyntheticSource::new(SourceConfig {
+        width,
+        height,
+        complexity: 0.35,
+        motion: 2.0,
+        seed,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width,
+        height,
+        qscale: 6,
+        gop,
+        search_range: 15,
+    });
+    enc.encode(&src.frames(frames)).0
+}
+
+/// Finish a decode run, sampling the state hash every `stride` cycles.
+fn finish_with_hashes(dec: &mut DecodeSystem, stride: u64) -> (Vec<u64>, String) {
+    let mut hashes = Vec::new();
+    let mut stop = dec.system.sys.now();
+    loop {
+        stop += stride;
+        match dec.system.sys.run_until(stop) {
+            None => hashes.push(dec.system.sys.state_hash()),
+            Some(outcome) => {
+                assert_eq!(outcome, RunOutcome::AllFinished);
+                break;
+            }
+        }
+    }
+    hashes.push(dec.system.sys.state_hash());
+    let frames = dec
+        .system
+        .display_frames("dec0")
+        .expect("display collected frames");
+    let digest = format!(
+        "{} frames, final hash {:#018x}",
+        frames.len(),
+        hashes.last().unwrap()
+    );
+    (hashes, digest)
+}
+
+#[test]
+fn mpeg_decode_roundtrip_is_bit_exact() {
+    let bs = encode_test_stream(64, 48, 8, GopConfig { n: 12, m: 3 }, 23);
+    let reference = Decoder::decode(&bs).expect("software decode");
+
+    // Reference pass to learn the total cycle count, then save halfway.
+    let total = {
+        let mut dec = build_decode_system(EclipseConfig::default(), bs.clone());
+        let s = dec.system.run(200_000_000);
+        assert_eq!(s.outcome, RunOutcome::AllFinished);
+        s.cycles
+    };
+    let mid = total / 2;
+
+    let mut original = build_decode_system(EclipseConfig::default(), bs.clone());
+    assert!(
+        original.system.sys.run_until(mid).is_none(),
+        "decode must still be mid-flight at the save point"
+    );
+    let hash_at_save = original.system.sys.state_hash();
+    let bytes = original.system.sys.save();
+    let (tail_a, digest_a) = finish_with_hashes(&mut original, total / 16);
+    let frames_a = original.system.display_frames("dec0").unwrap();
+
+    let mut restored = build_decode_system(EclipseConfig::default(), bs);
+    restored.system.sys.restore(&bytes).unwrap();
+    assert_eq!(restored.system.sys.state_hash(), hash_at_save);
+    let (tail_b, digest_b) = finish_with_hashes(&mut restored, total / 16);
+    let frames_b = restored.system.display_frames("dec0").unwrap();
+
+    assert_eq!(tail_a, tail_b, "state-hash tails diverged after restore");
+    assert_eq!(digest_a, digest_b);
+    assert_eq!(
+        frames_a, frames_b,
+        "restored decode produced different frames"
+    );
+    // And both still match the software decoder bit-exactly.
+    assert_eq!(frames_b.len(), reference.frames.len());
+    for (i, (sim, sw)) in frames_b.iter().zip(&reference.frames).enumerate() {
+        assert_eq!(sim, sw, "frame {i} differs from software decode");
+    }
+}
+
+#[test]
+fn two_fresh_mpeg_builds_checkpoint_identically() {
+    // The nondeterminism regression (ordered task/config maps): two
+    // independently built instances of the same system, advanced to the
+    // same cycle, must produce byte-identical checkpoints.
+    let bs = encode_test_stream(48, 32, 3, GopConfig { n: 3, m: 1 }, 24);
+    let mk = || build_decode_system(EclipseConfig::default(), bs.clone());
+    let mut a = mk();
+    let mut b = mk();
+    assert_eq!(
+        a.system.sys.save(),
+        b.system.sys.save(),
+        "fresh builds serialize differently"
+    );
+    a.system.sys.run_until(300_000);
+    b.system.sys.run_until(300_000);
+    assert_eq!(
+        a.system.sys.save(),
+        b.system.sys.save(),
+        "mid-run builds serialize differently"
+    );
+    assert_eq!(a.system.sys.state_hash(), b.system.sys.state_hash());
+}
+
+#[test]
+fn live_audio_churn_survives_roundtrip() {
+    // Live reconfiguration reshapes the shell and DSP tables relative to
+    // any fresh build; the checkpoint must rebuild them wholesale.
+    let bs = encode_test_stream(48, 32, 4, GopConfig { n: 4, m: 1 }, 25);
+    let pcm = audio::synth_pcm(audio::BLOCK_SAMPLES * 4, 0xA5A5);
+    let audio_ref = audio::decode(&audio::encode(&pcm));
+
+    // Measuring pass so the audio map and the save both land mid-decode.
+    let total = {
+        let mut dec = build_decode_system(EclipseConfig::default(), bs.clone());
+        let s = dec.system.run(200_000_000);
+        assert_eq!(s.outcome, RunOutcome::AllFinished);
+        s.cycles
+    };
+
+    let mut original = build_decode_system(EclipseConfig::default(), bs.clone());
+    assert!(original.system.sys.run_until(total / 4).is_none());
+    original
+        .system
+        .add_audio_live("aud", &pcm, AudioAppConfig::default())
+        .expect("live audio admission");
+    original.system.sys.run_until(total / 2);
+    let hash_at_save = original.system.sys.state_hash();
+    let bytes = original.system.sys.save();
+    let (tail_a, _) = finish_with_hashes(&mut original, total / 8);
+    let pcm_a = original.system.pcm_samples("aud").expect("pcm decoded");
+
+    // The fresh build never saw the audio app; restore recreates its
+    // rows, task-table entries, DSP task bindings, and DRAM contents.
+    let mut restored = build_decode_system(EclipseConfig::default(), bs);
+    restored.system.sys.restore(&bytes).unwrap();
+    assert_eq!(restored.system.sys.state_hash(), hash_at_save);
+    let (tail_b, _) = finish_with_hashes(&mut restored, total / 8);
+    let pcm_b = restored.system.pcm_samples("aud").expect("pcm decoded");
+
+    assert_eq!(tail_a, tail_b, "state-hash tails diverged after restore");
+    assert_eq!(pcm_a, pcm_b, "live-mapped audio output diverged");
+    assert_eq!(
+        pcm_a, audio_ref,
+        "audio decode must match the software codec"
+    );
+}

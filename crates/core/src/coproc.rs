@@ -26,6 +26,7 @@
 
 use eclipse_mem::{Bus, Dram};
 use eclipse_shell::{MemSys, PortId, Shell, SyncMsg, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use eclipse_sim::{Cycle, FaultInjector};
 
 /// Outcome of one processing step.
@@ -286,5 +287,17 @@ pub trait Coprocessor {
     /// concealed)`. Zero for models that never degrade.
     fn error_counters(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Serialize all per-task dynamic state into a checkpoint. The
+    /// default is a no-op for stateless models; models holding task state
+    /// (parsers, predictors, partial frames) must override both hooks so
+    /// a restored run continues bit-exactly.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore per-task state written by [`Coprocessor::save_state`] into
+    /// a coprocessor built with the same configuration.
+    fn load_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Ok(())
     }
 }

@@ -32,6 +32,7 @@
 
 mod lifecycle;
 mod run_loop;
+mod snapshot;
 mod summary;
 #[cfg(test)]
 mod tests;
@@ -67,6 +68,7 @@ pub struct CpuSyncConfig {
     pub service_cycles: u64,
 }
 
+#[derive(Clone, Copy)]
 pub(crate) enum Event {
     Step(usize),
     Sync(SyncMsg),

@@ -1,11 +1,13 @@
 use eclipse_kpn::GraphBuilder;
 use eclipse_mem::{BusConfig, DataFabricConfig};
 use eclipse_shell::{PortId, SyncFabricConfig, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+use eclipse_sim::FaultPlan;
 
 use crate::config::EclipseConfig;
 use crate::coproc::{Coprocessor, StepCtx, StepResult};
 
-use super::{AppState, CpuSyncConfig, RunOutcome, RunSummary, SystemBuilder};
+use super::{AppState, CpuSyncConfig, EclipseSystem, RunOutcome, RunSummary, SystemBuilder};
 
 /// A trivial producer coprocessor: emits `total` bytes in fixed-size
 /// packets, then finishes.
@@ -35,6 +37,13 @@ impl Coprocessor for TestProducer {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.sent);
+    }
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.sent = r.u32()?;
+        Ok(())
     }
     fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
         const OUT: PortId = 0;
@@ -87,6 +96,15 @@ impl Coprocessor for TestConsumer {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.received);
+        w.u32(self.errors);
+    }
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.received = r.u32()?;
+        self.errors = r.u32()?;
+        Ok(())
     }
     fn step(&mut self, _task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
         const IN: PortId = 0;
@@ -504,4 +522,268 @@ fn live_map_charges_pi_configuration_cost() {
     assert_eq!(sys.pi_busy_cycles(), 16 * per);
     let report = sys.drain_app("app", 1_000_000).unwrap();
     assert_eq!(report.config_cycles, 2 * per);
+}
+
+// ---- checkpoint / restore / state hash --------------------------------
+
+/// Run to completion, sampling the state hash at fixed boundaries, and
+/// close out the run. Both halves of a save/restore comparison call this
+/// with the same boundary stride, so their samples align.
+fn run_to_end_with_hashes(sys: &mut EclipseSystem, stride: u64) -> (Vec<u64>, String) {
+    let mut hashes = Vec::new();
+    let mut stop = sys.now();
+    let outcome = loop {
+        stop += stride;
+        match sys.run_until(stop) {
+            None => hashes.push(sys.state_hash()),
+            Some(o) => break o,
+        }
+    };
+    hashes.push(sys.state_hash());
+    let summary = sys.finish_run(outcome);
+    (hashes, format!("{summary:?}"))
+}
+
+/// The six interconnect combinations the round-trip suite covers: three
+/// data fabrics (paper bus pair, 2-bank, 4-bank) by two sync networks
+/// (direct, ring).
+fn fabric_combos() -> Vec<(DataFabricConfig, SyncFabricConfig)> {
+    let cfg = EclipseConfig::default();
+    let data = [
+        DataFabricConfig::SharedBus {
+            read: cfg.read_bus,
+            write: cfg.write_bus,
+        },
+        DataFabricConfig::MultiBank {
+            banks: 2,
+            interleave_bytes: 64,
+            bank: BusConfig::default(),
+        },
+        DataFabricConfig::MultiBank {
+            banks: 4,
+            interleave_bytes: 32,
+            bank: BusConfig::default(),
+        },
+    ];
+    let sync = [
+        SyncFabricConfig::Direct,
+        SyncFabricConfig::Ring {
+            hop_latency: 2,
+            link_occupancy: 1,
+        },
+    ];
+    let mut combos = Vec::new();
+    for d in data {
+        for s in sync {
+            combos.push((d, s));
+        }
+    }
+    combos
+}
+
+#[test]
+fn snapshot_roundtrip_is_bit_exact_across_fabrics() {
+    for (combo, (data, sync)) in fabric_combos().into_iter().enumerate() {
+        let build = || {
+            let (mut b, _) = pipeline_builder(256, 65_536, 64);
+            b.with_data_fabric(data);
+            b.with_sync_fabric(sync);
+            b.build()
+        };
+        let mut original = build();
+        assert!(
+            original.run_until(20_000).is_none(),
+            "combo {combo}: workload must still be mid-flight at the save point"
+        );
+        let hash_at_save = original.state_hash();
+        let bytes = original.save();
+        // Saving must not disturb the system.
+        assert_eq!(original.state_hash(), hash_at_save, "combo {combo}");
+        let (tail_a, summary_a) = run_to_end_with_hashes(&mut original, 5_000);
+
+        let mut restored = build();
+        restored.restore(&bytes).unwrap();
+        assert_eq!(restored.state_hash(), hash_at_save, "combo {combo}");
+        let (tail_b, summary_b) = run_to_end_with_hashes(&mut restored, 5_000);
+
+        assert_eq!(tail_a, tail_b, "combo {combo}: state-hash tails diverged");
+        assert_eq!(summary_a, summary_b, "combo {combo}: summaries diverged");
+    }
+}
+
+#[test]
+fn two_fresh_builds_checkpoint_identically() {
+    // Guards against nondeterministic container iteration (the classic
+    // HashMap-order bug): two independent builds of the same system,
+    // advanced identically, must serialize to the same bytes.
+    let mk = || {
+        let (b, _) = pipeline_builder(256, 4096, 64);
+        b.build()
+    };
+    let mut a = mk();
+    let mut b = mk();
+    assert_eq!(a.save(), b.save(), "fresh builds serialize differently");
+    a.run_until(10_000);
+    b.run_until(10_000);
+    assert_eq!(a.save(), b.save(), "mid-run builds serialize differently");
+    assert_eq!(a.state_hash(), b.state_hash());
+}
+
+#[test]
+fn restore_rejects_foreign_and_corrupt_checkpoints() {
+    let (b, _) = pipeline_builder(256, 4096, 64);
+    let mut sys = b.build();
+    sys.run_until(5_000);
+    let bytes = sys.save();
+
+    // A differently-configured system refuses the checkpoint outright.
+    let (mut ob, _) = pipeline_builder(256, 4096, 64);
+    ob.with_sync_fabric(SyncFabricConfig::Ring {
+        hop_latency: 2,
+        link_occupancy: 1,
+    });
+    let mut other = ob.build();
+    assert!(matches!(
+        other.restore(&bytes),
+        Err(SnapError::ConfigMismatch { .. })
+    ));
+
+    // Bad magic.
+    let mut garbled = bytes.clone();
+    garbled[0] ^= 0xFF;
+    assert_eq!(sys.restore(&garbled), Err(SnapError::Magic));
+
+    // Unsupported version.
+    let mut versioned = bytes.clone();
+    versioned[8] = 0xEE;
+    assert!(matches!(
+        sys.restore(&versioned),
+        Err(SnapError::Version(_))
+    ));
+
+    // Truncation anywhere inside the state section surfaces as a typed
+    // error, never a panic.
+    let err = sys.restore(&bytes[..bytes.len() / 2]).unwrap_err();
+    assert!(matches!(err, SnapError::Eof | SnapError::Corrupt(_)));
+
+    // The intact checkpoint still restores after all the rejections.
+    sys.restore(&bytes).unwrap();
+}
+
+#[test]
+fn restored_run_summary_and_traces_match_uninterrupted() {
+    let build = || {
+        let (b, _) = pipeline_builder(256, 65_536, 64);
+        b.build()
+    };
+    // Uninterrupted reference run with tracing on.
+    let mut reference = build();
+    reference.enable_tracing(1 << 16);
+    let sum_ref = reference.run(10_000_000);
+    assert_eq!(sum_ref.outcome, RunOutcome::AllFinished);
+
+    // Interrupted run: save mid-flight, restore into a fresh system
+    // (tracing enabled there too), finish.
+    let mut first = build();
+    first.enable_tracing(1 << 16);
+    assert!(first.run_until(20_000).is_none());
+    let bytes = first.save();
+    let mut second = build();
+    second.enable_tracing(1 << 16);
+    second.restore(&bytes).unwrap();
+    let sum2 = second.run(10_000_000);
+
+    assert_eq!(format!("{sum_ref:?}"), format!("{sum2:?}"));
+    assert_eq!(
+        reference.trace().to_csv(),
+        second.trace().to_csv(),
+        "measurement time series must survive the checkpoint"
+    );
+    // The sink's emitted counter continues across the restore: total
+    // events observed equal the uninterrupted run's.
+    assert_eq!(
+        reference.trace_sink().unwrap().borrow().emitted(),
+        second.trace_sink().unwrap().borrow().emitted()
+    );
+    assert_eq!(reference.trace_sink().unwrap().borrow().dropped(), 0);
+}
+
+#[test]
+fn checkpoints_survive_reconfig_churn_and_faults() {
+    // Scripted live-reconfiguration churn (map, pause, resume, drain,
+    // unmap) with deterministic fault injection running throughout: a
+    // checkpoint taken mid-churn and restored into a fresh build must
+    // reproduce the exact state-hash tail of the original.
+    let build = || {
+        let mut b = SystemBuilder::new(EclipseConfig::default());
+        b.add_coprocessor(Box::new(TestProducer {
+            total: 1 << 20,
+            packet: 64,
+            sent: 0,
+            fill: 0,
+        }));
+        b.add_coprocessor(Box::new(TestConsumer {
+            total: 1 << 20,
+            packet: 64,
+            received: 0,
+            fill: 0,
+            errors: 0,
+        }));
+        b.build()
+    };
+    let mk_app = |name: &str| {
+        let mut g = GraphBuilder::new(name);
+        let s = g.stream("s", 256);
+        g.task(format!("{name}.p"), "gen", 0, &[], &[s]);
+        g.task(format!("{name}.c"), "collect", 0, &[s], &[]);
+        g.build().unwrap()
+    };
+    let churn_after_save = |sys: &mut EclipseSystem| -> Vec<u64> {
+        let mut hashes = Vec::new();
+        sys.run_until(40_000);
+        sys.resume_app("b").unwrap();
+        hashes.push(sys.state_hash());
+        sys.run_until(60_000);
+        sys.drain_app("b", 1_000_000).unwrap();
+        sys.unmap_app("b").unwrap();
+        hashes.push(sys.state_hash());
+        sys.run_until(70_000);
+        sys.map_app_live(&mk_app("c")).unwrap();
+        hashes.push(sys.state_hash());
+        for stop in [80_000u64, 100_000, 120_000] {
+            sys.run_until(stop);
+            hashes.push(sys.state_hash());
+        }
+        hashes
+    };
+
+    let mut original = build();
+    original.inject_faults(FaultPlan {
+        seed: 0xC0FF_EE00,
+        sync_delay_rate: 0.05,
+        sync_delay_max: 32,
+        stall_rate: 0.02,
+        stall_cycles: 40,
+        sram_flip_rate: 1e-6,
+        ..FaultPlan::default()
+    });
+    original.map_app_live(&mk_app("a")).unwrap();
+    original.run_until(10_000);
+    original.map_app_live(&mk_app("b")).unwrap();
+    original.run_until(20_000);
+    original.pause_app("b").unwrap();
+    original.run_until(30_000);
+    let bytes = original.save();
+    let tail_a = churn_after_save(&mut original);
+
+    let mut restored = build();
+    restored.restore(&bytes).unwrap();
+    let tail_b = churn_after_save(&mut restored);
+    assert_eq!(tail_a, tail_b, "churned state-hash tails diverged");
+
+    // A second restore replays the identical tail again (checkpoints are
+    // reusable, not consumed).
+    let mut again = build();
+    again.restore(&bytes).unwrap();
+    assert_eq!(churn_after_save(&mut again), tail_a);
 }

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +108,39 @@ impl TraceLog {
             }
         }
         out
+    }
+}
+
+impl Snapshot for TraceLog {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.series.len());
+        for s in &self.series {
+            w.str(&s.name);
+            w.usize(s.points.len());
+            for &(t, v) in &s.points {
+                w.u64(t);
+                w.f64(v);
+            }
+        }
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.series.clear();
+        self.by_name.clear();
+        for i in 0..n {
+            let name = r.str()?;
+            let m = r.usize()?;
+            let mut points = Vec::with_capacity(m.min(1 << 20));
+            for _ in 0..m {
+                let t = r.u64()?;
+                let v = r.f64()?;
+                points.push((t, v));
+            }
+            self.by_name.insert(name.clone(), i);
+            self.series.push(TraceSeries { name, points });
+        }
+        Ok(())
     }
 }
 

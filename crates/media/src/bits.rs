@@ -23,6 +23,20 @@ impl BitWriter {
         }
     }
 
+    /// The writer's internal state — the accumulated bytes and the number
+    /// of bits used in the last byte — for checkpointing.
+    pub fn snapshot_parts(&self) -> (&[u8], u8) {
+        (&self.bytes, self.bit_pos)
+    }
+
+    /// Rebuild a writer from the parts returned by
+    /// [`BitWriter::snapshot_parts`].
+    pub fn from_parts(bytes: Vec<u8>, bit_pos: u8) -> Self {
+        debug_assert!(bit_pos < 8);
+        debug_assert!(bit_pos == 0 || !bytes.is_empty());
+        BitWriter { bytes, bit_pos }
+    }
+
     /// Write the low `n` bits of `v`, MSB first. `n` must be <= 32.
     pub fn put_bits(&mut self, v: u32, n: u8) {
         debug_assert!(n <= 32);

@@ -11,6 +11,7 @@
 //! simple — allocation happens at application (re)configuration time, not
 //! in the streaming hot path.
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::cyclic::CyclicBuffer;
@@ -185,6 +186,38 @@ impl BufferAllocator {
             }
         }
         self.in_use -= len;
+    }
+}
+
+impl Snapshot for BufferAllocator {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.base);
+        w.u32(self.size);
+        w.usize(self.free.len());
+        for &(start, len) in &self.free {
+            w.u32(start);
+            w.u32(len);
+        }
+        w.u32(self.in_use);
+        w.u32(self.high_watermark);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let base = r.u32()?;
+        let size = r.u32()?;
+        if base != self.base || size != self.size {
+            return Err(SnapError::Corrupt("allocator range"));
+        }
+        let n = r.usize()?;
+        self.free.clear();
+        for _ in 0..n {
+            let start = r.u32()?;
+            let len = r.u32()?;
+            self.free.push((start, len));
+        }
+        self.in_use = r.u32()?;
+        self.high_watermark = r.u32()?;
+        Ok(())
     }
 }
 

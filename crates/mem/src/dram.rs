@@ -13,6 +13,7 @@
 //! time afterwards is `beats * cycles_per_beat` on the DRAM data pins.
 //! Requests are serialized in arrival order, like [`crate::bus::Bus`].
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::stats::RunningStat;
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
@@ -161,6 +162,57 @@ impl Dram {
         } else {
             self.stats.row_hits as f64 / total as f64
         }
+    }
+}
+
+impl Snapshot for DramStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.transactions);
+        w.u64(self.bytes);
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.busy_cycles);
+        self.wait.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.transactions = r.u64()?;
+        self.bytes = r.u64()?;
+        self.row_hits = r.u64()?;
+        self.row_misses = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        self.wait.load(r)
+    }
+}
+
+impl Snapshot for Dram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.blob(&self.data);
+        w.usize(self.open_rows.len());
+        for row in &self.open_rows {
+            match row {
+                None => w.bool(false),
+                Some(v) => {
+                    w.bool(true);
+                    w.u32(*v);
+                }
+            }
+        }
+        w.u64(self.next_free);
+        self.stats.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.blob_into(&mut self.data)?;
+        let banks = r.usize()?;
+        if banks != self.open_rows.len() {
+            return Err(SnapError::Corrupt("dram bank count"));
+        }
+        for row in &mut self.open_rows {
+            *row = if r.bool()? { Some(r.u32()?) } else { None };
+        }
+        self.next_free = r.u64()?;
+        self.stats.load(r)
     }
 }
 

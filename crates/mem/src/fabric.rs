@@ -13,6 +13,7 @@
 //! A fabric is purely a *timing* model: the functional byte movement stays
 //! in [`crate::sram::Sram`]; the fabric decides when the data is usable.
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,16 @@ pub trait DataFabric: std::fmt::Debug {
     /// Look up one port by name (e.g. "read" on the shared-bus fabric).
     fn port(&self, name: &str) -> Option<FabricPort<'_>> {
         self.ports().into_iter().find(|p| p.name == name)
+    }
+
+    /// Serialize the fabric's dynamic state (arbiter clocks, statistics)
+    /// into a checkpoint. The default is a no-op for stateless fabrics.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore dynamic state written by [`DataFabric::save_state`] into a
+    /// fabric built with the same configuration.
+    fn load_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -176,6 +187,19 @@ impl DataFabric for SharedBusFabric {
 
     fn contended_requests(&self) -> u64 {
         self.contended
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.read.save(w);
+        self.write.save(w);
+        w.u64(self.contended);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.read.load(r)?;
+        self.write.load(r)?;
+        self.contended = r.u64()?;
+        Ok(())
     }
 }
 
@@ -289,6 +313,26 @@ impl DataFabric for MultiBankFabric {
 
     fn contended_requests(&self) -> u64 {
         self.contended
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save(w);
+        }
+        w.u64(self.contended);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.banks.len() {
+            return Err(SnapError::Corrupt("fabric bank count"));
+        }
+        for bank in &mut self.banks {
+            bank.load(r)?;
+        }
+        self.contended = r.u64()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! latency, one `word_bytes`-wide beat per port per SRAM cycle. Contention
 //! between shells is modeled by the buses in [`crate::bus`], not here.
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the on-chip SRAM.
@@ -120,6 +121,25 @@ impl Sram {
     /// tooling only — functional components go through `read`/`write`).
     pub fn raw(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl Snapshot for Sram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.blob(&self.data);
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.bytes_read);
+        w.u64(self.stats.bytes_written);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.blob_into(&mut self.data)?;
+        self.stats.reads = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.bytes_read = r.u64()?;
+        self.stats.bytes_written = r.u64()?;
+        Ok(())
     }
 }
 

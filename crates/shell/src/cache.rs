@@ -24,6 +24,7 @@ use eclipse_mem::{
     BusConfig, CyclicBuffer, DataFabric, DataFabricConfig, FabricDir, SharedBusFabric, Sram,
     SramConfig,
 };
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -587,6 +588,70 @@ impl StreamCache {
                 self.ensure_line(now, mem, idx, tag, false);
             }
         });
+    }
+
+    /// Serialize the cache — its (possibly per-row overridden)
+    /// configuration, every line, and the counters — so a checkpoint can
+    /// recreate caches for rows mapped at run time.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cfg.lines);
+        w.u32(self.cfg.line_bytes);
+        w.bool(self.cfg.prefetch);
+        w.u32(self.cfg.prefetch_depth);
+        for line in &self.lines {
+            w.u32(line.tag);
+            w.u64(line.ready_at);
+            w.u64(line.dirty);
+            w.bool(line.fetched);
+            w.raw(&line.data[..self.cfg.line_bytes as usize]);
+        }
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.prefetches);
+        w.u64(self.stats.writebacks);
+        w.u64(self.stats.invalidations);
+        w.u64(self.stats.stall_cycles);
+    }
+
+    /// Reconstruct a cache serialized by [`StreamCache::save_state`].
+    pub fn load_state(r: &mut SnapReader) -> Result<StreamCache, SnapError> {
+        let cfg = CacheConfig {
+            lines: r.usize()?,
+            line_bytes: r.u32()?,
+            prefetch: r.bool()?,
+            prefetch_depth: r.u32()?,
+        };
+        if !cfg.line_bytes.is_power_of_two() || cfg.line_bytes > MAX_LINE_BYTES {
+            return Err(SnapError::Corrupt("cache line size"));
+        }
+        let mut cache = StreamCache::new(cfg);
+        for line in &mut cache.lines {
+            line.tag = r.u32()?;
+            line.ready_at = r.u64()?;
+            line.dirty = r.u64()?;
+            line.fetched = r.bool()?;
+            let bytes = r.raw(cfg.line_bytes as usize)?;
+            line.data[..cfg.line_bytes as usize].copy_from_slice(bytes);
+        }
+        cache.stats.hits = r.u64()?;
+        cache.stats.misses = r.u64()?;
+        cache.stats.prefetches = r.u64()?;
+        cache.stats.writebacks = r.u64()?;
+        cache.stats.invalidations = r.u64()?;
+        cache.stats.stall_cycles = r.u64()?;
+        Ok(cache)
+    }
+}
+
+impl Snapshot for MemSys {
+    fn save(&self, w: &mut SnapWriter) {
+        self.sram.save(w);
+        self.fabric.save_state(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.sram.load(r)?;
+        self.fabric.load_state(r)
     }
 }
 

@@ -9,6 +9,7 @@
 //! cache coherency actions, and `GetTask` runs the local scheduler.
 
 use eclipse_mem::CyclicBuffer;
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
@@ -801,6 +802,97 @@ impl Shell {
     /// configuration plumbing).
     pub fn row_buffer(&self, row: RowIdx) -> CyclicBuffer {
         self.rows[row.0 as usize].buffer
+    }
+
+    // ---- checkpointing ----------------------------------------------------
+
+    /// Serialize all dynamic shell state: the full stream and task tables
+    /// (including run-time-mapped entries), per-row caches, scheduler
+    /// state, generation counters, free lists, and counters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.rows.len());
+        for (row, cache) in self.rows.iter().zip(&self.caches) {
+            row.save_state(w);
+            cache.save_state(w);
+        }
+        w.usize(self.tasks.len());
+        for task in &self.tasks {
+            task.save_state(w);
+        }
+        self.sched.save(w);
+        w.usize(self.generations.len());
+        for &g in &self.generations {
+            w.u32(g);
+        }
+        w.usize(self.free_rows.len());
+        for &r in &self.free_rows {
+            w.u16(r.0);
+        }
+        w.usize(self.free_tasks.len());
+        for &t in &self.free_tasks {
+            w.u8(t.0);
+        }
+        w.usize(self.task_capacity);
+        w.u64(self.stats.messages_sent);
+        w.u64(self.stats.messages_received);
+        w.u64(self.stats.bytes_read);
+        w.u64(self.stats.bytes_written);
+        w.u64(self.stats.gettask_calls);
+        w.u64(self.stats.gettask_runs);
+        w.u64(self.stats.stale_syncs_rejected);
+        w.bool(self.disable_invalidate);
+        w.bool(self.disable_flush);
+    }
+
+    /// Restore state written by [`Shell::save_state`]. The tables are
+    /// rebuilt wholesale — rows and tasks mapped (or retired) after the
+    /// system was built are recreated exactly.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n_rows = r.usize()?;
+        let mut rows = Vec::with_capacity(n_rows);
+        let mut caches = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            rows.push(StreamRow::load_state(r)?);
+            caches.push(StreamCache::load_state(r)?);
+        }
+        let n_tasks = r.usize()?;
+        let mut tasks = Vec::with_capacity(n_tasks);
+        for _ in 0..n_tasks {
+            tasks.push(TaskRow::load_state(r)?);
+        }
+        self.rows = rows;
+        self.caches = caches;
+        self.tasks = tasks;
+        self.sched.load(r)?;
+        let n_gen = r.usize()?;
+        if n_gen != self.rows.len() {
+            return Err(SnapError::Corrupt("generation count"));
+        }
+        self.generations.clear();
+        for _ in 0..n_gen {
+            self.generations.push(r.u32()?);
+        }
+        let n_free_rows = r.usize()?;
+        self.free_rows.clear();
+        for _ in 0..n_free_rows {
+            self.free_rows.push(RowIdx(r.u16()?));
+        }
+        let n_free_tasks = r.usize()?;
+        self.free_tasks.clear();
+        for _ in 0..n_free_tasks {
+            self.free_tasks.push(TaskIdx(r.u8()?));
+        }
+        self.task_capacity = r.usize()?;
+        self.stats.messages_sent = r.u64()?;
+        self.stats.messages_received = r.u64()?;
+        self.stats.bytes_read = r.u64()?;
+        self.stats.bytes_written = r.u64()?;
+        self.stats.gettask_calls = r.u64()?;
+        self.stats.gettask_runs = r.u64()?;
+        self.stats.stale_syncs_rejected = r.u64()?;
+        self.disable_invalidate = r.bool()?;
+        self.disable_flush = r.bool()?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //! released it.
 
 use eclipse_mem::CyclicBuffer;
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::stats::TimeWeighted;
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
@@ -23,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::ShellId;
 
 /// Index of a row within one shell's stream table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RowIdx(pub u16);
 
 /// Globally identifies an access point: a (shell, stream-table row) pair.
@@ -225,6 +226,91 @@ impl StreamRow {
     pub fn addr_at(&self, offset: u32) -> u32 {
         self.buffer
             .abs(self.buffer.wrap_add(self.access_point, offset))
+    }
+
+    /// Serialize the full row — configuration and dynamic state — so a
+    /// checkpoint can recreate rows that were mapped at run time.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.buffer.base);
+        w.u32(self.buffer.size);
+        w.u8(match self.dir {
+            PortDir::Producer => 0,
+            PortDir::Consumer => 1,
+        });
+        w.usize(self.remotes.len());
+        for r in &self.remotes {
+            w.u16(r.shell.0);
+            w.u16(r.row.0);
+        }
+        w.u32(self.access_point);
+        w.usize(self.space.len());
+        for &s in &self.space {
+            w.u32(s);
+        }
+        w.u32(self.granted);
+        w.bool(self.retired);
+        self.stats.save(w);
+    }
+
+    /// Reconstruct a row serialized by [`StreamRow::save_state`].
+    pub fn load_state(r: &mut SnapReader) -> Result<StreamRow, SnapError> {
+        let buffer = CyclicBuffer::new(r.u32()?, r.u32()?);
+        let dir = match r.u8()? {
+            0 => PortDir::Producer,
+            1 => PortDir::Consumer,
+            _ => return Err(SnapError::Corrupt("port direction")),
+        };
+        let n_remotes = r.usize()?;
+        let mut remotes = Vec::with_capacity(n_remotes);
+        for _ in 0..n_remotes {
+            remotes.push(AccessPoint {
+                shell: ShellId(r.u16()?),
+                row: RowIdx(r.u16()?),
+            });
+        }
+        let access_point = r.u32()?;
+        let n_space = r.usize()?;
+        if n_space != n_remotes {
+            return Err(SnapError::Corrupt("row space count"));
+        }
+        let mut space = Vec::with_capacity(n_space);
+        for _ in 0..n_space {
+            space.push(r.u32()?);
+        }
+        let granted = r.u32()?;
+        let retired = r.bool()?;
+        let mut stats = StreamRowStats::default();
+        stats.load(r)?;
+        Ok(StreamRow {
+            buffer,
+            dir,
+            remotes,
+            access_point,
+            space,
+            granted,
+            retired,
+            stats,
+        })
+    }
+}
+
+impl Snapshot for StreamRowStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.bytes_committed);
+        w.u64(self.putspace_calls);
+        w.u64(self.getspace_calls);
+        w.u64(self.getspace_denied);
+        w.u64(self.messages_received);
+        self.space_trace.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.bytes_committed = r.u64()?;
+        self.putspace_calls = r.u64()?;
+        self.getspace_calls = r.u64()?;
+        self.getspace_denied = r.u64()?;
+        self.messages_received = r.u64()?;
+        self.space_trace.load(r)
     }
 }
 

@@ -15,6 +15,7 @@
 //! A sync fabric only computes *arrival times*; message payload,
 //! generation stamping, and delivery stay in the run loop.
 
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::trace::{SharedTraceSink, TraceEventKind, TraceHandle};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,33 @@ pub trait SyncFabric: std::fmt::Debug {
 
     /// Connect the fabric to a shared event-trace sink.
     fn attach_trace(&mut self, sink: &SharedTraceSink);
+
+    /// Serialize the network's dynamic state (link clocks, statistics)
+    /// into a checkpoint. The default is a no-op for stateless networks.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore dynamic state written by [`SyncFabric::save_state`] into a
+    /// network built with the same configuration.
+    fn load_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+impl Snapshot for SyncFabricStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.messages);
+        w.u64(self.hops);
+        w.u64(self.contended);
+        w.u64(self.wait_cycles);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.messages = r.u64()?;
+        self.hops = r.u64()?;
+        self.contended = r.u64()?;
+        self.wait_cycles = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Sync-network selection, resolved to a backend at system build time.
@@ -115,6 +143,14 @@ impl SyncFabric for DirectSyncFabric {
     }
 
     fn attach_trace(&mut self, _sink: &SharedTraceSink) {}
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.stats.load(r)
+    }
 }
 
 /// A unidirectional ring sync network with per-link occupancy.
@@ -194,6 +230,25 @@ impl SyncFabric for RingSyncFabric {
 
     fn attach_trace(&mut self, sink: &SharedTraceSink) {
         self.trace = Some(TraceHandle::new(sink, "fabric/ring"));
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.link_free.len());
+        for &t in &self.link_free {
+            w.u64(t);
+        }
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.link_free.len() {
+            return Err(SnapError::Corrupt("ring link count"));
+        }
+        for t in &mut self.link_free {
+            *t = r.u64()?;
+        }
+        self.stats.load(r)
     }
 }
 

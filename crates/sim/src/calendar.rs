@@ -297,6 +297,67 @@ impl<E> Calendar<E> {
         self.wheel_len = 0;
         self.far.clear();
     }
+
+    /// All pending events in exact pop order, without disturbing the
+    /// calendar — the checkpoint view of the queue.
+    ///
+    /// The pop order is reconstructed from the structure invariants:
+    /// every wheel slot holds events of a single timestamp in FIFO
+    /// (= seq) order, far-heap entries carry explicit `(time, seq)`
+    /// pairs, and on a time tie the far event was scheduled strictly
+    /// earlier than any wheel event, so far sorts first.
+    pub fn pending_in_order(&self) -> Vec<(Cycle, E)>
+    where
+        E: Clone,
+    {
+        let mut far: Vec<&Entry<E>> = self.far.iter().collect();
+        far.sort_by_key(|e| (e.time, e.seq));
+        let mut wheel: Vec<(Cycle, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, dq)| !dq.is_empty())
+            .map(|(slot, _)| {
+                let dist = (slot as u64).wrapping_sub(self.now) & WHEEL_MASK;
+                (self.now + dist, slot)
+            })
+            .collect();
+        wheel.sort_by_key(|&(t, _)| t);
+
+        let mut out = Vec::with_capacity(self.len());
+        let (mut fi, mut wi) = (0, 0);
+        while fi < far.len() || wi < wheel.len() {
+            let take_far = match (far.get(fi), wheel.get(wi)) {
+                (Some(f), Some(&(wt, _))) => f.time <= wt,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_far {
+                out.push((far[fi].time, far[fi].event.clone()));
+                fi += 1;
+            } else {
+                let (t, slot) = wheel[wi];
+                out.extend(self.slots[slot].iter().map(|e| (t, e.clone())));
+                wi += 1;
+            }
+        }
+        out
+    }
+
+    /// Reset the calendar to `now` with exactly `events` pending, given
+    /// in pop order (the [`Calendar::pending_in_order`] counterpart used
+    /// by checkpoint restore). Re-scheduling in pop order reproduces the
+    /// original delivery sequence: same-time events land in one slot in
+    /// FIFO order, and a formerly-far event that now fits the wheel
+    /// window is inserted before any same-slot event that followed it.
+    pub fn restore(&mut self, now: Cycle, events: impl IntoIterator<Item = (Cycle, E)>) {
+        self.clear();
+        self.now = now;
+        self.seq = 0;
+        for (time, event) in events {
+            self.schedule_at(time, event);
+        }
+    }
 }
 
 impl<E> Default for Calendar<E> {
@@ -530,6 +591,70 @@ mod tests {
         assert_eq!(cal.now(), 1000);
         cal.schedule(1, "after");
         assert_eq!(cal.pop(), Some((1001, "after")));
+    }
+
+    #[test]
+    fn pending_in_order_matches_pop_order() {
+        let mut cal = Calendar::new();
+        let mut x = 0xFEED_F00Du64;
+        // Advance so wheel wraparound is exercised, then load a mix of
+        // near, same-cycle, and far events.
+        cal.schedule_at(WHEEL_SLOTS as u64 - 7, 0u32);
+        cal.pop();
+        for id in 1u32..=500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delay = x % (WHEEL_SLOTS as u64 * 3);
+            cal.schedule(delay, id);
+        }
+        let snapshot = cal.pending_in_order();
+        let popped: Vec<_> = std::iter::from_fn(|| cal.pop()).collect();
+        assert_eq!(snapshot, popped);
+    }
+
+    #[test]
+    fn restore_reproduces_pop_order() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(100, "advance");
+        cal.pop();
+        let t = 100 + WHEEL_SLOTS as u64 * 2;
+        cal.schedule_at(t, "far-first");
+        cal.schedule_at(150, "near");
+        cal.schedule_at(150, "near2");
+        cal.schedule_at(t, "far-second");
+        let pending = cal.pending_in_order();
+
+        let mut fresh: Calendar<&str> = Calendar::new();
+        fresh.restore(cal.now(), pending);
+        assert_eq!(fresh.now(), 100);
+        assert_eq!(fresh.len(), cal.len());
+        let a: Vec<_> = std::iter::from_fn(|| cal.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| fresh.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec!["near", "near2", "far-first", "far-second"]
+        );
+    }
+
+    #[test]
+    fn restore_preserves_far_wheel_tie_order() {
+        // A far event and a later-scheduled wheel event at the same
+        // timestamp: after restore (where both may fit the wheel), the
+        // original far-first order must survive.
+        let t = WHEEL_SLOTS as u64 + 50;
+        let mut cal = Calendar::new();
+        cal.schedule_at(t, 1u32); // via heap
+        cal.schedule_at(100, 0u32);
+        cal.pop(); // now = 100; t now fits the window
+        cal.schedule_at(t, 2u32); // via wheel
+        let pending = cal.pending_in_order();
+        assert_eq!(pending, vec![(t, 1), (t, 2)]);
+        let mut fresh: Calendar<u32> = Calendar::new();
+        fresh.restore(100, pending);
+        assert_eq!(fresh.pop(), Some((t, 1)));
+        assert_eq!(fresh.pop(), Some((t, 2)));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   stream, applied host-side by [`corrupt_bytes`] before the run.
 
 use crate::rng::{SplitMix64, Xoshiro256StarStar};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// What faults to inject and how often. All-zero rates (the default)
 /// mean no injection at all.
@@ -232,6 +233,74 @@ impl FaultInjector {
         } else {
             0
         }
+    }
+}
+
+impl Snapshot for FaultPlan {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.seed);
+        w.f64(self.sync_drop_rate);
+        w.f64(self.sync_delay_rate);
+        w.u64(self.sync_delay_max);
+        w.f64(self.bus_error_rate);
+        w.u64(self.bus_retry_cycles);
+        w.f64(self.sram_flip_rate);
+        w.f64(self.stall_rate);
+        w.u64(self.stall_cycles);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.seed = r.u64()?;
+        self.sync_drop_rate = r.f64()?;
+        self.sync_delay_rate = r.f64()?;
+        self.sync_delay_max = r.u64()?;
+        self.bus_error_rate = r.f64()?;
+        self.bus_retry_cycles = r.u64()?;
+        self.sram_flip_rate = r.f64()?;
+        self.stall_rate = r.f64()?;
+        self.stall_cycles = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for FaultStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.sync_dropped);
+        w.u64(self.sync_delayed);
+        w.u64(self.credits_lost);
+        w.u64(self.bus_errors);
+        w.u64(self.sram_flips);
+        w.u64(self.coproc_stalls);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.sync_dropped = r.u64()?;
+        self.sync_delayed = r.u64()?;
+        self.credits_lost = r.u64()?;
+        self.bus_errors = r.u64()?;
+        self.sram_flips = r.u64()?;
+        self.coproc_stalls = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for FaultInjector {
+    fn save(&self, w: &mut SnapWriter) {
+        self.plan.save(w);
+        self.rng_sync.save(w);
+        self.rng_bus.save(w);
+        self.rng_sram.save(w);
+        self.rng_stall.save(w);
+        self.stats.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.plan.load(r)?;
+        self.rng_sync.load(r)?;
+        self.rng_bus.load(r)?;
+        self.rng_sram.load(r)?;
+        self.rng_stall.load(r)?;
+        self.stats.load(r)
     }
 }
 

@@ -31,11 +31,13 @@
 pub mod calendar;
 pub mod fault;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use calendar::{BaselineCalendar, Calendar};
 pub use fault::{corrupt_bytes, FaultInjector, FaultPlan, FaultStats, SyncAction};
+pub use snapshot::{fnv1a_64, SnapError, SnapReader, SnapWriter, Snapshot};
 pub use time::{Clock, Cycle, Frequency};
 pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};

@@ -1,0 +1,522 @@
+//! Deterministic binary snapshots of simulator state.
+//!
+//! The Eclipse template is a deterministic fabric (shells arbitrate
+//! per-cycle; the paper's Section 5 verification leans on
+//! cycle-reproducible runs), so full-system state can be captured at any
+//! event boundary and later restored bit-exactly. This module provides
+//! the machinery every crate in the workspace shares:
+//!
+//! * [`SnapWriter`] / [`SnapReader`] — a tiny, versionless binary codec
+//!   (little-endian fixed-width integers, length-prefixed containers,
+//!   zero-run-length-encoded byte blobs for the large, mostly-zero
+//!   memory arrays). The vendored `serde` shim is a no-op derive, so the
+//!   simulator carries its own codec; this also pins the byte format to
+//!   this workspace alone — checkpoint compatibility can never be broken
+//!   by an upstream dependency bump.
+//! * [`Snapshot`] — the save/load trait implemented by every stateful
+//!   struct. Loading is in-place (`&mut self`): a checkpoint captures
+//!   *dynamic* state only and is restored into an identically-built
+//!   system, so private configuration fields never need to be
+//!   reconstructed from bytes.
+//! * [`fnv1a_64`] — the rolling digest behind `EclipseSystem::state_hash`
+//!   and the checkpoint's configuration fingerprint.
+//!
+//! ## Determinism contract
+//!
+//! Everything written through this codec must be a pure function of the
+//! simulated state: no host pointers, no hash-map iteration order (maps
+//! are serialized in sorted key order or stored as `BTreeMap`), no
+//! platform-dependent float formatting (`f64` round-trips via
+//! [`f64::to_bits`]). Two processes simulating the same run must produce
+//! byte-identical checkpoints — the regression tests assert this.
+
+/// Errors surfaced while decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the decoder was done.
+    Eof,
+    /// The stream does not start with the checkpoint magic.
+    Magic,
+    /// The checkpoint format version is not supported.
+    Version(u32),
+    /// The checkpoint was taken from a differently-configured system.
+    ConfigMismatch {
+        /// Digest the restoring system expects.
+        expected: u64,
+        /// Digest recorded in the checkpoint.
+        found: u64,
+    },
+    /// A decoded value is structurally impossible (bad enum tag,
+    /// oversized length, mismatched table geometry, ...).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Eof => write!(f, "checkpoint truncated"),
+            SnapError::Magic => write!(f, "not an Eclipse checkpoint (bad magic)"),
+            SnapError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            SnapError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint from a different configuration \
+                 (expected digest {expected:#018x}, found {found:#018x})"
+            ),
+            SnapError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash over a byte slice — the rolling state digest.
+/// Chosen for its trivial, dependency-free definition; the digest is a
+/// tamper/divergence detector, not a cryptographic commitment.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Minimum zero-run length worth switching the blob encoder out of a
+/// literal span (shorter runs cost more in segment headers than they
+/// save).
+const ZERO_RUN_MIN: usize = 32;
+
+/// Length of the zero run at the head of `data`, scanned a word at a
+/// time. The blob encoder walks the entire 64 MiB mostly-zero DRAM on
+/// every `save`/`state_hash`; a byte-at-a-time scan dominates the whole
+/// checkpoint cost.
+fn zero_prefix(data: &[u8]) -> usize {
+    let mut i = 0;
+    while i + 8 <= data.len() {
+        if u64::from_le_bytes(data[i..i + 8].try_into().unwrap()) != 0 {
+            break;
+        }
+        i += 8;
+    }
+    while i < data.len() && data[i] == 0 {
+        i += 1;
+    }
+    i
+}
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a usize as a u64 (checkpoints are host-width independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write a little-endian i16.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian i32.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an f64 by its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write raw bytes with no length prefix (caller encodes the length).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a length-prefixed byte slice verbatim.
+    pub fn bytes_slice(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a byte blob with zero-run-length encoding: the large memory
+    /// arrays (a default off-chip DRAM is 64 MiB, almost entirely zero)
+    /// collapse to a handful of segment headers.
+    ///
+    /// Format: total length, then segments of `[tag][len]` where tag 0
+    /// is a zero run and tag 1 a literal span followed by its bytes,
+    /// until the segment lengths sum to the total.
+    pub fn blob(&mut self, data: &[u8]) {
+        self.usize(data.len());
+        let mut i = 0;
+        while i < data.len() {
+            if data[i] == 0 {
+                let run = zero_prefix(&data[i..]);
+                if run >= ZERO_RUN_MIN || (i == 0 && i + run == data.len()) {
+                    self.u8(0);
+                    self.usize(run);
+                    i += run;
+                    continue;
+                }
+                // Short zero run: fold it into the following literal.
+            }
+            let start = i;
+            while i < data.len() {
+                if data[i] == 0 {
+                    // Look ahead: only break the literal for a long run.
+                    let z = zero_prefix(&data[i..]);
+                    if z >= ZERO_RUN_MIN {
+                        break;
+                    }
+                    i += z;
+                } else {
+                    i += 1;
+                }
+            }
+            self.u8(1);
+            self.usize(i - start);
+            self.buf.extend_from_slice(&data[start..i]);
+        }
+    }
+}
+
+/// Cursor-based binary decoder over a checkpoint byte slice.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Decode from `data` starting at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        SnapReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Eof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool")),
+        }
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a usize stored as u64; rejects values beyond the remaining
+    /// input (cheap corruption guard for length prefixes).
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt("usize overflow"))
+    }
+
+    /// Read a little-endian i16.
+    pub fn i16(&mut self) -> Result<i16, SnapError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian i32.
+    pub fn i32(&mut self) -> Result<i32, SnapError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read an f64 from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let n = self.usize()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Corrupt("utf8"))
+    }
+
+    /// Read a length-prefixed byte vector (the [`SnapWriter::bytes_slice`]
+    /// counterpart).
+    pub fn bytes_vec(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read `n` raw bytes (the [`SnapWriter::raw`] counterpart).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Read a zero-run-length-encoded blob (the [`SnapWriter::blob`]
+    /// counterpart).
+    pub fn blob(&mut self) -> Result<Vec<u8>, SnapError> {
+        let total = self.usize()?;
+        let mut out = Vec::with_capacity(total.min(1 << 26));
+        while out.len() < total {
+            let tag = self.u8()?;
+            let len = self.usize()?;
+            if len > total - out.len() {
+                return Err(SnapError::Corrupt("blob segment overruns total"));
+            }
+            match tag {
+                0 => out.resize(out.len() + len, 0),
+                1 => out.extend_from_slice(self.take(len)?),
+                _ => return Err(SnapError::Corrupt("blob segment tag")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restore a blob directly into an existing buffer whose length must
+    /// match (memory arrays never change size after build).
+    pub fn blob_into(&mut self, dst: &mut [u8]) -> Result<(), SnapError> {
+        let total = self.usize()?;
+        if total != dst.len() {
+            return Err(SnapError::Corrupt("blob length mismatch"));
+        }
+        let mut filled = 0;
+        while filled < total {
+            let tag = self.u8()?;
+            let len = self.usize()?;
+            if len > total - filled {
+                return Err(SnapError::Corrupt("blob segment overruns total"));
+            }
+            match tag {
+                0 => {
+                    // Skip the write when the span is already zero: a
+                    // fresh build's memory is untouched copy-on-write
+                    // pages, and dirtying 64 MiB of them costs far more
+                    // than this read-only scan.
+                    let span = &mut dst[filled..filled + len];
+                    if zero_prefix(span) != span.len() {
+                        span.fill(0);
+                    }
+                }
+                1 => dst[filled..filled + len].copy_from_slice(self.take(len)?),
+                _ => return Err(SnapError::Corrupt("blob segment tag")),
+            }
+            filled += len;
+        }
+        Ok(())
+    }
+}
+
+/// Save/restore of one stateful component. Loading is in-place: the
+/// receiver was built through the same construction path as the saver,
+/// and only its *dynamic* fields are overwritten.
+pub trait Snapshot {
+    /// Append this component's dynamic state to the checkpoint.
+    fn save(&self, w: &mut SnapWriter);
+    /// Overwrite this component's dynamic state from the checkpoint.
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError>;
+}
+
+impl Snapshot for u64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self);
+    }
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        *self = r.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(0xAB);
+        w.bool(true);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 7);
+        w.i16(-12345);
+        w.i32(-7_654_321);
+        w.f64(-0.125);
+        w.f64(f64::NAN);
+        w.str("qcif.vld");
+        w.bytes_slice(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.i16().unwrap(), -12345);
+        assert_eq!(r.i32().unwrap(), -7_654_321);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "qcif.vld");
+        assert_eq!(r.bytes_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_is_eof_not_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        assert_eq!(r.u64(), Err(SnapError::Eof));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = SnapReader::new(&[7]);
+        assert_eq!(r.bool(), Err(SnapError::Corrupt("bool")));
+    }
+
+    #[test]
+    fn blob_round_trips_mixed_content() {
+        let mut data = vec![0u8; 100_000];
+        data[0] = 9;
+        data[77] = 1;
+        for (i, b) in data[50_000..50_100].iter_mut().enumerate() {
+            *b = (i % 251) as u8 + 1;
+        }
+        data[99_999] = 0xFF;
+        let mut w = SnapWriter::new();
+        w.blob(&data);
+        let encoded_len = w.bytes().len();
+        assert!(
+            encoded_len < data.len() / 10,
+            "zero-dominated blob should compress well: {encoded_len}"
+        );
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.blob().unwrap(), data);
+
+        let mut r2 = SnapReader::new(&bytes);
+        let mut dst = vec![1u8; data.len()];
+        r2.blob_into(&mut dst).unwrap();
+        assert_eq!(dst, data);
+    }
+
+    #[test]
+    fn blob_handles_all_zero_and_all_literal() {
+        for data in [vec![0u8; 4096], (0..255u8).cycle().take(300).collect()] {
+            let mut w = SnapWriter::new();
+            w.blob(&data);
+            let bytes = w.into_bytes();
+            assert_eq!(SnapReader::new(&bytes).blob().unwrap(), data);
+        }
+        let mut w = SnapWriter::new();
+        w.blob(&[]);
+        let bytes = w.into_bytes();
+        assert_eq!(SnapReader::new(&bytes).blob().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn blob_into_rejects_length_mismatch() {
+        let mut w = SnapWriter::new();
+        w.blob(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut dst = [0u8; 4];
+        assert!(matches!(
+            SnapReader::new(&bytes).blob_into(&mut dst),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn short_zero_runs_stay_literal() {
+        // A lone zero between literals must not produce a zero segment.
+        let data = [5u8, 0, 6, 0, 0, 7];
+        let mut w = SnapWriter::new();
+        w.blob(&data);
+        let bytes = w.into_bytes();
+        // total + one literal segment header + payload.
+        assert_eq!(bytes.len(), 8 + 1 + 8 + data.len());
+        assert_eq!(SnapReader::new(&bytes).blob().unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

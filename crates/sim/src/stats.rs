@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::time::Cycle;
 
 /// Running scalar statistics over a sample stream: count, sum, min, max,
@@ -173,7 +174,11 @@ impl Histogram {
         if total == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // The q-th sample is always a real sample: q = 0 targets the
+        // first recorded one, not the (possibly empty) zero bucket — an
+        // empty bucket 0 must never report a 0-cycle "latency" no sample
+        // ever had.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
@@ -286,6 +291,84 @@ impl Utilization {
     }
 }
 
+impl Snapshot for RunningStat {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        w.f64(self.sum);
+        w.f64(self.min);
+        w.f64(self.max);
+        w.f64(self.mean);
+        w.f64(self.m2);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.count = r.u64()?;
+        self.sum = r.f64()?;
+        self.min = r.f64()?;
+        self.max = r.f64()?;
+        self.mean = r.f64()?;
+        self.m2 = r.f64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Histogram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.buckets.len());
+        for &c in &self.buckets {
+            w.u64(c);
+        }
+        self.stat.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.buckets.len() {
+            return Err(SnapError::Corrupt("histogram bucket count"));
+        }
+        for c in &mut self.buckets {
+            *c = r.u64()?;
+        }
+        self.stat.load(r)
+    }
+}
+
+impl Snapshot for TimeWeighted {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.first_time);
+        w.u64(self.last_time);
+        w.f64(self.last_value);
+        w.f64(self.integral);
+        w.bool(self.started);
+        w.f64(self.max);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.first_time = r.u64()?;
+        self.last_time = r.u64()?;
+        self.last_value = r.f64()?;
+        self.integral = r.f64()?;
+        self.started = r.bool()?;
+        self.max = r.f64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Utilization {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.busy);
+        w.u64(self.stalled);
+        w.u64(self.idle);
+    }
+
+    fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.busy = r.u64()?;
+        self.stalled = r.u64()?;
+        self.idle = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +459,93 @@ mod tests {
         assert!(h.quantile_upper_bound(0.9) >= h.quantile_upper_bound(0.5));
         let empty = Histogram::new(4);
         assert_eq!(empty.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_q0_skips_empty_zero_bucket() {
+        // No zero samples: q = 0 must report the first *non-empty*
+        // bucket's bound, never a phantom 0-cycle latency.
+        let mut h = Histogram::new(10);
+        for v in [5u64, 9, 17] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets()[0], 0);
+        let q0 = h.quantile_upper_bound(0.0);
+        assert_eq!(q0, 7, "first non-empty bucket holds 4..=7");
+        // And with an actual zero sample, q = 0 still reports 0.
+        h.record(0);
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut h = Histogram::new(12);
+        h.record(100); // bucket for 64..=127
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), 127, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_in_top_bucket() {
+        let mut h = Histogram::new(4);
+        for _ in 0..5 {
+            h.record(1 << 20); // clamped into the last bucket
+        }
+        let top = (1u64 << 3) - 1;
+        assert_eq!(h.quantile_upper_bound(0.0), top);
+        assert_eq!(h.quantile_upper_bound(1.0), top);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trip() {
+        use crate::snapshot::{SnapReader, SnapWriter, Snapshot};
+        let mut rs = RunningStat::new();
+        let mut h = Histogram::new(8);
+        let mut tw = TimeWeighted::new();
+        let mut u = Utilization::default();
+        for i in 0..50u64 {
+            rs.record((i as f64).sqrt());
+            h.record(i * 3);
+        }
+        tw.set(5, 2.0);
+        tw.set(90, 7.5);
+        u.busy = 10;
+        u.stalled = 3;
+        u.idle = 1;
+
+        let mut w = SnapWriter::new();
+        rs.save(&mut w);
+        h.save(&mut w);
+        tw.save(&mut w);
+        u.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut rs2 = RunningStat::new();
+        let mut h2 = Histogram::new(8);
+        let mut tw2 = TimeWeighted::new();
+        let mut u2 = Utilization::default();
+        let mut r = SnapReader::new(&bytes);
+        rs2.load(&mut r).unwrap();
+        h2.load(&mut r).unwrap();
+        tw2.load(&mut r).unwrap();
+        u2.load(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+
+        assert_eq!(rs2.count(), rs.count());
+        assert_eq!(rs2.mean(), rs.mean());
+        assert_eq!(rs2.variance(), rs.variance());
+        assert_eq!(h2.buckets(), h.buckets());
+        assert_eq!(tw2.mean(100), tw.mean(100));
+        assert_eq!(tw2.max(), tw.max());
+        assert_eq!((u2.busy, u2.stalled, u2.idle), (10, 3, 1));
+
+        // Geometry mismatch is a typed error.
+        let mut tiny = Histogram::new(4);
+        let mut w2 = SnapWriter::new();
+        h.save(&mut w2);
+        let b2 = w2.into_bytes();
+        assert!(tiny.load(&mut SnapReader::new(&b2)).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::Cycle;
 
 /// Interned-string id; resolves through [`TraceSink::label`].
@@ -397,6 +398,42 @@ impl TraceSink {
         let mut out: Vec<_> = counts.into_iter().collect();
         out.sort_by_key(|&(name, _)| name);
         out
+    }
+
+    // ---- snapshot -------------------------------------------------------
+
+    /// Checkpoint the sink's accounting state: the enable flag, the
+    /// `emitted`/`dropped` counters, and the interned label table in id
+    /// order. The retained ring events are deliberately *not* included —
+    /// they are observational debris, not architectural state — so a
+    /// restored sink starts with an empty ring but consistent counters
+    /// and label ids ([`LabelId`]s held by attached [`TraceHandle`]s stay
+    /// valid because interning order is deterministic).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.bool(self.enabled);
+        w.u64(self.emitted);
+        w.u64(self.dropped);
+        w.usize(self.labels.len());
+        for label in &self.labels {
+            w.str(label);
+        }
+    }
+
+    /// Restore the accounting state written by [`TraceSink::save_state`]:
+    /// counters are overwritten, the checkpoint's labels are re-interned
+    /// in id order (rebuilding the lookup table), and the event ring is
+    /// cleared.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.enabled = r.bool()?;
+        self.emitted = r.u64()?;
+        self.dropped = r.u64()?;
+        let n = r.usize()?;
+        for _ in 0..n {
+            let label = r.str()?;
+            self.intern(&label);
+        }
+        self.events.clear();
+        Ok(())
     }
 
     // ---- exporters ------------------------------------------------------
