@@ -33,6 +33,12 @@ use eclipse_sim::{BaselineCalendar, Calendar};
 const PR1_SYNTHETIC_MS: f64 = 1.76;
 const PR1_TINY_DECODE_MS: f64 = 2.02;
 
+/// Committed reference point for the Figure-10 QCIF decode: the tree just
+/// before the intra-run-parallelism PR's sequential-engine optimization
+/// pass (FNV trace keys, shift-based bus beats, resident-span cache
+/// lookups, dirty-line flush early-out), measured on the dev machine.
+const PRE_PAR_QCIF_MS: f64 = 44.404;
+
 /// Allowed wall-clock regression before `--check` fails the run.
 const REGRESSION_LIMIT: f64 = 1.25;
 
@@ -161,7 +167,7 @@ fn main() {
     let workloads = [
         Workload {
             name: "qcif_decode_15f",
-            baseline_ms: None,
+            baseline_ms: Some(PRE_PAR_QCIF_MS),
             current_ms: ms(&qcif),
         },
         Workload {
@@ -223,12 +229,31 @@ fn main() {
                                 verdict
                             );
                         }
-                        None => println!("check {:<28} not in committed report, skipped", w.name),
+                        None => {
+                            // A measured workload with no committed entry
+                            // means the report is stale — regressions
+                            // could hide behind the gap, so the gate
+                            // fails rather than skips.
+                            failures.push(w.name);
+                            println!(
+                                "check {:<28} MISSING from committed report — regenerate {}",
+                                w.name, REPORT_PATH
+                            );
+                        }
+                    }
+                    if committed_baseline_is_null(&committed, w.name) {
+                        failures.push(w.name);
+                        println!(
+                            "check {:<28} committed baseline_ms is null — backfill a reference",
+                            w.name
+                        );
                     }
                 }
+                failures.sort_unstable();
+                failures.dedup();
                 if !failures.is_empty() {
                     eprintln!(
-                        "perf check FAILED: {} regressed >{:.0}% vs {}",
+                        "perf check FAILED: {} regressed >{:.0}% or missing a baseline vs {}",
                         failures.join(", "),
                         (REGRESSION_LIMIT - 1.0) * 100.0,
                         REPORT_PATH
@@ -281,6 +306,13 @@ fn main() {
 /// Extract `current_ms` for `name` from the committed report. The file is
 /// written one workload per line (see above), so a line-oriented scan is
 /// enough — no JSON parser dependency.
+fn committed_baseline_is_null(json: &str, name: &str) -> bool {
+    let needle = format!("\"name\": \"{name}\"");
+    json.lines()
+        .find(|l| l.contains(&needle))
+        .is_some_and(|l| l.contains("\"baseline_ms\": null"))
+}
+
 fn committed_current_ms(json: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{name}\"");
     let line = json.lines().find(|l| l.contains(&needle))?;

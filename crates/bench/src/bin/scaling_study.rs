@@ -1,0 +1,229 @@
+//! **Intra-run scaling study**: the conservative island engine
+//! (`eclipse_sim::island`) driven over synthetic pipeline-stage fleets,
+//! single-threaded reference vs. threaded barrier-window execution on the
+//! *same* partition — asserting byte-identical per-island fingerprints,
+//! and tabulating wall-clock, speedup, barrier rounds, and channel spill
+//! pressure per island count.
+//!
+//! The study also prints what the *system-level* partitioner says about a
+//! representative Eclipse instance: today every shipped data fabric
+//! arbitrates globally (zero data-plane lookahead), so
+//! `EclipseSystem::run_parallel` falls back to the sequential engine and
+//! this bench is where the threaded engine earns its keep.
+//!
+//! Usage: `cargo run -p eclipse-bench --release --bin scaling_study
+//! [--quick] [--threads N]`
+//!
+//! `--quick` shrinks the event budget and island list for CI smoke runs.
+//! The fingerprint columns must read `ok` for every row on every host —
+//! that is the determinism contract, checked here end to end.
+
+use eclipse_bench::synthetic::PipeCoproc;
+use eclipse_bench::{save_result, table, threads_flag};
+use eclipse_core::{EclipseConfig, SystemBuilder};
+use eclipse_kpn::GraphBuilder;
+use eclipse_sim::rng::SplitMix64;
+use eclipse_sim::{Cycle, IslandCtx, IslandHandler, IslandId, IslandSim, RunReport};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Lookahead every cross send respects, in cycles — stands in for the
+/// sync-fabric hop latency a partitioned fabric would report.
+const LOOKAHEAD: Cycle = 8;
+
+/// A synthetic pipeline stage: every event costs `work` iterations of
+/// FNV mixing (the stand-in for decode compute), updates the stage
+/// accumulator, and forwards tokens — mostly locally, sometimes across
+/// the island boundary at the lookahead floor.
+struct Stage {
+    id: IslandId,
+    n: usize,
+    work: u32,
+    acc: u64,
+    rng: SplitMix64,
+    budget: u32,
+}
+
+impl Stage {
+    fn fleet(n: usize, work: u32, budget: u32) -> Vec<Stage> {
+        (0..n)
+            .map(|id| Stage {
+                id,
+                n,
+                work,
+                acc: 0,
+                rng: SplitMix64::new(0xE21_C155E ^ id as u64),
+                budget,
+            })
+            .collect()
+    }
+}
+
+impl IslandHandler for Stage {
+    type Event = u64;
+
+    fn handle(&mut self, now: Cycle, ev: u64, ctx: &mut IslandCtx<u64>) {
+        // Burn deterministic host compute per event so the threaded run
+        // has something to overlap.
+        let mut h = ev ^ now;
+        for _ in 0..self.work {
+            h = h.wrapping_mul(0x100000001b3).rotate_left(17) ^ self.acc;
+        }
+        self.acc = self.acc.wrapping_add(h);
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        let r = self.rng.next_u64();
+        match r % 5 {
+            0 => ctx.schedule(0, h),              // same-cycle follow-up
+            1 | 2 => ctx.schedule(1 + r % 11, h), // short local hop
+            _ => {
+                if self.n > 1 {
+                    let dst = (self.id + 1 + (r as usize >> 16) % (self.n - 1)) % self.n;
+                    ctx.send(dst, LOOKAHEAD + (r >> 32) % 4, h);
+                } else {
+                    ctx.schedule(2, h);
+                }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.acc
+    }
+
+    fn digest_event(&self, ev: &u64) -> u64 {
+        *ev
+    }
+}
+
+fn build(islands: usize, work: u32, budget: u32) -> IslandSim<Stage> {
+    let mut sim = IslandSim::new(Stage::fleet(islands, work, budget), LOOKAHEAD);
+    for i in 0..islands {
+        // Stagger the seeds so islands do not start in lockstep.
+        sim.seed(i, (i as Cycle) * 3, 0x5EED ^ i as u64);
+        sim.seed(i, (i as Cycle) * 3 + 1, 0xFACE ^ i as u64);
+    }
+    sim
+}
+
+/// Fingerprint of a whole run: per-island event fingerprints + digests.
+fn run_fingerprint(r: &RunReport) -> Vec<(u64, u64, u64)> {
+    r.islands
+        .iter()
+        .map(|i| (i.processed, i.fingerprint, i.digest))
+        .collect()
+}
+
+/// What the system-level partitioner reports for a representative
+/// multi-pipeline Eclipse instance.
+fn system_plan_line(requested: usize) -> String {
+    let mut b = SystemBuilder::new(EclipseConfig::default());
+    let mut g = GraphBuilder::new("study");
+    for p in 0..2 {
+        let s = g.stream(format!("s{p}"), 256);
+        g.task(format!("src{p}"), format!("src{p}"), 0, &[], &[s]);
+        g.task(format!("dst{p}"), format!("dst{p}"), 0, &[s], &[]);
+        b.add_coprocessor(Box::new(PipeCoproc::source(format!("src{p}"), 16, 64, 60)));
+        b.add_coprocessor(Box::new(PipeCoproc::sink(format!("dst{p}"), 16, 64, 40)));
+    }
+    b.map_app(&g.build().unwrap()).unwrap();
+    b.with_parallel(requested);
+    let sys = b.build();
+    let plan = sys.partition_plan(requested);
+    format!(
+        "system partition_plan(requested={requested}): {} island(s), lookahead {} — {}",
+        plan.islands.len(),
+        plan.lookahead,
+        plan.reason
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (work, budget, island_counts): (u32, u32, &[usize]) = if quick {
+        (50, 2_000, &[1, 2])
+    } else {
+        (400, 20_000, &[1, 2, 4, 8])
+    };
+    // An explicit --threads N caps how many islands run concurrently is
+    // not supported by the engine (one thread per island); the flag is
+    // honored by *skipping* island counts that would oversubscribe it.
+    let thread_cap = threads_flag().unwrap_or(usize::MAX);
+
+    println!(
+        "Island-engine scaling study: {budget} events/island budget, {work} FNV\n\
+         mix iterations per event, lookahead {LOOKAHEAD} cycles. Single-threaded\n\
+         reference vs. threaded barrier-window run on the same partition.\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for &n in island_counts {
+        if n > thread_cap {
+            println!("  (skipping {n} islands: --threads {thread_cap} cap)");
+            continue;
+        }
+        let mut reference = build(n, work, budget);
+        let t0 = Instant::now();
+        let single = reference.run_single();
+        let single_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut threaded = build(n, work, budget);
+        let t1 = Instant::now();
+        let parallel = threaded.run_parallel();
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let ok = run_fingerprint(&single) == run_fingerprint(&parallel);
+        all_ok &= ok;
+        rows.push(vec![
+            n.to_string(),
+            single.processed().to_string(),
+            format!("{single_ms:.1}"),
+            format!("{parallel_ms:.1}"),
+            format!("{:.2}x", single_ms / parallel_ms.max(1e-9)),
+            parallel.rounds.to_string(),
+            format!("{}/{}", parallel.channels.spilled, parallel.channels.sent),
+            if ok { "ok".into() } else { "DIVERGED".into() },
+        ]);
+    }
+
+    let t = table(
+        &[
+            "islands",
+            "events",
+            "single ms",
+            "parallel ms",
+            "speedup",
+            "rounds",
+            "spill/sent",
+            "fingerprint",
+        ],
+        &rows,
+    );
+    println!("{t}");
+
+    let plan_req = system_plan_line(4);
+    let plan_one = system_plan_line(1);
+    println!("{plan_req}");
+    println!("{plan_one}");
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "scaling_study ({}): work={work} budget={budget} lookahead={LOOKAHEAD}",
+        if quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    out.push_str(&t);
+    writeln!(out, "{plan_req}").unwrap();
+    writeln!(out, "{plan_one}").unwrap();
+    save_result("scaling_study.txt", &out);
+
+    assert!(
+        all_ok,
+        "threaded run diverged from single-threaded reference"
+    );
+    println!("\nall fingerprints byte-identical across execution modes");
+}

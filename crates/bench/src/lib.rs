@@ -25,7 +25,10 @@ pub mod microbench;
 pub mod sweep;
 pub mod synthetic;
 
-pub use sweep::{par_sweep, sweep_threads, trace_annotation, trace_flag};
+pub use sweep::{
+    par_sweep, sweep_threads, sweep_threads_with_islands, threads_flag, trace_annotation,
+    trace_flag,
+};
 
 use eclipse_media::encoder::{EncodeStats, Encoder, EncoderConfig};
 use eclipse_media::source::{SourceConfig, SyntheticSource};

@@ -8,29 +8,75 @@
 //! index): results come back in the input order regardless of which thread
 //! finished first, so sweep tables are byte-stable across thread counts.
 //!
-//! Set `ECLIPSE_SWEEP_THREADS=1` (or any count) to override the default of
-//! one thread per available core — useful for timing comparisons and for
-//! debugging a single point.
+//! Pass `--threads N` to any sweep binary (or set `ECLIPSE_SWEEP_THREADS`;
+//! the flag wins) to override the default of one thread per available
+//! core — useful for timing comparisons and for debugging a single point.
+//! When the design points themselves run with intra-run parallelism
+//! (`--parallel` islands), size the pool with
+//! [`sweep_threads_with_islands`] so `sweep threads × islands per run`
+//! never oversubscribes the host.
 
 use eclipse_core::RunSummary;
 use eclipse_sim::SharedTraceSink;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads for a sweep over `points` design points:
-/// `ECLIPSE_SWEEP_THREADS` if set, else one per available core, never more
-/// than there are points.
-pub fn sweep_threads(points: usize) -> usize {
-    let cap = points.max(1);
-    if let Ok(v) = std::env::var("ECLIPSE_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, cap);
+/// The `--threads N` (or `--threads=N`) command-line override shared by
+/// every sweep binary. `None` when the flag is absent; panics on a
+/// malformed count so a typo'd benchmark invocation fails loudly instead
+/// of silently running at a different width.
+pub fn threads_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args.next().expect("--threads requires a thread count");
+            return Some(
+                v.trim()
+                    .parse()
+                    .expect("--threads count must be a positive integer"),
+            );
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return Some(
+                v.trim()
+                    .parse()
+                    .expect("--threads count must be a positive integer"),
+            );
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cap)
+    None
+}
+
+/// Number of worker threads for a sweep over `points` design points:
+/// the `--threads` flag if present, else `ECLIPSE_SWEEP_THREADS` if set,
+/// else one per available core — never more than there are points.
+pub fn sweep_threads(points: usize) -> usize {
+    sweep_threads_with_islands(points, 1)
+}
+
+/// Like [`sweep_threads`], but for sweeps whose *individual runs* use
+/// `islands_per_run` simulation threads each ([`EclipseSystem::run_parallel`]
+/// islands): the host budget — explicit or detected — is divided by the
+/// per-run width so the two levels of parallelism compose without
+/// oversubscribing the machine. An explicit `--threads N` is interpreted
+/// as the *total* host-thread budget, same as the implicit core count.
+///
+/// [`EclipseSystem::run_parallel`]: eclipse_core::EclipseSystem::run_parallel
+pub fn sweep_threads_with_islands(points: usize, islands_per_run: usize) -> usize {
+    let cap = points.max(1);
+    let islands = islands_per_run.max(1);
+    let budget = threads_flag()
+        .or_else(|| {
+            std::env::var("ECLIPSE_SWEEP_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    (budget / islands).clamp(1, cap)
 }
 
 /// Run `run` over every design point, in parallel across host cores.
@@ -169,5 +215,25 @@ mod tests {
         assert!(sweep_threads(0) >= 1);
         assert_eq!(sweep_threads(1), 1);
         assert!(sweep_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn islands_divide_the_host_budget() {
+        // Two levels of parallelism must compose: sweep threads shrink as
+        // per-run islands grow, and never reach zero.
+        let solo = sweep_threads_with_islands(1000, 1);
+        let wide = sweep_threads_with_islands(1000, solo.max(2));
+        assert!(wide <= solo);
+        assert!(wide >= 1);
+        assert_eq!(sweep_threads_with_islands(1000, usize::MAX), 1);
+        assert_eq!(sweep_threads_with_islands(1, 1), 1);
+    }
+
+    #[test]
+    fn threads_flag_absent_in_test_harness() {
+        // The test binary was not launched with `--threads`, so the flag
+        // parser must report absence (and thus fall through to the env /
+        // core-count path) rather than misreading unrelated arguments.
+        assert_eq!(threads_flag(), None);
     }
 }

@@ -77,6 +77,11 @@ impl Coprocessor for PipeCoproc {
         function == self.function
     }
 
+    /// Synthetic pipeline stages move bytes only through SRAM streams.
+    fn uses_system_bus(&self) -> bool {
+        false
+    }
+
     fn configure_task(
         &mut self,
         task: TaskIdx,

@@ -100,6 +100,11 @@ impl Coprocessor for DctCoproc {
         matches!(function, "dct" | "fdct" | "idct")
     }
 
+    /// Pure stream transform: all traffic stays on the SRAM fabric.
+    fn uses_system_bus(&self) -> bool {
+        false
+    }
+
     fn configure_task(
         &mut self,
         task: TaskIdx,

@@ -99,39 +99,43 @@ impl FrameStore {
         y0: i32,
     ) -> [i16; 64] {
         let (pw, ph, _) = self.plane_geom(plane);
-        // Distinct tiles covering the (clamped) window. The gather is one
-        // burst train: the first tile pays the full round trip, the rest
-        // ride pipelined behind it.
-        let mut tiles: Vec<(u32, u32, [u8; 64])> = Vec::with_capacity(4);
-        for y in 0..8i32 {
-            for x in 0..8i32 {
-                let cx = (x0 + x).clamp(0, pw as i32 - 1) as u32;
-                let cy = (y0 + y).clamp(0, ph as i32 - 1) as u32;
-                let (tx, ty) = (cx / 8, cy / 8);
-                if !tiles.iter().any(|&(a, b, _)| (a, b) == (tx, ty)) {
-                    let mut data = [0u8; 64];
-                    let addr = self.tile_addr(base, plane, tx, ty);
-                    if tiles.is_empty() {
-                        ctx.dram_read(addr, &mut data);
-                    } else {
-                        ctx.dram_read_overlapped(addr, &mut data);
-                    }
-                    tiles.push((tx, ty, data));
+        // Clamped sample coordinates per axis; clamping is monotonic, so
+        // the touched tiles form the rectangle spanned by the corners.
+        let mut cxs = [0u32; 8];
+        let mut cys = [0u32; 8];
+        for i in 0..8 {
+            cxs[i] = (x0 + i as i32).clamp(0, pw as i32 - 1) as u32;
+            cys[i] = (y0 + i as i32).clamp(0, ph as i32 - 1) as u32;
+        }
+        // Gather the 1-4 covering tiles in raster order (the order the
+        // former per-pixel scan first encountered them): the first tile
+        // pays the full round trip, the rest ride pipelined behind it.
+        let (tx0, tx1) = (cxs[0] / 8, cxs[7] / 8);
+        let (ty0, ty1) = (cys[0] / 8, cys[7] / 8);
+        let ntx = (tx1 - tx0 + 1) as usize;
+        let mut tiles = [[0u8; 64]; 4];
+        let mut first = true;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let idx = (ty - ty0) as usize * ntx + (tx - tx0) as usize;
+                let addr = self.tile_addr(base, plane, tx, ty);
+                if first {
+                    ctx.dram_read(addr, &mut tiles[idx]);
+                    first = false;
+                } else {
+                    ctx.dram_read_overlapped(addr, &mut tiles[idx]);
                 }
             }
         }
         let mut out = [0i16; 64];
-        for y in 0..8i32 {
-            for x in 0..8i32 {
-                let cx = (x0 + x).clamp(0, pw as i32 - 1) as u32;
-                let cy = (y0 + y).clamp(0, ph as i32 - 1) as u32;
-                let (tx, ty) = (cx / 8, cy / 8);
-                let tile = &tiles
-                    .iter()
-                    .find(|&&(a, b, _)| (a, b) == (tx, ty))
-                    .unwrap()
-                    .2;
-                out[(y * 8 + x) as usize] = tile[((cy % 8) * 8 + cx % 8) as usize] as i16;
+        for y in 0..8 {
+            let cy = cys[y];
+            let trow = (cy / 8 - ty0) as usize * ntx;
+            let prow = (cy % 8) * 8;
+            for x in 0..8 {
+                let cx = cxs[x];
+                let tile = &tiles[trow + (cx / 8 - tx0) as usize];
+                out[y * 8 + x] = tile[(prow + cx % 8) as usize] as i16;
             }
         }
         out
@@ -157,53 +161,62 @@ impl FrameStore {
             return self.fetch_block(ctx, base, plane, xi, yi);
         }
         let (pw, ph, _) = self.plane_geom(plane);
-        let clamp_x = |x: i32| x.clamp(0, pw as i32 - 1) as u32;
-        let clamp_y = |y: i32| y.clamp(0, ph as i32 - 1) as u32;
-        // Gather the distinct tiles covering the (8+1)x(8+1) window.
-        let mut tiles: Vec<(u32, u32, [u8; 64])> = Vec::with_capacity(4);
-        let span = 9i32;
-        for y in 0..span {
-            for x in 0..span {
-                let (cx, cy) = (clamp_x(xi + x), clamp_y(yi + y));
-                let (tx, ty) = (cx / 8, cy / 8);
-                if !tiles.iter().any(|&(a, b, _)| (a, b) == (tx, ty)) {
-                    let mut data = [0u8; 64];
-                    let addr = self.tile_addr(base, plane, tx, ty);
-                    if tiles.is_empty() {
-                        ctx.dram_read(addr, &mut data);
-                    } else {
-                        ctx.dram_read_overlapped(addr, &mut data);
-                    }
-                    tiles.push((tx, ty, data));
+        // Clamped sample coordinates across the (8+1)-sample span of each
+        // axis; clamping is monotonic, so the touched tiles form the
+        // rectangle spanned by the corners.
+        let mut cxs = [0u32; 9];
+        let mut cys = [0u32; 9];
+        for i in 0..9 {
+            cxs[i] = (xi + i as i32).clamp(0, pw as i32 - 1) as u32;
+            cys[i] = (yi + i as i32).clamp(0, ph as i32 - 1) as u32;
+        }
+        // Gather the 1-4 covering tiles in raster order (the order the
+        // former per-pixel scan first encountered them) as one burst train.
+        let (tx0, tx1) = (cxs[0] / 8, cxs[8] / 8);
+        let (ty0, ty1) = (cys[0] / 8, cys[8] / 8);
+        let ntx = (tx1 - tx0 + 1) as usize;
+        let mut tiles = [[0u8; 64]; 4];
+        let mut first = true;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let idx = (ty - ty0) as usize * ntx + (tx - tx0) as usize;
+                let addr = self.tile_addr(base, plane, tx, ty);
+                if first {
+                    ctx.dram_read(addr, &mut tiles[idx]);
+                    first = false;
+                } else {
+                    ctx.dram_read_overlapped(addr, &mut tiles[idx]);
                 }
             }
         }
-        let sample = |x: i32, y: i32| -> i32 {
-            let (cx, cy) = (clamp_x(x), clamp_y(y));
-            let (tx, ty) = (cx / 8, cy / 8);
-            let tile = &tiles
-                .iter()
-                .find(|&&(a, b, _)| (a, b) == (tx, ty))
-                .unwrap()
-                .2;
-            tile[((cy % 8) * 8 + cx % 8) as usize] as i32
-        };
+        // Materialize the 9x9 patch once, then interpolate from it.
+        let mut patch = [0i32; 81];
+        for y in 0..9 {
+            let cy = cys[y];
+            let trow = (cy / 8 - ty0) as usize * ntx;
+            let prow = (cy % 8) * 8;
+            for x in 0..9 {
+                let cx = cxs[x];
+                let tile = &tiles[trow + (cx / 8 - tx0) as usize];
+                patch[y * 9 + x] = tile[(prow + cx % 8) as usize] as i32;
+            }
+        }
         let mut out = [0i16; 64];
-        for y in 0..8i32 {
-            for x in 0..8i32 {
-                let a = sample(xi + x, yi + y);
+        for y in 0..8 {
+            for x in 0..8 {
+                let a = patch[y * 9 + x];
                 let v = match (hx, hy) {
-                    (1, 0) => (a + sample(xi + x + 1, yi + y) + 1) >> 1,
-                    (0, 1) => (a + sample(xi + x, yi + y + 1) + 1) >> 1,
+                    (1, 0) => (a + patch[y * 9 + x + 1] + 1) >> 1,
+                    (0, 1) => (a + patch[(y + 1) * 9 + x] + 1) >> 1,
                     _ => {
-                        (a + sample(xi + x + 1, yi + y)
-                            + sample(xi + x, yi + y + 1)
-                            + sample(xi + x + 1, yi + y + 1)
+                        (a + patch[y * 9 + x + 1]
+                            + patch[(y + 1) * 9 + x]
+                            + patch[(y + 1) * 9 + x + 1]
                             + 2)
                             >> 2
                     }
                 };
-                out[(y * 8 + x) as usize] = v as i16;
+                out[y * 8 + x] = v as i16;
             }
         }
         out

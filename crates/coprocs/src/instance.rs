@@ -378,6 +378,14 @@ impl MpegSystem {
         self.sys.run(max_cycles)
     }
 
+    /// Run through the intra-run parallel path (conservative island
+    /// partitioning with sequential fallback; see
+    /// `EclipseSystem::run_parallel`). Timing is byte-identical to
+    /// [`MpegSystem::run`].
+    pub fn run_parallel(&mut self, max_cycles: Cycle) -> RunSummary {
+        self.sys.run_parallel(max_cycles)
+    }
+
     /// Decoded frames of the decode app `prefix` (display order).
     pub fn display_frames(&self, prefix: &str) -> Option<Vec<Frame>> {
         let dsp = self

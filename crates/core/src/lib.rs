@@ -36,6 +36,7 @@ pub use config::EclipseConfig;
 pub use coproc::{Coprocessor, StepCtx, StepResult};
 pub use mapping::{AppHandles, MapError};
 pub use system::{
-    AppState, DrainReport, EclipseSystem, ReconfigError, RunOutcome, RunSummary, SystemBuilder,
+    AppState, DrainReport, EclipseSystem, PartitionPlan, ReconfigError, RunOutcome, RunSummary,
+    SystemBuilder,
 };
 pub use trace::{TraceLog, TraceSeries};

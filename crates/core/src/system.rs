@@ -31,6 +31,7 @@
 //! [`eclipse_shell::SyncFabric`]).
 
 mod lifecycle;
+mod partition;
 mod run_loop;
 mod snapshot;
 mod summary;
@@ -39,6 +40,7 @@ mod tests;
 mod wiring;
 
 pub use lifecycle::{AppState, DrainReport, ReconfigError};
+pub use partition::PartitionPlan;
 pub use summary::{RunOutcome, RunSummary};
 pub use wiring::SystemBuilder;
 
@@ -75,6 +77,86 @@ pub(crate) enum Event {
     Sample,
 }
 
+/// In-flight `putspace` counters per (destination shell, row), stored as
+/// per-shell vectors so the sync hot path never hashes. Rows mapped at
+/// run time grow the vectors on first touch. `MAX` marks a never-touched
+/// slot: the previous `HashMap` representation kept entries that had
+/// decayed back to zero, and checkpoints serialized them, so the sentinel
+/// preserves that distinction (and the exact checkpoint bytes).
+#[derive(Default)]
+pub(crate) struct PendingSyncs {
+    per_shell: Vec<Vec<u32>>,
+}
+
+const PS_UNTOUCHED: u32 = u32::MAX;
+
+impl PendingSyncs {
+    pub(crate) fn new(shells: usize) -> Self {
+        PendingSyncs {
+            per_shell: vec![Vec::new(); shells],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, shell: usize, row: u16, n: u32) {
+        if self.per_shell.len() <= shell {
+            self.per_shell.resize(shell + 1, Vec::new());
+        }
+        let rows = &mut self.per_shell[shell];
+        if rows.len() <= row as usize {
+            rows.resize(row as usize + 1, PS_UNTOUCHED);
+        }
+        let p = &mut rows[row as usize];
+        *p = if *p == PS_UNTOUCHED { n } else { *p + n };
+    }
+
+    #[inline]
+    pub(crate) fn dec(&mut self, shell: usize, row: u16) {
+        if let Some(p) = self
+            .per_shell
+            .get_mut(shell)
+            .and_then(|rows| rows.get_mut(row as usize))
+        {
+            if *p != PS_UNTOUCHED {
+                *p = p.saturating_sub(1);
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, shell: usize, row: u16) -> u32 {
+        match self
+            .per_shell
+            .get(shell)
+            .and_then(|rows| rows.get(row as usize))
+        {
+            Some(&n) if n != PS_UNTOUCHED => n,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for rows in &mut self.per_shell {
+            rows.clear();
+        }
+    }
+
+    /// Touched entries in `(shell, row)` order — the checkpoint view
+    /// (identical bytes to the former sorted-`HashMap` serialization,
+    /// zero-valued entries included).
+    pub(crate) fn entries_sorted(&self) -> Vec<((usize, u16), u32)> {
+        let mut out = Vec::new();
+        for (s, rows) in self.per_shell.iter().enumerate() {
+            for (r, &n) in rows.iter().enumerate() {
+                if n != PS_UNTOUCHED {
+                    out.push(((s, r as u16), n));
+                }
+            }
+        }
+        out
+    }
+}
+
 /// A fully constructed Eclipse instance, ready to run.
 pub struct EclipseSystem {
     cfg: EclipseConfig,
@@ -97,7 +179,7 @@ pub struct EclipseSystem {
     apps: HashMap<String, AppRecord>,
     /// In-flight `putspace` messages per (destination shell, row) —
     /// host-side accounting only; the drain protocol waits on it.
-    pending_syncs: HashMap<(usize, u16), u32>,
+    pending_syncs: PendingSyncs,
     /// The kickoff events (initial steps + sampler + RunStart) have been
     /// scheduled; guards resumed runs against double kickoff.
     started: bool,
@@ -135,6 +217,13 @@ pub struct EclipseSystem {
     /// Credit bytes lost to injected message drops, same keying (the
     /// conservation invariant accounts them explicitly).
     credits_lost: HashMap<(AccessPoint, AccessPoint), u64>,
+    /// Requested intra-run parallelism (island count ceiling); 1 =
+    /// sequential. Configuration, not simulation state — excluded from
+    /// checkpoints.
+    parallel_islands: usize,
+    /// The partition plan computed by the most recent `run_parallel`
+    /// call, kept for reporting (why did the run parallelize or not).
+    last_partition_plan: Option<PartitionPlan>,
 }
 
 impl EclipseSystem {
@@ -232,6 +321,26 @@ impl EclipseSystem {
     /// The off-chip system bus (for stats).
     pub fn system_bus(&self) -> &Bus {
         &self.system_bus
+    }
+
+    /// The island count requested via `SystemBuilder::with_parallel`
+    /// (1 = sequential).
+    pub fn parallel_islands(&self) -> usize {
+        self.parallel_islands
+    }
+
+    /// Change the requested island count on a built system (the runtime
+    /// counterpart of `SystemBuilder::with_parallel`; a pure execution
+    /// knob that never affects simulated timing).
+    pub fn set_parallel_islands(&mut self, islands: usize) {
+        self.parallel_islands = islands.max(1);
+    }
+
+    /// The partition plan computed by the most recent
+    /// [`EclipseSystem::run_parallel`] call — including the fallback
+    /// reason when the instance could not be split.
+    pub fn last_partition_plan(&self) -> Option<&PartitionPlan> {
+        self.last_partition_plan.as_ref()
     }
 
     /// Collected measurement traces.

@@ -386,7 +386,7 @@ impl EclipseSystem {
         loop {
             let pending: u32 = rows
                 .iter()
-                .map(|&(s, r)| self.pending_syncs.get(&(s, r.0)).copied().unwrap_or(0))
+                .map(|&(s, r)| self.pending_syncs.get(s, r.0))
                 .sum();
             if pending == 0 {
                 break;

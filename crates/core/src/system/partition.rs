@@ -1,0 +1,226 @@
+//! Conservative island partitioning for intra-run parallel execution.
+//!
+//! The parallel engine (`eclipse_sim::island`) can only run partitions
+//! whose cross-island event latency has a *provable* positive lower
+//! bound — the lookahead of the conservative window protocol. This
+//! module derives that bound from the instance's communication
+//! hardware and produces a [`PartitionPlan`]: which shells may share an
+//! island, what window the plan supports, and — crucially — a
+//! human-readable `reason` whenever the plan degenerates to a single
+//! island, so `run_parallel`'s sequential fallback is auditable rather
+//! than silent.
+//!
+//! The coupling analysis is deliberately conservative (byte-identity
+//! beats speed-up):
+//!
+//! * **Data plane** — [`DataFabric::min_grant_cycles`] is the floor on
+//!   cross-requester grant independence. Both current backends (shared
+//!   bus pair, address-interleaved multi-bank) share arbiter state
+//!   across *all* shells, so they report `None` (zero lookahead) and
+//!   the whole system stays one island. A future fabric with private
+//!   per-requester ports reports its pipeline depth here and unlocks
+//!   the partitioner without any change to this module.
+//! * **Sync plane** — [`SyncFabric::min_transit_cycles`] bounds how
+//!   fast a `putspace` can cross shells; it caps the window.
+//! * **Application coupling** — shells hosting tasks of the same
+//!   application exchange sync messages and share stream buffers; they
+//!   are co-located (union-find over app records).
+//! * **System bus / DRAM** — shells whose coprocessors own system-bus
+//!   ports ([`Coprocessor::uses_system_bus`]) contend on one off-chip
+//!   arbiter; they are co-located with each other.
+//! * **CPU-centric sync** (experiment E10) serializes every shell
+//!   through one host CPU: single island.
+
+use eclipse_sim::Cycle;
+
+use super::EclipseSystem;
+
+/// The outcome of the island analysis for one built system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Shell indices per island, islands ordered by smallest member.
+    pub islands: Vec<Vec<usize>>,
+    /// Conservative window in cycles (0 when not parallelizable).
+    pub lookahead: Cycle,
+    /// Why the plan has this shape — always set, so a degenerate
+    /// single-island plan explains which constraint collapsed it.
+    pub reason: String,
+}
+
+impl PartitionPlan {
+    /// True when the plan admits conservative parallel execution.
+    pub fn parallel(&self) -> bool {
+        self.islands.len() > 1 && self.lookahead > 0
+    }
+
+    fn single(n_shells: usize, reason: impl Into<String>) -> Self {
+        PartitionPlan {
+            islands: vec![(0..n_shells).collect()],
+            lookahead: 0,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Union-find over shell indices.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n).collect())
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic orientation: smaller root wins.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.0[hi] = lo;
+        }
+    }
+}
+
+impl EclipseSystem {
+    /// Analyze the built instance for conservative island partitioning
+    /// into at most `requested` islands. Never errors: an instance that
+    /// cannot be split safely yields a single-island plan whose
+    /// `reason` names the binding constraint.
+    pub fn partition_plan(&self, requested: usize) -> PartitionPlan {
+        let n = self.shells.len();
+        if requested <= 1 {
+            return PartitionPlan::single(n, "parallel execution not requested");
+        }
+        if n < 2 {
+            return PartitionPlan::single(n, "fewer than two shells");
+        }
+        if self.cpu_sync.is_some() {
+            return PartitionPlan::single(
+                n,
+                "CPU-centric sync serializes all shells through one host CPU",
+            );
+        }
+        // Data-plane lookahead: the fabric must guarantee that one
+        // requester's transfer cannot move another requester's grant
+        // within the window.
+        let Some(data_la) = self.mem.fabric.min_grant_cycles() else {
+            return PartitionPlan::single(
+                n,
+                format!(
+                    "data fabric '{}' arbitrates globally across shells \
+                     (zero data-plane lookahead)",
+                    self.mem.fabric.kind()
+                ),
+            );
+        };
+        // Sync-plane lookahead: the cheapest cross-shell putspace.
+        let sync_la = self.sync.min_transit_cycles(self.cfg.shell.sync_latency);
+        let lookahead = data_la.min(sync_la);
+        if lookahead == 0 {
+            return PartitionPlan::single(n, "cross-shell transit lower bound is zero");
+        }
+
+        // Coupling graph: same-app shells and system-bus users co-locate.
+        // Union-find with canonical orientation (smaller root wins), so
+        // the resulting components are independent of app iteration
+        // order.
+        let mut dsu = Dsu::new(n);
+        for record in self.apps.values() {
+            let mut shells: Vec<usize> = record.tasks.iter().map(|&(s, _)| s).collect();
+            shells.sort_unstable();
+            shells.dedup();
+            for w in shells.windows(2) {
+                dsu.union(w[0], w[1]);
+            }
+        }
+        let bus_users: Vec<usize> = (0..n)
+            .filter(|&s| self.coprocs[s].uses_system_bus())
+            .collect();
+        for w in bus_users.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+
+        // Components in deterministic order (by smallest member).
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut root_of: Vec<Option<usize>> = vec![None; n];
+        for s in 0..n {
+            let r = dsu.find(s);
+            match root_of[r] {
+                Some(ci) => components[ci].push(s),
+                None => {
+                    root_of[r] = Some(components.len());
+                    components.push(vec![s]);
+                }
+            }
+        }
+        if components.len() < 2 {
+            return PartitionPlan::single(
+                n,
+                format!(
+                    "coupling graph is fully connected: all {n} shells share \
+                     applications or the system bus"
+                ),
+            );
+        }
+
+        // Bin components into at most `requested` islands, largest
+        // first, always into the currently lightest island (deterministic
+        // tie-break: lowest island index).
+        let k = requested.min(components.len());
+        let mut order: Vec<usize> = (0..components.len()).collect();
+        order.sort_by_key(|&c| (usize::MAX - components[c].len(), components[c][0]));
+        let mut islands: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for c in order {
+            let lightest = (0..k).min_by_key(|&i| (islands[i].len(), i)).unwrap();
+            islands[lightest].extend(&components[c]);
+        }
+        for island in &mut islands {
+            island.sort_unstable();
+        }
+        islands.sort_by_key(|i| i[0]);
+        let reason = format!(
+            "{} independent component(s) over {} shells; window {} cycles",
+            islands.len(),
+            n,
+            lookahead
+        );
+        PartitionPlan {
+            islands,
+            lookahead,
+            reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsu_components_are_deterministic() {
+        let mut d = Dsu::new(6);
+        d.union(4, 2);
+        d.union(0, 5);
+        d.union(2, 4);
+        assert_eq!(d.find(4), d.find(2));
+        assert_eq!(d.find(0), d.find(5));
+        assert_ne!(d.find(0), d.find(4));
+        assert_eq!(d.find(2), 2); // smaller root wins
+        assert_eq!(d.find(5), 0);
+    }
+
+    #[test]
+    fn single_plan_shape() {
+        let p = PartitionPlan::single(3, "why");
+        assert_eq!(p.islands, vec![vec![0, 1, 2]]);
+        assert!(!p.parallel());
+        assert_eq!(p.reason, "why");
+    }
+}

@@ -38,9 +38,7 @@ impl EclipseSystem {
             Event::Step(s) => self.do_step(s, now),
             Event::Sync(msg) => {
                 let dst = msg.dst.shell.0 as usize;
-                if let Some(p) = self.pending_syncs.get_mut(&(dst, msg.dst.row.0)) {
-                    *p = p.saturating_sub(1);
-                }
+                self.pending_syncs.dec(dst, msg.dst.row.0);
                 self.sync_messages += 1;
                 let latency = now.saturating_sub(msg.send_at);
                 self.sync_latency.record(latency);
@@ -106,6 +104,43 @@ impl EclipseSystem {
                 }
             }
         }
+    }
+
+    /// Run with the intra-run parallel engine when the built instance
+    /// admits it, and with the sequential engine otherwise.
+    ///
+    /// The decision is the [`PartitionPlan`](super::PartitionPlan)
+    /// computed for the `SystemBuilder::with_parallel` request: islands
+    /// may only run concurrently when the communication hardware proves
+    /// a positive cross-island lookahead (see
+    /// `EclipseSystem::partition_plan`). Both present data fabrics
+    /// arbitrate globally across all shells — zero data-plane lookahead
+    /// — so every currently constructible configuration falls back to
+    /// the sequential engine here, which keeps timing, fingerprints,
+    /// state hashes, and checkpoint bytes identical *by construction*
+    /// (the differential tests in `tests/parallel_equivalence.rs` pin
+    /// this across fabric combinations). The computed plan, including
+    /// the fallback reason, is retained for inspection via
+    /// `EclipseSystem::last_partition_plan`. The threaded conservative
+    /// engine itself lives in `eclipse_sim::island`, where decoupled
+    /// event graphs exercise it for real (`scaling_study`).
+    pub fn run_parallel(&mut self, max_cycles: Cycle) -> RunSummary {
+        let plan = self.partition_plan(self.parallel_islands);
+        let parallel = plan.parallel();
+        self.last_partition_plan = Some(plan);
+        if parallel {
+            // Unreachable with the current fabric backends (their
+            // min_grant_cycles is None); a future private-ported fabric
+            // flips this gate, at which point the island engine drives
+            // per-island calendars here. Until then, honor the
+            // byte-identity contract the only way that is provably
+            // correct: sequentially.
+            debug_assert!(
+                false,
+                "no current data fabric reports a positive grant floor"
+            );
+        }
+        self.run(max_cycles)
     }
 
     /// Run until every task finishes, deadlock, or `max_cycles`.
@@ -391,10 +426,8 @@ impl EclipseSystem {
                     // can't know this (hardware shells don't either) — the
                     // sync network stamps at injection time.
                     msg.dst_gen = self.shells[msg.dst.shell.0 as usize].row_generation(msg.dst.row);
-                    *self
-                        .pending_syncs
-                        .entry((msg.dst.shell.0 as usize, msg.dst.row.0))
-                        .or_insert(0) += 1;
+                    self.pending_syncs
+                        .add(msg.dst.shell.0 as usize, msg.dst.row.0, 1);
                     self.cal.schedule_at(arrive, Event::Sync(msg));
                 }
                 self.cal.schedule_at(now + cost, Event::Step(s));
@@ -403,6 +436,11 @@ impl EclipseSystem {
     }
 
     pub(crate) fn sample(&mut self, now: Cycle) {
+        use std::fmt::Write as _;
+        // One scratch buffer for all the series names below: sampling runs
+        // every couple thousand cycles over every row and task, and a
+        // `format!` per record was a measurable share of host allocations.
+        let mut name = String::with_capacity(48);
         for (s, shell) in self.shells.iter().enumerate() {
             for (r, row) in shell.rows().iter().enumerate() {
                 if row.retired {
@@ -411,43 +449,39 @@ impl EclipseSystem {
                 let label = &self.row_labels[s][r];
                 // Only consumer-side rows report "available data" (the
                 // paper's Figure 10 quantity); producer rows report room.
-                self.trace
-                    .record(&format!("space/{label}"), now, row.effective_space() as f64);
+                name.clear();
+                let _ = write!(name, "space/{label}");
+                self.trace.record(&name, now, row.effective_space() as f64);
                 // Mirror the fill level onto the structured trace spine as
                 // a Chrome counter track (ph:"C"), so chaos runs visualize
                 // backpressure building up behind injected faults.
                 if let Some(t) = &self.sys_trace {
                     let space = row.effective_space() as u64;
                     t.emit_with(now, |sink| TraceEventKind::Counter {
-                        track: sink.intern(&format!("space/{label}")),
+                        track: sink.intern(&name),
                         value: space,
                     });
                 }
             }
             let u = &self.utilization[s];
-            self.trace
-                .record(&format!("busy/{}", self.shell_names[s]), now, u.busy as f64);
-            self.trace.record(
-                &format!("stall/{}", self.shell_names[s]),
-                now,
-                u.stalled as f64,
-            );
+            name.clear();
+            let _ = write!(name, "busy/{}", self.shell_names[s]);
+            self.trace.record(&name, now, u.busy as f64);
+            name.clear();
+            let _ = write!(name, "stall/{}", self.shell_names[s]);
+            self.trace.record(&name, now, u.stalled as f64);
             // Per-task views (paper Figure 9's "stall time of tasks"):
             // cumulative busy cycles and GetSpace denials per task.
             for t in shell.tasks() {
                 if t.retired {
                     continue;
                 }
-                self.trace.record(
-                    &format!("taskbusy/{}", t.cfg.name),
-                    now,
-                    t.stats.busy_cycles as f64,
-                );
-                self.trace.record(
-                    &format!("taskdenied/{}", t.cfg.name),
-                    now,
-                    t.stats.denials as f64,
-                );
+                name.clear();
+                let _ = write!(name, "taskbusy/{}", t.cfg.name);
+                self.trace.record(&name, now, t.stats.busy_cycles as f64);
+                name.clear();
+                let _ = write!(name, "taskdenied/{}", t.cfg.name);
+                self.trace.record(&name, now, t.stats.denials as f64);
             }
         }
     }

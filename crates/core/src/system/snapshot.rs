@@ -257,10 +257,9 @@ impl EclipseSystem {
         }
 
         // In-flight sync accounting, sorted by key for stable bytes.
-        let mut pending_syncs: Vec<(&(usize, u16), &u32)> = self.pending_syncs.iter().collect();
-        pending_syncs.sort();
+        let pending_syncs = self.pending_syncs.entries_sorted();
         w.usize(pending_syncs.len());
-        for (&(shell, row), &n) in pending_syncs {
+        for ((shell, row), n) in pending_syncs {
             w.usize(shell);
             w.u16(row);
             w.u32(n);
@@ -382,7 +381,7 @@ impl EclipseSystem {
             let shell = r.usize()?;
             let row = r.u16()?;
             let n = r.u32()?;
-            self.pending_syncs.insert((shell, row), n);
+            self.pending_syncs.add(shell, row, n);
         }
 
         self.started = r.bool()?;

@@ -19,7 +19,7 @@ use crate::mapping::{plan_rows, task_config, AppHandles, MapError, RowPlan, BUFF
 use crate::trace::TraceLog;
 
 use super::lifecycle::AppRecord;
-use super::{AppState, CpuSyncConfig, EclipseSystem};
+use super::{AppState, CpuSyncConfig, EclipseSystem, PendingSyncs};
 
 /// Overflow-checked bump allocation: round `next` up to `align`, advance
 /// past `size` bytes, and check against a `capacity` ceiling. Returns
@@ -152,6 +152,7 @@ pub struct SystemBuilder {
     apps: HashMap<String, AppRecord>,
     data_fabric: Option<DataFabricConfig>,
     sync_fabric: SyncFabricConfig,
+    parallel_islands: usize,
 }
 
 impl SystemBuilder {
@@ -169,6 +170,7 @@ impl SystemBuilder {
             apps: HashMap::new(),
             data_fabric: None,
             sync_fabric: SyncFabricConfig::Direct,
+            parallel_islands: 1,
         }
     }
 
@@ -214,6 +216,21 @@ impl SystemBuilder {
     /// flat-latency direct network of the paper instance.
     pub fn with_sync_fabric(&mut self, fabric: SyncFabricConfig) -> &mut Self {
         self.sync_fabric = fabric;
+        self
+    }
+
+    /// Request intra-run parallel simulation over at most `islands`
+    /// conservative islands (see `EclipseSystem::partition_plan`).
+    ///
+    /// This is a *request*, not a promise: `run_parallel` partitions the
+    /// built instance only when the communication hardware proves a
+    /// positive cross-island lookahead, and falls back to the sequential
+    /// engine — byte-identical timing, fingerprints, and checkpoints —
+    /// whenever it cannot. Both current data fabrics arbitrate globally,
+    /// so every present-day configuration takes the fallback; the plan's
+    /// `reason` records why.
+    pub fn with_parallel(&mut self, islands: usize) -> &mut Self {
+        self.parallel_islands = islands.max(1);
         self
     }
 
@@ -321,7 +338,7 @@ impl SystemBuilder {
             alloc: self.alloc,
             dram_next: self.dram_next,
             apps: self.apps,
-            pending_syncs: HashMap::new(),
+            pending_syncs: PendingSyncs::new(n),
             started: false,
             cal: Calendar::new(),
             idle_since: vec![None; n],
@@ -343,6 +360,8 @@ impl SystemBuilder {
             credit_check: false,
             in_flight: HashMap::new(),
             credits_lost: HashMap::new(),
+            parallel_islands: self.parallel_islands,
+            last_partition_plan: None,
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
+use eclipse_sim::snapshot::{FnvState, SnapError, SnapReader, SnapWriter, Snapshot};
 use eclipse_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +48,9 @@ pub struct TraceLog {
     pub series: Vec<TraceSeries>,
     /// Name → index into `series`. Series are created once and sampled
     /// many times, so `record` must not re-scan the whole vec per sample.
-    by_name: HashMap<String, usize>,
+    /// Keyed with the deterministic FNV hasher: the lookup happens once per
+    /// series per sample tick, where SipHash showed up in profiles.
+    by_name: HashMap<String, usize, FnvState>,
 }
 
 impl TraceLog {

@@ -1,0 +1,417 @@
+//! **Parallel/sequential equivalence** (the byte-identity contract of
+//! `run_parallel`): for every interconnect-fabric combination the bench
+//! suite exercises, a system driven through [`EclipseSystem::run_parallel`]
+//! must produce *exactly* the state a plain [`EclipseSystem::run`] does —
+//! same `RunSummary`, same rolling `state_hash`, same checkpoint bytes —
+//! with fault injection armed and a mid-run checkpoint/restore splitting
+//! the parallel run in two.
+//!
+//! Today every shipped data fabric arbitrates globally (shared bus
+//! `next_free`; banks selected by address, not requester), so the
+//! partitioner's lookahead is zero and `run_parallel` falls back to the
+//! sequential engine *by construction*. These tests pin that contract from
+//! the outside: if a future fabric flips the gate open, the differential
+//! assertions here are the first thing a divergent parallel schedule
+//! breaks. The threaded island engine itself is exercised directly in
+//! `eclipse_sim::island` and the `scaling_study` bench.
+
+use std::collections::HashMap;
+
+use eclipse_core::coproc::{Coprocessor, StepCtx, StepResult};
+use eclipse_core::{EclipseConfig, EclipseSystem, RunOutcome, RunSummary, SystemBuilder};
+use eclipse_kpn::graph::AppGraph;
+use eclipse_kpn::GraphBuilder;
+use eclipse_mem::{BusConfig, DataFabricConfig};
+use eclipse_shell::{PortId, SyncFabricConfig, TaskIdx};
+use eclipse_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+use eclipse_sim::FaultPlan;
+
+/// Serialize a `task -> progress` map in sorted (deterministic) order.
+fn save_progress(map: &HashMap<u8, u32>, w: &mut SnapWriter) {
+    let mut keys: Vec<_> = map.keys().copied().collect();
+    keys.sort_unstable();
+    w.usize(keys.len());
+    for k in keys {
+        w.u8(k);
+        w.u32(map[&k]);
+    }
+}
+
+fn load_progress(map: &mut HashMap<u8, u32>, r: &mut SnapReader) -> Result<(), SnapError> {
+    map.clear();
+    for _ in 0..r.usize()? {
+        let k = r.u8()?;
+        let v = r.u32()?;
+        map.insert(k, v);
+    }
+    Ok(())
+}
+
+const TOTAL: u32 = 4096;
+const PACKET: u32 = 64;
+const MAX_CYCLES: u64 = 50_000_000;
+/// Where the parallel run is checkpointed and resumed — mid-stream, well
+/// before either task finishes.
+const SPLIT_AT: u64 = 2_000;
+
+/// `gen` producer: emits `total` bytes in `packet` chunks, XOR-filled
+/// with the task's `task_info` byte.
+struct Producer {
+    total: u32,
+    packet: u32,
+    sent: HashMap<u8, u32>,
+}
+
+impl Coprocessor for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn supports(&self, function: &str) -> bool {
+        function == "gen"
+    }
+    fn configure_task(
+        &mut self,
+        t: TaskIdx,
+        _d: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
+        self.sent.insert(t.0, 0);
+        (vec![], vec![self.packet])
+    }
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_progress(&self.sent, w);
+    }
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        load_progress(&mut self.sent, r)
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, task: TaskIdx, info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        const OUT: PortId = 0;
+        let sent = *self.sent.get(&task.0).unwrap();
+        if sent >= self.total {
+            return StepResult::Finished;
+        }
+        if !ctx.get_space(OUT, self.packet) {
+            return StepResult::Blocked;
+        }
+        let data: Vec<u8> = (0..self.packet)
+            .map(|i| (sent + i) as u8 ^ info as u8)
+            .collect();
+        ctx.write(OUT, 0, &data);
+        ctx.compute(self.packet as u64);
+        ctx.put_space(OUT, self.packet);
+        let sent = sent + self.packet;
+        self.sent.insert(task.0, sent);
+        if sent >= self.total {
+            StepResult::Finished
+        } else {
+            StepResult::Done
+        }
+    }
+}
+
+/// `collect` consumer: drains its input and counts bytes per task.
+struct Consumer {
+    total: u32,
+    packet: u32,
+    received: HashMap<u8, u32>,
+}
+
+impl Coprocessor for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+    fn supports(&self, function: &str) -> bool {
+        function == "collect"
+    }
+    fn configure_task(
+        &mut self,
+        t: TaskIdx,
+        _d: &eclipse_kpn::graph::TaskDecl,
+    ) -> (Vec<u32>, Vec<u32>) {
+        self.received.insert(t.0, 0);
+        (vec![self.packet], vec![])
+    }
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_progress(&self.received, w);
+    }
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        load_progress(&mut self.received, r)
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn step(&mut self, task: TaskIdx, _info: u32, ctx: &mut StepCtx<'_>) -> StepResult {
+        const IN: PortId = 0;
+        let got = *self.received.get(&task.0).unwrap();
+        if got >= self.total {
+            return StepResult::Finished;
+        }
+        if !ctx.get_space(IN, self.packet) {
+            return StepResult::Blocked;
+        }
+        let mut buf = vec![0u8; self.packet as usize];
+        ctx.read(IN, 0, &mut buf);
+        ctx.compute(self.packet as u64 / 2);
+        ctx.put_space(IN, self.packet);
+        let got = got + self.packet;
+        self.received.insert(task.0, got);
+        if got >= self.total {
+            StepResult::Finished
+        } else {
+            StepResult::Done
+        }
+    }
+}
+
+/// Two independent `gen → collect` pipes, so the coupling graph has more
+/// than one component if the fabric ever grants a positive lookahead.
+fn two_pipe_graph() -> (AppGraph, AppGraph) {
+    let mk = |name: &str, fill: u8| {
+        let mut g = GraphBuilder::new(name);
+        let s = g.stream(format!("{name}.s"), 256);
+        g.task(format!("{name}.p"), "gen", fill as u32, &[], &[s]);
+        g.task(format!("{name}.c"), "collect", fill as u32, &[s], &[]);
+        g.build().unwrap()
+    };
+    (mk("a", 0x5A), mk("b", 0xC3))
+}
+
+/// The six fabric combinations the bench suite sweeps.
+fn fabric_combos(cfg: &EclipseConfig) -> Vec<(String, DataFabricConfig, SyncFabricConfig)> {
+    let bank = BusConfig {
+        width_bytes: cfg.read_bus.width_bytes,
+        latency: cfg.read_bus.latency,
+        cycles_per_beat: cfg.read_bus.cycles_per_beat,
+    };
+    let shared = DataFabricConfig::SharedBus {
+        read: cfg.read_bus,
+        write: cfg.write_bus,
+    };
+    let multibank = |banks| DataFabricConfig::MultiBank {
+        banks,
+        interleave_bytes: 64,
+        bank,
+    };
+    let ring = SyncFabricConfig::Ring {
+        hop_latency: 2,
+        link_occupancy: 1,
+    };
+    let mut out = Vec::new();
+    for (dl, data) in [
+        ("shared-bus", shared),
+        ("2-bank", multibank(2)),
+        ("4-bank", multibank(4)),
+    ] {
+        for (sl, sync) in [("direct", SyncFabricConfig::Direct), ("ring", ring)] {
+            out.push((format!("{dl}+{sl}"), data, sync));
+        }
+    }
+    out
+}
+
+fn build_system(data: DataFabricConfig, sync: SyncFabricConfig) -> EclipseSystem {
+    let (a, b) = two_pipe_graph();
+    let mut bld = SystemBuilder::new(EclipseConfig::default());
+    bld.with_data_fabric(data);
+    bld.with_sync_fabric(sync);
+    bld.add_coprocessor(Box::new(Producer {
+        total: TOTAL,
+        packet: PACKET,
+        sent: HashMap::new(),
+    }));
+    bld.add_coprocessor(Box::new(Consumer {
+        total: TOTAL,
+        packet: PACKET,
+        received: HashMap::new(),
+    }));
+    bld.map_app(&a).unwrap();
+    bld.map_app(&b).unwrap();
+    bld.build()
+}
+
+/// Faults that perturb timing without being able to wedge the run: sync
+/// messages are delayed (never dropped), bus transfers retry, steps stall.
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 7,
+        sync_delay_rate: 0.05,
+        sync_delay_max: 32,
+        bus_error_rate: 0.02,
+        bus_retry_cycles: 16,
+        stall_rate: 0.01,
+        stall_cycles: 8,
+        ..FaultPlan::default()
+    }
+}
+
+/// Everything a run leaves behind, byte for byte.
+struct Outcome {
+    summary: String,
+    state_hash: u64,
+    checkpoint: Vec<u8>,
+}
+
+fn outcome(sys: &EclipseSystem, summary: &RunSummary) -> Outcome {
+    Outcome {
+        summary: format!("{summary:?}"),
+        state_hash: sys.state_hash(),
+        checkpoint: sys.save(),
+    }
+}
+
+/// Differential core: sequential reference vs. a parallel run that is
+/// additionally checkpointed mid-stream and resumed in a fresh system.
+fn check_combo(label: &str, data: DataFabricConfig, sync: SyncFabricConfig) {
+    // Sequential reference: one uninterrupted `run`.
+    let mut seq = build_system(data, sync);
+    seq.inject_faults(fault_plan());
+    let seq_summary = seq.run(MAX_CYCLES);
+    assert_eq!(seq_summary.outcome, RunOutcome::AllFinished, "{label}: seq");
+    let want = outcome(&seq, &seq_summary);
+
+    // Parallel run, first half: request four islands, stop mid-stream,
+    // checkpoint.
+    let mut par = build_system(data, sync);
+    par.set_parallel_islands(4);
+    par.inject_faults(fault_plan());
+    assert_eq!(par.run_until(SPLIT_AT), None, "{label}: still streaming");
+    let mid = par.save();
+
+    // Second half in a *fresh* system restored from the checkpoint (the
+    // restore target must arm the same fault plan; the snapshot carries
+    // the injector's RNG streams, not its rates).
+    let mut resumed = build_system(data, sync);
+    resumed.set_parallel_islands(4);
+    resumed.inject_faults(fault_plan());
+    resumed.restore(&mid).unwrap();
+    let par_summary = resumed.run_parallel(MAX_CYCLES);
+    assert_eq!(par_summary.outcome, RunOutcome::AllFinished, "{label}: par");
+    let got = outcome(&resumed, &par_summary);
+
+    assert_eq!(want.summary, got.summary, "{label}: RunSummary diverged");
+    assert_eq!(
+        want.state_hash, got.state_hash,
+        "{label}: state_hash diverged"
+    );
+    assert_eq!(
+        want.checkpoint, got.checkpoint,
+        "{label}: checkpoint bytes diverged"
+    );
+
+    // The partitioner must have reported *why* it ran sequentially: every
+    // shipped data fabric arbitrates globally, so the lookahead is zero.
+    let plan = resumed
+        .last_partition_plan()
+        .expect("run_parallel records its partition plan");
+    assert!(
+        !plan.parallel(),
+        "{label}: no fabric grants lookahead today"
+    );
+    assert!(
+        plan.reason.contains("lookahead") || plan.reason.contains("connected"),
+        "{label}: opaque fallback reason: {}",
+        plan.reason
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_on_all_fabric_combos() {
+    for (label, data, sync) in fabric_combos(&EclipseConfig::default()) {
+        check_combo(&label, data, sync);
+    }
+}
+
+/// `run_parallel` with islands left at the default of 1 is *documented*
+/// as the sequential engine — and says so in the plan.
+#[test]
+fn unrequested_parallelism_reports_not_requested() {
+    let combos = fabric_combos(&EclipseConfig::default());
+    let (_, data, sync) = combos.into_iter().next().unwrap();
+    let mut sys = build_system(data, sync);
+    let summary = sys.run_parallel(MAX_CYCLES);
+    assert_eq!(summary.outcome, RunOutcome::AllFinished);
+    let plan = sys.last_partition_plan().unwrap();
+    assert!(!plan.parallel());
+    assert!(plan.reason.contains("not requested"), "{}", plan.reason);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The differential holds for *any* fault seed/rates, any split
+        /// point, and any requested island count — not just the defaults
+        /// the deterministic sweep uses.
+        #[test]
+        fn parallel_differential_under_random_faults(
+            combo in 0usize..6,
+            islands in 2usize..9,
+            seed in any::<u64>(),
+            delay_rate in 0.0f64..0.15,
+            stall_rate in 0.0f64..0.05,
+            split in 500u64..4_000,
+        ) {
+            let combos = fabric_combos(&EclipseConfig::default());
+            let (label, data, sync) = combos.into_iter().nth(combo).unwrap();
+            let plan = FaultPlan {
+                seed,
+                sync_delay_rate: delay_rate,
+                sync_delay_max: 24,
+                stall_rate,
+                stall_cycles: 6,
+                ..FaultPlan::default()
+            };
+
+            let mut seq = build_system(data, sync);
+            seq.inject_faults(plan.clone());
+            let seq_summary = seq.run(MAX_CYCLES);
+            prop_assert_eq!(&seq_summary.outcome, &RunOutcome::AllFinished);
+
+            let mut par = build_system(data, sync);
+            par.set_parallel_islands(islands);
+            par.inject_faults(plan.clone());
+            prop_assert_eq!(par.run_until(split), None);
+            let mid = par.save();
+
+            let mut resumed = build_system(data, sync);
+            resumed.set_parallel_islands(islands);
+            resumed.inject_faults(plan);
+            resumed.restore(&mid).unwrap();
+            let par_summary = resumed.run_parallel(MAX_CYCLES);
+
+            prop_assert_eq!(
+                format!("{seq_summary:?}"), format!("{par_summary:?}"),
+                "{}: RunSummary diverged", label);
+            prop_assert_eq!(seq.state_hash(), resumed.state_hash(),
+                "{}: state_hash diverged", label);
+            prop_assert_eq!(seq.save(), resumed.save(),
+                "{}: checkpoint bytes diverged", label);
+        }
+    }
+}
+
+/// The plan itself is pure: asking for a plan never mutates timing, and
+/// repeated queries agree.
+#[test]
+fn partition_plan_is_stable_and_pure() {
+    let combos = fabric_combos(&EclipseConfig::default());
+    let (_, data, sync) = combos.into_iter().next().unwrap();
+    let sys = build_system(data, sync);
+    let before = sys.state_hash();
+    let p1 = sys.partition_plan(8);
+    let p2 = sys.partition_plan(8);
+    assert_eq!(p1.islands, p2.islands);
+    assert_eq!(p1.lookahead, p2.lookahead);
+    assert_eq!(p1.reason, p2.reason);
+    assert_eq!(sys.state_hash(), before, "planning must not perturb state");
+}

@@ -178,6 +178,23 @@ impl<'a> BitReader<'a> {
     /// end are returned as zeros (callers must bound their use via code
     /// lengths).
     pub fn peek_bits(&self, n: u8) -> u32 {
+        debug_assert!(n <= 32);
+        if n == 0 {
+            return 0;
+        }
+        if n <= 25 {
+            // Fast path: the bits live in at most 4 consecutive bytes
+            // (n + bit offset <= 25 + 7 = 32). Bytes past the end read as
+            // zero, preserving the zero-fill contract.
+            let byte = self.pos / 8;
+            let off = (self.pos % 8) as u32;
+            let mut window: u32 = 0;
+            for i in 0..4 {
+                let b = self.data.get(byte + i).copied().unwrap_or(0);
+                window = (window << 8) | b as u32;
+            }
+            return (window << off) >> (32 - n as u32);
+        }
         let mut clone = self.clone();
         let avail = clone.remaining_bits().min(n as usize) as u8;
         let v = clone.get_bits(avail).unwrap_or(0);

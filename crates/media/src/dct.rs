@@ -73,27 +73,68 @@ pub fn fdct2d(input: &Block) -> Block {
 }
 
 /// Inverse 8×8 DCT. Input: transform coefficients. Output: spatial samples.
+///
+/// Sparse columns (the common case for inter residual blocks) are
+/// shortcut: a zero term contributes exactly 0 to the integer
+/// accumulator, so skipping it leaves the result bit-identical to the
+/// dense evaluation. First-pass accumulation fits i32 for any i16 input
+/// (8 * 32768 * 4096 = 2^30); the second pass keeps i64 headroom.
 pub fn idct2d(coefs: &Block) -> Block {
     let t = table();
     // Columns first (transpose of the forward pass order; either works).
     let mut tmp = [0i32; BLOCK_LEN];
+    // Bit u set when column u produced any nonzero tmp entry.
+    let mut colmask: u32 = 0;
     for u in 0..8 {
-        for y in 0..8 {
-            let mut acc: i64 = 0;
-            for v in 0..8 {
-                acc += coefs[v * 8 + u] as i64 * t[v][y] as i64;
-            }
-            tmp[y * 8 + u] = descale(acc);
+        let mut ac = 0i16;
+        for v in 1..8 {
+            ac |= coefs[v * 8 + u];
         }
+        if ac == 0 {
+            let dc = coefs[u] as i32;
+            if dc == 0 {
+                continue; // descale(0) == 0: tmp column already correct
+            }
+            for y in 0..8 {
+                tmp[y * 8 + u] = descale((dc * t[0][y]) as i64);
+            }
+        } else {
+            for y in 0..8 {
+                let mut acc: i32 = 0;
+                for v in 0..8 {
+                    acc += coefs[v * 8 + u] as i32 * t[v][y];
+                }
+                tmp[y * 8 + u] = descale(acc as i64);
+            }
+        }
+        colmask |= 1 << u;
     }
     let mut out = [0i16; BLOCK_LEN];
+    if colmask == 0 {
+        // All-zero block: descale(0) == 0 and clamp(0) == 0 everywhere.
+        return out;
+    }
     for y in 0..8 {
-        for x in 0..8 {
-            let mut acc: i64 = 0;
-            for u in 0..8 {
-                acc += tmp[y * 8 + u] as i64 * t[u][x] as i64;
+        let row = &tmp[y * 8..y * 8 + 8];
+        if colmask == 0xff {
+            for x in 0..8 {
+                let mut acc: i64 = 0;
+                for u in 0..8 {
+                    acc += row[u] as i64 * t[u][x] as i64;
+                }
+                out[y * 8 + x] = descale(acc).clamp(-2048, 2047) as i16;
             }
-            out[y * 8 + x] = descale(acc).clamp(-2048, 2047) as i16;
+        } else {
+            for x in 0..8 {
+                let mut acc: i64 = 0;
+                let mut m = colmask;
+                while m != 0 {
+                    let u = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    acc += row[u] as i64 * t[u][x] as i64;
+                }
+                out[y * 8 + x] = descale(acc).clamp(-2048, 2047) as i16;
+            }
         }
     }
     out

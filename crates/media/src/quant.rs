@@ -48,13 +48,20 @@ pub fn quant_intra(coefs: &Block, qscale: u8) -> Block {
 
 /// Inverse-quantize an intra block.
 pub fn dequant_intra(levels: &Block, qscale: u8) -> Block {
-    let q = qscale.max(1) as i32;
+    let q = qscale.max(1) as u32;
     let mut out = [0i16; 64];
     out[0] = sat12(levels[0] as i32 * DC_DIV);
     for i in 1..64 {
-        let w = INTRA_MATRIX[i] as i32;
-        let v = (levels[i] as i32 * w * q) / 16; // truncates toward zero
-        out[i] = sat12(v);
+        let l = levels[i] as i32;
+        if l == 0 {
+            continue;
+        }
+        // `(l * w * q) / 16` truncates toward zero; computing the
+        // magnitude unsigned and re-applying the sign truncates the same
+        // way while letting the division lower to a shift.
+        let w = INTRA_MATRIX[i] as u32;
+        let mag = (l.unsigned_abs() * w * q / 16) as i32;
+        out[i] = sat12(if l < 0 { -mag } else { mag });
     }
     out
 }
@@ -75,17 +82,19 @@ pub fn quant_inter(coefs: &Block, qscale: u8) -> Block {
 /// Inverse-quantize an inter block (with the MPEG-style half-step
 /// reconstruction offset away from zero).
 pub fn dequant_inter(levels: &Block, qscale: u8) -> Block {
-    let q = qscale.max(1) as i32;
+    let q = qscale.max(1) as u32;
     let mut out = [0i16; 64];
     for i in 0..64 {
         let l = levels[i] as i32;
         if l == 0 {
             continue;
         }
-        let w = INTER_MATRIX[i] as i32;
-        let sign = if l < 0 { -1 } else { 1 };
-        let v = ((2 * l.abs() + 1) * w * q) / 32 * sign;
-        out[i] = sat12(v);
+        // The numerator is positive, so the unsigned division is the same
+        // truncation as the former signed `/ 32` (which ran before the
+        // sign was applied) — but lowers to a shift.
+        let w = INTER_MATRIX[i] as u32;
+        let mag = ((2 * l.unsigned_abs() + 1) * w * q / 32) as i32;
+        out[i] = sat12(if l < 0 { -mag } else { mag });
     }
     out
 }

@@ -92,6 +92,9 @@ pub enum CoefSymbol {
     Eob,
 }
 
+/// Width of the first-level decode lookup table, in bits.
+const LUT_BITS: u8 = 12;
+
 /// The static canonical Huffman code over run/level symbols.
 pub struct RunLevelCode {
     /// Code and length per symbol index.
@@ -103,6 +106,12 @@ pub struct RunLevelCode {
     count: [u32; 33],
     sorted_symbols: [u16; N_SYMBOLS],
     max_len: u8,
+    /// First-level decode table: indexed by the next [`LUT_BITS`] stream
+    /// bits, each entry packs `symbol << 8 | code_len` for codes up to
+    /// `LUT_BITS` long (0 = code longer than the table covers). Purely an
+    /// accelerator for [`RunLevelCode::get_symbol`]; the canonical tables
+    /// above remain the fallback and the source of truth.
+    lut: Vec<u16>,
 }
 
 fn sym_index(run: u8, level: i16) -> Option<usize> {
@@ -220,6 +229,16 @@ impl RunLevelCode {
             count[len as usize] += 1;
             code += 1;
         }
+        let mut lut = vec![0u16; 1 << LUT_BITS];
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            if len == 0 || len > LUT_BITS {
+                continue;
+            }
+            let base = (code as usize) << (LUT_BITS - len);
+            let span = 1usize << (LUT_BITS - len);
+            let entry = (sym as u16) << 8 | len as u16;
+            lut[base..base + span].fill(entry);
+        }
         RunLevelCode {
             codes,
             first_code,
@@ -227,6 +246,7 @@ impl RunLevelCode {
             count,
             sorted_symbols,
             max_len,
+            lut,
         }
     }
 
@@ -267,6 +287,19 @@ impl RunLevelCode {
     /// consumed (the VLD cost model charges per decoded bit).
     pub fn get_symbol(&self, r: &mut BitReader) -> Result<(CoefSymbol, u8), EndOfStream> {
         let start = r.bit_pos();
+        // Fast path: one table lookup resolves codes up to LUT_BITS long.
+        // A prefix code is uniquely decodable, so the entry (when present
+        // and fully backed by real stream bits) is exactly the symbol the
+        // bitwise walk below would find.
+        let entry = self.lut[r.peek_bits(LUT_BITS) as usize];
+        if entry != 0 {
+            let len = (entry & 0xff) as usize;
+            if len <= r.remaining_bits() {
+                r.seek(start + len);
+                return self.finish_symbol((entry >> 8) as usize, r, start);
+            }
+        }
+        // Long codes and near-end-of-stream tails: canonical bitwise walk.
         let mut code: u32 = 0;
         for len in 1..=self.max_len {
             code = (code << 1) | r.get_bit()? as u32;
@@ -275,30 +308,41 @@ impl RunLevelCode {
                 let delta = code.wrapping_sub(self.first_code[l]);
                 if code >= self.first_code[l] && delta < self.count[l] {
                     let sym = self.sorted_symbols[(self.offset[l] + delta) as usize] as usize;
-                    let result = match sym {
-                        SYM_EOB => CoefSymbol::Eob,
-                        SYM_ESC => {
-                            let run = r.get_bits(6)? as u8;
-                            let raw = r.get_bits(12)? as i32;
-                            let level = if raw >= 0x800 { raw - 0x1000 } else { raw } as i16;
-                            CoefSymbol::Run(RunLevel { run, level })
-                        }
-                        idx => {
-                            let run = (idx / MAX_TABLE_LEVEL as usize) as u8;
-                            let mag = (idx % MAX_TABLE_LEVEL as usize + 1) as i16;
-                            let neg = r.get_bit()?;
-                            CoefSymbol::Run(RunLevel {
-                                run,
-                                level: if neg { -mag } else { mag },
-                            })
-                        }
-                    };
-                    let used = (r.bit_pos() - start) as u8;
-                    return Ok((result, used));
+                    return self.finish_symbol(sym, r, start);
                 }
             }
         }
         Err(EndOfStream) // invalid code
+    }
+
+    /// Read a symbol's trailing fields (sign bit or escape payload) and
+    /// package the result with the total bits consumed since `start`.
+    fn finish_symbol(
+        &self,
+        sym: usize,
+        r: &mut BitReader,
+        start: usize,
+    ) -> Result<(CoefSymbol, u8), EndOfStream> {
+        let result = match sym {
+            SYM_EOB => CoefSymbol::Eob,
+            SYM_ESC => {
+                let run = r.get_bits(6)? as u8;
+                let raw = r.get_bits(12)? as i32;
+                let level = if raw >= 0x800 { raw - 0x1000 } else { raw } as i16;
+                CoefSymbol::Run(RunLevel { run, level })
+            }
+            idx => {
+                let run = (idx / MAX_TABLE_LEVEL as usize) as u8;
+                let mag = (idx % MAX_TABLE_LEVEL as usize + 1) as i16;
+                let neg = r.get_bit()?;
+                CoefSymbol::Run(RunLevel {
+                    run,
+                    level: if neg { -mag } else { mag },
+                })
+            }
+        };
+        let used = (r.bit_pos() - start) as u8;
+        Ok((result, used))
     }
 }
 
@@ -315,7 +359,7 @@ pub fn put_block(w: &mut BitWriter, symbols: &[RunLevel]) {
 /// the symbols and total bits consumed.
 pub fn get_block(r: &mut BitReader) -> Result<(Vec<RunLevel>, u32), EndOfStream> {
     let code = RunLevelCode::global();
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(16);
     let mut bits: u32 = 0;
     loop {
         let (sym, used) = code.get_symbol(r)?;

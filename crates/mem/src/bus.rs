@@ -90,17 +90,23 @@ pub struct Bus {
     next_free: Cycle,
     stats: BusStats,
     trace: Option<TraceHandle>,
+    /// `log2(width_bytes)` when the width is a power of two (it is for
+    /// every paper configuration), letting `beats` avoid a runtime divide.
+    width_shift: Option<u32>,
 }
 
 impl Bus {
     /// A new idle bus.
     pub fn new(name: &'static str, cfg: BusConfig) -> Self {
+        let width_shift =
+            (cfg.width_bytes.is_power_of_two()).then(|| cfg.width_bytes.trailing_zeros());
         Bus {
             cfg,
             name,
             next_free: 0,
             stats: BusStats::default(),
             trace: None,
+            width_shift,
         }
     }
 
@@ -127,7 +133,10 @@ impl Bus {
 
     /// Number of beats a payload of `bytes` occupies.
     pub fn beats(&self, bytes: u32) -> u64 {
-        (bytes as u64).div_ceil(self.cfg.width_bytes as u64)
+        match self.width_shift {
+            Some(s) => ((bytes as u64) + (self.cfg.width_bytes as u64 - 1)) >> s,
+            None => (bytes as u64).div_ceil(self.cfg.width_bytes as u64),
+        }
     }
 
     /// Request a transfer of `bytes` at time `now`.

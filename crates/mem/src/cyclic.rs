@@ -39,7 +39,17 @@ impl CyclicBuffer {
     /// `n` may exceed `size` (multiple wraps are folded by the modulo).
     #[inline]
     pub fn wrap_add(&self, offset: u32, n: u32) -> u32 {
-        ((offset as u64 + n as u64) % self.size as u64) as u32
+        // Offsets kept by the shell are already `< size` and advances are
+        // `<= size`, so a single conditional subtraction covers the hot
+        // path without the u64 division.
+        let sum = offset as u64 + n as u64;
+        if sum < self.size as u64 {
+            sum as u32
+        } else if sum < 2 * self.size as u64 {
+            (sum - self.size as u64) as u32
+        } else {
+            (sum % self.size as u64) as u32
+        }
     }
 
     /// Absolute address of in-buffer offset `offset` (which must be
@@ -61,7 +71,11 @@ impl CyclicBuffer {
             len,
             self.size
         );
-        let offset = offset % self.size;
+        let offset = if offset < self.size {
+            offset
+        } else {
+            offset % self.size
+        };
         let first_len = len.min(self.size - offset);
         let first = Segment {
             addr: self.base + offset,

@@ -76,6 +76,21 @@ pub trait DataFabric: std::fmt::Debug {
         self.ports().into_iter().find(|p| p.name == name)
     }
 
+    /// Lower bound, in cycles, on how long one requester's transfer is
+    /// guaranteed not to influence *another* requester's grant timing —
+    /// the data-plane lookahead a conservative parallel partitioning may
+    /// bank on. `None` means zero: the fabric arbitrates globally, so a
+    /// request by one shell can change what any other shell sees in the
+    /// *same* cycle, and no positive conservative window exists across
+    /// the fabric. Both current backends share arbiter state across all
+    /// requesters (one bus pair; banks selected by address, not by
+    /// requester) and therefore return `None`; a future per-requester
+    ///-ported fabric (e.g. a crossbar with private ports) would return
+    /// its pipeline depth here and unlock intra-run parallelism.
+    fn min_grant_cycles(&self) -> Option<Cycle> {
+        None
+    }
+
     /// Serialize the fabric's dynamic state (arbiter clocks, statistics)
     /// into a checkpoint. The default is a no-op for stateless fabrics.
     fn save_state(&self, _w: &mut SnapWriter) {}
@@ -154,6 +169,13 @@ impl SharedBusFabric {
 impl DataFabric for SharedBusFabric {
     fn kind(&self) -> &'static str {
         "shared-bus"
+    }
+
+    /// Every shell contends on the same two arbiters (`next_free` is
+    /// shared state): a grant to one shell moves another shell's start
+    /// time within the same cycle. Zero data-plane lookahead.
+    fn min_grant_cycles(&self) -> Option<Cycle> {
+        None
     }
 
     fn request(&mut self, dir: FabricDir, now: Cycle, _addr: u32, bytes: u32) -> Transfer {
@@ -260,6 +282,14 @@ impl MultiBankFabric {
 impl DataFabric for MultiBankFabric {
     fn kind(&self) -> &'static str {
         "multibank"
+    }
+
+    /// Banks are selected by *address*, not by requester: any two shells
+    /// touching the same bank couple same-cycle through its arbiter, and
+    /// the stream-buffer allocator freely spreads windows across banks.
+    /// Zero data-plane lookahead, like the shared bus.
+    fn min_grant_cycles(&self) -> Option<Cycle> {
+        None
     }
 
     fn request(&mut self, _dir: FabricDir, now: Cycle, addr: u32, bytes: u32) -> Transfer {

@@ -199,6 +199,15 @@ pub struct StreamCache {
     /// `lines.len() - 1` when the line count is a power of two,
     /// `usize::MAX` otherwise (fall back to `%`).
     idx_mask: usize,
+    /// Absolute address range `[start, end)` in which every line is known
+    /// to hold its matching tag, so a warm prefetch over a sub-range can
+    /// skip the per-line walk entirely. Purely derived state (never
+    /// serialized); cleared on any eviction or invalidation.
+    resident_span: (u32, u32),
+    /// Number of lines with a non-zero dirty mask — lets `flush_window`
+    /// skip its walk on the read-only rows that never dirty a line. Also
+    /// derived state, kept in step at every dirty-mask transition.
+    dirty_lines: u32,
     /// Cache event counters.
     pub stats: CacheStats,
 }
@@ -220,6 +229,8 @@ impl StreamCache {
             } else {
                 usize::MAX
             },
+            resident_span: (0, 0),
+            dirty_lines: 0,
             stats: CacheStats::default(),
         }
     }
@@ -390,6 +401,7 @@ impl StreamCache {
     }
 
     fn evict(&mut self, now: Cycle, mem: &mut MemSys, idx: usize) {
+        self.resident_span = (0, 0);
         let line_bytes = self.cfg.line_bytes as usize;
         if self.lines[idx].valid() && self.lines[idx].dirty != 0 {
             let tag = self.lines[idx].tag;
@@ -397,6 +409,7 @@ impl StreamCache {
             let data = self.lines[idx].data;
             Self::write_dirty_runs(mem, now, tag, dirty, &data[..line_bytes]);
             self.stats.writebacks += 1;
+            self.dirty_lines -= 1;
         }
         self.lines[idx] = Line::empty();
     }
@@ -463,6 +476,9 @@ impl StreamCache {
                 if line.valid() && line.tag == tag {
                     let s = in_line_off as usize;
                     line.data[s..s + a.len as usize].copy_from_slice(data);
+                    if line.dirty == 0 {
+                        self.dirty_lines += 1;
+                    }
                     line.dirty |= Self::byte_mask(in_line_off, a.len);
                     return now;
                 }
@@ -489,6 +505,9 @@ impl StreamCache {
                 let s = in_line_off as usize;
                 line.data[s..s + chunk as usize]
                     .copy_from_slice(&data[data_pos..data_pos + chunk as usize]);
+                if line.dirty == 0 {
+                    self.dirty_lines += 1;
+                }
                 line.dirty |= Self::byte_mask(in_line_off, chunk);
                 data_pos += chunk as usize;
                 addr += chunk;
@@ -507,6 +526,7 @@ impl StreamCache {
         if self.lines.is_empty() || len == 0 {
             return;
         }
+        self.resident_span = (0, 0);
         let mut invalidated = 0u64;
         buffer.lines_touched(offset, len, self.cfg.line_bytes, |tag_addr| {
             let (idx, tag) = self.line_of(tag_addr);
@@ -534,7 +554,7 @@ impl StreamCache {
         offset: u32,
         len: u32,
     ) -> Cycle {
-        if self.lines.is_empty() || len == 0 {
+        if self.lines.is_empty() || len == 0 || self.dirty_lines == 0 {
             return now;
         }
         let line_bytes = self.cfg.line_bytes;
@@ -542,6 +562,7 @@ impl StreamCache {
         let (line_shift, idx_mask) = (self.line_shift, self.idx_mask);
         let lines = &mut self.lines;
         let stats = &mut self.stats;
+        let dirty_lines = &mut self.dirty_lines;
         let mut done = now;
         buffer.lines_touched(offset, len, line_bytes, |tag_addr| {
             let tag = tag_addr & !(line_bytes - 1);
@@ -555,6 +576,7 @@ impl StreamCache {
             if line.valid() && line.tag == tag && line.dirty != 0 {
                 let dirty = line.dirty;
                 line.dirty = 0;
+                *dirty_lines -= 1;
                 done = done.max(Self::write_dirty_runs(
                     mem,
                     now,
@@ -582,12 +604,50 @@ impl StreamCache {
             return;
         }
         let len = len.min(buffer.size);
+        // Fast paths for a non-wrapping span — the overwhelmingly common
+        // streaming case, hit on every read-triggered prefetch once the
+        // window is warm. A range inside the memoized resident span needs
+        // no work at all; otherwise a per-line scan confirms residency and
+        // extends the span. Either way the full walk below re-checks every
+        // line, so these are purely skips.
+        let mut span = None;
+        if offset < buffer.size && len <= buffer.size - offset {
+            let line_bytes = self.cfg.line_bytes;
+            let start = buffer.base + offset;
+            let first = start & !(line_bytes - 1);
+            let last = (start + len - 1) & !(line_bytes - 1);
+            if first >= self.resident_span.0 && last + line_bytes <= self.resident_span.1 {
+                return;
+            }
+            let mut tag_addr = first;
+            loop {
+                let (idx, tag) = self.line_of(tag_addr);
+                let l = &self.lines[idx];
+                if l.tag != tag || !l.fetched {
+                    break;
+                }
+                if tag_addr == last {
+                    self.resident_span = (first, last + line_bytes);
+                    return;
+                }
+                tag_addr += line_bytes;
+            }
+            // A contiguous run of at most `lines.len()` lines maps to
+            // distinct indices, so after the walk every line of the range
+            // holds its tag and the span may be recorded.
+            if ((last - first) >> self.line_shift) < self.lines.len() as u32 {
+                span = Some((first, last + line_bytes));
+            }
+        }
         buffer.lines_touched(offset, len, self.cfg.line_bytes, |tag_addr| {
             let (idx, tag) = self.line_of(tag_addr);
             if !(self.lines[idx].valid() && self.lines[idx].tag == tag) {
                 self.ensure_line(now, mem, idx, tag, false);
             }
         });
+        if let Some(s) = span {
+            self.resident_span = s;
+        }
     }
 
     /// Serialize the cache — its (possibly per-row overridden)
@@ -633,6 +693,7 @@ impl StreamCache {
             let bytes = r.raw(cfg.line_bytes as usize)?;
             line.data[..cfg.line_bytes as usize].copy_from_slice(bytes);
         }
+        cache.dirty_lines = cache.lines.iter().filter(|l| l.dirty != 0).count() as u32;
         cache.stats.hits = r.u64()?;
         cache.stats.misses = r.u64()?;
         cache.stats.prefetches = r.u64()?;

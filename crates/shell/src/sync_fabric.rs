@@ -50,6 +50,17 @@ pub trait SyncFabric: std::fmt::Debug {
     /// Cumulative routing statistics.
     fn stats(&self) -> SyncFabricStats;
 
+    /// Lower bound on the transit time of any cross-shell message, given
+    /// the shells' configured `base_latency` — the sync-plane lookahead
+    /// a conservative parallel partitioning may bank on: a `putspace`
+    /// departing shell *s* at cycle `t` cannot be observable on another
+    /// shell before `t + min_transit_cycles(base)`. The default is the
+    /// base latency itself (every backend honors it as the minimum
+    /// cost); topologies add their cheapest cross-shell path on top.
+    fn min_transit_cycles(&self, base_latency: u64) -> Cycle {
+        base_latency
+    }
+
     /// Connect the fabric to a shared event-trace sink.
     fn attach_trace(&mut self, sink: &SharedTraceSink);
 
@@ -187,6 +198,12 @@ impl RingSyncFabric {
 impl SyncFabric for RingSyncFabric {
     fn kind(&self) -> &'static str {
         "ring"
+    }
+
+    /// Any cross-shell message traverses at least one link, so the ring
+    /// adds one `hop_latency` to the shells' base latency.
+    fn min_transit_cycles(&self, base_latency: u64) -> Cycle {
+        base_latency + self.hop_latency
     }
 
     fn route(&mut self, depart: Cycle, src: ShellId, dst: ShellId, base_latency: u64) -> Cycle {

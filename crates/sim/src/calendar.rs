@@ -257,6 +257,27 @@ impl<E> Calendar<E> {
         }
     }
 
+    /// The next event in pop order, without popping it or advancing time.
+    /// Follows exactly the same wheel/heap tie-break as [`Calendar::pop`].
+    pub fn peek(&self) -> Option<(Cycle, &E)> {
+        let wheel_time = self.wheel_peek_time();
+        let far_time = self.far.peek().map(|e| e.time);
+        let from_far = match (wheel_time, far_time) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(w), Some(f)) => f <= w,
+        };
+        if from_far {
+            let entry = self.far.peek().expect("peeked entry present");
+            Some((entry.time, &entry.event))
+        } else {
+            let time = wheel_time.expect("wheel path requires a wheel event");
+            let slot = (time & WHEEL_MASK) as usize;
+            Some((time, self.slots[slot].front().expect("occupied slot")))
+        }
+    }
+
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let wheel_time = self.wheel_peek_time();
@@ -423,6 +444,11 @@ impl<E> BaselineCalendar<E> {
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The next event in pop order, without popping it or advancing time.
+    pub fn peek(&self) -> Option<(Cycle, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.

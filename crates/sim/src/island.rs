@@ -1,0 +1,808 @@
+//! Conservative parallel discrete-event execution over *islands*.
+//!
+//! An island is a state-disjoint partition of a simulation: it owns its
+//! own [`Calendar`] and advances simulated time independently, exchanging
+//! timestamped events with other islands only through bounded SPSC
+//! channels. Synchronization is **conservative** (Chandy–Misra–Bryant
+//! family): an island only processes events up to the *horizon* it can
+//! prove safe — the minimum next-event time over all islands plus the
+//! global **lookahead** (the guaranteed minimum latency of any
+//! cross-island event). No event is ever processed speculatively, so no
+//! rollback machinery exists and results are bit-identical to the
+//! single-threaded reference, run to run and thread-schedule to
+//! thread-schedule.
+//!
+//! ## The deterministic ordering contract
+//!
+//! Sequential simulators get determinism for free from the calendar's
+//! `(time, seq)` pop order; a global insertion sequence does not exist
+//! once islands schedule concurrently. The engine therefore defines a
+//! **locally computable total order** per island over the events it
+//! processes. Each event carries the key
+//!
+//! ```text
+//! (time, cause_time, lane, lane_seq)
+//! ```
+//!
+//! * `time` — when the event fires;
+//! * `cause_time` — the simulated time of the handler invocation that
+//!   created it (0 for seeded initial events);
+//! * `lane` — the *origin* island: the island itself for locally
+//!   scheduled events, the sender for cross-island events;
+//! * `lane_seq` — a per-lane monotone counter (calendar insertion order
+//!   for the local lane, the per-channel send stamp for cross lanes).
+//!
+//! Every component is computed from simulated time and per-island
+//! counters — never from wall-clock or thread interleaving — so the pop
+//! order is a pure function of the simulated workload. The local lane
+//! needs no explicit bookkeeping: handler invocations execute in
+//! nondecreasing `cause_time` order, so calendar insertion order *is*
+//! `(cause_time, lane_seq)` order among equal-`time` local events, and
+//! [`Calendar::peek`] exposes the head's stored `cause_time` for the
+//! merge against staged cross events.
+//!
+//! ## The window protocol
+//!
+//! [`IslandSim::run_parallel`] runs one worker thread per island in
+//! barrier-delimited rounds:
+//!
+//! 1. drain all inbound channels into a staging heap (previous round's
+//!    sends are complete — the barrier is the happens-before edge);
+//! 2. publish the island's next unprocessed event time; barrier;
+//! 3. compute `window_start = min(published times)`; if no island has
+//!    events, terminate — channels are provably empty;
+//! 4. process every event with `time < window_start + lookahead`,
+//!    merging the local calendar and the staging heap in key order.
+//!
+//! A handler running at `now` may only send cross events with
+//! `delay >= lookahead` (asserted), so in-window sends arrive at
+//! `>= window_start + lookahead` — never inside the current window —
+//! which is exactly the completeness guarantee the merge needs.
+//!
+//! [`IslandSim::run_single`] executes the same islands on one thread,
+//! picking the globally earliest event each step and delivering cross
+//! events immediately; because both modes process each island's events
+//! in the same key order, per-island event fingerprints and handler
+//! digests are byte-identical — the differential tests below and the
+//! `scaling_study` bench assert exactly that.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
+use std::sync::{Barrier, Mutex};
+
+use crate::calendar::Calendar;
+use crate::time::Cycle;
+
+/// Index of an island within an [`IslandSim`].
+pub type IslandId = usize;
+
+/// Sentinel published by an island with no pending events.
+const T_INF: u64 = u64::MAX;
+
+/// A cross-island event in flight, stamped with its deterministic key
+/// components: firing `time`, sender-side `cause_time`, and the per
+/// (src, dst) channel sequence number `seq`.
+#[derive(Debug, Clone)]
+pub struct CrossEvent<E> {
+    /// Firing time at the destination.
+    pub time: Cycle,
+    /// Simulated time of the sending handler.
+    pub cause_time: Cycle,
+    /// Sending island (the event's lane).
+    pub src: IslandId,
+    /// Monotone per-channel send stamp.
+    pub seq: u64,
+    /// Payload.
+    pub ev: E,
+}
+
+/// A bounded single-producer single-consumer channel for cross-island
+/// events. The fixed-capacity ring is the backpressure-accounted fast
+/// path; a window can legitimately burst past it, so overflow spills to
+/// a growable side buffer (counted in [`ChannelStats::spilled`]) rather
+/// than blocking the producer — the consumer is parked at the round
+/// barrier and blocking would deadlock the window protocol.
+#[derive(Debug)]
+struct SpscChannel<E> {
+    inner: Mutex<SpscInner<E>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct SpscInner<E> {
+    ring: VecDeque<CrossEvent<E>>,
+    spill: Vec<CrossEvent<E>>,
+    next_seq: u64,
+    sent: u64,
+    spilled: u64,
+}
+
+/// Aggregate channel statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total cross events carried.
+    pub sent: u64,
+    /// Events that overflowed a ring into the spill buffer.
+    pub spilled: u64,
+}
+
+impl<E> SpscChannel<E> {
+    fn new(capacity: usize) -> Self {
+        SpscChannel {
+            inner: Mutex::new(SpscInner {
+                ring: VecDeque::with_capacity(capacity),
+                spill: Vec::new(),
+                next_seq: 0,
+                sent: 0,
+                spilled: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Producer side: stamp and enqueue. Returns the assigned seq.
+    fn send(&self, time: Cycle, cause_time: Cycle, src: IslandId, ev: E) -> u64 {
+        let mut g = self.inner.lock().expect("spsc poisoned");
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.sent += 1;
+        let event = CrossEvent {
+            time,
+            cause_time,
+            src,
+            seq,
+            ev,
+        };
+        if g.ring.len() < self.capacity {
+            g.ring.push_back(event);
+        } else {
+            g.spilled += 1;
+            g.spill.push(event);
+        }
+        seq
+    }
+
+    /// Consumer side: drain everything currently enqueued.
+    fn drain_into(&self, out: &mut Vec<CrossEvent<E>>) {
+        let mut g = self.inner.lock().expect("spsc poisoned");
+        out.extend(g.ring.drain(..));
+        out.append(&mut g.spill);
+    }
+
+    fn stats(&self) -> ChannelStats {
+        let g = self.inner.lock().expect("spsc poisoned");
+        ChannelStats {
+            sent: g.sent,
+            spilled: g.spilled,
+        }
+    }
+}
+
+/// A staged cross event ordered by the deterministic key
+/// `(time, cause_time, lane, seq)`. Reversed for use in a max-heap.
+#[derive(Debug)]
+struct Staged<E> {
+    key: (Cycle, Cycle, IslandId, u64),
+    ev: E,
+}
+
+impl<E> PartialEq for Staged<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Staged<E> {}
+impl<E> PartialOrd for Staged<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Staged<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, earliest key must pop first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A locally scheduled event: the payload plus the `cause_time` needed
+/// for the merge against staged cross events.
+#[derive(Debug, Clone)]
+struct Local<E> {
+    cause_time: Cycle,
+    ev: E,
+}
+
+/// Scheduling interface handed to [`IslandHandler::handle`]. Collects
+/// the handler's scheduling decisions; the engine applies them in call
+/// order after the handler returns, which keeps calendar insertion
+/// order a pure function of the event sequence.
+#[derive(Debug)]
+pub struct IslandCtx<E> {
+    island: IslandId,
+    now: Cycle,
+    lookahead: Cycle,
+    local: Vec<(Cycle, E)>,
+    cross: Vec<(IslandId, Cycle, E)>,
+}
+
+impl<E> IslandCtx<E> {
+    fn new(island: IslandId, now: Cycle, lookahead: Cycle) -> Self {
+        IslandCtx {
+            island,
+            now,
+            lookahead,
+            local: Vec::new(),
+            cross: Vec::new(),
+        }
+    }
+
+    /// This island's id.
+    pub fn island(&self) -> IslandId {
+        self.island
+    }
+
+    /// Current simulated time (the event being handled).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedule a local event `delay` cycles from now.
+    pub fn schedule(&mut self, delay: Cycle, ev: E) {
+        self.local.push((self.now + delay, ev));
+    }
+
+    /// Send a cross-island event arriving `delay` cycles from now.
+    ///
+    /// `delay` must respect the engine's lookahead — that bound is what
+    /// makes conservative windows safe — and self-sends must use
+    /// [`IslandCtx::schedule`] (the local lane).
+    pub fn send(&mut self, dst: IslandId, delay: Cycle, ev: E) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-island send with delay {} below lookahead {}",
+            delay,
+            self.lookahead
+        );
+        assert!(dst != self.island, "self-send: use schedule()");
+        self.cross.push((dst, self.now + delay, ev));
+    }
+}
+
+/// The per-island model: owns the island's state and reacts to events.
+pub trait IslandHandler: Send {
+    /// Event payload exchanged within and across islands.
+    type Event: Send + Clone;
+
+    /// Handle one event at time `now`; schedule follow-ups through `ctx`.
+    fn handle(&mut self, now: Cycle, ev: Self::Event, ctx: &mut IslandCtx<Self::Event>);
+
+    /// A digest of the handler's final state, folded into the run
+    /// report. Defaults to 0 for stateless handlers.
+    fn digest(&self) -> u64 {
+        0
+    }
+
+    /// A digest of an event payload, folded into the island's event
+    /// fingerprint. Defaults to 0 (the key stream alone already pins
+    /// the processing order).
+    fn digest_event(&self, _ev: &Self::Event) -> u64 {
+        0
+    }
+}
+
+/// One island's runtime: handler, calendar, staging heap, fingerprint.
+struct Island<H: IslandHandler> {
+    handler: H,
+    cal: Calendar<Local<H::Event>>,
+    staged: BinaryHeap<Staged<H::Event>>,
+    fingerprint: u64,
+    processed: u64,
+}
+
+impl<H: IslandHandler> Island<H> {
+    fn new(handler: H) -> Self {
+        Island {
+            handler,
+            cal: Calendar::new(),
+            staged: BinaryHeap::new(),
+            fingerprint: 0xcbf2_9ce4_8422_2325,
+            processed: 0,
+        }
+    }
+
+    /// Key of the next unprocessed event, merging calendar and staging.
+    /// The local lane's `lane_seq` component is implicit (calendar
+    /// insertion order); `u64::MAX` stands in because the comparison
+    /// never reaches it: a local and a staged event cannot share
+    /// `(time, cause_time, lane)` — lanes differ by construction.
+    fn next_key(&self, own: IslandId) -> Option<(Cycle, Cycle, IslandId, u64)> {
+        let local = self
+            .cal
+            .peek()
+            .map(|(t, l)| (t, l.cause_time, own, u64::MAX));
+        let cross = self.staged.peek().map(|s| s.key);
+        match (local, cross) {
+            (Some(l), Some(c)) => Some(l.min(c)),
+            (l, c) => l.or(c),
+        }
+    }
+
+    fn next_time(&self, own: IslandId) -> u64 {
+        self.next_key(own).map_or(T_INF, |k| k.0)
+    }
+
+    /// Fold one processed event into the island's rolling fingerprint:
+    /// FNV-1a over the deterministic key and the payload digest.
+    fn fold(&mut self, time: Cycle, cause_time: Cycle, lane: IslandId, digest: u64) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.fingerprint;
+        for word in [time, cause_time, lane as u64, digest] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        self.fingerprint = h;
+        self.processed += 1;
+    }
+
+    /// Pop and handle the island's next event (caller has proven it
+    /// safe). Returns the context carrying the handler's sends.
+    fn step(&mut self, own: IslandId, lookahead: Cycle) -> IslandCtx<H::Event> {
+        let take_cross = match (self.cal.peek(), self.staged.peek()) {
+            (None, None) => unreachable!("step() on an empty island"),
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some((lt, l)), Some(s)) => s.key < (lt, l.cause_time, own, u64::MAX),
+        };
+        let (time, cause_time, lane, ev) = if take_cross {
+            let s = self.staged.pop().expect("peeked staged event");
+            (s.key.0, s.key.1, s.key.2, s.ev)
+        } else {
+            let (t, l) = self.cal.pop().expect("peeked local event");
+            (t, l.cause_time, own, l.ev)
+        };
+        self.fold(time, cause_time, lane, self.handler.digest_event(&ev));
+        let mut ctx = IslandCtx::new(own, time, lookahead);
+        self.handler.handle(time, ev, &mut ctx);
+        for (t, ev) in ctx.local.drain(..) {
+            self.cal.schedule_at(
+                t,
+                Local {
+                    cause_time: time,
+                    ev,
+                },
+            );
+        }
+        ctx
+    }
+
+    fn stage(&mut self, e: CrossEvent<H::Event>) {
+        self.staged.push(Staged {
+            key: (e.time, e.cause_time, e.src, e.seq),
+            ev: e.ev,
+        });
+    }
+}
+
+/// Per-island results of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IslandReport {
+    /// Events the island processed.
+    pub processed: u64,
+    /// Rolling FNV-1a over the processed event keys and payload digests.
+    pub fingerprint: u64,
+    /// The handler's final state digest.
+    pub digest: u64,
+}
+
+/// Results of one [`IslandSim`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Per-island reports, indexed by [`IslandId`].
+    pub islands: Vec<IslandReport>,
+    /// Barrier rounds executed (0 for the single-threaded reference).
+    pub rounds: u64,
+    /// Cross-channel statistics summed over all channels.
+    pub channels: ChannelStats,
+}
+
+impl RunReport {
+    /// Total events processed across all islands.
+    pub fn processed(&self) -> u64 {
+        self.islands.iter().map(|i| i.processed).sum()
+    }
+}
+
+/// A partitioned simulation: N islands plus the lookahead contract.
+pub struct IslandSim<H: IslandHandler> {
+    islands: Vec<Island<H>>,
+    lookahead: Cycle,
+    channel_capacity: usize,
+}
+
+/// Default per-channel ring capacity (events); windows bursting past it
+/// spill without blocking (see [`ChannelStats::spilled`]).
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+impl<H: IslandHandler> IslandSim<H> {
+    /// A simulation over `handlers.len()` islands with the given
+    /// lookahead (the minimum cross-island event latency; must be
+    /// positive — zero lookahead admits no conservative window).
+    pub fn new(handlers: Vec<H>, lookahead: Cycle) -> Self {
+        assert!(lookahead > 0, "conservative islands need lookahead >= 1");
+        IslandSim {
+            islands: handlers.into_iter().map(Island::new).collect(),
+            lookahead,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
+    }
+
+    /// Override the per-channel ring capacity (testing backpressure).
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// True when the simulation has no islands.
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+
+    /// The lookahead contract.
+    pub fn lookahead(&self) -> Cycle {
+        self.lookahead
+    }
+
+    /// Seed an initial event on `island` at absolute `time`
+    /// (`cause_time` 0, local lane). Seeding order is part of the
+    /// deterministic contract: seed identically before either run mode.
+    pub fn seed(&mut self, island: IslandId, time: Cycle, ev: H::Event) {
+        self.islands[island]
+            .cal
+            .schedule_at(time, Local { cause_time: 0, ev });
+    }
+
+    fn report(&self, rounds: u64, channels: ChannelStats) -> RunReport {
+        RunReport {
+            islands: self
+                .islands
+                .iter()
+                .map(|i| IslandReport {
+                    processed: i.processed,
+                    fingerprint: i.fingerprint,
+                    digest: i.handler.digest(),
+                })
+                .collect(),
+            rounds,
+            channels,
+        }
+    }
+
+    /// Single-threaded reference execution: repeatedly process the
+    /// globally earliest event (key order, island id as final
+    /// tie-break), delivering cross events immediately. This is the
+    /// executable specification `run_parallel` must match per island.
+    pub fn run_single(&mut self) -> RunReport {
+        let n = self.islands.len();
+        let mut seqs = vec![vec![0u64; n]; n];
+        let mut sent = 0u64;
+        loop {
+            let next = (0..n)
+                .filter_map(|i| self.islands[i].next_key(i).map(|k| (k, i)))
+                .min();
+            let Some((_, i)) = next else { break };
+            let ctx = self.islands[i].step(i, self.lookahead);
+            for (dst, time, ev) in ctx.cross {
+                let seq = seqs[i][dst];
+                seqs[i][dst] += 1;
+                sent += 1;
+                self.islands[dst].stage(CrossEvent {
+                    time,
+                    cause_time: ctx.now,
+                    src: i,
+                    seq,
+                    ev,
+                });
+            }
+        }
+        self.report(0, ChannelStats { sent, spilled: 0 })
+    }
+
+    /// Parallel execution: one worker thread per island, synchronized
+    /// with the conservative window protocol described in the module
+    /// docs. Byte-identical per-island results to
+    /// [`IslandSim::run_single`].
+    pub fn run_parallel(&mut self) -> RunReport {
+        let n = self.islands.len();
+        if n <= 1 {
+            // One island: the window protocol degenerates to the plain
+            // event loop; run the reference directly.
+            return self.run_single();
+        }
+        let lookahead = self.lookahead;
+        let channels: Vec<Vec<SpscChannel<H::Event>>> = (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| SpscChannel::new(self.channel_capacity))
+                    .collect()
+            })
+            .collect();
+        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let barrier = Barrier::new(n);
+        let rounds = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(n);
+            for (i, island) in self.islands.iter_mut().enumerate() {
+                let channels = &channels;
+                let next_times = &next_times;
+                let barrier = &barrier;
+                let rounds = &rounds;
+                workers.push(scope.spawn(move || {
+                    let mut inbox: Vec<CrossEvent<H::Event>> = Vec::new();
+                    loop {
+                        // A: every send of the previous window is visible.
+                        barrier.wait();
+                        inbox.clear();
+                        for (src, row) in channels.iter().enumerate() {
+                            if src != i {
+                                row[i].drain_into(&mut inbox);
+                            }
+                        }
+                        // The staging heap orders by key, so drain order
+                        // (which is deterministic anyway — SPSC FIFO)
+                        // cannot influence processing order.
+                        for e in inbox.drain(..) {
+                            island.stage(e);
+                        }
+                        next_times[i].store(island.next_time(i), AtomicOrd::SeqCst);
+                        // B: every island has published its next time.
+                        barrier.wait();
+                        let window_start = next_times
+                            .iter()
+                            .map(|t| t.load(AtomicOrd::SeqCst))
+                            .min()
+                            .unwrap_or(T_INF);
+                        if window_start == T_INF {
+                            // Quiescent: all calendars and staging heaps
+                            // empty, and the drain above proved the
+                            // channels empty too.
+                            break;
+                        }
+                        if i == 0 {
+                            rounds.fetch_add(1, AtomicOrd::Relaxed);
+                        }
+                        let window_end = window_start.saturating_add(lookahead);
+                        // Process the window. In-window sends arrive at
+                        // >= now + lookahead >= window_end, so the merge
+                        // set for [window_start, window_end) is complete.
+                        while island.next_time(i) < window_end {
+                            let ctx = island.step(i, lookahead);
+                            for (dst, time, ev) in ctx.cross {
+                                channels[i][dst].send(time, ctx.now, i, ev);
+                            }
+                        }
+                    }
+                }));
+            }
+            for w in workers {
+                w.join().expect("island worker panicked");
+            }
+        });
+
+        let mut stats = ChannelStats::default();
+        for row in &channels {
+            for ch in row {
+                let s = ch.stats();
+                stats.sent += s.sent;
+                stats.spilled += s.spilled;
+            }
+        }
+        self.report(rounds.load(AtomicOrd::Relaxed), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// A toy stateful handler: accumulates a value per event, passes
+    /// tokens around pseudo-randomly (seeded per island), with a mix of
+    /// zero-delay local events, equal-time collisions, and cross sends
+    /// at exactly the lookahead bound.
+    struct Toy {
+        id: IslandId,
+        n: usize,
+        lookahead: Cycle,
+        acc: u64,
+        rng: SplitMix64,
+        budget: u32,
+    }
+
+    impl Toy {
+        fn fleet(n: usize, lookahead: Cycle, budget: u32) -> Vec<Toy> {
+            (0..n)
+                .map(|id| Toy {
+                    id,
+                    n,
+                    lookahead,
+                    acc: 0,
+                    rng: SplitMix64::new(0x9E37_79B9 ^ id as u64),
+                    budget,
+                })
+                .collect()
+        }
+    }
+
+    impl IslandHandler for Toy {
+        type Event = u64;
+
+        fn handle(&mut self, now: Cycle, ev: u64, ctx: &mut IslandCtx<u64>) {
+            self.acc = self.acc.wrapping_mul(0x100000001b3).wrapping_add(ev ^ now);
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let r = self.rng.next_u64();
+            match r % 4 {
+                0 => ctx.schedule(0, ev.wrapping_add(1)), // same-cycle local
+                1 => ctx.schedule((r >> 8) % 7, ev ^ r),  // short local
+                _ => {
+                    if self.n > 1 {
+                        let dst = (self.id + 1 + (r as usize >> 16) % (self.n - 1)) % self.n;
+                        ctx.send(dst, self.lookahead + (r >> 32) % 5, ev ^ 0xABCD);
+                    } else {
+                        ctx.schedule(1, ev);
+                    }
+                }
+            }
+        }
+
+        fn digest(&self) -> u64 {
+            self.acc
+        }
+
+        fn digest_event(&self, ev: &u64) -> u64 {
+            *ev
+        }
+    }
+
+    fn toy_sim(n: usize, lookahead: Cycle, budget: u32) -> IslandSim<Toy> {
+        let mut sim = IslandSim::new(Toy::fleet(n, lookahead, budget), lookahead);
+        for i in 0..n {
+            sim.seed(i, (i as u64) % 3, 1000 + i as u64);
+            sim.seed(i, (i as u64) % 3, 2000 + i as u64); // equal-time seeds
+        }
+        sim
+    }
+
+    #[test]
+    fn single_island_runs_to_quiescence() {
+        let mut sim = toy_sim(1, 4, 50);
+        let rep = sim.run_single();
+        assert!(rep.islands[0].processed >= 2);
+        assert_eq!(rep.channels.sent, 0);
+    }
+
+    #[test]
+    fn parallel_matches_single_reference() {
+        for &(n, la, budget) in &[(2usize, 1u64, 60u32), (3, 4, 80), (4, 7, 120)] {
+            let rep_seq = toy_sim(n, la, budget).run_single();
+            let rep_par = toy_sim(n, la, budget).run_parallel();
+            assert_eq!(
+                rep_seq.islands, rep_par.islands,
+                "divergence with n={n} lookahead={la}"
+            );
+            assert_eq!(rep_seq.channels.sent, rep_par.channels.sent);
+        }
+    }
+
+    #[test]
+    fn parallel_is_schedule_independent() {
+        // Two parallel runs of the same workload must agree exactly —
+        // thread interleaving must not be observable.
+        let a = toy_sim(4, 3, 200).run_parallel();
+        let b = toy_sim(4, 3, 200).run_parallel();
+        assert_eq!(a.islands, b.islands);
+    }
+
+    #[test]
+    fn tiny_channel_capacity_spills_without_divergence() {
+        let rep_seq = toy_sim(3, 2, 150).run_single();
+        let mut sim = toy_sim(3, 2, 150);
+        sim = sim.with_channel_capacity(1);
+        let rep_par = sim.run_parallel();
+        assert_eq!(rep_seq.islands, rep_par.islands);
+        if rep_par.channels.sent > 3 {
+            assert!(rep_par.channels.spilled > 0, "capacity-1 rings must spill");
+        }
+    }
+
+    #[test]
+    fn cross_events_interleave_with_equal_time_locals() {
+        // Deterministic micro-scenario pinning the merge order: island 1
+        // has a local event at t=10 caused at t=0 (seed) and receives a
+        // cross event at t=10 caused at t=5. Key order: local (cause 0)
+        // before cross (cause 5).
+        struct Pin {
+            order: Vec<(Cycle, u64)>,
+        }
+        impl IslandHandler for Pin {
+            type Event = u64;
+            fn handle(&mut self, now: Cycle, ev: u64, ctx: &mut IslandCtx<u64>) {
+                self.order.push((now, ev));
+                if ev == 1 {
+                    // island 0 at t=5: send to island 1 arriving t=10.
+                    ctx.send(1, 5, 99);
+                }
+            }
+            fn digest(&self) -> u64 {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &(t, e) in &self.order {
+                    h = h.wrapping_mul(31).wrapping_add(t ^ e);
+                }
+                h
+            }
+        }
+        let mk = || {
+            let mut sim = IslandSim::new(vec![Pin { order: vec![] }, Pin { order: vec![] }], 5);
+            sim.seed(0, 5, 1); // sender
+            sim.seed(1, 10, 7); // local at t=10, cause_time 0
+            sim
+        };
+        let mut s = mk();
+        let seq = s.run_single();
+        // Island 1 processes local (7) before cross (99).
+        assert_eq!(s.islands[1].handler.order, vec![(10, 7), (10, 99)]);
+        let par = mk().run_parallel();
+        assert_eq!(seq.islands, par.islands);
+    }
+
+    #[test]
+    fn lookahead_violation_panics() {
+        struct Bad;
+        impl IslandHandler for Bad {
+            type Event = ();
+            fn handle(&mut self, _now: Cycle, _ev: (), ctx: &mut IslandCtx<()>) {
+                ctx.send(1, 1, ()); // lookahead is 4: must panic
+            }
+        }
+        let mut sim = IslandSim::new(vec![Bad, Bad], 4);
+        sim.seed(0, 0, ());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run_single()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fingerprints_depend_on_event_content() {
+        let a = toy_sim(2, 3, 40).run_single();
+        let mut sim = toy_sim(2, 3, 40);
+        sim.seed(0, 100, 0xDEAD); // extra event
+        let b = sim.run_single();
+        assert_ne!(a.islands[0].fingerprint, b.islands[0].fingerprint);
+    }
+
+    #[test]
+    fn randomized_differential_many_shapes() {
+        // Property-style sweep: random island counts, lookaheads, and
+        // budgets; parallel must equal the reference every time.
+        let mut rng = SplitMix64::new(0x5EED_CAFE);
+        for _ in 0..12 {
+            let r = rng.next_u64();
+            let n = 2 + (r % 3) as usize; // 2..=4
+            let la = 1 + ((r >> 8) % 6); // 1..=6
+            let budget = 30 + ((r >> 16) % 120) as u32;
+            let s = toy_sim(n, la, budget).run_single();
+            let p = toy_sim(n, la, budget).run_parallel();
+            assert_eq!(s.islands, p.islands, "n={n} la={la} budget={budget}");
+        }
+    }
+}

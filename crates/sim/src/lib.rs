@@ -18,7 +18,11 @@
 //!   architecture components, and
 //! * deterministic fault injection ([`fault::FaultPlan`],
 //!   [`fault::FaultInjector`]) for chaos experiments — off by default
-//!   and bit-transparent when disabled.
+//!   and bit-transparent when disabled, and
+//! * a conservative parallel engine ([`island::IslandSim`]) that runs a
+//!   partitioned model across threads under a barrier-window protocol
+//!   with an explicit lookahead, producing bit-identical event order and
+//!   fingerprints to its single-threaded reference.
 //!
 //! ## Determinism
 //!
@@ -30,6 +34,7 @@
 
 pub mod calendar;
 pub mod fault;
+pub mod island;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
@@ -38,6 +43,7 @@ pub mod trace;
 
 pub use calendar::{BaselineCalendar, Calendar};
 pub use fault::{corrupt_bytes, FaultInjector, FaultPlan, FaultStats, SyncAction};
-pub use snapshot::{fnv1a_64, SnapError, SnapReader, SnapWriter, Snapshot};
+pub use island::{IslandCtx, IslandHandler, IslandId, IslandSim, RunReport};
+pub use snapshot::{fnv1a_64, FnvState, SnapError, SnapReader, SnapWriter, Snapshot};
 pub use time::{Clock, Cycle, Frequency};
 pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};

@@ -81,6 +81,39 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// [`std::hash::BuildHasher`] wrapping FNV-1a 64 — deterministic (no
+/// per-process seed, so map iteration order is reproducible) and markedly
+/// cheaper than SipHash for the short string keys the simulator hashes on
+/// hot paths (trace-series names, interned labels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvState;
+
+impl std::hash::BuildHasher for FnvState {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Streaming counterpart of [`fnv1a_64`].
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
 /// Minimum zero-run length worth switching the blob encoder out of a
 /// literal span (shorter runs cost more in segment headers than they
 /// save).
