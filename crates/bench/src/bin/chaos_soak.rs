@@ -14,7 +14,13 @@
 //! Usage:
 //!   cargo run -p eclipse-bench --release --bin chaos_soak           # full sweep
 //!   cargo run -p eclipse-bench --release --bin chaos_soak -- --quick # CI smoke
+//!   cargo run -p eclipse-bench --release --bin chaos_soak -- --supervised # self-healing sweep
 //!   cargo run -p eclipse-bench --release --bin chaos_soak -- --replay <class> <rate>
+//!
+//! `--supervised` runs the same sweep under the ISSUE 8 supervisor
+//! (watchdog-driven recovery ladder, per-app QoS contracts) and adds
+//! per-row recovery columns: how many ladder actions fired and the
+//! highest rung reached.
 //!
 //! `--replay` re-runs one design point with rolling checkpoints and,
 //! when the run wedges, forks from the last checkpoint before the
@@ -26,7 +32,7 @@
 
 use eclipse_bench::{save_result, table, StreamSpec};
 use eclipse_coprocs::instance::build_decode_system;
-use eclipse_core::{EclipseConfig, RunOutcome};
+use eclipse_core::{EclipseConfig, QosContract, RunOutcome, Supervisor, SupervisorConfig};
 use eclipse_media::stream::GopConfig;
 use eclipse_sim::{corrupt_bytes, FaultPlan, FaultStats};
 
@@ -83,7 +89,9 @@ fn outcome_cell(o: &RunOutcome) -> String {
 }
 
 /// One design point: decode `bitstream` under `plan` (faults may be all
-/// zero for the baseline), return the table row.
+/// zero for the baseline), return the table row. With `supervised`,
+/// the run goes through the recovery ladder and the row gains two
+/// columns: ladder actions taken and the highest rung reached.
 fn run_point(
     workload: &str,
     class: &str,
@@ -91,19 +99,47 @@ fn run_point(
     bitstream: Vec<u8>,
     plan: Option<FaultPlan>,
     extra_injected: u64,
+    supervised: bool,
 ) -> Vec<String> {
     let mut dec = build_decode_system(EclipseConfig::default(), bitstream);
     if let Some(p) = plan {
         dec.system.sys.inject_faults(p);
     }
     dec.system.sys.set_watchdog(WATCHDOG);
-    let s = dec.system.run(20_000_000_000);
+    let (s, recovery_cells) = if supervised {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            check_interval: 10_000,
+            checkpoint_interval: 30_000,
+            retry_limit: 2,
+            rollback_limit: 4,
+            ..SupervisorConfig::default()
+        });
+        sup.set_contract(
+            "dec0-decode",
+            QosContract {
+                error_budget: 8,
+                priority: 200,
+                ..QosContract::default()
+            },
+        );
+        let s = dec.system.run_supervised(20_000_000_000, &mut sup);
+        let top = s
+            .recovery
+            .iter()
+            .max_by_key(|r| r.action.rung())
+            .map(|r| r.action.rung_name())
+            .unwrap_or("-");
+        let cells = vec![s.recovery.len().to_string(), top.to_string()];
+        (s, cells)
+    } else {
+        (dec.system.run(20_000_000_000), Vec::new())
+    };
     let frames = dec
         .system
         .display_frames("dec0")
         .map(|f| f.len())
         .unwrap_or(0);
-    vec![
+    let mut row = vec![
         workload.into(),
         class.into(),
         format!("{rate:.4}"),
@@ -114,7 +150,9 @@ fn run_point(
         s.media_errors.to_string(),
         s.concealed_mbs.to_string(),
         frames.to_string(),
-    ]
+    ];
+    row.extend(recovery_cells);
+    row
 }
 
 /// Re-run one soak design point deterministically, checkpointing as it
@@ -208,6 +246,7 @@ fn main() {
         return;
     }
     let quick = std::env::args().any(|a| a == "--quick");
+    let supervised = std::env::args().any(|a| a == "--supervised");
 
     // Workloads: the sweep-scale tiny stream always; the QCIF workhorse
     // only in the full soak (CI runs --quick).
@@ -229,9 +268,12 @@ fn main() {
         let (bitstream, _) = spec.encode();
 
         // Faults-off baseline: must finish with zero faults and errors.
-        let base = run_point(wname, "none", 0.0, bitstream.clone(), None, 0);
+        let base = run_point(wname, "none", 0.0, bitstream.clone(), None, 0, supervised);
         assert_eq!(base[3], "finished", "faults-off baseline must finish");
         assert_eq!(base[5], "0", "faults-off baseline must inject nothing");
+        if supervised {
+            assert_eq!(base[10], "0", "faults-off baseline must not recover");
+        }
         rows.push(base);
 
         for class in PLAN_CLASSES {
@@ -243,6 +285,7 @@ fn main() {
                     bitstream.clone(),
                     Some(plan_for(class, rate, SEED)),
                     0,
+                    supervised,
                 ));
             }
         }
@@ -253,31 +296,41 @@ fn main() {
         for &rate in rates {
             let mut damaged = bitstream.clone();
             let flipped = corrupt_bytes(&mut damaged[16..], rate, SEED);
-            rows.push(run_point(wname, "bitstream", rate, damaged, None, flipped));
+            rows.push(run_point(
+                wname,
+                "bitstream",
+                rate,
+                damaged,
+                None,
+                flipped,
+                supervised,
+            ));
         }
     }
 
-    let report = table(
-        &[
-            "workload",
-            "class",
-            "rate",
-            "outcome",
-            "cycles",
-            "injected",
-            "credits_lost",
-            "media_errors",
-            "concealed",
-            "frames_out",
-        ],
-        &rows,
-    );
+    let mut headers = vec![
+        "workload",
+        "class",
+        "rate",
+        "outcome",
+        "cycles",
+        "injected",
+        "credits_lost",
+        "media_errors",
+        "concealed",
+        "frames_out",
+    ];
+    if supervised {
+        headers.extend(["recoveries", "top_rung"]);
+    }
+    let report = table(&headers, &rows);
     print!("{report}");
     save_result(
-        if quick {
-            "chaos_soak_quick.txt"
-        } else {
-            "chaos_soak.txt"
+        match (quick, supervised) {
+            (true, false) => "chaos_soak_quick.txt",
+            (false, false) => "chaos_soak.txt",
+            (true, true) => "chaos_soak_supervised_quick.txt",
+            (false, true) => "chaos_soak_supervised.txt",
         },
         &report,
     );

@@ -144,6 +144,12 @@ impl Coprocessor for DctCoproc {
         (self.tasks.values().map(|t| t.errors_recovered).sum(), 0)
     }
 
+    fn task_error_counters(&self, task: TaskIdx) -> (u64, u64) {
+        self.tasks
+            .get(&task)
+            .map_or((0, 0), |t| (t.errors_recovered, 0))
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         w.usize(self.tasks.len());
         for (task, t) in &self.tasks {

@@ -103,6 +103,17 @@ struct DisplayTask {
     cur: Option<(PicRec, Frame, u32)>,
     /// Damaged records tolerated instead of crashing.
     errors_recovered: u64,
+    /// Supervisor degrade rung: at end-of-stream, backfill display
+    /// slots that never received a complete picture with the nearest
+    /// decoded frame (freeze-frame concealment).
+    conceal_missing: bool,
+    /// Slots filled by freeze-frame concealment.
+    frames_concealed: u64,
+    /// Frame total announced by the container / sequence header at
+    /// build time (0 = unknown). Freeze-frame concealment extends the
+    /// slot array to this length, so pictures whose headers were lost
+    /// upstream are still delivered.
+    expected_frames: u16,
 }
 
 struct SourceTask {
@@ -261,6 +272,9 @@ impl SwTask {
                     }
                 }
                 w.u64(t.errors_recovered);
+                w.bool(t.conceal_missing);
+                w.u64(t.frames_concealed);
+                w.u16(t.expected_frames);
             }
             SwTask::Source(t) => {
                 w.u8(1);
@@ -340,6 +354,9 @@ impl SwTask {
                     frames,
                     cur,
                     errors_recovered: r.u64()?,
+                    conceal_missing: r.bool()?,
+                    frames_concealed: r.u64()?,
+                    expected_frames: r.u16()?,
                 })
             }
             1 => {
@@ -425,6 +442,7 @@ pub struct DspCoproc {
     vle_cfgs: BTreeMap<String, VleTaskConfig>,
     audio_cfgs: BTreeMap<String, AudioTaskConfig>,
     demux_cfgs: BTreeMap<String, DemuxTaskConfig>,
+    display_totals: BTreeMap<String, u16>,
     tasks: BTreeMap<TaskIdx, SwTask>,
     names: BTreeMap<String, TaskIdx>,
 }
@@ -438,9 +456,19 @@ impl DspCoproc {
             vle_cfgs: BTreeMap::new(),
             audio_cfgs: BTreeMap::new(),
             demux_cfgs: BTreeMap::new(),
+            display_totals: BTreeMap::new(),
             tasks: BTreeMap::new(),
             names: BTreeMap::new(),
         }
+    }
+
+    /// Announce the frame total of the stream feeding the display task
+    /// named `name` (from the container / sequence header). Only used
+    /// by freeze-frame concealment; a display without a bound total
+    /// conceals up to the highest picture it saw announced.
+    pub fn with_display_total(mut self, name: impl Into<String>, total: u16) -> Self {
+        self.display_totals.insert(name.into(), total);
+        self
     }
 
     /// Bind an `audio_dec` stream to the task named `name`.
@@ -545,6 +573,9 @@ impl Coprocessor for DspCoproc {
                         frames: Vec::new(),
                         cur: None,
                         errors_recovered: 0,
+                        conceal_missing: false,
+                        frames_concealed: 0,
+                        expected_frames: self.display_totals.get(&decl.name).copied().unwrap_or(0),
                     }),
                 );
                 (vec![1], vec![])
@@ -688,18 +719,46 @@ impl Coprocessor for DspCoproc {
     }
 
     fn error_counters(&self) -> (u64, u64) {
-        let errors = self
-            .tasks
+        self.tasks
             .values()
             .map(|t| match t {
-                SwTask::Display(t) => t.errors_recovered,
-                SwTask::Monitor(t) => t.errors_recovered,
-                SwTask::Demux(t) => t.errors_recovered,
-                SwTask::PcmSink(t) => t.errors_recovered,
-                _ => 0,
+                SwTask::Display(t) => (t.errors_recovered, t.frames_concealed),
+                SwTask::Monitor(t) => (t.errors_recovered, 0),
+                SwTask::Demux(t) => (t.errors_recovered, 0),
+                SwTask::PcmSink(t) => (t.errors_recovered, 0),
+                _ => (0, 0),
             })
-            .sum();
-        (errors, 0)
+            .fold((0, 0), |(e, c), (te, tc)| (e + te, c + tc))
+    }
+
+    fn task_error_counters(&self, task: TaskIdx) -> (u64, u64) {
+        match self.tasks.get(&task) {
+            Some(SwTask::Display(t)) => (t.errors_recovered, t.frames_concealed),
+            Some(SwTask::Monitor(t)) => (t.errors_recovered, 0),
+            Some(SwTask::Demux(t)) => (t.errors_recovered, 0),
+            Some(SwTask::PcmSink(t)) => (t.errors_recovered, 0),
+            _ => (0, 0),
+        }
+    }
+
+    fn progress_units(&self, task: TaskIdx) -> Option<u64> {
+        match self.tasks.get(&task)? {
+            SwTask::Display(t) => Some(t.frames.iter().flatten().count() as u64),
+            SwTask::PcmSink(t) => Some(t.samples.len() as u64),
+            SwTask::Sink(t) => Some(t.bytes.len() as u64),
+            SwTask::Monitor(t) => Some(t.records),
+            _ => None,
+        }
+    }
+
+    fn set_conceal_only(&mut self, task: TaskIdx, on: bool) -> bool {
+        match self.tasks.get_mut(&task) {
+            Some(SwTask::Display(t)) => {
+                t.conceal_missing = on;
+                true
+            }
+            _ => false,
+        }
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
@@ -1035,6 +1094,40 @@ fn step_pcm_sink(t: &mut PcmSinkTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> 
     }
 }
 
+/// Freeze-frame concealment (supervisor degrade rung): fill every
+/// display slot that never received a complete picture with the
+/// nearest decoded frame — forward-fill from the previous frame, then
+/// backfill any leading gap from the first decoded one. Host-side
+/// bookkeeping only; charges no simulated cycles.
+fn conceal_missing_frames(t: &mut DisplayTask) {
+    if t.frames.len() < t.expected_frames as usize {
+        t.frames.resize(t.expected_frames as usize, None);
+    }
+    let mut filled = 0u64;
+    let mut last: Option<Frame> = None;
+    for slot in t.frames.iter_mut() {
+        match slot {
+            Some(f) => last = Some(f.clone()),
+            None => {
+                if let Some(f) = &last {
+                    *slot = Some(f.clone());
+                    filled += 1;
+                }
+            }
+        }
+    }
+    if let Some(first) = t.frames.iter().flatten().next().cloned() {
+        for slot in t.frames.iter_mut() {
+            if slot.is_some() {
+                break;
+            }
+            *slot = Some(first.clone());
+            filled += 1;
+        }
+    }
+    t.frames_concealed += filled;
+}
+
 fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> StepResult {
     const IN: PortId = 0;
     let mut r = StepReader::new(IN);
@@ -1047,6 +1140,9 @@ fn step_display(t: &mut DisplayTask, cost: &DspCost, ctx: &mut StepCtx<'_>) -> S
             let mut b = [0u8; 1];
             r.read(ctx, &mut b);
             r.commit(ctx);
+            if t.conceal_missing {
+                conceal_missing_frames(t);
+            }
             StepResult::Finished
         }
         TAG_PIC => {

@@ -171,6 +171,8 @@ impl MpegBuilder {
                 search_range: 0,
             },
         );
+        let dsp = std::mem::replace(&mut self.dsp, DspCoproc::new(self.costs.dsp));
+        self.dsp = dsp.with_display_total(format!("{prefix}.display"), seq.num_frames);
         self.bitstream_loads.push((bs_addr, bitstream));
         self.decode_apps.push((prefix.to_string(), bufs));
         Ok(seq)
@@ -295,6 +297,7 @@ impl MpegBuilder {
         );
         let dsp = std::mem::replace(&mut self.dsp, DspCoproc::new(self.costs.dsp));
         self.dsp = dsp
+            .with_display_total(format!("{prefix}.display"), seq.num_frames)
             .with_demux(
                 format!("{prefix}.demux"),
                 DemuxTaskConfig {
@@ -384,6 +387,17 @@ impl MpegSystem {
     /// [`MpegSystem::run`].
     pub fn run_parallel(&mut self, max_cycles: Cycle) -> RunSummary {
         self.sys.run_parallel(max_cycles)
+    }
+
+    /// Run under self-healing supervision (see
+    /// `EclipseSystem::run_supervised`). With no interventions the
+    /// timing is byte-identical to [`MpegSystem::run`].
+    pub fn run_supervised(
+        &mut self,
+        max_cycles: Cycle,
+        sup: &mut eclipse_core::Supervisor,
+    ) -> RunSummary {
+        self.sys.run_supervised(max_cycles, sup)
     }
 
     /// Decoded frames of the decode app `prefix` (display order).

@@ -1213,6 +1213,16 @@ impl Coprocessor for McMeCoproc {
         (errors, concealed)
     }
 
+    fn task_error_counters(&self, task: TaskIdx) -> (u64, u64) {
+        self.tasks.get(&task).map_or((0, 0), |kind| {
+            let t = match kind {
+                TaskKind::Mc(t) | TaskKind::Recon(t) => t,
+                TaskKind::Me(t) => &t.inner,
+            };
+            (t.errors_recovered, t.mbs_concealed)
+        })
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         w.usize(self.cfgs.len());
         for (name, cfg) in &self.cfgs {

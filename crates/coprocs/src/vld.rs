@@ -151,6 +151,11 @@ struct VldTask {
     in_recovery: bool,
     errors_recovered: u64,
     mbs_concealed: u64,
+    /// Supervisor degrade rung: stop trusting the (damaged) entropy
+    /// data entirely — every picture whose header still parses is
+    /// filled with intra concealment macroblocks, keeping frames
+    /// flowing downstream at minimum quality.
+    conceal_only: bool,
 }
 
 impl VldTask {
@@ -200,6 +205,7 @@ impl VldTask {
         w.bool(self.in_recovery);
         w.u64(self.errors_recovered);
         w.u64(self.mbs_concealed);
+        w.bool(self.conceal_only);
     }
 
     fn load_state(r: &mut SnapReader) -> Result<VldTask, SnapError> {
@@ -244,6 +250,7 @@ impl VldTask {
             in_recovery: r.bool()?,
             errors_recovered: r.u64()?,
             mbs_concealed: r.u64()?,
+            conceal_only: r.bool()?,
         })
     }
 
@@ -406,6 +413,7 @@ impl Coprocessor for VldCoproc {
                 in_recovery: false,
                 errors_recovered: 0,
                 mbs_concealed: 0,
+                conceal_only: false,
             },
         );
         // Output hints: a header-sized window on both streams keeps the
@@ -427,6 +435,22 @@ impl Coprocessor for VldCoproc {
         self.tasks.values().fold((0, 0), |(e, c), t| {
             (e + t.errors_recovered, c + t.mbs_concealed)
         })
+    }
+
+    fn task_error_counters(&self, task: TaskIdx) -> (u64, u64) {
+        self.tasks
+            .get(&task)
+            .map_or((0, 0), |t| (t.errors_recovered, t.mbs_concealed))
+    }
+
+    fn set_conceal_only(&mut self, task: TaskIdx, on: bool) -> bool {
+        match self.tasks.get_mut(&task) {
+            Some(t) => {
+                t.conceal_only = on;
+                true
+            }
+            None => false,
+        }
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
@@ -568,10 +592,32 @@ impl Coprocessor for VldCoproc {
                 t.cur_pic = Some(pic);
                 t.mb_left = pic.mb_count();
                 t.dc_pred = [128; 3];
-                t.state = VldState::Mb;
+                if t.conceal_only {
+                    // Degraded mode: the picture header parsed, but the
+                    // entropy data is not to be trusted. Conceal the
+                    // whole picture instead of decoding it — no error
+                    // is charged; this is policy, not damage.
+                    t.conceal_left = pic.mb_count();
+                    t.mb_left = 0;
+                    t.in_recovery = true;
+                    t.state = VldState::Recover;
+                } else {
+                    t.state = VldState::Mb;
+                }
                 StepResult::Done
             }
             VldState::Mb => {
+                if t.conceal_only {
+                    // Degrade flipped mid-picture: abandon the entropy
+                    // decode and conceal the remaining macroblocks.
+                    ctx.compute(cost.per_mb);
+                    let owed = t.mb_left;
+                    t.conceal_left = owed;
+                    t.mb_left = 0;
+                    t.in_recovery = true;
+                    t.state = VldState::Recover;
+                    return StepResult::Done;
+                }
                 // One macroblock per processing step.
                 if !Self::ensure_fetched(t, &cost, ctx, 4096) {
                     return StepResult::Blocked;

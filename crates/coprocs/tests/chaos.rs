@@ -54,7 +54,11 @@ fn undersized_buffer_deadlock_names_tasks_and_streams() {
     match &summary.outcome {
         RunOutcome::Deadlock(blocked) => {
             assert!(!blocked.is_empty(), "diagnosis must list the stuck tasks");
-            let all = blocked.join("\n");
+            let all = blocked
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
             // The MC task is stuck writing the undersized stream; the
             // diagnosis names it, the port's stream label, and the
             // local space view.

@@ -1,0 +1,559 @@
+//! Self-healing supervision integration tests (ISSUE 8): the no-fault
+//! happy path is byte-identical to an unsupervised run, and each fault
+//! class recovers through its expected rung of the ladder.
+//!
+//! Calibration notes (QCIF 176×144, 3 frames, ~241k cycles clean):
+//!
+//! * `sync_delay` wedges the watchdog (the delayed `putspace` stops
+//!   progress); an exponential-backoff **retry** waits the delay out.
+//! * `sync_drop` loses credits permanently; only a **rollback** past
+//!   the drop burst heals (the drop budget is exhausted, so the replay
+//!   is clean).
+//! * `stall` / `bus_error` never wedge the watchdog — the injected
+//!   penalty is folded into the step cost, so `last_progress` keeps
+//!   advancing. They surface as frame-deadline misses and recover via
+//!   proactive **degrade**.
+//! * `sram_flip` / bitstream corruption surface as media errors and
+//!   recover via error-budget **degrade** (concealment-only decode +
+//!   freeze-frame display backfill).
+
+use eclipse_coprocs::apps::{AudioAppConfig, DecodeAppConfig};
+use eclipse_coprocs::instance::{InstanceCosts, MpegBuilder, MpegSystem};
+use eclipse_core::{
+    EclipseConfig, QosContract, RecoveryAction, RecoveryTrigger, RunOutcome, Supervisor,
+    SupervisorConfig,
+};
+use eclipse_media::encoder::{Encoder, EncoderConfig};
+use eclipse_media::source::{SourceConfig, SyntheticSource};
+use eclipse_media::stream::GopConfig;
+use eclipse_sim::{corrupt_bytes, FaultPlan};
+
+fn encode_test_stream(frames: u8, seed: u64) -> Vec<u8> {
+    let src = SyntheticSource::new(SourceConfig {
+        width: 176,
+        height: 144,
+        complexity: 0.35,
+        motion: 2.0,
+        seed,
+    });
+    let enc = Encoder::new(EncoderConfig {
+        width: 176,
+        height: 144,
+        qscale: 6,
+        gop: GopConfig { n: frames, m: 1 },
+        search_range: 7,
+    });
+    enc.encode(&src.frames(frames as u16)).0
+}
+
+fn test_pcm(samples: usize) -> Vec<i16> {
+    (0..samples)
+        .map(|i| (((i as f32) * 0.13).sin() * 12_000.0) as i16)
+        .collect()
+}
+
+/// Decode + build-time audio: the canonical two-app supervised workload.
+fn build_av(bs: Vec<u8>) -> MpegSystem {
+    build_av_with(bs, DecodeAppConfig::default(), 4_000)
+}
+
+fn build_av_with(bs: Vec<u8>, bufs: DecodeAppConfig, pcm_samples: usize) -> MpegSystem {
+    let mut b = MpegBuilder::new(EclipseConfig::default(), InstanceCosts::default());
+    b.add_decode("dec0", bs, bufs);
+    b.add_audio("aud0", &test_pcm(pcm_samples), AudioAppConfig::default());
+    b.build()
+}
+
+fn frames_delivered(sys: &MpegSystem) -> usize {
+    sys.display_frames("dec0").map(|f| f.len()).unwrap_or(0)
+}
+
+/// Supervisor knobs for fault classes that surface as deadline misses
+/// or media errors: frequent checks, a modest checkpoint cadence, and
+/// a tight per-frame budget (~2× the clean inter-frame gap).
+fn deadline_cfg() -> SupervisorConfig {
+    SupervisorConfig {
+        check_interval: 20_000,
+        checkpoint_interval: 60_000,
+        retry_limit: 4,
+        rollback_limit: 6,
+        deadline_miss_limit: 3,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn deadline_contract() -> QosContract {
+    QosContract {
+        frame_budget: 150_000,
+        error_budget: 2,
+        priority: 200,
+    }
+}
+
+/// Supervisor knobs for the rollback path: a deep, dense checkpoint
+/// ring so escalating rollbacks can reach state that predates the
+/// fault burst.
+fn rollback_cfg() -> SupervisorConfig {
+    SupervisorConfig {
+        check_interval: 10_000,
+        checkpoint_interval: 10_000,
+        checkpoint_ring: 24,
+        retry_limit: 2,
+        rollback_limit: 16,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn rung_names(s: &eclipse_core::RunSummary) -> Vec<&'static str> {
+    s.recovery.iter().map(|r| r.action.rung_name()).collect()
+}
+
+/// Acceptance criterion: with every fault disarmed, a supervised run —
+/// health checks, checkpoints, QoS deadline tracking and all — pops the
+/// exact same event sequence as an unsupervised one: same cycle count,
+/// same sync traffic, same final `state_hash`, zero recovery reports.
+#[test]
+fn no_fault_supervised_run_is_byte_identical() {
+    let bs = encode_test_stream(3, 41);
+
+    let mut base = build_av(bs.clone());
+    let b = base.run(100_000_000);
+    assert_eq!(b.outcome, RunOutcome::AllFinished);
+
+    let mut sup_sys = build_av(bs);
+    let mut sup = Supervisor::new(deadline_cfg());
+    sup.set_contract("dec0-decode", deadline_contract());
+    let s = sup_sys.run_supervised(100_000_000, &mut sup);
+
+    assert_eq!(s.outcome, RunOutcome::AllFinished);
+    assert_eq!(s.cycles, b.cycles, "supervision perturbed timing");
+    assert_eq!(s.sync_messages, b.sync_messages);
+    assert_eq!(
+        sup_sys.sys.state_hash(),
+        base.sys.state_hash(),
+        "supervision perturbed architectural state"
+    );
+    assert!(s.recovery.is_empty(), "no-fault run took {:?}", s.recovery);
+    assert!(
+        !sup.checkpoint_ring().is_empty(),
+        "checkpoints should bank even on the happy path"
+    );
+    assert_eq!(frames_delivered(&sup_sys), 3);
+}
+
+#[test]
+fn sync_delay_storm_recovers_via_retry() {
+    let bs = encode_test_stream(3, 41);
+    let plan = FaultPlan {
+        sync_delay_rate: 0.01,
+        sync_delay_max: 400_000,
+        ..FaultPlan::with_seed(2)
+    };
+
+    let mut base = build_av(bs.clone());
+    base.sys.inject_faults(plan.clone());
+    base.sys.set_watchdog(100_000);
+    let b = base.run(4_000_000);
+    assert_eq!(frames_delivered(&base), 0, "baseline should wedge");
+    assert!(matches!(b.outcome, RunOutcome::Deadlock(_)));
+
+    let mut sup_sys = build_av(bs);
+    sup_sys.sys.inject_faults(plan);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(deadline_cfg());
+    sup.set_contract("dec0-decode", deadline_contract());
+    let s = sup_sys.run_supervised(4_000_000, &mut sup);
+
+    assert_eq!(s.outcome, RunOutcome::AllFinished);
+    assert_eq!(frames_delivered(&sup_sys), 3);
+    let retries: Vec<_> = s
+        .recovery
+        .iter()
+        .filter(|r| matches!(r.action, RecoveryAction::Retry { .. }))
+        .collect();
+    assert!(!retries.is_empty(), "rungs: {:?}", rung_names(&s));
+    for r in &retries {
+        assert!(matches!(r.trigger, RecoveryTrigger::Wedge { .. }));
+        assert_eq!(r.action.rung(), 1);
+    }
+}
+
+#[test]
+fn lost_sync_credits_recover_via_rollback() {
+    let bs = encode_test_stream(3, 41);
+    // A bounded drop burst mid-run: the 801st and 802nd putspace
+    // messages vanish, then the budget is exhausted. Rollback escalates
+    // down the ring until it restores state that predates the burst;
+    // the replay sees no new drops and completes.
+    let plan = FaultPlan {
+        sync_drop_rate: 1.0,
+        sync_drop_skip: 800,
+        sync_drop_limit: 2,
+        ..FaultPlan::with_seed(1)
+    };
+
+    let mut base = build_av(bs.clone());
+    base.sys.inject_faults(plan.clone());
+    base.sys.set_watchdog(100_000);
+    let b = base.run(4_000_000);
+    assert_eq!(frames_delivered(&base), 0, "baseline should wedge");
+    assert!(matches!(b.outcome, RunOutcome::Deadlock(_)));
+
+    let mut sup_sys = build_av(bs);
+    sup_sys.sys.inject_faults(plan);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(rollback_cfg());
+    sup.set_contract(
+        "dec0-decode",
+        QosContract {
+            priority: 200,
+            ..QosContract::default()
+        },
+    );
+    let s = sup_sys.run_supervised(4_000_000, &mut sup);
+
+    assert_eq!(
+        s.outcome,
+        RunOutcome::AllFinished,
+        "rungs: {:?}",
+        rung_names(&s)
+    );
+    assert_eq!(frames_delivered(&sup_sys), 3);
+    let rollbacks: Vec<_> = s
+        .recovery
+        .iter()
+        .filter(|r| matches!(r.action, RecoveryAction::Rollback { .. }))
+        .collect();
+    assert!(!rollbacks.is_empty(), "rungs: {:?}", rung_names(&s));
+    for r in &rollbacks {
+        if let RecoveryAction::Rollback { dropped_cycles, .. } = r.action {
+            assert!(dropped_cycles > 0, "rollback should discard work");
+        }
+        assert_eq!(r.action.rung(), 2);
+        assert!(r.pi_cycles > 0, "reconfiguration is not free");
+    }
+}
+
+#[test]
+fn stall_storm_degrades_before_the_deadline() {
+    // Injected stalls are folded into the step cost, so the watchdog
+    // never sees them; the supervisor catches the missed frame
+    // deadlines instead and proactively degrades.
+    let bs = encode_test_stream(3, 41);
+    let plan = FaultPlan {
+        stall_rate: 0.01,
+        stall_cycles: 50_000,
+        ..FaultPlan::with_seed(5)
+    };
+    let budget = 1_500_000;
+
+    let mut base = build_av(bs.clone());
+    base.sys.inject_faults(plan.clone());
+    base.sys.set_watchdog(100_000);
+    let b = base.run(budget);
+    assert_eq!(b.outcome, RunOutcome::MaxCycles);
+    assert_eq!(frames_delivered(&base), 0);
+
+    let mut sup_sys = build_av(bs);
+    sup_sys.sys.inject_faults(plan);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(deadline_cfg());
+    sup.set_contract("dec0-decode", deadline_contract());
+    let s = sup_sys.run_supervised(budget, &mut sup);
+
+    assert_eq!(
+        s.outcome,
+        RunOutcome::AllFinished,
+        "rungs: {:?}",
+        rung_names(&s)
+    );
+    assert_eq!(frames_delivered(&sup_sys), 3);
+    let degrade = s
+        .recovery
+        .iter()
+        .find(|r| matches!(r.action, RecoveryAction::Degrade { .. }))
+        .expect("expected a degrade rung");
+    assert!(matches!(
+        degrade.trigger,
+        RecoveryTrigger::DeadlineMisses { .. }
+    ));
+}
+
+#[test]
+fn sram_flips_exhaust_the_error_budget_and_degrade() {
+    let bs = encode_test_stream(3, 41);
+    let plan = FaultPlan {
+        sram_flip_rate: 0.002,
+        ..FaultPlan::with_seed(4)
+    };
+
+    let mut base = build_av(bs.clone());
+    base.sys.inject_faults(plan.clone());
+    base.sys.set_watchdog(100_000);
+    let b = base.run(4_000_000);
+    assert_eq!(b.outcome, RunOutcome::AllFinished);
+    assert_eq!(
+        frames_delivered(&base),
+        0,
+        "flip damage should cost the baseline its frames"
+    );
+
+    let mut sup_sys = build_av(bs);
+    sup_sys.sys.inject_faults(plan);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(deadline_cfg());
+    sup.set_contract("dec0-decode", deadline_contract());
+    let s = sup_sys.run_supervised(4_000_000, &mut sup);
+
+    assert_eq!(
+        s.outcome,
+        RunOutcome::AllFinished,
+        "rungs: {:?}",
+        rung_names(&s)
+    );
+    assert_eq!(
+        frames_delivered(&sup_sys),
+        3,
+        "freeze-frame conceal fills the gaps"
+    );
+    let degrade = s
+        .recovery
+        .iter()
+        .find(|r| matches!(r.action, RecoveryAction::Degrade { .. }))
+        .expect("expected a degrade rung");
+    assert!(matches!(
+        degrade.trigger,
+        RecoveryTrigger::ErrorBudget { .. }
+    ));
+}
+
+#[test]
+fn bitstream_corruption_degrades_and_outdelivers_unsupervised() {
+    let bs = encode_test_stream(3, 41);
+    let mut bad = bs;
+    // Keep the sequence header (first 16 bytes) intact; damage the rest
+    // heavily enough that picture headers are lost.
+    corrupt_bytes(&mut bad[16..], 0.05, 6);
+
+    let mut base = build_av(bad.clone());
+    base.sys.set_watchdog(100_000);
+    base.run(4_000_000);
+    let base_frames = frames_delivered(&base);
+    assert!(
+        base_frames < 3,
+        "corruption should cost the baseline frames"
+    );
+
+    let mut sup_sys = build_av(bad);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(SupervisorConfig {
+        check_interval: 20_000,
+        ..SupervisorConfig::default()
+    });
+    sup.set_contract(
+        "dec0-decode",
+        QosContract {
+            error_budget: 0,
+            ..QosContract::default()
+        },
+    );
+    let s = sup_sys.run_supervised(4_000_000, &mut sup);
+
+    assert_eq!(
+        s.outcome,
+        RunOutcome::AllFinished,
+        "rungs: {:?}",
+        rung_names(&s)
+    );
+    let degrade = s
+        .recovery
+        .iter()
+        .find(|r| matches!(r.action, RecoveryAction::Degrade { .. }))
+        .expect("expected a degrade rung");
+    assert!(matches!(
+        degrade.trigger,
+        RecoveryTrigger::ErrorBudget { .. }
+    ));
+    assert_eq!(
+        frames_delivered(&sup_sys),
+        3,
+        "conceal-only decode + freeze-frame backfill delivers the announced total"
+    );
+    assert!(frames_delivered(&sup_sys) > base_frames);
+}
+
+#[test]
+fn unfixable_wedge_walks_the_full_ladder() {
+    // An undersized stream buffer wedges the decode pipeline no matter
+    // how often it is retried or rolled back: the ladder must escalate
+    // through every rung and end with the app quarantined and the
+    // healthy audio app evicted along the way (budget re-balancing
+    // cannot save a structurally broken graph).
+    let bs = encode_test_stream(3, 41);
+    let bufs = DecodeAppConfig {
+        recon_buf: 256,
+        ..DecodeAppConfig::default()
+    };
+    let mut sys = build_av_with(bs, bufs, 30_000);
+    sys.sys.set_watchdog(20_000);
+    let mut sup = Supervisor::new(SupervisorConfig {
+        check_interval: 5_000,
+        checkpoint_interval: 10_000,
+        checkpoint_ring: 8,
+        retry_limit: 1,
+        rollback_limit: 1,
+        evict_drain_wait: 200_000,
+        ..SupervisorConfig::default()
+    });
+    sup.set_contract(
+        "dec0-decode",
+        QosContract {
+            priority: 200,
+            ..QosContract::default()
+        },
+    );
+    let s = sys.run_supervised(50_000_000, &mut sup);
+
+    let rungs = rung_names(&s);
+    assert!(
+        matches!(s.outcome, RunOutcome::Deadlock(_)),
+        "rungs: {rungs:?}"
+    );
+    for rung in ["retry", "rollback", "degrade", "evict", "quarantine"] {
+        assert!(rungs.contains(&rung), "missing {rung} in {rungs:?}");
+    }
+    // Rungs only escalate (the ladder never walks back down).
+    let order: Vec<u8> = s.recovery.iter().map(|r| r.action.rung()).collect();
+    assert!(
+        order.windows(2).all(|w| w[0] <= w[1]),
+        "ladder order: {order:?}"
+    );
+    // The audio app was drained and unmapped by the evict rung.
+    assert!(sys.sys.app_state("aud0-audio").is_none());
+}
+
+/// ISSUE 8 acceptance sweep: each of the six fault classes, armed
+/// against the QCIF decode + live-audio workload. Supervised runs must
+/// complete without panics, report at least one recovery action, and
+/// deliver strictly more frames than the unsupervised baseline under
+/// the same seed.
+#[test]
+fn acceptance_six_fault_classes_recover_and_deliver() {
+    let bs = encode_test_stream(3, 41);
+    let deadline = (deadline_cfg(), deadline_contract());
+    let rollback = (
+        rollback_cfg(),
+        QosContract {
+            priority: 200,
+            ..QosContract::default()
+        },
+    );
+    let cases: Vec<(&str, FaultPlan, u64, (SupervisorConfig, QosContract))> = vec![
+        (
+            "sync_drop",
+            FaultPlan {
+                sync_drop_rate: 1.0,
+                sync_drop_skip: 800,
+                sync_drop_limit: 2,
+                ..FaultPlan::with_seed(1)
+            },
+            4_000_000,
+            rollback,
+        ),
+        (
+            "sync_delay",
+            FaultPlan {
+                sync_delay_rate: 0.01,
+                sync_delay_max: 400_000,
+                ..FaultPlan::with_seed(2)
+            },
+            4_000_000,
+            deadline,
+        ),
+        (
+            "bus_error",
+            FaultPlan {
+                bus_error_rate: 0.02,
+                bus_retry_cycles: 20_000,
+                ..FaultPlan::with_seed(3)
+            },
+            2_000_000,
+            deadline,
+        ),
+        (
+            "sram_flip",
+            FaultPlan {
+                sram_flip_rate: 0.002,
+                ..FaultPlan::with_seed(4)
+            },
+            4_000_000,
+            deadline,
+        ),
+        (
+            "stall",
+            FaultPlan {
+                stall_rate: 0.01,
+                stall_cycles: 50_000,
+                ..FaultPlan::with_seed(5)
+            },
+            1_500_000,
+            deadline,
+        ),
+    ];
+
+    for (class, plan, budget, (cfg, contract)) in cases {
+        let mut base = build_av(bs.clone());
+        base.sys.inject_faults(plan.clone());
+        base.sys.set_watchdog(100_000);
+        base.run(budget);
+        let base_frames = frames_delivered(&base);
+
+        let mut sup_sys = build_av(bs.clone());
+        sup_sys.sys.inject_faults(plan);
+        sup_sys.sys.set_watchdog(100_000);
+        let mut sup = Supervisor::new(cfg);
+        sup.set_contract("dec0-decode", contract);
+        let s = sup_sys.run_supervised(budget, &mut sup);
+
+        assert!(
+            !s.recovery.is_empty(),
+            "{class}: expected at least one recovery report"
+        );
+        let sup_frames = frames_delivered(&sup_sys);
+        assert!(
+            sup_frames > base_frames,
+            "{class}: supervised {sup_frames} <= unsupervised {base_frames} (rungs {:?})",
+            rung_names(&s)
+        );
+    }
+
+    // Sixth class: elementary-stream corruption (host-side damage, not
+    // an injector rate) — covered with the same strict comparison.
+    let mut bad = bs;
+    corrupt_bytes(&mut bad[16..], 0.05, 6);
+    let mut base = build_av(bad.clone());
+    base.sys.set_watchdog(100_000);
+    base.run(4_000_000);
+    let base_frames = frames_delivered(&base);
+
+    let mut sup_sys = build_av(bad);
+    sup_sys.sys.set_watchdog(100_000);
+    let mut sup = Supervisor::new(SupervisorConfig {
+        check_interval: 20_000,
+        ..SupervisorConfig::default()
+    });
+    sup.set_contract(
+        "dec0-decode",
+        QosContract {
+            error_budget: 0,
+            ..QosContract::default()
+        },
+    );
+    let s = sup_sys.run_supervised(4_000_000, &mut sup);
+    assert!(!s.recovery.is_empty());
+    assert!(
+        frames_delivered(&sup_sys) > base_frames,
+        "bitstream: supervised should outdeliver (rungs {:?})",
+        rung_names(&s)
+    );
+}

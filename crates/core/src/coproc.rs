@@ -289,6 +289,32 @@ pub trait Coprocessor {
         (0, 0)
     }
 
+    /// Per-task graceful-degradation counters (same meaning as
+    /// [`Coprocessor::error_counters`], but for one shell task slot).
+    /// The supervisor uses this to attribute media damage to the owning
+    /// application. Zero for models without per-task error state.
+    fn task_error_counters(&self, _task: TaskIdx) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Delivered output units of a *sink* task (display frames filled,
+    /// PCM samples emitted). `None` for tasks that are not delivery
+    /// sinks. The supervisor folds this into per-app deadline tracking.
+    fn progress_units(&self, _task: TaskIdx) -> Option<u64> {
+        None
+    }
+
+    /// Switch a task into (or out of) concealment-only mode — the
+    /// supervisor's "degrade" rung. A concealment-only decoder stops
+    /// trusting the damaged input and emits concealed output units
+    /// instead (VLD: intra concealment macroblocks without entropy
+    /// decoding; display: backfill missing frame slots at end of
+    /// stream). Returns `false` if this model has no degraded mode for
+    /// the task (the supervisor then escalates past this rung).
+    fn set_conceal_only(&mut self, _task: TaskIdx, _on: bool) -> bool {
+        false
+    }
+
     /// Does this coprocessor own a port on the off-chip system bus
     /// (DRAM traffic)? Used by the island partitioner to co-locate
     /// everything contending on the shared off-chip arbiter. The

@@ -36,7 +36,8 @@ pub use config::EclipseConfig;
 pub use coproc::{Coprocessor, StepCtx, StepResult};
 pub use mapping::{AppHandles, MapError};
 pub use system::{
-    AppState, DrainReport, EclipseSystem, PartitionPlan, ReconfigError, RunOutcome, RunSummary,
-    SystemBuilder,
+    AppHealth, AppState, DrainReport, EclipseSystem, PartitionPlan, QosContract, ReconfigError,
+    RecoveryAction, RecoveryReport, RecoveryTrigger, RunOutcome, RunSummary, StreamSpaceView,
+    Supervisor, SupervisorConfig, SystemBuilder, WedgeDiagnosis, WedgeReason,
 };
 pub use trace::{TraceLog, TraceSeries};

@@ -35,13 +35,20 @@ mod partition;
 mod run_loop;
 mod snapshot;
 mod summary;
+pub mod supervisor;
 #[cfg(test)]
 mod tests;
+mod wedge;
 mod wiring;
 
 pub use lifecycle::{AppState, DrainReport, ReconfigError};
 pub use partition::PartitionPlan;
 pub use summary::{RunOutcome, RunSummary};
+pub use supervisor::{
+    AppHealth, QosContract, RecoveryAction, RecoveryReport, RecoveryTrigger, Supervisor,
+    SupervisorConfig,
+};
+pub use wedge::{StreamSpaceView, WedgeDiagnosis, WedgeReason};
 pub use wiring::SystemBuilder;
 
 use std::collections::HashMap;
@@ -51,7 +58,7 @@ use eclipse_mem::{BufferAllocator, Bus, DataFabric, Dram};
 use eclipse_shell::stream_table::AccessPoint;
 use eclipse_shell::{MemSys, Shell, SyncFabric, SyncMsg};
 use eclipse_sim::stats::{Histogram, Utilization};
-use eclipse_sim::trace::{SharedTraceSink, TraceHandle, TraceSink};
+use eclipse_sim::trace::{SamplePolicy, SharedTraceSink, TraceHandle, TraceSink};
 use eclipse_sim::{Calendar, Cycle, FaultInjector, FaultPlan, FaultStats};
 
 use crate::config::EclipseConfig;
@@ -224,6 +231,11 @@ pub struct EclipseSystem {
     /// The partition plan computed by the most recent `run_parallel`
     /// call, kept for reporting (why did the run parallelize or not).
     last_partition_plan: Option<PartitionPlan>,
+    /// Supervisor interventions accumulated since the last
+    /// `finish_run`, drained into [`RunSummary::recovery`].
+    /// Observational (like the trace sink): excluded from checkpoints
+    /// and the state hash so reports survive rollbacks.
+    recovery_log: Vec<supervisor::RecoveryReport>,
 }
 
 impl EclipseSystem {
@@ -355,7 +367,22 @@ impl EclipseSystem {
     /// Tracing is purely observational: enabling it never changes
     /// simulated timing.
     pub fn enable_tracing(&mut self, capacity: usize) -> SharedTraceSink {
-        let sink = TraceSink::shared(capacity);
+        self.enable_tracing_sampled(capacity, SamplePolicy::Ring)
+    }
+
+    /// [`EclipseSystem::enable_tracing`] with an explicit event-budget
+    /// policy: [`SamplePolicy::Ring`] keeps the newest `capacity`
+    /// events; [`SamplePolicy::KindReservoir`] splits the budget evenly
+    /// across event kinds and keeps a deterministic uniform sample of
+    /// each, so rare events (faults, app lifecycle, recovery) survive
+    /// long chatty runs. Sampling only changes which events are
+    /// *retained* — never simulated timing.
+    pub fn enable_tracing_sampled(
+        &mut self,
+        capacity: usize,
+        policy: SamplePolicy,
+    ) -> SharedTraceSink {
+        let sink = TraceSink::shared_with_policy(capacity, policy);
         for (s, shell) in self.shells.iter_mut().enumerate() {
             let name = self.shell_names[s].clone();
             shell.attach_trace(&sink, &name);

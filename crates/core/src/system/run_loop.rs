@@ -3,12 +3,14 @@
 //! credit-conservation checker.
 
 use eclipse_shell::stream_table::{AccessPoint, PortDir, RowIdx};
+use eclipse_shell::task_table::TaskIdx;
 use eclipse_shell::{GetTaskResult, ShellId};
 use eclipse_sim::trace::TraceEventKind;
 use eclipse_sim::{Cycle, SyncAction};
 
 use crate::coproc::{StepCtx, StepResult};
 
+use super::wedge::{StreamSpaceView, WedgeDiagnosis, WedgeReason};
 use super::{EclipseSystem, Event, RunOutcome, RunSummary};
 
 impl EclipseSystem {
@@ -218,35 +220,33 @@ impl EclipseSystem {
         }
     }
 
-    pub(crate) fn blocked_tasks(&self) -> Vec<String> {
+    pub(crate) fn blocked_tasks(&self) -> Vec<WedgeDiagnosis> {
         let mut out = Vec::new();
         for (s, shell) in self.shells.iter().enumerate() {
-            for t in shell.tasks() {
+            for (ti, t) in shell.tasks().iter().enumerate() {
                 if t.retired || t.finished {
                     continue;
                 }
-                if !t.enabled {
+                let view = |ri: RowIdx| {
+                    let row = &shell.rows()[ri.0 as usize];
+                    StreamSpaceView {
+                        label: self.row_labels[s][ri.0 as usize].clone(),
+                        space: row.effective_space(),
+                        capacity: row.buffer.size,
+                    }
+                };
+                let reason = if !t.enabled {
                     // Paused (or admin-disabled) tasks are not deadlock
                     // suspects, but they explain why a drain stalls.
-                    out.push(format!("{} (paused)", t.cfg.name));
-                    continue;
-                }
-                {
-                    let why = match t.blocked_on {
+                    WedgeReason::Paused
+                } else {
+                    match t.blocked_on {
                         // Name the stream and show the local space view so
                         // a deadlock diagnosis pinpoints the starved link.
-                        Some((port, n)) => match t.cfg.ports.get(port as usize) {
-                            Some(ri) => {
-                                let row = &shell.rows()[ri.0 as usize];
-                                format!(
-                                    "blocked on port {port} [{}] for {n} bytes; \
-                                     local space {} of {}",
-                                    self.row_labels[s][ri.0 as usize],
-                                    row.effective_space(),
-                                    row.buffer.size
-                                )
-                            }
-                            None => format!("blocked on port {port} for {n} bytes"),
+                        Some((port, n)) => WedgeReason::BlockedOnPort {
+                            port,
+                            needed: n,
+                            stream: t.cfg.ports.get(port as usize).map(|&ri| view(ri)),
                         },
                         // Never denied a GetSpace, but the best-guess
                         // scheduler may be gating the task on an unmet
@@ -256,21 +256,21 @@ impl EclipseSystem {
                                 hint != 0 && shell.rows()[row.0 as usize].effective_space() < hint
                             },
                         ) {
-                            Some((port, (&ri, &hint))) => {
-                                let row = &shell.rows()[ri.0 as usize];
-                                format!(
-                                    "blocked on port {port} [{}] awaiting space \
-                                     hint of {hint} bytes; local space {} of {}",
-                                    self.row_labels[s][ri.0 as usize],
-                                    row.effective_space(),
-                                    row.buffer.size
-                                )
-                            }
-                            None => "runnable but starved".to_string(),
+                            Some((port, (&ri, &hint))) => WedgeReason::HintStarved {
+                                port: port as u8,
+                                hint,
+                                stream: view(ri),
+                            },
+                            None => WedgeReason::Starved,
                         },
-                    };
-                    out.push(format!("{} ({why})", t.cfg.name));
-                }
+                    }
+                };
+                out.push(WedgeDiagnosis {
+                    shell: s,
+                    task: TaskIdx(ti as u8),
+                    task_name: t.cfg.name.clone(),
+                    reason,
+                });
             }
         }
         out

@@ -38,7 +38,9 @@ use super::{AppState, EclipseSystem, Event};
 /// Leading bytes of every Eclipse checkpoint.
 pub const SNAP_MAGIC: &[u8; 8] = b"ECLSNAP1";
 /// Checkpoint format version this build writes and accepts.
-pub const SNAP_VERSION: u32 = 1;
+/// v2: fault-plan drop-burst window + injector sync counter, display
+/// expected-frame totals (ISSUE 8).
+pub const SNAP_VERSION: u32 = 2;
 
 fn save_access_point(w: &mut SnapWriter, ap: &AccessPoint) {
     w.u16(ap.shell.0);

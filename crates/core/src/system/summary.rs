@@ -5,6 +5,8 @@ use eclipse_sim::stats::{Histogram, Utilization};
 use eclipse_sim::trace::TraceEventKind;
 use eclipse_sim::{Cycle, FaultStats};
 
+use super::supervisor::RecoveryReport;
+use super::wedge::WedgeDiagnosis;
 use super::EclipseSystem;
 
 /// Why a run ended.
@@ -13,9 +15,9 @@ pub enum RunOutcome {
     /// Every task on every shell finished.
     AllFinished,
     /// No events remained but tasks were still unfinished — the
-    /// application deadlocked (usually undersized buffers). The blocked
-    /// task names are listed.
-    Deadlock(Vec<String>),
+    /// application deadlocked (usually undersized buffers). Each stuck
+    /// task is diagnosed (see [`WedgeDiagnosis`]).
+    Deadlock(Vec<WedgeDiagnosis>),
     /// The cycle limit was reached.
     MaxCycles,
 }
@@ -50,6 +52,11 @@ pub struct RunSummary {
     pub media_errors: u64,
     /// Macroblocks concealed instead of decoded (error concealment).
     pub concealed_mbs: u64,
+    /// Supervisor interventions taken during the run (empty for
+    /// unsupervised runs and for supervised runs that never had to
+    /// act). Observational, like the trace sink: excluded from
+    /// checkpoints and the state hash, and monotone across rollbacks.
+    pub recovery: Vec<RecoveryReport>,
 }
 
 impl EclipseSystem {
@@ -119,6 +126,7 @@ impl EclipseSystem {
             faults: self.fault_stats(),
             media_errors,
             concealed_mbs,
+            recovery: std::mem::take(&mut self.recovery_log),
         }
     }
 }

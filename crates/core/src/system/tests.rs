@@ -222,7 +222,10 @@ fn oversized_packet_deadlocks_with_diagnosis() {
     let summary = sys.run(1_000_000);
     match summary.outcome {
         RunOutcome::Deadlock(blocked) => {
-            assert!(blocked.iter().any(|b| b.contains('p')), "{blocked:?}");
+            assert!(
+                blocked.iter().any(|b| b.task_name.contains('p')),
+                "{blocked:?}"
+            );
         }
         other => panic!("expected deadlock, got {other:?}"),
     }

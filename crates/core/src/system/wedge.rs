@@ -1,0 +1,179 @@
+//! Typed deadlock/wedge diagnosis.
+//!
+//! The watchdog used to report stuck tasks as pre-formatted strings;
+//! the supervisor (ISSUE 8) consumes the diagnosis programmatically —
+//! mapping the stuck `(shell, task)` back to the owning application and
+//! branching on *why* the task is stuck — so the diagnosis is now a
+//! struct. The [`Display`](std::fmt::Display) impl reproduces the
+//! legacy log format byte-for-byte.
+
+use std::fmt;
+
+use eclipse_shell::task_table::TaskIdx;
+
+/// The local space view of the stream a stuck task is starved on:
+/// which buffer, how much room its side of the synchronisation
+/// protocol believes it has, and the buffer capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSpaceView {
+    /// Interned stream label (e.g. `dec0.recon`).
+    pub label: String,
+    /// `effective_space()` at diagnosis time — bytes the local shell
+    /// believes are available on this port.
+    pub space: u32,
+    /// Total buffer capacity in bytes.
+    pub capacity: u32,
+}
+
+/// Why a task is not making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WedgeReason {
+    /// Task is administratively disabled (paused app or mid-drain).
+    /// Not a deadlock suspect, but explains why a drain stalls.
+    Paused,
+    /// The task's last `GetSpace` was denied: it needs `needed` bytes
+    /// on `port`. `stream` is `None` only if the port is unwired.
+    BlockedOnPort {
+        /// Task-local port number the denial happened on.
+        port: u8,
+        /// Bytes the denied `GetSpace` asked for.
+        needed: u32,
+        /// The port's stream and local space view, if wired.
+        stream: Option<StreamSpaceView>,
+    },
+    /// Never denied a `GetSpace`, but the best-guess scheduler is
+    /// gating the task on an unmet space hint for `port`.
+    HintStarved {
+        /// Task-local port number with the unmet hint.
+        port: u8,
+        /// The configured space hint, in bytes.
+        hint: u32,
+        /// The port's stream and local space view.
+        stream: StreamSpaceView,
+    },
+    /// Runnable by every local criterion, yet the scheduler never
+    /// selected it before progress stopped system-wide.
+    Starved,
+}
+
+/// One stuck task in a watchdog/deadlock diagnosis: where it lives
+/// (`shell`/`task` key directly into shell tables and
+/// `AppRecord::tasks`), its name, and the blocking reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WedgeDiagnosis {
+    /// Index into the system's shell/coprocessor arrays.
+    pub shell: usize,
+    /// Shell-local task slot.
+    pub task: TaskIdx,
+    /// Configured task name (e.g. `dec0.mc`).
+    pub task_name: String,
+    /// Why the task is stuck.
+    pub reason: WedgeReason,
+}
+
+impl WedgeDiagnosis {
+    /// True for reasons that make the task a genuine deadlock suspect
+    /// (everything except an administrative pause).
+    pub fn is_suspect(&self) -> bool {
+        !matches!(self.reason, WedgeReason::Paused)
+    }
+}
+
+impl fmt::Display for WedgeDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = &self.task_name;
+        match &self.reason {
+            WedgeReason::Paused => write!(f, "{name} (paused)"),
+            WedgeReason::BlockedOnPort {
+                port,
+                needed,
+                stream: Some(sv),
+            } => write!(
+                f,
+                "{name} (blocked on port {port} [{}] for {needed} bytes; \
+                 local space {} of {})",
+                sv.label, sv.space, sv.capacity
+            ),
+            WedgeReason::BlockedOnPort {
+                port,
+                needed,
+                stream: None,
+            } => write!(f, "{name} (blocked on port {port} for {needed} bytes)"),
+            WedgeReason::HintStarved { port, hint, stream } => write!(
+                f,
+                "{name} (blocked on port {port} [{}] awaiting space \
+                 hint of {hint} bytes; local space {} of {})",
+                stream.label, stream.space, stream.capacity
+            ),
+            WedgeReason::Starved => write!(f, "{name} (runnable but starved)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(reason: WedgeReason) -> WedgeDiagnosis {
+        WedgeDiagnosis {
+            shell: 3,
+            task: TaskIdx(0),
+            task_name: "dec0.mc".to_string(),
+            reason,
+        }
+    }
+
+    fn view() -> StreamSpaceView {
+        StreamSpaceView {
+            label: "dec0.resid".to_string(),
+            space: 129,
+            capacity: 2048,
+        }
+    }
+
+    /// The typed diagnosis must render exactly the strings the watchdog
+    /// used to format inline — downstream log scrapers key on them.
+    #[test]
+    fn display_reproduces_the_legacy_log_format() {
+        assert_eq!(diag(WedgeReason::Paused).to_string(), "dec0.mc (paused)");
+        assert_eq!(
+            diag(WedgeReason::BlockedOnPort {
+                port: 1,
+                needed: 258,
+                stream: Some(view()),
+            })
+            .to_string(),
+            "dec0.mc (blocked on port 1 [dec0.resid] for 258 bytes; \
+             local space 129 of 2048)"
+        );
+        assert_eq!(
+            diag(WedgeReason::BlockedOnPort {
+                port: 1,
+                needed: 258,
+                stream: None,
+            })
+            .to_string(),
+            "dec0.mc (blocked on port 1 for 258 bytes)"
+        );
+        assert_eq!(
+            diag(WedgeReason::HintStarved {
+                port: 0,
+                hint: 64,
+                stream: view(),
+            })
+            .to_string(),
+            "dec0.mc (blocked on port 0 [dec0.resid] awaiting space \
+             hint of 64 bytes; local space 129 of 2048)"
+        );
+        assert_eq!(
+            diag(WedgeReason::Starved).to_string(),
+            "dec0.mc (runnable but starved)"
+        );
+    }
+
+    #[test]
+    fn paused_tasks_are_not_deadlock_suspects() {
+        assert!(!diag(WedgeReason::Paused).is_suspect());
+        assert!(diag(WedgeReason::Starved).is_suspect());
+    }
+}

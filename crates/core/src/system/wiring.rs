@@ -362,6 +362,7 @@ impl SystemBuilder {
             credits_lost: HashMap::new(),
             parallel_islands: self.parallel_islands,
             last_partition_plan: None,
+            recovery_log: Vec::new(),
         }
     }
 }

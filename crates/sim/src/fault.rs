@@ -39,6 +39,15 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Probability that a `putspace` message is silently dropped.
     pub sync_drop_rate: f64,
+    /// Number of initial `putspace` messages immune to drops. Lets a
+    /// plan model a drop *burst* that starts mid-run, after a
+    /// supervisor has had time to bank clean checkpoints.
+    pub sync_drop_skip: u64,
+    /// Maximum number of drops injected over the injector's lifetime
+    /// (`u64::MAX` = unbounded). A bounded burst is the transient-fault
+    /// model under which checkpoint rollback can actually heal: replays
+    /// past an exhausted budget see no new drops.
+    pub sync_drop_limit: u64,
     /// Probability that a `putspace` message is delayed.
     pub sync_delay_rate: f64,
     /// Maximum extra delivery delay in cycles (uniform in `1..=max`).
@@ -60,6 +69,8 @@ impl Default for FaultPlan {
         FaultPlan {
             seed: 0,
             sync_drop_rate: 0.0,
+            sync_drop_skip: 0,
+            sync_drop_limit: u64::MAX,
             sync_delay_rate: 0.0,
             sync_delay_max: 200,
             bus_error_rate: 0.0,
@@ -140,6 +151,8 @@ pub struct FaultInjector {
     rng_sram: Xoshiro256StarStar,
     rng_stall: Xoshiro256StarStar,
     stats: FaultStats,
+    /// `putspace` messages seen so far (drives `sync_drop_skip`).
+    syncs_seen: u64,
 }
 
 impl FaultInjector {
@@ -158,6 +171,7 @@ impl FaultInjector {
             rng_sram,
             rng_stall,
             stats: FaultStats::default(),
+            syncs_seen: 0,
         }
     }
 
@@ -179,8 +193,17 @@ impl FaultInjector {
         if drop <= 0.0 && delay <= 0.0 {
             return SyncAction::Deliver;
         }
+        self.syncs_seen += 1;
+        let drop_armed = self.syncs_seen > self.plan.sync_drop_skip
+            && self.stats.sync_dropped < self.plan.sync_drop_limit;
         let r = self.rng_sync.next_f64();
         if r < drop {
+            // Outside the armed window the drop band is inert: the
+            // draw is still consumed (keeps the decision stream
+            // aligned) but the message is delivered.
+            if !drop_armed {
+                return SyncAction::Deliver;
+            }
             self.stats.sync_dropped += 1;
             self.stats.credits_lost += bytes as u64;
             SyncAction::Drop
@@ -240,6 +263,8 @@ impl Snapshot for FaultPlan {
     fn save(&self, w: &mut SnapWriter) {
         w.u64(self.seed);
         w.f64(self.sync_drop_rate);
+        w.u64(self.sync_drop_skip);
+        w.u64(self.sync_drop_limit);
         w.f64(self.sync_delay_rate);
         w.u64(self.sync_delay_max);
         w.f64(self.bus_error_rate);
@@ -252,6 +277,8 @@ impl Snapshot for FaultPlan {
     fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
         self.seed = r.u64()?;
         self.sync_drop_rate = r.f64()?;
+        self.sync_drop_skip = r.u64()?;
+        self.sync_drop_limit = r.u64()?;
         self.sync_delay_rate = r.f64()?;
         self.sync_delay_max = r.u64()?;
         self.bus_error_rate = r.f64()?;
@@ -292,6 +319,7 @@ impl Snapshot for FaultInjector {
         self.rng_sram.save(w);
         self.rng_stall.save(w);
         self.stats.save(w);
+        w.u64(self.syncs_seen);
     }
 
     fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
@@ -300,7 +328,9 @@ impl Snapshot for FaultInjector {
         self.rng_bus.load(r)?;
         self.rng_sram.load(r)?;
         self.rng_stall.load(r)?;
-        self.stats.load(r)
+        self.stats.load(r)?;
+        self.syncs_seen = r.u64()?;
+        Ok(())
     }
 }
 

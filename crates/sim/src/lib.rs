@@ -46,4 +46,6 @@ pub use fault::{corrupt_bytes, FaultInjector, FaultPlan, FaultStats, SyncAction}
 pub use island::{IslandCtx, IslandHandler, IslandId, IslandSim, RunReport};
 pub use snapshot::{fnv1a_64, FnvState, SnapError, SnapReader, SnapWriter, Snapshot};
 pub use time::{Clock, Cycle, Frequency};
-pub use trace::{SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink};
+pub use trace::{
+    SamplePolicy, SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink,
+};

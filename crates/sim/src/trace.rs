@@ -279,12 +279,66 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
 }
 
+/// Number of [`TraceEventKind`] variants — the divisor for the
+/// per-kind budget under [`SamplePolicy::KindReservoir`].
+pub const KIND_COUNT: usize = 25;
+
+/// How a [`TraceSink`] spends its bounded event budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePolicy {
+    /// Keep the newest events: when the ring is full the oldest event
+    /// is dropped (the historical behaviour, and the default).
+    Ring,
+    /// Per-kind budget with reservoir sampling: the capacity is split
+    /// evenly across all [`KIND_COUNT`] event kinds, and within a
+    /// kind's budget events are reservoir-sampled (Algorithm R) so the
+    /// retained set is a uniform sample of the *whole* run. A chatty
+    /// kind (bus grants, steps) can never evict a rare one (faults,
+    /// app lifecycle) — the failure mode of the plain ring on long
+    /// chaos runs. Replacement draws come from a stateless splitmix
+    /// hash of `(seed, kind, seen)`, so the sample is a pure function
+    /// of the event stream: deterministic, and checkpoint/restore
+    /// needs only the per-kind `seen` counters.
+    KindReservoir {
+        /// Seed folded into every replacement draw.
+        seed: u64,
+    },
+}
+
+/// One kind's reservoir under [`SamplePolicy::KindReservoir`]: how many
+/// events of the kind were ever offered, and the retained sample with
+/// each event's global emission sequence (for deterministic ordering).
+#[derive(Debug, Default)]
+struct KindReservoir {
+    seen: u64,
+    slots: Vec<(u64, TraceEvent)>,
+}
+
+/// Stateless uniform draw for reservoir replacement: splitmix64 over
+/// the policy seed, an FNV-1a hash of the kind name, and the kind's
+/// running `seen` count.
+fn reservoir_draw(seed: u64, kind: &str, seen: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in kind.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = seed ^ h ^ seen.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Ring-buffer event sink with runtime enable/disable.
 #[derive(Debug)]
 pub struct TraceSink {
     enabled: bool,
     capacity: usize,
+    policy: SamplePolicy,
     events: VecDeque<TraceEvent>,
+    /// [`SamplePolicy::KindReservoir`] storage; empty under `Ring`.
+    reservoirs: std::collections::BTreeMap<String, KindReservoir>,
+    /// Global emission sequence (orders reservoir samples on export).
+    seq: u64,
     labels: Vec<String>,
     by_label: HashMap<String, LabelId>,
     emitted: u64,
@@ -298,10 +352,18 @@ impl TraceSink {
     /// A sink holding at most `capacity` events (oldest dropped first).
     /// Starts enabled.
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, SamplePolicy::Ring)
+    }
+
+    /// A sink with an explicit sampling policy (see [`SamplePolicy`]).
+    pub fn with_policy(capacity: usize, policy: SamplePolicy) -> Self {
         TraceSink {
             enabled: true,
             capacity: capacity.max(1),
+            policy,
             events: VecDeque::new(),
+            reservoirs: std::collections::BTreeMap::new(),
+            seq: 0,
             labels: Vec::new(),
             by_label: HashMap::new(),
             emitted: 0,
@@ -312,6 +374,16 @@ impl TraceSink {
     /// A shareable sink (the form the instrumented components hold).
     pub fn shared(capacity: usize) -> SharedTraceSink {
         Rc::new(RefCell::new(Self::new(capacity)))
+    }
+
+    /// A shareable sink with an explicit sampling policy.
+    pub fn shared_with_policy(capacity: usize, policy: SamplePolicy) -> SharedTraceSink {
+        Rc::new(RefCell::new(Self::with_policy(capacity, policy)))
+    }
+
+    /// The active sampling policy.
+    pub fn policy(&self) -> SamplePolicy {
+        self.policy
     }
 
     /// Turn event collection on or off at runtime. Disabling does not
@@ -343,34 +415,96 @@ impl TraceSink {
         &self.labels[id.0 as usize]
     }
 
-    /// Append an event (no-op when disabled; drops the oldest event when
-    /// full).
+    /// Append an event (no-op when disabled). Under [`SamplePolicy::Ring`]
+    /// the oldest event is dropped when full; under
+    /// [`SamplePolicy::KindReservoir`] the event is offered to its
+    /// kind's reservoir. Either way `emitted - dropped` equals the
+    /// retained count.
     #[inline]
     pub fn emit(&mut self, event: TraceEvent) {
         if !self.enabled {
             return;
         }
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
+        match self.policy {
+            SamplePolicy::Ring => {
+                if self.events.len() == self.capacity {
+                    self.events.pop_front();
+                    self.dropped += 1;
+                }
+                self.events.push_back(event);
+            }
+            SamplePolicy::KindReservoir { seed } => {
+                let name = event.kind.name();
+                let quota = (self.capacity / KIND_COUNT).max(1);
+                let seq = self.seq;
+                self.seq += 1;
+                if !self.reservoirs.contains_key(name) {
+                    self.reservoirs
+                        .insert(name.to_string(), KindReservoir::default());
+                }
+                let res = self.reservoirs.get_mut(name).expect("just inserted");
+                res.seen += 1;
+                if res.slots.len() < quota {
+                    res.slots.push((seq, event));
+                } else {
+                    // Algorithm R: the n-th offer replaces a uniform
+                    // slot with probability quota/n.
+                    let j = reservoir_draw(seed, name, res.seen) % res.seen;
+                    if (j as usize) < quota {
+                        res.slots[j as usize] = (seq, event);
+                    }
+                    self.dropped += 1;
+                }
+            }
         }
-        self.events.push_back(event);
         self.emitted += 1;
     }
 
-    /// The retained events, oldest first.
+    /// The retained events in deterministic export order: ring order
+    /// under [`SamplePolicy::Ring`], global emission order under
+    /// [`SamplePolicy::KindReservoir`].
+    fn ordered(&self) -> Vec<&TraceEvent> {
+        match self.policy {
+            SamplePolicy::Ring => self.events.iter().collect(),
+            SamplePolicy::KindReservoir { .. } => {
+                let mut all: Vec<(u64, &TraceEvent)> = self
+                    .reservoirs
+                    .values()
+                    .flat_map(|r| r.slots.iter().map(|(seq, e)| (*seq, e)))
+                    .collect();
+                all.sort_unstable_by_key(|&(seq, _)| seq);
+                all.into_iter().map(|(_, e)| e).collect()
+            }
+        }
+    }
+
+    /// The retained events, oldest first (emission order).
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter()
+        self.ordered().into_iter()
     }
 
     /// Retained event count.
     pub fn len(&self) -> usize {
         self.events.len()
+            + self
+                .reservoirs
+                .values()
+                .map(|r| r.slots.len())
+                .sum::<usize>()
     }
 
     /// True when no events are retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
+    }
+
+    /// Per-kind offered counts under [`SamplePolicy::KindReservoir`]
+    /// (empty under [`SamplePolicy::Ring`]), sorted by kind name.
+    pub fn kind_seen(&self) -> Vec<(String, u64)> {
+        self.reservoirs
+            .iter()
+            .map(|(name, r)| (name.clone(), r.seen))
+            .collect()
     }
 
     /// Total events emitted while enabled (including dropped ones).
@@ -383,16 +517,21 @@ impl TraceSink {
         self.dropped
     }
 
-    /// Discard all retained events (the counters keep accumulating).
+    /// Discard all retained events (the counters keep accumulating;
+    /// reservoir `seen` counts are preserved so later offers keep their
+    /// correct inclusion probability).
     pub fn clear(&mut self) {
         self.events.clear();
+        for r in self.reservoirs.values_mut() {
+            r.slots.clear();
+        }
     }
 
     /// Per-kind event counts over the retained events, sorted by name (for
     /// reports).
     pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
         let mut counts: HashMap<&'static str, u64> = HashMap::new();
-        for e in &self.events {
+        for e in self.ordered() {
             *counts.entry(e.kind.name()).or_insert(0) += 1;
         }
         let mut out: Vec<_> = counts.into_iter().collect();
@@ -417,6 +556,19 @@ impl TraceSink {
         for label in &self.labels {
             w.str(label);
         }
+        match self.policy {
+            SamplePolicy::Ring => w.u8(0),
+            SamplePolicy::KindReservoir { seed } => {
+                w.u8(1);
+                w.u64(seed);
+            }
+        }
+        w.u64(self.seq);
+        w.usize(self.reservoirs.len());
+        for (name, r) in &self.reservoirs {
+            w.str(name);
+            w.u64(r.seen);
+        }
     }
 
     /// Restore the accounting state written by [`TraceSink::save_state`]:
@@ -431,6 +583,23 @@ impl TraceSink {
         for _ in 0..n {
             let label = r.str()?;
             self.intern(&label);
+        }
+        self.policy = match r.u8()? {
+            0 => SamplePolicy::Ring,
+            _ => SamplePolicy::KindReservoir { seed: r.u64()? },
+        };
+        self.seq = r.u64()?;
+        self.reservoirs.clear();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            let seen = r.u64()?;
+            self.reservoirs.insert(
+                name,
+                KindReservoir {
+                    seen,
+                    slots: Vec::new(),
+                },
+            );
         }
         self.events.clear();
         Ok(())
@@ -459,7 +628,8 @@ impl TraceSink {
         // Thread-name metadata for every unit and task track that appears.
         let mut seen_units: Vec<LabelId> = Vec::new();
         let mut seen_tasks: Vec<LabelId> = Vec::new();
-        for e in &self.events {
+        let ordered = self.ordered();
+        for e in &ordered {
             if !seen_units.contains(&e.unit) {
                 seen_units.push(e.unit);
             }
@@ -489,7 +659,7 @@ impl TraceSink {
                 ),
             );
         }
-        for e in &self.events {
+        for e in &ordered {
             let tid = e.unit.0;
             let line = match e.kind {
                 TraceEventKind::Step { task, busy, stall } => format!(
@@ -534,7 +704,7 @@ impl TraceSink {
     /// declaration order (empty when absent).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("cycle,unit,event,detail,a,b,c\n");
-        for e in &self.events {
+        for e in self.ordered() {
             let unit = self.label(e.unit);
             let (detail, a, b, c): (&str, String, String, String) = match e.kind {
                 TraceEventKind::TaskSelected { task, switched } => (
@@ -1305,6 +1475,107 @@ mod tests {
             kind: TraceEventKind::Sample,
         });
         assert_eq!(s.counts_by_kind(), vec![("sample", 2), ("task_idle", 1)]);
+    }
+
+    #[test]
+    fn reservoir_keeps_rare_kinds_under_chatty_flood() {
+        // 16-slot budget, so each kind's quota is max(1, 16/25) = 1...
+        // use a larger capacity so quotas are meaningful.
+        let mut s = TraceSink::with_policy(KIND_COUNT * 4, SamplePolicy::KindReservoir { seed: 7 });
+        let u = s.intern("u");
+        // One rare fault among ten thousand chatty samples.
+        let f = s.intern("sram_flip");
+        for i in 0..5_000u64 {
+            s.emit(TraceEvent {
+                cycle: i,
+                unit: u,
+                kind: TraceEventKind::Sample,
+            });
+        }
+        s.emit(TraceEvent {
+            cycle: 5_000,
+            unit: u,
+            kind: TraceEventKind::Fault {
+                class: f,
+                magnitude: 1,
+            },
+        });
+        for i in 5_001..10_000u64 {
+            s.emit(TraceEvent {
+                cycle: i,
+                unit: u,
+                kind: TraceEventKind::Sample,
+            });
+        }
+        // The plain ring would have evicted the fault long ago; the
+        // per-kind reservoir must retain it.
+        assert!(
+            s.events()
+                .any(|e| matches!(e.kind, TraceEventKind::Fault { .. })),
+            "rare kind evicted by chatty one"
+        );
+        // Sample retention is capped at the per-kind quota.
+        let quota = (s.capacity / KIND_COUNT).max(1);
+        let samples = s
+            .events()
+            .filter(|e| matches!(e.kind, TraceEventKind::Sample))
+            .count();
+        assert_eq!(samples, quota);
+        // Accounting: emitted - dropped == retained, and seen counts
+        // cover the full stream.
+        assert_eq!(s.emitted() - s.dropped(), s.len() as u64);
+        assert_eq!(
+            s.kind_seen(),
+            vec![("fault".to_string(), 1), ("sample".to_string(), 9_999)]
+        );
+    }
+
+    #[test]
+    fn reservoir_sample_is_deterministic() {
+        let run = || {
+            let mut s =
+                TraceSink::with_policy(KIND_COUNT * 2, SamplePolicy::KindReservoir { seed: 42 });
+            let u = s.intern("u");
+            for i in 0..1_000u64 {
+                s.emit(TraceEvent {
+                    cycle: i,
+                    unit: u,
+                    kind: if i % 3 == 0 {
+                        TraceEventKind::TaskIdle
+                    } else {
+                        TraceEventKind::Sample
+                    },
+                });
+            }
+            s.to_csv()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reservoir_accounting_survives_snapshot() {
+        let mut s = TraceSink::with_policy(KIND_COUNT, SamplePolicy::KindReservoir { seed: 3 });
+        let u = s.intern("u");
+        for i in 0..500u64 {
+            s.emit(TraceEvent {
+                cycle: i,
+                unit: u,
+                kind: TraceEventKind::Sample,
+            });
+        }
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = TraceSink::new(4);
+        restored
+            .load_state(&mut SnapReader::new(&bytes))
+            .expect("round-trip");
+        assert_eq!(restored.policy(), s.policy());
+        assert_eq!(restored.emitted(), s.emitted());
+        assert_eq!(restored.dropped(), s.dropped());
+        assert_eq!(restored.kind_seen(), s.kind_seen());
+        // Retained events are observational debris: not carried over.
+        assert!(restored.is_empty());
     }
 
     #[test]
