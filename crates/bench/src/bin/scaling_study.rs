@@ -5,11 +5,14 @@
 //! and tabulating wall-clock, speedup, barrier rounds, and channel spill
 //! pressure per island count.
 //!
-//! The study also prints what the *system-level* partitioner says about a
-//! representative Eclipse instance: today every shipped data fabric
-//! arbitrates globally (zero data-plane lookahead), so
-//! `EclipseSystem::run_parallel` falls back to the sequential engine and
-//! this bench is where the threaded engine earns its keep.
+//! The study also exercises the *system-level* parallel gate end to end:
+//! under the globally arbitrated fabrics (shared bus, multi-bank) the
+//! partitioner reports zero data-plane lookahead and
+//! `EclipseSystem::run_parallel` falls back to the sequential engine;
+//! under the private-port crossbar (positive `min_grant_cycles()`, see
+//! DESIGN.md §16) the gate opens, and the study runs a two-app workload
+//! through the replicated-island engine, asserting the threaded timing
+//! fingerprint (summary + state hash) is byte-identical to sequential.
 //!
 //! Usage: `cargo run -p eclipse-bench --release --bin scaling_study
 //! [--quick] [--threads N]`
@@ -18,13 +21,14 @@
 //! The fingerprint columns must read `ok` for every row on every host —
 //! that is the determinism contract, checked here end to end.
 
-use eclipse_bench::synthetic::PipeCoproc;
+use eclipse_bench::synthetic::{open_gate_system, PipeCoproc};
 use eclipse_bench::{save_result, table, threads_flag};
 use eclipse_core::{EclipseConfig, SystemBuilder};
 use eclipse_kpn::GraphBuilder;
 use eclipse_sim::rng::SplitMix64;
 use eclipse_sim::{Cycle, IslandCtx, IslandHandler, IslandId, IslandSim, RunReport};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Lookahead every cross send respects, in cycles — stands in for the
@@ -140,6 +144,67 @@ fn system_plan_line(requested: usize) -> String {
     )
 }
 
+/// Sequential vs. replicated-island `run_parallel` on the open-gate
+/// workload. Returns the printable report; panics on any timing
+/// divergence — that is the tentpole contract this bench pins in CI.
+fn open_gate_study(packets: u32, compute: u64) -> String {
+    let factory = move || open_gate_system(packets, compute);
+
+    let mut seq = factory();
+    let t0 = Instant::now();
+    let seq_summary = seq.run(20_000_000_000);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let seq_hash = seq.state_hash();
+
+    let mut par = factory();
+    par.set_parallel_islands(2);
+    par.set_replication(Arc::new(factory));
+    let plan = par.partition_plan(2);
+    assert!(
+        plan.islands.len() == 2 && plan.lookahead > 0,
+        "private-port gate failed to open: {}",
+        plan.reason
+    );
+    let t1 = Instant::now();
+    let par_summary = par.run_parallel(20_000_000_000);
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let par_hash = par.state_hash();
+
+    assert_eq!(
+        format!("{seq_summary:?}"),
+        format!("{par_summary:?}"),
+        "open-gate run_parallel summary diverged from sequential"
+    );
+    assert_eq!(
+        seq_hash, par_hash,
+        "open-gate run_parallel state hash diverged from sequential"
+    );
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "open-gate system run (private-port crossbar, 2 apps x {packets} packets):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  plan: {} island(s), lookahead {} — {}",
+        plan.islands.len(),
+        plan.lookahead,
+        plan.reason
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  sequential {seq_ms:.1} ms, islands {par_ms:.1} ms ({:.2}x); \
+         {} cycles, state hash {seq_hash:#018x} — byte-identical",
+        seq_ms / par_ms.max(1e-9),
+        seq_summary.cycles,
+    )
+    .unwrap();
+    out
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (work, budget, island_counts): (u32, u32, &[usize]) = if quick {
@@ -209,6 +274,10 @@ fn main() {
     println!("{plan_req}");
     println!("{plan_one}");
 
+    let (og_packets, og_compute) = if quick { (4_000, 60) } else { (40_000, 60) };
+    let open_gate = open_gate_study(og_packets, og_compute);
+    println!("{open_gate}");
+
     let mut out = String::new();
     writeln!(
         out,
@@ -219,6 +288,7 @@ fn main() {
     out.push_str(&t);
     writeln!(out, "{plan_req}").unwrap();
     writeln!(out, "{plan_one}").unwrap();
+    out.push_str(&open_gate);
     save_result("scaling_study.txt", &out);
 
     assert!(

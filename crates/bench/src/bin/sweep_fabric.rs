@@ -1,8 +1,14 @@
 //! **Interconnect-fabric design-space sweep**: decode throughput and
 //! stream denial rates across data-fabric backends (the paper instance's
 //! shared read/write bus pair vs. address-interleaved multi-bank SRAM
-//! fabrics) and sync-network backends (flat direct delivery vs. a
-//! unidirectional ring with per-hop latency and link contention).
+//! fabrics vs. the worst-case-provisioned private-port crossbar) and
+//! sync-network backends (flat direct delivery vs. a unidirectional
+//! ring with per-hop latency and link contention).
+//!
+//! The private-port rows also measure the price of timing independence:
+//! every access pays the static grant bound up front, which is exactly
+//! what buys the fabric its positive `min_grant_cycles()` and opens the
+//! intra-run parallel gate (see DESIGN.md §16).
 //!
 //! The shared-bus + direct row is the committed baseline model; every
 //! other row answers a scaling question the template leaves open: how
@@ -41,6 +47,10 @@ fn points(cfg: &EclipseConfig) -> Vec<Point> {
         interleave_bytes: 64,
         bank,
     };
+    let private = |grant| DataFabricConfig::PrivatePort {
+        grant_cycles: grant,
+        port: bank,
+    };
     let ring = SyncFabricConfig::Ring {
         hop_latency: 2,
         link_occupancy: 1,
@@ -67,6 +77,16 @@ fn points(cfg: &EclipseConfig) -> Vec<Point> {
             sync: SyncFabricConfig::Direct,
         },
         Point {
+            label: "private g=2 + direct",
+            data: private(2),
+            sync: SyncFabricConfig::Direct,
+        },
+        Point {
+            label: "private g=8 + direct",
+            data: private(8),
+            sync: SyncFabricConfig::Direct,
+        },
+        Point {
             label: "shared-bus + ring",
             data: shared,
             sync: ring,
@@ -74,6 +94,11 @@ fn points(cfg: &EclipseConfig) -> Vec<Point> {
         Point {
             label: "4-bank + ring",
             data: multibank(4),
+            sync: ring,
+        },
+        Point {
+            label: "private g=2 + ring",
+            data: private(2),
             sync: ring,
         },
     ]

@@ -131,8 +131,8 @@ fn fault_cases() -> Vec<FaultCase> {
         FaultCase {
             name: "sram_flip",
             plan: Some(FaultPlan {
-                sram_flip_rate: 0.002,
-                ..FaultPlan::with_seed(4)
+                sram_flip_rate: 0.004,
+                ..FaultPlan::with_seed(2)
             }),
             corrupt: 0.0,
             rollback_knobs: false,

@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run -p eclipse-bench --release --bin timing_fingerprint`
 
-use eclipse_bench::synthetic::PipeCoproc;
+use eclipse_bench::synthetic::{open_gate_system, PipeCoproc};
 use eclipse_bench::{save_result, StreamSpec};
 use eclipse_coprocs::apps::{DecodeAppConfig, EncodeAppConfig};
 use eclipse_coprocs::instance::{build_decode_system, InstanceCosts, MpegBuilder};
@@ -213,6 +213,22 @@ fn main() {
         let mut sys = b.build();
         let s = run_mode(&mut sys.sys, 100_000_000_000, par);
         digest(&mut out, "sweep_scheduler/bestguess-2000", &s);
+    }
+
+    // Open-gate point: two independent apps on the private-port crossbar
+    // — the one fabric whose static grant floor lets `--parallel` take
+    // the replicated-island path instead of the sequential fallback. The
+    // digest (and the final state hash) must not depend on which engine
+    // ran the workload.
+    {
+        let factory = || open_gate_system(2_000, 60);
+        let mut sys = factory();
+        if par.is_some() {
+            sys.set_replication(std::sync::Arc::new(factory));
+        }
+        let s = run_mode(&mut sys, 1_000_000_000, par);
+        digest(&mut out, "open_gate/private-port-2apps", &s);
+        writeln!(out, "state_hash: {:#018x}", sys.state_hash()).unwrap();
     }
 
     print!("{out}");

@@ -4,13 +4,15 @@
 //! after live reconfiguration has reshaped the tables relative to the
 //! fresh build receiving the checkpoint.
 
-use eclipse_coprocs::apps::AudioAppConfig;
-use eclipse_coprocs::instance::{build_decode_system, DecodeSystem};
+use eclipse_coprocs::apps::{AudioAppConfig, DecodeAppConfig};
+use eclipse_coprocs::instance::{build_decode_system, DecodeSystem, InstanceCosts, MpegBuilder};
 use eclipse_core::{EclipseConfig, RunOutcome};
 use eclipse_media::encoder::{Encoder, EncoderConfig};
 use eclipse_media::source::{SourceConfig, SyntheticSource};
 use eclipse_media::stream::GopConfig;
 use eclipse_media::{audio, Decoder};
+use eclipse_mem::{BusConfig, DataFabricConfig};
+use eclipse_shell::SyncFabricConfig;
 
 fn encode_test_stream(
     width: usize,
@@ -128,6 +130,133 @@ fn two_fresh_mpeg_builds_checkpoint_identically() {
         "mid-run builds serialize differently"
     );
     assert_eq!(a.system.sys.state_hash(), b.system.sys.state_hash());
+}
+
+/// ISSUE 9 satellite: every data-fabric × sync-fabric combination must
+/// checkpoint bit-exactly *under load* — i.e. at a cycle where the
+/// fabric arbiters hold live cursors (multi-bank round-robin positions,
+/// private-port in-flight grants, bus busy-until horizons) and syncs
+/// are in flight. A restore into a fresh build must replay to the same
+/// state-hash tail and the same decoded frames.
+#[test]
+fn checkpoint_under_load_across_fabric_combos() {
+    let bs = encode_test_stream(48, 32, 3, GopConfig { n: 3, m: 1 }, 26);
+    let cfg = EclipseConfig::default();
+    let bank = BusConfig {
+        width_bytes: cfg.read_bus.width_bytes,
+        latency: cfg.read_bus.latency,
+        cycles_per_beat: cfg.read_bus.cycles_per_beat,
+    };
+    let data_arms: [(&str, DataFabricConfig); 4] = [
+        (
+            "shared-bus",
+            DataFabricConfig::SharedBus {
+                read: cfg.read_bus,
+                write: cfg.write_bus,
+            },
+        ),
+        (
+            "2-bank",
+            DataFabricConfig::MultiBank {
+                banks: 2,
+                interleave_bytes: 64,
+                bank,
+            },
+        ),
+        (
+            "4-bank",
+            DataFabricConfig::MultiBank {
+                banks: 4,
+                interleave_bytes: 64,
+                bank,
+            },
+        ),
+        (
+            "private-port",
+            DataFabricConfig::PrivatePort {
+                grant_cycles: 2,
+                port: bank,
+            },
+        ),
+    ];
+    let sync_arms: [(&str, SyncFabricConfig); 2] = [
+        ("direct", SyncFabricConfig::Direct),
+        (
+            "ring",
+            SyncFabricConfig::Ring {
+                hop_latency: 2,
+                link_occupancy: 1,
+            },
+        ),
+    ];
+    for (dl, data) in data_arms {
+        for (sl, sync) in sync_arms {
+            let label = format!("{dl}+{sl}");
+            let mk = || {
+                let mut b = MpegBuilder::new(cfg, InstanceCosts::default());
+                b.with_data_fabric(data).with_sync_fabric(sync);
+                b.add_decode("dec0", bs.clone(), DecodeAppConfig::default());
+                b.build()
+            };
+            // Measuring pass: learn the total so the save point lands
+            // squarely mid-decode, with the pipeline saturated.
+            let total = {
+                let mut m = mk();
+                let s = m.run(200_000_000);
+                assert_eq!(s.outcome, RunOutcome::AllFinished, "{label}");
+                s.cycles
+            };
+
+            let mut original = mk();
+            assert!(
+                original.sys.run_until(2 * total / 5).is_none(),
+                "{label}: decode must still be mid-flight at the save point"
+            );
+            let hash_at_save = original.sys.state_hash();
+            let bytes = original.sys.save();
+
+            let mut restored = mk();
+            restored.sys.restore(&bytes).unwrap();
+            assert_eq!(
+                restored.sys.state_hash(),
+                hash_at_save,
+                "{label}: restore does not reproduce the checkpoint hash"
+            );
+            // Re-saving immediately must be byte-identical: arbiter
+            // cursors, in-flight grants, and queued syncs all survive
+            // the round-trip, not just the hashed subset.
+            assert_eq!(
+                restored.sys.save(),
+                bytes,
+                "{label}: save→restore→save is not byte-stable"
+            );
+
+            let hashes = |sys: &mut eclipse_coprocs::instance::MpegSystem| {
+                let mut out = Vec::new();
+                let mut stop = sys.sys.now();
+                loop {
+                    stop += total / 16;
+                    match sys.sys.run_until(stop) {
+                        None => out.push(sys.sys.state_hash()),
+                        Some(outcome) => {
+                            assert_eq!(outcome, RunOutcome::AllFinished, "{label}");
+                            break;
+                        }
+                    }
+                }
+                out.push(sys.sys.state_hash());
+                out
+            };
+            let tail_a = hashes(&mut original);
+            let tail_b = hashes(&mut restored);
+            assert_eq!(tail_a, tail_b, "{label}: state-hash tails diverged");
+            assert_eq!(
+                original.display_frames("dec0"),
+                restored.display_frames("dec0"),
+                "{label}: restored decode produced different frames"
+            );
+        }
+    }
 }
 
 #[test]

@@ -283,8 +283,8 @@ fn stall_storm_degrades_before_the_deadline() {
 fn sram_flips_exhaust_the_error_budget_and_degrade() {
     let bs = encode_test_stream(3, 41);
     let plan = FaultPlan {
-        sram_flip_rate: 0.002,
-        ..FaultPlan::with_seed(4)
+        sram_flip_rate: 0.004,
+        ..FaultPlan::with_seed(2)
     };
 
     let mut base = build_av(bs.clone());
@@ -483,8 +483,8 @@ fn acceptance_six_fault_classes_recover_and_deliver() {
         (
             "sram_flip",
             FaultPlan {
-                sram_flip_rate: 0.002,
-                ..FaultPlan::with_seed(4)
+                sram_flip_rate: 0.004,
+                ..FaultPlan::with_seed(2)
             },
             4_000_000,
             deadline,

@@ -148,8 +148,9 @@ impl<'a> StepCtx<'a> {
     /// injector may flip one bit of the transfer (SRAM corruption as
     /// seen by the consumer).
     pub fn write(&mut self, port: PortId, offset: u32, data: &[u8]) {
+        let shell_idx = self.shell.id.0 as usize;
         if let Some(inj) = self.fault.as_deref_mut() {
-            if let Some((i, mask)) = inj.sram_flip(data.len()) {
+            if let Some((i, mask)) = inj.sram_flip(shell_idx, data.len()) {
                 let mut corrupted = data.to_vec();
                 corrupted[i] ^= mask;
                 let now = self.now();
@@ -200,8 +201,9 @@ impl<'a> StepCtx<'a> {
     /// active injector).
     #[inline]
     fn bus_fault_penalty(&mut self) -> u64 {
+        let shell_idx = self.shell.id.0 as usize;
         match self.fault.as_deref_mut() {
-            Some(inj) => inj.bus_penalty(),
+            Some(inj) => inj.bus_penalty(shell_idx),
             None => 0,
         }
     }

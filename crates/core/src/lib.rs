@@ -38,6 +38,6 @@ pub use mapping::{AppHandles, MapError};
 pub use system::{
     AppHealth, AppState, DrainReport, EclipseSystem, PartitionPlan, QosContract, ReconfigError,
     RecoveryAction, RecoveryReport, RecoveryTrigger, RunOutcome, RunSummary, StreamSpaceView,
-    Supervisor, SupervisorConfig, SystemBuilder, WedgeDiagnosis, WedgeReason,
+    Supervisor, SupervisorConfig, SystemBuilder, SystemFactory, WedgeDiagnosis, WedgeReason,
 };
 pub use trace::{TraceLog, TraceSeries};

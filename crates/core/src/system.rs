@@ -31,6 +31,7 @@
 //! [`eclipse_shell::SyncFabric`]).
 
 mod lifecycle;
+mod parallel;
 mod partition;
 mod run_loop;
 mod snapshot;
@@ -83,6 +84,40 @@ pub(crate) enum Event {
     Sync(SyncMsg),
     Sample,
 }
+
+/// Content key of an event: a total order over *what* an event is, so
+/// that same-cycle events pop in an order independent of scheduling
+/// history. This is the keystone of replicated-island parallelism: a
+/// clone that only ever schedules its island's events still agrees with
+/// the sequential reference on the relative order of every pair of
+/// events it handles, because same-time cross-island pairs are ordered
+/// by key (content), never by the insertion sequence the clone didn't
+/// perform. Within one island, equal-key events fall back to insertion
+/// order, which the clone reproduces exactly.
+///
+/// Layout (top two bits = rank): sync deliveries first (keyed by the
+/// full destination/source access-point pair), then coprocessor steps
+/// (by shell), then the sampler.
+pub(crate) fn event_key(ev: &Event) -> u64 {
+    match ev {
+        Event::Sync(m) => {
+            debug_assert!(m.dst.shell.0 < (1 << 15) && m.src.shell.0 < (1 << 15));
+            (u64::from(m.dst.shell.0) << 47)
+                | (u64::from(m.dst.row.0) << 31)
+                | (u64::from(m.src.shell.0) << 16)
+                | u64::from(m.src.row.0)
+        }
+        Event::Step(s) => (1 << 62) | (*s as u64),
+        Event::Sample => 2 << 62,
+    }
+}
+
+/// Builds an identical fresh system — same construction path as the one
+/// that created `self` (same config, coprocessors, fabrics, mapped
+/// apps). Installed by `SystemBuilder::with_replication`; the parallel
+/// engine restores a snapshot of the running system into each fresh
+/// build, one per island worker thread.
+pub type SystemFactory = std::sync::Arc<dyn Fn() -> EclipseSystem + Send + Sync>;
 
 /// In-flight `putspace` counters per (destination shell, row), stored as
 /// per-shell vectors so the sync hot path never hashes. Rows mapped at
@@ -228,6 +263,11 @@ pub struct EclipseSystem {
     /// sequential. Configuration, not simulation state — excluded from
     /// checkpoints.
     parallel_islands: usize,
+    /// Rebuilds an identical fresh system for island worker threads
+    /// (see [`SystemFactory`]). Execution machinery, not simulation
+    /// state — excluded from checkpoints. `run_parallel` falls back to
+    /// the sequential engine when absent.
+    replicate: Option<SystemFactory>,
     /// The partition plan computed by the most recent `run_parallel`
     /// call, kept for reporting (why did the run parallelize or not).
     last_partition_plan: Option<PartitionPlan>,
@@ -346,6 +386,16 @@ impl EclipseSystem {
     /// knob that never affects simulated timing).
     pub fn set_parallel_islands(&mut self, islands: usize) {
         self.parallel_islands = islands.max(1);
+    }
+
+    /// Install the factory that rebuilds an identical fresh system for
+    /// island worker threads (runtime counterpart of
+    /// `SystemBuilder::with_replication`). The factory MUST repeat the
+    /// construction path that produced this system — the config digest
+    /// is checked when workers restore the run's snapshot into a fresh
+    /// build, so a mismatched factory fails loudly, not silently.
+    pub fn set_replication(&mut self, factory: SystemFactory) {
+        self.replicate = Some(factory);
     }
 
     /// The partition plan computed by the most recent

@@ -1,0 +1,604 @@
+//! The replicated-island parallel engine behind
+//! [`EclipseSystem::run_parallel`].
+//!
+//! # How replication keeps timing byte-identical
+//!
+//! A [`PartitionPlan`](super::PartitionPlan) that passes every gate in
+//! `partition.rs` certifies that the islands share **no** mutable
+//! simulation state: the private-ported data fabric gives every shell
+//! its own port pair, the sync network routes without shared link
+//! state, apps (and therefore stream buffers, credits, and `putspace`
+//! traffic) never span islands, and all system-bus users are
+//! co-located. Under that certificate each island's event chain is a
+//! closed system, and the content-keyed calendar
+//! ([`event_key`](super::event_key)) gives every event a position in
+//! one *global* total order `(time, key)` that a clone can reproduce
+//! without observing the other islands' scheduling history.
+//!
+//! The engine therefore runs each island on a worker thread holding a
+//! **full replica** of the system (built by the installed
+//! [`SystemFactory`](super::SystemFactory), restored from a snapshot
+//! `S0` taken at entry), with the calendar filtered down to the
+//! island's own events. Foreign state inside a replica stays frozen at
+//! `S0` — consistent, because nothing in the replica ever touches it.
+//!
+//! # The two-phase stop protocol
+//!
+//! The sequential loop stops at the first event after which *all*
+//! tasks are finished — a global condition no single island can see.
+//! Workers therefore run in two phases:
+//!
+//! 1. Each worker advances until its island finishes (reporting the
+//!    finishing event's `(time, key)`), quiesces (no events left), or
+//!    hits the `max_cycles` boundary.
+//! 2. The coordinator folds the reports: if **every** island finished,
+//!    the sequential run would have stopped at the keyed maximum
+//!    `(T*, k*)` of the finishing events, so each worker drains its
+//!    remaining events strictly below that cutoff (events a sequential
+//!    run executes before detecting global completion). Otherwise the
+//!    run goes to `max_cycles` or deadlock, and each worker drains
+//!    everything up to `max_cycles`.
+//!
+//! Each worker then serializes its final state; the coordinator
+//! restores the blobs into scratch replicas and **merges** them into
+//! `self`: island-owned state is swapped wholesale (shells, coprocs,
+//! utilization, pending syncs, private fabric ports, SRAM buffer
+//! ranges, fault-injector lanes), global counters are reconciled by
+//! exact integer deltas against the shared `S0` baseline, and the
+//! calendar is rebuilt as the keyed merge of the per-island leftovers
+//! (with the periodic `Sample` chain deduplicated to the longest
+//! survivor). The merged system then takes the *same*
+//! `finish_run` path as the sequential engine, so summaries,
+//! state hashes, and checkpoint bytes come out byte-identical
+//! (pinned by `tests/parallel_equivalence.rs`).
+//!
+//! # Caveats
+//!
+//! * The structured event-trace sink is not replicated: a parallel run
+//!   records only coordinator-side events (RunStart/RunEnd). The
+//!   sampled measurement series in [`TraceLog`] *are* merged exactly.
+//! * Task names, row labels, and shell names must not collide across
+//!   islands (they never do for distinct apps); series ownership in
+//!   the trace merge is resolved by name.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+use eclipse_mem::PrivatePortFabric;
+use eclipse_sim::Cycle;
+
+use crate::trace::{TraceLog, TraceSeries};
+
+use super::{event_key, EclipseSystem, Event, RunOutcome, RunSummary};
+
+/// What a worker saw when phase 1 ended.
+enum Phase1 {
+    /// Island tasks all finished; `Some((t, key))` is the finishing
+    /// event (`None` when the island was already finished at entry).
+    Finished(Option<(Cycle, u64)>),
+    /// Island calendar ran dry with unfinished tasks.
+    Quiesced,
+    /// Next island event lies beyond `max_cycles`.
+    Boundary,
+}
+
+/// Coordinator → worker: how to finish the run.
+enum Phase2 {
+    /// Drain events strictly below the keyed cutoff `(time, key)` —
+    /// the global all-finished stop point.
+    DrainBelow(Cycle, u64),
+    /// Drain everything up to and including `max_cycles`.
+    DrainAll(Cycle),
+}
+
+/// Worker → coordinator messages.
+enum Report {
+    Phase1(usize, Phase1),
+    Done(usize, Vec<u8>),
+}
+
+fn island_finished(sys: &EclipseSystem, island: &[usize]) -> bool {
+    island.iter().all(|&s| sys.shells[s].all_tasks_finished())
+}
+
+impl EclipseSystem {
+    /// Execute the islands of `last_partition_plan` on worker threads
+    /// and merge the results. Only called by `run_parallel` after the
+    /// plan passed every gate (`plan.parallel()`).
+    pub(crate) fn run_islands(&mut self, max_cycles: Cycle) -> RunSummary {
+        let islands = self
+            .last_partition_plan
+            .as_ref()
+            .expect("run_islands: plan computed by run_parallel")
+            .islands
+            .clone();
+        let factory = self
+            .replicate
+            .clone()
+            .expect("run_islands: replication factory gated by partition_plan");
+
+        self.kickoff();
+        // Degenerate entry states (already finished, or an empty
+        // calendar on a resumed run) take the sequential engine, which
+        // is identical by construction.
+        if self.cal.is_empty() || self.shells.iter().all(|sh| sh.all_tasks_finished()) {
+            return self.run(max_cycles);
+        }
+
+        let s0 = self.save();
+
+        // ---- Fan out: one replica per island, two-phase protocol. ----
+        let (report_tx, report_rx) = mpsc::channel::<Report>();
+        let mut blobs: Vec<Option<Vec<u8>>> = vec![None; islands.len()];
+        std::thread::scope(|scope| {
+            let mut cmd_txs: Vec<mpsc::Sender<Phase2>> = Vec::with_capacity(islands.len());
+            for (idx, island) in islands.iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Phase2>();
+                cmd_txs.push(cmd_tx);
+                let tx = report_tx.clone();
+                let factory = factory.clone();
+                let s0 = &s0;
+                scope.spawn(move || {
+                    let mut sys = factory();
+                    sys.restore(s0).expect(
+                        "replication factory must repeat the construction path \
+                         of the running system (config digest mismatch)",
+                    );
+                    run_island_worker(&mut sys, island, idx, max_cycles, &tx, &cmd_rx);
+                });
+            }
+            drop(report_tx);
+
+            // Phase 1: collect every island's stop report.
+            let mut reports: Vec<Option<Phase1>> = (0..islands.len()).map(|_| None).collect();
+            for _ in 0..islands.len() {
+                match report_rx.recv().expect("island worker died in phase 1") {
+                    Report::Phase1(i, r) => reports[i] = Some(r),
+                    Report::Done(..) => unreachable!("Done before phase-2 command"),
+                }
+            }
+            let all_finished = reports
+                .iter()
+                .all(|r| matches!(r, Some(Phase1::Finished(_))));
+            let cmd_for = |_: usize| {
+                if all_finished {
+                    // The sequential engine stops right after the keyed
+                    // maximum of the islands' finishing events.
+                    let (tc, kc) = reports
+                        .iter()
+                        .filter_map(|r| match r {
+                            Some(Phase1::Finished(Some(p))) => Some(*p),
+                            _ => None,
+                        })
+                        .max()
+                        .expect("entry pre-check leaves at least one unfinished island");
+                    Phase2::DrainBelow(tc, kc)
+                } else {
+                    Phase2::DrainAll(max_cycles)
+                }
+            };
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                tx.send(cmd_for(i))
+                    .expect("island worker died before phase 2");
+            }
+            // Phase 2 results: the final state of every replica.
+            for _ in 0..islands.len() {
+                match report_rx.recv().expect("island worker died in phase 2") {
+                    Report::Done(i, bytes) => blobs[i] = Some(bytes),
+                    Report::Phase1(..) => unreachable!("duplicate phase-1 report"),
+                }
+            }
+        });
+
+        // ---- Restore the replicas and merge them into `self`. ----
+        let restore_into_fresh = |bytes: &[u8]| -> EclipseSystem {
+            let mut sys = factory();
+            sys.restore(bytes)
+                .expect("replica snapshot restores into a factory build");
+            sys
+        };
+        // A pristine S0 replica is the baseline all counter deltas are
+        // measured against (`merged = S0 + Σ island deltas`).
+        let base = restore_into_fresh(&s0);
+        let clones: Vec<EclipseSystem> = blobs
+            .iter()
+            .map(|b| restore_into_fresh(b.as_ref().expect("one blob per island")))
+            .collect();
+
+        let all_finished;
+        let cutoff_t;
+        {
+            // Recompute the decision from the merged clones (cheaper
+            // than threading it out of the scope closure): all islands
+            // finished iff every clone's island tasks are finished.
+            all_finished = islands
+                .iter()
+                .zip(&clones)
+                .all(|(island, c)| island_finished(c, island));
+            cutoff_t = clones.iter().map(|c| c.cal.now()).max().unwrap_or(0);
+        }
+
+        self.merge_clones(&islands, &base, clones, all_finished, cutoff_t, max_cycles)
+    }
+
+    /// Fold the per-island replicas into `self` and close out the run.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_clones(
+        &mut self,
+        islands: &[Vec<usize>],
+        base: &EclipseSystem,
+        mut clones: Vec<EclipseSystem>,
+        all_finished: bool,
+        cutoff_t: Cycle,
+        max_cycles: Cycle,
+    ) -> RunSummary {
+        // island index owning each shell.
+        let mut island_of = vec![0usize; self.shells.len()];
+        for (i, island) in islands.iter().enumerate() {
+            for &s in island {
+                island_of[s] = i;
+            }
+        }
+
+        // -- Island-owned state: wholesale swaps. --
+        for (i, island) in islands.iter().enumerate() {
+            let clone = &mut clones[i];
+            for &s in island {
+                std::mem::swap(&mut self.shells[s], &mut clone.shells[s]);
+                std::mem::swap(&mut self.coprocs[s], &mut clone.coprocs[s]);
+                std::mem::swap(&mut self.utilization[s], &mut clone.utilization[s]);
+                std::mem::swap(&mut self.idle_since[s], &mut clone.idle_since[s]);
+                std::mem::swap(
+                    &mut self.pending_syncs.per_shell[s],
+                    &mut clone.pending_syncs.per_shell[s],
+                );
+            }
+        }
+        for (i, island) in islands.iter().enumerate() {
+            let clone = &clones[i];
+            // Stream-buffer bytes live in the shared SRAM; each buffer
+            // belongs to exactly one island's app. Rows of both
+            // endpoints name the same buffer — the copy is idempotent.
+            for &s in island {
+                for row in self.shells[s].rows() {
+                    if !row.retired {
+                        self.mem.sram.adopt_range(
+                            row.buffer.base,
+                            row.buffer.size,
+                            &clone.mem.sram,
+                        );
+                    }
+                }
+            }
+            self.mem
+                .sram
+                .absorb_stats_delta(base.mem.sram.stats(), clone.mem.sram.stats());
+
+            // Private fabric: adopt each island shell's port pair, add
+            // the self-queueing counter delta.
+            let theirs = clone
+                .mem
+                .fabric
+                .as_any()
+                .downcast_ref::<PrivatePortFabric>()
+                .expect("parallel gate admits only the private-port data fabric");
+            let base_fab = base
+                .mem
+                .fabric
+                .as_any()
+                .downcast_ref::<PrivatePortFabric>()
+                .expect("baseline replica shares the fabric kind");
+            let mine = self
+                .mem
+                .fabric
+                .as_any_mut()
+                .downcast_mut::<PrivatePortFabric>()
+                .expect("parallel gate admits only the private-port data fabric");
+            for &s in island {
+                mine.adopt_port_state(s, theirs);
+            }
+            mine.absorb_contended_delta(base_fab, theirs);
+
+            // Fault injector: each island replayed exactly its own
+            // shells' decision streams; graft them back, delta the
+            // counters.
+            if let Some(inj) = self.fault.as_mut() {
+                let binj = base.fault.as_ref().expect("fault plan is part of S0");
+                let cinj = clone.fault.as_ref().expect("fault plan is part of S0");
+                for &s in island {
+                    inj.adopt_shell_stream(s, cinj);
+                }
+                inj.absorb_stats_delta(binj, cinj);
+            }
+
+            // Sync network + host-side sync accounting: exact deltas.
+            self.sync
+                .absorb_stats_delta(base.sync.stats(), clone.sync.stats());
+            self.sync_messages += clone.sync_messages - base.sync_messages;
+            self.sync_latency
+                .absorb_delta(&base.sync_latency, &clone.sync_latency);
+            self.last_progress = self.last_progress.max(clone.last_progress);
+        }
+
+        // -- Off-chip side: single owner (all system-bus users are
+        // co-located by the partitioner; without any, S0 state stands). --
+        if let Some(owner) = islands
+            .iter()
+            .position(|island| island.iter().any(|&s| self.coprocs[s].uses_system_bus()))
+        {
+            std::mem::swap(&mut self.dram, &mut clones[owner].dram);
+            std::mem::swap(&mut self.system_bus, &mut clones[owner].system_bus);
+            self.dram_next = clones[owner].dram_next;
+        }
+
+        // -- Credit ledgers: rebuilt from the island owning each link's
+        // destination (both endpoints of a link share an island). --
+        self.in_flight.clear();
+        self.credits_lost.clear();
+        for (i, clone) in clones.iter().enumerate() {
+            for (k, v) in &clone.in_flight {
+                if island_of[k.0.shell.0 as usize] == i {
+                    self.in_flight.insert(*k, *v);
+                }
+            }
+            for (k, v) in &clone.credits_lost {
+                if island_of[k.0.shell.0 as usize] == i {
+                    self.credits_lost.insert(*k, *v);
+                }
+            }
+        }
+
+        self.merge_traces(&island_of, base, &clones);
+
+        // -- Calendar: keyed merge of the per-island leftovers. The
+        // periodic Sample chain is replicated in every clone and dies
+        // per clone when its local calendar runs dry; the sequential
+        // chain is the longest survivor (latest pending tick). --
+        let sample_key = event_key(&Event::Sample);
+        let mut leftovers: Vec<(Cycle, u64, Event)> = Vec::new();
+        let mut sample_left: Option<(Cycle, u64, Event)> = None;
+        for clone in &clones {
+            for (t, k, ev) in clone.cal.pending_in_order_keyed() {
+                if k == sample_key {
+                    if sample_left.is_none_or(|(st, _, _)| t > st) {
+                        sample_left = Some((t, k, ev));
+                    }
+                } else {
+                    leftovers.push((t, k, ev));
+                }
+            }
+        }
+        leftovers.extend(sample_left);
+        // Stable: equal (time, key) pairs only arise within one island
+        // and stay in that island's FIFO (seq) order.
+        leftovers.sort_by_key(|&(t, k, _)| (t, k));
+
+        let outcome = if all_finished {
+            // Sequential stop: right after the last finishing event;
+            // later events stay pending.
+            self.cal.restore(cutoff_t, leftovers);
+            RunOutcome::AllFinished
+        } else if leftovers.is_empty() {
+            // Every island drained dry with unfinished tasks: the
+            // sequential run ends on an empty calendar at the time of
+            // the globally last event.
+            let now = clones
+                .iter()
+                .map(|c| c.cal.now())
+                .max()
+                .expect("at least one island");
+            self.cal.restore(now, leftovers);
+            RunOutcome::Deadlock(self.blocked_tasks())
+        } else {
+            // Sequential pops (and discards) the first event beyond
+            // `max_cycles`, leaving the clock at its timestamp.
+            debug_assert!(leftovers[0].0 > max_cycles);
+            let (t0, _, _) = leftovers.remove(0);
+            self.cal.restore(t0, leftovers);
+            RunOutcome::MaxCycles
+        };
+        self.finish_run(outcome)
+    }
+
+    /// Merge the sampled measurement series. Every clone samples *all*
+    /// shells at every tick its own calendar keeps the Sample chain
+    /// alive, so: the clone with the most points defines the global
+    /// tick skeleton, each series takes its points from the island
+    /// owning the sampled shell, and ticks past that island's death are
+    /// backfilled with the island's frozen final value (what the
+    /// sequential sampler would have read from the then-quiesced
+    /// state). Runs on the *merged* shells/utilization, so the frozen
+    /// values are computed from each island's true final state.
+    fn merge_traces(
+        &mut self,
+        island_of: &[usize],
+        base: &EclipseSystem,
+        clones: &[EclipseSystem],
+    ) {
+        let total = |t: &TraceLog| t.series.iter().map(|s| s.points.len()).sum::<usize>();
+        let base_total = total(&base.trace);
+        let Some(skeleton) = clones
+            .iter()
+            .max_by_key(|c| total(&c.trace))
+            .filter(|c| total(&c.trace) > base_total)
+        else {
+            return; // no clone sampled past S0: S0's trace stands
+        };
+        // (series name) -> the shells recorded under it, in sampler
+        // iteration order, as (owning island, frozen final value).
+        // Names usually map to one shell, but display names may repeat
+        // (two "producer" shells), in which case the sequential sampler
+        // interleaves their points within each tick — reproduce that.
+        let mut owners: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+        for (name, shell, value) in self.live_sample_values() {
+            owners
+                .entry(name)
+                .or_default()
+                .push((island_of[shell], value));
+        }
+        let mut series = Vec::with_capacity(skeleton.trace.series.len());
+        for sk in &skeleton.trace.series {
+            let pre = base.trace.get(&sk.name).map_or(0, |s| s.points.len());
+            let points = match owners.get(&sk.name) {
+                // Not sampled by the live system (e.g. retired before
+                // S0): frozen in every clone, the skeleton's copy is
+                // exact.
+                None => sk.points.clone(),
+                Some(os) => {
+                    let n = os.len();
+                    let mut pts = Vec::with_capacity(sk.points.len());
+                    for idx in 0..sk.points.len() {
+                        if idx < pre {
+                            // Pre-S0 history, identical everywhere.
+                            pts.push(sk.points[idx]);
+                            continue;
+                        }
+                        let (isl, frozen) = os[(idx - pre) % n];
+                        // The owning island's recording is live; past
+                        // its death, the sampler would have read the
+                        // island's frozen final state.
+                        let p = clones[isl]
+                            .trace
+                            .get(&sk.name)
+                            .and_then(|s| s.points.get(idx))
+                            .copied()
+                            .unwrap_or((sk.points[idx].0, frozen));
+                        pts.push(p);
+                    }
+                    pts
+                }
+            };
+            series.push(TraceSeries {
+                name: sk.name.clone(),
+                points,
+            });
+        }
+        let mut merged = TraceLog::new();
+        merged.series = series;
+        self.trace = merged;
+    }
+
+    /// The (name, shell, value) triples the sampler would record right
+    /// now, in exactly `sample()`'s iteration order. Mirrors
+    /// `run_loop::sample` — keep the two in sync.
+    fn live_sample_values(&self) -> Vec<(String, usize, f64)> {
+        let mut out = Vec::new();
+        for (s, shell) in self.shells.iter().enumerate() {
+            for (r, row) in shell.rows().iter().enumerate() {
+                if row.retired {
+                    continue;
+                }
+                out.push((
+                    format!("space/{}", self.row_labels[s][r]),
+                    s,
+                    row.effective_space() as f64,
+                ));
+            }
+            let u = &self.utilization[s];
+            out.push((format!("busy/{}", self.shell_names[s]), s, u.busy as f64));
+            out.push((
+                format!("stall/{}", self.shell_names[s]),
+                s,
+                u.stalled as f64,
+            ));
+            for t in shell.tasks() {
+                if t.retired {
+                    continue;
+                }
+                out.push((
+                    format!("taskbusy/{}", t.cfg.name),
+                    s,
+                    t.stats.busy_cycles as f64,
+                ));
+                out.push((
+                    format!("taskdenied/{}", t.cfg.name),
+                    s,
+                    t.stats.denials as f64,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The per-island worker body: filter the calendar, run phase 1,
+/// report, await the phase-2 command, drain, ship the final state.
+fn run_island_worker(
+    sys: &mut EclipseSystem,
+    island: &[usize],
+    idx: usize,
+    max_cycles: Cycle,
+    tx: &mpsc::Sender<Report>,
+    cmd_rx: &mpsc::Receiver<Phase2>,
+) {
+    // Keep only this island's events (plus the shared Sample chain);
+    // the keyed calendar preserves their global relative order.
+    let now0 = sys.cal.now();
+    let kept: Vec<(Cycle, u64, Event)> = sys
+        .cal
+        .pending_in_order_keyed()
+        .into_iter()
+        .filter(|(_, _, ev)| match ev {
+            Event::Step(s) => island.contains(s),
+            Event::Sync(m) => island.contains(&(m.dst.shell.0 as usize)),
+            Event::Sample => true,
+        })
+        .collect();
+    sys.cal.restore(now0, kept);
+
+    // Phase 1: advance to the island's own stop condition. The loop
+    // mirrors `EclipseSystem::run` (pop → handle → invariants → checks);
+    // the watchdog is gated off by the partitioner.
+    let result = if island_finished(sys, island) {
+        Phase1::Finished(None)
+    } else {
+        loop {
+            match sys.cal.peek_keyed() {
+                None => break Phase1::Quiesced,
+                Some((t, _, _)) if t > max_cycles => break Phase1::Boundary,
+                Some(_) => {
+                    let (now, key, ev) = sys.cal.pop_keyed().expect("peeked event");
+                    sys.handle_event(now, ev);
+                    if sys.credit_check {
+                        sys.verify_credits(now);
+                    }
+                    if island_finished(sys, island) {
+                        break Phase1::Finished(Some((now, key)));
+                    }
+                }
+            }
+        }
+    };
+    tx.send(Report::Phase1(idx, result))
+        .expect("coordinator alive");
+
+    // Phase 2: drain to the globally agreed stop point.
+    match cmd_rx.recv().expect("coordinator sends phase-2 command") {
+        Phase2::DrainBelow(tc, kc) => {
+            while let Some((t, k, _)) = sys.cal.peek_keyed() {
+                if (t, k) >= (tc, kc) {
+                    break;
+                }
+                let (now, _, ev) = sys.cal.pop_keyed().expect("peeked event");
+                sys.handle_event(now, ev);
+                if sys.credit_check {
+                    sys.verify_credits(now);
+                }
+            }
+        }
+        Phase2::DrainAll(max) => {
+            while let Some((t, _, _)) = sys.cal.peek_keyed() {
+                if t > max {
+                    break;
+                }
+                let (now, _, ev) = sys.cal.pop_keyed().expect("peeked event");
+                sys.handle_event(now, ev);
+                if sys.credit_check {
+                    sys.verify_credits(now);
+                }
+            }
+        }
+    }
+    tx.send(Report::Done(idx, sys.save()))
+        .expect("coordinator alive");
+}

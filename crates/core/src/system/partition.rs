@@ -14,14 +14,26 @@
 //! beats speed-up):
 //!
 //! * **Data plane** — [`DataFabric::min_grant_cycles`] is the floor on
-//!   cross-requester grant independence. Both current backends (shared
-//!   bus pair, address-interleaved multi-bank) share arbiter state
-//!   across *all* shells, so they report `None` (zero lookahead) and
-//!   the whole system stays one island. A future fabric with private
-//!   per-requester ports reports its pipeline depth here and unlocks
-//!   the partitioner without any change to this module.
+//!   cross-requester grant independence. The globally arbitrated
+//!   backends (shared bus pair, address-interleaved multi-bank) share
+//!   arbiter state across *all* shells and report `None` (zero
+//!   lookahead): single island. The private-ported fabric
+//!   (`DataFabricConfig::PrivatePort`) gives every shell its own port
+//!   and reports its static crossbar grant bound — the first backend
+//!   to open this gate. The plan's `reason` quotes the fabric's actual
+//!   answer either way.
 //! * **Sync plane** — [`SyncFabric::min_transit_cycles`] bounds how
-//!   fast a `putspace` can cross shells; it caps the window.
+//!   fast a `putspace` can cross shells; it caps the window. A network
+//!   whose routing state couples shells
+//!   ([`SyncFabric::couples_islands`], e.g. the ring's shared links)
+//!   closes the gate outright.
+//! * **Replication** — the engine runs each island on a clone restored
+//!   from a snapshot, so a [`super::SystemFactory`] must be installed.
+//! * **Order-sensitive faults** — a fault plan whose outcome depends on
+//!   the *global* interleaving of sync messages (gated drop windows)
+//!   cannot be replayed per island.
+//! * **Watchdog** — progress is tracked globally; per-island clocks
+//!   would diagnose spurious deadlocks.
 //! * **Application coupling** — shells hosting tasks of the same
 //!   application exchange sync messages and share stream buffers; they
 //!   are co-located (union-find over app records).
@@ -109,22 +121,62 @@ impl EclipseSystem {
         }
         // Data-plane lookahead: the fabric must guarantee that one
         // requester's transfer cannot move another requester's grant
-        // within the window.
+        // within the window. The reason quotes the fabric's actual
+        // `min_grant_cycles` answer — only globally arbitrated backends
+        // report `None`, so the wording must not overclaim.
         let Some(data_la) = self.mem.fabric.min_grant_cycles() else {
             return PartitionPlan::single(
                 n,
                 format!(
-                    "data fabric '{}' arbitrates globally across shells \
-                     (zero data-plane lookahead)",
+                    "data fabric '{}' reports no grant floor \
+                     (min_grant_cycles = None): its arbiter state is shared \
+                     across shells, zero data-plane lookahead",
                     self.mem.fabric.kind()
                 ),
             );
         };
+        // Sync-plane coupling: a network whose routing state is shared
+        // between shells (ring links) would diverge when replicated.
+        if self.sync.couples_islands() {
+            return PartitionPlan::single(
+                n,
+                format!(
+                    "sync fabric '{}' routes through state shared across \
+                     shells — replicated islands would diverge",
+                    self.sync.kind()
+                ),
+            );
+        }
         // Sync-plane lookahead: the cheapest cross-shell putspace.
         let sync_la = self.sync.min_transit_cycles(self.cfg.shell.sync_latency);
         let lookahead = data_la.min(sync_la);
         if lookahead == 0 {
             return PartitionPlan::single(n, "cross-shell transit lower bound is zero");
+        }
+        // A fault plan with gated sync drops draws from the *global*
+        // message interleaving; per-island replay would roll different
+        // dice than the sequential reference.
+        if self.fault.as_ref().is_some_and(|inj| inj.order_sensitive()) {
+            return PartitionPlan::single(
+                n,
+                "fault plan gates sync drops on global message ordering \
+                 (drop skip/limit window)",
+            );
+        }
+        // The watchdog measures progress across all shells on one clock.
+        if self.watchdog_cycles.is_some() {
+            return PartitionPlan::single(
+                n,
+                "watchdog armed: progress is tracked on one global clock",
+            );
+        }
+        // The engine replicates the system per island worker thread.
+        if self.replicate.is_none() {
+            return PartitionPlan::single(
+                n,
+                "no replication factory installed \
+                 (SystemBuilder::with_replication)",
+            );
         }
 
         // Coupling graph: same-app shells and system-bus users co-locate.
@@ -186,7 +238,10 @@ impl EclipseSystem {
         }
         islands.sort_by_key(|i| i[0]);
         let reason = format!(
-            "{} independent component(s) over {} shells; window {} cycles",
+            "data fabric '{}' guarantees a {}-cycle grant floor; \
+             {} independent component(s) over {} shells; window {} cycles",
+            self.mem.fabric.kind(),
+            data_la,
             islands.len(),
             n,
             lookahead

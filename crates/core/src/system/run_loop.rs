@@ -11,9 +11,18 @@ use eclipse_sim::{Cycle, SyncAction};
 use crate::coproc::{StepCtx, StepResult};
 
 use super::wedge::{StreamSpaceView, WedgeDiagnosis, WedgeReason};
-use super::{EclipseSystem, Event, RunOutcome, RunSummary};
+use super::{event_key, EclipseSystem, Event, RunOutcome, RunSummary};
 
 impl EclipseSystem {
+    /// Schedule `ev` at absolute `time` under its content key (see
+    /// [`event_key`]) — the only way the run loop ever inserts events,
+    /// so sequential runs and replicated island clones share one total
+    /// order.
+    #[inline]
+    pub(crate) fn schedule_event(&mut self, time: Cycle, ev: Event) {
+        self.cal.schedule_keyed_at(time, event_key(&ev), ev);
+    }
+
     /// Schedule the kickoff events (one step per shell, the sampler, and
     /// the RunStart mark) exactly once per system lifetime; resumed runs
     /// continue from the live calendar instead.
@@ -24,10 +33,9 @@ impl EclipseSystem {
         self.started = true;
         let t0 = self.cal.now();
         for s in 0..self.shells.len() {
-            self.cal.schedule_at(t0, Event::Step(s));
+            self.schedule_event(t0, Event::Step(s));
         }
-        self.cal
-            .schedule_at(t0 + self.cfg.sample_interval, Event::Sample);
+        self.schedule_event(t0 + self.cfg.sample_interval, Event::Sample);
         if let Some(t) = &self.sys_trace {
             t.emit(t0, TraceEventKind::RunStart);
         }
@@ -70,7 +78,7 @@ impl EclipseSystem {
                 }
                 // Keep sampling while anything can still happen.
                 if !self.cal.is_empty() {
-                    self.cal.schedule(self.cfg.sample_interval, Event::Sample);
+                    self.schedule_event(now + self.cfg.sample_interval, Event::Sample);
                 }
             }
         }
@@ -115,32 +123,24 @@ impl EclipseSystem {
     /// computed for the `SystemBuilder::with_parallel` request: islands
     /// may only run concurrently when the communication hardware proves
     /// a positive cross-island lookahead (see
-    /// `EclipseSystem::partition_plan`). Both present data fabrics
-    /// arbitrate globally across all shells — zero data-plane lookahead
-    /// — so every currently constructible configuration falls back to
-    /// the sequential engine here, which keeps timing, fingerprints,
-    /// state hashes, and checkpoint bytes identical *by construction*
-    /// (the differential tests in `tests/parallel_equivalence.rs` pin
-    /// this across fabric combinations). The computed plan, including
-    /// the fallback reason, is retained for inspection via
-    /// `EclipseSystem::last_partition_plan`. The threaded conservative
-    /// engine itself lives in `eclipse_sim::island`, where decoupled
-    /// event graphs exercise it for real (`scaling_study`).
+    /// `EclipseSystem::partition_plan`). With the private-ported data
+    /// fabric (`DataFabricConfig::PrivatePort`), a non-coupling sync
+    /// network, and a replication factory installed, the gate opens and
+    /// the replicated-island engine in `system::parallel` executes the
+    /// islands on worker threads — producing timing, fingerprints,
+    /// state hashes, and checkpoint bytes *byte-identical* to the
+    /// sequential engine (pinned by `tests/parallel_equivalence.rs`
+    /// across fabric combinations, including the open-gate path). Every
+    /// other configuration falls back to [`EclipseSystem::run`], which
+    /// is identical by construction. The computed plan, including the
+    /// fallback reason, is retained for inspection via
+    /// `EclipseSystem::last_partition_plan`.
     pub fn run_parallel(&mut self, max_cycles: Cycle) -> RunSummary {
         let plan = self.partition_plan(self.parallel_islands);
         let parallel = plan.parallel();
         self.last_partition_plan = Some(plan);
         if parallel {
-            // Unreachable with the current fabric backends (their
-            // min_grant_cycles is None); a future private-ported fabric
-            // flips this gate, at which point the island engine drives
-            // per-island calendars here. Until then, honor the
-            // byte-identity contract the only way that is provably
-            // correct: sequentially.
-            debug_assert!(
-                false,
-                "no current data fabric reports a positive grant floor"
-            );
+            return self.run_islands(max_cycles);
         }
         self.run(max_cycles)
     }
@@ -279,7 +279,7 @@ impl EclipseSystem {
     pub(crate) fn wake(&mut self, s: usize, now: Cycle) {
         if let Some(since) = self.idle_since[s].take() {
             self.utilization[s].idle += now - since;
-            self.cal.schedule_at(now, Event::Step(s));
+            self.schedule_event(now, Event::Step(s));
         }
     }
 
@@ -318,7 +318,7 @@ impl EclipseSystem {
                 let mut stall = stall;
                 // Injected coprocessor stall: the unit freezes mid-step.
                 if let Some(inj) = &mut self.fault {
-                    let extra = inj.step_stall();
+                    let extra = inj.step_stall(s);
                     if extra > 0 {
                         cost += extra;
                         stall += extra;
@@ -371,7 +371,10 @@ impl EclipseSystem {
                 for mut msg in msgs {
                     let mut extra_delay = 0u64;
                     if let Some(inj) = &mut self.fault {
-                        match inj.sync_action(msg.bytes) {
+                        // Keyed by the *sender* shell: the dice for a
+                        // message are rolled where it originates, so an
+                        // island replays exactly its own shells' draws.
+                        match inj.sync_action(msg.src.shell.0 as usize, msg.bytes) {
                             SyncAction::Deliver => {}
                             SyncAction::Delay(d) => {
                                 extra_delay = d;
@@ -428,9 +431,9 @@ impl EclipseSystem {
                     msg.dst_gen = self.shells[msg.dst.shell.0 as usize].row_generation(msg.dst.row);
                     self.pending_syncs
                         .add(msg.dst.shell.0 as usize, msg.dst.row.0, 1);
-                    self.cal.schedule_at(arrive, Event::Sync(msg));
+                    self.schedule_event(arrive, Event::Sync(msg));
                 }
-                self.cal.schedule_at(now + cost, Event::Step(s));
+                self.schedule_event(now + cost, Event::Step(s));
             }
         }
     }

@@ -33,14 +33,17 @@ use eclipse_sim::trace::TraceSink;
 use eclipse_sim::{FaultInjector, FaultPlan};
 
 use super::lifecycle::AppRecord;
-use super::{AppState, EclipseSystem, Event};
+use super::{event_key, AppState, EclipseSystem, Event};
 
 /// Leading bytes of every Eclipse checkpoint.
 pub const SNAP_MAGIC: &[u8; 8] = b"ECLSNAP1";
 /// Checkpoint format version this build writes and accepts.
 /// v2: fault-plan drop-burst window + injector sync counter, display
 /// expected-frame totals (ISSUE 8).
-pub const SNAP_VERSION: u32 = 2;
+/// v3: per-shell fault-injector RNG lanes, integer sync-latency
+/// histogram accumulators (ISSUE 9). Calendar events still serialize as
+/// `(time, event)` pairs — content keys are recomputed on load.
+pub const SNAP_VERSION: u32 = 3;
 
 fn save_access_point(w: &mut SnapWriter, ap: &AccessPoint) {
     w.u16(ap.shell.0);
@@ -346,7 +349,11 @@ impl EclipseSystem {
         let mut events = Vec::with_capacity(n_events.min(1 << 20));
         for _ in 0..n_events {
             let time = r.u64()?;
-            events.push((time, Event::load_state(r)?));
+            let ev = Event::load_state(r)?;
+            // Keys are pure functions of event content — recomputed here
+            // instead of serialized, so the v2→v3 checkpoint layout of
+            // this section is unchanged.
+            events.push((time, event_key(&ev), ev));
         }
         self.cal.restore(now, events);
 

@@ -19,7 +19,7 @@ use crate::mapping::{plan_rows, task_config, AppHandles, MapError, RowPlan, BUFF
 use crate::trace::TraceLog;
 
 use super::lifecycle::AppRecord;
-use super::{AppState, CpuSyncConfig, EclipseSystem, PendingSyncs};
+use super::{AppState, CpuSyncConfig, EclipseSystem, PendingSyncs, SystemFactory};
 
 /// Overflow-checked bump allocation: round `next` up to `align`, advance
 /// past `size` bytes, and check against a `capacity` ceiling. Returns
@@ -153,6 +153,7 @@ pub struct SystemBuilder {
     data_fabric: Option<DataFabricConfig>,
     sync_fabric: SyncFabricConfig,
     parallel_islands: usize,
+    replication: Option<SystemFactory>,
 }
 
 impl SystemBuilder {
@@ -171,6 +172,7 @@ impl SystemBuilder {
             data_fabric: None,
             sync_fabric: SyncFabricConfig::Direct,
             parallel_islands: 1,
+            replication: None,
         }
     }
 
@@ -226,11 +228,25 @@ impl SystemBuilder {
     /// built instance only when the communication hardware proves a
     /// positive cross-island lookahead, and falls back to the sequential
     /// engine — byte-identical timing, fingerprints, and checkpoints —
-    /// whenever it cannot. Both current data fabrics arbitrate globally,
-    /// so every present-day configuration takes the fallback; the plan's
-    /// `reason` records why.
+    /// whenever it cannot. The gate opens for instances on a
+    /// private-ported data fabric (`DataFabricConfig::PrivatePort`) with
+    /// a non-coupling sync network and a replication factory installed
+    /// ([`SystemBuilder::with_replication`]); the plan's `reason` always
+    /// records the decision either way.
     pub fn with_parallel(&mut self, islands: usize) -> &mut Self {
         self.parallel_islands = islands.max(1);
+        self
+    }
+
+    /// Install the factory the parallel engine uses to rebuild an
+    /// identical fresh system on each island worker thread (see
+    /// [`SystemFactory`]). The factory must repeat this builder's exact
+    /// construction path — config, coprocessor roster, fabric selection,
+    /// and mapped apps — which the engine verifies through the snapshot
+    /// config digest. Without a factory, `run_parallel` always takes the
+    /// sequential fallback (the plan's `reason` says so).
+    pub fn with_replication(&mut self, factory: SystemFactory) -> &mut Self {
+        self.replication = Some(factory);
         self
     }
 
@@ -361,6 +377,7 @@ impl SystemBuilder {
             in_flight: HashMap::new(),
             credits_lost: HashMap::new(),
             parallel_islands: self.parallel_islands,
+            replicate: self.replication,
             last_partition_plan: None,
             recovery_log: Vec::new(),
         }

@@ -6,14 +6,16 @@
 //! with fault injection armed and a mid-run checkpoint/restore splitting
 //! the parallel run in two.
 //!
-//! Today every shipped data fabric arbitrates globally (shared bus
-//! `next_free`; banks selected by address, not requester), so the
-//! partitioner's lookahead is zero and `run_parallel` falls back to the
-//! sequential engine *by construction*. These tests pin that contract from
-//! the outside: if a future fabric flips the gate open, the differential
-//! assertions here are the first thing a divergent parallel schedule
-//! breaks. The threaded island engine itself is exercised directly in
-//! `eclipse_sim::island` and the `scaling_study` bench.
+//! The globally arbitrated data fabrics (shared bus `next_free`; banks
+//! selected by address, not requester) report no grant floor, so under
+//! them `run_parallel` falls back to the sequential engine *by
+//! construction* — those combos pin the fallback differential and the
+//! audited fallback reason. The private-ported fabric
+//! (`DataFabricConfig::PrivatePort`) is the first backend that opens
+//! the gate: the `open_gate` module runs the replicated-island engine
+//! for real (two islands on worker threads, faults armed, a mid-run
+//! checkpoint straddling the split) and holds it to the same
+//! byte-identity bar.
 
 use std::collections::HashMap;
 
@@ -55,8 +57,10 @@ const MAX_CYCLES: u64 = 50_000_000;
 const SPLIT_AT: u64 = 2_000;
 
 /// `gen` producer: emits `total` bytes in `packet` chunks, XOR-filled
-/// with the task's `task_info` byte.
+/// with the task's `task_info` byte. `func` is the mapper-visible
+/// function name, so a test can pin each app to its own shells.
 struct Producer {
+    func: &'static str,
     total: u32,
     packet: u32,
     sent: HashMap<u8, u32>,
@@ -67,7 +71,10 @@ impl Coprocessor for Producer {
         "producer"
     }
     fn supports(&self, function: &str) -> bool {
-        function == "gen"
+        function == self.func
+    }
+    fn uses_system_bus(&self) -> bool {
+        false // streams through SRAM only; never touches DRAM
     }
     fn configure_task(
         &mut self,
@@ -116,6 +123,7 @@ impl Coprocessor for Producer {
 
 /// `collect` consumer: drains its input and counts bytes per task.
 struct Consumer {
+    func: &'static str,
     total: u32,
     packet: u32,
     received: HashMap<u8, u32>,
@@ -126,7 +134,10 @@ impl Coprocessor for Consumer {
         "consumer"
     }
     fn supports(&self, function: &str) -> bool {
-        function == "collect"
+        function == self.func
+    }
+    fn uses_system_bus(&self) -> bool {
+        false // streams through SRAM only; never touches DRAM
     }
     fn configure_task(
         &mut self,
@@ -184,8 +195,14 @@ fn two_pipe_graph() -> (AppGraph, AppGraph) {
     (mk("a", 0x5A), mk("b", 0xC3))
 }
 
-/// The six fabric combinations the bench suite sweeps.
-fn fabric_combos(cfg: &EclipseConfig) -> Vec<(String, DataFabricConfig, SyncFabricConfig)> {
+/// The eight fabric combinations the bench suite sweeps, each with the
+/// fragment its fallback reason must contain when no replication
+/// factory is installed (this file's systems share shells between the
+/// two apps, so even the private-ported fabric cannot split them —
+/// `open_gate` below builds the four-shell instance that can).
+fn fabric_combos(
+    cfg: &EclipseConfig,
+) -> Vec<(String, DataFabricConfig, SyncFabricConfig, &'static str)> {
     let bank = BusConfig {
         width_bytes: cfg.read_bus.width_bytes,
         latency: cfg.read_bus.latency,
@@ -200,18 +217,31 @@ fn fabric_combos(cfg: &EclipseConfig) -> Vec<(String, DataFabricConfig, SyncFabr
         interleave_bytes: 64,
         bank,
     };
+    let private = DataFabricConfig::PrivatePort {
+        grant_cycles: 2,
+        port: bank,
+    };
     let ring = SyncFabricConfig::Ring {
         hop_latency: 2,
         link_occupancy: 1,
     };
     let mut out = Vec::new();
-    for (dl, data) in [
-        ("shared-bus", shared),
-        ("2-bank", multibank(2)),
-        ("4-bank", multibank(4)),
+    for (dl, data, why) in [
+        // Globally arbitrated: no grant floor, zero data-plane lookahead.
+        ("shared-bus", shared, "lookahead"),
+        ("2-bank", multibank(2), "lookahead"),
+        ("4-bank", multibank(4), "lookahead"),
+        // Grant floor granted — the next gate (ring coupling, or the
+        // missing replication factory) closes the plan instead.
+        ("private-port", private, "replication"),
     ] {
         for (sl, sync) in [("direct", SyncFabricConfig::Direct), ("ring", ring)] {
-            out.push((format!("{dl}+{sl}"), data, sync));
+            let why = if dl == "private-port" && sl == "ring" {
+                "shared across"
+            } else {
+                why
+            };
+            out.push((format!("{dl}+{sl}"), data, sync, why));
         }
     }
     out
@@ -223,11 +253,13 @@ fn build_system(data: DataFabricConfig, sync: SyncFabricConfig) -> EclipseSystem
     bld.with_data_fabric(data);
     bld.with_sync_fabric(sync);
     bld.add_coprocessor(Box::new(Producer {
+        func: "gen",
         total: TOTAL,
         packet: PACKET,
         sent: HashMap::new(),
     }));
     bld.add_coprocessor(Box::new(Consumer {
+        func: "collect",
         total: TOTAL,
         packet: PACKET,
         received: HashMap::new(),
@@ -269,7 +301,8 @@ fn outcome(sys: &EclipseSystem, summary: &RunSummary) -> Outcome {
 
 /// Differential core: sequential reference vs. a parallel run that is
 /// additionally checkpointed mid-stream and resumed in a fresh system.
-fn check_combo(label: &str, data: DataFabricConfig, sync: SyncFabricConfig) {
+/// `why` is the fragment the audited fallback reason must contain.
+fn check_combo(label: &str, data: DataFabricConfig, sync: SyncFabricConfig, why: &str) {
     // Sequential reference: one uninterrupted `run`.
     let mut seq = build_system(data, sync);
     seq.inject_faults(fault_plan());
@@ -306,26 +339,27 @@ fn check_combo(label: &str, data: DataFabricConfig, sync: SyncFabricConfig) {
         "{label}: checkpoint bytes diverged"
     );
 
-    // The partitioner must have reported *why* it ran sequentially: every
-    // shipped data fabric arbitrates globally, so the lookahead is zero.
+    // The partitioner must have reported *why* it ran sequentially, and
+    // the reason must name the binding constraint for this combo — not
+    // the stale claim that every fabric arbitrates globally.
     let plan = resumed
         .last_partition_plan()
         .expect("run_parallel records its partition plan");
     assert!(
         !plan.parallel(),
-        "{label}: no fabric grants lookahead today"
+        "{label}: these instances share shells / lack a factory"
     );
     assert!(
-        plan.reason.contains("lookahead") || plan.reason.contains("connected"),
-        "{label}: opaque fallback reason: {}",
+        plan.reason.contains(why),
+        "{label}: fallback reason should mention '{why}': {}",
         plan.reason
     );
 }
 
 #[test]
 fn parallel_matches_sequential_on_all_fabric_combos() {
-    for (label, data, sync) in fabric_combos(&EclipseConfig::default()) {
-        check_combo(&label, data, sync);
+    for (label, data, sync, why) in fabric_combos(&EclipseConfig::default()) {
+        check_combo(&label, data, sync, why);
     }
 }
 
@@ -334,7 +368,7 @@ fn parallel_matches_sequential_on_all_fabric_combos() {
 #[test]
 fn unrequested_parallelism_reports_not_requested() {
     let combos = fabric_combos(&EclipseConfig::default());
-    let (_, data, sync) = combos.into_iter().next().unwrap();
+    let (_, data, sync, _) = combos.into_iter().next().unwrap();
     let mut sys = build_system(data, sync);
     let summary = sys.run_parallel(MAX_CYCLES);
     assert_eq!(summary.outcome, RunOutcome::AllFinished);
@@ -354,7 +388,7 @@ mod proptests {
         /// the deterministic sweep uses.
         #[test]
         fn parallel_differential_under_random_faults(
-            combo in 0usize..6,
+            combo in 0usize..8,
             islands in 2usize..9,
             seed in any::<u64>(),
             delay_rate in 0.0f64..0.15,
@@ -362,7 +396,7 @@ mod proptests {
             split in 500u64..4_000,
         ) {
             let combos = fabric_combos(&EclipseConfig::default());
-            let (label, data, sync) = combos.into_iter().nth(combo).unwrap();
+            let (label, data, sync, _) = combos.into_iter().nth(combo).unwrap();
             let plan = FaultPlan {
                 seed,
                 sync_delay_rate: delay_rate,
@@ -400,12 +434,189 @@ mod proptests {
     }
 }
 
+/// The open-gate path: a four-shell instance whose two apps never share
+/// a shell, on the private-ported data fabric with a direct sync
+/// network and a replication factory installed. The partitioner must
+/// produce a two-island plan and `run_parallel` must execute it on
+/// worker threads — and still match the sequential reference byte for
+/// byte, with faults armed and a mid-run checkpoint splitting the
+/// parallel run in two.
+mod open_gate {
+    use super::*;
+    use eclipse_core::SystemFactory;
+    use std::sync::Arc;
+
+    /// Two independent pipes with per-app function names, so the mapper
+    /// pins each app to its own producer/consumer shell pair.
+    fn four_shell_graphs() -> (AppGraph, AppGraph) {
+        let mk = |name: &str, fill: u8| {
+            let mut g = GraphBuilder::new(name);
+            let s = g.stream(format!("{name}.s"), 256);
+            g.task(
+                format!("{name}.p"),
+                format!("gen.{name}"),
+                fill as u32,
+                &[],
+                &[s],
+            );
+            g.task(
+                format!("{name}.c"),
+                format!("collect.{name}"),
+                fill as u32,
+                &[s],
+                &[],
+            );
+            g.build().unwrap()
+        };
+        (mk("a", 0x5A), mk("b", 0xC3))
+    }
+
+    fn build_open() -> EclipseSystem {
+        let (a, b) = four_shell_graphs();
+        let cfg = EclipseConfig::default();
+        let port = BusConfig {
+            width_bytes: cfg.read_bus.width_bytes,
+            latency: cfg.read_bus.latency,
+            cycles_per_beat: cfg.read_bus.cycles_per_beat,
+        };
+        let mut bld = SystemBuilder::new(cfg);
+        bld.with_data_fabric(DataFabricConfig::PrivatePort {
+            grant_cycles: 2,
+            port,
+        });
+        bld.with_sync_fabric(SyncFabricConfig::Direct);
+        for (func, producer) in [
+            ("gen.a", true),
+            ("collect.a", false),
+            ("gen.b", true),
+            ("collect.b", false),
+        ] {
+            if producer {
+                bld.add_coprocessor(Box::new(Producer {
+                    func,
+                    total: TOTAL,
+                    packet: PACKET,
+                    sent: HashMap::new(),
+                }));
+            } else {
+                bld.add_coprocessor(Box::new(Consumer {
+                    func,
+                    total: TOTAL,
+                    packet: PACKET,
+                    received: HashMap::new(),
+                }));
+            }
+        }
+        bld.map_app(&a).unwrap();
+        bld.map_app(&b).unwrap();
+        bld.build()
+    }
+
+    fn replication() -> SystemFactory {
+        Arc::new(build_open)
+    }
+
+    /// Assert the plan actually opened: two islands, threaded engine,
+    /// reason quoting the fabric's grant floor.
+    fn assert_open(sys: &EclipseSystem) {
+        let plan = sys
+            .last_partition_plan()
+            .expect("run_parallel records its plan");
+        assert!(plan.parallel(), "gate must open, got: {}", plan.reason);
+        assert_eq!(plan.islands, vec![vec![0, 1], vec![2, 3]]);
+        assert!(plan.lookahead > 0);
+        assert!(
+            plan.reason.contains("grant floor"),
+            "open reason should quote the floor: {}",
+            plan.reason
+        );
+    }
+
+    #[test]
+    fn open_gate_cold_start_matches_sequential() {
+        let mut seq = build_open();
+        seq.inject_faults(fault_plan());
+        let seq_summary = seq.run(MAX_CYCLES);
+        assert_eq!(seq_summary.outcome, RunOutcome::AllFinished, "seq");
+        let want = outcome(&seq, &seq_summary);
+
+        let mut par = build_open();
+        par.set_parallel_islands(2);
+        par.set_replication(replication());
+        par.inject_faults(fault_plan());
+        let par_summary = par.run_parallel(MAX_CYCLES);
+        assert_open(&par);
+        assert_eq!(par_summary.outcome, RunOutcome::AllFinished, "par");
+        let got = outcome(&par, &par_summary);
+
+        assert_eq!(want.summary, got.summary, "RunSummary diverged");
+        assert_eq!(want.state_hash, got.state_hash, "state_hash diverged");
+        assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
+    }
+
+    #[test]
+    fn open_gate_survives_midrun_checkpoint() {
+        let mut seq = build_open();
+        seq.inject_faults(fault_plan());
+        let seq_summary = seq.run(MAX_CYCLES);
+        assert_eq!(seq_summary.outcome, RunOutcome::AllFinished, "seq");
+        let want = outcome(&seq, &seq_summary);
+
+        // First half up to the split, checkpoint with syncs in flight.
+        let mut par = build_open();
+        par.set_parallel_islands(2);
+        par.set_replication(replication());
+        par.inject_faults(fault_plan());
+        assert_eq!(par.run_until(SPLIT_AT), None, "still streaming");
+        let mid = par.save();
+
+        // Second half threaded, in a fresh system restored mid-stream.
+        let mut resumed = build_open();
+        resumed.set_parallel_islands(2);
+        resumed.set_replication(replication());
+        resumed.inject_faults(fault_plan());
+        resumed.restore(&mid).unwrap();
+        let par_summary = resumed.run_parallel(MAX_CYCLES);
+        assert_open(&resumed);
+        assert_eq!(par_summary.outcome, RunOutcome::AllFinished, "par");
+        let got = outcome(&resumed, &par_summary);
+
+        assert_eq!(want.summary, got.summary, "RunSummary diverged");
+        assert_eq!(want.state_hash, got.state_hash, "state_hash diverged");
+        assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
+    }
+
+    /// The plan must stay open (and the engine byte-identical) when the
+    /// run ends at `max_cycles` instead of completion — the boundary
+    /// pop-and-discard path of the sequential loop.
+    #[test]
+    fn open_gate_max_cycles_boundary_matches_sequential() {
+        const CAP: u64 = 7_777;
+        let mut seq = build_open();
+        seq.inject_faults(fault_plan());
+        let seq_summary = seq.run(CAP);
+        let want = outcome(&seq, &seq_summary);
+
+        let mut par = build_open();
+        par.set_parallel_islands(2);
+        par.set_replication(replication());
+        par.inject_faults(fault_plan());
+        let par_summary = par.run_parallel(CAP);
+        assert_open(&par);
+        let got = outcome(&par, &par_summary);
+
+        assert_eq!(want.summary, got.summary, "RunSummary diverged");
+        assert_eq!(want.state_hash, got.state_hash, "state_hash diverged");
+        assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
+    }
+}
+
 /// The plan itself is pure: asking for a plan never mutates timing, and
 /// repeated queries agree.
 #[test]
 fn partition_plan_is_stable_and_pure() {
     let combos = fabric_combos(&EclipseConfig::default());
-    let (_, data, sync) = combos.into_iter().next().unwrap();
+    let (_, data, sync, _) = combos.into_iter().next().unwrap();
     let sys = build_system(data, sync);
     let before = sys.state_hash();
     let p1 = sys.partition_plan(8);

@@ -59,8 +59,18 @@ pub trait DataFabric: std::fmt::Debug {
     fn kind(&self) -> &'static str;
 
     /// Request a transfer of `bytes` at SRAM address `addr`, issued at
-    /// `now`. Returns grant/completion timing including arbitration wait.
-    fn request(&mut self, dir: FabricDir, now: Cycle, addr: u32, bytes: u32) -> Transfer;
+    /// `now` by requester (shell) `requester`. Returns grant/completion
+    /// timing including arbitration wait. Globally-arbitrated fabrics
+    /// ignore `requester`; per-requester-ported fabrics route the request
+    /// through that requester's private port.
+    fn request(
+        &mut self,
+        requester: usize,
+        dir: FabricDir,
+        now: Cycle,
+        addr: u32,
+        bytes: u32,
+    ) -> Transfer;
 
     /// Connect the fabric to a shared event-trace sink.
     fn attach_trace(&mut self, sink: &SharedTraceSink);
@@ -82,11 +92,11 @@ pub trait DataFabric: std::fmt::Debug {
     /// bank on. `None` means zero: the fabric arbitrates globally, so a
     /// request by one shell can change what any other shell sees in the
     /// *same* cycle, and no positive conservative window exists across
-    /// the fabric. Both current backends share arbiter state across all
-    /// requesters (one bus pair; banks selected by address, not by
-    /// requester) and therefore return `None`; a future per-requester
-    ///-ported fabric (e.g. a crossbar with private ports) would return
-    /// its pipeline depth here and unlock intra-run parallelism.
+    /// the fabric. The globally-arbitrated backends (one shared bus pair;
+    /// banks selected by address, not by requester) return `None`;
+    /// [`PrivatePortFabric`] gives every requester a private port whose
+    /// timing no other requester can touch and returns its static
+    /// crossbar grant bound, unlocking intra-run parallelism.
     fn min_grant_cycles(&self) -> Option<Cycle> {
         None
     }
@@ -100,6 +110,13 @@ pub trait DataFabric: std::fmt::Debug {
     fn load_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
         Ok(())
     }
+
+    /// Downcast support (the parallel engine's state merge needs the
+    /// concrete backend to swap per-requester port state).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// Fabric selection, resolved to a backend at system build time.
@@ -125,6 +142,20 @@ pub enum DataFabricConfig {
         /// Per-bank port parameters.
         bank: BusConfig,
     },
+    /// Per-requester private ports into address-interleaved SRAM banks
+    /// through a worst-case-provisioned crossbar: every request pays the
+    /// static grant bound `grant_cycles`, and after the grant its private
+    /// port carries the data with no cross-requester arbitration at all.
+    /// The only fabric with a positive `min_grant_cycles()` — the one
+    /// that opens the intra-run parallel gate.
+    PrivatePort {
+        /// Static worst-case crossbar grant latency in cycles (>= 1);
+        /// a TDM crossbar serving `P` ports bounds this by `P`.
+        grant_cycles: Cycle,
+        /// Per-port parameters (each requester gets a private read port
+        /// and a private write port with these timings).
+        port: BusConfig,
+    },
 }
 
 impl DataFabricConfig {
@@ -139,6 +170,9 @@ impl DataFabricConfig {
                 interleave_bytes,
                 bank,
             } => Box::new(MultiBankFabric::new(banks, interleave_bytes, bank)),
+            DataFabricConfig::PrivatePort { grant_cycles, port } => {
+                Box::new(PrivatePortFabric::new(grant_cycles, port))
+            }
         }
     }
 }
@@ -178,7 +212,14 @@ impl DataFabric for SharedBusFabric {
         None
     }
 
-    fn request(&mut self, dir: FabricDir, now: Cycle, _addr: u32, bytes: u32) -> Transfer {
+    fn request(
+        &mut self,
+        _requester: usize,
+        dir: FabricDir,
+        now: Cycle,
+        _addr: u32,
+        bytes: u32,
+    ) -> Transfer {
         let t = match dir {
             FabricDir::Read => self.read.request(now, bytes),
             FabricDir::Write => self.write.request(now, bytes),
@@ -222,6 +263,14 @@ impl DataFabric for SharedBusFabric {
         self.write.load(r)?;
         self.contended = r.u64()?;
         Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -292,21 +341,43 @@ impl DataFabric for MultiBankFabric {
         None
     }
 
-    fn request(&mut self, _dir: FabricDir, now: Cycle, addr: u32, bytes: u32) -> Transfer {
+    fn request(
+        &mut self,
+        _requester: usize,
+        dir: FabricDir,
+        now: Cycle,
+        addr: u32,
+        bytes: u32,
+    ) -> Transfer {
+        let _ = dir;
         debug_assert!(bytes > 0, "zero-byte fabric transaction");
         // Split the transfer at interleave boundaries; chunks issue
         // concurrently, each arbitrating on its own bank.
+        //
+        // Contended-wait accounting distinguishes *external* contention
+        // (the bank was busy with someone else's transfer when our first
+        // chunk arrived) from *self-serialization* (a wide transfer
+        // wrapping around the stripe queues behind its own earlier chunk
+        // on the same bank). Only the first chunk landing on each bank
+        // can wait on external traffic; later chunks on that bank wait
+        // behind ourselves, which is bandwidth, not contention. A bank
+        // freed exactly at `now` (`now == next_free`) grants immediately
+        // with zero wait — the grant boundary is not contention either.
         let mut a = addr;
         let mut remaining = bytes;
         let mut start = Cycle::MAX;
         let mut done = 0;
         let mut wait = 0;
+        let mut banks_touched = 0u32;
         while remaining > 0 {
             let in_chunk = (self.interleave - a % self.interleave).min(remaining);
             let bank = self.bank_of(a);
+            let first_touch = banks_touched & (1 << bank) == 0;
+            banks_touched |= 1 << bank;
             let t = self.banks[bank].request(now, in_chunk);
-            if t.wait > 0 {
+            if first_touch && t.wait > 0 {
                 self.contended += 1;
+                wait = wait.max(t.wait);
             }
             if let Some(h) = &self.trace {
                 h.emit(
@@ -320,7 +391,6 @@ impl DataFabric for MultiBankFabric {
             }
             start = start.min(t.start);
             done = done.max(t.done);
-            wait = wait.max(t.wait);
             a += in_chunk;
             remaining -= in_chunk;
         }
@@ -364,6 +434,227 @@ impl DataFabric for MultiBankFabric {
         self.contended = r.u64()?;
         Ok(())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Upper bound on [`PrivatePortFabric`] requesters (port names are
+/// static strings).
+pub const MAX_PORTS: usize = 16;
+
+const PORT_READ_NAMES: [&str; MAX_PORTS] = [
+    "p0.rd", "p1.rd", "p2.rd", "p3.rd", "p4.rd", "p5.rd", "p6.rd", "p7.rd", "p8.rd", "p9.rd",
+    "p10.rd", "p11.rd", "p12.rd", "p13.rd", "p14.rd", "p15.rd",
+];
+const PORT_WRITE_NAMES: [&str; MAX_PORTS] = [
+    "p0.wr", "p1.wr", "p2.wr", "p3.wr", "p4.wr", "p5.wr", "p6.wr", "p7.wr", "p8.wr", "p9.wr",
+    "p10.wr", "p11.wr", "p12.wr", "p13.wr", "p14.wr", "p15.wr",
+];
+
+/// One requester's private read/write port pair.
+#[derive(Debug, Clone)]
+struct PrivatePort {
+    read: Bus,
+    write: Bus,
+}
+
+/// Per-requester private ports into the interleaved SRAM banks, through
+/// a worst-case-provisioned crossbar — the paper's §4 memory
+/// architecture, where every coprocessor shell owns its own port into
+/// the embedded SRAM and streams never contend on a single arbiter.
+///
+/// Timing model: a request issued at `now` by shell `s` pays the static
+/// crossbar grant bound `grant_cycles` (every request, hit or miss — the
+/// crossbar is provisioned for the worst case, e.g. a TDM wheel that
+/// guarantees each of `P` ports one grant slot every `P` cycles even
+/// when all ports storm the same bank), then streams over shell `s`'s
+/// private port [`Bus`]. No state whatsoever is shared between
+/// requesters, so one shell's traffic *cannot* move another shell's
+/// grant or completion times — which is exactly why
+/// [`DataFabric::min_grant_cycles`] can return `Some(grant_cycles)` and
+/// open the conservative parallel partitioner's gate. The only waiting a
+/// request can experience is queueing behind the same shell's earlier
+/// transfer on its own port; that self-queueing is what the contention
+/// counter reports.
+#[derive(Debug)]
+pub struct PrivatePortFabric {
+    /// Port `s` serves requester (shell) `s`; grown lazily on first use
+    /// (growth creates every intermediate port, so the vector length —
+    /// and the snapshot — depend only on the highest requester seen).
+    ports: Vec<PrivatePort>,
+    grant: Cycle,
+    port_cfg: BusConfig,
+    contended: u64,
+    trace: Option<TraceHandle>,
+}
+
+impl PrivatePortFabric {
+    /// A new idle fabric with the given static grant bound (>= 1).
+    pub fn new(grant_cycles: Cycle, port: BusConfig) -> Self {
+        assert!(
+            grant_cycles >= 1,
+            "the crossbar grant bound must be positive (it is the fabric's parallel lookahead)"
+        );
+        PrivatePortFabric {
+            ports: Vec::new(),
+            grant: grant_cycles,
+            port_cfg: port,
+            contended: 0,
+            trace: None,
+        }
+    }
+
+    fn port_pair(&mut self, requester: usize) -> &mut PrivatePort {
+        assert!(
+            requester < MAX_PORTS,
+            "requester {requester} exceeds the {MAX_PORTS}-port crossbar"
+        );
+        while self.ports.len() <= requester {
+            let i = self.ports.len();
+            self.ports.push(PrivatePort {
+                read: Bus::new(PORT_READ_NAMES[i], self.port_cfg),
+                write: Bus::new(PORT_WRITE_NAMES[i], self.port_cfg),
+            });
+        }
+        &mut self.ports[requester]
+    }
+
+    /// Parallel-island merge: graft `other`'s port state for `requester`
+    /// into `self`, creating fresh intermediate ports exactly as lazy
+    /// growth would have. A port `other` never grew is left fresh —
+    /// equivalent, since an ungrown port has carried nothing.
+    pub fn adopt_port_state(&mut self, requester: usize, other: &PrivatePortFabric) {
+        if requester < other.ports.len() {
+            let _ = self.port_pair(requester); // grow
+            self.ports[requester] = other.ports[requester].clone();
+        }
+    }
+
+    /// Parallel-island merge: add the self-queueing `other` accumulated
+    /// beyond the shared baseline `base` onto `self`.
+    pub fn absorb_contended_delta(&mut self, base: &PrivatePortFabric, other: &PrivatePortFabric) {
+        self.contended += other.contended - base.contended;
+    }
+}
+
+impl DataFabric for PrivatePortFabric {
+    fn kind(&self) -> &'static str {
+        "private-port"
+    }
+
+    /// The private-port guarantee: requester state is fully disjoint, so
+    /// another shell's request can never move this shell's grant inside
+    /// the crossbar's static grant window. The bound is conservative —
+    /// private ports actually decouple requesters *forever*, but the
+    /// partitioner only needs a positive floor.
+    fn min_grant_cycles(&self) -> Option<Cycle> {
+        Some(self.grant)
+    }
+
+    fn request(
+        &mut self,
+        requester: usize,
+        dir: FabricDir,
+        now: Cycle,
+        _addr: u32,
+        bytes: u32,
+    ) -> Transfer {
+        debug_assert!(bytes > 0, "zero-byte fabric transaction");
+        let grant = self.grant;
+        let pair = self.port_pair(requester);
+        let bus = match dir {
+            FabricDir::Read => &mut pair.read,
+            FabricDir::Write => &mut pair.write,
+        };
+        // The crossbar always charges its worst-case grant bound, then
+        // the private port streams the data; queueing can only be behind
+        // this requester's own earlier transfers.
+        let t = bus.request(now + grant, bytes);
+        let wait = t.start - now;
+        if t.wait > 0 {
+            self.contended += 1;
+        }
+        if let Some(h) = &self.trace {
+            h.emit(
+                t.start,
+                TraceEventKind::BankGrant {
+                    bank: requester as u32,
+                    bytes,
+                    wait,
+                },
+            );
+        }
+        Transfer {
+            start: t.start,
+            done: t.done,
+            wait,
+        }
+    }
+
+    fn attach_trace(&mut self, sink: &SharedTraceSink) {
+        self.trace = Some(TraceHandle::new(sink, "fabric/private-port"));
+    }
+
+    fn ports(&self) -> Vec<FabricPort<'_>> {
+        let mut out = Vec::with_capacity(self.ports.len() * 2);
+        for p in &self.ports {
+            out.push(FabricPort {
+                name: p.read.name(),
+                stats: p.read.stats(),
+            });
+            out.push(FabricPort {
+                name: p.write.name(),
+                stats: p.write.stats(),
+            });
+        }
+        out
+    }
+
+    fn contended_requests(&self) -> u64 {
+        self.contended
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.ports.len());
+        for p in &self.ports {
+            p.read.save(w);
+            p.write.save(w);
+        }
+        w.u64(self.contended);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n > MAX_PORTS {
+            return Err(SnapError::Corrupt("fabric port count"));
+        }
+        self.ports.clear();
+        for i in 0..n {
+            self.ports.push(PrivatePort {
+                read: Bus::new(PORT_READ_NAMES[i], self.port_cfg),
+                write: Bus::new(PORT_WRITE_NAMES[i], self.port_cfg),
+            });
+            let p = self.ports.last_mut().expect("just pushed");
+            p.read.load(r)?;
+            p.write.load(r)?;
+        }
+        self.contended = r.u64()?;
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -398,7 +689,7 @@ mod tests {
                 FabricDir::Read => read.request(now, bytes),
                 FabricDir::Write => write.request(now, bytes),
             };
-            assert_eq!(fabric.request(dir, now, addr, bytes), expect);
+            assert_eq!(fabric.request(i % 3, dir, now, addr, bytes), expect);
         }
         let ports = fabric.ports();
         assert_eq!(ports[0].name, "read");
@@ -411,7 +702,7 @@ mod tests {
         // 4 banks, 64 B interleave: a 256 B line-aligned transfer touches
         // all four banks once and finishes in one bank's chunk time.
         let mut f = MultiBankFabric::new(4, 64, cfg());
-        let t = f.request(FabricDir::Read, 0, 0, 256);
+        let t = f.request(0, FabricDir::Read, 0, 0, 256);
         // Each chunk: 4 beats + latency 1 → done at 5, concurrently.
         assert_eq!(
             t,
@@ -432,8 +723,8 @@ mod tests {
     fn multibank_collisions_serialize_on_one_bank() {
         let mut f = MultiBankFabric::new(4, 64, cfg());
         // Two transfers to the same bank at the same cycle: second waits.
-        let t1 = f.request(FabricDir::Read, 0, 0, 64);
-        let t2 = f.request(FabricDir::Write, 0, 256, 64); // 256/64 % 4 == bank 0
+        let t1 = f.request(0, FabricDir::Read, 0, 0, 64);
+        let t2 = f.request(1, FabricDir::Write, 0, 256, 64); // 256/64 % 4 == bank 0
         assert_eq!(t1.wait, 0);
         assert!(t2.wait > 0);
         assert_eq!(f.contended_requests(), 1);
@@ -443,7 +734,7 @@ mod tests {
     fn multibank_splits_unaligned_transfers() {
         let mut f = MultiBankFabric::new(2, 64, cfg());
         // 100 B starting at 32: chunks of 32 (bank 0), 64 (bank 1), 4 (bank 0).
-        f.request(FabricDir::Read, 0, 32, 100);
+        f.request(0, FabricDir::Read, 0, 32, 100);
         let ports = f.ports();
         assert_eq!(ports[0].stats.transactions, 2);
         assert_eq!(ports[0].stats.bytes, 36);
@@ -464,6 +755,11 @@ mod tests {
             bank: cfg(),
         }
         .build();
+        let mut private: Box<dyn DataFabric> = DataFabricConfig::PrivatePort {
+            grant_cycles: 2,
+            port: cfg(),
+        }
+        .build();
         let mut total = 0u64;
         let mut state = 0x1234_5678_9abc_def0u64;
         for i in 0..500u64 {
@@ -478,20 +774,167 @@ mod tests {
             } else {
                 FabricDir::Write
             };
+            let requester = (state >> 48) as usize % 4;
             total += bytes as u64;
-            let a = shared.request(dir, i, addr, bytes);
-            let b = banked.request(dir, i, addr, bytes);
-            for t in [a, b] {
+            let a = shared.request(requester, dir, i, addr, bytes);
+            let b = banked.request(requester, dir, i, addr, bytes);
+            let c = private.request(requester, dir, i, addr, bytes);
+            for t in [a, b, c] {
                 assert!(t.start >= i);
-                // `wait` is the slowest chunk's wait; `start` the earliest
-                // chunk's grant — so wait bounds (start - now) from above.
+                // `wait` reflects externally-contended grants; `start` the
+                // earliest chunk's grant — so wait bounds (start - now)
+                // from above.
                 assert!(t.wait >= t.start - i);
                 assert!(t.done > t.start);
             }
         }
-        for f in [&shared, &banked] {
+        for f in [&shared, &banked, &private] {
             let carried: u64 = f.ports().iter().map(|p| p.stats.bytes).sum();
             assert_eq!(carried, total, "{} must carry every byte", f.kind());
         }
+    }
+
+    /// Satellite-2 regression: a requester arriving exactly at the cycle a
+    /// resource becomes free (`now == next_free`) is granted immediately —
+    /// zero wait, and the fabric does NOT count a contended grant. Pinned
+    /// for every fabric, old and new.
+    #[test]
+    fn boundary_cycle_grant_is_uncontended_on_every_fabric() {
+        // cfg(): 64 B → 4 beats; a request at `now` occupies the bus until
+        // `start + 4`, completing (latency 1) at `start + 5`.
+        let fabrics: Vec<Box<dyn DataFabric>> = vec![
+            DataFabricConfig::SharedBus {
+                read: cfg(),
+                write: cfg(),
+            }
+            .build(),
+            DataFabricConfig::MultiBank {
+                banks: 4,
+                interleave_bytes: 64,
+                bank: cfg(),
+            }
+            .build(),
+            DataFabricConfig::PrivatePort {
+                grant_cycles: 3,
+                port: cfg(),
+            }
+            .build(),
+        ];
+        for mut f in fabrics {
+            let kind = f.kind();
+            let grant = f.min_grant_cycles().unwrap_or(0);
+            let t1 = f.request(0, FabricDir::Read, 0, 0, 64);
+            assert_eq!(t1.wait, grant, "{kind}: idle fabric charges only its floor");
+            // The port frees at start + beats; arrive so the (possibly
+            // grant-delayed) issue lands exactly on that boundary cycle.
+            let free_at = t1.start + 4;
+            let now2 = free_at - grant;
+            let t2 = f.request(0, FabricDir::Read, now2, 0, 64);
+            assert_eq!(
+                t2.wait, grant,
+                "{kind}: boundary-cycle arrival must not queue"
+            );
+            assert_eq!(t2.start, free_at);
+            assert_eq!(
+                f.contended_requests(),
+                0,
+                "{kind}: boundary-cycle grants are not contention"
+            );
+        }
+    }
+
+    /// Satellite-2 regression: a wide transfer wrapping the bank stripe
+    /// serializes behind *itself* on each bank — that is occupancy, not
+    /// contention, and must inflate neither `wait` nor the contended
+    /// count.
+    #[test]
+    fn multibank_self_serialization_is_not_contention() {
+        let mut f = MultiBankFabric::new(2, 64, cfg());
+        // 256 B over 2 banks: chunks land bank0, bank1, bank0, bank1 —
+        // the second visit to each bank queues behind the first.
+        let t = f.request(0, FabricDir::Read, 0, 0, 256);
+        assert_eq!(t.start, 0);
+        assert_eq!(t.wait, 0, "self-serialization must not report as wait");
+        assert!(t.done > 5, "wrap-around chunks do serialize in time");
+        assert_eq!(f.contended_requests(), 0);
+        // A genuinely foreign collision still counts.
+        let t2 = f.request(1, FabricDir::Read, 0, 0, 64);
+        assert!(t2.wait > 0);
+        assert_eq!(f.contended_requests(), 1);
+    }
+
+    #[test]
+    fn private_port_charges_constant_grant_floor() {
+        let mut f = PrivatePortFabric::new(2, cfg());
+        assert_eq!(f.min_grant_cycles(), Some(2));
+        assert_eq!(f.kind(), "private-port");
+        let t = f.request(0, FabricDir::Read, 10, 0, 64);
+        assert_eq!(
+            t,
+            Transfer {
+                start: 12,
+                done: 17,
+                wait: 2
+            }
+        );
+        // Reads and writes ride separate port buses: no cross-queueing.
+        let w = f.request(0, FabricDir::Write, 10, 0, 64);
+        assert_eq!(w, t);
+        assert_eq!(f.contended_requests(), 0);
+    }
+
+    #[test]
+    fn private_ports_are_independent_across_requesters() {
+        // Storm requester 0, then check requester 1 sees virgin timing.
+        let mut stormed = PrivatePortFabric::new(1, cfg());
+        for i in 0..32u64 {
+            stormed.request(0, FabricDir::Read, i, 0, 128);
+        }
+        let mut fresh = PrivatePortFabric::new(1, cfg());
+        for now in [100u64, 101, 103] {
+            let a = stormed.request(1, FabricDir::Read, now, 64, 64);
+            let b = fresh.request(1, FabricDir::Read, now, 64, 64);
+            assert_eq!(a, b, "requester 1 must be untouched by requester 0");
+        }
+        // Requester 0's own back-to-back queueing did register.
+        assert!(stormed.contended_requests() > 0);
+        // Growth created ports 0 and 1 (read+write each).
+        assert_eq!(stormed.ports().len(), 4);
+        assert_eq!(stormed.ports()[2].name, "p1.rd");
+    }
+
+    #[test]
+    fn private_port_snapshot_roundtrip_mid_contention() {
+        let mut f = PrivatePortFabric::new(2, cfg());
+        // Pile up in-flight occupancy on ports 0 and 2 (growing three
+        // ports) so arbiter cursors are mid-contention at save time.
+        for i in 0..8u64 {
+            f.request(0, FabricDir::Read, i, 0, 192);
+            f.request(2, FabricDir::Write, i, 64, 192);
+        }
+        let mut w = SnapWriter::new();
+        f.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut g = PrivatePortFabric::new(2, cfg());
+        let mut r = SnapReader::new(&bytes);
+        g.load_state(&mut r).expect("load");
+
+        // Identical future behaviour, stats, and re-saved bytes.
+        for (req, dir, now) in [
+            (0usize, FabricDir::Read, 8u64),
+            (2, FabricDir::Write, 8),
+            (1, FabricDir::Read, 9),
+        ] {
+            assert_eq!(
+                f.request(req, dir, now, 0, 64),
+                g.request(req, dir, now, 0, 64)
+            );
+        }
+        assert_eq!(f.contended_requests(), g.contended_requests());
+        let (mut wf, mut wg) = (SnapWriter::new(), SnapWriter::new());
+        f.save_state(&mut wf);
+        g.save_state(&mut wg);
+        assert_eq!(wf.into_bytes(), wg.into_bytes());
     }
 }

@@ -40,6 +40,7 @@ pub use bus::{Bus, BusConfig, BusStats, Transfer};
 pub use cyclic::CyclicBuffer;
 pub use dram::{Dram, DramConfig};
 pub use fabric::{
-    DataFabric, DataFabricConfig, FabricDir, FabricPort, MultiBankFabric, SharedBusFabric,
+    DataFabric, DataFabricConfig, FabricDir, FabricPort, MultiBankFabric, PrivatePortFabric,
+    SharedBusFabric,
 };
 pub use sram::{Sram, SramConfig};

@@ -35,7 +35,8 @@ pub const MAX_LINE_BYTES: u32 = 64;
 /// pluggable [`DataFabric`]. The paper's instance (Section 6) is the
 /// default [`SharedBusFabric`] — one shared read bus, one shared write
 /// bus; multi-bank backends stripe the same SRAM across parallel
-/// arbiters.
+/// arbiters, and the private-port fabric gives every shell its own port
+/// pair (which is why requests carry the requesting shell's index).
 #[derive(Debug)]
 pub struct MemSys {
     /// The centralized on-chip SRAM holding all stream buffers.
@@ -62,27 +63,28 @@ impl MemSys {
         }
     }
 
-    /// Fetch `buf.len()` bytes at `addr` over the fabric; returns the
-    /// cycle at which the data is available. The whole request is one
-    /// contiguous burst: one fabric transaction, one SRAM access —
-    /// callers fetch straight into their line storage with no staging
-    /// copy.
+    /// Fetch `buf.len()` bytes at `addr` over the fabric on behalf of
+    /// `requester` (the shell's fabric-port index); returns the cycle at
+    /// which the data is available. The whole request is one contiguous
+    /// burst: one fabric transaction, one SRAM access — callers fetch
+    /// straight into their line storage with no staging copy.
     #[inline]
-    pub fn fetch(&mut self, now: Cycle, addr: u32, buf: &mut [u8]) -> Cycle {
+    pub fn fetch(&mut self, requester: usize, now: Cycle, addr: u32, buf: &mut [u8]) -> Cycle {
         let t = self
             .fabric
-            .request(FabricDir::Read, now, addr, buf.len() as u32);
+            .request(requester, FabricDir::Read, now, addr, buf.len() as u32);
         self.sram.read(addr, buf);
         t.done + self.sram.config().latency
     }
 
-    /// Write `data` at `addr` over the fabric; returns the cycle at
-    /// which the write has globally completed (safe ordering point).
+    /// Write `data` at `addr` over the fabric on behalf of `requester`;
+    /// returns the cycle at which the write has globally completed (safe
+    /// ordering point).
     #[inline]
-    pub fn writeback(&mut self, now: Cycle, addr: u32, data: &[u8]) -> Cycle {
+    pub fn writeback(&mut self, requester: usize, now: Cycle, addr: u32, data: &[u8]) -> Cycle {
         let t = self
             .fabric
-            .request(FabricDir::Write, now, addr, data.len() as u32);
+            .request(requester, FabricDir::Write, now, addr, data.len() as u32);
         self.sram.write(addr, data);
         t.done + self.sram.config().latency
     }
@@ -208,6 +210,10 @@ pub struct StreamCache {
     /// skip its walk on the read-only rows that never dirty a line. Also
     /// derived state, kept in step at every dirty-mask transition.
     dirty_lines: u32,
+    /// The fabric-port index this cache requests on (its shell's id).
+    /// Wiring identity, not state — set by the owning shell at
+    /// construction and after checkpoint load, never serialized.
+    pub owner: usize,
     /// Cache event counters.
     pub stats: CacheStats,
 }
@@ -231,6 +237,7 @@ impl StreamCache {
             },
             resident_span: (0, 0),
             dirty_lines: 0,
+            owner: 0,
             stats: CacheStats::default(),
         }
     }
@@ -281,9 +288,9 @@ impl StreamCache {
         if self.lines.is_empty() {
             // Uncached: straight to the bus, segment by segment.
             let (a, b) = buffer.segments(offset, buf.len() as u32);
-            let mut done = mem.fetch(now, a.addr, &mut buf[..a.len as usize]);
+            let mut done = mem.fetch(self.owner, now, a.addr, &mut buf[..a.len as usize]);
             if let Some(s) = b {
-                done = done.max(mem.fetch(now, s.addr, &mut buf[a.len as usize..]));
+                done = done.max(mem.fetch(self.owner, now, s.addr, &mut buf[a.len as usize..]));
             }
             self.stats.misses += 1;
             self.stats.stall_cycles += done - now;
@@ -357,7 +364,7 @@ impl StreamCache {
             // dirty bytes (8-byte groups: skip fully-dirty, bulk-copy
             // fully-clean, blend only mixed groups).
             let mut fresh = [0u8; MAX_LINE_BYTES as usize];
-            let ready = mem.fetch(now, tag, &mut fresh[..line_bytes]);
+            let ready = mem.fetch(self.owner, now, tag, &mut fresh[..line_bytes]);
             let line = &mut self.lines[idx];
             let mut g = 0usize;
             while g < line_bytes {
@@ -386,8 +393,9 @@ impl StreamCache {
         // Miss: evict if needed, then fetch straight into the line (no
         // staging copy).
         self.evict(now, mem, idx);
+        let owner = self.owner;
         let line = &mut self.lines[idx];
-        let ready = mem.fetch(now, tag, &mut line.data[..line_bytes]);
+        let ready = mem.fetch(owner, now, tag, &mut line.data[..line_bytes]);
         line.tag = tag;
         line.dirty = 0;
         line.fetched = true;
@@ -407,7 +415,7 @@ impl StreamCache {
             let tag = self.lines[idx].tag;
             let dirty = self.lines[idx].dirty;
             let data = self.lines[idx].data;
-            Self::write_dirty_runs(mem, now, tag, dirty, &data[..line_bytes]);
+            Self::write_dirty_runs(self.owner, mem, now, tag, dirty, &data[..line_bytes]);
             self.stats.writebacks += 1;
             self.dirty_lines -= 1;
         }
@@ -417,7 +425,14 @@ impl StreamCache {
     /// Write the dirty bytes of a line back as contiguous runs, lowest
     /// address first (the order the bus sees them, so it is part of the
     /// simulated timing and must not change).
-    fn write_dirty_runs(mem: &mut MemSys, now: Cycle, tag: u32, dirty: u64, data: &[u8]) -> Cycle {
+    fn write_dirty_runs(
+        owner: usize,
+        mem: &mut MemSys,
+        now: Cycle,
+        tag: u32,
+        dirty: u64,
+        data: &[u8],
+    ) -> Cycle {
         let full = if data.len() >= 64 {
             !0u64
         } else {
@@ -426,13 +441,14 @@ impl StreamCache {
         let mut d = dirty & full;
         if d == full {
             // Fully dirty line: one run covering the whole line.
-            return mem.writeback(now, tag, data);
+            return mem.writeback(owner, now, tag, data);
         }
         let mut done = now;
         while d != 0 {
             let start = d.trailing_zeros() as usize;
             let run = (d >> start).trailing_ones() as usize;
-            done = done.max(mem.writeback(now, tag + start as u32, &data[start..start + run]));
+            done =
+                done.max(mem.writeback(owner, now, tag + start as u32, &data[start..start + run]));
             let end = start + run;
             d &= if end >= 64 {
                 !(!0u64 << start)
@@ -459,9 +475,9 @@ impl StreamCache {
         }
         if self.lines.is_empty() {
             let (a, b) = buffer.segments(offset, data.len() as u32);
-            let mut done = mem.writeback(now, a.addr, &data[..a.len as usize]);
+            let mut done = mem.writeback(self.owner, now, a.addr, &data[..a.len as usize]);
             if let Some(s) = b {
-                done = done.max(mem.writeback(now, s.addr, &data[a.len as usize..]));
+                done = done.max(mem.writeback(self.owner, now, s.addr, &data[a.len as usize..]));
             }
             return done;
         }
@@ -563,6 +579,7 @@ impl StreamCache {
         let lines = &mut self.lines;
         let stats = &mut self.stats;
         let dirty_lines = &mut self.dirty_lines;
+        let owner = self.owner;
         let mut done = now;
         buffer.lines_touched(offset, len, line_bytes, |tag_addr| {
             let tag = tag_addr & !(line_bytes - 1);
@@ -578,6 +595,7 @@ impl StreamCache {
                 line.dirty = 0;
                 *dirty_lines -= 1;
                 done = done.max(Self::write_dirty_runs(
+                    owner,
                     mem,
                     now,
                     tag,

@@ -235,16 +235,18 @@ impl Shell {
         // reconfiguration); otherwise append. The generation counter of a
         // recycled slot keeps its bumped value so in-flight syncs stamped
         // against the old occupant stay stale.
+        let mut fresh = StreamCache::new(cache);
+        fresh.owner = self.id.0 as usize;
         if self.free_rows.is_empty() {
             let idx = RowIdx(self.rows.len() as u16);
             self.rows.push(StreamRow::new(cfg));
-            self.caches.push(StreamCache::new(cache));
+            self.caches.push(fresh);
             self.generations.push(0);
             idx
         } else {
             let idx = self.free_rows.remove(0);
             self.rows[idx.0 as usize] = StreamRow::new(cfg);
-            self.caches[idx.0 as usize] = StreamCache::new(cache);
+            self.caches[idx.0 as usize] = fresh;
             idx
         }
     }
@@ -359,6 +361,7 @@ impl Shell {
         self.generations[i] = self.generations[i].wrapping_add(1);
         let cache_cfg = *self.caches[i].config();
         self.caches[i] = StreamCache::new(cache_cfg);
+        self.caches[i].owner = self.id.0 as usize;
         let pos = self.free_rows.partition_point(|&r| r.0 < row.0);
         self.free_rows.insert(pos, row);
     }
@@ -853,7 +856,9 @@ impl Shell {
         let mut caches = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
             rows.push(StreamRow::load_state(r)?);
-            caches.push(StreamCache::load_state(r)?);
+            let mut cache = StreamCache::load_state(r)?;
+            cache.owner = self.id.0 as usize;
+            caches.push(cache);
         }
         let n_tasks = r.usize()?;
         let mut tasks = Vec::with_capacity(n_tasks);

@@ -61,6 +61,24 @@ pub trait SyncFabric: std::fmt::Debug {
         base_latency
     }
 
+    /// Whether routing one shell's message can move the arrival time of
+    /// another shell's later messages — i.e. the network holds state
+    /// (shared links, arbiters) that couples otherwise-independent
+    /// shells. A coupling network closes the conservative parallel
+    /// partitioner's gate even when the data fabric is private-ported:
+    /// replicated islands would each mutate their own copy of the shared
+    /// link clocks and disagree with the sequential reference. Stateless
+    /// networks keep the default `false`.
+    fn couples_islands(&self) -> bool {
+        false
+    }
+
+    /// Fold the statistics `other` accumulated *beyond* the shared
+    /// baseline `base` into this fabric (parallel-island merge). Only
+    /// meaningful for non-coupling networks — coupling networks are never
+    /// replicated, so the default is a no-op.
+    fn absorb_stats_delta(&mut self, _base: SyncFabricStats, _other: SyncFabricStats) {}
+
     /// Connect the fabric to a shared event-trace sink.
     fn attach_trace(&mut self, sink: &SharedTraceSink);
 
@@ -153,6 +171,13 @@ impl SyncFabric for DirectSyncFabric {
         self.stats
     }
 
+    fn absorb_stats_delta(&mut self, base: SyncFabricStats, other: SyncFabricStats) {
+        self.stats.messages += other.messages - base.messages;
+        self.stats.hops += other.hops - base.hops;
+        self.stats.contended += other.contended - base.contended;
+        self.stats.wait_cycles += other.wait_cycles - base.wait_cycles;
+    }
+
     fn attach_trace(&mut self, _sink: &SharedTraceSink) {}
 
     fn save_state(&self, w: &mut SnapWriter) {
@@ -198,6 +223,13 @@ impl RingSyncFabric {
 impl SyncFabric for RingSyncFabric {
     fn kind(&self) -> &'static str {
         "ring"
+    }
+
+    /// The ring's links are shared: any message holds `link_free` slots
+    /// that later messages from *other* shells observe, so replicated
+    /// islands would diverge from the sequential reference.
+    fn couples_islands(&self) -> bool {
+        true
     }
 
     /// Any cross-shell message traverses at least one link, so the ring

@@ -1,7 +1,7 @@
 //! The event calendar: a priority queue of timestamped events with stable
 //! (FIFO) ordering among events scheduled for the same cycle.
 //!
-//! Two implementations share the same API and the same `(time, seq)`
+//! Two implementations share the same API and the same `(time, key, seq)`
 //! contract:
 //!
 //! * [`Calendar`] — the production hybrid: a near-future **bucket wheel**
@@ -18,10 +18,25 @@
 //!   sequences and assert identical pop order, and `perf_report` times one
 //!   against the other.
 //!
+//! # Event keys
+//!
+//! Every event carries a 64-bit **key** supplied by the caller
+//! ([`Calendar::schedule_keyed_at`]; the unkeyed API uses key 0). The pop
+//! order is the total order `(time, key, seq)`: time first, then key, and
+//! FIFO (scheduling order) only among events with equal time *and* key.
+//!
+//! Keys exist for the parallel engine: when a caller derives the key from
+//! the event's *content* (not from scheduling history), the relative order
+//! of two same-cycle events from causally independent islands is decided
+//! by their keys alone — so a run that was split across islands and
+//! re-merged pops in exactly the same order as the sequential reference.
+//! Callers that don't need this (benches, the island engine) use the
+//! unkeyed API and get plain `(time, seq)` FIFO, exactly as before.
+//!
 //! Host-performance rule (see `DESIGN.md` "Host performance"): swapping
 //! calendar implementations must never change simulated timing — both
-//! structures pop in exactly `(time, seq)` order, so the simulation is
-//! bit-identical regardless of which one drives it.
+//! structures pop in exactly `(time, key, seq)` order, so the simulation
+//! is bit-identical regardless of which one drives it.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -36,18 +51,19 @@ pub const WHEEL_SLOTS: usize = 4096;
 const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
 const WORDS: usize = WHEEL_SLOTS / 64;
 
-/// An entry in the far-future heap. Ordered by `(time, seq)` so that
-/// equal-time events pop in the order they were scheduled — the
-/// cornerstone of simulator determinism.
+/// An entry in the far-future heap. Ordered by `(time, key, seq)` so that
+/// equal-time events pop key-first, then in the order they were scheduled
+/// — the cornerstone of simulator determinism.
 struct Entry<E> {
     time: Cycle,
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -60,9 +76,9 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, key, seq) pops first.
+        (other.time, other.key, other.seq).cmp(&(self.time, self.key, self.seq))
     }
 }
 
@@ -160,13 +176,14 @@ impl SlotBitmap {
 ///
 /// Every wheel-resident event has a timestamp in `[now, now + WHEEL_SLOTS)`,
 /// so `time & WHEEL_MASK` addresses a unique slot and all events in one
-/// slot share one timestamp (their FIFO order is the slot deque's push
-/// order, which is seq order). Far-heap events were scheduled at least
-/// `WHEEL_SLOTS` cycles ahead; when a far event ties a wheel event on time,
-/// the far event necessarily has the smaller sequence number (it was
-/// scheduled at a strictly earlier `now`), so ties break toward the heap.
+/// slot share one timestamp (their deque order is push order, which is seq
+/// order; within a slot the pop rule takes the smallest key, first-pushed
+/// on key ties). Far-heap events were scheduled at least `WHEEL_SLOTS`
+/// cycles ahead; when a far event ties a wheel event on `(time, key)`, the
+/// far event necessarily has the smaller sequence number (it was scheduled
+/// at a strictly earlier `now`), so ties break toward the heap.
 pub struct Calendar<E> {
-    slots: Vec<VecDeque<E>>,
+    slots: Vec<VecDeque<(u64, E)>>,
     occupied: SlotBitmap,
     wheel_len: usize,
     far: BinaryHeap<Entry<E>>,
@@ -203,14 +220,21 @@ impl<E> Calendar<E> {
         self.len() == 0
     }
 
-    /// Schedule `event` to fire `delay` cycles from now.
+    /// Schedule `event` to fire `delay` cycles from now (key 0).
     #[inline]
     pub fn schedule(&mut self, delay: Cycle, event: E) {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Schedule `event` at absolute time `time` (must be `>= now`).
+    /// Schedule `event` at absolute time `time` (must be `>= now`), key 0.
+    #[inline]
     pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        self.schedule_keyed_at(time, 0, event);
+    }
+
+    /// Schedule `event` at absolute time `time` (must be `>= now`) with an
+    /// explicit ordering key: events pop in `(time, key, seq)` order.
+    pub fn schedule_keyed_at(&mut self, time: Cycle, key: u64, event: E) {
         debug_assert!(
             time >= self.now,
             "scheduling into the past: {} < {}",
@@ -220,23 +244,25 @@ impl<E> Calendar<E> {
         self.seq += 1;
         if time - self.now < WHEEL_SLOTS as Cycle {
             let slot = (time & WHEEL_MASK) as usize;
-            self.slots[slot].push_back(event);
+            self.slots[slot].push_back((key, event));
             self.occupied.set(slot);
             self.wheel_len += 1;
         } else {
             self.far.push(Entry {
                 time,
+                key,
                 seq: self.seq,
                 event,
             });
         }
     }
 
-    /// Timestamp of the next wheel event, if any (`now + cyclic slot
-    /// distance`, valid because all wheel timestamps lie within one window
-    /// of `now`).
+    /// `(time, key, deque index)` of the next wheel event, if any
+    /// (time = `now + cyclic slot distance`, valid because all wheel
+    /// timestamps lie within one window of `now`; the index addresses the
+    /// min-key, first-pushed entry within the slot).
     #[inline]
-    fn wheel_peek_time(&self) -> Option<Cycle> {
+    fn wheel_peek(&self) -> Option<(Cycle, u64, usize, usize)> {
         if self.wheel_len == 0 {
             return None;
         }
@@ -246,12 +272,24 @@ impl<E> Calendar<E> {
             .find_cyclic(start)
             .expect("wheel_len > 0 implies an occupied slot");
         let dist = (slot as u64).wrapping_sub(self.now) & WHEEL_MASK;
-        Some(self.now + dist)
+        let dq = &self.slots[slot];
+        // Pick the smallest key; `>` (not `>=`) keeps the first-pushed
+        // entry on key ties, preserving FIFO within equal keys.
+        let mut best = 0usize;
+        let mut best_key = dq[0].0;
+        for (i, (k, _)) in dq.iter().enumerate().skip(1) {
+            if best_key > *k {
+                best_key = *k;
+                best = i;
+            }
+        }
+        Some((self.now + dist, best_key, slot, best))
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        match (self.wheel_peek_time(), self.far.peek().map(|e| e.time)) {
+        let wheel = self.wheel_peek().map(|(t, _, _, _)| t);
+        match (wheel, self.far.peek().map(|e| e.time)) {
             (Some(w), Some(f)) => Some(w.min(f)),
             (w, f) => w.or(f),
         }
@@ -260,50 +298,58 @@ impl<E> Calendar<E> {
     /// The next event in pop order, without popping it or advancing time.
     /// Follows exactly the same wheel/heap tie-break as [`Calendar::pop`].
     pub fn peek(&self) -> Option<(Cycle, &E)> {
-        let wheel_time = self.wheel_peek_time();
-        let far_time = self.far.peek().map(|e| e.time);
-        let from_far = match (wheel_time, far_time) {
+        self.peek_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// [`Calendar::peek`], also exposing the event's ordering key.
+    pub fn peek_keyed(&self) -> Option<(Cycle, u64, &E)> {
+        let wheel = self.wheel_peek();
+        let far = self.far.peek().map(|e| (e.time, e.key));
+        let from_far = match (wheel, far) {
             (None, None) => return None,
             (Some(_), None) => false,
             (None, Some(_)) => true,
-            (Some(w), Some(f)) => f <= w,
+            (Some((wt, wk, _, _)), Some((ft, fk))) => (ft, fk) <= (wt, wk),
         };
         if from_far {
             let entry = self.far.peek().expect("peeked entry present");
-            Some((entry.time, &entry.event))
+            Some((entry.time, entry.key, &entry.event))
         } else {
-            let time = wheel_time.expect("wheel path requires a wheel event");
-            let slot = (time & WHEEL_MASK) as usize;
-            Some((time, self.slots[slot].front().expect("occupied slot")))
+            let (time, key, slot, i) = wheel.expect("wheel path requires a wheel event");
+            Some((time, key, &self.slots[slot][i].1))
         }
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let wheel_time = self.wheel_peek_time();
-        let far_time = self.far.peek().map(|e| e.time);
-        let from_far = match (wheel_time, far_time) {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// [`Calendar::pop`], also returning the event's ordering key.
+    pub fn pop_keyed(&mut self) -> Option<(Cycle, u64, E)> {
+        let wheel = self.wheel_peek();
+        let far = self.far.peek().map(|e| (e.time, e.key));
+        let from_far = match (wheel, far) {
             (None, None) => return None,
             (Some(_), None) => false,
             (None, Some(_)) => true,
-            // On a time tie the far event was scheduled strictly earlier
-            // (smaller seq), so the heap wins.
-            (Some(w), Some(f)) => f <= w,
+            // On a (time, key) tie the far event was scheduled strictly
+            // earlier (smaller seq), so the heap wins.
+            (Some((wt, wk, _, _)), Some((ft, fk))) => (ft, fk) <= (wt, wk),
         };
         if from_far {
             let entry = self.far.pop().expect("peeked entry present");
             self.now = entry.time;
-            Some((entry.time, entry.event))
+            Some((entry.time, entry.key, entry.event))
         } else {
-            let time = wheel_time.expect("wheel path requires a wheel event");
-            let slot = (time & WHEEL_MASK) as usize;
-            let event = self.slots[slot].pop_front().expect("occupied slot");
+            let (time, key, slot, i) = wheel.expect("wheel path requires a wheel event");
+            let (_, event) = self.slots[slot].remove(i).expect("occupied slot");
             if self.slots[slot].is_empty() {
                 self.occupied.clear(slot);
             }
             self.wheel_len -= 1;
             self.now = time;
-            Some((time, event))
+            Some((time, key, event))
         }
     }
 
@@ -321,62 +367,74 @@ impl<E> Calendar<E> {
 
     /// All pending events in exact pop order, without disturbing the
     /// calendar — the checkpoint view of the queue.
-    ///
-    /// The pop order is reconstructed from the structure invariants:
-    /// every wheel slot holds events of a single timestamp in FIFO
-    /// (= seq) order, far-heap entries carry explicit `(time, seq)`
-    /// pairs, and on a time tie the far event was scheduled strictly
-    /// earlier than any wheel event, so far sorts first.
     pub fn pending_in_order(&self) -> Vec<(Cycle, E)>
     where
         E: Clone,
     {
+        self.pending_in_order_keyed()
+            .into_iter()
+            .map(|(t, _, e)| (t, e))
+            .collect()
+    }
+
+    /// [`Calendar::pending_in_order`] with each event's ordering key.
+    ///
+    /// The pop order is reconstructed from the structure invariants:
+    /// every wheel slot holds events of a single timestamp in push
+    /// (= seq) order — a stable sort by key yields `(key, seq)` order —
+    /// far-heap entries carry explicit `(time, key, seq)` triples, and on
+    /// a `(time, key)` tie the far event was scheduled strictly earlier
+    /// than any wheel event, so far sorts first.
+    pub fn pending_in_order_keyed(&self) -> Vec<(Cycle, u64, E)>
+    where
+        E: Clone,
+    {
         let mut far: Vec<&Entry<E>> = self.far.iter().collect();
-        far.sort_by_key(|e| (e.time, e.seq));
-        let mut wheel: Vec<(Cycle, usize)> = self
+        far.sort_by_key(|e| (e.time, e.key, e.seq));
+        let mut wheel: Vec<(Cycle, Vec<(u64, E)>)> = self
             .slots
             .iter()
             .enumerate()
             .filter(|(_, dq)| !dq.is_empty())
-            .map(|(slot, _)| {
+            .map(|(slot, dq)| {
                 let dist = (slot as u64).wrapping_sub(self.now) & WHEEL_MASK;
-                (self.now + dist, slot)
+                let mut entries: Vec<(u64, E)> = dq.iter().map(|(k, e)| (*k, e.clone())).collect();
+                entries.sort_by_key(|&(k, _)| k); // stable: FIFO within key
+                (self.now + dist, entries)
             })
             .collect();
         wheel.sort_by_key(|&(t, _)| t);
 
         let mut out = Vec::with_capacity(self.len());
-        let (mut fi, mut wi) = (0, 0);
-        while fi < far.len() || wi < wheel.len() {
-            let take_far = match (far.get(fi), wheel.get(wi)) {
-                (Some(f), Some(&(wt, _))) => f.time <= wt,
-                (Some(_), None) => true,
-                _ => false,
-            };
-            if take_far {
-                out.push((far[fi].time, far[fi].event.clone()));
-                fi += 1;
-            } else {
-                let (t, slot) = wheel[wi];
-                out.extend(self.slots[slot].iter().map(|e| (t, e.clone())));
-                wi += 1;
+        let mut fi = 0;
+        for (t, entries) in wheel {
+            for (k, e) in entries {
+                while fi < far.len() && (far[fi].time, far[fi].key) <= (t, k) {
+                    out.push((far[fi].time, far[fi].key, far[fi].event.clone()));
+                    fi += 1;
+                }
+                out.push((t, k, e));
             }
+        }
+        for f in &far[fi..] {
+            out.push((f.time, f.key, f.event.clone()));
         }
         out
     }
 
     /// Reset the calendar to `now` with exactly `events` pending, given
-    /// in pop order (the [`Calendar::pending_in_order`] counterpart used
-    /// by checkpoint restore). Re-scheduling in pop order reproduces the
-    /// original delivery sequence: same-time events land in one slot in
-    /// FIFO order, and a formerly-far event that now fits the wheel
-    /// window is inserted before any same-slot event that followed it.
-    pub fn restore(&mut self, now: Cycle, events: impl IntoIterator<Item = (Cycle, E)>) {
+    /// as `(time, key, event)` in pop order (the
+    /// [`Calendar::pending_in_order_keyed`] counterpart used by
+    /// checkpoint restore). Re-scheduling in pop order reproduces the
+    /// original delivery sequence: same-`(time, key)` events land in one
+    /// slot in FIFO order, and a formerly-far event that now fits the
+    /// wheel window still sorts by its `(time, key)`.
+    pub fn restore(&mut self, now: Cycle, events: impl IntoIterator<Item = (Cycle, u64, E)>) {
         self.clear();
         self.now = now;
         self.seq = 0;
-        for (time, event) in events {
-            self.schedule_at(time, event);
+        for (time, key, event) in events {
+            self.schedule_keyed_at(time, key, event);
         }
     }
 }
@@ -388,7 +446,7 @@ impl<E> Default for Calendar<E> {
 }
 
 /// The original `BinaryHeap`-only calendar, kept as the executable
-/// specification of the `(time, seq)` ordering contract. Same API as
+/// specification of the `(time, key, seq)` ordering contract. Same API as
 /// [`Calendar`]; used by the differential/property tests and by
 /// `perf_report`'s calendar microbenchmark as the comparison baseline.
 pub struct BaselineCalendar<E> {
@@ -423,13 +481,18 @@ impl<E> BaselineCalendar<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `event` to fire `delay` cycles from now.
+    /// Schedule `event` to fire `delay` cycles from now (key 0).
     pub fn schedule(&mut self, delay: Cycle, event: E) {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Schedule `event` at absolute time `time` (must be `>= now`).
+    /// Schedule `event` at absolute time `time` (must be `>= now`), key 0.
     pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        self.schedule_keyed_at(time, 0, event);
+    }
+
+    /// Schedule `event` at `time` with an explicit ordering key.
+    pub fn schedule_keyed_at(&mut self, time: Cycle, key: u64, event: E) {
         debug_assert!(
             time >= self.now,
             "scheduling into the past: {} < {}",
@@ -438,7 +501,12 @@ impl<E> BaselineCalendar<E> {
         );
         self.seq += 1;
         let seq = self.seq;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Timestamp of the next pending event, if any.
@@ -496,6 +564,32 @@ mod tests {
     }
 
     #[test]
+    fn keys_order_equal_time_events() {
+        // At one cycle, key order wins over scheduling order; FIFO only
+        // breaks ties within one key.
+        let mut cal = Calendar::new();
+        cal.schedule_keyed_at(7, 5, "k5-first");
+        cal.schedule_keyed_at(7, 1, "k1");
+        cal.schedule_keyed_at(7, 5, "k5-second");
+        cal.schedule_keyed_at(7, 0, "k0");
+        cal.schedule_at(9, "later-time");
+        assert_eq!(cal.pop_keyed(), Some((7, 0, "k0")));
+        assert_eq!(cal.pop_keyed(), Some((7, 1, "k1")));
+        assert_eq!(cal.pop_keyed(), Some((7, 5, "k5-first")));
+        assert_eq!(cal.pop_keyed(), Some((7, 5, "k5-second")));
+        assert_eq!(cal.pop_keyed(), Some((9, 0, "later-time")));
+    }
+
+    #[test]
+    fn keys_never_override_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule_keyed_at(10, 0, "t10-k0");
+        cal.schedule_keyed_at(5, u64::MAX, "t5-kmax");
+        assert_eq!(cal.pop(), Some((5, "t5-kmax")));
+        assert_eq!(cal.pop(), Some((10, "t10-k0")));
+    }
+
+    #[test]
     fn relative_scheduling_uses_current_time() {
         let mut cal = Calendar::new();
         cal.schedule(10, "first");
@@ -545,9 +639,9 @@ mod tests {
 
     #[test]
     fn far_event_beats_wheel_event_scheduled_later_at_same_time() {
-        // A far-heap event and a wheel event at the same timestamp: the
-        // far one was scheduled first (strictly smaller now), so FIFO
-        // demands it pops first.
+        // A far-heap event and a wheel event at the same timestamp and
+        // key: the far one was scheduled first (strictly smaller now), so
+        // FIFO demands it pops first.
         let t = WHEEL_SLOTS as u64 + 50;
         let mut cal = Calendar::new();
         cal.schedule_at(t, "scheduled-early-via-heap");
@@ -557,6 +651,20 @@ mod tests {
         cal.schedule_at(t, "scheduled-late-via-wheel");
         assert_eq!(cal.pop(), Some((t, "scheduled-early-via-heap")));
         assert_eq!(cal.pop(), Some((t, "scheduled-late-via-wheel")));
+    }
+
+    #[test]
+    fn key_orders_far_against_wheel_at_same_time() {
+        // Same timestamp, different keys, one far and one wheel: the
+        // smaller key pops first regardless of which structure holds it.
+        let t = WHEEL_SLOTS as u64 + 50;
+        let mut cal = Calendar::new();
+        cal.schedule_keyed_at(t, 9, "far-k9"); // via heap
+        cal.schedule_keyed_at(100, 0, "advance");
+        cal.pop();
+        cal.schedule_keyed_at(t, 2, "wheel-k2"); // via wheel
+        assert_eq!(cal.pop_keyed(), Some((t, 2, "wheel-k2")));
+        assert_eq!(cal.pop_keyed(), Some((t, 9, "far-k9")));
     }
 
     #[test]
@@ -640,6 +748,25 @@ mod tests {
     }
 
     #[test]
+    fn keyed_pending_in_order_matches_pop_order() {
+        let mut cal = Calendar::new();
+        let mut x = 0xABCD_EF01u64;
+        cal.schedule_at(WHEEL_SLOTS as u64 - 7, 0u32);
+        cal.pop();
+        for id in 1u32..=500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delay = x % (WHEEL_SLOTS as u64 * 3);
+            let key = (x >> 32) % 5; // few key classes => plenty of ties
+            cal.schedule_keyed_at(cal.now() + delay, key, id);
+        }
+        let snapshot = cal.pending_in_order_keyed();
+        let popped: Vec<_> = std::iter::from_fn(|| cal.pop_keyed()).collect();
+        assert_eq!(snapshot, popped);
+    }
+
+    #[test]
     fn restore_reproduces_pop_order() {
         let mut cal = Calendar::new();
         cal.schedule_at(100, "advance");
@@ -649,7 +776,7 @@ mod tests {
         cal.schedule_at(150, "near");
         cal.schedule_at(150, "near2");
         cal.schedule_at(t, "far-second");
-        let pending = cal.pending_in_order();
+        let pending = cal.pending_in_order_keyed();
 
         let mut fresh: Calendar<&str> = Calendar::new();
         fresh.restore(cal.now(), pending);
@@ -675,12 +802,36 @@ mod tests {
         cal.schedule_at(100, 0u32);
         cal.pop(); // now = 100; t now fits the window
         cal.schedule_at(t, 2u32); // via wheel
-        let pending = cal.pending_in_order();
-        assert_eq!(pending, vec![(t, 1), (t, 2)]);
+        let pending = cal.pending_in_order_keyed();
+        assert_eq!(pending, vec![(t, 0, 1), (t, 0, 2)]);
         let mut fresh: Calendar<u32> = Calendar::new();
         fresh.restore(100, pending);
         assert_eq!(fresh.pop(), Some((t, 1)));
         assert_eq!(fresh.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn restore_keyed_events_reproduces_pop_order() {
+        let mut cal = Calendar::new();
+        let mut x = 0x5EED_0001u64;
+        for id in 0u32..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delay = x % (WHEEL_SLOTS as u64 * 2);
+            let key = (x >> 32) % 4;
+            cal.schedule_keyed_at(cal.now() + delay, key, id);
+        }
+        // Advance partway so restore happens mid-flight.
+        for _ in 0..50 {
+            cal.pop();
+        }
+        let pending = cal.pending_in_order_keyed();
+        let mut fresh: Calendar<u32> = Calendar::new();
+        fresh.restore(cal.now(), pending);
+        let a: Vec<_> = std::iter::from_fn(|| cal.pop_keyed()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| fresh.pop_keyed()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -697,8 +848,9 @@ mod tests {
             x ^= x << 17;
             if round % 3 != 0 || a.is_empty() {
                 let delay = x % 10_000;
-                a.schedule(delay, id);
-                b.schedule(delay, id);
+                let key = (x >> 32) % 3;
+                a.schedule_keyed_at(a.now() + delay, key, id);
+                b.schedule_keyed_at(b.now() + delay, key, id);
                 id += 1;
             } else {
                 assert_eq!(a.pop(), b.pop());

@@ -3,10 +3,13 @@
 //! A [`FaultPlan`] describes *what* can go wrong and how often; a
 //! [`FaultInjector`] turns the plan into a reproducible stream of
 //! per-event decisions, driven entirely by the simulator's own seeded
-//! RNGs ([`crate::rng`]). Every fault class draws from its own child
-//! generator (split from the single plan seed), so enabling one class
-//! does not perturb the decision stream of another — a sweep over
-//! `sync_drop_rate` sees identical bus-error decisions at every point.
+//! RNGs ([`crate::rng`]). Every (shell, fault class) pair draws from its
+//! own child generator (derived from the single plan seed), so enabling
+//! one class does not perturb the decision stream of another — a sweep
+//! over `sync_drop_rate` sees identical bus-error decisions at every
+//! point — and one shell's activity never shifts another shell's
+//! decisions, which is what lets parallel islands replay their fault
+//! streams independently.
 //!
 //! The plan is **off by default**: with all rates at zero the injector
 //! is never constructed, no RNG values are drawn, and the simulated
@@ -141,35 +144,59 @@ pub enum SyncAction {
     Drop,
 }
 
-/// A running injector: the plan plus one independent RNG per fault class
-/// and the injection counters.
+/// One shell's private fault-decision streams: an independent RNG per
+/// fault class, each a pure function of `(plan seed, shell index)`.
+#[derive(Debug, Clone)]
+struct FaultLane {
+    sync: Xoshiro256StarStar,
+    bus: Xoshiro256StarStar,
+    sram: Xoshiro256StarStar,
+    stall: Xoshiro256StarStar,
+}
+
+impl FaultLane {
+    /// Child seeds are split in a fixed order so each fault class owns an
+    /// independent decision stream, and each shell owns an independent
+    /// lane — a draw on one shell never perturbs another shell's stream.
+    fn new(seed: u64, shell: usize) -> Self {
+        let mut sm = SplitMix64::new(seed ^ (shell as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultLane {
+            sync: Xoshiro256StarStar::new(sm.split()),
+            bus: Xoshiro256StarStar::new(sm.split()),
+            sram: Xoshiro256StarStar::new(sm.split()),
+            stall: Xoshiro256StarStar::new(sm.split()),
+        }
+    }
+}
+
+/// A running injector: the plan plus per-shell, per-class decision
+/// streams ([`FaultLane`]) and the injection counters.
+///
+/// Decision streams are **per shell**: every hook takes the shell index
+/// on whose behalf the decision is made (the *sender* shell for sync
+/// messages). Because each lane is derived purely from
+/// `(plan seed, shell)`, the decisions a shell sees are independent of
+/// how its activity interleaves with other shells' — the property that
+/// lets the parallel engine replay each island's fault stream in
+/// isolation and still match the sequential reference bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng_sync: Xoshiro256StarStar,
-    rng_bus: Xoshiro256StarStar,
-    rng_sram: Xoshiro256StarStar,
-    rng_stall: Xoshiro256StarStar,
+    /// Lane `s` serves shell `s`; grown lazily on first use (growth
+    /// creates every intermediate lane, so the vector's length — and the
+    /// snapshot — depend only on the highest shell that ever drew).
+    lanes: Vec<FaultLane>,
     stats: FaultStats,
     /// `putspace` messages seen so far (drives `sync_drop_skip`).
     syncs_seen: u64,
 }
 
 impl FaultInjector {
-    /// Build an injector from a plan. Child seeds are split in a fixed
-    /// order so each fault class owns an independent decision stream.
+    /// Build an injector from a plan.
     pub fn new(plan: FaultPlan) -> Self {
-        let mut sm = SplitMix64::new(plan.seed);
-        let rng_sync = Xoshiro256StarStar::new(sm.split());
-        let rng_bus = Xoshiro256StarStar::new(sm.split());
-        let rng_sram = Xoshiro256StarStar::new(sm.split());
-        let rng_stall = Xoshiro256StarStar::new(sm.split());
         FaultInjector {
             plan,
-            rng_sync,
-            rng_bus,
-            rng_sram,
-            rng_stall,
+            lanes: Vec::new(),
             stats: FaultStats::default(),
             syncs_seen: 0,
         }
@@ -185,10 +212,19 @@ impl FaultInjector {
         &self.stats
     }
 
+    fn lane(&mut self, shell: usize) -> &mut FaultLane {
+        while self.lanes.len() <= shell {
+            self.lanes
+                .push(FaultLane::new(self.plan.seed, self.lanes.len()));
+        }
+        &mut self.lanes[shell]
+    }
+
     /// Decide the fate of one `putspace` message carrying `bytes`
-    /// credits. One uniform draw splits [0,1) into drop / delay /
-    /// deliver bands, so the per-message decision cost is constant.
-    pub fn sync_action(&mut self, bytes: u32) -> SyncAction {
+    /// credits, sent by `shell`. One uniform draw splits [0,1) into
+    /// drop / delay / deliver bands, so the per-message decision cost is
+    /// constant.
+    pub fn sync_action(&mut self, shell: usize, bytes: u32) -> SyncAction {
         let (drop, delay) = (self.plan.sync_drop_rate, self.plan.sync_delay_rate);
         if drop <= 0.0 && delay <= 0.0 {
             return SyncAction::Deliver;
@@ -196,7 +232,7 @@ impl FaultInjector {
         self.syncs_seen += 1;
         let drop_armed = self.syncs_seen > self.plan.sync_drop_skip
             && self.stats.sync_dropped < self.plan.sync_drop_limit;
-        let r = self.rng_sync.next_f64();
+        let r = self.lane(shell).sync.next_f64();
         if r < drop {
             // Outside the armed window the drop band is inert: the
             // draw is still consumed (keeps the decision stream
@@ -209,19 +245,21 @@ impl FaultInjector {
             SyncAction::Drop
         } else if r < drop + delay {
             self.stats.sync_delayed += 1;
-            let d = 1 + self.rng_sync.below(self.plan.sync_delay_max.max(1));
+            let max = self.plan.sync_delay_max.max(1);
+            let d = 1 + self.lane(shell).sync.below(max);
             SyncAction::Delay(d)
         } else {
             SyncAction::Deliver
         }
     }
 
-    /// Extra wait cycles for one off-chip bus transfer (0 = no fault).
-    pub fn bus_penalty(&mut self) -> u64 {
+    /// Extra wait cycles for one off-chip bus transfer issued by `shell`
+    /// (0 = no fault).
+    pub fn bus_penalty(&mut self, shell: usize) -> u64 {
         if self.plan.bus_error_rate <= 0.0 {
             return 0;
         }
-        if self.rng_bus.next_f64() < self.plan.bus_error_rate {
+        if self.lane(shell).bus.next_f64() < self.plan.bus_error_rate {
             self.stats.bus_errors += 1;
             self.plan.bus_retry_cycles
         } else {
@@ -229,33 +267,68 @@ impl FaultInjector {
         }
     }
 
-    /// Maybe flip one bit of a `len`-byte stream-buffer write. Returns
-    /// the byte index and XOR mask to apply.
-    pub fn sram_flip(&mut self, len: usize) -> Option<(usize, u8)> {
+    /// Maybe flip one bit of a `len`-byte stream-buffer write by `shell`.
+    /// Returns the byte index and XOR mask to apply.
+    pub fn sram_flip(&mut self, shell: usize, len: usize) -> Option<(usize, u8)> {
         if self.plan.sram_flip_rate <= 0.0 || len == 0 {
             return None;
         }
-        if self.rng_sram.next_f64() < self.plan.sram_flip_rate {
+        let rate = self.plan.sram_flip_rate;
+        if self.lane(shell).sram.next_f64() < rate {
             self.stats.sram_flips += 1;
-            let idx = self.rng_sram.below(len as u64) as usize;
-            let mask = 1u8 << self.rng_sram.below(8);
+            let idx = self.lane(shell).sram.below(len as u64) as usize;
+            let mask = 1u8 << self.lane(shell).sram.below(8);
             Some((idx, mask))
         } else {
             None
         }
     }
 
-    /// Extra stall cycles for one processing step (0 = no fault).
-    pub fn step_stall(&mut self) -> u64 {
+    /// Extra stall cycles for one processing step on `shell` (0 = no
+    /// fault).
+    pub fn step_stall(&mut self, shell: usize) -> u64 {
         if self.plan.stall_rate <= 0.0 {
             return 0;
         }
-        if self.rng_stall.next_f64() < self.plan.stall_rate {
+        if self.lane(shell).stall.next_f64() < self.plan.stall_rate {
             self.stats.coproc_stalls += 1;
             self.plan.stall_cycles
         } else {
             0
         }
+    }
+
+    /// Would the parallel engine change this plan's decisions? A *gated*
+    /// drop plan (skip window or bounded budget) arms drops off the
+    /// global message count, which depends on how islands interleave —
+    /// only the sequential engine preserves it. Unbounded drops and every
+    /// other class decide from per-shell streams alone.
+    pub fn order_sensitive(&self) -> bool {
+        self.plan.sync_drop_rate > 0.0
+            && (self.plan.sync_drop_skip > 0 || self.plan.sync_drop_limit != u64::MAX)
+    }
+
+    /// Parallel-island merge: graft `other`'s decision-stream lane for
+    /// `shell` into `self`, creating fresh intermediate lanes exactly as
+    /// lazy growth would have. A lane `other` never grew is left fresh —
+    /// equivalent, since an ungrown lane has drawn nothing.
+    pub fn adopt_shell_stream(&mut self, shell: usize, other: &FaultInjector) {
+        if shell < other.lanes.len() {
+            let _ = self.lane(shell); // grow
+            self.lanes[shell] = other.lanes[shell].clone();
+        }
+    }
+
+    /// Parallel-island merge: add the fault counters `other` accumulated
+    /// beyond the shared baseline `base` onto `self` (exact u64 deltas).
+    pub fn absorb_stats_delta(&mut self, base: &FaultInjector, other: &FaultInjector) {
+        self.stats.sync_dropped += other.stats.sync_dropped - base.stats.sync_dropped;
+        self.stats.sync_delayed += other.stats.sync_delayed - base.stats.sync_delayed;
+        self.stats.credits_lost += other.stats.credits_lost - base.stats.credits_lost;
+        self.stats.bus_errors += other.stats.bus_errors - base.stats.bus_errors;
+        self.stats.sram_flips += other.stats.sram_flips - base.stats.sram_flips;
+        self.stats.coproc_stalls += other.stats.coproc_stalls - base.stats.coproc_stalls;
+        self.syncs_seen += other.syncs_seen - base.syncs_seen;
     }
 }
 
@@ -314,20 +387,29 @@ impl Snapshot for FaultStats {
 impl Snapshot for FaultInjector {
     fn save(&self, w: &mut SnapWriter) {
         self.plan.save(w);
-        self.rng_sync.save(w);
-        self.rng_bus.save(w);
-        self.rng_sram.save(w);
-        self.rng_stall.save(w);
+        w.usize(self.lanes.len());
+        for lane in &self.lanes {
+            lane.sync.save(w);
+            lane.bus.save(w);
+            lane.sram.save(w);
+            lane.stall.save(w);
+        }
         self.stats.save(w);
         w.u64(self.syncs_seen);
     }
 
     fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
         self.plan.load(r)?;
-        self.rng_sync.load(r)?;
-        self.rng_bus.load(r)?;
-        self.rng_sram.load(r)?;
-        self.rng_stall.load(r)?;
+        let n = r.usize()?;
+        self.lanes.clear();
+        for shell in 0..n {
+            let mut lane = FaultLane::new(self.plan.seed, shell);
+            lane.sync.load(r)?;
+            lane.bus.load(r)?;
+            lane.sram.load(r)?;
+            lane.stall.load(r)?;
+            self.lanes.push(lane);
+        }
         self.stats.load(r)?;
         self.syncs_seen = r.u64()?;
         Ok(())
@@ -381,10 +463,11 @@ mod tests {
         let mut a = FaultInjector::new(plan.clone());
         let mut b = FaultInjector::new(plan);
         for i in 0..2000 {
-            assert_eq!(a.sync_action(64), b.sync_action(64), "sync {i}");
-            assert_eq!(a.bus_penalty(), b.bus_penalty(), "bus {i}");
-            assert_eq!(a.sram_flip(128), b.sram_flip(128), "sram {i}");
-            assert_eq!(a.step_stall(), b.step_stall(), "stall {i}");
+            let s = i % 3; // spread draws over a few shells
+            assert_eq!(a.sync_action(s, 64), b.sync_action(s, 64), "sync {i}");
+            assert_eq!(a.bus_penalty(s), b.bus_penalty(s), "bus {i}");
+            assert_eq!(a.sram_flip(s, 128), b.sram_flip(s, 128), "sram {i}");
+            assert_eq!(a.step_stall(s), b.step_stall(s), "stall {i}");
         }
         assert_eq!(a.stats(), b.stats());
         assert!(a.stats().total() > 0);
@@ -401,12 +484,60 @@ mod tests {
         let mut a = FaultInjector::new(plan.clone());
         let mut b = FaultInjector::new(plan);
         for _ in 0..100 {
-            let _ = a.sync_action(8); // a consumes sync decisions...
+            let _ = a.sync_action(0, 8); // a consumes sync decisions...
         }
         for _ in 0..50 {
             // ...but its bus stream still matches b's untouched one.
-            assert_eq!(a.bus_penalty(), b.bus_penalty());
+            assert_eq!(a.bus_penalty(0), b.bus_penalty(0));
         }
+    }
+
+    #[test]
+    fn shells_draw_independently() {
+        // One shell's activity must not perturb another shell's decision
+        // stream: shell 2's draws match whether or not shells 0/1 drew
+        // in between (the parallel-island invariant).
+        let plan = FaultPlan {
+            sync_drop_rate: 0.2,
+            sync_delay_rate: 0.2,
+            bus_error_rate: 0.3,
+            stall_rate: 0.3,
+            ..FaultPlan::with_seed(0xAB)
+        };
+        let mut interleaved = FaultInjector::new(plan.clone());
+        let mut solo = FaultInjector::new(plan);
+        for i in 0..500 {
+            let _ = interleaved.sync_action(0, 16);
+            let _ = interleaved.bus_penalty(1);
+            let _ = interleaved.step_stall(i % 2);
+            assert_eq!(
+                interleaved.sync_action(2, 16),
+                solo.sync_action(2, 16),
+                "sync {i}"
+            );
+            assert_eq!(interleaved.bus_penalty(2), solo.bus_penalty(2), "bus {i}");
+            assert_eq!(interleaved.step_stall(2), solo.step_stall(2), "stall {i}");
+        }
+    }
+
+    #[test]
+    fn order_sensitivity_is_limited_to_gated_drops() {
+        assert!(!FaultInjector::new(FaultPlan::default()).order_sensitive());
+        let unbounded = FaultPlan {
+            sync_drop_rate: 0.1,
+            ..FaultPlan::with_seed(1)
+        };
+        assert!(!FaultInjector::new(unbounded.clone()).order_sensitive());
+        let skipped = FaultPlan {
+            sync_drop_skip: 10,
+            ..unbounded.clone()
+        };
+        assert!(FaultInjector::new(skipped).order_sensitive());
+        let bounded = FaultPlan {
+            sync_drop_limit: 3,
+            ..unbounded
+        };
+        assert!(FaultInjector::new(bounded).order_sensitive());
     }
 
     #[test]
@@ -417,10 +548,10 @@ mod tests {
         };
         let mut inj = FaultInjector::new(plan);
         for _ in 0..100 {
-            assert!(matches!(inj.sync_action(4), SyncAction::Delay(_)));
-            assert_eq!(inj.bus_penalty(), 0);
-            assert_eq!(inj.sram_flip(64), None);
-            assert_eq!(inj.step_stall(), 0);
+            assert!(matches!(inj.sync_action(0, 4), SyncAction::Delay(_)));
+            assert_eq!(inj.bus_penalty(0), 0);
+            assert_eq!(inj.sram_flip(0, 64), None);
+            assert_eq!(inj.step_stall(0), 0);
         }
         let s = inj.stats();
         assert_eq!(s.sync_delayed, 100);
@@ -439,7 +570,7 @@ mod tests {
         };
         let mut inj = FaultInjector::new(plan);
         for _ in 0..1000 {
-            match inj.sync_action(1) {
+            match inj.sync_action(0, 1) {
                 SyncAction::Delay(d) => assert!((1..=10).contains(&d), "delay {d}"),
                 other => panic!("expected delay, got {other:?}"),
             }

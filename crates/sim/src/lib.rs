@@ -45,6 +45,7 @@ pub use calendar::{BaselineCalendar, Calendar};
 pub use fault::{corrupt_bytes, FaultInjector, FaultPlan, FaultStats, SyncAction};
 pub use island::{IslandCtx, IslandHandler, IslandId, IslandSim, RunReport};
 pub use snapshot::{fnv1a_64, FnvState, SnapError, SnapReader, SnapWriter, Snapshot};
+pub use stats::{Histogram, HistogramStat, RunningStat};
 pub use time::{Clock, Cycle, Frequency};
 pub use trace::{
     SamplePolicy, SharedTraceSink, TraceEvent, TraceEventKind, TraceHandle, TraceSink,

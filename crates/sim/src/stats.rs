@@ -126,14 +126,75 @@ impl RunningStat {
     }
 }
 
+/// Scalar statistics over a [`Histogram`]'s integer samples, computed
+/// from its exact integer accumulators. The accessors mirror
+/// [`RunningStat`] so report code is interchangeable between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramStat {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramStat {
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum as f64
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min as f64
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max as f64
+        }
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// A log2-bucketed histogram of non-negative integer samples, modeling the
 /// kind of cheap bucketing counters a hardware shell can afford.
 /// Bucket `i` counts samples `x` with `floor(log2(x)) == i - 1`; bucket 0
 /// counts zeros.
+///
+/// The scalar accumulators are exact integers (count/sum/min/max), which
+/// makes the histogram **delta-mergeable**: splitting a sample stream
+/// across parallel islands and re-merging with [`Histogram::absorb_delta`]
+/// reproduces the sequential accumulator state bit-for-bit — impossible
+/// with floating-point Welford state, whose rounding depends on sample
+/// order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
-    stat: RunningStat,
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` is the "no samples yet" sentinel.
+    min: u64,
+    max: u64,
 }
 
 impl Histogram {
@@ -141,7 +202,10 @@ impl Histogram {
     pub fn new(buckets: usize) -> Self {
         Histogram {
             buckets: vec![0; buckets.max(2)],
-            stat: RunningStat::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 
@@ -154,7 +218,10 @@ impl Histogram {
         };
         let last = self.buckets.len() - 1;
         self.buckets[idx.min(last)] += 1;
-        self.stat.record(x as f64);
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
     }
 
     /// Raw bucket counts.
@@ -163,8 +230,34 @@ impl Histogram {
     }
 
     /// Scalar statistics over the recorded samples.
-    pub fn stat(&self) -> &RunningStat {
-        &self.stat
+    pub fn stat(&self) -> HistogramStat {
+        HistogramStat {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+        }
+    }
+
+    /// Merge the samples `other` recorded *beyond* the shared baseline
+    /// `base` into `self` (parallel-island stat merge). `other` must be a
+    /// superset continuation of `base` — the caller guarantees every
+    /// sample in `base` was also recorded in `other`, so bucket counts and
+    /// sums subtract exactly and min/max combine by simple comparison.
+    pub fn absorb_delta(&mut self, base: &Histogram, other: &Histogram) {
+        debug_assert_eq!(self.buckets.len(), base.buckets.len());
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (b, (ob, bb)) in self
+            .buckets
+            .iter_mut()
+            .zip(other.buckets.iter().zip(base.buckets.iter()))
+        {
+            *b += ob - bb;
+        }
+        self.count += other.count - base.count;
+        self.sum += other.sum - base.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile from the bucket boundaries (upper bound of the
@@ -318,7 +411,10 @@ impl Snapshot for Histogram {
         for &c in &self.buckets {
             w.u64(c);
         }
-        self.stat.save(w);
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
     }
 
     fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
@@ -329,7 +425,11 @@ impl Snapshot for Histogram {
         for c in &mut self.buckets {
             *c = r.u64()?;
         }
-        self.stat.load(r)
+        self.count = r.u64()?;
+        self.sum = r.u64()?;
+        self.min = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
     }
 }
 
@@ -475,6 +575,41 @@ mod tests {
         // And with an actual zero sample, q = 0 still reports 0.
         h.record(0);
         assert_eq!(h.quantile_upper_bound(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_absorb_delta_matches_sequential() {
+        // base ⊂ a, base ⊂ b (each island continues from the shared
+        // checkpoint); merging the deltas onto base reproduces the
+        // histogram that recorded all samples in one stream.
+        let samples_base = [3u64, 0, 17, 255];
+        let samples_a = [9u64, 1024, 2];
+        let samples_b = [7u64, 7, 63];
+        let mut base = Histogram::new(12);
+        for &s in &samples_base {
+            base.record(s);
+        }
+        let (mut a, mut b) = (base.clone(), base.clone());
+        for &s in &samples_a {
+            a.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+        }
+        let mut merged = base.clone();
+        merged.absorb_delta(&base, &a);
+        merged.absorb_delta(&base, &b);
+        let mut whole = base.clone();
+        for &s in samples_a.iter().chain(&samples_b) {
+            whole.record(s);
+        }
+        assert_eq!(merged.buckets(), whole.buckets());
+        assert_eq!(merged.stat(), whole.stat());
+        // Byte-identical snapshot state, not just equal accessors.
+        let (mut w1, mut w2) = (SnapWriter::new(), SnapWriter::new());
+        merged.save(&mut w1);
+        whole.save(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
     }
 
     #[test]
