@@ -1,9 +1,10 @@
 //! **Interconnect-fabric design-space sweep**: decode throughput and
 //! stream denial rates across data-fabric backends (the paper instance's
 //! shared read/write bus pair vs. address-interleaved multi-bank SRAM
-//! fabrics vs. the worst-case-provisioned private-port crossbar) and
-//! sync-network backends (flat direct delivery vs. a unidirectional
-//! ring with per-hop latency and link contention).
+//! fabrics vs. the worst-case-provisioned private-port crossbar vs. the
+//! 2-D mesh NoC of bank nodes) and sync-network backends (flat direct
+//! delivery vs. a unidirectional ring with per-hop latency and link
+//! contention vs. the XY-routed mesh with credit piggy-backing).
 //!
 //! The private-port rows also measure the price of timing independence:
 //! every access pays the static grant bound up front, which is exactly
@@ -55,6 +56,21 @@ fn points(cfg: &EclipseConfig) -> Vec<Point> {
         hop_latency: 2,
         link_occupancy: 1,
     };
+    let mesh = |cols, rows| DataFabricConfig::Mesh {
+        cols,
+        rows,
+        interleave_bytes: 64,
+        link_grant: 2,
+        hop_cycles: 1,
+        port: bank,
+    };
+    let mesh_sync = SyncFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        hop_latency: 2,
+        link_occupancy: 1,
+        piggyback_window: 4,
+    };
     vec![
         Point {
             label: "shared-bus + direct",
@@ -100,6 +116,21 @@ fn points(cfg: &EclipseConfig) -> Vec<Point> {
             label: "private g=2 + ring",
             data: private(2),
             sync: ring,
+        },
+        Point {
+            label: "mesh 2x2 + direct",
+            data: mesh(2, 2),
+            sync: SyncFabricConfig::Direct,
+        },
+        Point {
+            label: "mesh 2x2 + mesh-sync",
+            data: mesh(2, 2),
+            sync: mesh_sync,
+        },
+        Point {
+            label: "mesh 4x2 + direct",
+            data: mesh(4, 2),
+            sync: SyncFabricConfig::Direct,
         },
     ]
 }

@@ -48,6 +48,30 @@ impl PipeCoproc {
         Self::new(name, packets, packet_bytes, compute, Kind::Sink)
     }
 
+    /// A worker advertising an explicit (possibly shared) `function`
+    /// instead of its own name. A pool of workers with the same function
+    /// gives the placement pass a real choice — first-fit piles every
+    /// task onto the first worker, a load/topology-aware pass spreads
+    /// them.
+    pub fn worker(
+        name: impl Into<String>,
+        function: impl Into<String>,
+        packets: u32,
+        packet_bytes: u32,
+        compute: u64,
+        kind_of: &str,
+    ) -> Self {
+        let kind = match kind_of {
+            "source" => Kind::Source,
+            "filter" => Kind::Filter,
+            "sink" => Kind::Sink,
+            other => panic!("unknown pipe stage kind '{other}'"),
+        };
+        let mut c = Self::new(name, packets, packet_bytes, compute, kind);
+        c.function = function.into();
+        c
+    }
+
     fn new(
         name: impl Into<String>,
         packets: u32,
@@ -191,6 +215,55 @@ pub fn open_gate_system(packets: u32, compute: u64) -> eclipse_core::EclipseSyst
             packets,
             64,
             compute + p as u64, // mild asymmetry between the two apps
+        )));
+        b.add_coprocessor(Box::new(PipeCoproc::sink(
+            format!("dst{p}"),
+            packets,
+            64,
+            40,
+        )));
+    }
+    for p in 0..2 {
+        let mut g = GraphBuilder::new(format!("app{p}"));
+        let s = g.stream(format!("s{p}"), 256);
+        g.task(format!("src{p}"), format!("src{p}"), 0, &[], &[s]);
+        g.task(format!("dst{p}"), format!("dst{p}"), 0, &[s], &[]);
+        b.map_app(&g.build().unwrap()).unwrap();
+    }
+    b.build()
+}
+
+/// The same two-app workload on the 2×2 mesh data fabric. The mesh's
+/// per-link TDM grant floor keeps the parallel gate open exactly like
+/// the private-port crossbar (the sync network stays flat/direct —
+/// mesh sync shares link state and would close it).
+pub fn open_gate_mesh_system(packets: u32, compute: u64) -> eclipse_core::EclipseSystem {
+    use eclipse_core::{EclipseConfig, SystemBuilder};
+    use eclipse_kpn::GraphBuilder;
+    use eclipse_mem::{BusConfig, DataFabricConfig};
+    use eclipse_shell::SyncFabricConfig;
+
+    let cfg = EclipseConfig::default();
+    let mut b = SystemBuilder::new(cfg);
+    b.with_data_fabric(DataFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        interleave_bytes: 64,
+        link_grant: 2,
+        hop_cycles: 1,
+        port: BusConfig {
+            width_bytes: cfg.read_bus.width_bytes,
+            latency: cfg.read_bus.latency,
+            cycles_per_beat: cfg.read_bus.cycles_per_beat,
+        },
+    });
+    b.with_sync_fabric(SyncFabricConfig::Direct);
+    for p in 0..2 {
+        b.add_coprocessor(Box::new(PipeCoproc::source(
+            format!("src{p}"),
+            packets,
+            64,
+            compute + p as u64,
         )));
         b.add_coprocessor(Box::new(PipeCoproc::sink(
             format!("dst{p}"),

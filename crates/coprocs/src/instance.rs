@@ -9,7 +9,8 @@
 use std::collections::BTreeMap;
 
 use eclipse_core::{
-    AppHandles, EclipseConfig, EclipseSystem, MapError, ReconfigError, RunSummary, SystemBuilder,
+    AppHandles, EclipseConfig, EclipseSystem, MapError, Placement, ReconfigError, RunSummary,
+    SystemBuilder,
 };
 use eclipse_media::frame::Frame;
 use eclipse_media::stream::{read_sequence_header, GopConfig, SequenceHeader};
@@ -76,6 +77,7 @@ pub struct MpegBuilder {
     dram_next: u32,
     data_fabric: Option<DataFabricConfig>,
     sync_fabric: Option<SyncFabricConfig>,
+    placement: Option<Box<dyn Placement>>,
 }
 
 impl MpegBuilder {
@@ -96,6 +98,7 @@ impl MpegBuilder {
             dram_next: 0,
             data_fabric: None,
             sync_fabric: None,
+            placement: None,
         }
     }
 
@@ -110,6 +113,13 @@ impl MpegBuilder {
     /// direct network).
     pub fn with_sync_fabric(&mut self, fabric: SyncFabricConfig) -> &mut Self {
         self.sync_fabric = Some(fabric);
+        self
+    }
+
+    /// Select the placement pass that assigns tasks to shells (default:
+    /// the historical first-fit choice).
+    pub fn with_placement(&mut self, placement: Box<dyn Placement>) -> &mut Self {
+        self.placement = Some(placement);
         self
     }
 
@@ -325,6 +335,9 @@ impl MpegBuilder {
         }
         if let Some(f) = self.sync_fabric {
             b.with_sync_fabric(f);
+        }
+        if let Some(p) = self.placement {
+            b.with_placement(p);
         }
         let coprocs = MpegCoprocs {
             vld: b.add_coprocessor(Box::new(VldCoproc::new(self.costs.vld, self.vld_cfgs))),

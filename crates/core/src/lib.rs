@@ -34,7 +34,9 @@ pub mod trace;
 
 pub use config::EclipseConfig;
 pub use coproc::{Coprocessor, StepCtx, StepResult};
-pub use mapping::{AppHandles, MapError};
+pub use mapping::{
+    AppHandles, FirstFitPlacement, MapError, Placement, PlacementCtx, TopologyAwarePlacement,
+};
 pub use system::{
     AppHealth, AppState, DrainReport, EclipseSystem, PartitionPlan, QosContract, ReconfigError,
     RecoveryAction, RecoveryReport, RecoveryTrigger, RunOutcome, RunSummary, StreamSpaceView,

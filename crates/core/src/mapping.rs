@@ -17,15 +17,23 @@
 //! input ports first (in declaration order), then its output ports. A
 //! coprocessor with 2 inputs and 1 output sees ports 0, 1 (inputs) and
 //! 2 (output).
+//!
+//! Step (1) — *placement* — is a pluggable pass behind the [`Placement`]
+//! trait. [`FirstFitPlacement`] reproduces the historical first-fit
+//! choice byte-for-byte (the default); [`TopologyAwarePlacement`] reads
+//! the active data fabric's [`FabricTopology`] descriptor and balances
+//! shell load against mesh hop distance between communicating tasks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use eclipse_kpn::graph::{AppGraph, StreamId, TaskId};
+use eclipse_kpn::graph::{AppGraph, StreamId, TaskDecl, TaskId};
 use eclipse_mem::alloc::AllocError;
-use eclipse_mem::CyclicBuffer;
+use eclipse_mem::{CyclicBuffer, FabricTopology};
 use eclipse_shell::stream_table::{AccessPoint, PortDir, StreamRowConfig};
 use eclipse_shell::task_table::TaskConfig;
 use eclipse_shell::{RowIdx, TaskIdx};
+
+use crate::coproc::Coprocessor;
 
 /// Buffer alignment for stream buffers in SRAM (one bus word).
 pub const BUFFER_ALIGN: u32 = 16;
@@ -95,13 +103,204 @@ impl std::fmt::Display for MapError {
 impl std::error::Error for MapError {}
 
 /// Handles to a mapped application: where every task landed and where
-/// every stream buffer lives.
+/// every stream buffer lives. Ordered maps so iteration (reports,
+/// debugging dumps) is deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct AppHandles {
     /// Task instance name → (coprocessor/shell index, shell task id).
-    pub tasks: HashMap<String, (usize, TaskIdx)>,
+    pub tasks: BTreeMap<String, (usize, TaskIdx)>,
     /// Stream name → allocated buffer.
-    pub streams: HashMap<String, CyclicBuffer>,
+    pub streams: BTreeMap<String, CyclicBuffer>,
+}
+
+/// Everything a [`Placement`] pass may consult when assigning the tasks
+/// of one application graph to shells.
+pub struct PlacementCtx<'a> {
+    /// The application being mapped.
+    pub graph: &'a AppGraph,
+    /// The instantiated coprocessors, indexed by shell id.
+    pub coprocs: &'a [Box<dyn Coprocessor>],
+    /// Explicit task→shell pins (by task name) that override any
+    /// automatic choice. Always validated.
+    pub assignments: &'a HashMap<String, usize>,
+    /// Static descriptor of the active data fabric.
+    pub topology: FabricTopology,
+    /// Tasks already resident on each shell (earlier apps), indexed by
+    /// shell id.
+    pub load: &'a [usize],
+}
+
+impl PlacementCtx<'_> {
+    /// Validate an explicit assignment for `t`, if one exists.
+    fn explicit(&self, t: &TaskDecl) -> Result<Option<usize>, MapError> {
+        match self.assignments.get(&t.name) {
+            Some(&s) => {
+                if s >= self.coprocs.len() {
+                    return Err(MapError::BadAssignment {
+                        task: t.name.clone(),
+                        coproc: s,
+                    });
+                }
+                if !self.coprocs[s].supports(&t.function) {
+                    return Err(MapError::UnsupportedFunction {
+                        task: t.name.clone(),
+                        function: t.function.clone(),
+                        coproc: self.coprocs[s].name().to_string(),
+                    });
+                }
+                Ok(Some(s))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// A placement pass: decides which shell every task of a graph runs on
+/// (and, optionally, how stream buffers align in SRAM). Pure — reads
+/// the [`PlacementCtx`], returns one shell index per task in graph
+/// order. Explicit assignments in the context always win; a pass only
+/// chooses for the unpinned tasks.
+pub trait Placement: std::fmt::Debug + Send + Sync {
+    /// Short name for reports ("first-fit", "topology-aware").
+    fn kind(&self) -> &'static str;
+
+    /// One shell index per task, in graph task order.
+    fn assign(&self, ctx: &PlacementCtx<'_>) -> Result<Vec<usize>, MapError>;
+
+    /// SRAM alignment for stream `index`'s buffer. The default is one
+    /// bus word ([`BUFFER_ALIGN`]); topology-aware passes may widen it
+    /// to the fabric's interleave stripe.
+    fn buffer_align(&self, _index: usize, _topology: &FabricTopology) -> u32 {
+        BUFFER_ALIGN
+    }
+}
+
+/// The historical default: every unpinned task goes to the *first*
+/// coprocessor supporting its function, regardless of load or
+/// topology. Byte-identical to the pre-trait mapping pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFitPlacement;
+
+impl Placement for FirstFitPlacement {
+    fn kind(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn assign(&self, ctx: &PlacementCtx<'_>) -> Result<Vec<usize>, MapError> {
+        let mut assign = Vec::with_capacity(ctx.graph.tasks().len());
+        for (_tid, t) in ctx.graph.task_ids() {
+            let shell = match ctx.explicit(t)? {
+                Some(s) => s,
+                None => ctx
+                    .coprocs
+                    .iter()
+                    .position(|c| c.supports(&t.function))
+                    .ok_or_else(|| MapError::NoCoprocessor {
+                        task: t.name.clone(),
+                        function: t.function.clone(),
+                    })?,
+            };
+            assign.push(shell);
+        }
+        Ok(assign)
+    }
+}
+
+/// A fabric-aware greedy placer: for each task (in graph order) it
+/// scores every supporting shell as
+///
+/// ```text
+/// cost(s) = load_weight · tasks_on(s)
+///         + hop_weight  · Σ distance(node(s), node(partner))
+/// ```
+///
+/// where the sum ranges over the already-placed tasks sharing a stream
+/// with this one, and `node`/`distance` come from the fabric's
+/// [`FabricTopology`] (distance is 0 on non-mesh fabrics, collapsing
+/// the pass to load balancing). Lowest cost wins; ties break to the
+/// lowest shell index, keeping the pass fully deterministic. Buffers
+/// are aligned to the interleave stripe on banked fabrics so transfers
+/// split into the fewest possible bank chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyAwarePlacement {
+    /// Cost per task already resident on a candidate shell.
+    pub load_weight: u64,
+    /// Cost per mesh hop between a candidate shell's bank node and each
+    /// already-placed communication partner's node.
+    pub hop_weight: u64,
+}
+
+impl Default for TopologyAwarePlacement {
+    fn default() -> Self {
+        TopologyAwarePlacement {
+            load_weight: 4,
+            hop_weight: 1,
+        }
+    }
+}
+
+impl Placement for TopologyAwarePlacement {
+    fn kind(&self) -> &'static str {
+        "topology-aware"
+    }
+
+    fn assign(&self, ctx: &PlacementCtx<'_>) -> Result<Vec<usize>, MapError> {
+        // Stream → tasks touching it (graph order), for the hop term.
+        let mut touch: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
+        for (tid, t) in ctx.graph.task_ids() {
+            for &sid in t.inputs.iter().chain(t.outputs.iter()) {
+                touch.entry(sid).or_default().push(tid.0 as usize);
+            }
+        }
+        let mut load: Vec<u64> = ctx.load.iter().map(|&l| l as u64).collect();
+        let mut assign: Vec<usize> = Vec::with_capacity(ctx.graph.tasks().len());
+        for (tid, t) in ctx.graph.task_ids() {
+            let shell = match ctx.explicit(t)? {
+                Some(s) => s,
+                None => {
+                    let me = tid.0 as usize;
+                    let mut best: Option<(u64, usize)> = None;
+                    for (s, c) in ctx.coprocs.iter().enumerate() {
+                        if !c.supports(&t.function) {
+                            continue;
+                        }
+                        let node = ctx.topology.requester_node(s);
+                        let mut cost = self.load_weight * load[s];
+                        for &sid in t.inputs.iter().chain(t.outputs.iter()) {
+                            for &other in &touch[&sid] {
+                                if other < me {
+                                    let theirs = ctx.topology.requester_node(assign[other]);
+                                    cost += self.hop_weight * ctx.topology.distance(node, theirs);
+                                }
+                            }
+                        }
+                        if best.is_none_or(|(bc, _)| cost < bc) {
+                            best = Some((cost, s));
+                        }
+                    }
+                    best.ok_or_else(|| MapError::NoCoprocessor {
+                        task: t.name.clone(),
+                        function: t.function.clone(),
+                    })?
+                    .1
+                }
+            };
+            load[shell] += 1;
+            assign.push(shell);
+        }
+        Ok(assign)
+    }
+
+    /// On banked fabrics, align buffers to the interleave stripe so a
+    /// word-sized access never straddles a bank boundary (fewer chunks
+    /// → fewer link traversals on a mesh).
+    fn buffer_align(&self, _index: usize, topology: &FabricTopology) -> u32 {
+        if topology.banks > 1 && topology.interleave_bytes > BUFFER_ALIGN {
+            topology.interleave_bytes
+        } else {
+            BUFFER_ALIGN
+        }
+    }
 }
 
 /// The per-access-point row plan produced by [`plan_rows`]: which shell
@@ -136,12 +335,13 @@ pub(crate) fn plan_rows(
     assign: &[usize],
     n_shells: usize,
     mut next_slot: impl FnMut(usize) -> RowIdx,
-    mut alloc: impl FnMut(u32) -> Result<CyclicBuffer, AllocError>,
+    mut alloc: impl FnMut(usize, u32) -> Result<CyclicBuffer, AllocError>,
 ) -> Result<RowPlan, MapError> {
-    // Allocate buffers per stream.
+    // Allocate buffers per stream (the callback also receives the
+    // stream index so placement-specific alignment can apply).
     let mut buffers = Vec::with_capacity(graph.streams().len());
-    for (_sid, s) in graph.stream_ids() {
-        let buf = alloc(s.buffer_size).map_err(|cause| MapError::BufferAlloc {
+    for (sid, s) in graph.stream_ids() {
+        let buf = alloc(sid.0 as usize, s.buffer_size).map_err(|cause| MapError::BufferAlloc {
             stream: s.name.clone(),
             cause,
         })?;
@@ -150,8 +350,9 @@ pub(crate) fn plan_rows(
 
     // First pass: assign a (shell, row) access point to every port.
     // Row order within a shell follows (task order, inputs then outputs).
-    let mut producer_ap: HashMap<StreamId, AccessPoint> = HashMap::new();
-    let mut consumer_aps: HashMap<StreamId, Vec<AccessPoint>> = HashMap::new();
+    // Ordered maps: stream iteration order never depends on hashing.
+    let mut producer_ap: BTreeMap<StreamId, AccessPoint> = BTreeMap::new();
+    let mut consumer_aps: BTreeMap<StreamId, Vec<AccessPoint>> = BTreeMap::new();
     let mut port_rows: Vec<Vec<RowIdx>> = Vec::with_capacity(graph.tasks().len());
     for (tid, t) in graph.task_ids() {
         let shell = assign[tid.0 as usize];
@@ -275,7 +476,7 @@ mod tests {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
         // src -> shell 0, mid -> shell 1, dst -> shell 0 (multi-tasking).
-        let plan = plan_rows(&g, &[0, 1, 0], 2, bump(&[0, 0]), |size| {
+        let plan = plan_rows(&g, &[0, 1, 0], 2, bump(&[0, 0]), |_, size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -315,7 +516,7 @@ mod tests {
     fn row_base_offsets_multi_app_rows() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 0, 0], 1, bump(&[5]), |size| {
+        let plan = plan_rows(&g, &[0, 0, 0], 1, bump(&[5]), |_, size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -332,7 +533,7 @@ mod tests {
         g.task("c2", "collect", 0, &[s], &[]);
         let g = g.build().unwrap();
         let mut alloc = BufferAllocator::new(0, 4096);
-        let plan = plan_rows(&g, &[0, 1, 1], 2, bump(&[0, 0]), |size| {
+        let plan = plan_rows(&g, &[0, 1, 1], 2, bump(&[0, 0]), |_, size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap();
@@ -344,7 +545,7 @@ mod tests {
     fn alloc_failure_is_reported_with_stream_name() {
         let g = simple_graph();
         let mut alloc = BufferAllocator::new(0, 100); // too small
-        let err = plan_rows(&g, &[0, 0, 0], 1, bump(&[0]), |size| {
+        let err = plan_rows(&g, &[0, 0, 0], 1, bump(&[0]), |_, size| {
             alloc.alloc(size, BUFFER_ALIGN)
         })
         .unwrap_err();
@@ -366,5 +567,193 @@ mod tests {
         let cfg = task_config(&planned, decl, 1000, vec![128], vec![64]);
         assert_eq!(cfg.space_hints, vec![128, 64]);
         assert_eq!(cfg.budget, 1000);
+    }
+
+    /// Minimal coprocessor stand-in for placement tests: a name and a
+    /// supported-function list, never stepped.
+    #[derive(Debug)]
+    struct StubCoproc(&'static str);
+
+    impl Coprocessor for StubCoproc {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn supports(&self, function: &str) -> bool {
+            function == "f"
+        }
+        fn configure_task(
+            &mut self,
+            _task: TaskIdx,
+            _decl: &eclipse_kpn::graph::TaskDecl,
+        ) -> (Vec<u32>, Vec<u32>) {
+            (Vec::new(), Vec::new())
+        }
+        fn step(
+            &mut self,
+            _task: TaskIdx,
+            _task_info: u32,
+            _ctx: &mut crate::coproc::StepCtx<'_>,
+        ) -> crate::coproc::StepResult {
+            unreachable!("placement tests never run tasks")
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn stubs(n: usize) -> Vec<Box<dyn Coprocessor>> {
+        (0..n)
+            .map(|_| Box::new(StubCoproc("stub")) as Box<dyn Coprocessor>)
+            .collect()
+    }
+
+    /// `src → mid → dst`, every task function "f".
+    fn shared_fn_chain() -> AppGraph {
+        let mut g = GraphBuilder::new("chain");
+        let a = g.stream("a", 256);
+        let b = g.stream("b", 128);
+        g.task("src", "f", 0, &[], &[a]);
+        g.task("mid", "f", 0, &[a], &[b]);
+        g.task("dst", "f", 0, &[b], &[]);
+        g.build().unwrap()
+    }
+
+    fn ctx<'a>(
+        graph: &'a AppGraph,
+        coprocs: &'a [Box<dyn Coprocessor>],
+        assignments: &'a HashMap<String, usize>,
+        topology: FabricTopology,
+        load: &'a [usize],
+    ) -> PlacementCtx<'a> {
+        PlacementCtx {
+            graph,
+            coprocs,
+            assignments,
+            topology,
+            load,
+        }
+    }
+
+    #[test]
+    fn first_fit_piles_shared_functions_onto_shell_zero() {
+        let g = shared_fn_chain();
+        let cp = stubs(3);
+        let none = HashMap::new();
+        let c = ctx(
+            &g,
+            &cp,
+            &none,
+            FabricTopology::uniform("shared-bus"),
+            &[0; 3],
+        );
+        assert_eq!(FirstFitPlacement.assign(&c).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn topology_aware_balances_load_without_a_mesh() {
+        // Distance-free topology: the hop term vanishes and the pass
+        // reduces to deterministic load balancing.
+        let g = shared_fn_chain();
+        let cp = stubs(2);
+        let none = HashMap::new();
+        let c = ctx(
+            &g,
+            &cp,
+            &none,
+            FabricTopology::uniform("private-port"),
+            &[0; 2],
+        );
+        let p = TopologyAwarePlacement::default();
+        assert_eq!(p.assign(&c).unwrap(), vec![0, 1, 0]);
+        // Pre-existing load (2 resident tasks on shell 0) tips the
+        // first two choices to the idle shell, then ties break low.
+        let c = ctx(
+            &g,
+            &cp,
+            &none,
+            FabricTopology::uniform("private-port"),
+            &[2, 0],
+        );
+        assert_eq!(p.assign(&c).unwrap(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn topology_aware_keeps_partners_near_on_a_mesh() {
+        let g = shared_fn_chain();
+        let cp = stubs(4);
+        let none = HashMap::new();
+        let topo = FabricTopology {
+            kind: "mesh",
+            banks: 4,
+            interleave_bytes: 64,
+            mesh: Some((2, 2)),
+            private_ports: true,
+            hop_cycles: 1,
+        };
+        let c = ctx(&g, &cp, &none, topo, &[0; 4]);
+        let assign = TopologyAwarePlacement::default().assign(&c).unwrap();
+        // src → node 0; mid prefers the adjacent idle node 1; dst then
+        // prefers node 3 (1 hop from mid) over node 2 (2 hops).
+        assert_eq!(assign, vec![0, 1, 3]);
+        // Every stream crosses exactly one mesh link.
+        for w in assign.windows(2) {
+            assert_eq!(
+                topo.distance(topo.requester_node(w[0]), topo.requester_node(w[1])),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn placement_validates_explicit_assignments() {
+        let g = shared_fn_chain();
+        let cp = stubs(2);
+        let pins = HashMap::from([("mid".to_string(), 1usize)]);
+        let c = ctx(
+            &g,
+            &cp,
+            &pins,
+            FabricTopology::uniform("shared-bus"),
+            &[0; 2],
+        );
+        assert_eq!(FirstFitPlacement.assign(&c).unwrap(), vec![0, 1, 0]);
+        let bad = HashMap::from([("mid".to_string(), 9usize)]);
+        let c = ctx(
+            &g,
+            &cp,
+            &bad,
+            FabricTopology::uniform("shared-bus"),
+            &[0; 2],
+        );
+        match TopologyAwarePlacement::default().assign(&c).unwrap_err() {
+            MapError::BadAssignment { task, coproc } => {
+                assert_eq!(task, "mid");
+                assert_eq!(coproc, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_aware_widens_buffer_alignment_to_the_stripe() {
+        let p = TopologyAwarePlacement::default();
+        let mesh = FabricTopology {
+            kind: "mesh",
+            banks: 4,
+            interleave_bytes: 64,
+            mesh: Some((2, 2)),
+            private_ports: true,
+            hop_cycles: 1,
+        };
+        assert_eq!(p.buffer_align(0, &mesh), 64);
+        assert_eq!(
+            p.buffer_align(0, &FabricTopology::uniform("shared-bus")),
+            BUFFER_ALIGN
+        );
+        // The default pass never widens.
+        assert_eq!(FirstFitPlacement.buffer_align(0, &mesh), BUFFER_ALIGN);
     }
 }

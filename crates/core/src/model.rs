@@ -52,6 +52,79 @@ pub mod constants {
     pub const OPS_PER_MB_DCT: f64 = 28_000.0;
     /// See [`OPS_PER_MB_VLD`].
     pub const OPS_PER_MB_MC: f64 = 22_000.0;
+
+    // ---- Transport energy decomposition --------------------------------
+    //
+    // The paper's aggregate SRAM coefficient is [`MW_PER_GBS`] = 18 mW
+    // per GB/s, i.e. 18 pJ per byte moved between a shell and the
+    // memory. For topology comparisons that lump sum is split into the
+    // bank (cell-array) access and the wire transport getting the byte
+    // there: on the flat global-bus fabrics the two add back up to the
+    // paper's 18 pJ/B exactly, while on a mesh the global wire is
+    // replaced by short per-link segments whose cost scales with the
+    // hops actually traversed — the quantity placement can shrink.
+
+    /// Bank (cell-array) access energy per byte, pJ.
+    pub const PJ_PER_BANK_BYTE: f64 = 12.0;
+    /// Global-wire transport per byte on flat (non-mesh) fabrics, pJ.
+    /// `PJ_PER_BANK_BYTE + PJ_PER_WIRE_BYTE` = the paper's 18 pJ/B.
+    pub const PJ_PER_WIRE_BYTE: f64 = 6.0;
+    /// Mesh link-segment transport per byte per hop, pJ. A route of
+    /// 4 hops costs the same wire energy as the flat global bus.
+    pub const PJ_PER_LINK_BYTE_HOP: f64 = 1.5;
+    /// Fixed cost of routing one `putspace` message, pJ.
+    pub const PJ_PER_SYNC_MSG: f64 = 4.0;
+    /// Additional cost per sync-network link hop, pJ.
+    pub const PJ_PER_SYNC_HOP: f64 = 0.8;
+}
+
+/// Observed transport activity of one run, the input to
+/// [`transport_energy_pj`]. Data-side counters come from the data
+/// fabric's ports; the hop-weighted byte count comes from a mesh
+/// fabric's per-link stats (0 elsewhere); sync counters come from
+/// `RunSummary::sync_fabric`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportCounts {
+    /// Total bytes moved between shells and SRAM.
+    pub sram_bytes: u64,
+    /// Σ over transfers of bytes × mesh links traversed (0 on flat
+    /// fabrics).
+    pub byte_hops: u64,
+    /// Whether the data fabric is a mesh (wire energy is then charged
+    /// per link hop instead of per global-bus byte).
+    pub mesh: bool,
+    /// `putspace` messages routed.
+    pub sync_messages: u64,
+    /// Sync-network link hops traversed.
+    pub sync_hops: u64,
+}
+
+/// Transport (communication) energy of a run, in pJ: bank accesses plus
+/// wire transport plus sync-network routing, per the decomposition in
+/// [`constants`]. On flat fabrics this reduces to the paper's aggregate
+/// 18 pJ per SRAM byte (+ sync); on a mesh the wire term scales with
+/// the byte·hops placement controls.
+pub fn transport_energy_pj(c: &TransportCounts) -> f64 {
+    use constants::*;
+    let wire = if c.mesh {
+        c.byte_hops as f64 * PJ_PER_LINK_BYTE_HOP
+    } else {
+        c.sram_bytes as f64 * PJ_PER_WIRE_BYTE
+    };
+    c.sram_bytes as f64 * PJ_PER_BANK_BYTE
+        + wire
+        + c.sync_messages as f64 * PJ_PER_SYNC_MSG
+        + c.sync_hops as f64 * PJ_PER_SYNC_HOP
+}
+
+/// Convenience: transport energy per macroblock (or any other work
+/// unit), pJ. Returns 0 for an empty run.
+pub fn transport_energy_per_mb_pj(c: &TransportCounts, macroblocks: u64) -> f64 {
+    if macroblocks == 0 {
+        0.0
+    } else {
+        transport_energy_pj(c) / macroblocks as f64
+    }
 }
 
 /// One line of the area/power report.
@@ -208,6 +281,40 @@ mod tests {
             &WorkloadModel::dual_hd_decode(),
         );
         assert!(big.total_area_mm2 > small.total_area_mm2 + 1.5);
+    }
+
+    #[test]
+    fn flat_transport_energy_matches_paper_coefficient() {
+        // 1 GB moved on a flat fabric must cost exactly the paper's
+        // aggregate 18 pJ/B (= 18 mW at 1 GB/s).
+        let c = TransportCounts {
+            sram_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let pj = transport_energy_pj(&c);
+        assert!((pj - 18.0e9).abs() < 1.0, "{pj}");
+    }
+
+    #[test]
+    fn mesh_transport_energy_scales_with_hops() {
+        let base = TransportCounts {
+            sram_bytes: 1_000_000,
+            byte_hops: 2_000_000, // average 2 hops/byte
+            mesh: true,
+            ..Default::default()
+        };
+        let near = transport_energy_pj(&base);
+        // 12 + 2×1.5 = 15 pJ/B: a 2-hop-average mesh beats the flat bus.
+        assert!((near - 15.0e6).abs() < 1.0, "{near}");
+        let far = transport_energy_pj(&TransportCounts {
+            byte_hops: 5_000_000,
+            ..base
+        });
+        // 12 + 5×1.5 = 19.5 pJ/B: sprawl costs more than the flat bus.
+        assert!(far > 18.0e6);
+        // Per-macroblock normalization.
+        assert!((transport_energy_per_mb_pj(&base, 1000) - 15.0e3).abs() < 1e-6);
+        assert_eq!(transport_energy_per_mb_pj(&base, 0), 0.0);
     }
 
     #[test]

@@ -64,6 +64,7 @@ use eclipse_sim::{Calendar, Cycle, FaultInjector, FaultPlan, FaultStats};
 
 use crate::config::EclipseConfig;
 use crate::coproc::Coprocessor;
+use crate::mapping::Placement;
 use crate::trace::TraceLog;
 
 use lifecycle::AppRecord;
@@ -276,12 +277,22 @@ pub struct EclipseSystem {
     /// Observational (like the trace sink): excluded from checkpoints
     /// and the state hash so reports survive rollbacks.
     recovery_log: Vec<supervisor::RecoveryReport>,
+    /// The placement pass live admission routes task assignment
+    /// through (build-time mapping uses the builder's copy).
+    /// Configuration, not simulation state — excluded from checkpoints.
+    placement: Box<dyn Placement>,
 }
 
 impl EclipseSystem {
     /// The template parameters.
     pub fn config(&self) -> &EclipseConfig {
         &self.cfg
+    }
+
+    /// The active placement pass's short name ("first-fit",
+    /// "topology-aware", ...).
+    pub fn placement_kind(&self) -> &'static str {
+        self.placement.kind()
     }
 
     /// Off-chip memory, for loading bitstreams before a run and checking

@@ -64,7 +64,6 @@
 use std::collections::HashMap;
 use std::sync::mpsc;
 
-use eclipse_mem::PrivatePortFabric;
 use eclipse_sim::Cycle;
 
 use crate::trace::{TraceLog, TraceSeries};
@@ -274,30 +273,18 @@ impl EclipseSystem {
                 .sram
                 .absorb_stats_delta(base.mem.sram.stats(), clone.mem.sram.stats());
 
-            // Private fabric: adopt each island shell's port pair, add
-            // the self-queueing counter delta.
-            let theirs = clone
-                .mem
-                .fabric
-                .as_any()
-                .downcast_ref::<PrivatePortFabric>()
-                .expect("parallel gate admits only the private-port data fabric");
-            let base_fab = base
-                .mem
-                .fabric
-                .as_any()
-                .downcast_ref::<PrivatePortFabric>()
-                .expect("baseline replica shares the fabric kind");
-            let mine = self
-                .mem
-                .fabric
-                .as_any_mut()
-                .downcast_mut::<PrivatePortFabric>()
-                .expect("parallel gate admits only the private-port data fabric");
+            // Data fabric: adopt each island shell's private
+            // per-requester state, then fold the global counter deltas.
+            // The gate admits only fabrics that implement these hooks
+            // (private-port crossbar, mesh); the trait default panics.
             for &s in island {
-                mine.adopt_port_state(s, theirs);
+                self.mem
+                    .fabric
+                    .adopt_requester_state(s, clone.mem.fabric.as_ref());
             }
-            mine.absorb_contended_delta(base_fab, theirs);
+            self.mem
+                .fabric
+                .absorb_stats_delta(base.mem.fabric.as_ref(), clone.mem.fabric.as_ref());
 
             // Fault injector: each island replayed exactly its own
             // shells' decision streams; graft them back, delta the

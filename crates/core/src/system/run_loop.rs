@@ -487,5 +487,23 @@ impl EclipseSystem {
                 self.trace.record(&name, now, t.stats.denials as f64);
             }
         }
+        // Sync-network counter tracks (hops and link waits on the
+        // ring/mesh networks). Structured trace only: `TraceLog` series
+        // are merged by the parallel engine and adding a series would
+        // shift its fingerprint, while the sink is explicitly
+        // coordinator-side observational state.
+        if let Some(t) = &self.sys_trace {
+            let s = self.sync.stats();
+            for (track, value) in [
+                ("sync/messages", s.messages),
+                ("sync/hops", s.hops),
+                ("sync/wait_cycles", s.wait_cycles),
+            ] {
+                t.emit_with(now, |sink| TraceEventKind::Counter {
+                    track: sink.intern(track),
+                    value,
+                });
+            }
+        }
     }
 }

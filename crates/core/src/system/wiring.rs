@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use eclipse_kpn::graph::AppGraph;
 use eclipse_mem::alloc::AllocError;
-use eclipse_mem::{BufferAllocator, Bus, DataFabricConfig, Dram};
+use eclipse_mem::{BufferAllocator, Bus, DataFabricConfig, Dram, FabricTopology};
 use eclipse_shell::stream_table::RowIdx;
 use eclipse_shell::task_table::TaskIdx;
 use eclipse_shell::{MemSys, Shell, ShellConfig, ShellId, SyncFabricConfig};
@@ -15,7 +15,10 @@ use eclipse_sim::Calendar;
 
 use crate::config::EclipseConfig;
 use crate::coproc::Coprocessor;
-use crate::mapping::{plan_rows, task_config, AppHandles, MapError, RowPlan, BUFFER_ALIGN};
+use crate::mapping::{
+    plan_rows, task_config, AppHandles, FirstFitPlacement, MapError, Placement, PlacementCtx,
+    RowPlan,
+};
 use crate::trace::TraceLog;
 
 use super::lifecycle::AppRecord;
@@ -45,43 +48,30 @@ pub(crate) fn checked_bump(
     Ok((base as u32, end as u32))
 }
 
-/// Resolve a shell assignment for every task of `graph`: explicit
-/// assignments (validated) override the first coprocessor supporting
-/// the task's function.
+/// Resolve a shell assignment for every task of `graph` through the
+/// active [`Placement`] pass, with explicit assignments (validated)
+/// always overriding the automatic choice. `shells` supplies the
+/// current per-shell task load; `topology` describes the active data
+/// fabric.
 pub(crate) fn resolve_assignments(
+    placement: &dyn Placement,
     coprocs: &[Box<dyn Coprocessor>],
+    shells: &[Shell],
+    topology: FabricTopology,
     graph: &AppGraph,
     assignments: &HashMap<String, usize>,
 ) -> Result<Vec<usize>, MapError> {
-    let mut assign = Vec::with_capacity(graph.tasks().len());
-    for (_tid, t) in graph.task_ids() {
-        let shell = match assignments.get(&t.name) {
-            Some(&s) => {
-                if s >= coprocs.len() {
-                    return Err(MapError::BadAssignment {
-                        task: t.name.clone(),
-                        coproc: s,
-                    });
-                }
-                if !coprocs[s].supports(&t.function) {
-                    return Err(MapError::UnsupportedFunction {
-                        task: t.name.clone(),
-                        function: t.function.clone(),
-                        coproc: coprocs[s].name().to_string(),
-                    });
-                }
-                s
-            }
-            None => coprocs
-                .iter()
-                .position(|c| c.supports(&t.function))
-                .ok_or_else(|| MapError::NoCoprocessor {
-                    task: t.name.clone(),
-                    function: t.function.clone(),
-                })?,
-        };
-        assign.push(shell);
-    }
+    let load: Vec<usize> = shells.iter().map(|sh| sh.tasks().len()).collect();
+    let ctx = PlacementCtx {
+        graph,
+        coprocs,
+        assignments,
+        topology,
+        load: &load,
+    };
+    let assign = placement.assign(&ctx)?;
+    debug_assert_eq!(assign.len(), graph.tasks().len());
+    debug_assert!(assign.iter().all(|&s| s < coprocs.len()));
     Ok(assign)
 }
 
@@ -154,6 +144,7 @@ pub struct SystemBuilder {
     sync_fabric: SyncFabricConfig,
     parallel_islands: usize,
     replication: Option<SystemFactory>,
+    placement: Box<dyn Placement>,
 }
 
 impl SystemBuilder {
@@ -173,6 +164,7 @@ impl SystemBuilder {
             sync_fabric: SyncFabricConfig::Direct,
             parallel_islands: 1,
             replication: None,
+            placement: Box::new(FirstFitPlacement),
         }
     }
 
@@ -219,6 +211,25 @@ impl SystemBuilder {
     pub fn with_sync_fabric(&mut self, fabric: SyncFabricConfig) -> &mut Self {
         self.sync_fabric = fabric;
         self
+    }
+
+    /// Select the placement pass that assigns tasks to shells during
+    /// mapping (build-time and live). The default is
+    /// [`FirstFitPlacement`] — byte-identical to the historical
+    /// hard-wired choice. Select it *before* mapping apps; it does not
+    /// re-place apps that are already mapped.
+    pub fn with_placement(&mut self, placement: Box<dyn Placement>) -> &mut Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The topology descriptor the active (or default) data fabric
+    /// publishes — what the placement pass will read.
+    pub fn topology(&self) -> FabricTopology {
+        match &self.data_fabric {
+            Some(f) => f.topology(),
+            None => FabricTopology::uniform("shared-bus"),
+        }
     }
 
     /// Request intra-run parallel simulation over at most `islands`
@@ -284,12 +295,21 @@ impl SystemBuilder {
         graph: &AppGraph,
         assignments: &std::collections::HashMap<String, usize>,
     ) -> Result<AppHandles, MapError> {
-        let assign = resolve_assignments(&self.coprocs, graph, assignments)?;
+        let topo = self.topology();
+        let assign = resolve_assignments(
+            self.placement.as_ref(),
+            &self.coprocs,
+            &self.shells,
+            topo,
+            graph,
+            assignments,
+        )?;
 
         // Build-time mapping only ever appends rows (nothing has been
         // retired yet), so slot prediction is a plain per-shell counter.
         let mut next_row: Vec<u16> = self.shells.iter().map(|s| s.rows().len() as u16).collect();
         let alloc = &mut self.alloc;
+        let placement = self.placement.as_ref();
         let plan = plan_rows(
             graph,
             &assign,
@@ -299,7 +319,7 @@ impl SystemBuilder {
                 next_row[s] += 1;
                 r
             },
-            |size| alloc.alloc(size, BUFFER_ALIGN),
+            |i, size| alloc.alloc(size, placement.buffer_align(i, &topo)),
         )?;
 
         let (handles, rows, tasks) = install_plan(
@@ -380,6 +400,7 @@ impl SystemBuilder {
             replicate: self.replication,
             last_partition_plan: None,
             recovery_log: Vec::new(),
+            placement: self.placement,
         }
     }
 }

@@ -195,11 +195,11 @@ fn two_pipe_graph() -> (AppGraph, AppGraph) {
     (mk("a", 0x5A), mk("b", 0xC3))
 }
 
-/// The eight fabric combinations the bench suite sweeps, each with the
+/// The fabric combinations the bench suite sweeps, each with the
 /// fragment its fallback reason must contain when no replication
 /// factory is installed (this file's systems share shells between the
-/// two apps, so even the private-ported fabric cannot split them —
-/// `open_gate` below builds the four-shell instance that can).
+/// two apps, so even the private-ported and mesh fabrics cannot split
+/// them — `open_gate` below builds the four-shell instance that can).
 fn fabric_combos(
     cfg: &EclipseConfig,
 ) -> Vec<(String, DataFabricConfig, SyncFabricConfig, &'static str)> {
@@ -244,6 +244,32 @@ fn fabric_combos(
             out.push((format!("{dl}+{sl}"), data, sync, why));
         }
     }
+    // The mesh data fabric has a per-link grant floor (like the
+    // private-port crossbar, the replication gate binds next); the mesh
+    // sync network shares link clocks between shells (like the ring).
+    let mesh = DataFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        interleave_bytes: 64,
+        link_grant: 2,
+        hop_cycles: 1,
+        port: bank,
+    };
+    let mesh_sync = SyncFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        hop_latency: 2,
+        link_occupancy: 1,
+        piggyback_window: 4,
+    };
+    out.push((
+        "mesh+direct".into(),
+        mesh,
+        SyncFabricConfig::Direct,
+        "replication",
+    ));
+    out.push(("mesh+ring".into(), mesh, ring, "shared across"));
+    out.push(("mesh+mesh-sync".into(), mesh, mesh_sync, "shared across"));
     out
 }
 
@@ -388,7 +414,7 @@ mod proptests {
         /// the deterministic sweep uses.
         #[test]
         fn parallel_differential_under_random_faults(
-            combo in 0usize..8,
+            combo in 0usize..11,
             islands in 2usize..9,
             seed in any::<u64>(),
             delay_rate in 0.0f64..0.15,
@@ -435,12 +461,13 @@ mod proptests {
 }
 
 /// The open-gate path: a four-shell instance whose two apps never share
-/// a shell, on the private-ported data fabric with a direct sync
-/// network and a replication factory installed. The partitioner must
-/// produce a two-island plan and `run_parallel` must execute it on
-/// worker threads — and still match the sequential reference byte for
-/// byte, with faults armed and a mid-run checkpoint splitting the
-/// parallel run in two.
+/// a shell, on a gate-opening data fabric (the private-port crossbar,
+/// and the 2×2 mesh whose per-link TDM floor gives the same guarantee)
+/// with a direct sync network and a replication factory installed. The
+/// partitioner must produce a two-island plan and `run_parallel` must
+/// execute it on worker threads — and still match the sequential
+/// reference byte for byte, with faults armed and a mid-run checkpoint
+/// splitting the parallel run in two.
 mod open_gate {
     use super::*;
     use eclipse_core::SystemFactory;
@@ -471,19 +498,41 @@ mod open_gate {
         (mk("a", 0x5A), mk("b", 0xC3))
     }
 
-    fn build_open() -> EclipseSystem {
-        let (a, b) = four_shell_graphs();
+    fn open_port() -> BusConfig {
         let cfg = EclipseConfig::default();
-        let port = BusConfig {
+        BusConfig {
             width_bytes: cfg.read_bus.width_bytes,
             latency: cfg.read_bus.latency,
             cycles_per_beat: cfg.read_bus.cycles_per_beat,
-        };
-        let mut bld = SystemBuilder::new(cfg);
-        bld.with_data_fabric(DataFabricConfig::PrivatePort {
+        }
+    }
+
+    /// The private-port crossbar: the first gate-opening backend.
+    fn build_open() -> EclipseSystem {
+        build_open_with(DataFabricConfig::PrivatePort {
             grant_cycles: 2,
-            port,
-        });
+            port: open_port(),
+        })
+    }
+
+    /// The 2×2 mesh: its per-link TDM grant floor must open the same
+    /// gate (the sync network stays direct — mesh sync couples islands).
+    fn build_open_mesh() -> EclipseSystem {
+        build_open_with(DataFabricConfig::Mesh {
+            cols: 2,
+            rows: 2,
+            interleave_bytes: 64,
+            link_grant: 2,
+            hop_cycles: 1,
+            port: open_port(),
+        })
+    }
+
+    fn build_open_with(data: DataFabricConfig) -> EclipseSystem {
+        let (a, b) = four_shell_graphs();
+        let cfg = EclipseConfig::default();
+        let mut bld = SystemBuilder::new(cfg);
+        bld.with_data_fabric(data);
         bld.with_sync_fabric(SyncFabricConfig::Direct);
         for (func, producer) in [
             ("gen.a", true),
@@ -512,10 +561,6 @@ mod open_gate {
         bld.build()
     }
 
-    fn replication() -> SystemFactory {
-        Arc::new(build_open)
-    }
-
     /// Assert the plan actually opened: two islands, threaded engine,
     /// reason quoting the fabric's grant floor.
     fn assert_open(sys: &EclipseSystem) {
@@ -532,17 +577,16 @@ mod open_gate {
         );
     }
 
-    #[test]
-    fn open_gate_cold_start_matches_sequential() {
-        let mut seq = build_open();
+    fn check_cold_start(build: fn() -> EclipseSystem) {
+        let mut seq = build();
         seq.inject_faults(fault_plan());
         let seq_summary = seq.run(MAX_CYCLES);
         assert_eq!(seq_summary.outcome, RunOutcome::AllFinished, "seq");
         let want = outcome(&seq, &seq_summary);
 
-        let mut par = build_open();
+        let mut par = build();
         par.set_parallel_islands(2);
-        par.set_replication(replication());
+        par.set_replication(Arc::new(build) as SystemFactory);
         par.inject_faults(fault_plan());
         let par_summary = par.run_parallel(MAX_CYCLES);
         assert_open(&par);
@@ -554,26 +598,25 @@ mod open_gate {
         assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
     }
 
-    #[test]
-    fn open_gate_survives_midrun_checkpoint() {
-        let mut seq = build_open();
+    fn check_midrun_checkpoint(build: fn() -> EclipseSystem) {
+        let mut seq = build();
         seq.inject_faults(fault_plan());
         let seq_summary = seq.run(MAX_CYCLES);
         assert_eq!(seq_summary.outcome, RunOutcome::AllFinished, "seq");
         let want = outcome(&seq, &seq_summary);
 
         // First half up to the split, checkpoint with syncs in flight.
-        let mut par = build_open();
+        let mut par = build();
         par.set_parallel_islands(2);
-        par.set_replication(replication());
+        par.set_replication(Arc::new(build) as SystemFactory);
         par.inject_faults(fault_plan());
         assert_eq!(par.run_until(SPLIT_AT), None, "still streaming");
         let mid = par.save();
 
         // Second half threaded, in a fresh system restored mid-stream.
-        let mut resumed = build_open();
+        let mut resumed = build();
         resumed.set_parallel_islands(2);
-        resumed.set_replication(replication());
+        resumed.set_replication(Arc::new(build) as SystemFactory);
         resumed.inject_faults(fault_plan());
         resumed.restore(&mid).unwrap();
         let par_summary = resumed.run_parallel(MAX_CYCLES);
@@ -586,28 +629,54 @@ mod open_gate {
         assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
     }
 
+    #[test]
+    fn open_gate_cold_start_matches_sequential() {
+        check_cold_start(build_open);
+    }
+
+    #[test]
+    fn open_gate_survives_midrun_checkpoint() {
+        check_midrun_checkpoint(build_open);
+    }
+
+    /// The mesh data fabric's per-link grant floor must open the same
+    /// gate the private-port crossbar does, and the replicated-island
+    /// engine must stay byte-identical with XY-routed transfers (and
+    /// their per-link counters) in play.
+    #[test]
+    fn mesh_open_gate_cold_start_matches_sequential() {
+        check_cold_start(build_open_mesh);
+    }
+
+    #[test]
+    fn mesh_open_gate_survives_midrun_checkpoint() {
+        check_midrun_checkpoint(build_open_mesh);
+    }
+
     /// The plan must stay open (and the engine byte-identical) when the
     /// run ends at `max_cycles` instead of completion — the boundary
     /// pop-and-discard path of the sequential loop.
     #[test]
     fn open_gate_max_cycles_boundary_matches_sequential() {
         const CAP: u64 = 7_777;
-        let mut seq = build_open();
-        seq.inject_faults(fault_plan());
-        let seq_summary = seq.run(CAP);
-        let want = outcome(&seq, &seq_summary);
+        for build in [build_open, build_open_mesh] as [fn() -> EclipseSystem; 2] {
+            let mut seq = build();
+            seq.inject_faults(fault_plan());
+            let seq_summary = seq.run(CAP);
+            let want = outcome(&seq, &seq_summary);
 
-        let mut par = build_open();
-        par.set_parallel_islands(2);
-        par.set_replication(replication());
-        par.inject_faults(fault_plan());
-        let par_summary = par.run_parallel(CAP);
-        assert_open(&par);
-        let got = outcome(&par, &par_summary);
+            let mut par = build();
+            par.set_parallel_islands(2);
+            par.set_replication(Arc::new(build) as SystemFactory);
+            par.inject_faults(fault_plan());
+            let par_summary = par.run_parallel(CAP);
+            assert_open(&par);
+            let got = outcome(&par, &par_summary);
 
-        assert_eq!(want.summary, got.summary, "RunSummary diverged");
-        assert_eq!(want.state_hash, got.state_hash, "state_hash diverged");
-        assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
+            assert_eq!(want.summary, got.summary, "RunSummary diverged");
+            assert_eq!(want.state_hash, got.state_hash, "state_hash diverged");
+            assert_eq!(want.checkpoint, got.checkpoint, "checkpoint diverged");
+        }
     }
 }
 

@@ -131,6 +131,12 @@ impl Bus {
         &self.stats
     }
 
+    /// The arbitration horizon: the earliest cycle a fresh request can
+    /// be granted. A value beyond "now" means a transfer is in flight.
+    pub fn busy_until(&self) -> Cycle {
+        self.next_free
+    }
+
     /// Number of beats a payload of `bytes` occupies.
     pub fn beats(&self, bytes: u32) -> u64 {
         match self.width_shift {

@@ -43,7 +43,7 @@ pub use shell::{
 };
 pub use stream_table::{AccessPoint, PortDir, RowIdx, StreamRowConfig, StreamRowStats};
 pub use sync_fabric::{
-    DirectSyncFabric, RingSyncFabric, SyncFabric, SyncFabricConfig, SyncFabricStats,
+    DirectSyncFabric, MeshSyncFabric, RingSyncFabric, SyncFabric, SyncFabricConfig, SyncFabricStats,
 };
 pub use task_table::{TaskConfig, TaskIdx, TaskStats};
 

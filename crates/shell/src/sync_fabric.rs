@@ -82,6 +82,9 @@ pub trait SyncFabric: std::fmt::Debug {
     /// Connect the fabric to a shared event-trace sink.
     fn attach_trace(&mut self, sink: &SharedTraceSink);
 
+    /// Downcast support for backend-specific inspection (tests, benches).
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Serialize the network's dynamic state (link clocks, statistics)
     /// into a checkpoint. The default is a no-op for stateless networks.
     fn save_state(&self, _w: &mut SnapWriter) {}
@@ -127,6 +130,26 @@ pub enum SyncFabricConfig {
         /// Cycles a link is held per message (1 = full rate).
         link_occupancy: u64,
     },
+    /// A 2-D mesh with XY routing, matching the data-plane
+    /// [`eclipse_mem::MeshDataFabric`] grid: shell *s* injects at node
+    /// `s % (cols·rows)` and a message crosses the Manhattan route's
+    /// links, each carrying one message per `link_occupancy` cycles.
+    /// Credits piggy-back: a message entering a link within
+    /// `piggyback_window` cycles of the previous grant on that link
+    /// rides the same flit — no fresh link reservation, only the hop
+    /// latency.
+    Mesh {
+        /// Grid width in nodes (>= 1).
+        cols: u32,
+        /// Grid height in nodes (>= 1).
+        rows: u32,
+        /// Added latency per traversed link.
+        hop_latency: u64,
+        /// Cycles a link is held per (non-piggybacked) message.
+        link_occupancy: u64,
+        /// Coalescing window for credit piggy-backing (0 disables it).
+        piggyback_window: u64,
+    },
 }
 
 impl SyncFabricConfig {
@@ -138,6 +161,20 @@ impl SyncFabricConfig {
                 hop_latency,
                 link_occupancy,
             } => Box::new(RingSyncFabric::new(n_shells, hop_latency, link_occupancy)),
+            SyncFabricConfig::Mesh {
+                cols,
+                rows,
+                hop_latency,
+                link_occupancy,
+                piggyback_window,
+            } => Box::new(MeshSyncFabric::new(
+                n_shells,
+                cols as usize,
+                rows as usize,
+                hop_latency,
+                link_occupancy,
+                piggyback_window,
+            )),
         }
     }
 }
@@ -179,6 +216,10 @@ impl SyncFabric for DirectSyncFabric {
     }
 
     fn attach_trace(&mut self, _sink: &SharedTraceSink) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 
     fn save_state(&self, w: &mut SnapWriter) {
         self.stats.save(w);
@@ -281,6 +322,10 @@ impl SyncFabric for RingSyncFabric {
         self.trace = Some(TraceHandle::new(sink, "fabric/ring"));
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         w.usize(self.link_free.len());
         for &t in &self.link_free {
@@ -298,6 +343,198 @@ impl SyncFabric for RingSyncFabric {
             *t = r.u64()?;
         }
         self.stats.load(r)
+    }
+}
+
+/// A 2-D mesh `putspace` network with XY routing and credit
+/// piggy-backing.
+///
+/// The grid mirrors the data-plane mesh (same [`MeshGeometry`] node and
+/// link enumeration), so an instance selecting both mesh planes routes
+/// sync messages along the same physical topology its data rides on.
+/// Piggy-backing models the classic NoC optimization of folding credit
+/// updates into flits already crossing a link: a message entering a
+/// link within `piggyback_window` cycles of that link's previous grant
+/// shares the earlier flit — it pays the hop latency but reserves no
+/// new link slot (and cannot be the *victim* of occupancy queueing).
+///
+/// Like the ring, the per-link free clocks are state shared between
+/// shells, so the network [`SyncFabric::couples_islands`] and the
+/// conservative parallel gate stays closed whenever it is selected.
+#[derive(Debug)]
+pub struct MeshSyncFabric {
+    geom: eclipse_mem::MeshGeometry,
+    n_shells: usize,
+    hop_latency: u64,
+    link_occupancy: u64,
+    piggyback_window: u64,
+    /// `link_free[l]`: earliest cycle link `l` accepts a fresh flit.
+    link_free: Vec<Cycle>,
+    /// `last_grant[l]`: start cycle of the link's most recent fresh
+    /// flit (`Cycle::MAX` = never granted), anchoring the piggy-back
+    /// window.
+    last_grant: Vec<Cycle>,
+    stats: SyncFabricStats,
+    piggybacked: u64,
+    trace: Option<TraceHandle>,
+}
+
+impl MeshSyncFabric {
+    /// A new idle `cols × rows` mesh serving `n_shells` shells.
+    pub fn new(
+        n_shells: usize,
+        cols: usize,
+        rows: usize,
+        hop_latency: u64,
+        link_occupancy: u64,
+        piggyback_window: u64,
+    ) -> Self {
+        let geom = eclipse_mem::MeshGeometry::new(cols, rows);
+        MeshSyncFabric {
+            link_free: vec![0; geom.n_links()],
+            last_grant: vec![Cycle::MAX; geom.n_links()],
+            geom,
+            n_shells,
+            hop_latency,
+            link_occupancy: link_occupancy.max(1),
+            piggyback_window,
+            stats: SyncFabricStats::default(),
+            piggybacked: 0,
+            trace: None,
+        }
+    }
+
+    /// The node shell `s` injects at.
+    pub fn node_of(&self, shell: ShellId) -> usize {
+        usize::from(shell.0) % self.geom.nodes()
+    }
+
+    /// Links a message from `src` to `dst` traverses (XY hop count).
+    pub fn hops(&self, src: ShellId, dst: ShellId) -> u64 {
+        self.geom.distance(self.node_of(src), self.node_of(dst))
+    }
+
+    /// Messages that rode an existing flit instead of reserving a link
+    /// slot (credit piggy-backing).
+    pub fn piggybacked(&self) -> u64 {
+        self.piggybacked
+    }
+
+    /// Whether any link still holds a reservation beyond `now` — i.e. a
+    /// message is mid-route. Lets checkpoint tests pick a save point
+    /// with sync flits genuinely in flight.
+    pub fn links_in_flight(&self, now: Cycle) -> bool {
+        self.link_free.iter().any(|&f| f > now)
+    }
+}
+
+impl SyncFabric for MeshSyncFabric {
+    fn kind(&self) -> &'static str {
+        "mesh"
+    }
+
+    /// Link free clocks and piggy-back anchors are shared between
+    /// shells: replicated islands would diverge.
+    fn couples_islands(&self) -> bool {
+        true
+    }
+
+    /// When every shell owns a distinct node (`n_shells <= nodes`), any
+    /// cross-shell message crosses at least one link; otherwise two
+    /// shells may share a node and the floor is the base latency alone.
+    fn min_transit_cycles(&self, base_latency: u64) -> Cycle {
+        if self.n_shells <= self.geom.nodes() {
+            base_latency + self.hop_latency
+        } else {
+            base_latency
+        }
+    }
+
+    fn route(&mut self, depart: Cycle, src: ShellId, dst: ShellId, base_latency: u64) -> Cycle {
+        self.stats.messages += 1;
+        let (from, to) = (self.node_of(src), self.node_of(dst));
+        let mut links = Vec::with_capacity(self.geom.distance(from, to) as usize);
+        self.geom.route(from, to, |l| links.push(l));
+        let mut t = depart + base_latency;
+        let mut waited = 0;
+        let mut piggy = 0u64;
+        for &link in &links {
+            let anchor = self.last_grant[link];
+            if self.piggyback_window > 0
+                && anchor != Cycle::MAX
+                && t >= anchor
+                && t - anchor <= self.piggyback_window
+            {
+                // Ride the flit granted at `anchor`: no fresh link
+                // reservation, no occupancy queueing possible.
+                piggy += 1;
+                t += self.hop_latency;
+            } else {
+                let start = t.max(self.link_free[link]);
+                waited += start - t;
+                self.link_free[link] = start + self.link_occupancy;
+                self.last_grant[link] = start;
+                t = start + self.hop_latency;
+            }
+        }
+        self.stats.hops += links.len() as u64;
+        self.stats.wait_cycles += waited;
+        self.piggybacked += piggy;
+        if waited > 0 {
+            self.stats.contended += 1;
+        }
+        if let Some(h) = &self.trace {
+            if !links.is_empty() {
+                h.emit(
+                    depart,
+                    TraceEventKind::SyncHop {
+                        hops: links.len() as u32,
+                        wait: waited,
+                    },
+                );
+            }
+        }
+        t
+    }
+
+    fn stats(&self) -> SyncFabricStats {
+        self.stats
+    }
+
+    fn attach_trace(&mut self, sink: &SharedTraceSink) {
+        self.trace = Some(TraceHandle::new(sink, "fabric/mesh-sync"));
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.link_free.len());
+        for &t in &self.link_free {
+            w.u64(t);
+        }
+        for &t in &self.last_grant {
+            w.u64(t);
+        }
+        self.stats.save(w);
+        w.u64(self.piggybacked);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.link_free.len() {
+            return Err(SnapError::Corrupt("mesh sync link count"));
+        }
+        for t in &mut self.link_free {
+            *t = r.u64()?;
+        }
+        for t in &mut self.last_grant {
+            *t = r.u64()?;
+        }
+        self.stats.load(r)?;
+        self.piggybacked = r.u64()?;
+        Ok(())
     }
 }
 
@@ -339,6 +576,114 @@ mod tests {
         assert_eq!(s.messages, 2);
         assert_eq!(s.contended, 1);
         assert_eq!(s.wait_cycles, 10);
+    }
+
+    #[test]
+    fn mesh_charges_per_hop() {
+        // 2×2 grid, four shells (one per node), no piggy-backing.
+        let mut f = MeshSyncFabric::new(4, 2, 2, 3, 1, 0);
+        // Shell 0 (node 0,0) → shell 3 (node 1,1): two XY hops.
+        assert_eq!(f.hops(ShellId(0), ShellId(3)), 2);
+        assert_eq!(f.route(0, ShellId(0), ShellId(3), 4), 4 + 2 * 3);
+        // Local delivery never touches a link.
+        assert_eq!(f.route(50, ShellId(2), ShellId(2), 4), 54);
+        assert_eq!(f.stats().hops, 2);
+        // Every shell owns a distinct node, so the transit floor
+        // includes one hop.
+        assert_eq!(f.min_transit_cycles(4), 7);
+        assert!(f.couples_islands());
+    }
+
+    #[test]
+    fn mesh_links_contend() {
+        let mut f = MeshSyncFabric::new(4, 2, 2, 2, 10, 0);
+        let a = f.route(0, ShellId(0), ShellId(1), 4);
+        assert_eq!(a, 6); // base 4 + one hop of 2
+                          // Same east link, same instant: queues the full occupancy
+                          // (10) behind the first flit, then crosses two links.
+        let b = f.route(0, ShellId(0), ShellId(3), 4);
+        assert_eq!(b, 4 + 10 + 2 + 2);
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.wait_cycles, 10);
+        assert_eq!(f.piggybacked(), 0);
+    }
+
+    #[test]
+    fn mesh_piggyback_rides_recent_flit() {
+        let mut f = MeshSyncFabric::new(4, 2, 2, 2, 10, 5);
+        // First flit reserves the east link at cycle 4 (free again at 14).
+        assert_eq!(f.route(0, ShellId(0), ShellId(1), 4), 6);
+        // Entering the link 2 cycles later — inside the 5-cycle window —
+        // rides the same flit: no occupancy queueing, just the hop.
+        assert_eq!(f.route(0, ShellId(0), ShellId(1), 6), 8);
+        assert_eq!(f.piggybacked(), 1);
+        assert_eq!(f.stats().contended, 0);
+        // Outside the window the link clock applies again (free at 14,
+        // so an arrival at 12 waits 2).
+        assert_eq!(f.route(0, ShellId(0), ShellId(1), 12), 14 + 2);
+        assert_eq!(f.piggybacked(), 1);
+        assert_eq!(f.stats().wait_cycles, 2);
+    }
+
+    #[test]
+    fn mesh_transit_floor_drops_when_shells_share_nodes() {
+        // Five shells on a 2×2 grid: shells 0 and 4 share node 0, so a
+        // zero-hop route exists and the floor is the base latency.
+        let mut f = MeshSyncFabric::new(5, 2, 2, 3, 1, 0);
+        assert_eq!(f.min_transit_cycles(4), 4);
+        assert_eq!(f.route(0, ShellId(0), ShellId(4), 4), 4);
+    }
+
+    #[test]
+    fn mesh_snapshot_restores_links_mid_route() {
+        let drive = |f: &mut MeshSyncFabric| {
+            f.route(0, ShellId(0), ShellId(3), 4);
+            f.route(1, ShellId(1), ShellId(2), 4);
+            f.route(2, ShellId(0), ShellId(1), 4)
+        };
+        let mut live = MeshSyncFabric::new(4, 2, 2, 2, 10, 3);
+        drive(&mut live);
+        let mut w = SnapWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = MeshSyncFabric::new(4, 2, 2, 2, 10, 3);
+        let mut r = SnapReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        assert_eq!(restored.stats(), live.stats());
+        assert_eq!(restored.piggybacked(), live.piggybacked());
+        // Future routing sees the restored link clocks and piggy-back
+        // anchors: both instances stay cycle-identical.
+        for dep in [3u64, 5, 20] {
+            assert_eq!(
+                live.route(dep, ShellId(0), ShellId(3), 4),
+                restored.route(dep, ShellId(0), ShellId(3), 4)
+            );
+        }
+        let mut w2 = SnapWriter::new();
+        let mut w3 = SnapWriter::new();
+        live.save_state(&mut w2);
+        restored.save_state(&mut w3);
+        assert_eq!(w2.into_bytes(), w3.into_bytes());
+    }
+
+    #[test]
+    fn mesh_route_is_deterministic() {
+        let runs: Vec<Vec<Cycle>> = (0..2)
+            .map(|_| {
+                let mut f = MeshSyncFabric::new(6, 3, 2, 2, 3, 4);
+                (0..50u64)
+                    .map(|i| {
+                        let src = ShellId((i % 6) as u16);
+                        let dst = ShellId(((i * 7) % 6) as u16);
+                        f.route(i * 2, src, dst, 4)
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]

@@ -177,6 +177,28 @@ fn fabric_combos(cfg: &EclipseConfig) -> Vec<(String, DataFabricConfig, SyncFabr
             combos.push((format!("{dl}+{sl}"), data, sync));
         }
     }
+    // The 2-D mesh planes: XY-routed data chunks and an XY-routed sync
+    // network with credit piggy-backing must conserve exactly like the
+    // flat fabrics — hops shift timing and add link counters, never
+    // payload.
+    let mesh = DataFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        interleave_bytes: 64,
+        link_grant: 2,
+        hop_cycles: 1,
+        port: bank,
+    };
+    let mesh_sync = SyncFabricConfig::Mesh {
+        cols: 2,
+        rows: 2,
+        hop_latency: 2,
+        link_occupancy: 1,
+        piggyback_window: 4,
+    };
+    combos.push(("mesh+direct".into(), mesh, SyncFabricConfig::Direct));
+    combos.push(("mesh+ring".into(), mesh, ring));
+    combos.push(("mesh+mesh-sync".into(), mesh, mesh_sync));
     combos
 }
 
